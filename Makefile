@@ -1,0 +1,36 @@
+# Convenience targets for the PCC reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples scorecard clean
+
+install:
+	$(PYTHON) -m pip install -e ".[test]" --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+bench-full:
+	REPRO_BENCH_SCALE=full $(PYTHON) -m pytest benchmarks/ --benchmark-only -q
+
+examples:
+	@for script in examples/*.py; do \
+		echo "=== $$script ==="; \
+		$(PYTHON) $$script || exit 1; \
+	done
+
+scorecard:
+	$(PYTHON) -m repro scorecard
+
+clean:
+	rm -rf .pytest_cache benchmarks/results/*.txt
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,75 @@
+"""Ablation — static profile-guided allocation vs the dynamic PCC (§5.4.2).
+
+The paper notes that ahead-of-time HUB knowledge (compiler/programmer
+analysis) can guide huge-page *allocation* instead of dynamic
+promotion. This ablation compares:
+
+* the offline reuse-distance oracle backing its HUB regions at fault
+  time (no promotion lag, no copy costs),
+* the dynamic PCC (no prior knowledge), and
+* the oracle fed a *stale* profile (the top HUB regions of a different
+  run phase — here: deliberately shifted regions), where static
+  allocation wastes its contiguity and the PCC's adaptivity wins.
+"""
+
+import copy
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.analysis import report
+from repro.engine.simulation import Simulator
+from repro.experiments.common import config_for
+from repro.os.kernel import HugePagePolicy, KernelParams
+from repro.os.oracle import hub_regions_from_profile
+from repro.trace.events import Trace
+
+
+def test_ablation_static_vs_dynamic(benchmark, scale, publish):
+    def run():
+        workload = scale.workload("BFS")
+        raw = Trace(
+            "bfs",
+            workload.threads[0].trace.vpns.astype(np.uint64) << np.uint64(12),
+        )
+        hubs = hub_regions_from_profile(raw, threshold=128)
+        stale = [region + 10_000 for region in hubs]  # nonsense profile
+        config = config_for(workload)
+
+        def simulate(policy, regions=None):
+            params = (
+                KernelParams(static_huge_regions=tuple(regions))
+                if regions is not None
+                else None
+            )
+            sim = Simulator(config, policy=policy, params=params)
+            return sim.run([copy.deepcopy(workload)])
+
+        return {
+            "baseline": simulate(HugePagePolicy.NONE),
+            "oracle": simulate(HugePagePolicy.ORACLE, regions=hubs),
+            "oracle-stale": simulate(HugePagePolicy.ORACLE, regions=stale),
+            "pcc": simulate(HugePagePolicy.PCC),
+        }
+
+    results = run_once(benchmark, run)
+    base = results["baseline"].total_cycles
+    rows = [
+        [name, report.speedup(base / r.total_cycles), report.percent(r.walk_rate)]
+        for name, r in results.items()
+    ]
+    publish(
+        "ablation_oracle",
+        report.format_table(
+            ["Configuration", "Speedup", "TLB miss %"],
+            rows,
+            title="Ablation — static profile-guided allocation vs dynamic PCC (§5.4.2)",
+        ),
+    )
+
+    speedup = {k: base / r.total_cycles for k, r in results.items()}
+    # a fresh profile is at least as good as dynamic promotion
+    assert speedup["oracle"] >= speedup["pcc"] - 0.05
+    # a stale profile is useless; the PCC's adaptivity clearly wins
+    assert speedup["oracle-stale"] < 1.05
+    assert speedup["pcc"] > speedup["oracle-stale"] + 0.2

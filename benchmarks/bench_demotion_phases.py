@@ -1,0 +1,75 @@
+"""Demotion under phase changes (§3.3.3, "Application Phases").
+
+The paper finds demotion ~neutral on its steady graph workloads but
+flags phased applications — where promoted pages later go cold — as
+the case demotion exists for, leaving the study to future work. This
+benchmark supplies that study with a synthetic two-phase workload: the
+hot arena swaps mid-run under 85% fragmentation, so a promotion-only
+policy is stranded with phase A's frames while the aging probe + demote
+path recycles them for phase B.
+"""
+
+import copy
+
+from benchmarks.conftest import run_once
+from repro.analysis import report
+from repro.config import scaled_config
+from repro.engine.simulation import Simulator
+from repro.experiments.common import memory_for
+from repro.os.kernel import HugePagePolicy, KernelParams
+from repro.workloads.phased import phased_workload
+
+FRAGMENTATION = 0.85
+
+
+def test_demotion_on_phase_change(benchmark, publish):
+    def run():
+        workload = phased_workload(accesses_per_phase=120_000)
+        config = scaled_config(
+            memory_bytes=memory_for(workload),
+            promote_every_accesses=workload.total_accesses // 24,
+        )
+
+        def simulate(policy, demote=False):
+            params = KernelParams(regions_to_promote=8, demotion_enabled=demote)
+            sim = Simulator(
+                config, policy=policy, params=params,
+                fragmentation=FRAGMENTATION,
+            )
+            result = sim.run([copy.deepcopy(workload)])
+            stats = sim.kernel._engine.stats if sim.kernel._engine else None
+            return result, stats
+
+        baseline, _ = simulate(HugePagePolicy.NONE)
+        plain, plain_stats = simulate(HugePagePolicy.PCC)
+        demote, demote_stats = simulate(HugePagePolicy.PCC, demote=True)
+        return baseline, (plain, plain_stats), (demote, demote_stats)
+
+    baseline, (plain, plain_stats), (demote, demote_stats) = run_once(
+        benchmark, run
+    )
+
+    base = baseline.total_cycles
+    text = report.format_table(
+        ["Configuration", "Speedup", "TLB miss %", "Promos", "Demotes"],
+        [
+            ["PCC (promote only)",
+             report.speedup(base / plain.total_cycles),
+             report.percent(plain.walk_rate),
+             plain_stats.promotions, plain_stats.demotions],
+            ["PCC + aging demotion",
+             report.speedup(base / demote.total_cycles),
+             report.percent(demote.walk_rate),
+             demote_stats.promotions, demote_stats.demotions],
+        ],
+        title=(
+            "Demotion on a two-phase workload at "
+            f"{FRAGMENTATION:.0%} fragmentation (§3.3.3)"
+        ),
+    )
+    publish("demotion_phases", text)
+
+    assert plain_stats.demotions == 0
+    assert demote_stats.demotions > 0
+    # demotion recycles stranded frames into real speedup
+    assert demote.total_cycles < plain.total_cycles * 0.9

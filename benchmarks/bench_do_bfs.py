@@ -1,0 +1,75 @@
+"""Direction-optimizing BFS — workload-side sensitivity check.
+
+GAP's real BFS is direction-optimizing: large-frontier levels switch
+to a bottom-up sweep that reads the property array sequentially. That
+sweep is far more TLB-friendly than top-down pushing, so DO-BFS has a
+lower baseline TLB miss rate and less huge-page headroom — but the
+headroom that remains is still concentrated in the same HUB regions,
+and the PCC harvests a comparable *fraction* of it. This guards the
+reproduction against the objection that the headline numbers depend on
+the naive traversal direction.
+"""
+
+import copy
+
+from benchmarks.conftest import run_once
+from repro.analysis import report
+from repro.engine.simulation import Simulator
+from repro.engine.system import ProcessWorkload
+from repro.experiments.common import config_for
+from repro.os.kernel import HugePagePolicy
+from repro.workloads.bfs import bfs_trace
+from repro.workloads.registry import build_graph
+
+
+def test_direction_optimizing_bfs(benchmark, scale, publish):
+    def run():
+        graph = build_graph("kronecker", scale=scale.graph_scale)
+        rows = {}
+        for label, kwargs in (
+            ("top-down", {}),
+            ("direction-optimizing", {"direction_optimizing": True}),
+        ):
+            trace, glayout = bfs_trace(graph, **kwargs)
+            workload = ProcessWorkload.single_thread(trace, glayout.layout)
+            config = config_for(workload)
+
+            def simulate(policy):
+                sim = Simulator(config, policy=policy)
+                return sim.run([copy.deepcopy(workload)])
+
+            baseline = simulate(HugePagePolicy.NONE)
+            pcc = simulate(HugePagePolicy.PCC)
+            ideal = simulate(HugePagePolicy.IDEAL)
+            rows[label] = {
+                "miss": baseline.walk_rate,
+                "pcc": baseline.total_cycles / pcc.total_cycles,
+                "ideal": baseline.total_cycles / ideal.total_cycles,
+            }
+        return rows
+
+    rows = run_once(benchmark, run)
+    publish(
+        "do_bfs",
+        report.format_table(
+            ["Traversal", "Baseline TLB miss", "PCC speedup", "Ideal"],
+            [
+                [label, report.percent(r["miss"]), report.speedup(r["pcc"]),
+                 report.speedup(r["ideal"])]
+                for label, r in rows.items()
+            ],
+            title="Direction-optimizing BFS vs top-down (workload sensitivity)",
+        ),
+    )
+
+    top_down = rows["top-down"]
+    optimized = rows["direction-optimizing"]
+    # the bottom-up sweeps soften the TLB pressure...
+    assert optimized["miss"] < top_down["miss"]
+    assert optimized["ideal"] < top_down["ideal"] + 0.05
+    # ...but the PCC still captures a substantial share of the
+    # remaining headroom (bottom-up probes scatter across the whole
+    # edge array — genuine low-reuse misses no candidate can fix)
+    for r in rows.values():
+        captured = (r["pcc"] - 1.0) / max(1e-9, r["ideal"] - 1.0)
+        assert captured > 0.35, rows

@@ -1,0 +1,24 @@
+"""Fig. 1 — motivation: 4KB vs 2MB vs Linux THP at 50% fragmentation.
+
+Regenerates both panels (TLB miss % and speedup) for all 8
+applications. Expected shape: huge pages give up to ~2x (geomean
+~1.3x in the paper) while greedy THP under fragmentation hugs the
+baseline.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import fig1
+
+
+def test_fig1_motivation(benchmark, scale, apps, publish):
+    rows = run_once(benchmark, lambda: fig1.run(scale, apps=apps))
+    publish("fig1_motivation", fig1.render(rows))
+
+    sensitive = [r for r in rows if r.app in ("BFS", "SSSP", "PR")]
+    for row in sensitive:
+        # huge pages must clearly beat 4KB for the TLB-sensitive apps...
+        assert row.speedup_2m > 1.15, row
+        # ...and greedy THP under fragmentation must not reach them
+        assert row.speedup_thp < row.speedup_2m, row
+        # TLB miss rate collapses with full huge-page backing
+        assert row.miss_2m < 0.25 * row.miss_4k, row

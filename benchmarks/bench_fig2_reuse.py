@@ -1,0 +1,24 @@
+"""Fig. 2 — reuse-distance characterization of BFS on Kronecker.
+
+Regenerates the page classification behind the scatter plot: a
+substantial HUB population (high 4KB reuse distance, low 2MB reuse
+distance) must exist, since those pages are what the PCC is built to
+find.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.reuse import AccessClass
+from repro.experiments import fig2
+
+
+def test_fig2_reuse_characterization(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: fig2.run(scale))
+    publish("fig2_reuse", fig2.render(result))
+
+    counts = result.counts
+    total = sum(counts.values())
+    # the three categories of §3.1: most pages are TLB-friendly, a
+    # meaningful minority are HUBs
+    assert counts[AccessClass.TLB_FRIENDLY] > 0.5 * total
+    assert counts[AccessClass.HUB] > 0.03 * total
+    assert result.hub_region_count > 0

@@ -1,0 +1,61 @@
+"""Sensitivity studies — the design constants the paper fixes.
+
+* counter width: 2-4 bit counters decay too coarsely to rank HUBs;
+  8 bits (the paper's choice) captures the full benefit, and wider
+  counters add nothing — the area is better spent elsewhere.
+* promotion interval: more frequent intervals promote earlier and help
+  until overheads flatten the curve, supporting §3.3.1's "the OS can
+  operate as frequently as desired".
+* admission filter: the Fig. 3 accessed-bit check may not change small
+  runs (the min-frequency gate already skips one-touch regions) but
+  must never hurt.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis import report
+from repro.experiments import sensitivity
+
+
+def test_sensitivity_counter_bits(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: sensitivity.counter_bits_sweep(scale))
+    publish("sensitivity_counter_bits", sensitivity.render_sweep(result))
+
+    by_width = dict(zip(result.values, result.speedups))
+    # 8 bits captures the full benefit...
+    assert by_width[8] >= max(result.speedups) - 0.05
+    # ...and wider counters add nothing significant
+    assert abs(by_width[16] - by_width[8]) < 0.08
+    # narrow counters can only be worse or equal
+    assert by_width[2] <= by_width[8] + 0.05
+
+
+def test_sensitivity_promotion_interval(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: sensitivity.interval_sweep(scale))
+    publish("sensitivity_interval", sensitivity.render_sweep(result))
+
+    # more intervals per run never hurt much, and very sparse intervals
+    # (4 per run) clearly underperform frequent ones
+    assert result.speedups[-1] > result.speedups[0]
+    # the benefit saturates: the last doubling adds little
+    assert result.speedups[-1] - result.speedups[-2] < 0.1
+
+
+def test_sensitivity_admission_filter(benchmark, scale, publish):
+    result = run_once(
+        benchmark, lambda: sensitivity.admission_filter_study(scale)
+    )
+    publish(
+        "sensitivity_admission",
+        report.format_table(
+            ["Configuration", "Speedup"],
+            [
+                ["with cold-miss filter (Fig. 3)",
+                 report.speedup(result["with_filter"])],
+                ["without filter",
+                 report.speedup(result["without_filter"])],
+            ],
+            title="Sensitivity — PCC admission filter",
+        ),
+    )
+    # the filter never hurts; any pollution effect only helps it
+    assert result["with_filter"] >= result["without_filter"] - 0.03

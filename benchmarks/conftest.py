@@ -1,0 +1,57 @@
+"""Benchmark harness configuration.
+
+Each benchmark reproduces one of the paper's tables or figures, runs
+exactly once (``benchmark.pedantic`` with a single round — these are
+experiments, not microbenchmarks), prints the same rows/series the
+paper reports, and archives the rendering under
+``benchmarks/results/``.
+
+Scale is selected with ``REPRO_BENCH_SCALE=quick|full`` (default
+quick); app lists can be trimmed with ``REPRO_BENCH_APPS=BFS,PR``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.common import FULL, QUICK
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "quick").lower()
+    if name == "full":
+        return FULL
+    return QUICK
+
+
+@pytest.fixture(scope="session")
+def apps():
+    """Application list override for the long sweeps."""
+    spec = os.environ.get("REPRO_BENCH_APPS")
+    if spec:
+        return [name.strip() for name in spec.split(",") if name.strip()]
+    return None
+
+
+@pytest.fixture
+def publish():
+    """Print a rendering and archive it under benchmarks/results/."""
+
+    def _publish(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return _publish
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""HUB characterization: the paper's Fig. 2 reuse-distance analysis.
+
+Profiles every page a BFS traversal touches, measuring mean reuse
+distance at 4KB and 2MB granularity, and classifies pages into the
+paper's three categories. Renders an ASCII version of Fig. 2's scatter
+plot (log-binned densities) plus the class summary, and shows that the
+hardware PCC's ranking agrees with the offline oracle's HUB regions.
+
+Run:  python examples/hub_characterization.py
+"""
+
+import math
+
+from repro.analysis import report
+from repro.analysis.reuse import AccessClass, profile_trace
+from repro.config import scaled_config
+from repro.core.pcc import PromotionCandidateCache
+from repro.engine.cpu import Core
+from repro.vm.address import BASE_PAGE_SHIFT
+from repro.workloads.bfs import bfs_trace
+from repro.workloads.registry import build_graph
+
+CLASS_GLYPH = {
+    AccessClass.TLB_FRIENDLY: ".",
+    AccessClass.HUB: "#",
+    AccessClass.LOW_REUSE: "x",
+}
+
+
+def ascii_scatter(profile, bins=24, rows=12) -> str:
+    """Log-log density plot of (4KB distance, 2MB distance) pairs."""
+    grid = [[" "] * bins for _ in range(rows)]
+
+    def bucket(value, cells):
+        if value == float("inf"):
+            return cells - 1
+        return min(cells - 1, int(math.log2(value + 1) * cells / 22))
+
+    for x, y, cls in profile.scatter_points():
+        column = bucket(x, bins)
+        row = rows - 1 - bucket(y, rows and rows)
+        row = max(0, min(rows - 1, row))
+        glyph = CLASS_GLYPH[cls]
+        # HUBs win ties so the phenomenon stays visible
+        if grid[row][column] != "#":
+            grid[row][column] = glyph
+    lines = ["2MB reuse distance (log) ^"]
+    lines += ["| " + "".join(row) for row in grid]
+    lines.append("+" + "-" * bins + "> 4KB reuse distance (log)")
+    lines.append("legend: . tlb-friendly   # HUB   x low-reuse")
+    return "\n".join(lines)
+
+
+def pcc_agreement(trace, oracle_regions, config) -> float:
+    """Fraction of the PCC's top-ranked regions that are oracle HUBs."""
+    from repro.vm.pagetable import PageTable
+
+    table = PageTable()
+    core = Core(config)
+    vpns = (trace.addresses >> BASE_PAGE_SHIFT).tolist()
+    for vpn in vpns:
+        vaddr = vpn << BASE_PAGE_SHIFT
+        if not table.is_mapped(vaddr):
+            table.map_base(vaddr, frame=0)
+        core.access_page(vpn, table)
+    top = [entry.tag for entry in core.pcc.ranked()[: len(oracle_regions)]]
+    if not top:
+        return 0.0
+    return len(set(top) & set(oracle_regions)) / len(top)
+
+
+def main() -> None:
+    graph = build_graph("kronecker", scale=12)
+    trace, glayout = bfs_trace(graph)
+    print(f"BFS on {graph.name}: {len(trace):,} accesses, "
+          f"{trace.unique_pages():,} distinct 4KB pages")
+
+    profile = profile_trace(trace)
+    counts = profile.class_counts()
+    total = sum(counts.values())
+    print()
+    print(ascii_scatter(profile))
+    print()
+    print(
+        report.format_table(
+            ["Class", "Pages", "Share"],
+            [
+                [cls.value, n, report.percent(n / total)]
+                for cls, n in counts.items()
+            ],
+            title="Page classification (threshold = 1024, the L2 TLB size)",
+        )
+    )
+
+    oracle = profile.hub_regions()
+    agreement = pcc_agreement(trace, oracle, scaled_config())
+    print(
+        f"\nOracle HUB regions: {len(oracle)}; "
+        f"PCC top-{len(oracle)} agreement with the oracle: {agreement:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Multiprocess fairness: two applications compete for huge pages.
+
+Reproduces the paper's Fig. 9 case study in miniature: TLB-sensitive
+PageRank runs beside TLB-insensitive mcf, each on its own core with
+its own PCC, while the OS merges their candidate lists under either
+the highest-PCC-frequency policy or round-robin. The frequency policy
+biases huge pages toward PageRank (which can use them) without hurting
+mcf (which cannot).
+
+Run:  python examples/multiprocess_fairness.py
+"""
+
+from repro.analysis import report
+from repro.experiments import fig9
+from repro.experiments.common import QUICK
+
+
+def main() -> None:
+    print("Running PR + mcf side by side (budgets sweep, 2 policies) ...")
+    case = fig9.run_case("PR", "mcf", scale=QUICK, budgets=(2, 8, 32, 100))
+    print()
+    print(fig9.render(case))
+    print()
+
+    freq = case.frequency
+    rr = case.round_robin
+    pr_name = case.apps[0]
+    final_freq = freq.speedups[pr_name][-1]
+    final_rr = rr.speedups[pr_name][-1]
+    print(
+        f"{pr_name} final speedup: {report.speedup(final_freq)} under "
+        f"highest-frequency vs {report.speedup(final_rr)} under round-robin."
+    )
+    print(
+        "The frequency policy funnels huge pages to the TLB-sensitive\n"
+        "process; with an insensitive co-runner this is free performance\n"
+        "(the co-runner's PCC holds few hot candidates to starve)."
+    )
+
+
+if __name__ == "__main__":
+    main()

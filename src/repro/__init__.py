@@ -1,0 +1,81 @@
+"""Reproduction of "Architectural Support for Optimizing Huge Page
+Selection Within the OS" (Manocha et al., MICRO 2023).
+
+The package implements the paper's Promotion Candidate Cache (PCC)
+together with every substrate its evaluation rests on: a TLB hierarchy
+and page-table-walker simulator, a simulated Linux-like kernel with
+greedy THP, khugepaged, and HawkEye baselines, physical memory with
+fragmentation and compaction, the eight evaluation workloads as
+address-stream generators, and per-figure experiment harnesses.
+
+Quickstart::
+
+    from repro import quick_compare
+    from repro.workloads import build_workload
+
+    results = quick_compare(build_workload("BFS", scale=12))
+    print(results["pcc"].walk_rate, results["baseline"].walk_rate)
+"""
+
+from repro.config import (
+    OSConfig,
+    PCCConfig,
+    SystemConfig,
+    TimingConfig,
+    TLBConfig,
+    TLBHierarchyConfig,
+    WalkerConfig,
+    paper_config,
+    scaled_config,
+    tiny_config,
+)
+from repro.core.pcc import PromotionCandidateCache
+from repro.engine.simulation import SimulationResult, Simulator
+from repro.engine.system import ProcessWorkload, ThreadWorkload
+from repro.os.kernel import HugePagePolicy, KernelParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "TLBConfig",
+    "TLBHierarchyConfig",
+    "PCCConfig",
+    "WalkerConfig",
+    "TimingConfig",
+    "OSConfig",
+    "paper_config",
+    "scaled_config",
+    "tiny_config",
+    "PromotionCandidateCache",
+    "Simulator",
+    "SimulationResult",
+    "ProcessWorkload",
+    "ThreadWorkload",
+    "HugePagePolicy",
+    "KernelParams",
+    "quick_compare",
+]
+
+
+def quick_compare(workload, config=None, fragmentation: float = 0.0):
+    """Run one workload under baseline / Linux THP / PCC / ideal.
+
+    Returns a dict of policy name -> :class:`SimulationResult`; the
+    minimal end-to-end demonstration of the co-design.
+    """
+    import copy
+
+    from repro.config import scaled_config as _scaled
+
+    config = config or _scaled()
+    results = {}
+    for key, policy in (
+        ("baseline", HugePagePolicy.NONE),
+        ("linux-thp", HugePagePolicy.LINUX_THP),
+        ("pcc", HugePagePolicy.PCC),
+        ("ideal", HugePagePolicy.IDEAL),
+    ):
+        sim = Simulator(config, policy=policy, fragmentation=fragmentation)
+        results[key] = sim.run([copy.deepcopy(workload)])
+    return results

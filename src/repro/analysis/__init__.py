@@ -1,0 +1,21 @@
+"""Analysis tools: reuse-distance characterization, utility curves, reports."""
+
+from repro.analysis.reuse import (
+    AccessClass,
+    PageReuseProfile,
+    classify_pages,
+    reuse_distances,
+)
+from repro.analysis.utility import UtilityCurve, UtilityPoint, utility_curve
+from repro.analysis import report
+
+__all__ = [
+    "reuse_distances",
+    "classify_pages",
+    "AccessClass",
+    "PageReuseProfile",
+    "utility_curve",
+    "UtilityCurve",
+    "UtilityPoint",
+    "report",
+]

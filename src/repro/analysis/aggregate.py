@@ -1,0 +1,70 @@
+"""Aggregation across datasets, the paper's reporting convention.
+
+§4: "We report results for each of our 3 graph workloads as the
+geomean performance of both sorted and unsorted networks, totalling 6
+datasets for each graph workload." These helpers compute geometric
+means over runs and assemble the 6-dataset matrix for one graph
+workload.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean; rejects empty input and non-positive values."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError(f"geomean requires positive values, got {values}")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def geomean_series(series: Sequence[Sequence[float]]) -> list[float]:
+    """Pointwise geometric mean of equally-long series (curve averaging)."""
+    lengths = {len(s) for s in series}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    return [geomean(column) for column in zip(*series)]
+
+
+@dataclass(frozen=True)
+class DatasetVariant:
+    """One (network, ordering) dataset of the paper's 6-way matrix."""
+
+    dataset: str
+    sorted_dbg: bool
+
+    @property
+    def label(self) -> str:
+        """Human-readable "<dataset>/<ordering>" tag."""
+        ordering = "sorted" if self.sorted_dbg else "unsorted"
+        return f"{self.dataset}/{ordering}"
+
+
+#: The paper's dataset matrix: 3 networks x {unsorted, DBG-sorted}.
+DATASET_MATRIX: tuple[DatasetVariant, ...] = tuple(
+    DatasetVariant(dataset, sorted_dbg)
+    for dataset in ("kronecker", "social", "web")
+    for sorted_dbg in (False, True)
+)
+
+
+def matrix_speedups(
+    app: str,
+    run_one,
+    variants: Sequence[DatasetVariant] = DATASET_MATRIX,
+) -> tuple[dict[str, float], float]:
+    """Run ``run_one(app, variant) -> speedup`` over the matrix.
+
+    Returns per-variant speedups plus their geomean — the number the
+    paper's figures plot per graph workload.
+    """
+    per_variant = {
+        variant.label: run_one(app, variant) for variant in variants
+    }
+    return per_variant, geomean(per_variant.values())

@@ -1,0 +1,133 @@
+"""ASCII line plots for terminal-rendered figures.
+
+The benchmark harness prints the paper's series as numbers; these
+helpers additionally render them as small terminal plots so the curve
+*shapes* — rises, plateaus, crossovers — are visible at a glance in CI
+logs and example output. No plotting dependency is needed or wanted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+#: glyphs assigned to series in order
+_GLYPHS = "*o+x@#%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line of a plot."""
+
+    label: str
+    values: Sequence[float]
+
+
+def line_plot(
+    series: list[Series],
+    *,
+    x_labels: Sequence[object] | None = None,
+    width: int = 60,
+    height: int = 12,
+    y_label: str = "",
+    x_label: str = "",
+    y_min: float | None = None,
+    y_max: float | None = None,
+) -> str:
+    """Render one or more equally-sampled series as an ASCII chart.
+
+    Points are linearly placed on a ``width`` x ``height`` grid; later
+    series draw over earlier ones where they collide. A legend maps
+    glyphs to labels, and the y-axis prints its extremes.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    lengths = {len(s.values) for s in series}
+    if len(lengths) != 1:
+        raise ValueError(f"series lengths differ: {sorted(lengths)}")
+    (points,) = lengths
+    if points < 2:
+        raise ValueError("need at least two points per series")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+
+    all_values = [v for s in series for v in s.values]
+    low = min(all_values) if y_min is None else y_min
+    high = max(all_values) if y_max is None else y_max
+    if high == low:
+        high = low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, entry in enumerate(series):
+        glyph = _GLYPHS[index]
+        for i, value in enumerate(entry.values):
+            column = round(i * (width - 1) / (points - 1))
+            scaled = (value - low) / (high - low)
+            row = height - 1 - round(scaled * (height - 1))
+            row = max(0, min(height - 1, row))
+            grid[row][column] = glyph
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    top_tag = f"{high:.2f} "
+    bottom_tag = f"{low:.2f} "
+    pad = max(len(top_tag), len(bottom_tag))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_tag.rjust(pad)
+        elif row_index == height - 1:
+            prefix = bottom_tag.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * pad + "+" + "-" * width)
+    if x_labels is not None:
+        marks = _spread_labels([str(x) for x in x_labels], width)
+        lines.append(" " * (pad + 1) + marks)
+    if x_label:
+        lines.append(" " * (pad + 1) + x_label)
+    legend = "   ".join(
+        f"{_GLYPHS[i]} {entry.label}" for i, entry in enumerate(series)
+    )
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+def _spread_labels(labels: list[str], width: int) -> str:
+    """Place tick labels under their approximate x positions."""
+    out = [" "] * width
+    points = len(labels)
+    for i, label in enumerate(labels):
+        column = round(i * (width - 1) / max(1, points - 1))
+        start = min(max(0, column - len(label) // 2), width - len(label))
+        for j, ch in enumerate(label):
+            out[start + j] = ch
+    return "".join(out)
+
+
+def utility_plot(curves, references: dict[str, float] | None = None,
+                 width: int = 60, height: int = 12) -> str:
+    """Plot one or more utility curves plus flat reference lines.
+
+    ``curves`` are :class:`repro.analysis.utility.UtilityCurve` objects
+    sharing a budget axis; ``references`` adds horizontal lines (e.g.
+    the all-huge ideal).
+    """
+    curves = list(curves)
+    if not curves:
+        raise ValueError("need at least one curve")
+    points = len(curves[0].points)
+    series = [
+        Series(label=f"{c.policy}", values=c.speedups()) for c in curves
+    ]
+    for label, value in (references or {}).items():
+        series.append(Series(label=label, values=[value] * points))
+    return line_plot(
+        series,
+        x_labels=[p.budget_percent for p in curves[0].points],
+        width=width,
+        height=height,
+        y_label="speedup",
+        x_label="huge-page budget (% of footprint)",
+    )

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results.
+
+Every benchmark prints the same rows/series the paper's tables and
+figures report; these helpers keep the formatting consistent: aligned
+columns, percentages with one decimal, speedups with two.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str | None = None
+) -> str:
+    """Monospace table with left-aligned first column."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_row(headers, widths))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append(_row(row, widths))
+    return "\n".join(lines)
+
+
+def _row(cells: Sequence[str], widths: Sequence[int]) -> str:
+    parts = []
+    for i, (cell, width) in enumerate(zip(cells, widths)):
+        parts.append(cell.ljust(width) if i == 0 else cell.rjust(width))
+    return " | ".join(parts)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def percent(value: float, decimals: int = 1) -> str:
+    """0.153 -> '15.3%'."""
+    return f"{value * 100:.{decimals}f}%"
+
+
+def speedup(value: float) -> str:
+    """1.28 -> '1.28x'."""
+    return f"{value:.2f}x"
+
+
+def series(label: str, values: Iterable[float], fmt: str = "{:.2f}") -> str:
+    """One figure line: 'label: v0 v1 v2 ...'."""
+    return f"{label}: " + " ".join(fmt.format(v) for v in values)
+
+
+def bytes_human(count: int) -> str:
+    """Approximate human-readable byte count."""
+    value = float(count)
+    for unit in ("B", "KB", "MB", "GB", "TB"):
+        if value < 1024 or unit == "TB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    raise AssertionError("unreachable")

@@ -1,0 +1,142 @@
+"""Page-level reuse-distance characterization (§3.1, Fig. 2).
+
+For every page touched by a trace we compute the mean *reuse distance*
+— the number of accesses to other pages between two accesses to the
+page — at both 4KB and 2MB granularity, then classify each 4KB page by
+the paper's three access categories:
+
+* **TLB-friendly**: low 4KB reuse distance; the base-page TLB already
+  retains the translation, so promotion adds little.
+* **HUB** (High-reUse TLB-sensitive): high 4KB reuse distance but low
+  2MB reuse distance — the page thrashes the base-page TLB while its
+  enclosing region stays hot. These are the promotion candidates the
+  PCC exists to find.
+* **Low-reuse**: high at both granularities; even a huge page's
+  translation would not survive in the TLB.
+
+The threshold defaults to 1024, "a common number of entries in a CPU's
+second-level TLB", as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import Trace
+from repro.vm.address import BASE_PAGE_SHIFT, HUGE_PAGE_SHIFT
+
+#: Paper's "low reuse distance" boundary: L2 TLB entry count.
+DEFAULT_THRESHOLD = 1024
+
+
+class AccessClass(enum.Enum):
+    """Fig. 2's three access-pattern categories."""
+
+    TLB_FRIENDLY = "tlb-friendly"
+    HUB = "hub"
+    LOW_REUSE = "low-reuse"
+
+
+@dataclass
+class PageReuseProfile:
+    """Reuse statistics for all pages of one trace.
+
+    ``pages`` maps each 4KB VPN to its mean reuse distance;
+    ``regions`` maps each 2MB prefix to the region-granular distance.
+    """
+
+    pages: dict[int, float]
+    regions: dict[int, float]
+    threshold: int = DEFAULT_THRESHOLD
+
+    def classify(self, vpn: int) -> AccessClass:
+        """Category of one 4KB page per the paper's quadrants."""
+        page_distance = self.pages[vpn]
+        region_distance = self.regions[vpn >> (HUGE_PAGE_SHIFT - BASE_PAGE_SHIFT)]
+        if page_distance < self.threshold:
+            return AccessClass.TLB_FRIENDLY
+        if region_distance < self.threshold:
+            return AccessClass.HUB
+        return AccessClass.LOW_REUSE
+
+    def hub_regions(self) -> list[int]:
+        """2MB regions containing at least one HUB page, hottest first.
+
+        Regions are ordered by their HUB page count — the oracle
+        ranking the PCC's walk-frequency counters approximate.
+        """
+        counts: dict[int, int] = {}
+        for vpn in self.pages:
+            if self.classify(vpn) is AccessClass.HUB:
+                region = vpn >> (HUGE_PAGE_SHIFT - BASE_PAGE_SHIFT)
+                counts[region] = counts.get(region, 0) + 1
+        return [r for r, _ in sorted(counts.items(), key=lambda kv: -kv[1])]
+
+    def scatter_points(self) -> list[tuple[float, float, AccessClass]]:
+        """Fig. 2's scatter data: (4KB distance, 2MB distance, class)."""
+        points = []
+        for vpn, page_distance in self.pages.items():
+            region = vpn >> (HUGE_PAGE_SHIFT - BASE_PAGE_SHIFT)
+            points.append((page_distance, self.regions[region], self.classify(vpn)))
+        return points
+
+    def class_counts(self) -> dict[AccessClass, int]:
+        """Page counts per access class (the Fig. 2 summary)."""
+        counts = {cls: 0 for cls in AccessClass}
+        for vpn in self.pages:
+            counts[self.classify(vpn)] += 1
+        return counts
+
+
+def reuse_distances(region_ids: np.ndarray) -> dict[int, float]:
+    """Mean reuse distance per region id over one access sequence.
+
+    The distance between two consecutive accesses to the same region is
+    the number of intervening accesses — which, being between
+    consecutive same-region uses, are all "accesses to other pages",
+    exactly the paper's definition. Back-to-back repeats therefore
+    contribute distance 0 (perfect locality); a region touched exactly
+    once has no observable reuse and reports ``inf``.
+    """
+    region_ids = np.asarray(region_ids)
+    if region_ids.size == 0:
+        return {}
+    last_seen: dict[int, int] = {}
+    totals: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for index, region in enumerate(region_ids.tolist()):
+        previous = last_seen.get(region)
+        if previous is not None:
+            totals[region] = totals.get(region, 0.0) + (index - previous - 1)
+            counts[region] = counts.get(region, 0) + 1
+        last_seen[region] = index
+
+    result: dict[int, float] = {}
+    for region in last_seen:
+        if region in counts:
+            result[region] = totals[region] / counts[region]
+        else:
+            result[region] = float("inf")  # touched once: no reuse
+    return result
+
+
+def profile_trace(trace: Trace, threshold: int = DEFAULT_THRESHOLD) -> PageReuseProfile:
+    """Compute the full Fig. 2 characterization for one trace."""
+    vpns = trace.addresses >> np.uint64(BASE_PAGE_SHIFT)
+    prefixes = trace.addresses >> np.uint64(HUGE_PAGE_SHIFT)
+    return PageReuseProfile(
+        pages=reuse_distances(vpns),
+        regions=reuse_distances(prefixes),
+        threshold=threshold,
+    )
+
+
+def classify_pages(
+    trace: Trace, threshold: int = DEFAULT_THRESHOLD
+) -> dict[int, AccessClass]:
+    """Classification of every touched 4KB page of a trace."""
+    profile = profile_trace(trace, threshold)
+    return {vpn: profile.classify(vpn) for vpn in profile.pages}

@@ -1,0 +1,122 @@
+"""Trace statistics: what a workload's address stream looks like.
+
+Summarizes a trace before any simulation: footprint and touched pages,
+page-level compression ratio (a locality proxy), per-VMA access
+shares, and the distribution of accesses across 2MB regions (whose
+skew predicts how much a small promotion budget can harvest). Used to
+calibrate the workload models against the paper's Table 1 / Fig. 1
+characteristics, and handy when writing new workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis import report
+from repro.trace.events import Trace, compress_to_pages
+from repro.vm.address import BASE_PAGE_SHIFT, HUGE_PAGE_SHIFT
+from repro.vm.layout import AddressSpaceLayout
+
+
+@dataclass
+class VMAShare:
+    """One VMA's slice of the trace."""
+
+    name: str
+    accesses: int
+    share: float
+    touched_pages: int
+    regions: int
+
+
+@dataclass
+class TraceStats:
+    """Full summary of one trace."""
+
+    name: str
+    accesses: int
+    footprint_bytes: int
+    unique_pages: int
+    unique_regions: int
+    compression_ratio: float
+    #: fraction of all accesses landing in the hottest 10% of regions
+    top_decile_region_share: float
+    vma_shares: list[VMAShare] = field(default_factory=list)
+
+
+def analyze(trace: Trace, layout: AddressSpaceLayout | None = None) -> TraceStats:
+    """Compute the summary for ``trace`` (VMA shares need the layout)."""
+    addresses = trace.addresses
+    vpns, counts = compress_to_pages(addresses)
+    unique_pages = int(np.unique(vpns).size) if vpns.size else 0
+    regions = addresses >> np.uint64(HUGE_PAGE_SHIFT)
+    unique_regions = int(np.unique(regions).size) if regions.size else 0
+
+    top_share = 0.0
+    if regions.size:
+        _, region_counts = np.unique(regions, return_counts=True)
+        region_counts = np.sort(region_counts)[::-1]
+        top = max(1, int(np.ceil(region_counts.size * 0.1)))
+        top_share = float(region_counts[:top].sum() / regions.size)
+
+    stats = TraceStats(
+        name=trace.name,
+        accesses=len(trace),
+        footprint_bytes=trace.footprint_bytes,
+        unique_pages=unique_pages,
+        unique_regions=unique_regions,
+        compression_ratio=len(trace) / max(1, len(vpns)),
+        top_decile_region_share=top_share,
+    )
+    if layout is not None:
+        for vma in layout:
+            inside = (addresses >= np.uint64(vma.start)) & (
+                addresses < np.uint64(vma.end)
+            )
+            hits = int(inside.sum())
+            if hits == 0:
+                continue
+            vma_pages = addresses[inside] >> np.uint64(BASE_PAGE_SHIFT)
+            stats.vma_shares.append(
+                VMAShare(
+                    name=vma.name,
+                    accesses=hits,
+                    share=hits / max(1, len(trace)),
+                    touched_pages=int(np.unique(vma_pages).size),
+                    regions=len(vma.huge_regions),
+                )
+            )
+        stats.vma_shares.sort(key=lambda s: -s.accesses)
+    return stats
+
+
+def render(stats: TraceStats) -> str:
+    """Human-readable summary table."""
+    lines = [
+        f"trace {stats.name!r}: {stats.accesses:,} accesses, "
+        f"footprint {report.bytes_human(stats.footprint_bytes)} "
+        f"({stats.unique_regions} regions, {stats.unique_pages:,} pages "
+        f"touched)",
+        f"  page-run compression: {stats.compression_ratio:.1f}x   "
+        f"hottest 10% of regions absorb "
+        f"{report.percent(stats.top_decile_region_share)} of accesses",
+    ]
+    if stats.vma_shares:
+        rows = [
+            [
+                entry.name,
+                entry.accesses,
+                report.percent(entry.share),
+                entry.touched_pages,
+                entry.regions,
+            ]
+            for entry in stats.vma_shares
+        ]
+        lines.append(
+            report.format_table(
+                ["VMA", "Accesses", "Share", "Pages", "Regions"], rows
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Performance utility curves (§4, Fig. 5).
+
+A utility curve runs one workload repeatedly while capping huge pages
+at N% of the application footprint, N in {0, 1, 2, 4, 8, 16, 32, 64,
+~100}. The 0% point is the 4KB baseline; ~100% promotes until the PCC
+(or baseline policy) runs out of candidates. Speedups are relative to
+the 0% point; the walk rate series is the companion bottom panel.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.config import SystemConfig
+from repro.engine.simulation import SimulationResult, Simulator
+from repro.engine.system import ProcessWorkload
+from repro.os.kernel import HugePagePolicy, KernelParams
+
+#: The paper's budget axis, in percent of application footprint.
+BUDGET_PERCENTS = (0, 1, 2, 4, 8, 16, 32, 64, 100)
+
+
+@dataclass
+class UtilityPoint:
+    """One budget point of a utility curve."""
+
+    budget_percent: int
+    budget_regions: int | None
+    cycles: int
+    walk_rate: float
+    promotions: int
+    speedup: float = 1.0  # filled in once the 0% point is known
+
+
+@dataclass
+class UtilityCurve:
+    """A full 9-point curve for one workload under one policy."""
+
+    workload: str
+    policy: str
+    points: list[UtilityPoint] = field(default_factory=list)
+
+    def speedups(self) -> list[float]:
+        """Speedup at each budget point, in axis order."""
+        return [p.speedup for p in self.points]
+
+    def walk_rates(self) -> list[float]:
+        """PTW rate at each budget point (the bottom panel)."""
+        return [p.walk_rate for p in self.points]
+
+    def peak_speedup(self) -> float:
+        """Best speedup anywhere on the curve."""
+        return max(p.speedup for p in self.points)
+
+    def budget_for_fraction_of_peak(self, fraction: float) -> int | None:
+        """Smallest budget % reaching ``fraction`` of the peak speedup.
+
+        The paper's headline claim is that ~4% reaches >75% of peak.
+        """
+        peak = self.peak_speedup()
+        target = 1.0 + (peak - 1.0) * fraction
+        for point in self.points:
+            if point.speedup >= target:
+                return point.budget_percent
+        return None
+
+
+def budget_regions_for(workload: ProcessWorkload, percent: int) -> int | None:
+    """Footprint budget in 2MB regions for one percent point.
+
+    ``None`` encodes the ~100% (unlimited candidates) configuration;
+    nonzero percents round up so small workloads still get one region.
+    """
+    if percent >= 100:
+        return None
+    total = workload.footprint_huge_regions()
+    return max(1, int(round(total * percent / 100.0))) if percent > 0 else 0
+
+
+def run_budget_point(
+    workload: ProcessWorkload,
+    config: SystemConfig,
+    policy: HugePagePolicy,
+    budget_regions: int | None,
+    fragmentation: float = 0.0,
+) -> SimulationResult:
+    """One simulation at one footprint budget."""
+    if budget_regions == 0:
+        policy_to_run = HugePagePolicy.NONE
+        params = None
+    else:
+        policy_to_run = policy
+        params = KernelParams(
+            regions_to_promote=config.os.regions_to_promote,
+            promotion_policy=config.os.promotion_policy,
+            scan_pages_per_interval=config.os.scan_pages_per_interval,
+            promotion_budget_regions=budget_regions,
+        )
+    simulator = Simulator(
+        config, policy=policy_to_run, params=params, fragmentation=fragmentation
+    )
+    return simulator.run([copy.deepcopy(workload)])
+
+
+def utility_curve(
+    workload: ProcessWorkload,
+    config: SystemConfig,
+    policy: HugePagePolicy = HugePagePolicy.PCC,
+    budgets: tuple[int, ...] = BUDGET_PERCENTS,
+    fragmentation: float = 0.0,
+) -> UtilityCurve:
+    """Sweep the budget axis for one workload/policy pair."""
+    curve = UtilityCurve(workload=workload.name, policy=policy.value)
+    baseline_cycles: int | None = None
+    for percent in budgets:
+        regions = budget_regions_for(workload, percent)
+        result = run_budget_point(
+            workload, config, policy, regions, fragmentation=fragmentation
+        )
+        if baseline_cycles is None:
+            baseline_cycles = result.total_cycles
+        curve.points.append(
+            UtilityPoint(
+                budget_percent=percent,
+                budget_regions=regions,
+                cycles=result.total_cycles,
+                walk_rate=result.walk_rate,
+                promotions=result.promotions,
+                speedup=baseline_cycles / result.total_cycles,
+            )
+        )
+    return curve

@@ -1,0 +1,254 @@
+"""Command-line interface: ``python -m repro <experiment> [options]``.
+
+Runs one of the paper's experiments and prints the same rows/series the
+corresponding figure or table reports. Example::
+
+    python -m repro fig7 --scale quick --apps BFS,PR
+    python -m repro fig5 --budgets 0,4,100
+    python -m repro table1
+    python -m repro compare --app BFS --fragmentation 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.experiments import ablations, fig1, fig2, fig5, fig6, fig7, fig8, fig9, tables
+from repro.experiments.common import FULL, QUICK, ExperimentScale
+
+
+def _scale_of(name: str) -> ExperimentScale:
+    scales = {"quick": QUICK, "full": FULL}
+    if name not in scales:
+        raise SystemExit(f"unknown scale {name!r}; choose from {sorted(scales)}")
+    return scales[name]
+
+
+def _split(value: str | None) -> list[str] | None:
+    if not value:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _int_tuple(value: str | None, default: tuple[int, ...]) -> tuple[int, ...]:
+    if not value:
+        return default
+    return tuple(int(item) for item in value.split(","))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the PCC paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        help="experiment scale: quick (default) or full",
+    )
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    p_fig1 = sub.add_parser("fig1", help="motivation: page sizes vs Linux THP")
+    p_fig1.add_argument("--apps", help="comma-separated app subset")
+
+    sub.add_parser("fig2", help="reuse-distance characterization")
+
+    p_fig5 = sub.add_parser("fig5", help="utility curves PCC vs HawkEye")
+    p_fig5.add_argument("--apps", help="comma-separated app subset")
+    p_fig5.add_argument("--budgets", help="comma-separated budget percents")
+
+    sub.add_parser("fig6", help="PCC size sensitivity")
+
+    p_fig7 = sub.add_parser("fig7", help="90%-fragmented comparison")
+    p_fig7.add_argument("--apps", help="comma-separated graph-app subset")
+    p_fig7.add_argument(
+        "--fragmentation", type=float, default=0.9, help="fraction fragmented"
+    )
+
+    sub.add_parser("fig8", help="multithread policies")
+
+    p_fig9 = sub.add_parser("fig9", help="multiprocess case study")
+    p_fig9.add_argument("--pair", default="PR,mcf", help="two apps, comma-separated")
+
+    sub.add_parser("table1", help="workload inventory + system parameters")
+    sub.add_parser("ablations", help="replacement-policy and PWC ablations")
+
+    p_cmp = sub.add_parser("compare", help="one workload under all policies")
+    p_cmp.add_argument("--app", default="BFS")
+    p_cmp.add_argument("--fragmentation", type=float, default=0.0)
+
+    p_stats = sub.add_parser("stats", help="trace statistics of one workload")
+    p_stats.add_argument("--app", default="BFS")
+    p_stats.add_argument("--dataset", default="kronecker")
+
+    p_record = sub.add_parser(
+        "record",
+        help="step 1 of the paper's methodology: offline PCC simulation "
+        "writing a promotion-candidate schedule",
+    )
+    p_record.add_argument("--app", default="BFS")
+    p_record.add_argument("--out", required=True, help="schedule file path")
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="step 2: re-run the workload applying a recorded schedule",
+    )
+    p_replay.add_argument("--app", default="BFS")
+    p_replay.add_argument("--schedule", required=True)
+    p_replay.add_argument("--fragmentation", type=float, default=0.0)
+
+    p_score = sub.add_parser(
+        "scorecard",
+        help="collate archived benchmark renderings into one report",
+    )
+    p_score.add_argument("--results", help="results directory override")
+    return parser
+
+
+def _run_compare(args, scale: ExperimentScale) -> str:
+    import copy
+
+    from repro.analysis import report
+    from repro.engine.simulation import Simulator
+    from repro.experiments.common import config_for
+    from repro.os.kernel import HugePagePolicy
+
+    workload = scale.workload(args.app)
+    config = config_for(workload)
+    rows = []
+    baseline_cycles = None
+    for label, policy in (
+        ("4KB baseline", HugePagePolicy.NONE),
+        ("Linux THP", HugePagePolicy.LINUX_THP),
+        ("HawkEye", HugePagePolicy.HAWKEYE),
+        ("PCC", HugePagePolicy.PCC),
+        ("All-huge ideal", HugePagePolicy.IDEAL),
+    ):
+        frag = 0.0 if policy is HugePagePolicy.IDEAL else args.fragmentation
+        result = Simulator(config, policy=policy, fragmentation=frag).run(
+            [copy.deepcopy(workload)]
+        )
+        if baseline_cycles is None:
+            baseline_cycles = result.total_cycles
+        rows.append(
+            [
+                label,
+                report.speedup(baseline_cycles / result.total_cycles),
+                report.percent(result.walk_rate),
+                result.promotions,
+            ]
+        )
+    return report.format_table(
+        ["Policy", "Speedup", "TLB miss %", "Promotions"],
+        rows,
+        title=(
+            f"{args.app} at {args.fragmentation:.0%} fragmentation "
+            f"({scale.name} scale)"
+        ),
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    scale = _scale_of(args.scale)
+
+    if args.experiment == "fig1":
+        print(fig1.render(fig1.run(scale, apps=_split(args.apps))))
+    elif args.experiment == "fig2":
+        print(fig2.render(fig2.run(scale)))
+    elif args.experiment == "fig5":
+        from repro.analysis.utility import BUDGET_PERCENTS
+
+        budgets = _int_tuple(args.budgets, BUDGET_PERCENTS)
+        print(fig5.render(fig5.run(scale, apps=_split(args.apps), budgets=budgets)))
+    elif args.experiment == "fig6":
+        print(fig6.render(fig6.run(scale)))
+    elif args.experiment == "fig7":
+        apps = tuple(_split(args.apps) or ("BFS", "SSSP", "PR"))
+        rows = fig7.run(scale, apps=apps, fragmentation=args.fragmentation)
+        print(fig7.render(rows, fragmentation=args.fragmentation))
+    elif args.experiment == "fig8":
+        print(fig8.render(fig8.run(scale)))
+    elif args.experiment == "fig9":
+        pair = _split(args.pair)
+        if not pair or len(pair) != 2:
+            raise SystemExit("--pair needs exactly two apps, e.g. PR,mcf")
+        print(fig9.render(fig9.run_case(pair[0], pair[1], scale)))
+    elif args.experiment == "table1":
+        print(tables.render_table1(tables.run_table1(scale)))
+        print()
+        print(tables.render_table2())
+    elif args.experiment == "ablations":
+        print(ablations.render_replacement(ablations.run_replacement(scale)))
+        print()
+        print(ablations.render_pwc(ablations.run_pwc(scale)))
+    elif args.experiment == "compare":
+        print(_run_compare(args, scale))
+    elif args.experiment == "stats":
+        import numpy as np
+
+        from repro.analysis import tracestats
+        from repro.trace.events import Trace
+
+        workload = scale.workload(args.app, dataset=args.dataset)
+        compressed = workload.threads[0].trace
+        # expand the run-length records back to a page-accurate stream
+        addresses = np.repeat(
+            compressed.vpns.astype(np.uint64) << np.uint64(12),
+            compressed.counts,
+        )
+        raw = Trace(
+            workload.name, addresses, footprint_bytes=workload.footprint_bytes
+        )
+        print(tracestats.render(tracestats.analyze(raw, workload.layout)))
+    elif args.experiment == "record":
+        from repro.engine.offline import record_candidates
+        from repro.engine.schedule_io import save_schedule
+        from repro.experiments.common import config_for
+
+        workload = scale.workload(args.app)
+        schedule = record_candidates(workload, config_for(workload))
+        path = save_schedule(schedule, args.out)
+        print(
+            f"recorded {len(schedule)} candidates over "
+            f"{len(schedule.regions())} regions -> {path}"
+        )
+    elif args.experiment == "replay":
+        from repro.analysis import report as report_module
+        from repro.engine.offline import replay_with_schedule
+        from repro.engine.simulation import Simulator
+        from repro.engine.schedule_io import load_schedule
+        from repro.experiments.common import config_for
+        from repro.os.kernel import HugePagePolicy
+
+        workload = scale.workload(args.app)
+        config = config_for(workload)
+        schedule = load_schedule(args.schedule)
+        baseline = Simulator(
+            config,
+            policy=HugePagePolicy.NONE,
+            fragmentation=args.fragmentation,
+        ).run([scale.workload(args.app)])
+        result = replay_with_schedule(
+            workload, schedule, config, fragmentation=args.fragmentation
+        )
+        print(
+            f"replayed {len(schedule)} scheduled candidates: "
+            f"{result.promotions} promotions, speedup "
+            f"{report_module.speedup(baseline.total_cycles / result.total_cycles)}, "
+            f"TLB miss {report_module.percent(result.walk_rate)}"
+        )
+    elif args.experiment == "scorecard":
+        from repro.experiments import summary
+
+        scorecard = summary.build(args.results)
+        print(scorecard.text)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown experiment {args.experiment!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""The paper's primary contribution: the Promotion Candidate Cache."""
+
+from repro.core.pcc import PCCEntry, PCCStats, PromotionCandidateCache
+from repro.core.dump import CandidateRecord, DumpRegion
+
+__all__ = [
+    "PromotionCandidateCache",
+    "PCCEntry",
+    "PCCStats",
+    "CandidateRecord",
+    "DumpRegion",
+]

@@ -1,0 +1,77 @@
+"""The PCC-to-OS handoff region (Fig. 4).
+
+Hardware periodically writes the PCC's ranked contents into a small
+designated physical memory region and raises a software interrupt; the
+OS reads candidate records from that region instead of scanning
+gigabytes of ``struct page`` metadata. :class:`DumpRegion` models that
+region as a bounded buffer of :class:`CandidateRecord`, preserving the
+priority order the PCC wrote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.pcc import PCCEntry
+from repro.vm.address import PageSize
+
+
+@dataclass(frozen=True)
+class CandidateRecord:
+    """One candidate as the OS sees it: who, where, how hot."""
+
+    pid: int
+    core: int
+    tag: int
+    frequency: int
+    page_size: PageSize = PageSize.HUGE
+    promoted_leaf: bool = False
+
+    @property
+    def vaddr(self) -> int:
+        """Base virtual address of the candidate region."""
+        return self.tag << self.page_size.value
+
+
+@dataclass
+class DumpRegion:
+    """Bounded buffer the hardware dumps ranked candidates into."""
+
+    capacity_records: int = 4096
+    _records: list[CandidateRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def write(
+        self,
+        entries: list[PCCEntry],
+        pid: int,
+        core: int,
+        page_size: PageSize = PageSize.HUGE,
+    ) -> int:
+        """Append one PCC's ranked entries; returns records written."""
+        written = 0
+        for entry in entries:
+            if len(self._records) >= self.capacity_records:
+                self.dropped += len(entries) - written
+                break
+            self._records.append(
+                CandidateRecord(
+                    pid=pid,
+                    core=core,
+                    tag=entry.tag,
+                    frequency=entry.frequency,
+                    page_size=page_size,
+                    promoted_leaf=entry.promoted_leaf,
+                )
+            )
+            written += 1
+        return written
+
+    def read_all(self) -> list[CandidateRecord]:
+        """Drain the region (the OS interrupt handler's read)."""
+        records = self._records
+        self._records = []
+        return records
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,15 @@
+"""Simulation engine: per-core pipeline, timing, online/offline loops."""
+
+from repro.engine.cpu import Core
+from repro.engine.timing import CycleAccounting
+from repro.engine.simulation import SimulationResult, Simulator
+from repro.engine.system import ProcessWorkload, ThreadWorkload
+
+__all__ = [
+    "Core",
+    "CycleAccounting",
+    "Simulator",
+    "SimulationResult",
+    "ProcessWorkload",
+    "ThreadWorkload",
+]

@@ -1,0 +1,85 @@
+"""Promotion-schedule persistence for the two-step methodology (§4).
+
+The paper's offline simulation writes "the PCC candidate addresses as
+well as the time when they are promoted ... in a trace file", which the
+real-system step later consumes. These helpers provide that file
+format: a JSON-lines document, one scheduled candidate per line, with a
+small header establishing the format version.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.dump import CandidateRecord
+from repro.engine.offline import PromotionSchedule, ScheduledPromotion
+from repro.vm.address import PageSize
+
+_FORMAT = "pcc-promotion-schedule"
+_VERSION = 1
+
+
+def save_schedule(schedule: PromotionSchedule, path: str | Path) -> Path:
+    """Write a schedule as JSON lines (header line + one per entry)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as handle:
+        header = {"format": _FORMAT, "version": _VERSION,
+                  "entries": len(schedule)}
+        handle.write(json.dumps(header) + "\n")
+        for entry in schedule.entries:
+            record = entry.record
+            handle.write(
+                json.dumps(
+                    {
+                        "at": entry.at_access,
+                        "pid": record.pid,
+                        "core": record.core,
+                        "tag": record.tag,
+                        "freq": record.frequency,
+                        "size": record.page_size.name,
+                    }
+                )
+                + "\n"
+            )
+    return path
+
+
+def load_schedule(path: str | Path) -> PromotionSchedule:
+    """Read a schedule written by :func:`save_schedule`."""
+    path = Path(path)
+    schedule = PromotionSchedule()
+    with path.open() as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError(f"{path} is empty")
+        header = json.loads(header_line)
+        if header.get("format") != _FORMAT:
+            raise ValueError(f"{path} is not a promotion schedule")
+        if header.get("version") != _VERSION:
+            raise ValueError(
+                f"unsupported schedule version {header.get('version')!r}"
+            )
+        for line in handle:
+            if not line.strip():
+                continue
+            raw = json.loads(line)
+            schedule.entries.append(
+                ScheduledPromotion(
+                    at_access=int(raw["at"]),
+                    record=CandidateRecord(
+                        pid=int(raw["pid"]),
+                        core=int(raw["core"]),
+                        tag=int(raw["tag"]),
+                        frequency=int(raw["freq"]),
+                        page_size=PageSize[raw["size"]],
+                    ),
+                )
+            )
+    if len(schedule) != header["entries"]:
+        raise ValueError(
+            f"{path} truncated: header says {header['entries']} entries, "
+            f"found {len(schedule)}"
+        )
+    return schedule

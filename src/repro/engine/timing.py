@@ -1,0 +1,116 @@
+"""Cycle accounting and speedup computation.
+
+The model separates each access into a workload-constant base cost
+(compute + cache hierarchy) and a translation cost (TLB-hit penalty or
+page-table-walk latency from the walker). Kernel-side work — huge/base
+page zeroing at fault time, promotion copies, TLB shootdown broadcasts,
+and compaction migrations — is charged where it happens. Speedup of a
+configuration is then the ratio of baseline cycles to its cycles, which
+is exactly how the paper derives its ratios from wall-clock runs: walk
+cycles removed translate into runtime saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import TimingConfig
+
+
+@dataclass
+class CycleAccounting:
+    """Mutable cycle ledger for one core (or one aggregated run)."""
+
+    config: TimingConfig
+    base_cycles: int = 0
+    translation_cycles: int = 0
+    kernel_cycles: int = 0
+    #: serialization overhead added in multithread runs
+    serialization_cycles: int = 0
+
+    def charge_accesses(self, count: int) -> None:
+        """Base (non-translation) cost of ``count`` memory accesses."""
+        self.base_cycles += count * self.config.base_cycles_per_access
+
+    def charge_translation(self, cycles: int) -> None:
+        """TLB-hit penalties and page-table-walk latency."""
+        self.translation_cycles += cycles
+
+    def charge_fault_work(
+        self, huge_zeroes: int, base_zeroes: int, migrated_pages: int
+    ) -> None:
+        """Fault-path kernel work (greedy THP's 512x zeroing cost)."""
+        self.kernel_cycles += (
+            huge_zeroes * self.config.huge_zero_cycles
+            + base_zeroes * self.config.base_zero_cycles
+            + migrated_pages * self.config.compaction_page_cycles
+        )
+
+    def charge_promotions(
+        self, promotions: int, shootdown_broadcasts: int, migrated_pages: int,
+        cores: int = 1,
+    ) -> None:
+        """Interval promotion work: copies + shootdowns on every core."""
+        self.kernel_cycles += (
+            promotions * self.config.promotion_cycles
+            + shootdown_broadcasts * self.config.shootdown_cycles * cores
+            + migrated_pages * self.config.compaction_page_cycles
+        )
+
+    def charge_serialization(self, cycles: int) -> None:
+        """Multithread atomic-operation serialization (§5.2)."""
+        self.serialization_cycles += cycles
+
+    @property
+    def total_cycles(self) -> int:
+        """Sum of all charge categories."""
+        return (
+            self.base_cycles
+            + self.translation_cycles
+            + self.kernel_cycles
+            + self.serialization_cycles
+        )
+
+    def merge(self, other: "CycleAccounting") -> None:
+        """Fold another ledger into this one (aggregate reporting)."""
+        self.base_cycles += other.base_cycles
+        self.translation_cycles += other.translation_cycles
+        self.kernel_cycles += other.kernel_cycles
+        self.serialization_cycles += other.serialization_cycles
+
+
+def speedup(baseline_cycles: int, cycles: int) -> float:
+    """Runtime speedup of a configuration against the 4KB baseline."""
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    return baseline_cycles / cycles
+
+
+@dataclass
+class RuntimeBreakdown:
+    """Where a run's cycles went, for reports and sanity tests."""
+
+    base: int
+    translation: int
+    kernel: int
+    serialization: int = 0
+
+    @classmethod
+    def of(cls, accounting: CycleAccounting) -> "RuntimeBreakdown":
+        """Freeze a ledger into an immutable breakdown."""
+        return cls(
+            base=accounting.base_cycles,
+            translation=accounting.translation_cycles,
+            kernel=accounting.kernel_cycles,
+            serialization=accounting.serialization_cycles,
+        )
+
+    @property
+    def total(self) -> int:
+        """All cycles of the run."""
+        return self.base + self.translation + self.kernel + self.serialization
+
+    @property
+    def translation_share(self) -> float:
+        """Fraction of runtime spent translating (the PCC's headroom)."""
+        return self.translation / self.total if self.total else 0.0

@@ -1,0 +1,48 @@
+"""Per-figure experiment orchestrators.
+
+Each module reproduces one table or figure from the paper's evaluation
+(the index lives in DESIGN.md). Benchmarks and examples call these, so
+scale knobs live in :mod:`repro.experiments.common`.
+"""
+
+from repro.experiments.common import (
+    ExperimentScale,
+    QUICK,
+    FULL,
+    build_named_workload,
+    memory_for,
+    run_policy,
+)
+from repro.experiments import (
+    ablations,
+    fig1,
+    fig2,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    sensitivity,
+    summary,
+    tables,
+)
+
+__all__ = [
+    "ExperimentScale",
+    "QUICK",
+    "FULL",
+    "build_named_workload",
+    "memory_for",
+    "run_policy",
+    "fig1",
+    "fig2",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "tables",
+    "ablations",
+    "sensitivity",
+    "summary",
+]

@@ -1,0 +1,192 @@
+"""Shared scaffolding for the per-figure experiments.
+
+All experiments run on the :func:`repro.config.scaled_config` machine,
+with physical memory sized relative to each workload's footprint so the
+fragmentation fractions of §5.1.1 stress huge-page availability the way
+the paper's 10-38GB footprints stressed its 128GB testbed.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, replace
+from functools import lru_cache
+
+from repro.config import SystemConfig, scaled_config
+from repro.engine.simulation import SimulationResult, Simulator
+from repro.engine.system import ProcessWorkload
+from repro.os.kernel import HugePagePolicy, KernelParams
+from repro.workloads.registry import build_workload
+
+#: memory = footprint x this factor in fragmentation experiments
+MEMORY_HEADROOM = 1.3
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs that trade fidelity for runtime."""
+
+    name: str
+    graph_scale: int
+    proxy_accesses: int
+    pagerank_iterations: int = 2
+
+    def workload(self, app: str, dataset: str = "kronecker", **kwargs) -> ProcessWorkload:
+        return build_named_workload(
+            app,
+            dataset=dataset,
+            graph_scale=self.graph_scale,
+            proxy_accesses=self.proxy_accesses,
+            **kwargs,
+        )
+
+
+#: Benchmark default: minutes for the full figure suite.
+QUICK = ExperimentScale(name="quick", graph_scale=13, proxy_accesses=250_000)
+#: Closer to the paper's regime; tens of minutes for the full suite.
+FULL = ExperimentScale(name="full", graph_scale=15, proxy_accesses=600_000)
+
+
+@lru_cache(maxsize=32)
+def _cached_workload(app: str, dataset: str, graph_scale: int, proxy_accesses: int,
+                     sorted_dbg: bool) -> ProcessWorkload:
+    params = {
+        "dataset": dataset,
+        "scale": graph_scale,
+        "accesses": proxy_accesses,
+        "sorted_dbg": sorted_dbg,
+    }
+    disk = _disk_cache()
+    if disk is not None:
+        cached = disk.get(app, params)
+        if cached is not None:
+            from repro.vm.layout import AddressSpaceLayout
+
+            layout = AddressSpaceLayout.from_vmas(cached.metadata["vmas"])
+            return ProcessWorkload.single_thread(cached, layout, name=cached.name)
+    workload = build_workload(
+        app,
+        dataset=dataset,
+        scale=graph_scale,
+        sorted_dbg=sorted_dbg,
+        accesses=proxy_accesses,
+    )
+    if disk is not None and len(workload.threads) == 1:
+        from repro.trace.events import Trace
+
+        compressed = workload.threads[0].trace
+        import numpy as np
+
+        addresses = np.repeat(
+            compressed.vpns.astype(np.uint64) << np.uint64(12),
+            compressed.counts,
+        )
+        disk.put(
+            app,
+            params,
+            Trace(
+                name=workload.name,
+                addresses=addresses,
+                footprint_bytes=workload.footprint_bytes,
+                metadata={
+                    "vmas": {
+                        vma.name: (vma.start, vma.length)
+                        for vma in workload.layout
+                    }
+                },
+            ),
+        )
+    return workload
+
+
+def _disk_cache():
+    """Opt-in on-disk trace cache, keyed by package version.
+
+    Enabled by setting ``REPRO_TRACE_CACHE`` to a directory; cached
+    page-level streams skip regeneration across benchmark invocations.
+    (The page-granular round trip preserves all TLB-visible behaviour.)
+    """
+    import os
+
+    directory = os.environ.get("REPRO_TRACE_CACHE")
+    if not directory:
+        return None
+    import repro
+    from repro.trace.cache import TraceCache
+    from pathlib import Path
+
+    return TraceCache(Path(directory) / repro.__version__)
+
+
+def build_named_workload(
+    app: str,
+    dataset: str = "kronecker",
+    graph_scale: int = 14,
+    proxy_accesses: int = 400_000,
+    sorted_dbg: bool = False,
+) -> ProcessWorkload:
+    """Cached workload construction (trace generation dominates setup)."""
+    cached = _cached_workload(app, dataset, graph_scale, proxy_accesses, sorted_dbg)
+    return copy.deepcopy(cached)
+
+
+def memory_for(*workloads: ProcessWorkload) -> int:
+    """Physical memory sized for the combined footprint.
+
+    Sized by touched 2MB regions rather than raw bytes: an all-huge
+    allocation (the ideal bound) needs one whole frame per region, so
+    byte-level sizing would under-provision workloads whose VMAs only
+    partially fill their last region.
+    """
+    regions = sum(w.footprint_huge_regions() for w in workloads)
+    return max(8 << 21, int(regions * (2 << 20) * MEMORY_HEADROOM))
+
+
+def config_for(*workloads: ProcessWorkload, **overrides) -> SystemConfig:
+    """Machine sized for the workloads.
+
+    The promotion interval adapts to trace length so every run spans
+    roughly the paper's count of 30-second intervals (~20-40 per run),
+    regardless of how far the trace was scaled down.
+    """
+    total_accesses = sum(w.total_accesses for w in workloads)
+    overrides.setdefault(
+        "promote_every_accesses",
+        min(60_000, max(5_000, total_accesses // 24)),
+    )
+    return scaled_config(memory_bytes=memory_for(*workloads), **overrides)
+
+
+def run_policy(
+    workload: ProcessWorkload,
+    policy: HugePagePolicy,
+    config: SystemConfig | None = None,
+    fragmentation: float = 0.0,
+    budget_regions: int | None = None,
+    params: KernelParams | None = None,
+) -> SimulationResult:
+    """One simulation run of one workload under one policy."""
+    config = config or config_for(workload)
+    if params is None and budget_regions is not None:
+        params = KernelParams(
+            regions_to_promote=config.os.regions_to_promote,
+            promotion_policy=config.os.promotion_policy,
+            scan_pages_per_interval=config.os.scan_pages_per_interval,
+            promotion_budget_regions=budget_regions,
+        )
+    simulator = Simulator(
+        config, policy=policy, params=params, fragmentation=fragmentation
+    )
+    return simulator.run([copy.deepcopy(workload)])
+
+
+def demotion_params(config: SystemConfig, budget_regions: int | None = None
+                    ) -> KernelParams:
+    """Kernel parameters with PCC-driven demotion enabled (§3.3.3)."""
+    return KernelParams(
+        regions_to_promote=config.os.regions_to_promote,
+        promotion_policy=config.os.promotion_policy,
+        scan_pages_per_interval=config.os.scan_pages_per_interval,
+        promotion_budget_regions=budget_regions,
+        demotion_enabled=True,
+    )

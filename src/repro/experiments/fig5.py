@@ -1,0 +1,108 @@
+"""Figure 5: single-thread utility curves, PCC vs HawkEye.
+
+For each application, sweep the huge-page budget over {0,1,2,4,...,64,
+~100}% of the footprint for the PCC and HawkEye policies; the Linux
+THP results at 50% and 90% fragmentation and the all-huge ideal are
+horizontal reference lines. The top panel is speedup, the bottom the
+page-table-walk (PTW) rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import report
+from repro.analysis.utility import BUDGET_PERCENTS, UtilityCurve, utility_curve
+from repro.experiments.common import ExperimentScale, QUICK, config_for, run_policy
+from repro.os.kernel import HugePagePolicy
+from repro.workloads.registry import workload_names
+
+
+@dataclass
+class Fig5App:
+    """One application's panel."""
+
+    app: str
+    pcc: UtilityCurve
+    hawkeye: UtilityCurve
+    linux_50: float
+    linux_90: float
+    ideal: float
+    ideal_walk: float
+    linux_50_walk: float
+    linux_90_walk: float
+
+
+@dataclass
+class Fig5Result:
+    apps: list[Fig5App] = field(default_factory=list)
+
+
+def run(
+    scale: ExperimentScale = QUICK,
+    apps: list[str] | None = None,
+    budgets: tuple[int, ...] = BUDGET_PERCENTS,
+) -> Fig5Result:
+    result = Fig5Result()
+    for app in apps or workload_names():
+        workload = scale.workload(app)
+        config = config_for(workload)
+        pcc = utility_curve(workload, config, HugePagePolicy.PCC, budgets=budgets)
+        hawkeye = utility_curve(
+            workload, config, HugePagePolicy.HAWKEYE, budgets=budgets
+        )
+        baseline_cycles = pcc.points[0].cycles
+        ideal = run_policy(workload, HugePagePolicy.IDEAL, config)
+        linux_50 = run_policy(
+            workload, HugePagePolicy.LINUX_THP, config, fragmentation=0.5
+        )
+        linux_90 = run_policy(
+            workload, HugePagePolicy.LINUX_THP, config, fragmentation=0.9
+        )
+        result.apps.append(
+            Fig5App(
+                app=app,
+                pcc=pcc,
+                hawkeye=hawkeye,
+                linux_50=baseline_cycles / linux_50.total_cycles,
+                linux_90=baseline_cycles / linux_90.total_cycles,
+                ideal=baseline_cycles / ideal.total_cycles,
+                ideal_walk=ideal.walk_rate,
+                linux_50_walk=linux_50.walk_rate,
+                linux_90_walk=linux_90.walk_rate,
+            )
+        )
+    return result
+
+
+def render(result: Fig5Result, plots: bool = True) -> str:
+    from repro.analysis.plot import utility_plot
+
+    lines = ["Fig. 5 — utility curves (budget % of footprint: "
+             + " ".join(str(p.budget_percent) for p in result.apps[0].pcc.points)
+             + ")"]
+    for app in result.apps:
+        lines.append(f"[{app.app}]")
+        lines.append("  " + report.series("speedup  PCC    ", app.pcc.speedups()))
+        lines.append("  " + report.series("speedup  HawkEye", app.hawkeye.speedups()))
+        lines.append(
+            f"  refs: ideal={report.speedup(app.ideal)} "
+            f"linux@50%={report.speedup(app.linux_50)} "
+            f"linux@90%={report.speedup(app.linux_90)}"
+        )
+        lines.append(
+            "  " + report.series("PTW%     PCC    ",
+                                 [w * 100 for w in app.pcc.walk_rates()])
+        )
+        lines.append(
+            "  " + report.series("PTW%     HawkEye",
+                                 [w * 100 for w in app.hawkeye.walk_rates()])
+        )
+        if plots:
+            lines.append(
+                utility_plot(
+                    [app.pcc, app.hawkeye],
+                    references={"ideal": app.ideal, "linux@50%": app.linux_50},
+                )
+            )
+    return "\n".join(lines)

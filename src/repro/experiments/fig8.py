@@ -1,0 +1,114 @@
+"""Figure 8: multithreaded graph applications, one PCC per core.
+
+One process runs with 2/4/8 threads (one per core, per-core PCCs);
+the OS merges candidates under either the highest-PCC-frequency policy
+or round-robin. The paper finds frequency slightly ahead (load
+imbalance makes some threads walk more), both below the single-thread
+gains because shootdowns and atomic serialization scale with threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis import report
+from repro.analysis.utility import budget_regions_for
+from repro.engine.simulation import Simulator
+from repro.engine.system import ProcessWorkload, partition_trace
+from repro.experiments.common import ExperimentScale, QUICK, config_for
+from repro.os.kernel import HugePagePolicy, KernelParams
+from repro.trace.events import Trace
+from repro.workloads.registry import build_graph
+from repro.workloads.bfs import bfs_trace
+from repro.workloads.pagerank import pagerank_trace
+from repro.workloads.sssp import sssp_trace
+
+#: extra cycles per access modelling atomic-op serialization (§5.2)
+SERIALIZATION_PER_THREAD = 0.35
+
+#: the paper quotes speedups when backing 1-4% of the footprint
+BUDGET_PERCENT = 4
+
+
+def _threaded_workload(app: str, scale: ExperimentScale, threads: int
+                       ) -> ProcessWorkload:
+    graph = build_graph("kronecker", scale=scale.graph_scale)
+    trace_builders = {"BFS": bfs_trace, "SSSP": sssp_trace, "PR": pagerank_trace}
+    trace, glayout = trace_builders[app](graph)
+    parts = partition_trace(trace, threads, glayout.layout)
+    return ProcessWorkload.multi_thread(parts, glayout.layout, name=f"{app}x{threads}")
+
+
+@dataclass
+class Fig8Cell:
+    """One (app, thread-count) measurement pair."""
+
+    app: str
+    threads: int
+    speedup_frequency: float
+    speedup_round_robin: float
+    ideal: float
+
+
+def run(
+    scale: ExperimentScale = QUICK,
+    apps: tuple[str, ...] = ("BFS", "SSSP", "PR"),
+    thread_counts: tuple[int, ...] = (2, 4, 8),
+    budget_percent: int = BUDGET_PERCENT,
+) -> list[Fig8Cell]:
+    cells = []
+    for app in apps:
+        for threads in thread_counts:
+            workload = _threaded_workload(app, scale, threads)
+            config = config_for(workload).with_(cores=threads)
+            serialization = SERIALIZATION_PER_THREAD * (threads - 1)
+            budget = budget_regions_for(workload, budget_percent)
+
+            def simulate(policy, params=None, frag=0.0):
+                sim = Simulator(
+                    config,
+                    policy=policy,
+                    params=params,
+                    fragmentation=frag,
+                    serialization_cycles_per_access=serialization,
+                )
+                import copy
+
+                return sim.run([copy.deepcopy(workload)])
+
+            baseline = simulate(HugePagePolicy.NONE)
+            ideal = simulate(HugePagePolicy.IDEAL)
+            by_policy = {}
+            for policy_id in (1, 0):  # 1 = highest frequency, 0 = round robin
+                params = KernelParams(
+                    regions_to_promote=config.os.regions_to_promote,
+                    promotion_policy=policy_id,
+                    promotion_budget_regions=budget,
+                )
+                result = simulate(HugePagePolicy.PCC, params=params)
+                by_policy[policy_id] = baseline.total_cycles / result.total_cycles
+            cells.append(
+                Fig8Cell(
+                    app=app,
+                    threads=threads,
+                    speedup_frequency=by_policy[1],
+                    speedup_round_robin=by_policy[0],
+                    ideal=baseline.total_cycles / ideal.total_cycles,
+                )
+            )
+    return cells
+
+
+def render(cells: list[Fig8Cell]) -> str:
+    table = report.format_table(
+        ["App", "Threads", "Highest-freq", "Round-robin", "Max w/ THPs"],
+        [
+            [c.app, c.threads, report.speedup(c.speedup_frequency),
+             report.speedup(c.speedup_round_robin), report.speedup(c.ideal)]
+            for c in cells
+        ],
+        title=(
+            f"Fig. 8 — multithread speedups at {BUDGET_PERCENT}% footprint budget"
+        ),
+    )
+    return table

@@ -1,0 +1,131 @@
+"""Figure 9: multiprocess case studies.
+
+Two single-threaded applications run side by side on two cores, each
+with its own PCC, competing for system-wide huge pages under either OS
+policy. Case (a) pairs TLB-sensitive PageRank with insensitive mcf;
+case (b) pairs two sensitive apps, PageRank and SSSP. Both panels of
+each case are reproduced: per-app speedup and per-app THP count as the
+combined-footprint budget grows.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from repro.analysis import report
+from repro.engine.simulation import Simulator
+from repro.experiments.common import ExperimentScale, QUICK, config_for
+from repro.os.kernel import HugePagePolicy, KernelParams
+
+BUDGETS = (1, 2, 4, 8, 16, 32, 64, 100)
+
+
+@dataclass
+class Fig9Series:
+    """Per-app series across budget points under one policy."""
+
+    policy: str
+    budgets: tuple[int, ...]
+    speedups: dict[str, list[float]] = field(default_factory=dict)
+    huge_pages: dict[str, list[int]] = field(default_factory=dict)
+
+
+@dataclass
+class Fig9Case:
+    apps: tuple[str, str]
+    frequency: Fig9Series
+    round_robin: Fig9Series
+    ideal: dict[str, float]
+
+
+def run_case(
+    app_a: str,
+    app_b: str,
+    scale: ExperimentScale = QUICK,
+    budgets: tuple[int, ...] = BUDGETS,
+) -> Fig9Case:
+    workload_a = scale.workload(app_a)
+    workload_b = scale.workload(app_b)
+    workload_b.pid = 2
+    config = config_for(workload_a, workload_b).with_(cores=2)
+    total_regions = (
+        workload_a.footprint_huge_regions() + workload_b.footprint_huge_regions()
+    )
+
+    def simulate(policy, params=None):
+        sim = Simulator(config, policy=policy, params=params)
+        return sim.run([copy.deepcopy(workload_a), copy.deepcopy(workload_b)])
+
+    baseline = simulate(HugePagePolicy.NONE)
+    base_by_app = {
+        p.name: _proc_cycles(baseline, p.pid) for p in baseline.processes
+    }
+    ideal = simulate(HugePagePolicy.IDEAL)
+    ideal_speedups = {
+        p.name: base_by_app[p.name] / _proc_cycles(ideal, p.pid)
+        for p in ideal.processes
+    }
+
+    series = {}
+    for policy_id, label in ((1, "highest-frequency"), (0, "round-robin")):
+        entry = Fig9Series(policy=label, budgets=budgets)
+        for percent in budgets:
+            budget = (
+                None
+                if percent >= 100
+                else max(1, int(round(total_regions * percent / 100.0)))
+            )
+            params = KernelParams(
+                regions_to_promote=config.os.regions_to_promote,
+                promotion_policy=policy_id,
+                promotion_budget_regions=budget,
+            )
+            result = simulate(HugePagePolicy.PCC, params=params)
+            final_hp = result.huge_page_timeline[-1] if result.huge_page_timeline else {}
+            for proc in result.processes:
+                entry.speedups.setdefault(proc.name, []).append(
+                    base_by_app[proc.name] / _proc_cycles(result, proc.pid)
+                )
+                entry.huge_pages.setdefault(proc.name, []).append(
+                    final_hp.get(proc.pid, proc.huge_pages)
+                )
+        series[policy_id] = entry
+    return Fig9Case(
+        apps=(workload_a.name, workload_b.name),
+        frequency=series[1],
+        round_robin=series[0],
+        ideal=ideal_speedups,
+    )
+
+
+def _proc_cycles(result, pid: int) -> int:
+    """Cycles attributable to one process: its core's breakdown.
+
+    Each process is single-threaded and statically pinned, so core
+    index equals position in the process list.
+    """
+    for index, proc in enumerate(result.processes):
+        if proc.pid == pid:
+            return result.per_core[index].total
+    raise KeyError(f"pid {pid} not in result")
+
+
+def render(case: Fig9Case) -> str:
+    lines = [
+        f"Fig. 9 — multiprocess: {case.apps[0]} + {case.apps[1]} "
+        f"(budget % of combined footprint: {' '.join(map(str, case.frequency.budgets))})"
+    ]
+    for series in (case.frequency, case.round_robin):
+        lines.append(f"[{series.policy}]")
+        for app, speedups in series.speedups.items():
+            lines.append("  " + report.series(f"speedup {app:14s}", speedups))
+        for app, counts in series.huge_pages.items():
+            lines.append(
+                "  " + report.series(f"#THPs   {app:14s}", counts, fmt="{:d}")
+            )
+    lines.append(
+        "ideal: "
+        + " ".join(f"{app}={report.speedup(s)}" for app, s in case.ideal.items())
+    )
+    return "\n".join(lines)

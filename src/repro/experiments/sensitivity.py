@@ -1,0 +1,154 @@
+"""Sensitivity studies for design constants the paper fixes.
+
+The paper chooses an 8-bit saturating counter, a 30-second promotion
+interval, and the accessed-bit cold-miss admission filter without
+sweeping them. These studies quantify each choice on the scaled
+simulator:
+
+* **Counter width** — narrower counters decay more often and lose
+  ranking resolution; wider ones waste area. The study sweeps 2–16
+  bits at a fixed small budget, where ranking quality matters most.
+* **Promotion interval** — frequent intervals promote earlier (more
+  walks saved) but each interval pays dump/scan/promotion overheads;
+  rare intervals starve the run of huge pages.
+* **Admission filter** — disabling the Fig. 3 accessed-bit check lets
+  cold first-touch misses pollute the PCC, displacing genuine HUBs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.analysis import report
+from repro.analysis.utility import budget_regions_for
+from repro.config import PCCConfig
+from repro.experiments.common import ExperimentScale, QUICK, config_for, run_policy
+from repro.os.kernel import HugePagePolicy
+
+BUDGET_PERCENT = 8
+
+
+@dataclass
+class SweepResult:
+    """One parametric sweep: x values and the speedups they produce."""
+
+    app: str
+    parameter: str
+    values: list[object] = field(default_factory=list)
+    speedups: list[float] = field(default_factory=list)
+
+
+def counter_bits_sweep(
+    scale: ExperimentScale = QUICK,
+    app: str = "BFS",
+    bits: tuple[int, ...] = (2, 4, 8, 12, 16),
+) -> SweepResult:
+    """Speedup at a tight budget as counter width varies."""
+    workload = scale.workload(app)
+    base_config = config_for(workload)
+    budget = budget_regions_for(workload, BUDGET_PERCENT)
+    baseline = run_policy(workload, HugePagePolicy.NONE, base_config)
+    result = SweepResult(app=app, parameter="counter_bits")
+    for width in bits:
+        config = base_config.with_(
+            pcc=PCCConfig(
+                entries=base_config.pcc.entries, counter_bits=width
+            )
+        )
+        run = run_policy(
+            workload, HugePagePolicy.PCC, config, budget_regions=budget
+        )
+        result.values.append(width)
+        result.speedups.append(baseline.total_cycles / run.total_cycles)
+    return result
+
+
+def interval_sweep(
+    scale: ExperimentScale = QUICK,
+    app: str = "BFS",
+    divisors: tuple[int, ...] = (4, 12, 24, 48, 96),
+) -> SweepResult:
+    """Speedup as the promotion interval shrinks (more frequent ticks).
+
+    ``divisors`` express the interval as trace_length/divisor, so
+    larger divisors mean more promotion opportunities per run.
+    """
+    workload = scale.workload(app)
+    result = SweepResult(app=app, parameter="intervals_per_run")
+    for divisor in divisors:
+        config = config_for(
+            workload,
+            promote_every_accesses=max(
+                1_000, workload.total_accesses // divisor
+            ),
+        )
+        baseline = run_policy(workload, HugePagePolicy.NONE, config)
+        run = run_policy(
+            workload,
+            HugePagePolicy.PCC,
+            config,
+            budget_regions=budget_regions_for(workload, BUDGET_PERCENT),
+        )
+        result.values.append(divisor)
+        result.speedups.append(baseline.total_cycles / run.total_cycles)
+    return result
+
+
+def admission_filter_study(
+    scale: ExperimentScale = QUICK, app: str = "BFS"
+) -> dict[str, float]:
+    """PCC speedup with and without the cold-miss admission filter.
+
+    The no-filter variant admits every post-L2-miss walk, so one-touch
+    cold regions enter the PCC with nonzero frequency and compete with
+    HUBs for capacity and promotion quota.
+    """
+    import repro.tlb.walker as walker_module
+
+    workload = scale.workload(app)
+    config = config_for(workload)
+    budget = budget_regions_for(workload, BUDGET_PERCENT)
+    baseline = run_policy(workload, HugePagePolicy.NONE, config)
+
+    with_filter = run_policy(
+        workload, HugePagePolicy.PCC, config, budget_regions=budget
+    )
+
+    original_walk = walker_module.PageTableWalker.walk
+
+    def unfiltered_walk(self, vaddr, page_table):
+        result = original_walk(self, vaddr, page_table)
+        if result.pcc_2mb_candidate is None and (
+            result.mapping.page_size.name != "GIGA"
+        ):
+            result = replace(
+                result, pcc_2mb_candidate=vaddr >> 21
+            )
+        return result
+
+    walker_module.PageTableWalker.walk = unfiltered_walk
+    try:
+        without_filter = run_policy(
+            workload, HugePagePolicy.PCC, config, budget_regions=budget
+        )
+    finally:
+        walker_module.PageTableWalker.walk = original_walk
+
+    base = baseline.total_cycles
+    return {
+        "with_filter": base / with_filter.total_cycles,
+        "without_filter": base / without_filter.total_cycles,
+    }
+
+
+def render_sweep(result: SweepResult) -> str:
+    rows = [
+        [value, report.speedup(speedup)]
+        for value, speedup in zip(result.values, result.speedups)
+    ]
+    return report.format_table(
+        [result.parameter, "Speedup"],
+        rows,
+        title=f"Sensitivity — {result.parameter} ({result.app}, "
+        f"{BUDGET_PERCENT}% budget)",
+    )

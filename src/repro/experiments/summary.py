@@ -1,0 +1,93 @@
+"""Reproduction scorecard: collate archived benchmark renderings.
+
+Every benchmark archives its rendering under ``benchmarks/results/``;
+this module assembles them into a single scorecard document — the
+quickest way to review a full reproduction run, and the source for
+EXPERIMENTS.md's measured numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+#: canonical ordering of the archive files in the scorecard
+SECTIONS: tuple[tuple[str, str], ...] = (
+    ("fig1_motivation", "Figure 1 — motivation"),
+    ("fig2_reuse", "Figure 2 — reuse-distance characterization"),
+    ("table1_workloads", "Tables 1 & 2 — workloads and system"),
+    ("fig5_utility", "Figure 5 — utility curves"),
+    ("fig6_pcc_size", "Figure 6 — PCC size sensitivity"),
+    ("fig7_fragmentation", "Figure 7 — 90% fragmentation"),
+    ("fig8_multithread", "Figure 8 — multithread"),
+    ("fig9a_pr_mcf", "Figure 9a — PR + mcf"),
+    ("fig9b_pr_sssp", "Figure 9b — PR + SSSP"),
+    ("ablation_replacement", "Ablation — replacement policy"),
+    ("ablation_pwc", "Ablation — page-walk caches"),
+    ("ablation_1gb_pcc", "Ablation — 1GB PCC"),
+    ("ablation_oracle", "Ablation — static vs dynamic"),
+    ("ablation_associativity", "Ablation — associativity"),
+    ("shared_pcc", "Design alternative — per-core vs shared PCC"),
+    ("sensitivity_counter_bits", "Sensitivity — counter width"),
+    ("sensitivity_interval", "Sensitivity — promotion interval"),
+    ("sensitivity_admission", "Sensitivity — admission filter"),
+    ("memory_bloat", "Memory bloat"),
+    ("demotion_phases", "Demotion under phase change"),
+    ("dataset_matrix", "Dataset matrix"),
+    ("do_bfs", "Direction-optimizing BFS"),
+)
+
+
+@dataclass
+class Scorecard:
+    """Assembled scorecard plus bookkeeping about missing sections."""
+
+    text: str
+    present: list[str]
+    missing: list[str]
+
+    @property
+    def complete(self) -> bool:
+        """Whether every registered section was found."""
+        return not self.missing
+
+
+def default_results_dir() -> Path:
+    """The repository's benchmarks/results directory."""
+    return Path(__file__).parents[3] / "benchmarks" / "results"
+
+
+def build(results_dir: Path | str | None = None) -> Scorecard:
+    """Assemble the scorecard from one results directory."""
+    directory = Path(results_dir) if results_dir else default_results_dir()
+    blocks: list[str] = [
+        "PCC reproduction scorecard",
+        "=" * 60,
+    ]
+    present: list[str] = []
+    missing: list[str] = []
+    for stem, title in SECTIONS:
+        path = directory / f"{stem}.txt"
+        if not path.exists():
+            missing.append(stem)
+            continue
+        present.append(stem)
+        blocks.append(f"\n## {title}\n")
+        blocks.append(path.read_text().rstrip())
+    if missing:
+        blocks.append(
+            "\n(missing sections: " + ", ".join(missing)
+            + " — run `pytest benchmarks/ --benchmark-only`)"
+        )
+    return Scorecard(
+        text="\n".join(blocks), present=present, missing=missing
+    )
+
+
+def write(path: Path | str, results_dir: Path | str | None = None) -> Scorecard:
+    """Build the scorecard and write it to ``path``."""
+    scorecard = build(results_dir)
+    output = Path(path)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(scorecard.text + "\n")
+    return scorecard

@@ -1,0 +1,21 @@
+"""Simulated kernel: physical memory, THP policies, promotion engine."""
+
+from repro.os.physmem import FrameState, PhysicalMemory, PhysMemStats
+from repro.os.kernel import KernelParams, SimulatedKernel, Process
+from repro.os.policies import (
+    highest_frequency_order,
+    round_robin_order,
+    apply_process_bias,
+)
+
+__all__ = [
+    "PhysicalMemory",
+    "PhysMemStats",
+    "FrameState",
+    "SimulatedKernel",
+    "KernelParams",
+    "Process",
+    "highest_frequency_order",
+    "round_robin_order",
+    "apply_process_bias",
+]

@@ -1,0 +1,291 @@
+"""Physical memory at 2MB-frame granularity.
+
+Memory is organized as an array of 2MB-aligned *huge frames*, each of
+which is either entirely free, carved into 4KB base allocations, pinned
+(holds a non-movable kernel page), or backing one huge page. Huge-page
+allocation requires a fully-free frame, which is what fragmentation
+destroys; compaction migrates movable base pages out of partially-used,
+unpinned frames to recreate free frames at a per-page cycle cost.
+
+Fragmentation injection follows §5.1.1 verbatim: "We fragment memory by
+allocating one non-movable page in every 2MB-aligned region" — applied
+to the requested fraction of frames.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.vm.address import HUGE_PAGE_SIZE, PAGES_PER_HUGE
+
+
+class FrameState(enum.Enum):
+    """Lifecycle of one 2MB physical frame."""
+
+    FREE = "free"
+    PARTIAL = "partial"  # carved into 4KB pages, possibly pinned ones
+    HUGE = "huge"  # backing one huge page
+
+
+class OutOfMemoryError(Exception):
+    """No physical frame can satisfy the request."""
+
+
+@dataclass
+class PhysMemStats:
+    """Allocation/compaction counters."""
+
+    base_allocations: int = 0
+    huge_allocations: int = 0
+    huge_failures: int = 0
+    compactions: int = 0
+    pages_migrated: int = 0
+    huge_frees: int = 0
+
+
+@dataclass
+class _Frame:
+    state: FrameState = FrameState.FREE
+    used_base_pages: int = 0
+    pinned_pages: int = 0
+
+    @property
+    def movable_pages(self) -> int:
+        return self.used_base_pages - self.pinned_pages
+
+
+class PhysicalMemory:
+    """2MB-frame-granular allocator with fragmentation and compaction."""
+
+    def __init__(self, total_bytes: int) -> None:
+        if total_bytes < HUGE_PAGE_SIZE:
+            raise ValueError(
+                f"need at least one 2MB frame, got {total_bytes} bytes"
+            )
+        self.total_frames = total_bytes // HUGE_PAGE_SIZE
+        self._frames = [_Frame() for _ in range(self.total_frames)]
+        #: frame currently receiving 4KB carve-outs (bump allocation)
+        self._fill_cursor = 0
+        self.stats = PhysMemStats()
+
+    # ------------------------------------------------------------------
+    # queries
+
+    def free_huge_frames(self) -> int:
+        """Frames immediately available for huge allocation."""
+        return sum(1 for f in self._frames if f.state is FrameState.FREE)
+
+    def compactable_frames(self) -> int:
+        """Partial frames with no pinned pages (recoverable by compaction)."""
+        return sum(
+            1
+            for f in self._frames
+            if f.state is FrameState.PARTIAL and f.pinned_pages == 0
+        )
+
+    def huge_frames_in_use(self) -> int:
+        """Frames currently backing huge pages."""
+        return sum(1 for f in self._frames if f.state is FrameState.HUGE)
+
+    def fragmentation_fraction(self) -> float:
+        """Fraction of frames unable to back a huge page right now."""
+        return 1.0 - self.free_huge_frames() / self.total_frames
+
+    # ------------------------------------------------------------------
+    # fragmentation injection (§5.1.1)
+
+    def fragment(
+        self,
+        fraction: float,
+        rng: np.random.Generator | None = None,
+        scatter_movable: bool = True,
+    ) -> int:
+        """Pin one non-movable 4KB page in ``fraction`` of the frames.
+
+        Returns the number of frames pinned. Deterministic (evenly
+        spread) unless an ``rng`` is supplied.
+
+        With ``scatter_movable`` (the realistic default), every frame
+        *not* pinned also receives one movable 4KB page: a fragmented
+        system has no pristine order-9 blocks on its freelists, only
+        free space recoverable by compaction. This is what defeats
+        Linux's fault-time THP allocation (which does not compact)
+        while deliberate promotion paths (khugepaged, HawkEye, the PCC
+        engine) still succeed at a compaction cost.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"fraction must be in [0,1], got {fraction}")
+        target = int(round(self.total_frames * fraction))
+        candidates = [
+            i for i, f in enumerate(self._frames) if f.state is FrameState.FREE
+        ]
+        if rng is not None:
+            rng.shuffle(candidates)
+        pinned = 0
+        for index in candidates:
+            frame = self._frames[index]
+            if pinned < target:
+                frame.state = FrameState.PARTIAL
+                frame.used_base_pages = 1
+                frame.pinned_pages = 1
+                pinned += 1
+            elif scatter_movable and fraction > 0.0:
+                frame.state = FrameState.PARTIAL
+                frame.used_base_pages = 1
+        return pinned
+
+    # ------------------------------------------------------------------
+    # allocation
+
+    def allocate_base(self, count: int = 1) -> int:
+        """Carve ``count`` 4KB pages out of partial/free frames.
+
+        Returns an opaque frame token for the last page (tokens only
+        matter for identity in page tables). Fills frames bump-style,
+        which is how long-running systems densify low memory.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        token = -1
+        for _ in range(count):
+            frame_index = self._frame_for_base()
+            frame = self._frames[frame_index]
+            frame.state = FrameState.PARTIAL
+            frame.used_base_pages += 1
+            self.stats.base_allocations += 1
+            token = frame_index * PAGES_PER_HUGE + frame.used_base_pages - 1
+        return token
+
+    def _frame_for_base(self) -> int:
+        start = self._fill_cursor
+        for offset in range(self.total_frames):
+            index = (start + offset) % self.total_frames
+            frame = self._frames[index]
+            if frame.state is FrameState.PARTIAL and (
+                frame.used_base_pages < PAGES_PER_HUGE
+            ):
+                self._fill_cursor = index
+                return index
+            if frame.state is FrameState.FREE:
+                self._fill_cursor = index
+                return index
+        raise OutOfMemoryError("no 4KB page available")
+
+    def allocate_huge(self, allow_compaction: bool = False) -> tuple[int, int]:
+        """Claim one fully-free frame for a huge page.
+
+        Returns ``(frame_index, pages_migrated)`` where the second item
+        is the compaction work performed (0 when a free frame existed).
+        Raises :class:`OutOfMemoryError` when neither a free frame nor a
+        compactable one exists.
+        """
+        for index, frame in enumerate(self._frames):
+            if frame.state is FrameState.FREE:
+                frame.state = FrameState.HUGE
+                self.stats.huge_allocations += 1
+                return index, 0
+        if allow_compaction:
+            migrated = self._compact_one()
+            if migrated >= 0:
+                for index, frame in enumerate(self._frames):
+                    if frame.state is FrameState.FREE:
+                        frame.state = FrameState.HUGE
+                        self.stats.huge_allocations += 1
+                        return index, migrated
+        self.stats.huge_failures += 1
+        raise OutOfMemoryError("no contiguous 2MB frame available")
+
+    def _compact_one(self) -> int:
+        """Migrate one unpinned partial frame's pages elsewhere.
+
+        Returns pages moved, or -1 when no frame is compactable or no
+        destination space exists.
+        """
+        source = None
+        source_index = -1
+        for index, frame in enumerate(self._frames):
+            if frame.state is FrameState.PARTIAL and frame.pinned_pages == 0:
+                # prefer the emptiest frame: least migration work
+                if source is None or frame.used_base_pages < source.used_base_pages:
+                    source = frame
+                    source_index = index
+        if source is None:
+            return -1
+        to_move = source.used_base_pages
+        # Destination capacity in *other* partial frames (pinned frames
+        # can still absorb movable pages) — compaction must not consume
+        # a free frame or it defeats its purpose.
+        capacity = sum(
+            PAGES_PER_HUGE - f.used_base_pages
+            for i, f in enumerate(self._frames)
+            if f.state is FrameState.PARTIAL and i != source_index
+        )
+        if capacity < to_move:
+            return -1
+        remaining = to_move
+        for i, frame in enumerate(self._frames):
+            if remaining == 0:
+                break
+            if frame.state is not FrameState.PARTIAL or i == source_index:
+                continue
+            room = PAGES_PER_HUGE - frame.used_base_pages
+            moved = min(room, remaining)
+            frame.used_base_pages += moved
+            remaining -= moved
+        source.state = FrameState.FREE
+        source.used_base_pages = 0
+        self.stats.compactions += 1
+        self.stats.pages_migrated += to_move
+        return to_move
+
+    def release_base_pages(self, count: int) -> int:
+        """Return ``count`` carved 4KB pages to the allocator.
+
+        Called when a region's base pages are collapsed into a freshly
+        allocated huge frame (promotion copies the data out). Pages are
+        released from the fullest unpinned partial frames first, which
+        keeps the remaining allocation compactable. Returns the number
+        actually released (bounded by live movable pages).
+        """
+        if count < 0:
+            raise ValueError(f"count cannot be negative: {count}")
+        remaining = count
+        partials = sorted(
+            (f for f in self._frames if f.state is FrameState.PARTIAL),
+            key=lambda f: -f.movable_pages,
+        )
+        for frame in partials:
+            if remaining == 0:
+                break
+            releasable = min(frame.movable_pages, remaining)
+            frame.used_base_pages -= releasable
+            remaining -= releasable
+            if frame.used_base_pages == 0:
+                frame.state = FrameState.FREE
+        return count - remaining
+
+    def free_huge(self, frame_index: int, as_base_pages: int = 0) -> None:
+        """Release a huge frame (demotion or process exit).
+
+        ``as_base_pages`` > 0 re-carves that many 4KB pages into the
+        frame (demotion keeps the data resident as base pages).
+        """
+        frame = self._frames[frame_index]
+        if frame.state is not FrameState.HUGE:
+            raise ValueError(f"frame {frame_index} is not backing a huge page")
+        self.stats.huge_frees += 1
+        if as_base_pages > 0:
+            if as_base_pages > PAGES_PER_HUGE:
+                raise ValueError(
+                    f"cannot carve {as_base_pages} pages into one 2MB frame"
+                )
+            frame.state = FrameState.PARTIAL
+            frame.used_base_pages = as_base_pages
+            frame.pinned_pages = 0
+        else:
+            frame.state = FrameState.FREE
+            frame.used_base_pages = 0
+            frame.pinned_pages = 0

@@ -1,0 +1,79 @@
+"""OS candidate-selection policies across multiple PCCs (§3.3.2).
+
+With one PCC per core, the OS must merge the per-core ranked candidate
+lists before promoting. The paper evaluates two policies, selectable at
+runtime through the ``promotion_policy`` kernel parameter:
+
+* ``highest_frequency_order`` (policy 1): globally sort all candidates
+  by frequency, promoting the hottest regions system-wide first.
+* ``round_robin_order`` (policy 0): interleave candidates core by core
+  (each core's list already ranked), distributing huge pages evenly
+  until a core runs out of candidates.
+
+``apply_process_bias`` implements the ``promotion_bias_process`` kernel
+parameter: candidates belonging to biased PIDs are exhausted before any
+other process receives a huge page.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.dump import CandidateRecord
+
+
+def highest_frequency_order(
+    records: Iterable[CandidateRecord],
+) -> list[CandidateRecord]:
+    """Merge candidates, hottest first (frequency desc, stable)."""
+    return sorted(records, key=lambda r: -r.frequency)
+
+
+def round_robin_order(records: Iterable[CandidateRecord]) -> list[CandidateRecord]:
+    """Interleave candidates across cores, preserving per-core rank."""
+    per_core: dict[int, list[CandidateRecord]] = {}
+    for record in records:
+        per_core.setdefault(record.core, []).append(record)
+    queues = [per_core[core] for core in sorted(per_core)]
+    merged: list[CandidateRecord] = []
+    depth = 0
+    while True:
+        emitted = False
+        for queue in queues:
+            if depth < len(queue):
+                merged.append(queue[depth])
+                emitted = True
+        if not emitted:
+            return merged
+        depth += 1
+
+
+def apply_process_bias(
+    records: Sequence[CandidateRecord], biased_pids: Sequence[int]
+) -> list[CandidateRecord]:
+    """Move candidates of biased processes ahead of all others.
+
+    Order within each partition is preserved, so the bias composes with
+    whichever base policy produced ``records``.
+    """
+    if not biased_pids:
+        return list(records)
+    biased = set(biased_pids)
+    favored = [r for r in records if r.pid in biased]
+    others = [r for r in records if r.pid not in biased]
+    return favored + others
+
+
+def deduplicate(records: Iterable[CandidateRecord]) -> list[CandidateRecord]:
+    """Drop repeated (pid, tag, size) candidates, keeping first (highest
+    priority) occurrence. Multiple threads of one process can report the
+    same region from different cores."""
+    seen: set[tuple[int, int, int]] = set()
+    unique: list[CandidateRecord] = []
+    for record in records:
+        key = (record.pid, record.tag, int(record.page_size))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(record)
+    return unique

@@ -1,0 +1,365 @@
+"""The PCC-driven promotion engine (§3.3, Fig. 4).
+
+Each promotion interval the kernel:
+
+A. reads the ranked candidate records the hardware dumped,
+B. merges them under the configured policy (highest-frequency or
+   round-robin, plus process bias) and selects up to
+   ``regions_to_promote`` candidates, and
+C. performs the promotions — allocating contiguous frames (compacting
+   if permitted), collapsing page-table entries, and broadcasting TLB
+   shootdowns that also invalidate the promoted regions from the PCCs.
+
+Demotion (§3.3.3) is driven by the same data: a candidate whose walks
+came from an *already promoted* leaf is poorly served by 2MB; under
+memory pressure the engine may demote the coldest such page to free a
+frame for a hotter unpromoted candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.dump import CandidateRecord
+from repro.os import policies
+from repro.os.physmem import OutOfMemoryError, PhysicalMemory
+from repro.vm.address import PAGES_PER_HUGE, PageSize
+from repro.vm.pagetable import PageTable, PageTableError
+
+
+@dataclass
+class PromotionStats:
+    """Work performed by the engine, for timing and reports."""
+
+    intervals: int = 0
+    candidates_seen: int = 0
+    promotions: int = 0
+    promotion_failures: int = 0
+    demotions: int = 0
+    giga_promotions: int = 0
+    pages_migrated: int = 0
+    shootdowns: int = 0
+    #: 4KB pages covered by promoted huge frames beyond the pages that
+    #: were actually mapped — promotion-time memory bloat (§2.1)
+    bloat_pages: int = 0
+
+
+@dataclass
+class PromotionOutcome:
+    """What one interval accomplished (consumed by the timing model)."""
+
+    promoted: list[CandidateRecord] = field(default_factory=list)
+    demoted: list[tuple[int, int]] = field(default_factory=list)  # (pid, prefix)
+    pages_migrated: int = 0
+    #: accessed-bit aging shootdowns (idle probing of promoted pages)
+    probes: int = 0
+
+    @property
+    def shootdowns(self) -> int:
+        """TLB shootdown broadcasts this interval caused."""
+        return len(self.promoted) + len(self.demoted) + self.probes
+
+
+class PromotionEngine:
+    """Applies PCC candidate lists to page tables and physical memory."""
+
+    def __init__(
+        self,
+        physmem: PhysicalMemory,
+        regions_to_promote: int = 128,
+        promotion_policy: int = 1,
+        biased_pids: tuple[int, ...] = (),
+        demotion_enabled: bool = False,
+        allow_compaction: bool = True,
+        #: frequency ratio a promoted page must fall below (relative to
+        #: the best waiting candidate) before demotion frees its frame
+        demotion_ratio: float = 0.5,
+        #: candidates below this frequency are not promoted this
+        #: interval — the PCC holds "many entries with a frequency of 0"
+        #: (§3.2.1) and spending scarce contiguity on them is wasteful
+        min_frequency: int = 1,
+        #: spend at most a quarter of scarce contiguity per interval
+        pressure_throttle: bool = True,
+    ) -> None:
+        self.physmem = physmem
+        self.regions_to_promote = regions_to_promote
+        self.promotion_policy = promotion_policy
+        self.biased_pids = tuple(biased_pids)
+        self.demotion_enabled = demotion_enabled
+        self.allow_compaction = allow_compaction
+        self.demotion_ratio = demotion_ratio
+        self.min_frequency = min_frequency
+        self.pressure_throttle = pressure_throttle
+        self.stats = PromotionStats()
+        #: frame backing each promoted (pid, prefix), for demotion
+        self._huge_frames: dict[tuple[int, int], int] = {}
+        #: PCC frequency observed at promotion time (demotion baseline)
+        self._promo_frequency: dict[tuple[int, int], int] = {}
+        #: promoted regions whose accessed bit was cleared last interval
+        self._probing: set[tuple[int, int]] = set()
+        #: promoted regions confirmed idle by probing (§3.3.3's
+        #: OS-assisted coldness detection, multi-gen-LRU style)
+        self._cold: set[tuple[int, int]] = set()
+
+    def order_candidates(
+        self, records: list[CandidateRecord]
+    ) -> list[CandidateRecord]:
+        """Apply the configured merge policy + bias, deduplicated."""
+        records = policies.deduplicate(records)
+        if self.promotion_policy == 0:
+            ordered = policies.round_robin_order(records)
+        elif self.promotion_policy == 1:
+            ordered = policies.highest_frequency_order(records)
+        else:
+            raise ValueError(
+                f"unknown promotion_policy {self.promotion_policy} (0 or 1)"
+            )
+        return policies.apply_process_bias(ordered, self.biased_pids)
+
+    def run_interval(
+        self,
+        records: list[CandidateRecord],
+        page_tables: dict[int, PageTable],
+        on_shootdown: Callable[[int, int], None] | None = None,
+        budget_regions: int | None = None,
+    ) -> PromotionOutcome:
+        """One Fig. 4 interval: select and perform promotions.
+
+        ``on_shootdown(pid, prefix)`` lets the engine's owner invalidate
+        TLBs and PCC entries for each promoted/demoted region.
+        ``budget_regions`` caps promotions *performed over the engine's
+        lifetime* (the utility-curve footprint limit); ``None`` means
+        unlimited.
+        """
+        self.stats.intervals += 1
+        self.stats.candidates_seen += len(records)
+        outcome = PromotionOutcome()
+        if self.demotion_enabled:
+            self._age_promoted_pages(page_tables, on_shootdown, outcome)
+        ordered = self.order_candidates(records)
+        quota = self.regions_to_promote
+        # Memory-pressure throttle (§3.3.1: the interval "can be tuned
+        # ... based on ... system memory pressure"): when contiguous
+        # capacity is scarce, spend at most a quarter of it per interval
+        # so later — better-informed — candidate lists still find room.
+        if self.pressure_throttle:
+            capacity = self.physmem.free_huge_frames()
+            if self.allow_compaction:
+                capacity += self.physmem.compactable_frames()
+            if capacity <= 4 * self.regions_to_promote:
+                quota = min(quota, max(1, capacity // 4))
+        for record in ordered:
+            if quota <= 0:
+                break
+            if budget_regions is not None and self.stats.promotions >= budget_regions:
+                break
+            table = page_tables.get(record.pid)
+            if table is None:
+                continue
+            if record.page_size is not PageSize.HUGE:
+                continue  # 1GB candidates handled by maybe_promote_giga
+            if record.promoted_leaf or table.is_promoted(record.tag):
+                continue  # already huge: demotion logic's concern
+            if record.frequency < self.min_frequency:
+                continue  # too cold to spend contiguous memory on
+            if not table.mapped_pages_in_region(record.tag):
+                continue  # nothing resident (stale candidate)
+            frame = self._acquire_frame(records, page_tables, record, on_shootdown,
+                                        outcome)
+            if frame is None:
+                self.stats.promotion_failures += 1
+                continue
+            remapped = table.promote(record.tag, frame)
+            self.physmem.release_base_pages(remapped)
+            self.stats.bloat_pages += PAGES_PER_HUGE - remapped
+            self._huge_frames[(record.pid, record.tag)] = frame
+            self._promo_frequency[(record.pid, record.tag)] = record.frequency
+            outcome.promoted.append(record)
+            self.stats.promotions += 1
+            self.stats.shootdowns += 1
+            quota -= 1
+            if on_shootdown is not None:
+                on_shootdown(record.pid, record.tag)
+        outcome.pages_migrated += 0
+        return outcome
+
+    def _acquire_frame(
+        self,
+        records: list[CandidateRecord],
+        page_tables: dict[int, PageTable],
+        wanting: CandidateRecord,
+        on_shootdown: Callable[[int, int], None] | None,
+        outcome: PromotionOutcome,
+    ) -> int | None:
+        """Free frame for ``wanting``, possibly via compaction/demotion."""
+        try:
+            frame, migrated = self.physmem.allocate_huge(
+                allow_compaction=self.allow_compaction
+            )
+            self.stats.pages_migrated += migrated
+            outcome.pages_migrated += migrated
+            return frame
+        except OutOfMemoryError:
+            pass
+        if not self.demotion_enabled:
+            return None
+        victim = self._demotion_victim(records, wanting)
+        if victim is None:
+            return None
+        pid, prefix = victim
+        self._demote(pid, prefix, page_tables[pid], on_shootdown, outcome)
+        try:
+            frame, migrated = self.physmem.allocate_huge(
+                allow_compaction=self.allow_compaction
+            )
+            self.stats.pages_migrated += migrated
+            outcome.pages_migrated += migrated
+            return frame
+        except OutOfMemoryError:
+            return None
+
+    def _age_promoted_pages(
+        self,
+        page_tables: dict[int, PageTable],
+        on_shootdown: Callable[[int, int], None] | None,
+        outcome: PromotionOutcome,
+    ) -> None:
+        """OS-assisted coldness detection for promoted pages (§3.3.3).
+
+        The PCC cannot see huge pages that stop being accessed (no
+        access, no walk), so — as the paper suggests via multi-gen LRU —
+        the OS ages them: each interval it clears the PMD accessed bit
+        of every promoted region and shoots down its TLB entry; a
+        region whose bit is still clear one interval later was never
+        re-touched and becomes a demotion candidate.
+        """
+        for key in list(self._probing):
+            pid, prefix = key
+            table = page_tables.get(pid)
+            if table is None or not table.is_promoted(prefix):
+                self._probing.discard(key)
+                self._cold.discard(key)
+                continue
+            if table.region_accessed(prefix):
+                self._cold.discard(key)
+            else:
+                self._cold.add(key)
+        self._probing.clear()
+        for key in self._huge_frames:
+            pid, prefix = key
+            table = page_tables.get(pid)
+            if table is None or not table.is_promoted(prefix):
+                continue
+            table.clear_region_accessed(prefix)
+            self._probing.add(key)
+            outcome.probes += 1
+            if on_shootdown is not None:
+                on_shootdown(pid, prefix)
+
+    def _demotion_victim(
+        self, records: list[CandidateRecord], wanting: CandidateRecord
+    ) -> tuple[int, int] | None:
+        """Coldest promoted page clearly worth sacrificing (§3.3.3).
+
+        Preference order: a page the accessed-bit aging confirmed idle;
+        otherwise a page whose promotion-time frequency the waiting
+        candidate clearly dominates. Promoted pages reappearing in the
+        PCC (still walking) are never victims — they may instead
+        deserve 1GB promotion.
+        """
+        still_hot = {
+            (r.pid, r.tag) for r in records if r.promoted_leaf
+        }
+        for key in self._cold:
+            if key in self._huge_frames and key not in still_hot:
+                return key
+        best: tuple[int, int] | None = None
+        best_freq = -1
+        for key, freq in self._promo_frequency.items():
+            if key in still_hot:
+                continue
+            if wanting.frequency * self.demotion_ratio <= freq:
+                continue
+            if best is None or freq < best_freq:
+                best = key
+                best_freq = freq
+        return best
+
+    def _demote(
+        self,
+        pid: int,
+        prefix: int,
+        table: PageTable,
+        on_shootdown: Callable[[int, int], None] | None,
+        outcome: PromotionOutcome,
+    ) -> None:
+        frame = self._huge_frames.pop((pid, prefix))
+        self._promo_frequency.pop((pid, prefix), None)
+        self._probing.discard((pid, prefix))
+        self._cold.discard((pid, prefix))
+        table.demote(prefix)
+        self.physmem.free_huge(frame, as_base_pages=PAGES_PER_HUGE)
+        outcome.demoted.append((pid, prefix))
+        self.stats.demotions += 1
+        self.stats.shootdowns += 1
+        if on_shootdown is not None:
+            on_shootdown(pid, prefix)
+
+    #: 1GB dominance ratio standing in for the paper's 512x rule: with
+    #: 8-bit saturating counters an actual 512x gap is unrepresentable,
+    #: but the signature it encodes — the 1GB entry far hotter than any
+    #: single constituent 2MB entry (whose counters stay low because the
+    #: wide hot set churns them through the 2MB PCC) — survives at a
+    #: modest ratio. A lone hot 2MB child saturates alongside the 1GB
+    #: entry (ratio ~1, no promotion); a GB-wide hot set leaves every
+    #: child lukewarm (ratio >3, promote).
+    giga_dominance_ratio: int = 3
+
+    def maybe_promote_giga(
+        self,
+        records_2mb: list[CandidateRecord],
+        records_1gb: list[CandidateRecord],
+        page_tables: dict[int, PageTable],
+        on_giga_shootdown: Callable[[int, int], None] | None = None,
+    ) -> list[CandidateRecord]:
+        """1GB promotion rule (§3.2.3).
+
+        A 1GB region is collectively promoted when its walk frequency
+        dominates every constituent 2MB entry's — i.e. the 2MB page size
+        is not preventing last-level TLB misses for this span.
+        ``on_giga_shootdown(pid, giga_tag)`` lets the owner invalidate
+        all translations under the promoted gigabyte.
+        """
+        freq_2mb: dict[tuple[int, int], int] = {
+            (r.pid, r.tag): r.frequency for r in records_2mb
+        }
+        promoted: list[CandidateRecord] = []
+        for record in records_1gb:
+            table = page_tables.get(record.pid)
+            if table is None or table.is_giga_promoted(record.tag):
+                continue
+            if record.frequency < self.min_frequency:
+                continue
+            first_2mb = record.tag * 512
+            constituent_max = max(
+                (
+                    freq
+                    for (pid, tag), freq in freq_2mb.items()
+                    if pid == record.pid and first_2mb <= tag < first_2mb + 512
+                ),
+                default=0,
+            )
+            if record.frequency < self.giga_dominance_ratio * max(
+                1, constituent_max
+            ):
+                continue
+            try:
+                table.promote_giga(record.tag, frame=record.tag)
+            except PageTableError:
+                continue
+            promoted.append(record)
+            self.stats.giga_promotions += 1
+            if on_giga_shootdown is not None:
+                on_giga_shootdown(record.pid, record.tag)
+        return promoted

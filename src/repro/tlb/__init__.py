@@ -1,0 +1,14 @@
+"""TLB hierarchy and hardware page-table walker models."""
+
+from repro.tlb.tlb import TLB, TLBStats
+from repro.tlb.hierarchy import AccessResult, TLBHierarchy
+from repro.tlb.walker import PageTableWalker, WalkResult
+
+__all__ = [
+    "TLB",
+    "TLBStats",
+    "TLBHierarchy",
+    "AccessResult",
+    "PageTableWalker",
+    "WalkResult",
+]

@@ -1,0 +1,162 @@
+"""Two-level data-TLB hierarchy.
+
+Mirrors Table 2: split L1 structures per page size (64-entry 4KB,
+32-entry 2MB, 4-entry 1GB) in front of a unified L2 serving 4KB and 2MB
+entries. Lookup probes every structure that could hold the address's
+translation; because the mapping size is unknown until the walk
+completes, a probe consults each page-size tag in parallel, exactly as
+size-partitioned hardware TLBs do.
+
+The lookup path is the simulator's single hottest function, so tags
+are computed with plain integer shifts and the three possible outcomes
+are preallocated singletons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.config import TLBHierarchyConfig
+from repro.tlb.tlb import TLB
+from repro.vm.address import (
+    BASE_PAGE_SHIFT,
+    GIGA_PAGE_SHIFT,
+    HUGE_PAGE_SHIFT,
+    PageSize,
+)
+
+#: vpn -> tag shifts for huge and giga structures
+_HUGE_SHIFT = HUGE_PAGE_SHIFT - BASE_PAGE_SHIFT  # 9
+_GIGA_SHIFT = GIGA_PAGE_SHIFT - BASE_PAGE_SHIFT  # 18
+
+
+class HitLevel(Enum):
+    """Where a translation was found."""
+
+    L1 = auto()
+    L2 = auto()
+    MISS = auto()
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one hierarchy lookup."""
+
+    level: HitLevel
+    page_size: PageSize | None
+
+    @property
+    def walk_required(self) -> bool:
+        """Whether the access missed the whole hierarchy."""
+        return self.level is HitLevel.MISS
+
+
+#: Singleton results: one per (level, size) outcome on the hot path.
+_L1_BASE = AccessResult(HitLevel.L1, PageSize.BASE)
+_L1_HUGE = AccessResult(HitLevel.L1, PageSize.HUGE)
+_L1_GIGA = AccessResult(HitLevel.L1, PageSize.GIGA)
+_L2_BASE = AccessResult(HitLevel.L2, PageSize.BASE)
+_L2_HUGE = AccessResult(HitLevel.L2, PageSize.HUGE)
+_MISS = AccessResult(HitLevel.MISS, None)
+
+
+class TLBHierarchy:
+    """Per-core L1 (split) + L2 (unified) data-TLB stack."""
+
+    def __init__(self, config: TLBHierarchyConfig) -> None:
+        self.config = config
+        self.l1_base = TLB(config.l1_base, "L1-4K")
+        self.l1_huge = TLB(config.l1_huge, "L1-2M")
+        self.l1_giga = TLB(config.l1_giga, "L1-1G")
+        self.l2 = TLB(config.l2, "L2")
+        self._l1_by_size = {
+            PageSize.BASE: self.l1_base,
+            PageSize.HUGE: self.l1_huge,
+            PageSize.GIGA: self.l1_giga,
+        }
+        self._l2_serves_huge = PageSize.HUGE in config.l2.page_sizes
+        # Per page size: (vpn shift, L1 structure, whether L2 caches it).
+        self._fill_plan = {
+            size: (
+                size.value - BASE_PAGE_SHIFT,
+                self._l1_by_size[size],
+                size in config.l2.page_sizes,
+            )
+            for size in PageSize
+        }
+        self.accesses = 0
+
+    @staticmethod
+    def _tag(vpn: int, size: PageSize) -> int:
+        """Region tag at ``size`` granularity for a 4KB VPN."""
+        return vpn >> (size.value - BASE_PAGE_SHIFT)
+
+    def lookup(self, vpn: int) -> AccessResult:
+        """Probe the hierarchy for the page holding 4KB VPN ``vpn``.
+
+        L1 structures are probed in parallel in hardware; here we test
+        them in turn and count statistics only on the structure that
+        answers (or on the 4KB structure for a clean miss, since that is
+        the probe every access performs).
+        """
+        self.accesses += 1
+        if self.l1_base.hit_fast(vpn):
+            return _L1_BASE
+        huge_tag = vpn >> _HUGE_SHIFT
+        if self.l1_huge.hit_fast(huge_tag):
+            return _L1_HUGE
+        if self.l1_giga.hit_fast(vpn >> _GIGA_SHIFT):
+            return _L1_GIGA
+        self.l1_base.stats.misses += 1
+
+        l2 = self.l2
+        if l2.hit_fast(vpn):
+            # On an L2 hit the entry is refilled into its L1.
+            self.l1_base.fill(vpn, BASE_PAGE_SHIFT)
+            return _L2_BASE
+        if self._l2_serves_huge and l2.hit_fast(huge_tag):
+            self.l1_huge.fill(huge_tag, HUGE_PAGE_SHIFT)
+            return _L2_HUGE
+        l2.stats.misses += 1
+        return _MISS
+
+    def fill(self, vpn: int, page_size: PageSize) -> None:
+        """Install the walked translation into L1 (and L2 if served)."""
+        shift, l1, in_l2 = self._fill_plan[page_size]
+        tag = vpn >> shift
+        l1.fill(tag, page_size)
+        if in_l2:
+            self.l2.fill(tag, page_size)
+
+    def shootdown_region(self, huge_region: int) -> None:
+        """Invalidate every entry overlapping 2MB region ``huge_region``.
+
+        Called on promotion/demotion of that region. 4KB entries inside
+        the region, the region's own 2MB entry, and (conservatively) the
+        covering 1GB entry are dropped.
+        """
+        span = PageSize.HUGE.base_pages
+        first_vpn = huge_region * span
+        for vpn in range(first_vpn, first_vpn + span):
+            self.l1_base.invalidate(vpn)
+            self.l2.invalidate(vpn)
+        self.l1_huge.invalidate(huge_region)
+        if self._l2_serves_huge:
+            self.l2.invalidate(huge_region)
+        self.l1_giga.invalidate(huge_region >> (_GIGA_SHIFT - _HUGE_SHIFT))
+
+    def flush(self) -> None:
+        """Full shootdown of all levels."""
+        for tlb in (self.l1_base, self.l1_huge, self.l1_giga, self.l2):
+            tlb.flush()
+
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed the whole hierarchy.
+
+        This is the paper's "TLB miss %" (accesses causing page table
+        walks divided by all accesses).
+        """
+        if self.accesses == 0:
+            return 0.0
+        return self.l2.stats.misses / self.accesses

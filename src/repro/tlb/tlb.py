@@ -1,0 +1,132 @@
+"""Set-associative TLB with true-LRU replacement.
+
+One :class:`TLB` instance models one hardware structure (e.g. the L1
+4KB D-TLB). Tags are region numbers at the structure's page
+granularity; each set is an insertion-ordered dict, so true LRU falls
+out of Python's dict ordering: a hit deletes and reinserts the tag,
+moving it to the most-recently-used position.
+
+This sits on the simulator's hottest path, so the implementation
+favors plain ints and direct dict operations; the page size stored per
+entry is the :class:`~repro.vm.address.PageSize` *value* (the shift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import TLBConfig
+from repro.vm.address import PageSize
+
+
+@dataclass
+class TLBStats:
+    """Hit/miss/eviction counters for one TLB structure."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total counted probes."""
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Misses over counted probes."""
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """One set-associative translation structure."""
+
+    def __init__(self, config: TLBConfig, name: str = "tlb") -> None:
+        self.config = config
+        self.name = name
+        self.stats = TLBStats()
+        # One ordered dict per set: tag -> page-size shift of the entry.
+        self._sets: list[dict[int, int]] = [dict() for _ in range(config.sets)]
+        self._nsets = config.sets
+        self._ways = config.ways
+        mask = config.sets - 1
+        self._mask = mask if (config.sets & mask) == 0 else -1
+
+    def _set_for(self, tag: int) -> dict[int, int]:
+        if self._mask >= 0:
+            return self._sets[tag & self._mask]
+        return self._sets[tag % self._nsets]
+
+    def lookup(self, tag: int) -> bool:
+        """Probe for ``tag``; refresh LRU position on hit."""
+        entries = self._set_for(tag)
+        size = entries.get(tag)
+        if size is None:
+            self.stats.misses += 1
+            return False
+        # Move to MRU position.
+        del entries[tag]
+        entries[tag] = size
+        self.stats.hits += 1
+        return True
+
+    def hit_fast(self, tag: int) -> bool:
+        """Hot-path probe: refresh LRU and count a hit, but leave miss
+        accounting to the caller (the hierarchy attributes misses)."""
+        entries = self._sets[tag & self._mask] if self._mask >= 0 else self._sets[
+            tag % self._nsets
+        ]
+        size = entries.get(tag)
+        if size is None:
+            return False
+        del entries[tag]
+        entries[tag] = size
+        self.stats.hits += 1
+        return True
+
+    def probe(self, tag: int) -> bool:
+        """Presence check without touching LRU state or statistics."""
+        return tag in self._set_for(tag)
+
+    def fill(self, tag: int, page_size: PageSize | int) -> int | None:
+        """Install ``tag``; return the evicted victim tag, if any."""
+        size = int(page_size)
+        entries = self._set_for(tag)
+        if tag in entries:
+            del entries[tag]
+            entries[tag] = size
+            return None
+        victim = None
+        if len(entries) >= self._ways:
+            victim = next(iter(entries))
+            del entries[victim]
+            self.stats.evictions += 1
+        entries[tag] = size
+        return victim
+
+    def invalidate(self, tag: int) -> bool:
+        """Drop ``tag`` if present (TLB shootdown of one entry)."""
+        entries = self._set_for(tag)
+        if tag in entries:
+            del entries[tag]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def flush(self) -> None:
+        """Drop every entry (full shootdown / context switch)."""
+        for entries in self._sets:
+            self.stats.invalidations += len(entries)
+            entries.clear()
+
+    def occupancy(self) -> int:
+        """Entries currently resident."""
+        return sum(len(entries) for entries in self._sets)
+
+    def resident_tags(self) -> set[int]:
+        """All cached tags (for tests and introspection)."""
+        tags: set[int] = set()
+        for entries in self._sets:
+            tags.update(entries)
+        return tags

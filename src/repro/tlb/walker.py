@@ -1,0 +1,155 @@
+"""Hardware page-table walker with accessed-bit PCC admission.
+
+The walker implements Fig. 3's left side: after a last-level TLB miss
+it walks the radix levels appropriate to the mapping size, consults the
+PUD/PMD accessed bits, and — only when a bit was already set (so the
+miss is not a cold first touch) — reports the 1GB/2MB region prefixes
+for PCC insertion. Walk latency is modelled as one memory reference per
+level minus partial walks served by the page-walk caches (PWC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import WalkerConfig
+from repro.tlb.tlb import TLB
+from repro.config import TLBConfig
+from repro.vm.address import PageSize
+from repro.vm.pagetable import Mapping, PageTable
+
+#: Radix levels for each mapping size: a 4KB leaf needs PML4+PUD+PMD+PTE
+#: references, a 2MB leaf stops at the PMD, a 1GB leaf at the PUD.
+_LEVELS_BY_SIZE = {
+    PageSize.BASE: 4,
+    PageSize.HUGE: 3,
+    PageSize.GIGA: 2,
+}
+
+#: Shift isolating the table index covered by each upper level; a PWC
+#: entry for level L caches the partial walk down to (but excluding) L's
+#: successor: PML4 entries cover 512GB, PUD 1GB, PMD 2MB.
+_PWC_LEVEL_SHIFTS = (39, 30, 21)
+
+
+@dataclass
+class WalkerStats:
+    """Counters for walks and PWC behaviour."""
+
+    walks: int = 0
+    walk_cycles: int = 0
+    pwc_hits: int = 0
+    pwc_misses: int = 0
+    memory_refs: int = 0
+    pcc_candidates_2mb: int = 0
+    pcc_candidates_1gb: int = 0
+
+    @property
+    def refs_per_walk(self) -> float:
+        """Mean page-table memory references per walk (§5.4.1)."""
+        return self.memory_refs / self.walks if self.walks else 0.0
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """Outcome of one hardware walk."""
+
+    mapping: Mapping
+    cycles: int
+    #: 2MB prefix to feed the 2MB PCC, or None (cold miss / huge leaf)
+    pcc_2mb_candidate: int | None
+    #: 1GB prefix to feed the 1GB PCC, or None
+    pcc_1gb_candidate: int | None
+    #: True when the walked leaf was an already-promoted huge/giga page
+    leaf_is_promoted: bool = False
+
+
+class PageTableWalker:
+    """Per-core hardware walker feeding the PCC admission signals."""
+
+    def __init__(self, config: WalkerConfig) -> None:
+        self.config = config
+        self.stats = WalkerStats()
+        if config.pwc_enabled:
+            pwc_geometry = TLBConfig(
+                config.pwc_entries, 4, (PageSize.BASE,)
+            )
+            self._pwcs = [
+                TLB(pwc_geometry, f"PWC-L{4 - i}") for i in range(len(_PWC_LEVEL_SHIFTS))
+            ]
+        else:
+            self._pwcs = []
+        # Last-tag fast path per PWC level: upper-level tags repeat for
+        # long stretches (one PML4 entry covers 512GB), so most probes
+        # re-hit the immediately preceding tag.
+        self._last_tags = [-1] * len(self._pwcs)
+
+    def walk(self, vaddr: int, page_table: PageTable) -> WalkResult:
+        """Perform one walk; update accessed bits and PWCs."""
+        mapping, pud_was_accessed, pmd_was_accessed = page_table.walk(vaddr)
+        levels = _LEVELS_BY_SIZE[mapping.page_size]
+        cycles, refs = self._walk_cost(vaddr, levels)
+        self.stats.walks += 1
+        self.stats.walk_cycles += cycles
+        self.stats.memory_refs += refs
+
+        # Fig. 3 admission protocol: a region enters a PCC only when its
+        # level accessed bit was already set before this walk, filtering
+        # cold (first-touch) misses out of the candidate pool.
+        pcc_2mb = None
+        pcc_1gb = None
+        if pud_was_accessed:
+            pcc_1gb = vaddr >> PageSize.GIGA.value
+            self.stats.pcc_candidates_1gb += 1
+        if mapping.page_size is not PageSize.GIGA and pmd_was_accessed:
+            pcc_2mb = vaddr >> PageSize.HUGE.value
+            self.stats.pcc_candidates_2mb += 1
+
+        leaf_is_promoted = mapping.page_size is not PageSize.BASE
+        return WalkResult(
+            mapping=mapping,
+            cycles=cycles,
+            pcc_2mb_candidate=pcc_2mb,
+            pcc_1gb_candidate=pcc_1gb,
+            leaf_is_promoted=leaf_is_promoted,
+        )
+
+    def _walk_cost(self, vaddr: int, levels: int) -> tuple[int, int]:
+        """Cycles and memory references for a ``levels``-deep walk.
+
+        The PWC for an upper level, when it hits, replaces that level's
+        memory reference with a fast lookup; the leaf reference always
+        goes to memory (any leaf PTE requires a single access, §5.4.1).
+        """
+        config = self.config
+        stats = self.stats
+        cycles = 0
+        refs = 0
+        upper_levels = levels - 1
+        for level_index in range(upper_levels):
+            if level_index < len(self._pwcs):
+                tag = vaddr >> _PWC_LEVEL_SHIFTS[level_index]
+                if tag == self._last_tags[level_index]:
+                    stats.pwc_hits += 1
+                    cycles += config.pwc_hit_cycles
+                    continue
+                pwc = self._pwcs[level_index]
+                if pwc.lookup(tag):
+                    self._last_tags[level_index] = tag
+                    stats.pwc_hits += 1
+                    cycles += config.pwc_hit_cycles
+                    continue
+                stats.pwc_misses += 1
+                pwc.fill(tag, PageSize.BASE)
+                self._last_tags[level_index] = tag
+            cycles += config.memory_ref_cycles
+            refs += 1
+        cycles += config.memory_ref_cycles
+        refs += 1
+        return cycles, refs
+
+    def flush_pwc(self) -> None:
+        """Drop all partial-walk cache entries (e.g. after promotion)."""
+        for pwc in self._pwcs:
+            pwc.flush()
+        self._last_tags = [-1] * len(self._pwcs)

@@ -1,0 +1,16 @@
+"""Memory trace infrastructure: containers, recording, I/O, synthesis."""
+
+from repro.trace.events import CompressedTrace, Trace, compress_to_pages
+from repro.trace.recorder import TraceRecorder
+from repro.trace.io import load_trace, save_trace
+from repro.trace import synthesis
+
+__all__ = [
+    "Trace",
+    "CompressedTrace",
+    "compress_to_pages",
+    "TraceRecorder",
+    "save_trace",
+    "load_trace",
+    "synthesis",
+]

@@ -1,0 +1,89 @@
+"""On-disk trace cache.
+
+Workload trace generation is deterministic, so traces can be cached on
+disk keyed by their generation parameters. The benchmark harness and
+long examples use this to avoid regenerating multi-hundred-thousand-
+access traces on every invocation.
+
+The cache is content-addressed: the key hashes the workload name and
+its parameter dict, and the payload reuses the ``.npz`` trace format of
+:mod:`repro.trace.io`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.trace.events import Trace
+from repro.trace.io import load_trace, save_trace
+
+#: Environment variable overriding the cache directory.
+CACHE_DIR_ENV = "REPRO_TRACE_CACHE"
+
+
+def default_cache_dir() -> Path:
+    """Cache directory: $REPRO_TRACE_CACHE or ~/.cache/repro-traces."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-traces"
+
+
+def cache_key(name: str, params: dict) -> str:
+    """Stable content key for one (generator, parameters) pair."""
+    body = json.dumps({"name": name, "params": params}, sort_keys=True)
+    return hashlib.sha256(body.encode()).hexdigest()[:24]
+
+
+class TraceCache:
+    """Directory-backed cache of generated traces."""
+
+    def __init__(self, directory: Path | str | None = None) -> None:
+        self.directory = Path(directory) if directory else default_cache_dir()
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.npz"
+
+    def get(self, name: str, params: dict) -> Trace | None:
+        """Cached trace for the parameters, or None."""
+        path = self._path(cache_key(name, params))
+        if not path.exists():
+            return None
+        try:
+            return load_trace(path)
+        except (ValueError, OSError, KeyError):
+            # a corrupt or stale entry is treated as a miss
+            path.unlink(missing_ok=True)
+            return None
+
+    def put(self, name: str, params: dict, trace: Trace) -> Path:
+        """Store a freshly generated trace."""
+        return save_trace(trace, self._path(cache_key(name, params)))
+
+    def get_or_build(self, name: str, params: dict, builder) -> Trace:
+        """Return the cached trace or build, store, and return it."""
+        cached = self.get(name, params)
+        if cached is not None:
+            return cached
+        trace = builder()
+        self.put(name, params, trace)
+        return trace
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        if not self.directory.exists():
+            return 0
+        removed = 0
+        for path in self.directory.glob("*.npz"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def size_bytes(self) -> int:
+        """Total bytes stored in the cache."""
+        if not self.directory.exists():
+            return 0
+        return sum(p.stat().st_size for p in self.directory.glob("*.npz"))

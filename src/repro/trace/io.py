@@ -1,0 +1,69 @@
+"""Trace persistence.
+
+Traces are stored as ``.npz`` archives: the address array plus a JSON
+metadata blob. This mirrors the paper's methodology of recording the
+offline simulation's outputs to a file consumed by the second
+(real-system) evaluation step.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.trace.events import Trace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "version": _FORMAT_VERSION,
+        "name": trace.name,
+        "footprint_bytes": trace.footprint_bytes,
+        "metadata": _jsonable(trace.metadata),
+    }
+    np.savez_compressed(
+        path,
+        addresses=trace.addresses,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+    return path
+
+
+def load_trace(path: str | Path) -> Trace:
+    """Read a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path) as archive:
+        header = json.loads(bytes(archive["header"]).decode())
+        if header.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {header.get('version')!r} "
+                f"in {path}"
+            )
+        return Trace(
+            name=header["name"],
+            addresses=archive["addresses"],
+            footprint_bytes=int(header["footprint_bytes"]),
+            metadata=header["metadata"],
+        )
+
+
+def _jsonable(value):
+    """Best-effort conversion of metadata values to JSON-safe types."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    return value

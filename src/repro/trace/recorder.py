@@ -1,0 +1,69 @@
+"""Incremental trace recording for workload models.
+
+Workloads compute their access addresses in vectorized numpy batches
+(one batch per algorithm step, e.g. one BFS frontier expansion). The
+recorder accumulates batches and finalizes them into a single
+:class:`~repro.trace.events.Trace` without per-access Python overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trace.events import Trace
+from repro.vm.layout import AddressSpaceLayout
+
+
+class TraceRecorder:
+    """Accumulates address batches emitted by a workload."""
+
+    def __init__(self, name: str, layout: AddressSpaceLayout | None = None) -> None:
+        self.name = name
+        self.layout = layout
+        self._batches: list[np.ndarray] = []
+        self._count = 0
+
+    def record(self, addresses: np.ndarray) -> None:
+        """Append a batch of virtual addresses (any integer dtype)."""
+        batch = np.ascontiguousarray(addresses, dtype=np.uint64).ravel()
+        if batch.size == 0:
+            return
+        self._batches.append(batch)
+        self._count += batch.size
+
+    def record_scalar(self, address: int) -> None:
+        """Append a single address (convenience for control structures)."""
+        self.record(np.array([address], dtype=np.uint64))
+
+    def record_range(self, start: int, length_bytes: int, stride: int) -> None:
+        """Append a sequential sweep: ``start, start+stride, ...``."""
+        if stride <= 0:
+            raise ValueError(f"stride must be positive, got {stride}")
+        count = max(0, (length_bytes + stride - 1) // stride)
+        if count == 0:
+            return
+        sweep = np.uint64(start) + np.arange(count, dtype=np.uint64) * np.uint64(stride)
+        self.record(sweep)
+
+    def __len__(self) -> int:
+        return self._count
+
+    def finish(self, metadata: dict | None = None) -> Trace:
+        """Concatenate all batches into the final trace."""
+        if self._batches:
+            addresses = np.concatenate(self._batches)
+        else:
+            addresses = np.empty(0, dtype=np.uint64)
+        footprint = self.layout.footprint_bytes if self.layout is not None else 0
+        meta = dict(metadata or {})
+        if self.layout is not None:
+            meta.setdefault(
+                "vmas",
+                {vma.name: (vma.start, vma.length) for vma in self.layout},
+            )
+        return Trace(
+            name=self.name,
+            addresses=addresses,
+            footprint_bytes=footprint,
+            metadata=meta,
+        )

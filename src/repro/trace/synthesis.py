@@ -1,0 +1,141 @@
+"""Synthetic access-pattern generators.
+
+These are the building blocks the workload proxies compose: sequential
+sweeps, strided scans, uniform and Zipfian random access, and pointer
+chases. Each returns a ``uint64`` address array confined to a VMA or an
+explicit ``(base, length)`` window. All randomness flows through an
+explicit ``numpy.random.Generator`` so traces are reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vm.layout import VMA
+
+
+def _window(region: VMA | tuple[int, int]) -> tuple[int, int]:
+    if isinstance(region, VMA):
+        return region.start, region.length
+    base, length = region
+    if length <= 0:
+        raise ValueError(f"region length must be positive, got {length}")
+    return int(base), int(length)
+
+
+def sequential(region: VMA | tuple[int, int], count: int, stride: int = 64) -> np.ndarray:
+    """``count`` accesses sweeping the region forward with ``stride``,
+    wrapping around at the end (a streaming scan)."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    base, length = _window(region)
+    offsets = (np.arange(count, dtype=np.uint64) * np.uint64(stride)) % np.uint64(length)
+    return np.uint64(base) + offsets
+
+
+def strided(
+    region: VMA | tuple[int, int], count: int, stride: int, start: int = 0
+) -> np.ndarray:
+    """Fixed-stride scan beginning at byte offset ``start``."""
+    base, length = _window(region)
+    offsets = (
+        np.uint64(start) + np.arange(count, dtype=np.uint64) * np.uint64(stride)
+    ) % np.uint64(length)
+    return np.uint64(base) + offsets
+
+
+def uniform_random(
+    region: VMA | tuple[int, int],
+    count: int,
+    rng: np.random.Generator,
+    granularity: int = 8,
+) -> np.ndarray:
+    """``count`` uniformly random ``granularity``-aligned accesses."""
+    base, length = _window(region)
+    slots = max(1, length // granularity)
+    picks = rng.integers(0, slots, size=count, dtype=np.uint64)
+    return np.uint64(base) + picks * np.uint64(granularity)
+
+
+def zipf_random(
+    region: VMA | tuple[int, int],
+    count: int,
+    rng: np.random.Generator,
+    exponent: float = 1.1,
+    granularity: int = 8,
+    hot_fraction: float = 1.0,
+) -> np.ndarray:
+    """Zipf-distributed accesses over the region's slots.
+
+    Rank 1 is the hottest slot. ``hot_fraction`` < 1 confines the
+    distribution's support to a leading fraction of the region,
+    concentrating reuse the way degree-skewed graph data does.
+    """
+    if not 0 < hot_fraction <= 1.0:
+        raise ValueError(f"hot_fraction must be in (0, 1], got {hot_fraction}")
+    base, length = _window(region)
+    slots = max(1, int(length * hot_fraction) // granularity)
+    ranks = _zipf_ranks(count, slots, exponent, rng)
+    return np.uint64(base) + ranks.astype(np.uint64) * np.uint64(granularity)
+
+
+def _zipf_ranks(
+    count: int, slots: int, exponent: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Sample ``count`` ranks in ``[0, slots)`` from a bounded Zipf law."""
+    if count == 0:
+        return np.empty(0, dtype=np.int64)
+    weights = 1.0 / np.power(np.arange(1, slots + 1, dtype=np.float64), exponent)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    draws = rng.random(count)
+    return np.searchsorted(cdf, draws).astype(np.int64)
+
+
+def pointer_chase(
+    region: VMA | tuple[int, int],
+    count: int,
+    rng: np.random.Generator,
+    node_bytes: int = 64,
+    restart_every: int = 0,
+) -> np.ndarray:
+    """Random-permutation pointer chase across the region's nodes.
+
+    Builds one random cyclic permutation of the nodes and follows it,
+    the classic TLB-hostile microbenchmark. ``restart_every`` > 0 resets
+    the walk to a random node periodically (tree-traversal flavor).
+    """
+    base, length = _window(region)
+    nodes = max(2, length // node_bytes)
+    perm = rng.permutation(nodes)
+    next_node = np.empty(nodes, dtype=np.int64)
+    next_node[perm] = np.roll(perm, -1)
+    path = np.empty(count, dtype=np.int64)
+    current = int(perm[0])
+    for i in range(count):
+        path[i] = current
+        current = int(next_node[current])
+        if restart_every and (i + 1) % restart_every == 0:
+            current = int(rng.integers(0, nodes))
+    return np.uint64(base) + path.astype(np.uint64) * np.uint64(node_bytes)
+
+
+def hot_cold(
+    hot_region: VMA | tuple[int, int],
+    cold_region: VMA | tuple[int, int],
+    count: int,
+    rng: np.random.Generator,
+    hot_probability: float = 0.9,
+    granularity: int = 64,
+) -> np.ndarray:
+    """Mixture of uniform accesses to a hot and a cold region."""
+    if not 0.0 <= hot_probability <= 1.0:
+        raise ValueError(f"hot_probability must be in [0,1], got {hot_probability}")
+    choose_hot = rng.random(count) < hot_probability
+    result = np.empty(count, dtype=np.uint64)
+    hot_count = int(choose_hot.sum())
+    result[choose_hot] = uniform_random(hot_region, hot_count, rng, granularity)
+    result[~choose_hot] = uniform_random(
+        cold_region, count - hot_count, rng, granularity
+    )
+    return result

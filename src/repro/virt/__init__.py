@@ -1,0 +1,17 @@
+"""Virtualization extension (§5.4.3): guest/hypervisor co-promotion."""
+
+from repro.virt.hypervisor import (
+    GuestPromotionOutcome,
+    Hypervisor,
+    HypervisorStats,
+)
+from repro.virt.tagged_pcc import TaggedEntry, TaggedPCC, World
+
+__all__ = [
+    "World",
+    "TaggedPCC",
+    "TaggedEntry",
+    "Hypervisor",
+    "HypervisorStats",
+    "GuestPromotionOutcome",
+]

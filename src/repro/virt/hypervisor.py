@@ -1,0 +1,139 @@
+"""Guest-OS / hypervisor co-promotion (§5.4.3).
+
+A guest-initiated huge-page promotion only improves TLB reach when the
+hypervisor also backs the guest-physical range with a host huge page;
+otherwise "the TLB does not use 2MB entries for the translation". The
+paper's sketch: the PCC recommends guest-virtual regions, the guest OS
+promotes them, and a hypercall asks the hypervisor to promote the
+corresponding host range.
+
+:class:`Hypervisor` models the host side: per-VM guest-physical to
+host-physical maps at 2MB-region granularity, host physical memory
+(with its own fragmentation state), and the hypercall interface. The
+effective page size seen by the (simulated) hardware for a guest region
+is ``min(guest leaf, host leaf)`` — the nested-paging composition rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.os.physmem import OutOfMemoryError, PhysicalMemory
+from repro.vm.address import PageSize
+
+
+@dataclass
+class HypervisorStats:
+    """Hypercall and promotion accounting."""
+
+    hypercalls: int = 0
+    host_promotions: int = 0
+    host_promotion_failures: int = 0
+
+
+@dataclass
+class GuestPromotionOutcome:
+    """What one guest-initiated promotion achieved end to end."""
+
+    guest_promoted: bool
+    host_promoted: bool
+
+    @property
+    def effective_page_size(self) -> PageSize:
+        """Page size the hardware can actually install."""
+        if self.guest_promoted and self.host_promoted:
+            return PageSize.HUGE
+        return PageSize.BASE
+
+
+@dataclass
+class _VMState:
+    """Host-side book-keeping for one virtual machine."""
+
+    #: guest-physical 2MB regions backed by a host huge frame
+    host_huge: dict[int, int] = field(default_factory=dict)
+    #: guest-physical regions backed by scattered host base pages
+    host_base: set[int] = field(default_factory=set)
+
+
+class Hypervisor:
+    """Host memory manager cooperating with guest promotions."""
+
+    def __init__(self, host_memory: PhysicalMemory) -> None:
+        self.host_memory = host_memory
+        self.stats = HypervisorStats()
+        self._vms: dict[int, _VMState] = {}
+
+    def register_vm(self, vm_id: int) -> None:
+        """Create host-side book-keeping for a new VM."""
+        if vm_id in self._vms:
+            raise ValueError(f"vm {vm_id} already registered")
+        self._vms[vm_id] = _VMState()
+
+    def back_region_base(self, vm_id: int, gpa_region: int) -> None:
+        """Default backing: the guest region maps to host base pages."""
+        state = self._vms[vm_id]
+        if gpa_region in state.host_huge or gpa_region in state.host_base:
+            return
+        self.host_memory.allocate_base()
+        state.host_base.add(gpa_region)
+
+    def hypercall_promote(self, vm_id: int, gpa_region: int) -> bool:
+        """Guest asks the host to back ``gpa_region`` with a huge frame.
+
+        Returns True when the host side now uses a huge leaf. The host
+        allocation competes with every other VM for host contiguity —
+        the reason guest-only promotion is not enough.
+        """
+        self.stats.hypercalls += 1
+        state = self._vms[vm_id]
+        if gpa_region in state.host_huge:
+            return True
+        try:
+            frame, _ = self.host_memory.allocate_huge(allow_compaction=True)
+        except OutOfMemoryError:
+            self.stats.host_promotion_failures += 1
+            return False
+        if gpa_region in state.host_base:
+            state.host_base.discard(gpa_region)
+            self.host_memory.release_base_pages(1)
+        state.host_huge[gpa_region] = frame
+        self.stats.host_promotions += 1
+        return True
+
+    def host_page_size(self, vm_id: int, gpa_region: int) -> PageSize:
+        """Leaf size the host uses for a guest-physical region."""
+        if gpa_region in self._vms[vm_id].host_huge:
+            return PageSize.HUGE
+        return PageSize.BASE
+
+    def effective_page_size(
+        self, vm_id: int, gpa_region: int, guest_size: PageSize
+    ) -> PageSize:
+        """Nested composition: min of the guest and host leaf sizes."""
+        host_size = self.host_page_size(vm_id, gpa_region)
+        return min(guest_size, host_size)
+
+    def co_promote(
+        self,
+        vm_id: int,
+        gpa_region: int,
+        guest_promote,
+    ) -> GuestPromotionOutcome:
+        """Full §5.4.3 flow: guest promotes, then hypercalls the host.
+
+        ``guest_promote()`` performs the guest-side page-table collapse
+        and returns True on success; host promotion follows only if the
+        guest side succeeded (the guest initiates).
+        """
+        guest_ok = bool(guest_promote())
+        host_ok = False
+        if guest_ok:
+            host_ok = self.hypercall_promote(vm_id, gpa_region)
+        return GuestPromotionOutcome(
+            guest_promoted=guest_ok, host_promoted=host_ok
+        )
+
+    def vm_huge_regions(self, vm_id: int) -> list[int]:
+        """Guest-physical regions the host backs with huge frames."""
+        return sorted(self._vms[vm_id].host_huge)

@@ -1,0 +1,116 @@
+"""World-tagged PCC for virtualized environments (§5.4.3).
+
+In a virtualized system a TLB miss triggers a two-dimensional walk:
+guest-virtual to guest-physical (gVA→gPA, the guest's page tables) and
+guest-physical to host-physical (gPA→hPA, the hypervisor's). A huge
+mapping only pays off when *both* dimensions use huge leaves — if only
+the guest promotes, the hardware still cannot install a 2MB TLB entry.
+
+The paper suggests "using an additional bit to tag PCC entries as
+corresponding to guest vs. host pages". :class:`TaggedPCC` implements
+that: one physical structure whose entries carry a :class:`World` tag,
+so the hypervisor can read host-page candidates while each guest reads
+its own guest-page candidates.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import PCCConfig
+from repro.core.pcc import PCCEntry, PromotionCandidateCache
+
+
+class World(enum.Enum):
+    """Which translation dimension a candidate belongs to."""
+
+    GUEST = "guest"
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class TaggedEntry:
+    """One candidate with its world and owning VM."""
+
+    world: World
+    vm_id: int
+    tag: int
+    frequency: int
+
+
+class TaggedPCC:
+    """A PCC whose entries are tagged guest/host per VM.
+
+    Internally the structure is one :class:`PromotionCandidateCache`
+    whose tags are ``(world, vm, prefix)`` composites packed into an
+    integer — exactly what one extra tag bit plus a VMID field buys in
+    hardware. Capacity is shared across worlds, as it would be in the
+    single physical structure the paper sketches.
+    """
+
+    #: bits reserved for the VM id inside the composite tag
+    VM_BITS = 8
+
+    def __init__(self, config: PCCConfig) -> None:
+        self._pcc = PromotionCandidateCache(config)
+        self.config = config
+
+    def _pack(self, world: World, vm_id: int, tag: int) -> int:
+        if not 0 <= vm_id < (1 << self.VM_BITS):
+            raise ValueError(f"vm_id out of range: {vm_id}")
+        world_bit = 1 if world is World.HOST else 0
+        return (tag << (self.VM_BITS + 1)) | (vm_id << 1) | world_bit
+
+    @staticmethod
+    def _unpack(packed: int) -> tuple[World, int, int]:
+        world = World.HOST if packed & 1 else World.GUEST
+        vm_id = (packed >> 1) & ((1 << TaggedPCC.VM_BITS) - 1)
+        return world, vm_id, packed >> (TaggedPCC.VM_BITS + 1)
+
+    def access(self, world: World, vm_id: int, tag: int) -> None:
+        """Record one admitted walk for a region in ``world``."""
+        self._pcc.access(self._pack(world, vm_id, tag))
+
+    def invalidate(self, world: World, vm_id: int, tag: int) -> bool:
+        """Drop one tagged entry (shootdown in its world)."""
+        return self._pcc.invalidate(self._pack(world, vm_id, tag))
+
+    def ranked(self, world: World | None = None, vm_id: int | None = None
+               ) -> list[TaggedEntry]:
+        """Priority list, optionally filtered by world and/or VM."""
+        out = []
+        for entry in self._pcc.ranked():
+            entry_world, entry_vm, tag = self._unpack(entry.tag)
+            if world is not None and entry_world is not world:
+                continue
+            if vm_id is not None and entry_vm != vm_id:
+                continue
+            out.append(
+                TaggedEntry(
+                    world=entry_world,
+                    vm_id=entry_vm,
+                    tag=tag,
+                    frequency=entry.frequency,
+                )
+            )
+        return out
+
+    def flush(self) -> list[TaggedEntry]:
+        """Dump-and-clear, preserving priority order."""
+        out = []
+        for entry in self._pcc.flush():
+            world, vm_id, tag = self._unpack(entry.tag)
+            out.append(
+                TaggedEntry(world=world, vm_id=vm_id, tag=tag,
+                            frequency=entry.frequency)
+            )
+        return out
+
+    def __len__(self) -> int:
+        return len(self._pcc)
+
+    @property
+    def stats(self):
+        """Operational counters of the backing structure."""
+        return self._pcc.stats

@@ -1,0 +1,46 @@
+"""Virtual memory substrate: addressing, address-space layout, page tables."""
+
+from repro.vm.address import (
+    BASE_PAGE_SHIFT,
+    BASE_PAGE_SIZE,
+    GIGA_PAGE_SHIFT,
+    GIGA_PAGE_SIZE,
+    HUGE_PAGE_SHIFT,
+    HUGE_PAGE_SIZE,
+    PageSize,
+    align_down,
+    align_up,
+    giga_prefix,
+    huge_prefix,
+    is_aligned,
+    pages_in_huge,
+    pages_in_region,
+    region_prefix,
+    vpn,
+)
+from repro.vm.layout import AddressSpaceLayout, VMA
+from repro.vm.pagetable import Mapping, PageTable, PageTableStats
+
+__all__ = [
+    "BASE_PAGE_SHIFT",
+    "BASE_PAGE_SIZE",
+    "HUGE_PAGE_SHIFT",
+    "HUGE_PAGE_SIZE",
+    "GIGA_PAGE_SHIFT",
+    "GIGA_PAGE_SIZE",
+    "PageSize",
+    "vpn",
+    "huge_prefix",
+    "giga_prefix",
+    "region_prefix",
+    "align_up",
+    "align_down",
+    "is_aligned",
+    "pages_in_huge",
+    "pages_in_region",
+    "AddressSpaceLayout",
+    "VMA",
+    "Mapping",
+    "PageTable",
+    "PageTableStats",
+]

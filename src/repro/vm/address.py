@@ -1,0 +1,136 @@
+"""Virtual address arithmetic for the x86-64 page hierarchy.
+
+All simulators in this package agree on the x86-64 page organization:
+4KB base pages, 2MB huge pages (512 base pages, one PMD leaf) and 1GB
+giga pages (512 huge pages, one PUD leaf). Addresses are plain Python
+ints (or numpy ``uint64`` arrays for the vectorized helpers); nothing
+here allocates memory proportional to the address values, so simulated
+footprints can exceed host RAM freely.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+#: Bits and sizes of the three x86-64 page granularities.
+BASE_PAGE_SHIFT = 12
+BASE_PAGE_SIZE = 1 << BASE_PAGE_SHIFT  # 4 KiB
+HUGE_PAGE_SHIFT = 21
+HUGE_PAGE_SIZE = 1 << HUGE_PAGE_SHIFT  # 2 MiB
+GIGA_PAGE_SHIFT = 30
+GIGA_PAGE_SIZE = 1 << GIGA_PAGE_SHIFT  # 1 GiB
+
+#: Canonical x86-64 virtual addresses span 48 bits.
+VA_BITS = 48
+VA_LIMIT = 1 << VA_BITS
+
+#: Number of 4KB pages per 2MB region / 2MB regions per 1GB region.
+PAGES_PER_HUGE = HUGE_PAGE_SIZE // BASE_PAGE_SIZE  # 512
+HUGE_PER_GIGA = GIGA_PAGE_SIZE // HUGE_PAGE_SIZE  # 512
+
+
+class PageSize(enum.IntEnum):
+    """Page granularity a virtual address can be mapped at.
+
+    The integer values are the page-offset shifts, so ``1 << size``
+    yields the page size in bytes and comparisons order by coverage.
+    """
+
+    BASE = BASE_PAGE_SHIFT
+    HUGE = HUGE_PAGE_SHIFT
+    GIGA = GIGA_PAGE_SHIFT
+
+    @property
+    def bytes(self) -> int:
+        """Size of one page of this granularity in bytes."""
+        return 1 << self.value
+
+    @property
+    def base_pages(self) -> int:
+        """Number of 4KB base pages covered by one page of this size."""
+        return 1 << (self.value - BASE_PAGE_SHIFT)
+
+
+def vpn(vaddr: int) -> int:
+    """Virtual page number (4KB granularity) of ``vaddr``."""
+    return vaddr >> BASE_PAGE_SHIFT
+
+
+def huge_prefix(vaddr: int) -> int:
+    """2MB-region number of ``vaddr`` (the PCC's 2MB tag)."""
+    return vaddr >> HUGE_PAGE_SHIFT
+
+
+def giga_prefix(vaddr: int) -> int:
+    """1GB-region number of ``vaddr`` (the PCC's 1GB tag)."""
+    return vaddr >> GIGA_PAGE_SHIFT
+
+
+def region_prefix(vaddr: int, size: PageSize) -> int:
+    """Region number of ``vaddr`` at an arbitrary page granularity."""
+    return vaddr >> size.value
+
+
+def page_base(vaddr: int, size: PageSize) -> int:
+    """First byte address of the page of ``size`` containing ``vaddr``."""
+    return (vaddr >> size.value) << size.value
+
+
+def align_down(vaddr: int, size: PageSize | int) -> int:
+    """Round ``vaddr`` down to a page boundary of ``size``."""
+    granularity = size.bytes if isinstance(size, PageSize) else int(size)
+    return vaddr - (vaddr % granularity)
+
+
+def align_up(vaddr: int, size: PageSize | int) -> int:
+    """Round ``vaddr`` up to a page boundary of ``size``."""
+    granularity = size.bytes if isinstance(size, PageSize) else int(size)
+    return -(-vaddr // granularity) * granularity
+
+
+def is_aligned(vaddr: int, size: PageSize | int) -> bool:
+    """Whether ``vaddr`` sits exactly on a page boundary of ``size``."""
+    granularity = size.bytes if isinstance(size, PageSize) else int(size)
+    return vaddr % granularity == 0
+
+
+def pages_in_huge(huge_region: int) -> range:
+    """Range of 4KB VPNs composing 2MB region number ``huge_region``."""
+    start = huge_region * PAGES_PER_HUGE
+    return range(start, start + PAGES_PER_HUGE)
+
+
+def pages_in_region(region: int, size: PageSize) -> range:
+    """Range of 4KB VPNs composing ``region`` at granularity ``size``."""
+    span = size.base_pages
+    start = region * span
+    return range(start, start + span)
+
+
+def huge_regions_of(vaddr_start: int, length: int) -> range:
+    """2MB region numbers overlapped by ``[vaddr_start, vaddr_start+length)``."""
+    if length <= 0:
+        return range(0)
+    first = huge_prefix(vaddr_start)
+    last = huge_prefix(vaddr_start + length - 1)
+    return range(first, last + 1)
+
+
+def vpns_of(addresses: np.ndarray) -> np.ndarray:
+    """Vectorized 4KB VPNs for a ``uint64`` address array."""
+    return addresses >> np.uint64(BASE_PAGE_SHIFT)
+
+
+def huge_prefixes_of(addresses: np.ndarray) -> np.ndarray:
+    """Vectorized 2MB region numbers for a ``uint64`` address array."""
+    return addresses >> np.uint64(HUGE_PAGE_SHIFT)
+
+
+def check_canonical(vaddr: int) -> None:
+    """Raise ``ValueError`` for addresses outside the 48-bit space."""
+    if not 0 <= vaddr < VA_LIMIT:
+        raise ValueError(
+            f"address {vaddr:#x} outside the {VA_BITS}-bit virtual address space"
+        )

@@ -1,0 +1,140 @@
+"""Deterministic virtual address space layout.
+
+Workload models allocate their data structures through an
+:class:`AddressSpaceLayout`, the simulation's equivalent of ``mmap``
+with ``randomize_va_space=0`` (the paper sets that kernel parameter so
+that addresses recorded during offline PCC simulation match the live
+run). Allocations are placed at deterministic, 2MB-aligned, ascending
+addresses, so identical workloads produce identical traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.vm.address import (
+    HUGE_PAGE_SIZE,
+    VA_LIMIT,
+    PageSize,
+    align_up,
+    check_canonical,
+    huge_prefix,
+)
+
+#: Where the simulated heap begins; mirrors a typical x86-64 mmap base.
+DEFAULT_HEAP_BASE = 0x5555_5540_0000
+
+#: Pad between VMAs so adjacent allocations never share a 2MB region,
+#: keeping per-region statistics attributable to one data structure.
+DEFAULT_GUARD_BYTES = HUGE_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class VMA:
+    """One virtual memory area: a named, contiguous allocation."""
+
+    name: str
+    start: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        """First byte past the area."""
+        return self.start + self.length
+
+    @property
+    def huge_regions(self) -> range:
+        """2MB region numbers overlapped by this area."""
+        return range(huge_prefix(self.start), huge_prefix(self.end - 1) + 1)
+
+    def contains(self, vaddr: int) -> bool:
+        """Whether ``vaddr`` falls inside the area."""
+        return self.start <= vaddr < self.end
+
+    def address_of(self, offset: int) -> int:
+        """Virtual address of byte ``offset`` into the area."""
+        if not 0 <= offset < self.length:
+            raise IndexError(
+                f"offset {offset} outside VMA {self.name!r} of length {self.length}"
+            )
+        return self.start + offset
+
+
+class AddressSpaceLayout:
+    """Allocates non-overlapping, deterministic VMAs for one process."""
+
+    def __init__(
+        self,
+        heap_base: int = DEFAULT_HEAP_BASE,
+        guard_bytes: int = DEFAULT_GUARD_BYTES,
+    ) -> None:
+        check_canonical(heap_base)
+        if heap_base % HUGE_PAGE_SIZE != 0:
+            raise ValueError(f"heap base {heap_base:#x} must be 2MB-aligned")
+        self._next = heap_base
+        self._guard = guard_bytes
+        self._vmas: dict[str, VMA] = {}
+
+    @classmethod
+    def from_vmas(cls, vmas: dict[str, tuple[int, int]]) -> "AddressSpaceLayout":
+        """Rebuild a layout from recorded ``name -> (start, length)``
+        pairs (the metadata a :class:`~repro.trace.recorder.TraceRecorder`
+        stores), e.g. when loading a cached trace from disk."""
+        layout = cls()
+        for name, (start, length) in vmas.items():
+            if length <= 0:
+                raise ValueError(f"VMA {name!r} has invalid length {length}")
+            layout._vmas[name] = VMA(name=name, start=int(start), length=int(length))
+        if layout._vmas:
+            layout._next = align_up(
+                max(v.end for v in layout._vmas.values()) + DEFAULT_GUARD_BYTES,
+                PageSize.HUGE,
+            )
+        return layout
+
+    def allocate(self, name: str, length: int, align: PageSize = PageSize.HUGE) -> VMA:
+        """Reserve ``length`` bytes under ``name`` and return the VMA."""
+        if length <= 0:
+            raise ValueError(f"allocation {name!r} must be positive, got {length}")
+        if name in self._vmas:
+            raise ValueError(f"VMA name already in use: {name!r}")
+        start = align_up(self._next, align)
+        end = start + length
+        if end > VA_LIMIT:
+            raise MemoryError(f"virtual address space exhausted allocating {name!r}")
+        vma = VMA(name=name, start=start, length=length)
+        self._vmas[name] = vma
+        self._next = align_up(end + self._guard, PageSize.HUGE)
+        return vma
+
+    def __getitem__(self, name: str) -> VMA:
+        return self._vmas[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._vmas
+
+    def __iter__(self):
+        return iter(self._vmas.values())
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    def find(self, vaddr: int) -> VMA | None:
+        """VMA containing ``vaddr``, or ``None``."""
+        for vma in self._vmas.values():
+            if vma.contains(vaddr):
+                return vma
+        return None
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Total bytes allocated across all VMAs (excluding guards)."""
+        return sum(vma.length for vma in self._vmas.values())
+
+    @property
+    def huge_region_count(self) -> int:
+        """Number of distinct 2MB regions touched by any VMA."""
+        regions: set[int] = set()
+        for vma in self._vmas.values():
+            regions.update(vma.huge_regions)
+        return len(regions)

@@ -1,0 +1,303 @@
+"""Four-level radix page table with per-level accessed bits.
+
+The table models what the PCC's surrounding hardware observes: which
+granularity each virtual page is mapped at, and the Intel-style accessed
+bits that the walker checks at the PUD (1GB) and PMD (2MB) levels to
+filter cold TLB misses out of the PCC (§3.2, Fig. 3 steps 3 and 6).
+
+Mappings are stored sparsely — per-VPN dictionaries rather than a radix
+tree — because only translation results and level accessed bits affect
+simulation behaviour. Promotion collapses the 512 PTEs of a 2MB region
+into one PMD leaf; demotion splits it back, exactly mirroring Linux's
+THP collapse/split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vm.address import (
+    HUGE_PER_GIGA,
+    PAGES_PER_HUGE,
+    PageSize,
+    giga_prefix,
+    huge_prefix,
+    vpn,
+)
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Result of one translation: the leaf entry backing an address."""
+
+    page_size: PageSize
+    #: region number at ``page_size`` granularity (the TLB tag)
+    tag: int
+    #: physical frame token assigned by the OS (opaque to the TLB)
+    frame: int
+
+
+@dataclass
+class PageTableStats:
+    """Counters exposed for tests and reports."""
+
+    faults: int = 0
+    promotions: int = 0
+    demotions: int = 0
+    giga_promotions: int = 0
+
+
+class PageTableError(Exception):
+    """Raised on invalid page-table manipulation (e.g. double promote)."""
+
+
+@dataclass
+class _HugeRegionState:
+    """Book-keeping for one 2MB-aligned virtual region."""
+
+    promoted: bool = False
+    frame: int = -1
+    #: PMD-level accessed bit (set when any constituent page is touched)
+    accessed: bool = False
+
+
+class PageTable:
+    """Sparse 4-level page table for one process."""
+
+    def __init__(self, pid: int = 0) -> None:
+        self.pid = pid
+        self.stats = PageTableStats()
+        #: 4KB mappings: vpn -> frame token
+        self._ptes: dict[int, int] = {}
+        #: PTE-level accessed bits
+        self._pte_accessed: set[int] = set()
+        #: per-2MB-region state (promotion + PMD accessed bit)
+        self._huge: dict[int, _HugeRegionState] = {}
+        #: promoted 1GB regions: giga prefix -> frame token
+        self._giga: dict[int, int] = {}
+        #: PUD-level accessed bits
+        self._pud_accessed: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # population
+
+    def is_mapped(self, vaddr: int) -> bool:
+        """Whether ``vaddr`` has any backing mapping."""
+        if giga_prefix(vaddr) in self._giga:
+            return True
+        region = self._huge.get(huge_prefix(vaddr))
+        if region is not None and region.promoted:
+            return True
+        return vpn(vaddr) in self._ptes
+
+    def map_base(self, vaddr: int, frame: int) -> None:
+        """Install a 4KB PTE backing the page containing ``vaddr``."""
+        page = vpn(vaddr)
+        region = self._huge.get(huge_prefix(vaddr))
+        if region is not None and region.promoted:
+            raise PageTableError(
+                f"page {page:#x} already covered by promoted 2MB region"
+            )
+        if page in self._ptes:
+            raise PageTableError(f"page {page:#x} already mapped")
+        self._ptes[page] = frame
+        self.stats.faults += 1
+
+    def map_huge(self, vaddr: int, frame: int) -> None:
+        """Install a 2MB leaf for the region containing ``vaddr``.
+
+        Used by greedy THP fault-time allocation: the region must not
+        hold any 4KB mappings yet (those go through :meth:`promote`).
+        """
+        prefix = huge_prefix(vaddr)
+        state = self._huge.setdefault(prefix, _HugeRegionState())
+        if state.promoted:
+            raise PageTableError(f"2MB region {prefix:#x} already promoted")
+        if any(page in self._ptes for page in self._region_pages(prefix)):
+            raise PageTableError(
+                f"2MB region {prefix:#x} holds base pages; use promote()"
+            )
+        state.promoted = True
+        state.frame = frame
+        self.stats.faults += 1
+
+    # ------------------------------------------------------------------
+    # translation
+
+    def translate(self, vaddr: int) -> Mapping | None:
+        """Leaf mapping backing ``vaddr``, or ``None`` if unmapped."""
+        giga = giga_prefix(vaddr)
+        giga_frame = self._giga.get(giga)
+        if giga_frame is not None:
+            return Mapping(PageSize.GIGA, giga, giga_frame)
+        prefix = huge_prefix(vaddr)
+        region = self._huge.get(prefix)
+        if region is not None and region.promoted:
+            return Mapping(PageSize.HUGE, prefix, region.frame)
+        frame = self._ptes.get(vpn(vaddr))
+        if frame is None:
+            return None
+        return Mapping(PageSize.BASE, vpn(vaddr), frame)
+
+    def walk(self, vaddr: int) -> tuple[Mapping, bool, bool]:
+        """Hardware walk: translate and update accessed bits.
+
+        Returns ``(mapping, pud_was_accessed, pmd_was_accessed)`` where
+        the booleans report whether the respective level's accessed bit
+        was *already set before this walk* — the signal the walker uses
+        to admit regions into the 1GB / 2MB PCCs (cold-miss filter).
+        """
+        mapping = self.translate(vaddr)
+        if mapping is None:
+            raise PageTableError(f"walk of unmapped address {vaddr:#x}")
+        giga = giga_prefix(vaddr)
+        pud_was_accessed = giga in self._pud_accessed
+        self._pud_accessed.add(giga)
+        if mapping.page_size is PageSize.GIGA:
+            # the PUD entry is the leaf; there is no PMD level
+            return mapping, pud_was_accessed, False
+        prefix = huge_prefix(vaddr)
+        state = self._huge.setdefault(prefix, _HugeRegionState())
+        pmd_was_accessed = state.accessed
+        state.accessed = True
+        if mapping.page_size is PageSize.BASE:
+            self._pte_accessed.add(mapping.tag)
+        return mapping, pud_was_accessed, pmd_was_accessed
+
+    # ------------------------------------------------------------------
+    # promotion / demotion
+
+    def mapped_pages_in_region(self, prefix: int) -> list[int]:
+        """VPNs of 4KB pages currently mapped inside 2MB region ``prefix``."""
+        return [page for page in self._region_pages(prefix) if page in self._ptes]
+
+    def is_promoted(self, prefix: int) -> bool:
+        """Whether 2MB region ``prefix`` is backed by a huge page."""
+        state = self._huge.get(prefix)
+        return state is not None and state.promoted
+
+    def is_giga_promoted(self, giga: int) -> bool:
+        """Whether 1GB region ``giga`` is backed by a giga page."""
+        return giga in self._giga
+
+    def promote(self, prefix: int, frame: int) -> int:
+        """Collapse 2MB region ``prefix``'s PTEs into one huge leaf.
+
+        Returns the number of 4KB pages that were remapped (the paper
+        zero-fills the rest of the region, which we charge in timing).
+        """
+        state = self._huge.setdefault(prefix, _HugeRegionState())
+        if state.promoted:
+            raise PageTableError(f"2MB region {prefix:#x} already promoted")
+        remapped = self.mapped_pages_in_region(prefix)
+        if not remapped:
+            raise PageTableError(
+                f"2MB region {prefix:#x} has no mapped pages to promote"
+            )
+        for page in remapped:
+            del self._ptes[page]
+        state.promoted = True
+        state.frame = frame
+        self.stats.promotions += 1
+        return len(remapped)
+
+    def demote(self, prefix: int, frames: list[int] | None = None) -> None:
+        """Split promoted region ``prefix`` back into 512 base PTEs."""
+        state = self._huge.get(prefix)
+        if state is None or not state.promoted:
+            raise PageTableError(f"2MB region {prefix:#x} is not promoted")
+        pages = list(self._region_pages(prefix))
+        if frames is None:
+            frames = [state.frame * PAGES_PER_HUGE + i for i in range(len(pages))]
+        if len(frames) != len(pages):
+            raise PageTableError(
+                f"demotion of region {prefix:#x} needs {len(pages)} frames, "
+                f"got {len(frames)}"
+            )
+        for page, frame in zip(pages, frames):
+            self._ptes[page] = frame
+        state.promoted = False
+        state.frame = -1
+        self.stats.demotions += 1
+
+    def promote_giga(self, giga: int, frame: int) -> int:
+        """Collapse 1GB region ``giga`` into a single giga leaf.
+
+        Both 4KB-mapped and already-2MB-promoted constituents are
+        absorbed, per §3.2.3 ("the entire region is collectively
+        promoted"). Returns the count of absorbed leaf mappings.
+        """
+        if giga in self._giga:
+            raise PageTableError(f"1GB region {giga:#x} already promoted")
+        absorbed = 0
+        first_huge = giga * HUGE_PER_GIGA
+        for prefix in range(first_huge, first_huge + HUGE_PER_GIGA):
+            state = self._huge.get(prefix)
+            if state is not None and state.promoted:
+                state.promoted = False
+                state.frame = -1
+                absorbed += 1
+            for page in self.mapped_pages_in_region(prefix):
+                del self._ptes[page]
+                absorbed += 1
+        if absorbed == 0:
+            raise PageTableError(f"1GB region {giga:#x} has nothing to promote")
+        self._giga[giga] = frame
+        self.stats.giga_promotions += 1
+        return absorbed
+
+    # ------------------------------------------------------------------
+    # accessed-bit maintenance
+
+    def clear_accessed_bits(self) -> None:
+        """Reset all accessed bits (HawkEye-style interval scanning)."""
+        self._pte_accessed.clear()
+        self._pud_accessed.clear()
+        for state in self._huge.values():
+            state.accessed = False
+
+    def clear_region_accessed(self, prefix: int) -> None:
+        """Reset one 2MB region's PMD accessed bit (idle probing)."""
+        state = self._huge.get(prefix)
+        if state is not None:
+            state.accessed = False
+
+    def accessed_pages_in_region(self, prefix: int) -> int:
+        """Count of PTE accessed bits set inside 2MB region ``prefix``.
+
+        This is HawkEye's access-coverage metric (§2.2).
+        """
+        return sum(
+            1 for page in self._region_pages(prefix) if page in self._pte_accessed
+        )
+
+    def region_accessed(self, prefix: int) -> bool:
+        """PMD accessed bit of 2MB region ``prefix``."""
+        state = self._huge.get(prefix)
+        return state is not None and state.accessed
+
+    # ------------------------------------------------------------------
+    # inventory
+
+    def promoted_regions(self) -> list[int]:
+        """2MB region numbers currently promoted (sorted)."""
+        return sorted(p for p, s in self._huge.items() if s.promoted)
+
+    def giga_promoted_regions(self) -> list[int]:
+        """1GB region numbers currently promoted (sorted)."""
+        return sorted(self._giga)
+
+    def mapped_base_page_count(self) -> int:
+        """Number of live 4KB PTEs."""
+        return len(self._ptes)
+
+    def touched_huge_regions(self) -> list[int]:
+        """2MB regions holding any mapping (base or huge), sorted."""
+        regions = {huge_prefix(page << 12) for page in self._ptes}
+        regions.update(p for p, s in self._huge.items() if s.promoted)
+        return sorted(regions)
+
+    @staticmethod
+    def _region_pages(prefix: int) -> range:
+        start = prefix * PAGES_PER_HUGE
+        return range(start, start + PAGES_PER_HUGE)

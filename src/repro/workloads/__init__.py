@@ -1,0 +1,21 @@
+"""Workload models: the paper's 8 applications as address-stream generators."""
+
+from repro.workloads.graph import CSRGraph, GraphSpec, kronecker, social, web
+from repro.workloads.registry import (
+    WorkloadSpec,
+    build_workload,
+    graph_workload_names,
+    workload_names,
+)
+
+__all__ = [
+    "CSRGraph",
+    "GraphSpec",
+    "kronecker",
+    "social",
+    "web",
+    "WorkloadSpec",
+    "build_workload",
+    "workload_names",
+    "graph_workload_names",
+]

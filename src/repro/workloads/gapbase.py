@@ -1,0 +1,177 @@
+"""Shared machinery for the GAP-style graph workloads.
+
+Each graph workload lays out the CSR arrays plus its per-vertex
+property arrays in a fresh address space, runs the real algorithm over
+the graph, and emits the virtual addresses of the data its inner loop
+touches — offsets reads, neighbor-array gathers, and the irregular
+per-vertex property accesses that constitute the paper's HUBs.
+
+Property arrays use a configurable byte stride per vertex. A stride of
+64 (a cacheline, as produced by padding or by interleaved property
+structs) inflates the *virtual* footprint to the multi-region scale the
+PCC needs to discriminate, without inflating host memory: addresses are
+computed, never dereferenced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.events import Trace
+from repro.trace.recorder import TraceRecorder
+from repro.vm.layout import AddressSpaceLayout
+from repro.workloads.graph import CSRGraph
+
+#: Element sizes mirroring GAP's data structures. Neighbor and weight
+#: entries default to fat 512-byte records so that — as in the paper's
+#: multi-GB datasets — the *streamed* edge data dominates the footprint
+#: and the hot per-vertex property arrays are a few percent of it,
+#: while the trace stays short enough for pure-Python simulation.
+OFFSET_BYTES = 8
+NEIGHBOR_BYTES = 512
+WEIGHT_BYTES = 512
+
+
+@dataclass
+class GraphLayout:
+    """CSR + property arrays placed into an address space."""
+
+    layout: AddressSpaceLayout
+    offsets_base: int
+    neighbors_base: int
+    prop_bases: dict[str, int]
+    prop_stride: int
+    neighbor_stride: int = NEIGHBOR_BYTES
+
+    def offsets_addr(self, vertices: np.ndarray) -> np.ndarray:
+        """Addresses of the CSR offsets entries for ``vertices``."""
+        return np.uint64(self.offsets_base) + vertices.astype(np.uint64) * np.uint64(
+            OFFSET_BYTES
+        )
+
+    def neighbors_addr(self, edge_indices: np.ndarray) -> np.ndarray:
+        """Addresses of the neighbor-array entries at ``edge_indices``."""
+        return np.uint64(self.neighbors_base) + edge_indices.astype(
+            np.uint64
+        ) * np.uint64(self.neighbor_stride)
+
+    def prop_addr(self, name: str, vertices: np.ndarray) -> np.ndarray:
+        """Addresses of property ``name`` for ``vertices`` (the HUBs)."""
+        return np.uint64(self.prop_bases[name]) + vertices.astype(
+            np.uint64
+        ) * np.uint64(self.prop_stride)
+
+
+def place_graph(
+    graph: CSRGraph,
+    properties: tuple[str, ...],
+    prop_stride: int = 512,
+    neighbor_stride: int = NEIGHBOR_BYTES,
+    extra: dict[str, int] | None = None,
+) -> GraphLayout:
+    """Allocate the workload's VMAs deterministically."""
+    layout = AddressSpaceLayout()
+    offsets = layout.allocate("offsets", (graph.nodes + 1) * OFFSET_BYTES)
+    neighbors = layout.allocate(
+        "neighbors", max(1, graph.edges) * neighbor_stride
+    )
+    prop_bases: dict[str, int] = {}
+    for name in properties:
+        vma = layout.allocate(f"prop.{name}", graph.nodes * prop_stride)
+        prop_bases[name] = vma.start
+    for name, length in (extra or {}).items():
+        layout.allocate(name, length)
+    return GraphLayout(
+        layout=layout,
+        offsets_base=offsets.start,
+        neighbors_base=neighbors.start,
+        prop_bases=prop_bases,
+        prop_stride=prop_stride,
+        neighbor_stride=neighbor_stride,
+    )
+
+
+def expand_edges(graph: CSRGraph, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Edge indices and neighbor vertices for a frontier's out-edges.
+
+    Vectorized gather of every (edge index, destination) pair reached
+    from ``frontier`` — the unit of work per BFS/SSSP round.
+    """
+    starts = graph.offsets[frontier]
+    stops = graph.offsets[frontier + 1]
+    degrees = stops - starts
+    total = int(degrees.sum())
+    if total == 0:
+        return (
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int32),
+        )
+    # Edge indices: concatenation of [starts[i], stops[i]) ranges.
+    repeats = np.repeat(stops - degrees, degrees)
+    within = np.arange(total, dtype=np.int64) - np.repeat(
+        np.cumsum(degrees) - degrees, degrees
+    )
+    edge_indices = repeats + within
+    return edge_indices, graph.neighbors[edge_indices]
+
+
+def interleave_streams(*streams: np.ndarray) -> np.ndarray:
+    """Alternate equally-long address streams element-wise.
+
+    ``interleave_streams(n, p)`` yields ``n0 p0 n1 p1 ...`` — the order
+    a real inner loop issues them (load the neighbor id, then gather
+    that neighbor's property), which is what keeps HUB walks present in
+    every PCC measurement interval rather than arriving in one batch.
+    """
+    if not streams:
+        return np.empty(0, dtype=np.uint64)
+    length = streams[0].size
+    for stream in streams:
+        if stream.size != length:
+            raise ValueError("interleaved streams must have equal length")
+    stacked = np.empty((length, len(streams)), dtype=np.uint64)
+    for column, stream in enumerate(streams):
+        stacked[:, column] = stream
+    return stacked.ravel()
+
+
+def record_frontier_expansion(
+    recorder: TraceRecorder,
+    glayout: GraphLayout,
+    frontier: np.ndarray,
+    edge_indices: np.ndarray,
+    targets: np.ndarray,
+    prop_name: str,
+    extra_streams: tuple[np.ndarray, ...] = (),
+) -> None:
+    """Emit the canonical push-style access pattern for one round:
+    offsets reads for the frontier, then the per-edge inner loop — a
+    sequential neighbor-array read interleaved with the irregular
+    property gather on the edge's destination (plus any extra per-edge
+    streams, e.g. SSSP's weight reads)."""
+    recorder.record(glayout.offsets_addr(frontier))
+    recorder.record(
+        interleave_streams(
+            glayout.neighbors_addr(edge_indices),
+            *extra_streams,
+            glayout.prop_addr(prop_name, targets),
+        )
+    )
+
+
+def make_trace(
+    name: str,
+    recorder: TraceRecorder,
+    graph: CSRGraph,
+    extra_metadata: dict | None = None,
+) -> Trace:
+    """Finalize a workload's recorder with standard graph metadata."""
+    metadata = {
+        "graph": graph.name,
+        "nodes": graph.nodes,
+        "edges": graph.edges,
+    }
+    metadata.update(extra_metadata or {})
+    return recorder.finish(metadata=metadata)

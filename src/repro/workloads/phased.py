@@ -1,0 +1,84 @@
+"""Multi-phase synthetic workload (§3.3.3, "Application Phases").
+
+The paper observes that pages promoted before a phase change may stop
+earning their huge frames, making demotion valuable — but its graph
+workloads don't phase, so it leaves the study to future work. This
+workload provides the missing stimulus: execution alternates between
+two disjoint hot arenas (phase A hammers arena A while arena B idles,
+then they swap), with a cold streamed region in the background so
+contiguity stays scarce.
+
+Under fragmentation, a promotion-only policy spends all frames on
+phase A's regions and has nothing left when phase B begins; PCC-driven
+demotion (§3.3.3) reclaims the now-cold frames and re-targets them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.system import ProcessWorkload
+from repro.trace import synthesis
+from repro.trace.recorder import TraceRecorder
+from repro.vm.layout import AddressSpaceLayout
+
+
+def phased_workload(
+    accesses_per_phase: int = 120_000,
+    phases: int = 2,
+    arena_bytes: int = 12 << 20,
+    stream_bytes: int = 48 << 20,
+    seed: int = 31,
+) -> ProcessWorkload:
+    """Alternating-hot-arena workload with a background stream.
+
+    ``phases`` counts phase *switches* plus one: with the default 2,
+    arena A is hot first, then arena B. Each phase mixes 80% hot-arena
+    gathers with 20% background streaming.
+    """
+    if phases < 1:
+        raise ValueError(f"need at least one phase, got {phases}")
+    rng = np.random.default_rng(seed)
+    layout = AddressSpaceLayout()
+    arena_a = layout.allocate("arena_a", arena_bytes)
+    arena_b = layout.allocate("arena_b", arena_bytes)
+    stream = layout.allocate("stream", stream_bytes)
+    recorder = TraceRecorder("phased", layout)
+
+    stream_cursor = 0
+    for phase in range(phases):
+        arena = arena_a if phase % 2 == 0 else arena_b
+        hot = synthesis.uniform_random(
+            arena, accesses_per_phase * 4 // 5, rng, granularity=512
+        )
+        scan_count = accesses_per_phase - hot.size
+        scan = synthesis.strided(
+            stream, scan_count, stride=512, start=stream_cursor
+        )
+        stream_cursor = (stream_cursor + scan_count * 512) % stream_bytes
+        # interleave hot gathers with the stream at fine grain
+        ratio = max(1, hot.size // max(1, scan.size))
+        recorder.record(_proportional_merge(hot, scan, ratio))
+    return ProcessWorkload.single_thread(
+        recorder.finish({"phases": phases}), layout
+    )
+
+
+def _proportional_merge(hot: np.ndarray, cold: np.ndarray, ratio: int
+                        ) -> np.ndarray:
+    """Merge ``ratio`` hot accesses per cold access, preserving order."""
+    out = np.empty(hot.size + cold.size, dtype=np.uint64)
+    hot_index = 0
+    cold_index = 0
+    position = 0
+    while hot_index < hot.size or cold_index < cold.size:
+        take = min(ratio, hot.size - hot_index)
+        if take > 0:
+            out[position : position + take] = hot[hot_index : hot_index + take]
+            hot_index += take
+            position += take
+        if cold_index < cold.size:
+            out[position] = cold[cold_index]
+            cold_index += 1
+            position += 1
+    return out[:position]

@@ -1,0 +1,113 @@
+"""Workload registry: Table 1's application matrix by name.
+
+``build_workload("BFS", dataset="kronecker", scale=14)`` yields a ready
+:class:`~repro.engine.system.ProcessWorkload`; the registry also knows
+each workload's qualitative TLB sensitivity, used by tests to assert
+the expected ordering of results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.system import ProcessWorkload
+from repro.workloads import graph as graphs
+from repro.workloads.bfs import bfs_workload
+from repro.workloads.pagerank import pagerank_workload
+from repro.workloads.parsec_spec import proxy_workload
+from repro.workloads.sssp import sssp_workload
+
+#: dataset name -> generator
+DATASETS = {
+    "kronecker": graphs.kronecker,
+    "social": graphs.social,
+    "web": graphs.web,
+}
+
+GRAPH_WORKLOADS = ("BFS", "SSSP", "PR")
+PROXY_WORKLOADS = ("canneal", "omnetpp", "xalancbmk", "dedup", "mcf")
+#: extension workloads beyond Table 1 (phase-change and 1GB studies)
+EXTENDED_WORKLOADS = ("phased", "giant-span")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Description of a runnable workload configuration."""
+
+    name: str
+    is_graph: bool
+    #: qualitative TLB sensitivity per Fig. 1: high / medium / low
+    tlb_sensitivity: str
+
+
+SPECS = {
+    "BFS": WorkloadSpec("BFS", True, "high"),
+    "SSSP": WorkloadSpec("SSSP", True, "high"),
+    "PR": WorkloadSpec("PR", True, "high"),
+    "canneal": WorkloadSpec("canneal", False, "medium"),
+    "omnetpp": WorkloadSpec("omnetpp", False, "medium"),
+    "xalancbmk": WorkloadSpec("xalancbmk", False, "medium"),
+    "dedup": WorkloadSpec("dedup", False, "low"),
+    "mcf": WorkloadSpec("mcf", False, "low"),
+}
+
+
+def workload_names() -> list[str]:
+    """All 8 applications, in the paper's figure order."""
+    return ["BFS", "SSSP", "PR", "canneal", "omnetpp", "xalancbmk", "dedup", "mcf"]
+
+
+def graph_workload_names() -> list[str]:
+    return list(GRAPH_WORKLOADS)
+
+
+def build_graph(dataset: str = "kronecker", scale: int = 14, sorted_dbg: bool = False,
+                **kwargs) -> graphs.CSRGraph:
+    """Build (and optionally DBG-reorder) one of the dataset families."""
+    if dataset not in DATASETS:
+        raise KeyError(f"unknown dataset {dataset!r}; have {sorted(DATASETS)}")
+    graph = DATASETS[dataset](scale=scale, **kwargs)
+    if sorted_dbg:
+        graph = graphs.degree_based_grouping(graph)
+    return graph
+
+
+def build_workload(
+    name: str,
+    dataset: str = "kronecker",
+    scale: int = 14,
+    sorted_dbg: bool = False,
+    accesses: int = 500_000,
+    prop_stride: int = 512,
+    seed: int | None = None,
+) -> ProcessWorkload:
+    """Instantiate a workload by Table 1 name.
+
+    ``seed`` varies the dataset (graph apps) or the access stream
+    (proxies) for run-to-run variance studies; ``None`` keeps each
+    workload's fixed default seed for reproducibility.
+    """
+    if name in GRAPH_WORKLOADS:
+        graph_kwargs = {} if seed is None else {"seed": seed}
+        graph = build_graph(
+            dataset, scale=scale, sorted_dbg=sorted_dbg, **graph_kwargs
+        )
+        if name == "BFS":
+            return bfs_workload(graph, prop_stride=prop_stride)
+        if name == "SSSP":
+            return sssp_workload(graph, prop_stride=prop_stride)
+        return pagerank_workload(graph, prop_stride=prop_stride)
+    if name in PROXY_WORKLOADS:
+        return proxy_workload(name, accesses=accesses, seed=seed)
+    if name == "phased":
+        from repro.workloads.phased import phased_workload
+
+        return phased_workload(accesses_per_phase=max(1, accesses // 2))
+    if name == "giant-span":
+        from repro.experiments.ablations import giant_span_workload
+
+        return giant_span_workload(accesses=accesses)
+    raise KeyError(
+        f"unknown workload {name!r}; have "
+        f"{workload_names() + list(EXTENDED_WORKLOADS)}"
+    )

@@ -1,0 +1,68 @@
+"""Tests for dataset aggregation helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.aggregate import (
+    DATASET_MATRIX,
+    DatasetVariant,
+    geomean,
+    geomean_series,
+    matrix_speedups,
+)
+
+
+class TestGeomean:
+    def test_simple(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geomean([3.0]) == pytest.approx(3.0)
+
+    def test_identity(self):
+        assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_below_arithmetic_mean(self):
+        values = [1.0, 2.0, 4.0]
+        assert geomean(values) < sum(values) / len(values)
+
+
+class TestGeomeanSeries:
+    def test_pointwise(self):
+        result = geomean_series([[1.0, 4.0], [4.0, 1.0]])
+        assert result == pytest.approx([2.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            geomean_series([[1.0], [1.0, 2.0]])
+
+
+class TestMatrix:
+    def test_six_variants(self):
+        assert len(DATASET_MATRIX) == 6
+        labels = {v.label for v in DATASET_MATRIX}
+        assert "kronecker/unsorted" in labels
+        assert "web/sorted" in labels
+
+    def test_matrix_speedups(self):
+        def run_one(app, variant):
+            return 2.0 if variant.sorted_dbg else 1.0
+
+        per_variant, mean = matrix_speedups("BFS", run_one)
+        assert per_variant["kronecker/sorted"] == 2.0
+        assert mean == pytest.approx(math.sqrt(2.0))
+
+    def test_custom_variants(self):
+        variants = (DatasetVariant("kronecker", False),)
+        per_variant, mean = matrix_speedups("BFS", lambda a, v: 1.5, variants)
+        assert mean == 1.5
+        assert list(per_variant) == ["kronecker/unsorted"]

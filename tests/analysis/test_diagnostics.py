@@ -1,0 +1,80 @@
+"""Tests for the diagnostics renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import diagnostics
+from repro.config import tiny_config
+from repro.engine.cpu import Core
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy
+from repro.vm.pagetable import PageTable
+from tests.conftest import make_workload
+from tests.engine.test_simulation import hot_cold_addresses
+
+BASE = 0x5555_5540_0000
+
+
+@pytest.fixture
+def warmed_core():
+    core = Core(tiny_config())
+    table = PageTable()
+    for page in range(8):
+        table.map_base(BASE + page * 4096, frame=page)
+    for page in range(8):
+        core.access_page((BASE >> 12) + page, table)
+    return core
+
+
+class TestTLBBreakdown:
+    def test_four_structures(self, warmed_core):
+        breakdown = diagnostics.tlb_breakdown(warmed_core)
+        names = [entry.name for entry in breakdown]
+        assert names == ["L1-4K", "L1-2M", "L1-1G", "L2"]
+
+    def test_counts_consistent(self, warmed_core):
+        l1 = diagnostics.tlb_breakdown(warmed_core)[0]
+        assert l1.misses > 0
+        assert 0.0 <= l1.hit_rate <= 1.0
+        assert l1.occupancy > 0
+
+    def test_hit_rate_empty(self):
+        core = Core(tiny_config())
+        for entry in diagnostics.tlb_breakdown(core):
+            assert entry.hit_rate == 0.0
+
+
+class TestRenderers:
+    def test_render_core(self, warmed_core):
+        text = diagnostics.render_core(warmed_core)
+        assert "L1-4K" in text
+        assert "walker:" in text
+        assert "2MB PCC:" in text
+
+    def test_render_core_with_giga(self):
+        from repro.config import PCCConfig
+
+        config = tiny_config().with_(
+            pcc=PCCConfig(entries=4, giga_entries=2, giga_enabled=True)
+        )
+        text = diagnostics.render_core(Core(config))
+        assert "1GB PCC:" in text
+
+    def test_render_kernel_and_run(self, config):
+        simulator = Simulator(config, policy=HugePagePolicy.PCC)
+        result = simulator.run(
+            [make_workload(hot_cold_addresses(repeats=1500))]
+        )
+        kernel_text = diagnostics.render_kernel(simulator.kernel)
+        assert "frames:" in kernel_text
+        assert "pid 1:" in kernel_text
+        assert "PCC engine:" in kernel_text
+        run_text = diagnostics.render_run(result)
+        assert "policy=pcc" in run_text
+        assert "core 0:" in run_text
+
+    def test_render_kernel_baseline_policy(self, config):
+        simulator = Simulator(config, policy=HugePagePolicy.NONE)
+        simulator.run([make_workload(hot_cold_addresses(repeats=200))])
+        text = diagnostics.render_kernel(simulator.kernel)
+        assert "PCC engine" not in text

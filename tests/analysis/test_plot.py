@@ -1,0 +1,81 @@
+"""Tests for the ASCII plotting helpers."""
+
+import pytest
+
+from repro.analysis.plot import Series, line_plot, utility_plot
+from repro.analysis.utility import UtilityCurve, UtilityPoint
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        chart = line_plot(
+            [Series("up", [1.0, 2.0, 3.0])],
+            width=30,
+            height=6,
+            x_labels=[0, 50, 100],
+        )
+        assert "legend: * up" in chart
+        assert "3.00" in chart
+        assert "1.00" in chart
+        assert "100" in chart
+
+    def test_rising_series_slopes_upward(self):
+        chart = line_plot([Series("s", [0.0, 10.0])], width=10, height=5)
+        rows = [line for line in chart.splitlines() if "|" in line]
+        first_col = rows[-1].index("*")
+        last_row_of_max = next(i for i, r in enumerate(rows) if "*" in r)
+        # the max value sits on the top row, the min on the bottom
+        assert last_row_of_max == 0
+        assert "*" in rows[-1]
+        assert first_col < rows[0].index("*")
+
+    def test_multiple_series_glyphs(self):
+        chart = line_plot(
+            [Series("a", [1, 2]), Series("b", [2, 1])], width=12, height=4
+        )
+        assert "*" in chart and "o" in chart
+        assert "a" in chart and "b" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_plot([Series("flat", [5.0, 5.0, 5.0])], width=12, height=4)
+        assert "flat" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one series"):
+            line_plot([])
+        with pytest.raises(ValueError, match="lengths differ"):
+            line_plot([Series("a", [1, 2]), Series("b", [1, 2, 3])])
+        with pytest.raises(ValueError, match="two points"):
+            line_plot([Series("a", [1])])
+
+    def test_custom_bounds(self):
+        chart = line_plot(
+            [Series("s", [1.0, 2.0])], y_min=0.0, y_max=4.0, width=10, height=4
+        )
+        assert "4.00" in chart
+        assert "0.00" in chart
+
+
+class TestUtilityPlot:
+    def _curve(self, policy, speedups):
+        points = [
+            UtilityPoint(
+                budget_percent=p, budget_regions=p, cycles=100,
+                walk_rate=0.1, promotions=0, speedup=s,
+            )
+            for p, s in zip((0, 50, 100), speedups)
+        ]
+        return UtilityCurve("w", policy, points=points)
+
+    def test_curves_with_reference(self):
+        chart = utility_plot(
+            [self._curve("pcc", [1.0, 1.5, 1.8])],
+            references={"ideal": 2.0},
+        )
+        assert "pcc" in chart
+        assert "ideal" in chart
+        assert "budget" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            utility_plot([])

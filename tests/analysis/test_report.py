@@ -1,0 +1,37 @@
+"""Tests for report formatting helpers."""
+
+from repro.analysis import report
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        table = report.format_table(
+            ["Name", "Value"], [["a", 1], ["long-name", 22]], title="T"
+        )
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "Name" in lines[1]
+        # all rows same width
+        assert len(set(len(line) for line in lines[1:])) == 1
+
+    def test_float_formatting(self):
+        table = report.format_table(["x"], [[1.23456]])
+        assert "1.23" in table
+
+
+class TestScalars:
+    def test_percent(self):
+        assert report.percent(0.1534) == "15.3%"
+        assert report.percent(0.1534, decimals=0) == "15%"
+
+    def test_speedup(self):
+        assert report.speedup(1.279) == "1.28x"
+
+    def test_series(self):
+        assert report.series("s", [1.0, 2.5]) == "s: 1.00 2.50"
+
+    def test_bytes_human(self):
+        assert report.bytes_human(512) == "512B"
+        assert report.bytes_human(2048) == "2.0KB"
+        assert report.bytes_human(3 << 20) == "3.0MB"
+        assert report.bytes_human(5 << 30) == "5.0GB"

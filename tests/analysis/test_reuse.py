@@ -1,0 +1,102 @@
+"""Tests for reuse-distance computation and HUB classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reuse import (
+    AccessClass,
+    classify_pages,
+    profile_trace,
+    reuse_distances,
+)
+from repro.trace.events import Trace
+
+
+class TestReuseDistances:
+    def test_empty(self):
+        assert reuse_distances(np.array([], dtype=np.int64)) == {}
+
+    def test_single_access_infinite(self):
+        distances = reuse_distances(np.array([5]))
+        assert distances[5] == float("inf")
+
+    def test_back_to_back_is_perfect_locality(self):
+        # AAA: zero accesses to other pages between uses
+        distances = reuse_distances(np.array([7, 7, 7]))
+        assert distances[7] == 0.0
+
+    def test_simple_alternation(self):
+        # A B A: one access to another page between A's uses
+        distances = reuse_distances(np.array([1, 2, 1]))
+        assert distances[1] == 1.0
+
+    def test_known_pattern(self):
+        # A B C A: distance 2 for A
+        distances = reuse_distances(np.array([1, 2, 3, 1]))
+        assert distances[1] == 2.0
+        assert distances[2] == float("inf")
+
+    def test_mean_over_multiple_reuses(self):
+        # B at positions 1 and 5 with A C C between -> distance 3
+        distances = reuse_distances(np.array([1, 2, 1, 3, 3, 2]))
+        assert distances[2] == 3.0
+
+    def test_mean_of_two_intervals(self):
+        # A at positions 0, 2, 5 -> distances 1 and 2, mean 1.5
+        distances = reuse_distances(np.array([1, 2, 1, 2, 2, 1]))
+        assert distances[1] == 1.5
+
+
+def build_trace(page_sequence):
+    return Trace("t", np.array(page_sequence, dtype=np.uint64) * 4096)
+
+
+class TestClassification:
+    def test_tlb_friendly_low_4k_distance(self):
+        # page 0 reused with distance 1 << threshold
+        trace = build_trace([0, 1, 0, 1, 0])
+        classes = classify_pages(trace, threshold=10)
+        assert classes[0] is AccessClass.TLB_FRIENDLY
+
+    def test_hub_high_4k_low_2m(self):
+        # pages 0..19 inside ONE 2MB region, cycled: page distance 19,
+        # region distance 0 -> with threshold 10: HUB
+        sequence = list(range(20)) * 3
+        classes = classify_pages(build_trace(sequence), threshold=10)
+        assert classes[0] is AccessClass.HUB
+
+    def test_low_reuse_high_both(self):
+        # pages spread across many 2MB regions, cycled with long period
+        pages = [i * 512 for i in range(20)]  # one page per region
+        classes = classify_pages(build_trace(pages * 3), threshold=10)
+        assert classes[0] is AccessClass.LOW_REUSE
+
+    def test_single_touch_pages_low_reuse(self):
+        classes = classify_pages(build_trace([0, 512, 1024]), threshold=10)
+        assert all(c is AccessClass.LOW_REUSE for c in classes.values())
+
+
+class TestProfile:
+    def test_scatter_points_shape(self):
+        profile = profile_trace(build_trace([0, 1, 0, 1]), threshold=10)
+        points = profile.scatter_points()
+        assert len(points) == 2
+        x, y, cls = points[0]
+        assert isinstance(cls, AccessClass)
+
+    def test_class_counts_total(self):
+        profile = profile_trace(build_trace(list(range(20)) * 2), threshold=10)
+        counts = profile.class_counts()
+        assert sum(counts.values()) == 20
+
+    def test_hub_regions_ranked_by_hub_page_count(self):
+        # region 0: 20 hub pages; region 1: 5 hub pages cycled together
+        seq = (list(range(20)) + [512, 513, 514, 515, 516]) * 3
+        profile = profile_trace(build_trace(seq), threshold=10)
+        hubs = profile.hub_regions()
+        assert hubs[0] == 0
+        assert 1 in hubs
+
+    def test_hub_regions_empty_for_friendly_trace(self):
+        profile = profile_trace(build_trace([0, 1] * 50), threshold=10)
+        assert profile.hub_regions() == []

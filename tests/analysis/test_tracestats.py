@@ -1,0 +1,83 @@
+"""Tests for trace statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import tracestats
+from repro.trace.events import Trace
+from repro.vm.layout import AddressSpaceLayout
+
+
+def make_layout_and_trace():
+    layout = AddressSpaceLayout()
+    hot = layout.allocate("hot", 1 << 20)
+    cold = layout.allocate("cold", 8 << 20)
+    addresses = np.concatenate(
+        [
+            np.full(900, hot.start, dtype=np.uint64),
+            np.uint64(cold.start)
+            + np.arange(100, dtype=np.uint64) * np.uint64(4096),
+        ]
+    )
+    return layout, Trace("mix", addresses, footprint_bytes=9 << 20)
+
+
+class TestAnalyze:
+    def test_counts(self):
+        layout, trace = make_layout_and_trace()
+        stats = tracestats.analyze(trace, layout)
+        assert stats.accesses == 1000
+        assert stats.unique_pages == 101
+        assert stats.footprint_bytes == 9 << 20
+
+    def test_vma_shares_ordered_by_heat(self):
+        layout, trace = make_layout_and_trace()
+        stats = tracestats.analyze(trace, layout)
+        assert [s.name for s in stats.vma_shares] == ["hot", "cold"]
+        assert stats.vma_shares[0].share == pytest.approx(0.9)
+        assert stats.vma_shares[1].touched_pages == 100
+
+    def test_region_skew(self):
+        layout, trace = make_layout_and_trace()
+        stats = tracestats.analyze(trace, layout)
+        # the hot VMA's single region absorbs 90% of accesses
+        assert stats.top_decile_region_share >= 0.9
+
+    def test_compression_reflects_locality(self):
+        sequential = Trace(
+            "seq",
+            np.arange(4096, dtype=np.uint64) * np.uint64(64),
+        )
+        random = Trace(
+            "rand",
+            (np.arange(4096, dtype=np.uint64) * np.uint64(4096 * 7))
+            % np.uint64(1 << 30),
+        )
+        assert (
+            tracestats.analyze(sequential).compression_ratio
+            > 10 * tracestats.analyze(random).compression_ratio
+        )
+
+    def test_empty_trace(self):
+        stats = tracestats.analyze(Trace("e", np.empty(0, dtype=np.uint64)))
+        assert stats.accesses == 0
+        assert stats.unique_regions == 0
+        assert stats.top_decile_region_share == 0.0
+
+    def test_without_layout_no_vma_shares(self):
+        _, trace = make_layout_and_trace()
+        stats = tracestats.analyze(trace)
+        assert stats.vma_shares == []
+
+
+class TestRender:
+    def test_render_includes_table(self):
+        layout, trace = make_layout_and_trace()
+        text = tracestats.render(tracestats.analyze(trace, layout))
+        assert "hot" in text
+        assert "compression" in text
+
+    def test_render_without_layout(self):
+        _, trace = make_layout_and_trace()
+        text = tracestats.render(tracestats.analyze(trace))
+        assert "VMA" not in text

@@ -1,0 +1,117 @@
+"""Tests for the utility-curve runner."""
+
+import pytest
+
+from repro.analysis.utility import (
+    BUDGET_PERCENTS,
+    UtilityCurve,
+    UtilityPoint,
+    budget_regions_for,
+    utility_curve,
+)
+from repro.os.kernel import HugePagePolicy
+from tests.conftest import make_workload
+from tests.engine.test_simulation import hot_cold_addresses
+
+
+class TestBudgets:
+    def test_paper_axis(self):
+        assert BUDGET_PERCENTS == (0, 1, 2, 4, 8, 16, 32, 64, 100)
+
+    def test_zero_budget(self, config):
+        workload = make_workload(hot_cold_addresses())
+        assert budget_regions_for(workload, 0) == 0
+
+    def test_full_budget_unlimited(self, config):
+        workload = make_workload(hot_cold_addresses())
+        assert budget_regions_for(workload, 100) is None
+
+    def test_small_percent_rounds_up_to_one(self):
+        workload = make_workload(hot_cold_addresses())
+        assert budget_regions_for(workload, 1) >= 1
+
+
+class TestCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        from repro.config import tiny_config
+
+        # 32 hot pages thrash the tiny 8-entry L2, so promotion of the
+        # hot region delivers a real gain
+        workload = make_workload(
+            hot_cold_addresses(hot_pages=32, repeats=2500)
+        )
+        return utility_curve(
+            workload,
+            tiny_config(),
+            HugePagePolicy.PCC,
+            budgets=(0, 25, 100),
+        )
+
+    def test_point_per_budget(self, curve):
+        assert [p.budget_percent for p in curve.points] == [0, 25, 100]
+
+    def test_baseline_speedup_is_one(self, curve):
+        assert curve.points[0].speedup == 1.0
+        assert curve.points[0].promotions == 0
+
+    def test_speedup_non_decreasing_with_budget(self, curve):
+        speedups = curve.speedups()
+        assert speedups[-1] >= speedups[0]
+
+    def test_walk_rate_decreases_with_budget(self, curve):
+        rates = curve.walk_rates()
+        assert rates[-1] < rates[0]
+
+    def test_peak_and_fraction_helpers(self, curve):
+        peak = curve.peak_speedup()
+        assert peak >= 1.0
+        budget = curve.budget_for_fraction_of_peak(0.5)
+        assert budget in (0, 25, 100)
+
+
+class TestCurveDataclasses:
+    def test_empty_curve_helpers(self):
+        curve = UtilityCurve("w", "pcc", points=[
+            UtilityPoint(0, 0, 100, 0.5, 0, speedup=1.0)
+        ])
+        assert curve.budget_for_fraction_of_peak(0.75) == 0
+
+
+class TestFragmentedCurve:
+    def test_fragmentation_caps_effective_budget(self):
+        """Under fragmentation, promotions stop at the contiguity
+        capacity even when the budget axis asks for more."""
+        from repro.config import tiny_config
+
+        workload = make_workload(
+            hot_cold_addresses(hot_pages=32, repeats=2500)
+        )
+        curve = utility_curve(
+            workload,
+            tiny_config(memory_bytes=8 << 21),  # 8 frames
+            HugePagePolicy.PCC,
+            budgets=(0, 100),
+            fragmentation=0.75,  # 6 pinned, 2 scatter-movable
+        )
+        full_point = curve.points[-1]
+        # at most the two recoverable frames could be promoted
+        assert full_point.promotions <= 2
+
+    def test_unfragmented_curve_promotes_more(self):
+        from repro.config import tiny_config
+
+        workload = make_workload(
+            hot_cold_addresses(hot_pages=32, repeats=2500)
+        )
+        free = utility_curve(
+            workload, tiny_config(), HugePagePolicy.PCC, budgets=(0, 100)
+        )
+        tight = utility_curve(
+            workload,
+            tiny_config(memory_bytes=8 << 21),
+            HugePagePolicy.PCC,
+            budgets=(0, 100),
+            fragmentation=0.75,
+        )
+        assert free.points[-1].promotions >= tight.points[-1].promotions

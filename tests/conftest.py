@@ -1,0 +1,65 @@
+"""Shared fixtures: tiny configurations and miniature workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import PCCConfig, tiny_config
+from repro.engine.system import ProcessWorkload
+from repro.trace.events import Trace
+from repro.trace.recorder import TraceRecorder
+from repro.vm.layout import AddressSpaceLayout
+from repro.workloads.graph import kronecker
+
+
+@pytest.fixture
+def config():
+    """Tiny system configuration for fast unit tests."""
+    return tiny_config()
+
+
+@pytest.fixture
+def pcc_config():
+    return PCCConfig(entries=4, giga_entries=2)
+
+
+@pytest.fixture
+def small_graph():
+    """A small power-law graph shared by workload tests."""
+    return kronecker(scale=8, degree=8, seed=3)
+
+
+@pytest.fixture
+def layout():
+    return AddressSpaceLayout()
+
+
+def make_workload(
+    addresses: np.ndarray, name: str = "unit", footprint: int | None = None
+) -> ProcessWorkload:
+    """Wrap a raw address array in a single-thread process workload.
+
+    A VMA covering the touched range is synthesized so kernel fault
+    handling sees every access as THP-eligible.
+    """
+    addresses = np.asarray(addresses, dtype=np.uint64)
+    layout = AddressSpaceLayout()
+    if addresses.size:
+        lo = int(addresses.min()) & ~((1 << 21) - 1)
+        hi = int(addresses.max()) + 4096
+        span = max(hi - lo, 2 << 20)
+    else:
+        lo, span = 0x5555_5540_0000, 2 << 20
+    # place one VMA exactly over the touched range
+    vma_layout = AddressSpaceLayout(heap_base=lo or (2 << 20))
+    vma_layout.allocate("data", span)
+    trace = Trace(name=name, addresses=addresses, footprint_bytes=span)
+    return ProcessWorkload.single_thread(trace, vma_layout)
+
+
+@pytest.fixture
+def tiny_bfs_workload(small_graph):
+    from repro.workloads.bfs import bfs_workload
+
+    return bfs_workload(small_graph)

@@ -1,0 +1,58 @@
+"""Unit tests for the PCC dump region."""
+
+from repro.config import PCCConfig
+from repro.core.dump import CandidateRecord, DumpRegion
+from repro.core.pcc import PromotionCandidateCache
+from repro.vm.address import PageSize
+
+
+def ranked_entries(tags_with_freq):
+    pcc = PromotionCandidateCache(PCCConfig(entries=16))
+    for tag, freq in tags_with_freq:
+        for _ in range(freq + 1):
+            pcc.access(tag)
+    return pcc.ranked()
+
+
+class TestWrite:
+    def test_preserves_priority_order(self):
+        region = DumpRegion()
+        entries = ranked_entries([(1, 5), (2, 9), (3, 1)])
+        region.write(entries, pid=1, core=0)
+        records = region.read_all()
+        assert [r.tag for r in records] == [2, 1, 3]
+
+    def test_records_carry_identity(self):
+        region = DumpRegion()
+        region.write(ranked_entries([(7, 0)]), pid=42, core=3)
+        record = region.read_all()[0]
+        assert record.pid == 42
+        assert record.core == 3
+        assert record.page_size is PageSize.HUGE
+
+    def test_capacity_bound_drops_overflow(self):
+        region = DumpRegion(capacity_records=2)
+        entries = ranked_entries([(1, 1), (2, 2), (3, 3)])
+        written = region.write(entries, pid=1, core=0)
+        assert written == 2
+        assert region.dropped == 1
+
+    def test_read_all_drains(self):
+        region = DumpRegion()
+        region.write(ranked_entries([(1, 0)]), pid=1, core=0)
+        assert len(region) == 1
+        region.read_all()
+        assert len(region) == 0
+        assert region.read_all() == []
+
+
+class TestCandidateRecord:
+    def test_vaddr_reconstruction_2mb(self):
+        record = CandidateRecord(pid=1, core=0, tag=3, frequency=0)
+        assert record.vaddr == 3 << 21
+
+    def test_vaddr_reconstruction_1gb(self):
+        record = CandidateRecord(
+            pid=1, core=0, tag=3, frequency=0, page_size=PageSize.GIGA
+        )
+        assert record.vaddr == 3 << 30

@@ -1,0 +1,212 @@
+"""Unit tests for the Promotion Candidate Cache."""
+
+import pytest
+
+from repro.config import PCCConfig
+from repro.core.pcc import PromotionCandidateCache
+
+
+def make_pcc(entries=4, counter_bits=8, replacement="lfu"):
+    return PromotionCandidateCache(
+        PCCConfig(entries=entries, counter_bits=counter_bits,
+                  replacement=replacement)
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            PCCConfig(entries=0)
+
+    def test_rejects_bad_counter_bits(self):
+        with pytest.raises(ValueError):
+            PCCConfig(counter_bits=0)
+        with pytest.raises(ValueError):
+            PCCConfig(counter_bits=33)
+
+    def test_rejects_unknown_replacement(self):
+        with pytest.raises(ValueError):
+            PCCConfig(replacement="random")
+
+    def test_counter_max(self):
+        assert PCCConfig(counter_bits=8).counter_max == 255
+        assert PCCConfig(counter_bits=4).counter_max == 15
+
+    def test_capacity_override(self):
+        pcc = PromotionCandidateCache(PCCConfig(entries=128), capacity=8)
+        assert pcc.capacity == 8
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            PromotionCandidateCache(PCCConfig(entries=4), capacity=0)
+
+
+class TestInsertion:
+    def test_miss_inserts_with_frequency_zero(self):
+        pcc = make_pcc()
+        entry = pcc.access(100)
+        assert entry.frequency == 0
+        assert 100 in pcc
+        assert len(pcc) == 1
+
+    def test_hit_increments(self):
+        pcc = make_pcc()
+        pcc.access(100)
+        entry = pcc.access(100)
+        assert entry.frequency == 1
+        assert pcc.frequency_of(100) == 1
+
+    def test_stats(self):
+        pcc = make_pcc()
+        pcc.access(1)
+        pcc.access(1)
+        pcc.access(2)
+        assert pcc.stats.accesses == 3
+        assert pcc.stats.hits == 1
+        assert pcc.stats.misses == 2
+        assert pcc.stats.insertions == 2
+
+    def test_promoted_leaf_flag_sticks(self):
+        pcc = make_pcc()
+        pcc.access(1, promoted_leaf=False)
+        pcc.access(1, promoted_leaf=True)
+        entry = pcc.access(1, promoted_leaf=False)
+        assert entry.promoted_leaf
+
+
+class TestEviction:
+    def test_capacity_never_exceeded(self):
+        pcc = make_pcc(entries=4)
+        for tag in range(20):
+            pcc.access(tag)
+        assert len(pcc) == 4
+
+    def test_lfu_evicts_least_frequent(self):
+        pcc = make_pcc(entries=2)
+        pcc.access(1)
+        pcc.access(1)  # freq 1
+        pcc.access(2)  # freq 0
+        pcc.access(3)  # evicts 2
+        assert 1 in pcc
+        assert 2 not in pcc
+        assert 3 in pcc
+
+    def test_lru_tiebreak_among_equal_frequencies(self):
+        pcc = make_pcc(entries=3)
+        pcc.access(1)
+        pcc.access(2)
+        pcc.access(3)
+        pcc.access(4)  # all freq 0: evict the least recent = 1
+        assert 1 not in pcc
+        assert {2, 3, 4} <= pcc._entries.keys()
+
+    def test_hit_refreshes_recency_for_tiebreak(self):
+        pcc = make_pcc(entries=2, counter_bits=8)
+        pcc.access(1)
+        pcc.access(2)
+        # both freq 0... hit 1 to make it freq 1; then fill
+        pcc.access(1)
+        pcc.access(3)  # evicts 2 (freq 0)
+        assert 1 in pcc
+        assert 2 not in pcc
+
+    def test_pure_lru_policy(self):
+        pcc = make_pcc(entries=2, replacement="lru")
+        pcc.access(1)
+        pcc.access(1)  # high frequency, but old
+        pcc.access(2)
+        pcc.access(3)  # pure LRU evicts 1 despite its frequency
+        assert 1 not in pcc
+        assert 2 in pcc
+
+    def test_eviction_stats(self):
+        pcc = make_pcc(entries=1)
+        pcc.access(1)
+        pcc.access(2)
+        assert pcc.stats.evictions == 1
+
+
+class TestSaturationDecay:
+    def test_counter_saturates_at_max(self):
+        pcc = make_pcc(entries=2, counter_bits=2)  # max 3
+        for _ in range(10):
+            entry = pcc.access(7)
+        assert entry.frequency <= 3
+
+    def test_decay_halves_all_counters(self):
+        pcc = make_pcc(entries=2, counter_bits=3)  # max 7
+        for _ in range(8):
+            pcc.access(1)  # reaches 7
+        pcc.access(2)
+        pcc.access(2)  # freq 1
+        pcc.access(1)  # saturation: halve all, then increment
+        # after halving 7 -> 3, +1 = 4; tag 2: 1 -> 0
+        assert pcc.frequency_of(1) == 4
+        assert pcc.frequency_of(2) == 0
+        assert pcc.stats.decays == 1
+
+    def test_decay_preserves_relative_order(self):
+        pcc = make_pcc(entries=3, counter_bits=4)
+        for _ in range(16):
+            pcc.access(1)
+        for _ in range(8):
+            pcc.access(2)
+        pcc.access(3)
+        ranked = [e.tag for e in pcc.ranked()]
+        assert ranked == [1, 2, 3]
+
+
+class TestRankingAndDump:
+    def test_ranked_by_frequency_descending(self):
+        pcc = make_pcc()
+        pcc.access(10)
+        for _ in range(3):
+            pcc.access(20)
+        for _ in range(2):
+            pcc.access(30)
+        assert [e.tag for e in pcc.ranked()] == [20, 30, 10]
+
+    def test_flush_returns_ranked_and_clears(self):
+        pcc = make_pcc()
+        pcc.access(1)
+        pcc.access(1)
+        pcc.access(2)
+        dumped = pcc.flush()
+        assert [e.tag for e in dumped] == [1, 2]
+        assert len(pcc) == 0
+
+    def test_frequency_of_absent(self):
+        assert make_pcc().frequency_of(99) is None
+
+
+class TestInvalidation:
+    def test_invalidate_present(self):
+        pcc = make_pcc()
+        pcc.access(5)
+        assert pcc.invalidate(5)
+        assert 5 not in pcc
+        assert pcc.stats.invalidations == 1
+
+    def test_invalidate_absent(self):
+        pcc = make_pcc()
+        assert not pcc.invalidate(5)
+
+    def test_invalidated_tag_reinserts_cold(self):
+        pcc = make_pcc()
+        for _ in range(5):
+            pcc.access(5)
+        pcc.invalidate(5)
+        entry = pcc.access(5)
+        assert entry.frequency == 0
+
+
+class TestStorageOverheads:
+    def test_paper_storage_figures(self):
+        """§3.2.1: 128 x (40-bit tag + 8-bit counter) = 768 bytes."""
+        pcc = PromotionCandidateCache(PCCConfig(entries=128))
+        assert pcc.storage_bits(tag_bits=40) == 768 * 8
+
+    def test_1gb_pcc_storage(self):
+        """8 x (31-bit tag + 8-bit counter) = 39 bytes (paper rounds to 40)."""
+        pcc = PromotionCandidateCache(PCCConfig(entries=128), capacity=8)
+        assert pcc.storage_bits(tag_bits=31) == 8 * 39

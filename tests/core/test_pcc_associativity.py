@@ -1,0 +1,86 @@
+"""Tests for the set-associative PCC variant (§3.2.1 ablation)."""
+
+import pytest
+
+from repro.config import PCCConfig
+from repro.core.pcc import PromotionCandidateCache
+
+
+def make_pcc(entries=8, ways=2):
+    return PromotionCandidateCache(
+        PCCConfig(entries=entries, associativity=ways)
+    )
+
+
+class TestConfig:
+    def test_indivisible_ways_rejected(self):
+        with pytest.raises(ValueError):
+            PCCConfig(entries=6, associativity=4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PCCConfig(associativity=-1)
+
+    def test_zero_is_fully_associative(self):
+        pcc = PromotionCandidateCache(PCCConfig(entries=8, associativity=0))
+        assert pcc._sets == 1
+
+
+class TestSetConflicts:
+    def test_conflicting_tags_evict_within_set(self):
+        # 8 entries, 2-way: 4 sets; tags 0, 4, 8 collide in set 0
+        pcc = make_pcc(entries=8, ways=2)
+        pcc.access(0)
+        pcc.access(4)
+        pcc.access(8)  # conflict eviction despite 5 free slots elsewhere
+        assert pcc.stats.evictions == 1
+        assert len(pcc) == 2
+        assert 8 in pcc
+
+    def test_non_conflicting_tags_coexist(self):
+        pcc = make_pcc(entries=8, ways=2)
+        for tag in range(8):  # tags 0..7 spread over 4 sets, 2 each
+            pcc.access(tag)
+        assert len(pcc) == 8
+        assert pcc.stats.evictions == 0
+
+    def test_victim_chosen_within_set_by_lfu(self):
+        pcc = make_pcc(entries=8, ways=2)
+        pcc.access(0)
+        pcc.access(0)  # hot in set 0
+        pcc.access(4)  # cold in set 0
+        pcc.access(1)  # hot-ish in set 1; must not be the victim
+        pcc.access(1)
+        pcc.access(8)  # set 0 conflict: evicts 4, not 0 or 1
+        assert 0 in pcc
+        assert 1 in pcc
+        assert 4 not in pcc
+
+    def test_invalidate_frees_set_slot(self):
+        pcc = make_pcc(entries=8, ways=2)
+        pcc.access(0)
+        pcc.access(4)
+        pcc.invalidate(0)
+        pcc.access(8)  # fits without eviction now
+        assert pcc.stats.evictions == 0
+
+    def test_flush_resets_set_fill(self):
+        pcc = make_pcc(entries=8, ways=2)
+        pcc.access(0)
+        pcc.access(4)
+        pcc.flush()
+        pcc.access(8)
+        pcc.access(12)
+        assert pcc.stats.evictions == 0
+
+
+class TestEquivalenceWhenFull:
+    def test_full_associativity_matches_legacy_behaviour(self):
+        full = PromotionCandidateCache(PCCConfig(entries=4, associativity=0))
+        wide = PromotionCandidateCache(PCCConfig(entries=4, associativity=4))
+        stream = [1, 2, 3, 4, 1, 1, 5, 6, 2, 7]
+        for tag in stream:
+            full.access(tag)
+            wide.access(tag)
+        assert {e.tag for e in full.ranked()} == {e.tag for e in wide.ranked()}
+        assert full.stats.evictions == wide.stats.evictions

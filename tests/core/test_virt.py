@@ -1,0 +1,162 @@
+"""Tests for the virtualization extension (§5.4.3)."""
+
+import pytest
+
+from repro.config import PCCConfig
+from repro.os.physmem import PhysicalMemory
+from repro.vm.address import HUGE_PAGE_SIZE, PageSize
+from repro.virt import Hypervisor, TaggedPCC, World
+
+
+@pytest.fixture
+def pcc():
+    return TaggedPCC(PCCConfig(entries=8))
+
+
+@pytest.fixture
+def hypervisor():
+    return Hypervisor(PhysicalMemory(16 * HUGE_PAGE_SIZE))
+
+
+class TestTaggedPCC:
+    def test_guest_and_host_entries_distinct(self, pcc):
+        pcc.access(World.GUEST, vm_id=1, tag=100)
+        pcc.access(World.HOST, vm_id=1, tag=100)
+        guest = pcc.ranked(World.GUEST)
+        host = pcc.ranked(World.HOST)
+        assert len(guest) == 1 and len(host) == 1
+        assert guest[0].tag == host[0].tag == 100
+        assert len(pcc) == 2
+
+    def test_vm_filter(self, pcc):
+        pcc.access(World.GUEST, vm_id=1, tag=5)
+        pcc.access(World.GUEST, vm_id=2, tag=5)
+        assert len(pcc.ranked(World.GUEST, vm_id=1)) == 1
+        assert pcc.ranked(World.GUEST, vm_id=2)[0].vm_id == 2
+
+    def test_frequency_ordering_preserved(self, pcc):
+        for _ in range(4):
+            pcc.access(World.GUEST, 1, 7)
+        pcc.access(World.GUEST, 1, 9)
+        ranked = pcc.ranked(World.GUEST)
+        assert [e.tag for e in ranked] == [7, 9]
+
+    def test_shared_capacity_across_worlds(self):
+        pcc = TaggedPCC(PCCConfig(entries=2))
+        pcc.access(World.GUEST, 1, 1)
+        pcc.access(World.HOST, 1, 2)
+        pcc.access(World.GUEST, 2, 3)  # evicts one of the first two
+        assert len(pcc) == 2
+
+    def test_invalidate(self, pcc):
+        pcc.access(World.HOST, 1, 42)
+        assert pcc.invalidate(World.HOST, 1, 42)
+        assert not pcc.invalidate(World.HOST, 1, 42)
+        assert pcc.ranked(World.HOST) == []
+
+    def test_flush_returns_tagged_entries(self, pcc):
+        pcc.access(World.GUEST, 3, 11)
+        dumped = pcc.flush()
+        assert dumped[0].world is World.GUEST
+        assert dumped[0].vm_id == 3
+        assert dumped[0].tag == 11
+        assert len(pcc) == 0
+
+    def test_vm_id_range_checked(self, pcc):
+        with pytest.raises(ValueError):
+            pcc.access(World.GUEST, vm_id=256, tag=1)
+
+
+class TestHypervisor:
+    def test_register_twice_rejected(self, hypervisor):
+        hypervisor.register_vm(1)
+        with pytest.raises(ValueError):
+            hypervisor.register_vm(1)
+
+    def test_default_backing_is_base(self, hypervisor):
+        hypervisor.register_vm(1)
+        hypervisor.back_region_base(1, gpa_region=5)
+        assert hypervisor.host_page_size(1, 5) is PageSize.BASE
+
+    def test_hypercall_promotes_host_side(self, hypervisor):
+        hypervisor.register_vm(1)
+        hypervisor.back_region_base(1, 5)
+        assert hypervisor.hypercall_promote(1, 5)
+        assert hypervisor.host_page_size(1, 5) is PageSize.HUGE
+        assert hypervisor.stats.host_promotions == 1
+        assert hypervisor.vm_huge_regions(1) == [5]
+
+    def test_hypercall_idempotent(self, hypervisor):
+        hypervisor.register_vm(1)
+        hypervisor.hypercall_promote(1, 5)
+        assert hypervisor.hypercall_promote(1, 5)
+        assert hypervisor.stats.host_promotions == 1
+
+    def test_hypercall_fails_without_host_contiguity(self):
+        memory = PhysicalMemory(2 * HUGE_PAGE_SIZE)
+        memory.fragment(1.0)
+        hypervisor = Hypervisor(memory)
+        hypervisor.register_vm(1)
+        assert not hypervisor.hypercall_promote(1, 5)
+        assert hypervisor.stats.host_promotion_failures == 1
+
+    def test_vms_compete_for_host_frames(self):
+        memory = PhysicalMemory(2 * HUGE_PAGE_SIZE)
+        hypervisor = Hypervisor(memory)
+        hypervisor.register_vm(1)
+        hypervisor.register_vm(2)
+        assert hypervisor.hypercall_promote(1, 0)
+        assert hypervisor.hypercall_promote(1, 1)
+        assert not hypervisor.hypercall_promote(2, 0)
+
+
+class TestNestedComposition:
+    def test_effective_size_needs_both_sides(self, hypervisor):
+        hypervisor.register_vm(1)
+        hypervisor.back_region_base(1, 7)
+        # guest promoted, host still base -> effectively base (§5.4.3)
+        assert (
+            hypervisor.effective_page_size(1, 7, PageSize.HUGE)
+            is PageSize.BASE
+        )
+        hypervisor.hypercall_promote(1, 7)
+        assert (
+            hypervisor.effective_page_size(1, 7, PageSize.HUGE)
+            is PageSize.HUGE
+        )
+
+    def test_guest_base_never_huge(self, hypervisor):
+        hypervisor.register_vm(1)
+        hypervisor.hypercall_promote(1, 7)
+        assert (
+            hypervisor.effective_page_size(1, 7, PageSize.BASE)
+            is PageSize.BASE
+        )
+
+
+class TestCoPromotion:
+    def test_full_flow(self, hypervisor):
+        hypervisor.register_vm(1)
+        outcome = hypervisor.co_promote(1, 9, guest_promote=lambda: True)
+        assert outcome.guest_promoted
+        assert outcome.host_promoted
+        assert outcome.effective_page_size is PageSize.HUGE
+        assert hypervisor.stats.hypercalls == 1
+
+    def test_guest_failure_skips_hypercall(self, hypervisor):
+        hypervisor.register_vm(1)
+        outcome = hypervisor.co_promote(1, 9, guest_promote=lambda: False)
+        assert not outcome.guest_promoted
+        assert not outcome.host_promoted
+        assert outcome.effective_page_size is PageSize.BASE
+        assert hypervisor.stats.hypercalls == 0
+
+    def test_host_failure_leaves_base_effective(self):
+        memory = PhysicalMemory(2 * HUGE_PAGE_SIZE)
+        memory.fragment(1.0)
+        hypervisor = Hypervisor(memory)
+        hypervisor.register_vm(1)
+        outcome = hypervisor.co_promote(1, 9, guest_promote=lambda: True)
+        assert outcome.guest_promoted
+        assert not outcome.host_promoted
+        assert outcome.effective_page_size is PageSize.BASE

@@ -1,0 +1,115 @@
+"""Unit tests for the per-core pipeline (TLBs + walker + PCC)."""
+
+import pytest
+
+from repro.config import tiny_config
+from repro.engine.cpu import Core
+from repro.vm.address import HUGE_PAGE_SIZE
+from repro.vm.pagetable import PageTable
+
+BASE = 0x5555_5540_0000
+VPN = BASE >> 12
+REGION = BASE >> 21
+
+
+@pytest.fixture
+def table():
+    table = PageTable()
+    for page in range(8):
+        table.map_base(BASE + page * 4096, frame=page)
+    return table
+
+
+@pytest.fixture
+def core():
+    return Core(tiny_config())
+
+
+class TestAccessPath:
+    def test_first_access_walks(self, core, table):
+        cycles = core.access_page(VPN, table)
+        assert core.stats.walks == 1
+        assert cycles > 0
+
+    def test_second_access_hits_l1_free(self, core, table):
+        core.access_page(VPN, table)
+        cycles = core.access_page(VPN, table)
+        assert cycles == 0  # L1 hit costs nothing extra
+        assert core.stats.l1_hits == 1
+
+    def test_repeat_counts_as_l1_hits(self, core, table):
+        core.access_page(VPN, table, repeat=10)
+        assert core.stats.accesses == 10
+        assert core.stats.walks == 1
+        assert core.stats.l1_hits == 9
+
+    def test_walk_rate(self, core, table):
+        core.access_page(VPN, table, repeat=4)
+        assert core.stats.walk_rate == 0.25
+
+
+class TestPCCAdmission:
+    def test_cold_region_not_admitted(self, core, table):
+        core.access_page(VPN, table)
+        assert len(core.pcc) == 0
+
+    def test_warm_region_admitted_after_tlb_pressure(self, core, table):
+        core.access_page(VPN, table)
+        # 2nd walk to the same region (different page): PMD bit set
+        core.access_page(VPN + 1, table)
+        assert REGION in core.pcc
+
+    def test_pcc_frequency_grows_with_walks(self, core, table):
+        for page in range(4):
+            core.access_page(VPN + page, table)
+        assert core.pcc.frequency_of(REGION) == 2  # walks 2,3,4 admitted; 1st inserts at 0
+
+
+class TestShootdown:
+    def test_shootdown_invalidates_tlb_and_pcc(self, core, table):
+        core.access_page(VPN, table)
+        core.access_page(VPN + 1, table)
+        assert REGION in core.pcc
+        core.shootdown(REGION)
+        assert REGION not in core.pcc
+        # next access walks again
+        walks_before = core.stats.walks
+        core.access_page(VPN, table)
+        assert core.stats.walks == walks_before + 1
+
+    def test_shootdown_of_absent_region_harmless(self, core):
+        core.shootdown(12345)
+
+
+class TestPromotedMapping:
+    def test_huge_mapping_served_by_huge_tlb(self, core, table):
+        table.promote(REGION, frame=9)
+        core.access_page(VPN, table)
+        cycles = core.access_page(VPN + 1, table)  # same 2MB entry
+        assert cycles == 0
+        assert core.stats.walks == 1
+
+    def test_dump_pcc_ranked(self, core, table):
+        for page in range(4):
+            core.access_page(VPN + page, table)
+        entries = core.dump_pcc()
+        assert entries[0].tag == REGION
+        assert len(core.pcc) == 1  # dump does not clear
+
+
+class TestGigaPCC:
+    def test_disabled_by_default(self, core):
+        assert core.pcc_1gb is None
+        assert core.dump_pcc_1gb() == []
+
+    def test_enabled_tracks_1gb_regions(self, table):
+        from repro.config import PCCConfig
+
+        config = tiny_config().with_(
+            pcc=PCCConfig(entries=4, giga_entries=2, giga_enabled=True)
+        )
+        core = Core(config)
+        core.access_page(VPN, table)
+        core.access_page(VPN + 1, table)
+        assert core.pcc_1gb is not None
+        assert (BASE >> 30) in core.pcc_1gb

@@ -1,0 +1,68 @@
+"""Tests for the two-step (record / replay) methodology."""
+
+import numpy as np
+
+from repro.engine.offline import (
+    PromotionSchedule,
+    record_candidates,
+    replay_with_schedule,
+)
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy
+from tests.conftest import make_workload
+from tests.engine.test_simulation import hot_cold_addresses
+
+
+class TestRecording:
+    def test_schedule_contains_hot_regions(self, config):
+        workload = make_workload(hot_cold_addresses(repeats=2000))
+        schedule = record_candidates(workload, config)
+        assert len(schedule) > 0
+        hot_region = 0x5555_5540_0000 >> 21
+        assert hot_region in schedule.regions()
+
+    def test_schedule_times_monotonic_per_flush(self, config):
+        workload = make_workload(hot_cold_addresses(repeats=2000))
+        schedule = record_candidates(workload, config)
+        times = [e.at_access for e in schedule.entries]
+        assert times == sorted(times)
+
+    def test_regions_first_seen_order_unique(self):
+        schedule = PromotionSchedule()
+        assert schedule.regions() == []
+
+
+class TestReplay:
+    def test_replay_promotes_scheduled_regions(self, config):
+        addresses = hot_cold_addresses(repeats=2000)
+        workload = make_workload(addresses)
+        schedule = record_candidates(workload, config)
+        result = replay_with_schedule(
+            make_workload(addresses), schedule, config
+        )
+        assert result.promotions > 0
+
+    def test_replay_agrees_with_online_engine(self, config):
+        """The paper's two-step pipeline and our online loop promote
+        overlapping region sets on a deterministic trace."""
+        addresses = hot_cold_addresses(repeats=3000)
+        schedule = record_candidates(make_workload(addresses), config)
+
+        online_sim = Simulator(config, policy=HugePagePolicy.PCC)
+        online = online_sim.run([make_workload(addresses)])
+        online_regions = set(
+            online_sim.kernel.processes[1].page_table.promoted_regions()
+        )
+        replayed = replay_with_schedule(make_workload(addresses), schedule, config)
+        assert replayed.promotions > 0
+        scheduled = set(schedule.regions())
+        # every online promotion came from a region the offline step found
+        assert online_regions <= scheduled
+
+    def test_replay_respects_budget(self, config):
+        addresses = hot_cold_addresses(repeats=2000)
+        schedule = record_candidates(make_workload(addresses), config)
+        result = replay_with_schedule(
+            make_workload(addresses), schedule, config, budget_regions=1
+        )
+        assert result.promotions <= 1

@@ -1,0 +1,80 @@
+"""Additional two-step methodology coverage: schedule time gating."""
+
+import numpy as np
+import pytest
+
+from repro.core.dump import CandidateRecord
+from repro.engine.offline import (
+    PromotionSchedule,
+    ScheduledPromotion,
+    replay_with_schedule,
+)
+from tests.conftest import make_workload
+from tests.engine.test_simulation import hot_cold_addresses
+
+BASE_REGION = 0x5555_5540_0000 >> 21
+
+
+def scheduled(tag, at, freq=10):
+    return ScheduledPromotion(
+        at_access=at,
+        record=CandidateRecord(pid=1, core=0, tag=tag, frequency=freq),
+    )
+
+
+class TestTimeGating:
+    def test_future_candidates_not_promoted_early(self, config):
+        """A candidate scheduled beyond the trace end never applies."""
+        addresses = hot_cold_addresses(repeats=1000)  # 2000 accesses
+        schedule = PromotionSchedule(
+            entries=[scheduled(BASE_REGION, at=10_000_000)]
+        )
+        result = replay_with_schedule(
+            make_workload(addresses), schedule, config
+        )
+        assert result.promotions == 0
+
+    def test_candidate_applies_after_its_timestamp(self, config):
+        addresses = hot_cold_addresses(repeats=2000)
+        schedule = PromotionSchedule(
+            entries=[scheduled(BASE_REGION, at=100)]
+        )
+        result = replay_with_schedule(
+            make_workload(addresses), schedule, config
+        )
+        assert result.promotions == 1
+        # the promotion fires at the first tick past the timestamp
+        assert result.promotion_timeline[0][1] == 1
+
+    def test_entries_applied_in_time_order(self, config):
+        addresses = hot_cold_addresses(repeats=3000)
+        total = len(addresses)
+        cold_region = (0x5555_5540_0000 + (2 << 21)) >> 21
+        schedule = PromotionSchedule(
+            entries=[
+                scheduled(cold_region, at=total - 100, freq=1),
+                scheduled(BASE_REGION, at=100, freq=50),
+            ]
+        )
+        result = replay_with_schedule(
+            make_workload(addresses), schedule, config
+        )
+        assert result.promotions == 2
+        ticks_with_promotions = [
+            at for at, count in result.promotion_timeline if count
+        ]
+        assert len(ticks_with_promotions) >= 2
+
+    def test_duplicate_candidates_promote_once(self, config):
+        addresses = hot_cold_addresses(repeats=2000)
+        schedule = PromotionSchedule(
+            entries=[
+                scheduled(BASE_REGION, at=100),
+                scheduled(BASE_REGION, at=500),
+                scheduled(BASE_REGION, at=900),
+            ]
+        )
+        result = replay_with_schedule(
+            make_workload(addresses), schedule, config
+        )
+        assert result.promotions == 1

@@ -1,0 +1,98 @@
+"""Tests for promotion-schedule persistence."""
+
+import json
+
+import pytest
+
+from repro.core.dump import CandidateRecord
+from repro.engine.offline import PromotionSchedule, ScheduledPromotion
+from repro.engine.schedule_io import load_schedule, save_schedule
+from repro.vm.address import PageSize
+
+
+def make_schedule():
+    schedule = PromotionSchedule()
+    for i, (tag, freq) in enumerate([(100, 9), (200, 3), (100, 1)]):
+        schedule.entries.append(
+            ScheduledPromotion(
+                at_access=1000 * (i + 1),
+                record=CandidateRecord(
+                    pid=1, core=0, tag=tag, frequency=freq,
+                    page_size=PageSize.HUGE,
+                ),
+            )
+        )
+    return schedule
+
+
+class TestRoundTrip:
+    def test_preserves_entries(self, tmp_path):
+        schedule = make_schedule()
+        path = save_schedule(schedule, tmp_path / "sched.jsonl")
+        loaded = load_schedule(path)
+        assert len(loaded) == 3
+        assert loaded.entries[0].at_access == 1000
+        assert loaded.entries[0].record.tag == 100
+        assert loaded.entries[0].record.frequency == 9
+        assert loaded.entries[0].record.page_size is PageSize.HUGE
+
+    def test_regions_helper_after_load(self, tmp_path):
+        path = save_schedule(make_schedule(), tmp_path / "s.jsonl")
+        assert load_schedule(path).regions() == [100, 200]
+
+    def test_creates_parents(self, tmp_path):
+        path = save_schedule(make_schedule(), tmp_path / "a" / "b" / "s.jsonl")
+        assert path.exists()
+
+    def test_empty_schedule(self, tmp_path):
+        path = save_schedule(PromotionSchedule(), tmp_path / "e.jsonl")
+        assert len(load_schedule(path)) == 0
+
+
+class TestValidation:
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_schedule(path)
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "wrong.jsonl"
+        path.write_text(json.dumps({"format": "other", "version": 1}) + "\n")
+        with pytest.raises(ValueError, match="not a promotion schedule"):
+            load_schedule(path)
+
+    def test_rejects_future_version(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps(
+                {"format": "pcc-promotion-schedule", "version": 9, "entries": 0}
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_schedule(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = save_schedule(make_schedule(), tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-1]) + "\n")
+        with pytest.raises(ValueError, match="truncated"):
+            load_schedule(path)
+
+
+class TestEndToEnd:
+    def test_recorded_schedule_survives_disk(self, tmp_path, config):
+        """Record -> save -> load -> replay matches direct replay."""
+        from repro.engine.offline import record_candidates, replay_with_schedule
+        from tests.conftest import make_workload
+        from tests.engine.test_simulation import hot_cold_addresses
+
+        addresses = hot_cold_addresses(repeats=2000)
+        schedule = record_candidates(make_workload(addresses), config)
+        path = save_schedule(schedule, tmp_path / "s.jsonl")
+        loaded = load_schedule(path)
+        direct = replay_with_schedule(make_workload(addresses), schedule, config)
+        from_disk = replay_with_schedule(make_workload(addresses), loaded, config)
+        assert direct.promotions == from_disk.promotions
+        assert direct.total_cycles == from_disk.total_cycles

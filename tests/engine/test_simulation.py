@@ -1,0 +1,171 @@
+"""Tests for the online simulation loop."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_config
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy, KernelParams
+from tests.conftest import make_workload
+
+BASE = 0x5555_5540_0000
+
+
+def hot_cold_addresses(hot_pages=4, spread_pages=64, repeats=200, seed=0):
+    """Interleave a hot region's pages with a wide cold sweep.
+
+    The hot region thrashes the tiny TLB (HUB-like); each cold page is
+    touched once (cold-miss filtered).
+    """
+    rng = np.random.default_rng(seed)
+    hot = BASE + (rng.integers(0, hot_pages, size=repeats) * 4096)
+    cold = BASE + (2 << 21) + np.arange(repeats) % spread_pages * 4096
+    out = np.empty(2 * repeats, dtype=np.uint64)
+    out[0::2] = hot
+    out[1::2] = cold
+    return out
+
+
+class TestBaselineRun:
+    def test_accesses_accounted(self, config):
+        workload = make_workload(hot_cold_addresses())
+        result = Simulator(config, policy=HugePagePolicy.NONE).run([workload])
+        assert result.accesses == 400
+        assert result.walks > 0
+        assert result.total_cycles > 0
+        assert result.promotions == 0
+
+    def test_deterministic(self, config):
+        first = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [make_workload(hot_cold_addresses())]
+        )
+        second = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [make_workload(hot_cold_addresses())]
+        )
+        assert first.total_cycles == second.total_cycles
+        assert first.walks == second.walks
+
+    def test_empty_workload(self, config):
+        workload = make_workload(np.empty(0, dtype=np.uint64))
+        result = Simulator(config, policy=HugePagePolicy.NONE).run([workload])
+        assert result.accesses == 0
+        assert result.total_cycles == 0
+
+
+class TestPCCRun:
+    def test_promotions_happen_and_reduce_walks(self, config):
+        addresses = hot_cold_addresses(repeats=2000)
+        baseline = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [make_workload(addresses)]
+        )
+        pcc = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [make_workload(addresses)]
+        )
+        assert pcc.promotions > 0
+        assert pcc.walks < baseline.walks
+
+    def test_budget_zero_equals_baseline_walks(self, config):
+        addresses = hot_cold_addresses(repeats=1000)
+        params = KernelParams(promotion_budget_regions=0)
+        limited = Simulator(
+            config, policy=HugePagePolicy.PCC, params=params
+        ).run([make_workload(addresses)])
+        assert limited.promotions == 0
+
+    def test_promotion_timeline_recorded(self, config):
+        result = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [make_workload(hot_cold_addresses(repeats=2000))]
+        )
+        assert result.promotion_timeline
+        assert result.huge_page_timeline
+        assert sum(n for _, n in result.promotion_timeline) == result.promotions
+
+
+class TestIdealRun:
+    def test_ideal_promotes_at_fault_time(self, config):
+        result = Simulator(config, policy=HugePagePolicy.IDEAL).run(
+            [make_workload(hot_cold_addresses())]
+        )
+        assert sum(p.huge_pages for p in result.processes) > 0
+
+    def test_ideal_minimizes_walks(self, config):
+        addresses = hot_cold_addresses(repeats=2000)
+        baseline = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [make_workload(addresses)]
+        )
+        ideal = Simulator(config, policy=HugePagePolicy.IDEAL).run(
+            [make_workload(addresses)]
+        )
+        assert ideal.walks < baseline.walks / 2
+
+
+class TestMultiThread:
+    def _two_thread_workload(self):
+        from repro.engine.system import ProcessWorkload, partition_trace
+        from repro.trace.events import Trace
+        from repro.vm.layout import AddressSpaceLayout
+
+        addresses = hot_cold_addresses(repeats=1000)
+        layout = AddressSpaceLayout(heap_base=BASE)
+        layout.allocate("data", 8 << 21)
+        trace = Trace("mt", addresses, footprint_bytes=8 << 21)
+        parts = partition_trace(trace, 2, layout)
+        return ProcessWorkload.multi_thread(parts, layout, name="mt")
+
+    def test_threads_pin_to_cores(self):
+        config = tiny_config(cores=2)
+        workload = self._two_thread_workload()
+        result = Simulator(config, policy=HugePagePolicy.NONE).run([workload])
+        assert len(result.per_core) == 2
+        assert all(b.total > 0 for b in result.per_core)
+
+    def test_more_threads_than_cores_rejected_when_pinned(self):
+        config = tiny_config(cores=1)
+        workload = self._two_thread_workload()
+        workload.threads[1].core = 5
+        with pytest.raises(ValueError, match="core"):
+            Simulator(config, policy=HugePagePolicy.NONE).run([workload])
+
+    def test_serialization_charge_applied(self):
+        config = tiny_config(cores=2)
+        plain = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [self._two_thread_workload()]
+        )
+        serialized = Simulator(
+            config,
+            policy=HugePagePolicy.NONE,
+            serialization_cycles_per_access=1.0,
+        ).run([self._two_thread_workload()])
+        assert serialized.total_cycles > plain.total_cycles
+
+
+class TestMultiProcess:
+    def test_two_processes_isolated_address_spaces(self):
+        config = tiny_config(cores=2)
+        a = make_workload(hot_cold_addresses(repeats=500), name="a")
+        b = make_workload(hot_cold_addresses(repeats=500), name="b")
+        b.pid = 2
+        result = Simulator(config, policy=HugePagePolicy.NONE).run([a, b])
+        assert {p.name for p in result.processes} == {"a", "b"}
+        assert result.accesses == 2000
+
+    def test_huge_page_timeline_per_pid(self):
+        config = tiny_config(cores=2)
+        a = make_workload(hot_cold_addresses(repeats=1500), name="a")
+        b = make_workload(hot_cold_addresses(repeats=1500), name="b")
+        b.pid = 2
+        result = Simulator(config, policy=HugePagePolicy.PCC).run([a, b])
+        assert result.huge_page_timeline
+        final = result.huge_page_timeline[-1]
+        assert set(final) == {1, 2}
+
+
+class TestShootdownIntegration:
+    def test_promoted_regions_invalidated_from_pcc(self, config):
+        simulator = Simulator(config, policy=HugePagePolicy.PCC)
+        result = simulator.run([make_workload(hot_cold_addresses(repeats=2000))])
+        # every promoted region must be out of all PCC structures
+        table = simulator.kernel.processes[1].page_table
+        promoted = set(table.promoted_regions())
+        assert promoted  # sanity
+        assert result.promotions == len(promoted)

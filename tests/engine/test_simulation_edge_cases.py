@@ -1,0 +1,87 @@
+"""Edge-case tests for the simulation loop's interval machinery."""
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_config
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy
+from tests.conftest import make_workload
+from tests.engine.test_simulation import hot_cold_addresses
+
+
+class TestIntervalBoundaries:
+    def test_trace_shorter_than_interval_still_gets_final_tick(self):
+        """The trailing promotion tick catches short runs."""
+        from dataclasses import replace
+
+        base = tiny_config()
+        config = base.with_(
+            os=replace(base.os, promote_every_accesses=1_000_000)
+        )
+        workload = make_workload(hot_cold_addresses(repeats=1500))
+        simulator = Simulator(config, policy=HugePagePolicy.PCC)
+        result = simulator.run([workload])
+        assert result.promotions > 0  # from the final tick only
+        assert len(result.promotion_timeline) == 1
+
+    def test_interval_count_tracks_trace_length(self, config):
+        short = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [make_workload(hot_cold_addresses(repeats=500))]
+        )
+        long = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [make_workload(hot_cold_addresses(repeats=5000))]
+        )
+        assert len(long.promotion_timeline) > len(short.promotion_timeline)
+
+    def test_timeline_access_counts_monotonic(self, config):
+        result = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [make_workload(hot_cold_addresses(repeats=3000))]
+        )
+        ticks = [at for at, _ in result.promotion_timeline]
+        assert ticks == sorted(ticks)
+        assert ticks[-1] <= result.accesses
+
+
+class TestQuantumBehaviour:
+    def test_quantum_size_does_not_change_results_single_thread(self):
+        """For one thread, quantum slicing is invisible."""
+        addresses = hot_cold_addresses(repeats=2000)
+        results = []
+        for quantum in (64, 4096):
+            simulator = Simulator(
+                tiny_config(),
+                policy=HugePagePolicy.NONE,
+                thread_quantum=quantum,
+            )
+            results.append(simulator.run([make_workload(addresses)]))
+        assert results[0].walks == results[1].walks
+        assert results[0].total_cycles == results[1].total_cycles
+
+    def test_repeat_runs_do_not_leak_state(self, config):
+        """A Simulator instance is single-use per run() by design; two
+        fresh simulators give identical results."""
+        addresses = hot_cold_addresses(repeats=1000)
+        first = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [make_workload(addresses)]
+        )
+        second = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [make_workload(addresses)]
+        )
+        assert first.total_cycles == second.total_cycles
+        assert first.promotions == second.promotions
+
+
+class TestWalkAccounting:
+    def test_walks_equal_l2_misses(self, config):
+        workload = make_workload(hot_cold_addresses(repeats=1500))
+        simulator = Simulator(config, policy=HugePagePolicy.NONE)
+        result = simulator.run([workload])
+        # every whole-hierarchy miss triggers exactly one walk
+        assert result.walks > 0
+        assert result.accesses == result.walks + result.l1_hits + result.l2_hits
+
+    def test_miss_rate_bounded(self, config):
+        workload = make_workload(hot_cold_addresses(repeats=1500))
+        result = Simulator(config, policy=HugePagePolicy.NONE).run([workload])
+        assert 0.0 < result.walk_rate < 1.0

@@ -1,0 +1,88 @@
+"""Tests for workload binding structures."""
+
+import numpy as np
+import pytest
+
+from repro.engine.system import ProcessWorkload, ThreadWorkload, partition_trace
+from repro.trace.events import Trace
+from repro.vm.layout import AddressSpaceLayout
+
+
+def make_trace(count=100):
+    return Trace(
+        "t",
+        np.arange(count, dtype=np.uint64) * 4096,
+        footprint_bytes=count * 4096,
+    )
+
+
+@pytest.fixture
+def layout():
+    layout = AddressSpaceLayout()
+    layout.allocate("data", 8 << 21)
+    return layout
+
+
+class TestThreadWorkload:
+    def test_from_trace_compresses(self):
+        thread = ThreadWorkload.from_trace(make_trace())
+        assert thread.trace.total_accesses == 100
+        assert thread.core == -1
+
+
+class TestProcessWorkload:
+    def test_single_thread(self, layout):
+        process = ProcessWorkload.single_thread(make_trace(), layout)
+        assert len(process.threads) == 1
+        assert process.total_accesses == 100
+        assert process.footprint_bytes == 8 << 21
+
+    def test_multi_thread(self, layout):
+        traces = [make_trace(10), make_trace(20)]
+        process = ProcessWorkload.multi_thread(traces, layout, name="mt")
+        assert process.total_accesses == 30
+        assert process.name == "mt"
+
+    def test_footprint_huge_regions(self, layout):
+        process = ProcessWorkload.single_thread(make_trace(), layout)
+        assert process.footprint_huge_regions() == 8
+
+
+class TestPartitionTrace:
+    def test_partitions_cover_everything(self, layout):
+        trace = make_trace(100)
+        parts = partition_trace(trace, 3, layout)
+        assert len(parts) == 3
+        total = sum(len(p) for p in parts)
+        assert total == 100
+        recombined = np.concatenate([p.addresses for p in parts])
+        assert np.array_equal(recombined, trace.addresses)
+
+    def test_part_names_distinct(self, layout):
+        parts = partition_trace(make_trace(10), 2, layout)
+        assert parts[0].name != parts[1].name
+
+    def test_invalid_parts(self, layout):
+        with pytest.raises(ValueError):
+            partition_trace(make_trace(10), 0, layout)
+
+
+class TestPartitionEdgeCases:
+    def test_more_parts_than_elements(self, layout):
+        trace = make_trace(2)
+        parts = partition_trace(trace, 5, layout)
+        assert len(parts) == 5
+        assert sum(len(p) for p in parts) == 2
+
+    def test_empty_thread_parts_simulate_cleanly(self, layout):
+        from repro.config import tiny_config
+        from repro.engine.simulation import Simulator
+        from repro.os.kernel import HugePagePolicy
+
+        trace = make_trace(3)
+        parts = partition_trace(trace, 4, layout)  # one part empty
+        workload = ProcessWorkload.multi_thread(parts, layout, "sparse")
+        result = Simulator(
+            tiny_config(cores=4), policy=HugePagePolicy.NONE
+        ).run([workload])
+        assert result.accesses == 3

@@ -1,0 +1,76 @@
+"""Unit tests for cycle accounting."""
+
+import pytest
+
+from repro.config import TimingConfig
+from repro.engine.timing import CycleAccounting, RuntimeBreakdown, speedup
+
+
+@pytest.fixture
+def ledger():
+    return CycleAccounting(TimingConfig())
+
+
+class TestCharges:
+    def test_base_access_charge(self, ledger):
+        ledger.charge_accesses(10)
+        assert ledger.base_cycles == 10 * TimingConfig().base_cycles_per_access
+
+    def test_translation_charge(self, ledger):
+        ledger.charge_translation(123)
+        assert ledger.translation_cycles == 123
+
+    def test_fault_work_charge(self, ledger):
+        config = TimingConfig()
+        ledger.charge_fault_work(huge_zeroes=2, base_zeroes=3, migrated_pages=4)
+        expected = (
+            2 * config.huge_zero_cycles
+            + 3 * config.base_zero_cycles
+            + 4 * config.compaction_page_cycles
+        )
+        assert ledger.kernel_cycles == expected
+
+    def test_promotion_charge_scales_with_cores(self, ledger):
+        config = TimingConfig()
+        ledger.charge_promotions(
+            promotions=1, shootdown_broadcasts=1, migrated_pages=0, cores=4
+        )
+        assert ledger.kernel_cycles == (
+            config.promotion_cycles + 4 * config.shootdown_cycles
+        )
+
+    def test_total_is_sum(self, ledger):
+        ledger.charge_accesses(1)
+        ledger.charge_translation(5)
+        ledger.charge_serialization(7)
+        assert ledger.total_cycles == (
+            TimingConfig().base_cycles_per_access + 5 + 7
+        )
+
+    def test_merge(self, ledger):
+        other = CycleAccounting(TimingConfig())
+        other.charge_translation(10)
+        ledger.charge_translation(5)
+        ledger.merge(other)
+        assert ledger.translation_cycles == 15
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(200, 100) == 2.0
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ValueError):
+            speedup(100, 0)
+
+
+class TestBreakdown:
+    def test_of_ledger(self, ledger):
+        ledger.charge_accesses(10)
+        ledger.charge_translation(60)
+        breakdown = RuntimeBreakdown.of(ledger)
+        assert breakdown.total == ledger.total_cycles
+        assert 0 < breakdown.translation_share < 1
+
+    def test_translation_share_empty(self):
+        assert RuntimeBreakdown(0, 0, 0).translation_share == 0.0

@@ -1,0 +1,62 @@
+"""Cycle-accounting consistency across a full simulation."""
+
+import pytest
+
+from repro.config import tiny_config
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy
+from tests.conftest import make_workload
+from tests.engine.test_simulation import hot_cold_addresses
+
+
+class TestLedgerConsistency:
+    def test_base_cycles_match_access_count(self, config):
+        workload = make_workload(hot_cold_addresses(repeats=1000))
+        result = Simulator(config, policy=HugePagePolicy.NONE).run([workload])
+        expected = result.accesses * config.timing.base_cycles_per_access
+        assert sum(b.base for b in result.per_core) == expected
+
+    def test_total_is_componentwise_sum(self, config):
+        workload = make_workload(hot_cold_addresses(repeats=1000))
+        result = Simulator(config, policy=HugePagePolicy.PCC).run([workload])
+        breakdown = result.per_core[0]
+        assert breakdown.total == (
+            breakdown.base
+            + breakdown.translation
+            + breakdown.kernel
+            + breakdown.serialization
+        )
+        assert result.total_cycles == breakdown.total
+
+    def test_translation_cycles_zero_when_all_hits(self, config):
+        # one page hammered: after the first walk, everything L1-hits
+        import numpy as np
+
+        addresses = np.full(2000, 0x5555_5540_0000, dtype=np.uint64)
+        result = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [make_workload(addresses)]
+        )
+        walk_floor = config.walker.memory_ref_cycles  # the single walk
+        assert sum(b.translation for b in result.per_core) < walk_floor * 5
+
+    def test_kernel_cycles_only_with_kernel_work(self, config):
+        baseline = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [make_workload(hot_cold_addresses(repeats=1500))]
+        )
+        pcc = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [make_workload(hot_cold_addresses(repeats=1500))]
+        )
+        base_kernel = sum(b.kernel for b in baseline.per_core)
+        pcc_kernel = sum(b.kernel for b in pcc.per_core)
+        # baseline pays only fault-time zeroing; the PCC adds promotion
+        # copies and shootdowns
+        assert pcc_kernel > base_kernel
+
+    def test_promotion_work_charged_once_per_event(self, config):
+        workload = make_workload(hot_cold_addresses(repeats=2500))
+        simulator = Simulator(config, policy=HugePagePolicy.PCC)
+        result = simulator.run([workload])
+        timing = config.timing
+        kernel_cycles = sum(b.kernel for b in result.per_core)
+        minimum = result.promotions * timing.promotion_cycles
+        assert kernel_cycles >= minimum

@@ -1,0 +1,64 @@
+"""Consistency between benchmark modules and the scorecard registry.
+
+Each benchmark publishes its rendering under a stem name; the
+scorecard collates those stems. These tests keep the two in sync so a
+renamed benchmark cannot silently fall out of the scorecard.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.summary import SECTIONS
+
+BENCH_DIR = Path(__file__).parents[2] / "benchmarks"
+
+
+def published_stems() -> set[str]:
+    stems = set()
+    for path in BENCH_DIR.glob("bench_*.py"):
+        for match in re.finditer(r"publish\(\s*[\"']([\w\d_]+)[\"']", path.read_text()):
+            stems.add(match.group(1))
+    return stems
+
+
+class TestScorecardRegistry:
+    def test_every_published_stem_is_registered(self):
+        registered = {stem for stem, _ in SECTIONS}
+        missing = published_stems() - registered
+        assert not missing, f"add to summary.SECTIONS: {sorted(missing)}"
+
+    def test_every_registered_stem_is_published_somewhere(self):
+        published = published_stems()
+        stale = {stem for stem, _ in SECTIONS} - published
+        assert not stale, f"remove from summary.SECTIONS: {sorted(stale)}"
+
+    def test_titles_are_unique(self):
+        titles = [title for _, title in SECTIONS]
+        assert len(titles) == len(set(titles))
+
+
+class TestBenchModuleHygiene:
+    @pytest.mark.parametrize(
+        "path", sorted(BENCH_DIR.glob("bench_*.py")), ids=lambda p: p.stem
+    )
+    def test_bench_has_docstring_and_assertions(self, path):
+        source = path.read_text()
+        assert source.lstrip().startswith('"""'), path.name
+        # every benchmark asserts its figure's shape, not just runtime
+        assert "assert" in source, path.name
+
+    def test_every_figure_of_the_paper_has_a_bench(self):
+        names = {path.stem for path in BENCH_DIR.glob("bench_*.py")}
+        for required in (
+            "bench_fig1_motivation",
+            "bench_fig2_reuse",
+            "bench_fig5_utility",
+            "bench_fig6_pcc_size",
+            "bench_fig7_fragmentation",
+            "bench_fig8_multithread",
+            "bench_fig9_multiprocess",
+            "bench_table1_workloads",
+        ):
+            assert required in names, required

@@ -1,0 +1,80 @@
+"""Tests for the shared experiment scaffolding."""
+
+import pytest
+
+from repro.experiments.common import (
+    FULL,
+    QUICK,
+    ExperimentScale,
+    build_named_workload,
+    config_for,
+    demotion_params,
+    memory_for,
+)
+
+
+class TestScales:
+    def test_presets(self):
+        assert QUICK.graph_scale < FULL.graph_scale
+        assert QUICK.proxy_accesses < FULL.proxy_accesses
+
+    def test_workload_builder_dispatch(self):
+        tiny = ExperimentScale(name="t", graph_scale=9, proxy_accesses=10_000)
+        graph = tiny.workload("BFS")
+        proxy = tiny.workload("mcf")
+        assert graph.total_accesses > 0
+        assert proxy.total_accesses >= 9_000
+
+
+class TestCaching:
+    def test_same_params_cached_but_isolated(self):
+        tiny = ExperimentScale(name="t", graph_scale=9, proxy_accesses=10_000)
+        first = tiny.workload("BFS")
+        second = tiny.workload("BFS")
+        # deep copies: mutating one must not leak into the next build
+        first.pid = 42
+        assert second.pid == -1
+        assert first.total_accesses == second.total_accesses
+
+    def test_build_named_workload_distinct_datasets(self):
+        a = build_named_workload("BFS", dataset="kronecker", graph_scale=9)
+        b = build_named_workload("BFS", dataset="social", graph_scale=9)
+        assert a.total_accesses != b.total_accesses
+
+
+class TestSizing:
+    def test_memory_floor(self):
+        tiny = ExperimentScale(name="t", graph_scale=8, proxy_accesses=5_000)
+        workload = tiny.workload("BFS")
+        assert memory_for(workload) >= 8 << 21
+
+    def test_memory_scales_with_regions(self):
+        # scale 12 puts both footprints above the sizing floor
+        tiny = ExperimentScale(name="t", graph_scale=12, proxy_accesses=5_000)
+        small = tiny.workload("BFS")
+        big = tiny.workload("SSSP")  # ~2x footprint
+        assert memory_for(big) > memory_for(small)
+        assert memory_for(small, big) > memory_for(big)
+
+    def test_config_interval_adapts(self):
+        tiny = ExperimentScale(name="t", graph_scale=9, proxy_accesses=5_000)
+        workload = tiny.workload("BFS")
+        config = config_for(workload)
+        expected = min(60_000, max(5_000, workload.total_accesses // 24))
+        assert config.os.promote_every_accesses == expected
+
+    def test_config_interval_override_respected(self):
+        tiny = ExperimentScale(name="t", graph_scale=9, proxy_accesses=5_000)
+        workload = tiny.workload("BFS")
+        config = config_for(workload, promote_every_accesses=1234)
+        assert config.os.promote_every_accesses == 1234
+
+
+class TestParams:
+    def test_demotion_params(self):
+        tiny = ExperimentScale(name="t", graph_scale=9, proxy_accesses=5_000)
+        config = config_for(tiny.workload("BFS"))
+        params = demotion_params(config, budget_regions=7)
+        assert params.demotion_enabled
+        assert params.promotion_budget_regions == 7
+        assert params.regions_to_promote == config.os.regions_to_promote

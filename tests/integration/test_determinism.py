@@ -1,0 +1,42 @@
+"""Full-stack determinism: identical inputs give identical outputs.
+
+The paper controls run-to-run variance with numactl pinning and
+ASLR-off; the simulator must be perfectly deterministic — any hidden
+randomness (dict ordering abuse, unseeded RNG, id()-keyed structures)
+would make figures unreproducible.
+"""
+
+import pytest
+
+from repro.experiments import fig1, fig2, fig7
+from repro.experiments.common import ExperimentScale, _cached_workload
+
+TINY = ExperimentScale(name="tiny", graph_scale=10, proxy_accesses=25_000)
+
+
+def reset_caches():
+    _cached_workload.cache_clear()
+
+
+class TestExperimentDeterminism:
+    def test_fig1_rows_identical_across_runs(self):
+        first = fig1.run(TINY, apps=["BFS", "mcf"])
+        reset_caches()
+        second = fig1.run(TINY, apps=["BFS", "mcf"])
+        assert first == second
+
+    def test_fig2_counts_identical_across_runs(self):
+        first = fig2.run(TINY)
+        second = fig2.run(TINY)
+        assert first.counts == second.counts
+        assert first.hub_region_count == second.hub_region_count
+
+    def test_fig7_speedups_identical_across_runs(self):
+        first = fig7.run(TINY, apps=("BFS",))
+        reset_caches()
+        second = fig7.run(TINY, apps=("BFS",))
+        assert first == second
+
+    def test_renders_are_byte_identical(self):
+        rows = fig1.run(TINY, apps=["BFS"])
+        assert fig1.render(rows) == fig1.render(rows)

@@ -1,0 +1,49 @@
+"""Tests for the opt-in on-disk workload trace cache."""
+
+import copy
+
+import pytest
+
+from repro.experiments.common import _cached_workload, config_for, run_policy
+from repro.os.kernel import HugePagePolicy
+
+
+@pytest.fixture
+def disk_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+    _cached_workload.cache_clear()
+    yield tmp_path
+    _cached_workload.cache_clear()
+
+
+class TestDiskCache:
+    ARGS = ("BFS", "kronecker", 10, 20_000, False)
+
+    def test_disabled_without_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        _cached_workload.cache_clear()
+        _cached_workload(*self.ARGS)
+        assert not list(tmp_path.rglob("*.npz"))
+        _cached_workload.cache_clear()
+
+    def test_populates_on_first_build(self, disk_cache):
+        _cached_workload(*self.ARGS)
+        assert list(disk_cache.rglob("*.npz"))
+
+    def test_reload_is_behaviourally_identical(self, disk_cache):
+        first = _cached_workload(*self.ARGS)
+        _cached_workload.cache_clear()
+        second = _cached_workload(*self.ARGS)
+        assert first.total_accesses == second.total_accesses
+        assert first.footprint_huge_regions() == second.footprint_huge_regions()
+        config = config_for(first)
+        a = run_policy(copy.deepcopy(first), HugePagePolicy.NONE, config)
+        b = run_policy(copy.deepcopy(second), HugePagePolicy.NONE, config)
+        assert a.walks == b.walks
+        assert a.total_cycles == b.total_cycles
+
+    def test_cache_is_version_scoped(self, disk_cache):
+        import repro
+
+        _cached_workload(*self.ARGS)
+        assert (disk_cache / repro.__version__).exists()

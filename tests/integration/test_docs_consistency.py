@@ -1,0 +1,69 @@
+"""Documentation consistency: what the docs promise must exist."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).parents[2]
+
+
+class TestReadme:
+    def test_required_files_exist(self):
+        for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                     "docs/ARCHITECTURE.md", "docs/FAQ.md", "Makefile"):
+            assert (ROOT / name).exists(), name
+
+    def test_readme_examples_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.finditer(r"`examples/(\w+\.py)`", readme):
+            assert (ROOT / "examples" / match.group(1)).exists(), match.group(1)
+
+    def test_readme_benchmark_paths_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", readme):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(1)
+
+    def test_readme_cli_subcommands_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subcommands = set()
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices:
+                subcommands |= set(action.choices)
+        readme = (ROOT / "README.md").read_text()
+        for match in re.finditer(r"python -m repro (\w+)", readme):
+            assert match.group(1) in subcommands, match.group(1)
+
+
+class TestDesignDoc:
+    def test_design_module_references_exist(self):
+        """Every `repro.x.y` module path DESIGN.md names must import."""
+        import importlib
+
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in set(re.finditer(r"`repro\.([\w.]+)`", design)):
+            module_path = "repro." + match.group(1)
+            try:
+                importlib.import_module(module_path)
+            except ImportError:
+                # allow attribute references like repro.core.pcc.PCC
+                parent, _, _ = module_path.rpartition(".")
+                importlib.import_module(parent)
+
+    def test_design_bench_references_exist(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for match in re.finditer(r"benchmarks/(bench_\w+\.py)", design):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), (
+                match.group(1)
+            )
+
+
+class TestExperimentsDoc:
+    def test_experiments_bench_references_exist(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for match in re.finditer(r"\((bench_\w+\.py)\)", text):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), (
+                match.group(1)
+            )

@@ -1,0 +1,124 @@
+"""Integration tests: the paper's qualitative results on small inputs.
+
+These assert the *shapes* the reproduction must preserve — orderings
+between policies, plateaus, and the HUB phenomenon — on miniature
+workloads so the suite stays fast.
+"""
+
+import copy
+
+import pytest
+
+from repro.config import scaled_config
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy, KernelParams
+from repro.workloads.bfs import bfs_workload
+from repro.workloads.graph import kronecker
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return bfs_workload(kronecker(scale=11, degree=8))
+
+
+@pytest.fixture(scope="module")
+def config(workload):
+    from repro.experiments.common import memory_for
+
+    # interval scaled to the miniature trace so several promotion
+    # ticks fire (the paper's runs span many 30s intervals)
+    return scaled_config(
+        memory_bytes=memory_for(workload),
+        promote_every_accesses=workload.total_accesses // 12,
+    )
+
+
+def run(workload, config, policy, frag=0.0, params=None):
+    simulator = Simulator(config, policy=policy, params=params, fragmentation=frag)
+    return simulator.run([copy.deepcopy(workload)])
+
+
+@pytest.fixture(scope="module")
+def results(workload, config):
+    return {
+        "baseline": run(workload, config, HugePagePolicy.NONE),
+        "ideal": run(workload, config, HugePagePolicy.IDEAL),
+        "pcc": run(workload, config, HugePagePolicy.PCC),
+        "pcc@90": run(workload, config, HugePagePolicy.PCC, frag=0.9),
+        "linux@90": run(workload, config, HugePagePolicy.LINUX_THP, frag=0.9),
+        "hawkeye@90": run(workload, config, HugePagePolicy.HAWKEYE, frag=0.9),
+    }
+
+
+class TestFig1Shapes:
+    def test_graph_baseline_is_tlb_hostile(self, results):
+        """Fig. 1: graph workloads hit double-digit TLB miss rates."""
+        assert results["baseline"].walk_rate > 0.10
+
+    def test_huge_pages_give_meaningful_speedup(self, results):
+        speedup = (
+            results["baseline"].total_cycles / results["ideal"].total_cycles
+        )
+        assert 1.2 < speedup < 3.5
+
+    def test_ideal_nearly_eliminates_walks(self, results):
+        assert results["ideal"].walk_rate < 0.02
+
+
+class TestFig5Shapes:
+    def test_pcc_recovers_most_of_ideal(self, results):
+        base = results["baseline"].total_cycles
+        pcc_gain = base / results["pcc"].total_cycles - 1.0
+        ideal_gain = base / results["ideal"].total_cycles - 1.0
+        assert pcc_gain > 0.5 * ideal_gain
+
+    def test_pcc_reduces_walk_rate(self, results):
+        assert results["pcc"].walk_rate < 0.5 * results["baseline"].walk_rate
+
+
+class TestFig7Shapes:
+    def test_pcc_beats_linux_under_heavy_fragmentation(self, results):
+        assert results["pcc@90"].total_cycles < results["linux@90"].total_cycles
+
+    def test_pcc_beats_hawkeye_under_heavy_fragmentation(self, results):
+        assert results["pcc@90"].total_cycles < results["hawkeye@90"].total_cycles
+
+    def test_linux_thp_near_baseline_when_fragmented(self, results):
+        """Fig. 1/7: greedy THP rarely beats 4KB pages under pressure."""
+        ratio = results["baseline"].total_cycles / results["linux@90"].total_cycles
+        assert ratio < 1.1
+
+    def test_fragmented_pcc_still_beats_baseline(self, results):
+        assert results["pcc@90"].total_cycles < results["baseline"].total_cycles
+
+
+class TestHeadlineClaim:
+    def test_small_budget_achieves_most_of_peak(self, workload, config):
+        """§1: promoting a few percent of the footprint yields the bulk
+        of the achievable speedup."""
+        total = workload.footprint_huge_regions()
+        budget = max(2, int(round(total * 0.10)))
+        params = KernelParams(
+            regions_to_promote=config.os.regions_to_promote,
+            promotion_budget_regions=budget,
+        )
+        baseline = run(workload, config, HugePagePolicy.NONE)
+        limited = run(workload, config, HugePagePolicy.PCC, params=params)
+        ideal = run(workload, config, HugePagePolicy.IDEAL)
+        limited_gain = baseline.total_cycles / limited.total_cycles - 1.0
+        ideal_gain = baseline.total_cycles / ideal.total_cycles - 1.0
+        assert limited_gain > 0.5 * ideal_gain
+        assert limited.promotions <= budget
+
+
+class TestDumpInvariants:
+    def test_promotions_match_page_table_state(self, workload, config):
+        simulator = Simulator(config, policy=HugePagePolicy.PCC)
+        result = simulator.run([copy.deepcopy(workload)])
+        table = simulator.kernel.processes[1].page_table
+        assert result.promotions == len(table.promoted_regions())
+
+    def test_timelines_consistent(self, results):
+        result = results["pcc"]
+        assert sum(n for _, n in result.promotion_timeline) == result.promotions
+        assert len(result.huge_page_timeline) == len(result.promotion_timeline)

@@ -1,0 +1,40 @@
+"""The example scripts must at least parse and expose a main()."""
+
+import ast
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parents[2] / "examples").glob("*.py")
+)
+
+
+def test_seven_examples_present():
+    names = {path.stem for path in EXAMPLES}
+    assert {
+        "quickstart",
+        "fragmentation_study",
+        "hub_characterization",
+        "multiprocess_fairness",
+        "giga_pages",
+        "utility_curves",
+        "offline_two_step",
+    } <= names
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_parses_and_has_main(path):
+    tree = ast.parse(path.read_text())
+    functions = {
+        node.name for node in ast.walk(tree) if isinstance(node, ast.FunctionDef)
+    }
+    assert "main" in functions, path.name
+    # every example is runnable as a script
+    assert "__main__" in path.read_text()
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_has_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), path.name

@@ -1,0 +1,99 @@
+"""Smoke tests for the per-figure experiment orchestrators.
+
+Each experiment runs at a miniature scale so the test suite exercises
+the full code path (workload build → simulation → rendering) quickly;
+the benchmarks run the real scales.
+"""
+
+import pytest
+
+from repro.experiments import ablations, fig1, fig2, fig5, fig6, fig7, fig9, tables
+from repro.experiments.common import ExperimentScale
+
+TINY = ExperimentScale(name="tiny", graph_scale=10, proxy_accesses=40_000)
+
+
+class TestFig1:
+    def test_runs_and_renders(self):
+        rows = fig1.run(TINY, apps=["BFS", "mcf"])
+        text = fig1.render(rows)
+        assert "BFS" in text and "mcf" in text
+        assert rows[0].miss_4k > rows[1].miss_4k  # BFS vs mcf sensitivity
+
+
+class TestFig2:
+    def test_runs_and_renders(self):
+        result = fig2.run(TINY)
+        text = fig2.render(result)
+        assert "hub" in text
+        assert sum(result.counts.values()) > 0
+
+
+class TestFig5:
+    def test_single_app_three_budgets(self):
+        result = fig5.run(TINY, apps=["BFS"], budgets=(0, 8, 100))
+        text = fig5.render(result)
+        assert "BFS" in text
+        app = result.apps[0]
+        assert len(app.pcc.points) == 3
+        assert app.ideal >= 1.0
+
+
+class TestFig6:
+    def test_two_sizes(self):
+        results = fig6.run(TINY, apps=("BFS",), sizes=(4, 64))
+        text = fig6.render(results)
+        assert "BFS" in text
+        assert len(results[0].speedups) == 2
+
+
+class TestFig7:
+    def test_single_app(self):
+        rows = fig7.run(TINY, apps=("BFS",))
+        text = fig7.render(rows)
+        assert "90%" in text
+        means = fig7.geomeans(rows)
+        assert set(means) == {"hawkeye", "linux", "pcc", "pcc_demote"}
+
+
+class TestFig9:
+    def test_case_runs(self):
+        case = fig9.run_case("BFS", "mcf", TINY, budgets=(8, 100))
+        text = fig9.render(case)
+        assert "multiprocess" in text
+        for series in (case.frequency, case.round_robin):
+            assert len(series.speedups) == 2  # two apps
+            for speedups in series.speedups.values():
+                assert len(speedups) == 2  # two budget points
+
+
+class TestTables:
+    def test_table1(self):
+        rows = tables.run_table1(TINY)
+        text = tables.render_table1(rows)
+        assert "Kronecker".lower() in text.lower()
+        assert len(rows) == 3 * 3 + 5
+
+    def test_table2_defaults(self):
+        text = tables.render_table2()
+        assert "1024 entries" in text
+        assert "128 entries, fully associative" in text
+
+
+class TestAblations:
+    def test_replacement(self):
+        rows = ablations.run_replacement(TINY, apps=("BFS",), sizes=(8,))
+        text = ablations.render_replacement(rows)
+        assert "LFU" in text
+        assert rows[0].speedup_lfu > 0
+
+    def test_pwc(self):
+        rows = ablations.run_pwc(TINY, apps=("BFS",))
+        text = ablations.render_pwc(rows)
+        assert "PWC" in text
+        assert rows[0].refs_per_walk_pwc < rows[0].refs_per_walk_no_pwc
+
+    def test_giant_span_workload(self):
+        workload = ablations.giant_span_workload(giga_regions=2, accesses=5000)
+        assert workload.footprint_bytes >= 2 << 30
+        assert workload.total_accesses <= 5000

@@ -1,0 +1,52 @@
+"""End-to-end runs of the extension workloads through the registry."""
+
+import copy
+
+import pytest
+
+from repro.config import PCCConfig, scaled_config
+from repro.engine.simulation import Simulator
+from repro.experiments.common import memory_for
+from repro.os.kernel import HugePagePolicy, KernelParams
+from repro.workloads.registry import build_workload
+
+
+class TestPhasedEndToEnd:
+    def test_demotion_beats_promotion_only(self):
+        workload = build_workload("phased", accesses=120_000)
+        config = scaled_config(
+            memory_bytes=memory_for(workload),
+            promote_every_accesses=workload.total_accesses // 20,
+        )
+
+        def run(demote):
+            params = KernelParams(
+                regions_to_promote=8, demotion_enabled=demote
+            )
+            simulator = Simulator(
+                config,
+                policy=HugePagePolicy.PCC,
+                params=params,
+                fragmentation=0.85,
+            )
+            return simulator.run([copy.deepcopy(workload)])
+
+        promote_only = run(demote=False)
+        with_demotion = run(demote=True)
+        assert with_demotion.total_cycles <= promote_only.total_cycles
+        assert with_demotion.demotions > 0
+
+
+class TestGiantSpanEndToEnd:
+    def test_giga_pcc_pays_off(self):
+        workload = build_workload("giant-span", accesses=80_000)
+        config = scaled_config(memory_bytes=4 << 30).with_(
+            pcc=PCCConfig(entries=32, giga_entries=8, giga_enabled=True)
+        )
+        baseline = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [copy.deepcopy(workload)]
+        )
+        simulator = Simulator(config, policy=HugePagePolicy.PCC)
+        pcc = simulator.run([copy.deepcopy(workload)])
+        assert simulator.kernel._engine.stats.giga_promotions >= 1
+        assert pcc.total_cycles < baseline.total_cycles

@@ -1,0 +1,34 @@
+"""Smoke test for the Fig. 8 multithread experiment orchestrator."""
+
+from repro.experiments import fig8
+from repro.experiments.common import ExperimentScale
+
+TINY = ExperimentScale(name="tiny", graph_scale=10, proxy_accesses=20_000)
+
+
+class TestFig8Smoke:
+    def test_single_app_two_threads(self):
+        cells = fig8.run(TINY, apps=("BFS",), thread_counts=(2,))
+        assert len(cells) == 1
+        cell = cells[0]
+        assert cell.app == "BFS"
+        assert cell.threads == 2
+        assert cell.speedup_frequency > 0.8
+        assert cell.speedup_round_robin > 0.8
+        assert cell.ideal >= max(
+            cell.speedup_frequency, cell.speedup_round_robin
+        ) - 0.1
+
+    def test_render(self):
+        cells = fig8.run(TINY, apps=("BFS",), thread_counts=(2,))
+        text = fig8.render(cells)
+        assert "Threads" in text
+        assert "BFS" in text
+
+    def test_threaded_workload_partitions_accesses(self):
+        workload = fig8._threaded_workload("BFS", TINY, threads=4)
+        assert len(workload.threads) == 4
+        totals = [t.trace.total_accesses for t in workload.threads]
+        assert sum(totals) == workload.total_accesses
+        # partitioning is roughly even
+        assert max(totals) < 2 * max(1, min(totals) + 1)

@@ -1,0 +1,114 @@
+"""Integration tests: multithread/multiprocess behaviour and bias."""
+
+import copy
+
+import pytest
+
+from repro.config import scaled_config
+from repro.engine.simulation import Simulator
+from repro.engine.system import ProcessWorkload, partition_trace
+from repro.os.kernel import HugePagePolicy, KernelParams
+from repro.workloads.bfs import bfs_trace, bfs_workload
+from repro.workloads.graph import kronecker
+from repro.workloads.parsec_spec import proxy_workload
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(scale=11, degree=8)
+
+
+def config_for_workloads(*workloads, cores=2, **kw):
+    from repro.experiments.common import memory_for
+
+    total = sum(w.total_accesses for w in workloads)
+    return scaled_config(
+        memory_bytes=memory_for(*workloads),
+        promote_every_accesses=max(2_000, total // 12),
+        cores=cores,
+        **kw,
+    )
+
+
+class TestMultithread:
+    def test_threads_share_page_table_promotions(self, graph):
+        trace, glayout = bfs_trace(graph)
+        parts = partition_trace(trace, 2, glayout.layout)
+        workload = ProcessWorkload.multi_thread(parts, glayout.layout, "bfs-mt")
+        config = config_for_workloads(workload, cores=2)
+        simulator = Simulator(config, policy=HugePagePolicy.PCC)
+        result = simulator.run([copy.deepcopy(workload)])
+        # one shared address space: promotions land in one page table
+        assert len(simulator.kernel.processes) == 1
+        assert result.promotions > 0
+
+    def test_multithread_beats_baseline(self, graph):
+        trace, glayout = bfs_trace(graph)
+        parts = partition_trace(trace, 2, glayout.layout)
+        workload = ProcessWorkload.multi_thread(parts, glayout.layout, "bfs-mt")
+        config = config_for_workloads(workload, cores=2)
+        baseline = Simulator(config, policy=HugePagePolicy.NONE).run(
+            [copy.deepcopy(workload)]
+        )
+        pcc = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [copy.deepcopy(workload)]
+        )
+        assert pcc.total_cycles < baseline.total_cycles
+
+
+class TestProcessBias:
+    """§3.3.2's promotion_bias_process kernel parameter."""
+
+    def _pair(self, graph):
+        a = bfs_workload(graph)
+        b = proxy_workload("canneal", accesses=40_000)
+        a.pid, b.pid = 1, 2
+        return a, b
+
+    def _run_with_bias(self, graph, biased):
+        a, b = self._pair(graph)
+        config = config_for_workloads(a, b, cores=2)
+        params = KernelParams(
+            regions_to_promote=2,
+            promotion_bias_processes=biased,
+            promotion_budget_regions=4,
+        )
+        simulator = Simulator(config, policy=HugePagePolicy.PCC, params=params)
+        simulator.run([copy.deepcopy(a), copy.deepcopy(b)])
+        return (
+            simulator.kernel.huge_pages_of(1),
+            simulator.kernel.huge_pages_of(2),
+        )
+
+    def test_bias_steers_scarce_budget(self, graph):
+        pid1_hp, _ = self._run_with_bias(graph, biased=(1,))
+        _, pid2_hp = self._run_with_bias(graph, biased=(2,))
+        # whichever process is biased receives the limited promotions
+        assert pid1_hp >= 3
+        assert pid2_hp >= 3
+
+    def test_unbiased_split_differs_from_biased(self, graph):
+        biased_pid1, _ = self._run_with_bias(graph, biased=(1,))
+        pid1_neutral, pid2_neutral = self._run_with_bias(graph, biased=())
+        assert biased_pid1 >= pid1_neutral
+
+
+class TestMultiprocessIsolation:
+    def test_same_virtual_addresses_do_not_collide(self, graph):
+        """Both processes use identical VA layouts; promotions in one
+        address space must not affect the other's page table."""
+        a = bfs_workload(graph)
+        b = bfs_workload(graph)
+        a.pid, b.pid = 1, 2
+        config = config_for_workloads(a, b, cores=2)
+        params = KernelParams(
+            regions_to_promote=4, promotion_bias_processes=(1,),
+            promotion_budget_regions=3,
+        )
+        simulator = Simulator(config, policy=HugePagePolicy.PCC, params=params)
+        simulator.run([copy.deepcopy(a), copy.deepcopy(b)])
+        table_a = simulator.kernel.processes[1].page_table
+        table_b = simulator.kernel.processes[2].page_table
+        assert table_a.promoted_regions()
+        # pid 2 faulted the same VAs but its table holds its own state
+        assert table_b.mapped_base_page_count() > 0

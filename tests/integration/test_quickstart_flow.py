@@ -1,0 +1,55 @@
+"""The quickstart example's exact flow, as a fast regression test.
+
+Examples are living documentation; this test pins the quickstart's
+qualitative claims at a miniature scale so a regression that would
+make the README's first demo lie is caught in the unit suite.
+"""
+
+import copy
+
+import pytest
+
+from repro.engine.simulation import Simulator
+from repro.experiments.common import config_for
+from repro.os.kernel import HugePagePolicy
+from repro.workloads import build_workload
+
+
+@pytest.fixture(scope="module")
+def results():
+    workload = build_workload("BFS", dataset="kronecker", scale=11)
+    config = config_for(workload)
+    out = {}
+    for label, (policy, frag) in {
+        "baseline": (HugePagePolicy.NONE, 0.0),
+        "linux": (HugePagePolicy.LINUX_THP, 0.5),
+        "pcc": (HugePagePolicy.PCC, 0.5),
+        "ideal": (HugePagePolicy.IDEAL, 0.0),
+    }.items():
+        simulator = Simulator(config, policy=policy, fragmentation=frag)
+        out[label] = simulator.run([copy.deepcopy(workload)])
+    return out
+
+
+class TestQuickstartClaims:
+    def test_ideal_is_the_upper_bound(self, results):
+        assert results["ideal"].total_cycles == min(
+            r.total_cycles for r in results.values()
+        )
+
+    def test_pcc_recovers_most_of_ideal_under_fragmentation(self, results):
+        base = results["baseline"].total_cycles
+        pcc_gain = base / results["pcc"].total_cycles - 1
+        ideal_gain = base / results["ideal"].total_cycles - 1
+        assert pcc_gain > 0.5 * ideal_gain
+
+    def test_linux_thp_stuck_near_baseline(self, results):
+        base = results["baseline"].total_cycles
+        assert base / results["linux"].total_cycles < 1.15
+
+    def test_pcc_promotes_only_a_subset(self, results):
+        promoted = sum(p.huge_pages for p in results["pcc"].processes)
+        all_regions = sum(
+            p.footprint_regions for p in results["ideal"].processes
+        )
+        assert 0 < promoted <= all_regions

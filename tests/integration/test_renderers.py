@@ -1,0 +1,95 @@
+"""Rendering-path tests for the experiment result objects."""
+
+import pytest
+
+from repro.analysis.utility import UtilityCurve, UtilityPoint
+from repro.experiments import fig5, fig9
+from repro.experiments.fig1 import Fig1Row, render as render_fig1
+from repro.experiments.fig7 import Fig7Row, render as render_fig7
+
+
+def make_curve(policy, speedups, walks=None):
+    walks = walks or [0.3] * len(speedups)
+    points = [
+        UtilityPoint(
+            budget_percent=p,
+            budget_regions=p,
+            cycles=1000,
+            walk_rate=w,
+            promotions=0,
+            speedup=s,
+        )
+        for p, s, w in zip((0, 50, 100), speedups, walks)
+    ]
+    return UtilityCurve("w", policy, points=points)
+
+
+class TestFig1Render:
+    def test_geomean_line(self):
+        rows = [
+            Fig1Row("BFS", 0.3, 0.01, 0.28, 2.0, 1.0),
+            Fig1Row("mcf", 0.02, 0.0, 0.01, 1.08, 1.02),
+        ]
+        text = render_fig1(rows)
+        assert "geomean 2MB speedup" in text
+        assert "2.00x" in text
+
+
+class TestFig5Render:
+    def _result(self):
+        app = fig5.Fig5App(
+            app="BFS",
+            pcc=make_curve("pcc", [1.0, 1.5, 1.8]),
+            hawkeye=make_curve("hawkeye", [1.0, 1.1, 1.4]),
+            linux_50=1.02,
+            linux_90=0.99,
+            ideal=2.0,
+            ideal_walk=0.0,
+            linux_50_walk=0.29,
+            linux_90_walk=0.3,
+        )
+        return fig5.Fig5Result(apps=[app])
+
+    def test_with_plots(self):
+        text = fig5.render(self._result())
+        assert "legend:" in text
+        assert "speedup  PCC" in text
+
+    def test_without_plots(self):
+        text = fig5.render(self._result(), plots=False)
+        assert "legend:" not in text
+        assert "PTW%" in text
+
+
+class TestFig7Render:
+    def test_geomean_ratios(self):
+        rows = [Fig7Row("BFS", hawkeye=1.1, linux=1.0, pcc=1.3,
+                        pcc_demote=1.29)]
+        text = render_fig7(rows)
+        assert "geomean" in text
+        assert "1.30x" in text
+
+    def test_custom_fragmentation_label(self):
+        rows = [Fig7Row("BFS", 1.0, 1.0, 1.2, 1.2)]
+        text = render_fig7(rows, fragmentation=0.5)
+        assert "50%" in text
+
+
+class TestFig9Internals:
+    def test_proc_cycles_unknown_pid(self):
+        from repro.engine.simulation import SimulationResult
+
+        result = SimulationResult(
+            policy="pcc",
+            total_cycles=1,
+            per_core=[],
+            processes=[],
+            accesses=0,
+            walks=0,
+            l1_hits=0,
+            l2_hits=0,
+            promotions=0,
+            demotions=0,
+        )
+        with pytest.raises(KeyError):
+            fig9._proc_cycles(result, pid=7)

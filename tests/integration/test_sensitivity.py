@@ -1,0 +1,35 @@
+"""Smoke tests for the sensitivity-study experiment module."""
+
+from repro.experiments import sensitivity
+from repro.experiments.common import ExperimentScale
+
+TINY = ExperimentScale(name="tiny", graph_scale=10, proxy_accesses=30_000)
+
+
+class TestCounterBits:
+    def test_sweep_shape(self):
+        result = sensitivity.counter_bits_sweep(TINY, bits=(4, 8))
+        assert result.values == [4, 8]
+        assert all(s > 0 for s in result.speedups)
+        text = sensitivity.render_sweep(result)
+        assert "counter_bits" in text
+
+
+class TestInterval:
+    def test_more_intervals_not_worse(self):
+        result = sensitivity.interval_sweep(TINY, divisors=(4, 48))
+        assert result.speedups[1] >= result.speedups[0] - 0.03
+
+
+class TestAdmissionFilter:
+    def test_both_variants_run(self):
+        result = sensitivity.admission_filter_study(TINY)
+        assert set(result) == {"with_filter", "without_filter"}
+        assert all(v > 0.8 for v in result.values())
+
+    def test_walker_restored_after_study(self):
+        import repro.tlb.walker as walker_module
+
+        before = walker_module.PageTableWalker.walk
+        sensitivity.admission_filter_study(TINY)
+        assert walker_module.PageTableWalker.walk is before

@@ -1,0 +1,90 @@
+"""Tests for the shared-PCC design alternative (§3.2.2)."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.config import PCCConfig, scaled_config, tiny_config
+from repro.engine.simulation import Simulator
+from repro.engine.system import ProcessWorkload, partition_trace
+from repro.experiments.common import memory_for
+from repro.os.kernel import HugePagePolicy
+from repro.workloads.bfs import bfs_trace
+from repro.workloads.graph import kronecker
+from tests.conftest import make_workload
+from tests.engine.test_simulation import hot_cold_addresses
+
+
+def multithread_workload(threads=2):
+    trace, glayout = bfs_trace(kronecker(scale=11, degree=8))
+    parts = partition_trace(trace, threads, glayout.layout)
+    return ProcessWorkload.multi_thread(parts, glayout.layout, "bfs-mt")
+
+
+class TestSharedMode:
+    def test_cores_share_one_structure(self):
+        config = tiny_config(cores=2).with_(
+            pcc=PCCConfig(entries=8, shared=True)
+        )
+        simulator = Simulator(config, policy=HugePagePolicy.NONE)
+        workload = multithread_workload()
+        simulator.run([copy.deepcopy(workload)])
+        # reconstruct: run() built the cores internally; verify via a
+        # fresh manual construction
+        from repro.core.pcc import PromotionCandidateCache
+        from repro.engine.cpu import Core
+
+        shared = PromotionCandidateCache(config.pcc)
+        cores = [Core(config, i, shared_pcc=shared) for i in range(2)]
+        assert cores[0].pcc is cores[1].pcc
+
+    def test_multiprocess_rejected(self):
+        config = tiny_config(cores=2).with_(
+            pcc=PCCConfig(entries=8, shared=True)
+        )
+        a = make_workload(hot_cold_addresses(repeats=200), name="a")
+        b = make_workload(hot_cold_addresses(repeats=200), name="b")
+        b.pid = 2
+        with pytest.raises(ValueError, match="shared-PCC"):
+            Simulator(config, policy=HugePagePolicy.PCC).run([a, b])
+
+    def test_shared_pcc_still_promotes(self):
+        workload = multithread_workload()
+        config = scaled_config(
+            cores=2,
+            memory_bytes=memory_for(workload),
+            promote_every_accesses=max(
+                2_000, workload.total_accesses // 12
+            ),
+        ).with_(pcc=PCCConfig(entries=32, shared=True))
+        result = Simulator(config, policy=HugePagePolicy.PCC).run(
+            [copy.deepcopy(workload)]
+        )
+        assert result.promotions > 0
+
+
+class TestSharedVsPerCore:
+    def test_both_designs_capture_the_hot_set(self):
+        """§3.2.2: per-core PCCs suffice because each core's TLB feeds
+        its own structure; sharing mostly adds capacity coupling. Both
+        designs must reach comparable speedups on a split workload."""
+        workload = multithread_workload()
+        results = {}
+        for shared in (False, True):
+            config = scaled_config(
+                cores=2,
+                memory_bytes=memory_for(workload),
+                promote_every_accesses=max(
+                    2_000, workload.total_accesses // 12
+                ),
+            ).with_(pcc=PCCConfig(entries=32, shared=shared))
+            baseline = Simulator(config, policy=HugePagePolicy.NONE).run(
+                [copy.deepcopy(workload)]
+            )
+            pcc = Simulator(config, policy=HugePagePolicy.PCC).run(
+                [copy.deepcopy(workload)]
+            )
+            results[shared] = baseline.total_cycles / pcc.total_cycles
+        assert results[False] > 1.1
+        assert abs(results[True] - results[False]) < 0.25

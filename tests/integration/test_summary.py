@@ -1,0 +1,53 @@
+"""Tests for the reproduction scorecard."""
+
+import pytest
+
+from repro.experiments import summary
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    directory = tmp_path / "results"
+    directory.mkdir()
+    (directory / "fig1_motivation.txt").write_text("FIG1 CONTENT\n")
+    (directory / "fig7_fragmentation.txt").write_text("FIG7 CONTENT\n")
+    return directory
+
+
+class TestBuild:
+    def test_includes_present_sections_in_order(self, results_dir):
+        scorecard = summary.build(results_dir)
+        assert "FIG1 CONTENT" in scorecard.text
+        assert "FIG7 CONTENT" in scorecard.text
+        assert scorecard.text.index("FIG1") < scorecard.text.index("FIG7")
+        assert scorecard.present == ["fig1_motivation", "fig7_fragmentation"]
+
+    def test_missing_sections_reported(self, results_dir):
+        scorecard = summary.build(results_dir)
+        assert not scorecard.complete
+        assert "fig5_utility" in scorecard.missing
+        assert "missing sections" in scorecard.text
+
+    def test_empty_directory(self, tmp_path):
+        scorecard = summary.build(tmp_path)
+        assert scorecard.present == []
+        assert len(scorecard.missing) == len(summary.SECTIONS)
+
+    def test_write_creates_file(self, results_dir, tmp_path):
+        out = tmp_path / "out" / "scorecard.txt"
+        scorecard = summary.write(out, results_dir)
+        assert out.exists()
+        assert "FIG1 CONTENT" in out.read_text()
+        assert scorecard.present
+
+
+class TestRealResults:
+    def test_builds_against_repository_results(self):
+        """The repository's own archived results produce a complete or
+        near-complete scorecard (skipped on a fresh checkout where the
+        benchmark suite has not run yet)."""
+        scorecard = summary.build()
+        if not scorecard.present:
+            pytest.skip("no archived benchmark results yet")
+        assert "PCC reproduction scorecard" in scorecard.text
+        assert scorecard.text.count("\n## ") == len(scorecard.present)

@@ -1,0 +1,69 @@
+"""Seed-variance study: conclusions are not artifacts of one seed.
+
+Runs the headline comparison (PCC vs baseline under fragmentation) on
+three seeds of the same workload family and asserts the qualitative
+result holds for every one — the reproduction's equivalent of the
+paper's repeated-measurement methodology (geomean of 3 executions).
+"""
+
+import copy
+
+import pytest
+
+from repro.config import scaled_config
+from repro.engine.simulation import Simulator
+from repro.experiments.common import memory_for
+from repro.os.kernel import HugePagePolicy
+from repro.workloads.registry import build_workload
+
+SEEDS = (7, 23, 101)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    results = {}
+    for seed in SEEDS:
+        workload = build_workload("BFS", scale=11, seed=seed)
+        config = scaled_config(
+            memory_bytes=memory_for(workload),
+            promote_every_accesses=max(2_000, workload.total_accesses // 12),
+        )
+        baseline = Simulator(
+            config, policy=HugePagePolicy.NONE, fragmentation=0.9
+        ).run([copy.deepcopy(workload)])
+        pcc = Simulator(
+            config, policy=HugePagePolicy.PCC, fragmentation=0.9
+        ).run([copy.deepcopy(workload)])
+        results[seed] = (baseline, pcc)
+    return results
+
+
+class TestSeedRobustness:
+    def test_distinct_seeds_give_distinct_workloads(self, runs):
+        walk_rates = {
+            round(baseline.walk_rate, 6) for baseline, _ in runs.values()
+        }
+        assert len(walk_rates) == len(SEEDS)
+
+    def test_pcc_wins_on_every_seed(self, runs):
+        for seed, (baseline, pcc) in runs.items():
+            assert pcc.total_cycles < baseline.total_cycles, seed
+            assert pcc.walk_rate < baseline.walk_rate, seed
+
+    def test_variance_is_moderate(self, runs):
+        """The speedups across seeds agree within a loose band — the
+        effect is a property of the workload family, not one instance."""
+        speedups = [
+            baseline.total_cycles / pcc.total_cycles
+            for baseline, pcc in runs.values()
+        ]
+        assert max(speedups) / min(speedups) < 1.5
+
+    def test_proxy_seed_plumbs_through(self):
+        a = build_workload("canneal", accesses=5_000, seed=1)
+        b = build_workload("canneal", accesses=5_000, seed=2)
+        import numpy as np
+
+        assert not np.array_equal(
+            a.threads[0].trace.vpns, b.threads[0].trace.vpns
+        )

@@ -1,0 +1,89 @@
+"""End-to-end §5.4.3 scenario: PCC-guided co-promotion across worlds.
+
+Two guests run TLB-hostile workloads; their per-core tagged PCCs rank
+guest regions, each guest OS promotes its top candidates, and the
+hypercall path asks the host for matching huge frames. Host contiguity
+is scarce, so the guests compete — and effective page sizes only
+become huge where both worlds cooperated.
+"""
+
+import pytest
+
+from repro.config import PCCConfig
+from repro.os.physmem import PhysicalMemory
+from repro.vm.address import HUGE_PAGE_SIZE, PageSize
+from repro.vm.pagetable import PageTable
+from repro.virt import Hypervisor, TaggedPCC, World
+
+
+@pytest.fixture
+def setup():
+    host_memory = PhysicalMemory(6 * HUGE_PAGE_SIZE)
+    hypervisor = Hypervisor(host_memory)
+    hypervisor.register_vm(1)
+    hypervisor.register_vm(2)
+    pcc = TaggedPCC(PCCConfig(entries=16))
+    tables = {1: PageTable(pid=1), 2: PageTable(pid=2)}
+    return hypervisor, pcc, tables
+
+
+def feed_guest_walks(pcc, vm_id, region_heat: dict[int, int]):
+    """Record walks: region -> walk count."""
+    for region, count in region_heat.items():
+        for _ in range(count):
+            pcc.access(World.GUEST, vm_id, region)
+
+
+def guest_promote(table, region):
+    base = region << 21
+    if not table.mapped_pages_in_region(region):
+        table.map_base(base, frame=0)
+    table.promote(region, frame=region)
+    return True
+
+
+class TestCoPromotionScenario:
+    def test_hot_guests_share_scarce_host_frames(self, setup):
+        hypervisor, pcc, tables = setup
+        feed_guest_walks(pcc, 1, {10: 30, 11: 5})
+        feed_guest_walks(pcc, 2, {20: 25, 21: 2})
+
+        outcomes = {}
+        for vm_id in (1, 2):
+            ranked = pcc.ranked(World.GUEST, vm_id=vm_id)
+            top = ranked[0]
+            outcome = hypervisor.co_promote(
+                vm_id,
+                gpa_region=top.tag,
+                guest_promote=lambda vm=vm_id, r=top.tag: guest_promote(
+                    tables[vm], r
+                ),
+            )
+            outcomes[vm_id] = (top.tag, outcome)
+
+        for vm_id, (region, outcome) in outcomes.items():
+            assert outcome.effective_page_size is PageSize.HUGE
+            assert tables[vm_id].is_promoted(region)
+            assert hypervisor.host_page_size(vm_id, region) is PageSize.HUGE
+
+    def test_host_exhaustion_degrades_latecomer(self, setup):
+        hypervisor, pcc, tables = setup
+        # vm 1 greedily co-promotes 6 regions, exhausting the host
+        for region in range(10, 16):
+            hypervisor.co_promote(
+                1, region,
+                guest_promote=lambda r=region: guest_promote(tables[1], r),
+            )
+        outcome = hypervisor.co_promote(
+            2, 20, guest_promote=lambda: guest_promote(tables[2], 20)
+        )
+        # guest side succeeded, host could not follow: effectively base
+        assert outcome.guest_promoted
+        assert outcome.effective_page_size is PageSize.BASE
+        assert hypervisor.stats.host_promotion_failures >= 1
+
+    def test_ranking_guides_promotion_order(self, setup):
+        hypervisor, pcc, tables = setup
+        feed_guest_walks(pcc, 1, {5: 3, 6: 50, 7: 10})
+        ranked = [e.tag for e in pcc.ranked(World.GUEST, vm_id=1)]
+        assert ranked == [6, 7, 5]

@@ -1,0 +1,117 @@
+"""Unit tests for the HawkEye baseline."""
+
+import pytest
+
+from repro.os.hawkeye import BUCKET_WIDTH, NUM_BUCKETS, HawkEye, bucket_of
+from repro.os.physmem import PhysicalMemory
+from repro.vm.address import HUGE_PAGE_SIZE, PAGES_PER_HUGE
+from repro.vm.pagetable import PageTable
+
+BASE = 0x5555_5540_0000
+
+
+def make_hawkeye(frames=8, **kwargs):
+    return HawkEye(PhysicalMemory(frames * HUGE_PAGE_SIZE), **kwargs)
+
+
+def table_with_coverage(coverages):
+    """Build a table whose region i has `coverages[i]` accessed pages."""
+    table = PageTable()
+    for region_index, coverage in enumerate(coverages):
+        region_base = BASE + region_index * HUGE_PAGE_SIZE
+        for page in range(max(coverage, 1)):
+            table.map_base(region_base + page * 4096, frame=0)
+        for page in range(coverage):
+            table.walk(region_base + page * 4096)
+    return table
+
+
+class TestBucketing:
+    def test_bucket_boundaries(self):
+        assert bucket_of(0) == 0
+        assert bucket_of(49) == 0
+        assert bucket_of(50) == 1
+        assert bucket_of(449) == 8
+        assert bucket_of(450) == 9
+        assert bucket_of(512) == 9
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_of(-1)
+
+    def test_bucket_constants(self):
+        assert BUCKET_WIDTH == 50
+        assert NUM_BUCKETS == 10
+
+
+class TestMeasurement:
+    def test_measures_coverage_into_buckets(self):
+        hawkeye = make_hawkeye()
+        table = table_with_coverage([500, 60, 10])
+        hawkeye.measure_interval(table)
+        buckets = hawkeye.buckets(table.pid)
+        region0 = BASE >> 21
+        assert region0 in buckets[9]
+        assert region0 + 1 in buckets[1]
+        assert region0 + 2 in buckets[0]
+
+    def test_accessed_bits_reset_after_scan(self):
+        hawkeye = make_hawkeye()
+        table = table_with_coverage([100])
+        hawkeye.measure_interval(table)
+        assert table.accessed_pages_in_region(BASE >> 21) == 0
+
+    def test_scan_budget_limits_regions_per_interval(self):
+        hawkeye = make_hawkeye(scan_pages_per_interval=PAGES_PER_HUGE)
+        table = table_with_coverage([10, 10, 10])
+        hawkeye.measure_interval(table)
+        assert len(hawkeye._coverage) == 1
+        hawkeye.measure_interval(table)
+        assert len(hawkeye._coverage) == 2
+
+    def test_empty_table(self):
+        hawkeye = make_hawkeye()
+        hawkeye.measure_interval(PageTable())
+        assert hawkeye.stats.intervals == 1
+
+
+class TestPromotion:
+    def test_promotes_highest_bucket_first(self):
+        hawkeye = make_hawkeye(max_promotions_per_interval=1)
+        table = table_with_coverage([60, 500])
+        hawkeye.measure_interval(table)
+        promoted = hawkeye.promote_interval(table)
+        assert promoted == [(BASE >> 21) + 1]
+
+    def test_promotion_rate_limited(self):
+        hawkeye = make_hawkeye(max_promotions_per_interval=2)
+        table = table_with_coverage([500, 500, 500])
+        hawkeye.measure_interval(table)
+        assert len(hawkeye.promote_interval(table)) == 2
+
+    def test_promotion_failure_under_pressure(self):
+        hawkeye = make_hawkeye(frames=2)
+        hawkeye.physmem.fragment(1.0)
+        table = table_with_coverage([500])
+        hawkeye.measure_interval(table)
+        assert hawkeye.promote_interval(table) == []
+        assert hawkeye.stats.promotion_failures == 1
+
+    def test_promoted_region_leaves_candidate_pool(self):
+        hawkeye = make_hawkeye()
+        table = table_with_coverage([500])
+        hawkeye.measure_interval(table)
+        hawkeye.promote_interval(table)
+        assert hawkeye.promotion_candidates(table.pid, 10) == []
+
+    def test_coverage_blindness_to_frequency(self):
+        """The paper's critique: 25%-utilized but hot regions rank below
+        fully-covered cold ones."""
+        hawkeye = make_hawkeye(max_promotions_per_interval=1)
+        table = table_with_coverage([500, 128])
+        # region 1 is walked very frequently on its few pages
+        for _ in range(50):
+            table.walk(BASE + HUGE_PAGE_SIZE)
+        hawkeye.measure_interval(table)
+        promoted = hawkeye.promote_interval(table)
+        assert promoted == [BASE >> 21]  # the cold-but-covered one wins

@@ -1,0 +1,70 @@
+"""Additional HawkEye coverage: interval dynamics over time."""
+
+import pytest
+
+from repro.os.hawkeye import HawkEye
+from repro.os.physmem import PhysicalMemory
+from repro.vm.address import HUGE_PAGE_SIZE, PAGES_PER_HUGE
+from repro.vm.pagetable import PageTable
+
+BASE = 0x5555_5540_0000
+
+
+def make_hawkeye(frames=16, **kwargs):
+    return HawkEye(PhysicalMemory(frames * HUGE_PAGE_SIZE), **kwargs)
+
+
+def touch_region(table, region_index, pages):
+    base = BASE + region_index * HUGE_PAGE_SIZE
+    for page in range(pages):
+        vaddr = base + page * 4096
+        if not table.is_mapped(vaddr):
+            table.map_base(vaddr, frame=0)
+        table.walk(vaddr)
+
+
+class TestTemporalCoverage:
+    def test_stale_coverage_updates_on_rescan(self):
+        """A region hot in interval 1 but idle later is re-measured at
+        coverage 0 once the cursor returns to it."""
+        hawkeye = make_hawkeye(scan_pages_per_interval=PAGES_PER_HUGE)
+        table = PageTable()
+        touch_region(table, 0, pages=500)
+        hawkeye.measure_interval(table)  # measures region 0 at ~500
+        region0 = BASE >> 21
+        assert hawkeye._coverage[(table.pid, region0)] == 500
+        # region stays idle; cursor wraps back on the next interval
+        hawkeye.measure_interval(table)
+        assert hawkeye._coverage[(table.pid, region0)] == 0
+
+    def test_continuously_hot_region_stays_in_bucket_nine(self):
+        hawkeye = make_hawkeye(scan_pages_per_interval=PAGES_PER_HUGE)
+        table = PageTable()
+        for _ in range(3):
+            touch_region(table, 0, pages=480)
+            hawkeye.measure_interval(table)
+        buckets = hawkeye.buckets(table.pid)
+        assert (BASE >> 21) in buckets[9]
+
+    def test_candidates_capped_by_limit(self):
+        hawkeye = make_hawkeye(scan_pages_per_interval=8 * PAGES_PER_HUGE)
+        table = PageTable()
+        for region in range(5):
+            touch_region(table, region, pages=500)
+        hawkeye.measure_interval(table)
+        assert len(hawkeye.promotion_candidates(table.pid, limit=3)) == 3
+
+    def test_promotion_consumes_candidates_across_intervals(self):
+        hawkeye = make_hawkeye(
+            scan_pages_per_interval=8 * PAGES_PER_HUGE,
+            max_promotions_per_interval=2,
+        )
+        table = PageTable()
+        for region in range(4):
+            touch_region(table, region, pages=500)
+        hawkeye.measure_interval(table)
+        first = hawkeye.promote_interval(table)
+        second = hawkeye.promote_interval(table)
+        assert len(first) == 2
+        assert len(second) == 2
+        assert not set(first) & set(second)

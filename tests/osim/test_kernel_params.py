@@ -1,0 +1,112 @@
+"""Tests for kernel-parameter plumbing and the dump-mode alternative."""
+
+import copy
+
+import pytest
+
+from repro.config import scaled_config, tiny_config
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy, KernelParams, SimulatedKernel
+from tests.conftest import make_workload
+from tests.engine.test_simulation import hot_cold_addresses
+
+
+class TestParamPlumbing:
+    def test_min_frequency_reaches_engine(self):
+        kernel = SimulatedKernel(
+            tiny_config(),
+            policy=HugePagePolicy.PCC,
+            params=KernelParams(min_candidate_frequency=5),
+        )
+        assert kernel._engine.min_frequency == 5
+
+    def test_pressure_throttle_reaches_engine(self):
+        kernel = SimulatedKernel(
+            tiny_config(),
+            policy=HugePagePolicy.PCC,
+            params=KernelParams(pressure_throttle=False),
+        )
+        assert not kernel._engine.pressure_throttle
+
+    def test_defaults_from_config(self):
+        kernel = SimulatedKernel(tiny_config(), policy=HugePagePolicy.PCC)
+        assert kernel._engine.min_frequency == 1
+        assert kernel._engine.pressure_throttle
+
+    def test_throttle_off_allows_full_quota_under_pressure(self):
+        from repro.os.physmem import PhysicalMemory
+        from repro.os.promotion import PromotionEngine
+        from tests.osim.test_promotion import rec, table_with_regions, REGION
+        from repro.vm.address import HUGE_PAGE_SIZE
+
+        engine = PromotionEngine(
+            PhysicalMemory(8 * HUGE_PAGE_SIZE),
+            regions_to_promote=8,
+            pressure_throttle=False,
+        )
+        table = table_with_regions(8)
+        outcome = engine.run_interval(
+            [rec(REGION + i) for i in range(8)], {1: table}
+        )
+        assert len(outcome.promoted) == 8  # no throttle: spend it all
+
+
+class TestDumpModes:
+    def _run(self, mode):
+        config = tiny_config()
+        params = KernelParams(regions_to_promote=4, pcc_dump_mode=mode)
+        simulator = Simulator(config, policy=HugePagePolicy.PCC, params=params)
+        result = simulator.run(
+            [make_workload(hot_cold_addresses(repeats=2500))]
+        )
+        return simulator, result
+
+    def test_both_modes_promote_the_hot_region(self):
+        for mode in ("flush", "snapshot"):
+            simulator, result = self._run(mode)
+            table = simulator.kernel.processes[1].page_table
+            hot_region = 0x5555_5540_0000 >> 21
+            assert table.is_promoted(hot_region), mode
+            assert result.promotions > 0, mode
+
+    def test_snapshot_leaves_counters_accumulating(self):
+        simulator, _ = self._run("snapshot")
+        # promoted entries are shot down, but unpromoted candidates keep
+        # their history across intervals (flush mode would clear them)
+        # — verify via PCC stats: snapshot mode never clears, so total
+        # invalidations are the only removals
+        core_stats = None
+        # the simulator's cores are not retained; re-run capturing stats
+        import repro.engine.simulation as simmod
+
+        captured = {}
+        orig = simmod.Simulator._promotion_tick
+
+        def patched(self, cores, ledgers):
+            captured["pcc"] = cores[0].pcc
+            return orig(self, cores, ledgers)
+
+        simmod.Simulator._promotion_tick = patched
+        try:
+            simulator, _ = self._run("snapshot")
+        finally:
+            simmod.Simulator._promotion_tick = orig
+        # snapshot mode: entries survive the tick (only shootdowns evict)
+        assert len(captured["pcc"]) > 0
+
+
+class TestSnapshotWithGiga:
+    def test_snapshot_mode_with_giga_pcc(self):
+        """Snapshot reads work for both PCC granularities."""
+        from repro.config import PCCConfig
+
+        config = tiny_config().with_(
+            pcc=PCCConfig(entries=4, giga_entries=2, giga_enabled=True)
+        )
+        params = KernelParams(regions_to_promote=4, pcc_dump_mode="snapshot")
+        simulator = Simulator(config, policy=HugePagePolicy.PCC, params=params)
+        result = simulator.run(
+            [make_workload(hot_cold_addresses(repeats=2000))]
+        )
+        assert result.accesses == 4000
+        assert result.promotions >= 0  # completes with consistent state

@@ -1,0 +1,193 @@
+"""Unit tests for physical memory, fragmentation, and compaction."""
+
+import pytest
+
+from repro.os.physmem import (
+    FrameState,
+    OutOfMemoryError,
+    PhysicalMemory,
+)
+from repro.vm.address import HUGE_PAGE_SIZE, PAGES_PER_HUGE
+
+
+def make_mem(frames=8):
+    return PhysicalMemory(frames * HUGE_PAGE_SIZE)
+
+
+class TestConstruction:
+    def test_frame_count(self):
+        assert make_mem(8).total_frames == 8
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            PhysicalMemory(HUGE_PAGE_SIZE - 1)
+
+    def test_initially_all_free(self):
+        mem = make_mem(4)
+        assert mem.free_huge_frames() == 4
+        assert mem.fragmentation_fraction() == 0.0
+
+
+class TestBaseAllocation:
+    def test_allocate_base_consumes_partial_frames(self):
+        mem = make_mem(2)
+        mem.allocate_base()
+        assert mem.free_huge_frames() == 1
+
+    def test_bump_fills_one_frame_before_next(self):
+        mem = make_mem(2)
+        mem.allocate_base(count=PAGES_PER_HUGE)
+        assert mem.free_huge_frames() == 1
+        mem.allocate_base()
+        assert mem.free_huge_frames() == 0
+
+    def test_oom_when_full(self):
+        mem = make_mem(1)
+        mem.allocate_base(count=PAGES_PER_HUGE)
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate_base()
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            make_mem().allocate_base(count=0)
+
+    def test_stats_count_allocations(self):
+        mem = make_mem()
+        mem.allocate_base(count=5)
+        assert mem.stats.base_allocations == 5
+
+
+class TestHugeAllocation:
+    def test_allocate_huge_takes_free_frame(self):
+        mem = make_mem(2)
+        frame, migrated = mem.allocate_huge()
+        assert migrated == 0
+        assert mem.huge_frames_in_use() == 1
+        assert mem.free_huge_frames() == 1
+
+    def test_oom_without_compaction(self):
+        mem = make_mem(2)
+        mem.allocate_base()  # frame 0 partial
+        mem.allocate_huge()  # frame 1 huge
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate_huge(allow_compaction=False)
+        assert mem.stats.huge_failures == 1
+
+    def test_compaction_recovers_movable_frame(self):
+        mem = make_mem(3)
+        mem.allocate_base()  # frame 0: 1 movable page
+        mem.allocate_huge()  # frame 1
+        mem.allocate_huge()  # frame 2
+        # no free frames; frame 0 is compactable but needs a destination
+        # inside another partial frame — create one by fragmenting? Use
+        # a second partial frame: free a huge frame as base pages.
+        mem.free_huge(1, as_base_pages=10)
+        frame, migrated = mem.allocate_huge(allow_compaction=True)
+        assert migrated >= 1
+        assert mem.stats.compactions == 1
+
+
+class TestFragmentation:
+    def test_fraction_pins_frames(self):
+        mem = make_mem(10)
+        pinned = mem.fragment(0.5)
+        assert pinned == 5
+        assert mem.free_huge_frames() == 0  # rest got movable scatter
+
+    def test_scatter_movable_disabled(self):
+        mem = make_mem(10)
+        mem.fragment(0.5, scatter_movable=False)
+        assert mem.free_huge_frames() == 5
+
+    def test_pinned_frames_never_compacted(self):
+        mem = make_mem(4)
+        mem.fragment(1.0)
+        assert mem.compactable_frames() == 0
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate_huge(allow_compaction=True)
+
+    def test_scattered_frames_recoverable_by_compaction(self):
+        mem = make_mem(10)
+        mem.fragment(0.5)
+        # the 5 scattered frames hold 1 movable page each; pinned frames
+        # have room to absorb them
+        frame, migrated = mem.allocate_huge(allow_compaction=True)
+        assert migrated == 1
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            make_mem().fragment(1.5)
+
+    def test_zero_fraction_noop(self):
+        mem = make_mem(4)
+        mem.fragment(0.0)
+        assert mem.free_huge_frames() == 4
+
+    def test_fragmentation_fraction_reporting(self):
+        mem = make_mem(10)
+        mem.fragment(0.3, scatter_movable=False)
+        assert mem.fragmentation_fraction() == pytest.approx(0.3)
+
+
+class TestReleaseAndFree:
+    def test_release_base_pages_frees_frames(self):
+        mem = make_mem(2)
+        mem.allocate_base(count=10)
+        released = mem.release_base_pages(10)
+        assert released == 10
+        assert mem.free_huge_frames() == 2
+
+    def test_release_never_touches_pinned(self):
+        mem = make_mem(2)
+        mem.fragment(1.0)
+        released = mem.release_base_pages(5)
+        assert released == 0
+        assert mem.free_huge_frames() == 0
+
+    def test_release_bounded_by_live_pages(self):
+        mem = make_mem(2)
+        mem.allocate_base(count=3)
+        assert mem.release_base_pages(100) == 3
+
+    def test_release_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_mem().release_base_pages(-1)
+
+    def test_free_huge_to_free(self):
+        mem = make_mem(2)
+        frame, _ = mem.allocate_huge()
+        mem.free_huge(frame)
+        assert mem.free_huge_frames() == 2
+
+    def test_free_huge_as_base_pages(self):
+        mem = make_mem(2)
+        frame, _ = mem.allocate_huge()
+        mem.free_huge(frame, as_base_pages=100)
+        assert mem.free_huge_frames() == 1
+        assert mem.huge_frames_in_use() == 0
+
+    def test_free_huge_wrong_state(self):
+        mem = make_mem(2)
+        with pytest.raises(ValueError):
+            mem.free_huge(0)
+
+    def test_free_huge_too_many_base_pages(self):
+        mem = make_mem(2)
+        frame, _ = mem.allocate_huge()
+        with pytest.raises(ValueError):
+            mem.free_huge(frame, as_base_pages=PAGES_PER_HUGE + 1)
+
+
+class TestAccountingInvariant:
+    def test_page_conservation_through_promote_cycle(self):
+        """allocate base -> release on promote -> demote back."""
+        mem = make_mem(4)
+        mem.allocate_base(count=512)
+        frame, _ = mem.allocate_huge()
+        mem.release_base_pages(512)
+        # demotion splits the huge page back into base pages
+        mem.free_huge(frame, as_base_pages=512)
+        used = sum(
+            f.used_base_pages for f in mem._frames
+        )
+        assert used == 512

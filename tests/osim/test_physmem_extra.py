@@ -1,0 +1,85 @@
+"""Additional physical-memory scenarios: compaction mechanics."""
+
+import pytest
+
+from repro.os.physmem import FrameState, OutOfMemoryError, PhysicalMemory
+from repro.vm.address import HUGE_PAGE_SIZE, PAGES_PER_HUGE
+
+
+def make_mem(frames=8):
+    return PhysicalMemory(frames * HUGE_PAGE_SIZE)
+
+
+class TestCompactionMechanics:
+    def test_compaction_prefers_emptiest_source(self):
+        mem = make_mem(4)
+        # frame 0: 3 pages; frame 1: 500 pages (room to absorb 3)
+        mem.allocate_base(count=3)
+        mem._fill_cursor = 1
+        mem.allocate_base(count=500)
+        # consume the two free frames as huge pages
+        mem.allocate_huge()
+        mem.allocate_huge()
+        frame, migrated = mem.allocate_huge(allow_compaction=True)
+        # the 3-page frame is the cheaper source
+        assert migrated == 3
+
+    def test_compaction_fails_without_destination_capacity(self):
+        mem = make_mem(2)
+        # two frames nearly full: no destination slack anywhere
+        mem.allocate_base(count=PAGES_PER_HUGE)
+        mem.allocate_base(count=PAGES_PER_HUGE - 1)
+        with pytest.raises(OutOfMemoryError):
+            mem.allocate_huge(allow_compaction=True)
+
+    def test_compaction_never_uses_free_frames_as_destination(self):
+        mem = make_mem(3)
+        mem.allocate_base(count=5)  # frame 0 partial
+        # frames 1, 2 free; compaction should NOT be needed at all
+        frame, migrated = mem.allocate_huge(allow_compaction=True)
+        assert migrated == 0
+        # and the partial frame is untouched
+        assert mem._frames[0].used_base_pages == 5
+
+    def test_migrated_pages_counted_in_stats(self):
+        mem = make_mem(3)
+        mem.allocate_base(count=7)  # frame 0
+        first, _ = mem.allocate_huge()  # frame 1
+        mem.allocate_huge()  # frame 2: now nothing free
+        mem.free_huge(first, as_base_pages=10)  # frame 1 partial again
+        frame, migrated = mem.allocate_huge(allow_compaction=True)
+        # the 7-page frame is the emptiest source; its pages moved
+        assert migrated == 7
+        assert mem.stats.pages_migrated == 7
+
+
+class TestFragmentationRandomized:
+    def test_rng_spread_still_pins_exact_count(self):
+        import numpy as np
+
+        mem = make_mem(16)
+        pinned = mem.fragment(0.5, rng=np.random.default_rng(3))
+        assert pinned == 8
+        states = [f for f in mem._frames if f.pinned_pages]
+        assert len(states) == 8
+
+    def test_fragment_is_idempotent_on_used_memory(self):
+        mem = make_mem(4)
+        mem.allocate_huge()
+        mem.allocate_huge()
+        mem.allocate_huge()
+        mem.allocate_huge()
+        # nothing free: nothing to pin
+        assert mem.fragment(1.0) == 0
+
+
+class TestFrameStateTransitions:
+    def test_full_lifecycle(self):
+        mem = make_mem(2)
+        frame, _ = mem.allocate_huge()
+        assert mem._frames[frame].state is FrameState.HUGE
+        mem.free_huge(frame, as_base_pages=PAGES_PER_HUGE)
+        assert mem._frames[frame].state is FrameState.PARTIAL
+        released = mem.release_base_pages(PAGES_PER_HUGE)
+        assert released == PAGES_PER_HUGE
+        assert mem._frames[frame].state is FrameState.FREE

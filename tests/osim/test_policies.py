@@ -1,0 +1,80 @@
+"""Unit tests for OS candidate-selection policies."""
+
+from repro.core.dump import CandidateRecord
+from repro.os.policies import (
+    apply_process_bias,
+    deduplicate,
+    highest_frequency_order,
+    round_robin_order,
+)
+
+
+def rec(pid=1, core=0, tag=0, freq=0):
+    return CandidateRecord(pid=pid, core=core, tag=tag, frequency=freq)
+
+
+class TestHighestFrequency:
+    def test_sorts_descending(self):
+        records = [rec(tag=1, freq=5), rec(tag=2, freq=9), rec(tag=3, freq=1)]
+        ordered = highest_frequency_order(records)
+        assert [r.tag for r in ordered] == [2, 1, 3]
+
+    def test_stable_for_ties(self):
+        records = [rec(core=0, tag=1, freq=5), rec(core=1, tag=2, freq=5)]
+        ordered = highest_frequency_order(records)
+        assert [r.tag for r in ordered] == [1, 2]
+
+
+class TestRoundRobin:
+    def test_interleaves_cores(self):
+        records = [
+            rec(core=0, tag=1), rec(core=0, tag=2),
+            rec(core=1, tag=10), rec(core=1, tag=11),
+        ]
+        ordered = round_robin_order(records)
+        assert [r.tag for r in ordered] == [1, 10, 2, 11]
+
+    def test_uneven_queues(self):
+        records = [rec(core=0, tag=1), rec(core=1, tag=10), rec(core=1, tag=11)]
+        ordered = round_robin_order(records)
+        assert [r.tag for r in ordered] == [1, 10, 11]
+
+    def test_preserves_per_core_rank(self):
+        records = [rec(core=0, tag=2, freq=1), rec(core=0, tag=1, freq=9)]
+        ordered = round_robin_order(records)
+        # input order within a core is preserved (it is already ranked)
+        assert [r.tag for r in ordered] == [2, 1]
+
+    def test_empty(self):
+        assert round_robin_order([]) == []
+
+
+class TestProcessBias:
+    def test_biased_pids_first(self):
+        records = [rec(pid=1, tag=1), rec(pid=2, tag=2), rec(pid=1, tag=3)]
+        ordered = apply_process_bias(records, biased_pids=[2])
+        assert [r.tag for r in ordered] == [2, 1, 3]
+
+    def test_no_bias_is_identity(self):
+        records = [rec(pid=1, tag=1), rec(pid=2, tag=2)]
+        assert apply_process_bias(records, []) == records
+
+    def test_multiple_biased_pids_preserve_order(self):
+        records = [rec(pid=3, tag=1), rec(pid=1, tag=2), rec(pid=2, tag=3)]
+        ordered = apply_process_bias(records, biased_pids=[1, 2])
+        assert [r.tag for r in ordered] == [2, 3, 1]
+
+
+class TestDeduplicate:
+    def test_keeps_first_occurrence(self):
+        records = [
+            rec(pid=1, core=0, tag=5, freq=9),
+            rec(pid=1, core=1, tag=5, freq=2),
+        ]
+        unique = deduplicate(records)
+        assert len(unique) == 1
+        assert unique[0].frequency == 9
+
+    def test_distinguishes_pids(self):
+        records = [rec(pid=1, tag=5), rec(pid=2, tag=5)]
+        assert len(deduplicate(records)) == 2

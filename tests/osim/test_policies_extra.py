@@ -1,0 +1,77 @@
+"""Property-style coverage for the candidate-merge policies."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dump import CandidateRecord
+from repro.os.policies import (
+    apply_process_bias,
+    deduplicate,
+    highest_frequency_order,
+    round_robin_order,
+)
+
+records_strategy = st.lists(
+    st.builds(
+        CandidateRecord,
+        pid=st.integers(1, 3),
+        core=st.integers(0, 3),
+        tag=st.integers(0, 30),
+        frequency=st.integers(0, 255),
+    ),
+    max_size=60,
+)
+
+
+@given(records=records_strategy)
+@settings(max_examples=150, deadline=None)
+def test_orders_are_permutations(records):
+    for order in (highest_frequency_order, round_robin_order):
+        merged = order(records)
+        assert sorted(map(id, merged)) == sorted(map(id, records))
+
+
+@given(records=records_strategy)
+@settings(max_examples=150, deadline=None)
+def test_highest_frequency_is_monotone(records):
+    merged = highest_frequency_order(records)
+    frequencies = [r.frequency for r in merged]
+    assert frequencies == sorted(frequencies, reverse=True)
+
+
+@given(records=records_strategy)
+@settings(max_examples=150, deadline=None)
+def test_round_robin_never_starves_a_core(records):
+    merged = round_robin_order(records)
+    cores = {r.core for r in records}
+    if not cores:
+        return
+    # every core with candidates appears within the first len(cores)
+    # positions at least once per "round" it still has entries for
+    first_round = {r.core for r in merged[: len(cores)]}
+    assert first_round == cores
+
+
+@given(records=records_strategy, biased=st.sets(st.integers(1, 3)))
+@settings(max_examples=150, deadline=None)
+def test_bias_partitions_stably(records, biased):
+    ordered = apply_process_bias(records, sorted(biased))
+    seen_unbiased = False
+    for record in ordered:
+        if record.pid not in biased:
+            seen_unbiased = True
+        else:
+            assert not seen_unbiased  # no biased record after unbiased
+    # relative order within each partition is preserved
+    favored = [r for r in records if r.pid in biased]
+    assert [r for r in ordered if r.pid in biased] == favored
+
+
+@given(records=records_strategy)
+@settings(max_examples=150, deadline=None)
+def test_deduplicate_idempotent_and_minimal(records):
+    once = deduplicate(records)
+    twice = deduplicate(once)
+    assert once == twice
+    keys = [(r.pid, r.tag, int(r.page_size)) for r in once]
+    assert len(keys) == len(set(keys))

@@ -1,0 +1,53 @@
+"""Tests for memory-bloat accounting across policies."""
+
+import pytest
+
+from repro.core.dump import CandidateRecord
+from repro.os.physmem import PhysicalMemory
+from repro.os.promotion import PromotionEngine
+from repro.os.thp import GreedyTHP
+from repro.vm.address import HUGE_PAGE_SIZE, PAGES_PER_HUGE
+from repro.vm.pagetable import PageTable
+
+BASE = 0x5555_5540_0000
+REGION = BASE >> 21
+
+
+class TestGreedyBloat:
+    def test_each_huge_fault_commits_511_speculative_pages(self):
+        thp = GreedyTHP(PhysicalMemory(8 * HUGE_PAGE_SIZE))
+        table = PageTable()
+        thp.handle_fault(table, BASE)
+        thp.handle_fault(table, BASE + HUGE_PAGE_SIZE)
+        assert thp.stats.bloat_pages == 2 * (PAGES_PER_HUGE - 1)
+
+    def test_base_fallback_commits_nothing_extra(self):
+        memory = PhysicalMemory(2 * HUGE_PAGE_SIZE)
+        memory.fragment(1.0)
+        thp = GreedyTHP(memory, allow_compaction=False)
+        thp.handle_fault(PageTable(), BASE)
+        assert thp.stats.bloat_pages == 0
+
+
+class TestPromotionBloat:
+    def test_bloat_is_unmapped_tail_of_promoted_region(self):
+        engine = PromotionEngine(PhysicalMemory(8 * HUGE_PAGE_SIZE))
+        table = PageTable(pid=1)
+        for page in range(10):  # 10 of 512 pages mapped
+            table.map_base(BASE + page * 4096, frame=page)
+        engine.run_interval(
+            [CandidateRecord(pid=1, core=0, tag=REGION, frequency=5)],
+            {1: table},
+        )
+        assert engine.stats.bloat_pages == PAGES_PER_HUGE - 10
+
+    def test_fully_mapped_region_promotes_bloat_free(self):
+        engine = PromotionEngine(PhysicalMemory(8 * HUGE_PAGE_SIZE))
+        table = PageTable(pid=1)
+        for page in range(PAGES_PER_HUGE):
+            table.map_base(BASE + page * 4096, frame=page)
+        engine.run_interval(
+            [CandidateRecord(pid=1, core=0, tag=REGION, frequency=5)],
+            {1: table},
+        )
+        assert engine.stats.bloat_pages == 0

@@ -1,0 +1,64 @@
+"""Property-based tests for the PCC's decay semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PCCConfig
+from repro.core.pcc import PromotionCandidateCache
+
+
+@given(
+    hot_hits=st.integers(1, 600),
+    warm_hits=st.integers(1, 600),
+    bits=st.integers(3, 8),
+)
+@settings(max_examples=120, deadline=None)
+def test_decay_never_inverts_strict_order(hot_hits, warm_hits, bits):
+    """If A is accessed strictly more often than B (interleaved), A
+    never ranks below B — decay halves both simultaneously."""
+    if hot_hits == warm_hits:
+        hot_hits += 1
+    high, low = max(hot_hits, warm_hits), min(hot_hits, warm_hits)
+    pcc = PromotionCandidateCache(PCCConfig(entries=4, counter_bits=bits))
+    # interleave proportionally so both accumulate under shared decay
+    for i in range(high):
+        pcc.access(1)
+        if i * low // high != (i + 1) * low // high:
+            pcc.access(2)
+    freq_hot = pcc.frequency_of(1)
+    freq_warm = pcc.frequency_of(2)
+    assert freq_hot is not None and freq_warm is not None
+    assert freq_hot >= freq_warm
+
+
+@given(
+    accesses=st.lists(st.integers(0, 5), min_size=1, max_size=500),
+    bits=st.integers(2, 6),
+)
+@settings(max_examples=120, deadline=None)
+def test_decay_count_bounded_by_access_count(accesses, bits):
+    """Each decay requires a counter to climb to saturation, so decays
+    are bounded by accesses / counter_max."""
+    pcc = PromotionCandidateCache(PCCConfig(entries=8, counter_bits=bits))
+    for tag in accesses:
+        pcc.access(tag)
+    maximum = pcc.config.counter_max
+    assert pcc.stats.decays <= len(accesses) // maximum + 1
+
+
+@given(accesses=st.lists(st.integers(0, 3), min_size=1, max_size=300))
+@settings(max_examples=100, deadline=None)
+def test_frequencies_bounded_by_hits(accesses):
+    """A tag's counter can never exceed its own hit count."""
+    pcc = PromotionCandidateCache(PCCConfig(entries=4))
+    hits: dict[int, int] = {}
+    for tag in accesses:
+        entry = pcc.access(tag)
+        hits[tag] = hits.get(tag, 0)
+        # count hits only (first access is an insertion at freq 0)
+        if entry.frequency > 0 or hits[tag] > 0:
+            hits[tag] += 1
+    for tag, count in hits.items():
+        freq = pcc.frequency_of(tag)
+        if freq is not None:
+            assert freq <= max(0, count)

@@ -1,0 +1,101 @@
+"""Property-based tests for graph generation and traversal machinery."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import gapbase
+from repro.workloads.graph import (
+    CSRGraph,
+    degree_based_grouping,
+    kronecker,
+)
+
+
+@st.composite
+def csr_graphs(draw):
+    """Random small valid CSR graphs."""
+    nodes = draw(st.integers(2, 24))
+    degrees = draw(
+        st.lists(st.integers(0, 6), min_size=nodes, max_size=nodes)
+    )
+    offsets = np.zeros(nodes + 1, dtype=np.int64)
+    np.cumsum(degrees, out=offsets[1:])
+    edges = int(offsets[-1])
+    neighbors = np.array(
+        draw(
+            st.lists(
+                st.integers(0, nodes - 1), min_size=edges, max_size=edges
+            )
+        ),
+        dtype=np.int32,
+    )
+    return CSRGraph(offsets=offsets, neighbors=neighbors)
+
+
+@given(graph=csr_graphs())
+@settings(max_examples=80, deadline=None)
+def test_dbg_preserves_degree_multiset(graph):
+    reordered = degree_based_grouping(graph)
+    reordered.validate()
+    assert sorted(graph.degrees().tolist()) == sorted(
+        reordered.degrees().tolist()
+    )
+    assert reordered.edges == graph.edges
+
+
+@given(graph=csr_graphs(), data=st.data())
+@settings(max_examples=80, deadline=None)
+def test_expand_edges_matches_manual_expansion(graph, data):
+    size = data.draw(st.integers(0, graph.nodes))
+    frontier = np.array(
+        sorted(
+            data.draw(
+                st.sets(
+                    st.integers(0, graph.nodes - 1),
+                    min_size=size,
+                    max_size=size,
+                )
+            )
+        ),
+        dtype=np.int64,
+    )
+    edge_indices, targets = gapbase.expand_edges(graph, frontier)
+    expected_indices = []
+    for vertex in frontier:
+        expected_indices.extend(
+            range(int(graph.offsets[vertex]), int(graph.offsets[vertex + 1]))
+        )
+    assert edge_indices.tolist() == expected_indices
+    assert np.array_equal(targets, graph.neighbors[edge_indices])
+
+
+@given(scale=st.integers(4, 9), seed=st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_kronecker_always_valid(scale, seed):
+    graph = kronecker(scale=scale, degree=4, seed=seed)
+    graph.validate()
+    assert graph.nodes == 1 << scale
+    # dedup guarantees no duplicate (src, dst) pairs
+    src = np.repeat(
+        np.arange(graph.nodes, dtype=np.int64), graph.degrees()
+    )
+    keys = src * graph.nodes + graph.neighbors
+    assert np.unique(keys).size == keys.size
+
+
+@given(
+    streams=st.lists(
+        st.lists(st.integers(0, 1 << 40), min_size=1, max_size=30),
+        min_size=1,
+        max_size=4,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_interleave_streams_round_trips(streams):
+    length = min(len(s) for s in streams)
+    arrays = [np.array(s[:length], dtype=np.uint64) for s in streams]
+    merged = gapbase.interleave_streams(*arrays)
+    assert merged.size == length * len(arrays)
+    for column, original in enumerate(arrays):
+        assert np.array_equal(merged[column :: len(arrays)], original)

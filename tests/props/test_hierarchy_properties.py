@@ -1,0 +1,96 @@
+"""Property-based tests for TLB-hierarchy invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TLBConfig, TLBHierarchyConfig
+from repro.tlb.hierarchy import HitLevel, TLBHierarchy
+from repro.vm.address import PageSize
+
+
+def make_hierarchy():
+    return TLBHierarchy(
+        TLBHierarchyConfig(
+            l1_base=TLBConfig(4, 2, (PageSize.BASE,)),
+            l1_huge=TLBConfig(2, 2, (PageSize.HUGE,)),
+            l1_giga=TLBConfig(2, 2, (PageSize.GIGA,)),
+            l2=TLBConfig(8, 2, (PageSize.BASE, PageSize.HUGE)),
+        )
+    )
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("lookup"), st.integers(0, 2048)),
+        st.tuples(st.just("fill_base"), st.integers(0, 2048)),
+        st.tuples(st.just("fill_huge"), st.integers(0, 2048)),
+        st.tuples(st.just("shootdown"), st.integers(0, 4)),
+    ),
+    max_size=200,
+)
+
+
+@given(ops=operations)
+@settings(max_examples=120, deadline=None)
+def test_capacity_and_shootdown_invariants(ops):
+    hierarchy = make_hierarchy()
+    for op, value in ops:
+        if op == "lookup":
+            hierarchy.lookup(value)
+        elif op == "fill_base":
+            hierarchy.fill(value, PageSize.BASE)
+        elif op == "fill_huge":
+            hierarchy.fill(value, PageSize.HUGE)
+        else:
+            hierarchy.shootdown_region(value)
+            # after a shootdown, nothing in the region can hit
+            span = PageSize.HUGE.base_pages
+            probe = value * span + 7
+            assert hierarchy.lookup(probe).level is HitLevel.MISS
+
+        assert hierarchy.l1_base.occupancy() <= 4
+        assert hierarchy.l1_huge.occupancy() <= 2
+        assert hierarchy.l1_giga.occupancy() <= 2
+        assert hierarchy.l2.occupancy() <= 8
+
+
+@given(ops=operations)
+@settings(max_examples=80, deadline=None)
+def test_fill_then_lookup_hits(ops):
+    """Whatever else happened, an immediate lookup after a fill hits
+    (nothing evicts between the two calls)."""
+    hierarchy = make_hierarchy()
+    for op, value in ops:
+        if op == "fill_base":
+            hierarchy.fill(value, PageSize.BASE)
+            assert hierarchy.lookup(value).level is not HitLevel.MISS
+        elif op == "fill_huge":
+            # fill() takes a VPN; the installed entry covers the VPN's
+            # whole 2MB region
+            hierarchy.fill(value, PageSize.HUGE)
+            same_region = (value >> 9) * PageSize.HUGE.base_pages
+            assert hierarchy.lookup(same_region).level is not HitLevel.MISS
+        elif op == "lookup":
+            hierarchy.lookup(value)
+        else:
+            hierarchy.shootdown_region(value)
+
+
+@given(
+    vpns=st.lists(st.integers(0, 4096), min_size=1, max_size=300),
+)
+@settings(max_examples=80, deadline=None)
+def test_accesses_partition_into_levels(vpns):
+    hierarchy = make_hierarchy()
+    hits_l1 = hits_l2 = misses = 0
+    for vpn in vpns:
+        result = hierarchy.lookup(vpn)
+        if result.level is HitLevel.L1:
+            hits_l1 += 1
+        elif result.level is HitLevel.L2:
+            hits_l2 += 1
+        else:
+            misses += 1
+            hierarchy.fill(vpn, PageSize.BASE)
+    assert hits_l1 + hits_l2 + misses == len(vpns)
+    assert hierarchy.accesses == len(vpns)

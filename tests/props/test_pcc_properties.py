@@ -1,0 +1,77 @@
+"""Property-based tests for the PCC's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PCCConfig
+from repro.core.pcc import PromotionCandidateCache
+
+tags = st.integers(min_value=0, max_value=50)
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("access"), tags),
+        st.tuples(st.just("invalidate"), tags),
+    ),
+    max_size=300,
+)
+
+
+@given(ops=operations, entries=st.integers(2, 16), bits=st.integers(2, 8))
+@settings(max_examples=150, deadline=None)
+def test_structural_invariants(ops, entries, bits):
+    """Capacity, counter range, and stats consistency always hold."""
+    pcc = PromotionCandidateCache(PCCConfig(entries=entries, counter_bits=bits))
+    maximum = pcc.config.counter_max
+    for op, tag in ops:
+        if op == "access":
+            pcc.access(tag)
+        else:
+            pcc.invalidate(tag)
+        assert len(pcc) <= entries
+        assert all(0 <= e.frequency <= maximum for e in pcc.ranked())
+    stats = pcc.stats
+    assert stats.hits + stats.misses == stats.accesses
+    assert stats.insertions - stats.evictions - stats.invalidations == len(pcc)
+
+
+@given(ops=operations)
+@settings(max_examples=100, deadline=None)
+def test_ranked_is_sorted_by_frequency(ops):
+    pcc = PromotionCandidateCache(PCCConfig(entries=8))
+    for op, tag in ops:
+        if op == "access":
+            pcc.access(tag)
+        else:
+            pcc.invalidate(tag)
+    frequencies = [e.frequency for e in pcc.ranked()]
+    assert frequencies == sorted(frequencies, reverse=True)
+
+
+@given(
+    hot=st.integers(0, 9),
+    accesses=st.lists(st.integers(0, 9), min_size=30, max_size=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_hottest_tag_survives(hot, accesses):
+    """A tag accessed at least as often as every other tag combined is
+    never evicted once it has nonzero frequency."""
+    pcc = PromotionCandidateCache(PCCConfig(entries=4))
+    pcc.access(hot)
+    pcc.access(hot)
+    for tag in accesses:
+        pcc.access(hot)
+        pcc.access(tag)
+        assert hot in pcc
+
+
+@given(ops=operations)
+@settings(max_examples=60, deadline=None)
+def test_flush_empties_and_preserves_order(ops):
+    pcc = PromotionCandidateCache(PCCConfig(entries=8))
+    for op, tag in ops:
+        if op == "access":
+            pcc.access(tag)
+    dumped = pcc.flush()
+    assert len(pcc) == 0
+    frequencies = [e.frequency for e in dumped]
+    assert frequencies == sorted(frequencies, reverse=True)

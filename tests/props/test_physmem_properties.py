@@ -1,0 +1,79 @@
+"""Property-based tests: physical memory conservation invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.os.physmem import (
+    FrameState,
+    OutOfMemoryError,
+    PhysicalMemory,
+)
+from repro.vm.address import HUGE_PAGE_SIZE, PAGES_PER_HUGE
+
+commands = st.lists(
+    st.one_of(
+        st.tuples(st.just("base"), st.integers(1, 64)),
+        st.tuples(st.just("huge"), st.booleans()),
+        st.tuples(st.just("release"), st.integers(1, 64)),
+        st.tuples(st.just("free_huge"), st.integers(0, PAGES_PER_HUGE)),
+        st.tuples(st.just("fragment"), st.floats(0.0, 1.0)),
+    ),
+    max_size=60,
+)
+
+
+@given(cmds=commands, frames=st.integers(2, 12))
+@settings(max_examples=120, deadline=None)
+def test_frame_accounting_invariants(cmds, frames):
+    mem = PhysicalMemory(frames * HUGE_PAGE_SIZE)
+    fragmented = False
+    held_huge: list[int] = []
+    for cmd, arg in cmds:
+        try:
+            if cmd == "base":
+                mem.allocate_base(count=arg)
+            elif cmd == "huge":
+                frame, migrated = mem.allocate_huge(allow_compaction=arg)
+                held_huge.append(frame)
+                assert migrated >= 0
+            elif cmd == "release":
+                released = mem.release_base_pages(arg)
+                assert 0 <= released <= arg
+            elif cmd == "free_huge":
+                if held_huge:
+                    mem.free_huge(held_huge.pop(), as_base_pages=arg)
+            elif cmd == "fragment" and not fragmented:
+                mem.fragment(arg)
+                fragmented = True
+        except OutOfMemoryError:
+            pass
+
+        # global invariants after every operation
+        states = [f.state for f in mem._frames]
+        assert len(states) == frames
+        for frame in mem._frames:
+            assert 0 <= frame.pinned_pages <= frame.used_base_pages
+            assert frame.used_base_pages <= PAGES_PER_HUGE
+            if frame.state is FrameState.FREE:
+                assert frame.used_base_pages == 0
+            if frame.state is FrameState.PARTIAL:
+                assert frame.used_base_pages >= 1
+        assert (
+            mem.free_huge_frames()
+            + mem.huge_frames_in_use()
+            + sum(1 for s in states if s is FrameState.PARTIAL)
+            == frames
+        )
+
+
+@given(
+    fraction=st.floats(0.0, 1.0),
+    frames=st.integers(2, 32),
+)
+@settings(max_examples=80, deadline=None)
+def test_fragmentation_pin_count(fraction, frames):
+    mem = PhysicalMemory(frames * HUGE_PAGE_SIZE)
+    pinned = mem.fragment(fraction)
+    assert pinned == round(frames * fraction)
+    # pinned frames can never be compacted away
+    assert mem.compactable_frames() <= frames - pinned

@@ -1,0 +1,45 @@
+"""Property-based tests for reuse-distance computation."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reuse import reuse_distances
+
+sequences = st.lists(st.integers(0, 12), max_size=300)
+
+
+def oracle(seq):
+    """Quadratic reference: mean count of intervening accesses."""
+    result = {}
+    positions = {}
+    for index, region in enumerate(seq):
+        positions.setdefault(region, []).append(index)
+    for region, where in positions.items():
+        if len(where) == 1:
+            result[region] = float("inf")
+        else:
+            gaps = [b - a - 1 for a, b in zip(where, where[1:])]
+            result[region] = sum(gaps) / len(gaps)
+    return result
+
+
+@given(seq=sequences)
+@settings(max_examples=200, deadline=None)
+def test_matches_quadratic_oracle(seq):
+    assert reuse_distances(np.array(seq, dtype=np.int64)) == oracle(seq)
+
+
+@given(seq=sequences)
+@settings(max_examples=100, deadline=None)
+def test_every_touched_region_reported(seq):
+    distances = reuse_distances(np.array(seq, dtype=np.int64))
+    assert set(distances) == set(seq)
+
+
+@given(seq=st.lists(st.integers(0, 3), min_size=2, max_size=100))
+@settings(max_examples=100, deadline=None)
+def test_distances_bounded_by_sequence_length(seq):
+    distances = reuse_distances(np.array(seq, dtype=np.int64))
+    for value in distances.values():
+        assert value == float("inf") or 0 <= value <= len(seq) - 2

@@ -1,0 +1,59 @@
+"""Property-based end-to-end invariants of the simulation loop."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_config
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy
+from tests.conftest import make_workload
+
+BASE = 0x5555_5540_0000
+
+
+@st.composite
+def page_streams(draw):
+    """Random bounded page-access streams over a modest window."""
+    length = draw(st.integers(10, 600))
+    pages = draw(
+        st.lists(
+            st.integers(0, 200), min_size=length, max_size=length
+        )
+    )
+    return np.uint64(BASE) + np.array(pages, dtype=np.uint64) * np.uint64(4096)
+
+
+@given(addresses=page_streams(), policy=st.sampled_from(
+    [HugePagePolicy.NONE, HugePagePolicy.PCC, HugePagePolicy.IDEAL]
+))
+@settings(max_examples=60, deadline=None)
+def test_run_invariants(addresses, policy):
+    simulator = Simulator(tiny_config(), policy=policy)
+    result = simulator.run([make_workload(addresses)])
+    # conservation: every access is served at exactly one level
+    assert result.accesses == len(addresses)
+    assert result.walks + result.l1_hits + result.l2_hits == result.accesses
+    assert 0.0 <= result.walk_rate <= 1.0
+    assert result.total_cycles >= result.accesses  # base cost floor
+    # page-table state consistent with reported promotions
+    table = simulator.kernel.processes[1].page_table
+    if policy is HugePagePolicy.PCC:
+        assert result.promotions == len(table.promoted_regions())
+    # every touched page remains translatable at the end
+    for vpn in np.unique(addresses >> np.uint64(12))[:16]:
+        assert table.translate(int(vpn) << 12) is not None
+
+
+@given(addresses=page_streams())
+@settings(max_examples=40, deadline=None)
+def test_policy_walk_ordering(addresses):
+    """Walk counts obey NONE >= PCC >= IDEAL walk-rate expectations
+    (huge-page policies can only remove walks, never add them)."""
+    counts = {}
+    for policy in (HugePagePolicy.NONE, HugePagePolicy.IDEAL):
+        result = Simulator(tiny_config(), policy=policy).run(
+            [make_workload(addresses)]
+        )
+        counts[policy] = result.walks
+    assert counts[HugePagePolicy.IDEAL] <= counts[HugePagePolicy.NONE]

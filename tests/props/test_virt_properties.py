@@ -1,0 +1,54 @@
+"""Property-based tests for the tagged-PCC composite encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PCCConfig
+from repro.virt.tagged_pcc import TaggedPCC, World
+
+worlds = st.sampled_from([World.GUEST, World.HOST])
+vm_ids = st.integers(0, 255)
+tags = st.integers(0, (1 << 40) - 1)
+
+
+@given(world=worlds, vm_id=vm_ids, tag=tags)
+@settings(max_examples=300, deadline=None)
+def test_pack_unpack_round_trip(world, vm_id, tag):
+    pcc = TaggedPCC(PCCConfig(entries=4))
+    packed = pcc._pack(world, vm_id, tag)
+    assert TaggedPCC._unpack(packed) == (world, vm_id, tag)
+
+
+@given(
+    a=st.tuples(worlds, vm_ids, tags),
+    b=st.tuples(worlds, vm_ids, tags),
+)
+@settings(max_examples=300, deadline=None)
+def test_packing_is_injective(a, b):
+    pcc = TaggedPCC(PCCConfig(entries=4))
+    if a != b:
+        assert pcc._pack(*a) != pcc._pack(*b)
+
+
+@given(
+    ops=st.lists(
+        st.tuples(worlds, st.integers(0, 3), st.integers(0, 10)),
+        max_size=150,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_filters_partition_contents(ops):
+    pcc = TaggedPCC(PCCConfig(entries=16))
+    for world, vm_id, tag in ops:
+        pcc.access(world, vm_id, tag)
+    everything = pcc.ranked()
+    guests = pcc.ranked(World.GUEST)
+    hosts = pcc.ranked(World.HOST)
+    assert len(guests) + len(hosts) == len(everything)
+    for entry in guests:
+        assert entry.world is World.GUEST
+    # per-VM filters partition the world's view
+    by_vm = sum(
+        len(pcc.ranked(World.GUEST, vm_id=vm)) for vm in range(4)
+    )
+    assert by_vm == len(guests)

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro import cli
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args([])
+
+    def test_scale_option(self):
+        args = cli.build_parser().parse_args(["--scale", "full", "fig2"])
+        assert args.scale == "full"
+        assert args.experiment == "fig2"
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--scale", "huge", "fig2"])
+
+    def test_helpers(self):
+        assert cli._split("a, b,") == ["a", "b"]
+        assert cli._split(None) is None
+        assert cli._int_tuple("1,2", (9,)) == (1, 2)
+        assert cli._int_tuple(None, (9,)) == (9,)
+
+
+class TestExecution:
+    """End-to-end CLI runs at miniature scale via monkeypatched QUICK."""
+
+    @pytest.fixture(autouse=True)
+    def tiny_quick(self, monkeypatch):
+        from repro.experiments.common import ExperimentScale
+
+        tiny = ExperimentScale(name="tiny", graph_scale=9, proxy_accesses=20_000)
+        monkeypatch.setattr(cli, "_scale_of", lambda name: tiny)
+
+    def test_compare(self, capsys):
+        assert cli.main(["compare", "--app", "BFS"]) == 0
+        out = capsys.readouterr().out
+        assert "4KB baseline" in out
+        assert "PCC" in out
+
+    def test_fig1_subset(self, capsys):
+        assert cli.main(["fig1", "--apps", "mcf"]) == 0
+        assert "mcf" in capsys.readouterr().out
+
+    def test_fig5_subset(self, capsys):
+        assert cli.main(["fig5", "--apps", "BFS", "--budgets", "0,100"]) == 0
+        assert "BFS" in capsys.readouterr().out
+
+    def test_fig7(self, capsys):
+        assert cli.main(["fig7", "--apps", "BFS"]) == 0
+        assert "fragmented" in capsys.readouterr().out
+
+    def test_fig9_bad_pair(self):
+        with pytest.raises(SystemExit, match="exactly two"):
+            cli.main(["fig9", "--pair", "PR"])
+
+    def test_table1(self, capsys):
+        assert cli.main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+
+    def test_stats(self, capsys):
+        assert cli.main(["stats", "--app", "mcf"]) == 0
+        out = capsys.readouterr().out
+        assert "accesses" in out
+        assert "VMA" in out
+
+    def test_record_and_replay(self, capsys, tmp_path):
+        schedule_path = str(tmp_path / "sched.jsonl")
+        assert cli.main(["record", "--app", "BFS", "--out", schedule_path]) == 0
+        out = capsys.readouterr().out
+        assert "recorded" in out
+        assert cli.main(
+            ["replay", "--app", "BFS", "--schedule", schedule_path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "promotions" in out
+        assert "speedup" in out
+
+    def test_replay_under_fragmentation(self, capsys, tmp_path):
+        schedule_path = str(tmp_path / "sched.jsonl")
+        cli.main(["record", "--app", "BFS", "--out", schedule_path])
+        capsys.readouterr()
+        assert cli.main(
+            ["replay", "--app", "BFS", "--schedule", schedule_path,
+             "--fragmentation", "0.9"]
+        ) == 0
+        assert "TLB miss" in capsys.readouterr().out
+
+    def test_scorecard(self, capsys):
+        assert cli.main(["scorecard"]) == 0
+        out = capsys.readouterr().out
+        assert "PCC reproduction scorecard" in out

@@ -1,0 +1,72 @@
+"""Tests for configuration validation and presets."""
+
+import pytest
+
+from repro.config import (
+    OSConfig,
+    PCCConfig,
+    SystemConfig,
+    TLBConfig,
+    paper_config,
+    scaled_config,
+    tiny_config,
+)
+from repro.vm.address import PageSize
+
+
+class TestPaperDefaults:
+    def test_table2_values(self):
+        config = paper_config()
+        assert config.tlb.l1_base.entries == 64
+        assert config.tlb.l2.entries == 1024
+        assert config.pcc.entries == 128
+        assert config.pcc.counter_bits == 8
+        assert config.pcc.giga_entries == 8
+        assert config.os.regions_to_promote == 128
+        assert config.memory_bytes == 64 << 30
+
+    def test_pcc_defaults_lfu(self):
+        assert paper_config().pcc.replacement == "lfu"
+
+
+class TestScaled:
+    def test_tlb_shrunk_proportionally(self):
+        config = scaled_config()
+        paper = paper_config()
+        ratio = paper.tlb.l2.entries / config.tlb.l2.entries
+        assert ratio == 8
+        assert paper.tlb.l1_base.entries / config.tlb.l1_base.entries == 4
+
+    def test_overrides(self):
+        config = scaled_config(cores=4, pcc_entries=16)
+        assert config.cores == 4
+        assert config.pcc.entries == 16
+
+
+class TestValidation:
+    def test_negative_cores(self):
+        with pytest.raises(ValueError):
+            SystemConfig(cores=0)
+
+    def test_negative_memory(self):
+        with pytest.raises(ValueError):
+            SystemConfig(memory_bytes=0)
+
+    def test_with_override(self):
+        config = tiny_config()
+        assert config.with_(cores=3).cores == 3
+        assert config.cores == 1  # original untouched
+
+    def test_tiny_config_override_kwargs(self):
+        assert tiny_config(cores=2).cores == 2
+
+
+class TestTLBConfig:
+    def test_full_associativity_zero(self):
+        config = TLBConfig(8, 0, (PageSize.HUGE,))
+        assert config.ways == 8
+        assert config.sets == 1
+
+    def test_negative_associativity(self):
+        with pytest.raises(ValueError):
+            TLBConfig(8, -1, (PageSize.BASE,))

@@ -1,0 +1,42 @@
+"""Tests for the package-level public API."""
+
+import pytest
+
+import repro
+from repro.workloads import build_workload
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_config_presets_exported(self):
+        assert repro.paper_config().pcc.entries == 128
+        assert repro.scaled_config().pcc.entries == 32
+        assert repro.tiny_config().pcc.entries == 4
+
+
+class TestQuickCompare:
+    @pytest.fixture(scope="class")
+    def results(self):
+        workload = build_workload("BFS", scale=11)
+        return repro.quick_compare(workload)
+
+    def test_four_policies(self, results):
+        assert set(results) == {"baseline", "linux-thp", "pcc", "ideal"}
+
+    def test_expected_ordering(self, results):
+        base = results["baseline"].total_cycles
+        assert results["ideal"].total_cycles <= base
+        assert results["pcc"].walk_rate <= results["baseline"].walk_rate
+
+    def test_fragmentation_variant(self):
+        workload = build_workload("BFS", scale=11)
+        results = repro.quick_compare(workload, fragmentation=0.9)
+        # under heavy fragmentation greedy THP stalls near baseline
+        base = results["baseline"].total_cycles
+        assert results["linux-thp"].total_cycles > 0.85 * base

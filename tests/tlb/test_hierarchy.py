@@ -1,0 +1,117 @@
+"""Unit tests for the two-level TLB hierarchy."""
+
+import pytest
+
+from repro.config import TLBConfig, TLBHierarchyConfig
+from repro.tlb.hierarchy import HitLevel, TLBHierarchy
+from repro.vm.address import PageSize
+
+
+@pytest.fixture
+def hierarchy():
+    config = TLBHierarchyConfig(
+        l1_base=TLBConfig(4, 2, (PageSize.BASE,)),
+        l1_huge=TLBConfig(2, 2, (PageSize.HUGE,)),
+        l1_giga=TLBConfig(2, 2, (PageSize.GIGA,)),
+        l2=TLBConfig(8, 2, (PageSize.BASE, PageSize.HUGE)),
+    )
+    return TLBHierarchy(config)
+
+
+class TestMissPath:
+    def test_cold_lookup_misses_everywhere(self, hierarchy):
+        result = hierarchy.lookup(100)
+        assert result.level is HitLevel.MISS
+        assert result.walk_required
+        assert hierarchy.l1_base.stats.misses == 1
+        assert hierarchy.l2.stats.misses == 1
+
+    def test_fill_base_then_l1_hit(self, hierarchy):
+        hierarchy.fill(100, PageSize.BASE)
+        result = hierarchy.lookup(100)
+        assert result.level is HitLevel.L1
+        assert result.page_size is PageSize.BASE
+
+    def test_l2_hit_refills_l1(self, hierarchy):
+        hierarchy.fill(100, PageSize.BASE)
+        # evict vpn 100 from tiny L1 by filling conflicting tags (set 0)
+        for tag in (102, 104, 106):
+            hierarchy.l1_base.fill(tag, PageSize.BASE)
+        result = hierarchy.lookup(100)
+        assert result.level is HitLevel.L2
+        # refilled: next lookup hits L1
+        assert hierarchy.lookup(100).level is HitLevel.L1
+
+
+class TestHugePages:
+    def test_huge_fill_covers_all_constituent_vpns(self, hierarchy):
+        hierarchy.fill(512, PageSize.HUGE)  # region 1 = vpns 512..1023
+        for vpn in (512, 700, 1023):
+            assert hierarchy.lookup(vpn).page_size is PageSize.HUGE
+
+    def test_huge_entry_does_not_cover_neighbor_region(self, hierarchy):
+        hierarchy.fill(512, PageSize.HUGE)
+        assert hierarchy.lookup(1024).level is HitLevel.MISS
+
+    def test_huge_entry_in_l2(self, hierarchy):
+        hierarchy.fill(512, PageSize.HUGE)
+        hierarchy.l1_huge.flush()
+        result = hierarchy.lookup(700)
+        assert result.level is HitLevel.L2
+        assert result.page_size is PageSize.HUGE
+
+    def test_giga_fill_only_in_l1(self, hierarchy):
+        giga_vpn = 5 << 18
+        hierarchy.fill(giga_vpn, PageSize.GIGA)
+        assert hierarchy.lookup(giga_vpn).page_size is PageSize.GIGA
+        hierarchy.l1_giga.flush()
+        # L2 does not serve 1GB entries (Table 2)
+        assert hierarchy.lookup(giga_vpn).level is HitLevel.MISS
+
+
+class TestShootdown:
+    def test_shootdown_drops_base_entries_in_region(self, hierarchy):
+        hierarchy.fill(512, PageSize.BASE)
+        hierarchy.fill(513, PageSize.BASE)
+        hierarchy.shootdown_region(1)
+        assert hierarchy.lookup(512).level is HitLevel.MISS
+
+    def test_shootdown_drops_huge_entry(self, hierarchy):
+        hierarchy.fill(512, PageSize.HUGE)
+        hierarchy.shootdown_region(1)
+        assert hierarchy.lookup(512).level is HitLevel.MISS
+
+    def test_shootdown_leaves_other_regions(self, hierarchy):
+        hierarchy.fill(512, PageSize.BASE)
+        hierarchy.fill(1024, PageSize.BASE)
+        hierarchy.shootdown_region(1)
+        assert hierarchy.lookup(1024).level is HitLevel.L1
+
+    def test_flush_clears_everything(self, hierarchy):
+        hierarchy.fill(1, PageSize.BASE)
+        hierarchy.fill(512, PageSize.HUGE)
+        hierarchy.flush()
+        assert hierarchy.lookup(1).level is HitLevel.MISS
+        assert hierarchy.lookup(513).level is HitLevel.MISS
+
+
+class TestMissRate:
+    def test_miss_rate_counts_full_misses_only(self, hierarchy):
+        hierarchy.fill(100, PageSize.BASE)
+        hierarchy.lookup(100)  # L1 hit
+        hierarchy.lookup(200)  # full miss
+        assert hierarchy.miss_rate() == 0.5
+
+    def test_miss_rate_empty(self, hierarchy):
+        assert hierarchy.miss_rate() == 0.0
+
+
+class TestTableTwoDefaults:
+    def test_paper_geometry(self):
+        config = TLBHierarchyConfig()
+        assert config.l1_base.entries == 64
+        assert config.l1_huge.entries == 32
+        assert config.l1_giga.entries == 4
+        assert config.l2.entries == 1024
+        assert config.l2.ways == 8
+        assert config.coverage_bytes() == (64 + 1024) * 4096

@@ -1,0 +1,68 @@
+"""Interaction tests: inclusion behaviour between L1 and L2."""
+
+import pytest
+
+from repro.config import TLBConfig, TLBHierarchyConfig
+from repro.tlb.hierarchy import HitLevel, TLBHierarchy
+from repro.vm.address import PageSize
+
+
+@pytest.fixture
+def hierarchy():
+    return TLBHierarchy(
+        TLBHierarchyConfig(
+            l1_base=TLBConfig(2, 2, (PageSize.BASE,)),
+            l1_huge=TLBConfig(2, 2, (PageSize.HUGE,)),
+            l1_giga=TLBConfig(2, 2, (PageSize.GIGA,)),
+            l2=TLBConfig(16, 4, (PageSize.BASE, PageSize.HUGE)),
+        )
+    )
+
+
+class TestNonInclusiveBehaviour:
+    def test_l1_eviction_leaves_l2_copy(self, hierarchy):
+        """The hierarchy is non-inclusive-non-exclusive: an entry
+        pushed out of the tiny L1 is still served by L2."""
+        for vpn in range(6):
+            hierarchy.fill(vpn, PageSize.BASE)
+        # early vpns fell out of the 2-entry L1 but live in the 16-entry L2
+        result = hierarchy.lookup(0)
+        assert result.level is HitLevel.L2
+
+    def test_l2_hit_promotes_back_to_l1(self, hierarchy):
+        for vpn in range(6):
+            hierarchy.fill(vpn, PageSize.BASE)
+        hierarchy.lookup(0)  # L2 hit, refilled into L1
+        assert hierarchy.lookup(0).level is HitLevel.L1
+
+    def test_l2_eviction_with_l1_survivor(self, hierarchy):
+        """An entry can outlive its L2 copy in L1 (NINE hierarchy)."""
+        hierarchy.fill(0, PageSize.BASE)
+        # flood set 0 of the 4-set L2 with conflicting tags (mod 4)
+        for vpn in (4, 8, 12, 16):
+            hierarchy.l2.fill(vpn, PageSize.BASE)
+        assert not hierarchy.l2.probe(0)
+        # L1 still answers
+        assert hierarchy.lookup(0).level is HitLevel.L1
+
+
+class TestMixedSizeInteractions:
+    def test_base_and_huge_entries_for_different_regions_coexist(self, hierarchy):
+        hierarchy.fill(0, PageSize.BASE)  # region 0, page 0
+        hierarchy.fill(512, PageSize.HUGE)  # region 1 as huge
+        assert hierarchy.lookup(0).page_size is PageSize.BASE
+        assert hierarchy.lookup(700).page_size is PageSize.HUGE
+
+    def test_huge_entry_answers_before_walk_for_any_constituent(self, hierarchy):
+        hierarchy.fill(512, PageSize.HUGE)
+        for vpn in (512, 600, 1023):
+            assert hierarchy.lookup(vpn).level is not HitLevel.MISS
+
+    def test_stale_base_entry_removed_by_promotion_shootdown(self, hierarchy):
+        """After promotion, the OS shootdown prevents a stale 4KB entry
+        from shadowing the new 2MB mapping."""
+        hierarchy.fill(512, PageSize.BASE)
+        hierarchy.shootdown_region(1)
+        hierarchy.fill(512, PageSize.HUGE)
+        result = hierarchy.lookup(512)
+        assert result.page_size is PageSize.HUGE

@@ -1,0 +1,75 @@
+"""Additional walker coverage: PWC structure behaviour and stats."""
+
+import pytest
+
+from repro.config import WalkerConfig
+from repro.tlb.walker import PageTableWalker
+from repro.vm.pagetable import PageTable
+
+BASE = 0x5555_5540_0000
+
+
+@pytest.fixture
+def table():
+    table = PageTable()
+    # map pages across several 2MB regions and two 1GB regions
+    for region in range(4):
+        table.map_base(BASE + region * (2 << 20), frame=region)
+    table.map_base(BASE + (1 << 30), frame=99)
+    return table
+
+
+class TestPWCStructure:
+    def test_pwc_hits_accumulate_within_locality(self, table):
+        walker = PageTableWalker(WalkerConfig(pwc_entries=32))
+        for _ in range(4):
+            for region in range(4):
+                walker.walk(BASE + region * (2 << 20), table)
+        # PML4 and PUD tags are shared across all these walks
+        assert walker.stats.pwc_hits > walker.stats.pwc_misses
+
+    def test_last_tag_fast_path_counts_as_hit(self, table):
+        walker = PageTableWalker(WalkerConfig())
+        walker.walk(BASE, table)
+        hits_before = walker.stats.pwc_hits
+        walker.walk(BASE, table)
+        assert walker.stats.pwc_hits > hits_before
+
+    def test_walk_cycles_accumulate(self, table):
+        walker = PageTableWalker(WalkerConfig())
+        total = 0
+        for region in range(4):
+            total += walker.walk(BASE + region * (2 << 20), table).cycles
+        assert walker.stats.walk_cycles == total
+
+    def test_distant_addresses_miss_pmd_pwc(self, table):
+        """A PMD-level PWC entry covers 2MB: walks to different regions
+        cannot share it."""
+        walker = PageTableWalker(WalkerConfig())
+        first = walker.walk(BASE, table)
+        second = walker.walk(BASE + (2 << 20), table)
+        # both pay the leaf reference; the second reuses upper levels
+        assert second.cycles <= first.cycles
+        assert second.cycles >= walker.config.memory_ref_cycles
+
+    def test_cross_gigabyte_walk_misses_pud_pwc(self, table):
+        walker = PageTableWalker(WalkerConfig())
+        walker.walk(BASE, table)
+        misses_before = walker.stats.pwc_misses
+        walker.walk(BASE + (1 << 30), table)
+        assert walker.stats.pwc_misses > misses_before
+
+
+class TestStatsConsistency:
+    def test_memory_refs_bounded_by_levels(self, table):
+        walker = PageTableWalker(WalkerConfig())
+        for region in range(4):
+            walker.walk(BASE + region * (2 << 20), table)
+        assert walker.stats.walks == 4
+        assert 1.0 <= walker.stats.refs_per_walk <= 4.0
+
+    def test_no_pwc_means_four_refs_per_base_walk(self, table):
+        walker = PageTableWalker(WalkerConfig(pwc_enabled=False))
+        for _ in range(3):
+            walker.walk(BASE, table)
+        assert walker.stats.refs_per_walk == 4.0

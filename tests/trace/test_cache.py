@@ -1,0 +1,72 @@
+"""Tests for the on-disk trace cache."""
+
+import numpy as np
+import pytest
+
+from repro.trace.cache import TraceCache, cache_key, default_cache_dir
+from repro.trace.events import Trace
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(tmp_path / "cache")
+
+
+def make_trace(values=(1, 2, 3)):
+    return Trace("t", np.array(values, dtype=np.uint64), footprint_bytes=64)
+
+
+class TestKey:
+    def test_stable(self):
+        assert cache_key("bfs", {"scale": 13}) == cache_key("bfs", {"scale": 13})
+
+    def test_order_insensitive(self):
+        assert cache_key("x", {"a": 1, "b": 2}) == cache_key("x", {"b": 2, "a": 1})
+
+    def test_distinguishes_params(self):
+        assert cache_key("bfs", {"scale": 13}) != cache_key("bfs", {"scale": 14})
+
+    def test_distinguishes_names(self):
+        assert cache_key("bfs", {}) != cache_key("sssp", {})
+
+
+class TestCache:
+    def test_miss_returns_none(self, cache):
+        assert cache.get("bfs", {"scale": 1}) is None
+
+    def test_round_trip(self, cache):
+        cache.put("bfs", {"scale": 1}, make_trace())
+        loaded = cache.get("bfs", {"scale": 1})
+        assert loaded is not None
+        assert loaded.addresses.tolist() == [1, 2, 3]
+
+    def test_get_or_build_builds_once(self, cache):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return make_trace()
+
+        first = cache.get_or_build("bfs", {"s": 2}, builder)
+        second = cache.get_or_build("bfs", {"s": 2}, builder)
+        assert len(calls) == 1
+        assert np.array_equal(first.addresses, second.addresses)
+
+    def test_corrupt_entry_treated_as_miss(self, cache):
+        cache.put("bfs", {"s": 3}, make_trace())
+        path = cache._path(cache_key("bfs", {"s": 3}))
+        path.write_bytes(b"garbage")
+        assert cache.get("bfs", {"s": 3}) is None
+        assert not path.exists()  # purged
+
+    def test_clear_and_size(self, cache):
+        assert cache.size_bytes() == 0
+        cache.put("a", {}, make_trace())
+        cache.put("b", {}, make_trace())
+        assert cache.size_bytes() > 0
+        assert cache.clear() == 2
+        assert cache.size_bytes() == 0
+
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "custom"))
+        assert default_cache_dir() == tmp_path / "custom"

@@ -1,0 +1,123 @@
+"""Unit tests for trace containers and compression."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import CompressedTrace, Trace, compress_to_pages, interleave
+
+
+class TestCompressToPages:
+    def test_empty(self):
+        vpns, counts = compress_to_pages(np.empty(0, dtype=np.uint64))
+        assert vpns.size == 0
+        assert counts.size == 0
+
+    def test_single_page_run(self):
+        addresses = np.array([0, 8, 4088], dtype=np.uint64)
+        vpns, counts = compress_to_pages(addresses)
+        assert vpns.tolist() == [0]
+        assert counts.tolist() == [3]
+
+    def test_alternating_pages_do_not_compress(self):
+        addresses = np.array([0, 4096, 0, 4096], dtype=np.uint64)
+        vpns, counts = compress_to_pages(addresses)
+        assert vpns.tolist() == [0, 1, 0, 1]
+        assert counts.tolist() == [1, 1, 1, 1]
+
+    def test_mixed_runs(self):
+        addresses = np.array([0, 4, 4096, 4100, 4104, 8192], dtype=np.uint64)
+        vpns, counts = compress_to_pages(addresses)
+        assert vpns.tolist() == [0, 1, 2]
+        assert counts.tolist() == [2, 3, 1]
+
+    def test_counts_sum_to_total(self):
+        rng = np.random.default_rng(1)
+        addresses = rng.integers(0, 1 << 30, size=5000, dtype=np.uint64)
+        _, counts = compress_to_pages(addresses)
+        assert int(counts.sum()) == 5000
+
+
+class TestTrace:
+    def test_len_and_unique_pages(self):
+        trace = Trace("t", np.array([0, 1, 4096], dtype=np.uint64))
+        assert len(trace) == 3
+        assert trace.unique_pages() == 2
+
+    def test_compress_round_trip_totals(self):
+        addresses = np.array([0, 8, 4096, 0], dtype=np.uint64)
+        trace = Trace("t", addresses, footprint_bytes=8192)
+        compressed = trace.compress()
+        assert compressed.total_accesses == 4
+        assert compressed.footprint_bytes == 8192
+        assert compressed.name == "t"
+        assert len(compressed) == 3
+
+    def test_compression_ratio(self):
+        addresses = np.zeros(100, dtype=np.uint64)  # one long run
+        compressed = Trace("t", addresses).compress()
+        assert compressed.compression_ratio == 100.0
+
+    def test_dtype_coercion(self):
+        trace = Trace("t", np.array([1, 2, 3], dtype=np.int32))
+        assert trace.addresses.dtype == np.uint64
+
+    def test_empty_trace(self):
+        trace = Trace("t", np.empty(0, dtype=np.uint64))
+        assert len(trace) == 0
+        assert trace.unique_pages() == 0
+        assert len(trace.compress()) == 0
+
+
+class TestCompressedTraceValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape mismatch"):
+            CompressedTrace(
+                "t",
+                vpns=np.array([1, 2], dtype=np.uint64),
+                counts=np.array([1], dtype=np.int64),
+                total_accesses=2,
+            )
+
+    def test_total_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="counts sum"):
+            CompressedTrace(
+                "t",
+                vpns=np.array([1], dtype=np.uint64),
+                counts=np.array([2], dtype=np.int64),
+                total_accesses=3,
+            )
+
+    def test_unique_pages(self):
+        compressed = CompressedTrace(
+            "t",
+            vpns=np.array([1, 2, 1], dtype=np.uint64),
+            counts=np.array([1, 1, 1], dtype=np.int64),
+            total_accesses=3,
+        )
+        assert compressed.unique_pages() == 2
+
+
+class TestInterleave:
+    def test_round_robin_chunks(self):
+        a = np.array([1, 2, 3, 4], dtype=np.uint64)
+        b = np.array([10, 20], dtype=np.uint64)
+        merged = interleave([a, b], chunk=2)
+        assert merged.tolist() == [1, 2, 10, 20, 3, 4]
+
+    def test_empty_input(self):
+        assert interleave([], chunk=4).size == 0
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            interleave([np.array([1], dtype=np.uint64)], chunk=0)
+
+    def test_preserves_all_elements(self):
+        rng = np.random.default_rng(0)
+        streams = [
+            rng.integers(0, 100, size=n, dtype=np.uint64) for n in (7, 13, 2)
+        ]
+        merged = interleave(streams, chunk=3)
+        assert merged.size == 22
+        assert sorted(merged.tolist()) == sorted(
+            np.concatenate(streams).tolist()
+        )

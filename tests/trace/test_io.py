@@ -1,0 +1,58 @@
+"""Unit tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import Trace
+from repro.trace.io import load_trace, save_trace
+
+
+class TestRoundTrip:
+    def test_addresses_preserved(self, tmp_path):
+        trace = Trace("rt", np.array([1, 2, 3], dtype=np.uint64), 4096)
+        path = save_trace(trace, tmp_path / "trace")
+        loaded = load_trace(path)
+        assert loaded.name == "rt"
+        assert loaded.footprint_bytes == 4096
+        assert loaded.addresses.tolist() == [1, 2, 3]
+
+    def test_metadata_round_trip(self, tmp_path):
+        trace = Trace(
+            "meta",
+            np.array([9], dtype=np.uint64),
+            metadata={"nodes": np.int64(5), "tags": [1, 2], "ratio": np.float64(0.5)},
+        )
+        loaded = load_trace(save_trace(trace, tmp_path / "m.npz"))
+        assert loaded.metadata == {"nodes": 5, "tags": [1, 2], "ratio": 0.5}
+
+    def test_npz_suffix_appended(self, tmp_path):
+        trace = Trace("s", np.array([1], dtype=np.uint64))
+        path = save_trace(trace, tmp_path / "bare")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_creates_parent_directories(self, tmp_path):
+        trace = Trace("d", np.array([1], dtype=np.uint64))
+        path = save_trace(trace, tmp_path / "deep" / "nested" / "t.npz")
+        assert path.exists()
+
+    def test_empty_trace_round_trip(self, tmp_path):
+        trace = Trace("empty", np.empty(0, dtype=np.uint64))
+        loaded = load_trace(save_trace(trace, tmp_path / "e.npz"))
+        assert len(loaded) == 0
+
+
+class TestVersioning:
+    def test_future_version_rejected(self, tmp_path):
+        import json
+
+        trace = Trace("v", np.array([1], dtype=np.uint64))
+        path = save_trace(trace, tmp_path / "v.npz")
+        header = {"version": 99, "name": "v", "footprint_bytes": 0, "metadata": {}}
+        np.savez_compressed(
+            path,
+            addresses=trace.addresses,
+            header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)

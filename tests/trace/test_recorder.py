@@ -1,0 +1,63 @@
+"""Unit tests for the trace recorder."""
+
+import numpy as np
+import pytest
+
+from repro.trace.recorder import TraceRecorder
+from repro.vm.layout import AddressSpaceLayout
+
+
+class TestRecording:
+    def test_batches_concatenate_in_order(self):
+        recorder = TraceRecorder("t")
+        recorder.record(np.array([1, 2], dtype=np.uint64))
+        recorder.record(np.array([3], dtype=np.uint64))
+        trace = recorder.finish()
+        assert trace.addresses.tolist() == [1, 2, 3]
+
+    def test_empty_batches_ignored(self):
+        recorder = TraceRecorder("t")
+        recorder.record(np.empty(0, dtype=np.uint64))
+        assert len(recorder) == 0
+        assert len(recorder.finish()) == 0
+
+    def test_record_scalar(self):
+        recorder = TraceRecorder("t")
+        recorder.record_scalar(42)
+        assert recorder.finish().addresses.tolist() == [42]
+
+    def test_record_range(self):
+        recorder = TraceRecorder("t")
+        recorder.record_range(start=1000, length_bytes=256, stride=64)
+        assert recorder.finish().addresses.tolist() == [1000, 1064, 1128, 1192]
+
+    def test_record_range_invalid_stride(self):
+        recorder = TraceRecorder("t")
+        with pytest.raises(ValueError):
+            recorder.record_range(0, 100, stride=0)
+
+    def test_multidimensional_input_flattened(self):
+        recorder = TraceRecorder("t")
+        recorder.record(np.array([[1, 2], [3, 4]], dtype=np.uint64))
+        assert recorder.finish().addresses.tolist() == [1, 2, 3, 4]
+
+
+class TestFinish:
+    def test_footprint_from_layout(self):
+        layout = AddressSpaceLayout()
+        layout.allocate("a", 12345)
+        recorder = TraceRecorder("t", layout)
+        trace = recorder.finish()
+        assert trace.footprint_bytes == 12345
+
+    def test_vma_metadata_recorded(self):
+        layout = AddressSpaceLayout()
+        vma = layout.allocate("data", 64)
+        recorder = TraceRecorder("t", layout)
+        trace = recorder.finish()
+        assert trace.metadata["vmas"]["data"] == (vma.start, 64)
+
+    def test_custom_metadata_merged(self):
+        recorder = TraceRecorder("t")
+        trace = recorder.finish(metadata={"seed": 5})
+        assert trace.metadata["seed"] == 5

@@ -1,0 +1,126 @@
+"""Unit tests for the synthetic pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.trace import synthesis
+from repro.vm.layout import VMA
+
+REGION = VMA("r", 0x1000_0000, 1 << 20)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+def assert_within(addresses: np.ndarray, region: VMA):
+    assert addresses.size == 0 or (
+        int(addresses.min()) >= region.start
+        and int(addresses.max()) < region.end
+    )
+
+
+class TestSequential:
+    def test_stride_progression(self):
+        out = synthesis.sequential(REGION, 4, stride=64)
+        assert out.tolist() == [
+            REGION.start,
+            REGION.start + 64,
+            REGION.start + 128,
+            REGION.start + 192,
+        ]
+
+    def test_wraps_at_region_end(self):
+        out = synthesis.sequential((0, 128), 4, stride=64)
+        assert out.tolist() == [0, 64, 0, 64]
+
+    def test_zero_count(self):
+        assert synthesis.sequential(REGION, 0).size == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            synthesis.sequential(REGION, -1)
+
+
+class TestStrided:
+    def test_start_offset(self):
+        out = synthesis.strided(REGION, 2, stride=8, start=16)
+        assert out.tolist() == [REGION.start + 16, REGION.start + 24]
+
+
+class TestUniformRandom:
+    def test_bounds_and_alignment(self, rng):
+        out = synthesis.uniform_random(REGION, 1000, rng, granularity=64)
+        assert_within(out, REGION)
+        assert np.all((out - REGION.start) % 64 == 0)
+
+    def test_spreads_across_region(self, rng):
+        out = synthesis.uniform_random(REGION, 5000, rng, granularity=4096)
+        unique_pages = np.unique(out >> np.uint64(12)).size
+        assert unique_pages > 100  # touches much of the 256-page region
+
+
+class TestZipf:
+    def test_bounds(self, rng):
+        out = synthesis.zipf_random(REGION, 1000, rng)
+        assert_within(out, REGION)
+
+    def test_skew_concentrates_on_low_ranks(self, rng):
+        out = synthesis.zipf_random(REGION, 10_000, rng, exponent=1.5)
+        offsets = out - REGION.start
+        # more than half the accesses land in the first 1% of slots
+        assert np.mean(offsets < (1 << 20) // 100) > 0.5
+
+    def test_hot_fraction_limits_support(self, rng):
+        out = synthesis.zipf_random(REGION, 1000, rng, hot_fraction=0.01)
+        assert int((out - REGION.start).max()) < (1 << 20) // 100 + 64
+
+    def test_invalid_hot_fraction(self, rng):
+        with pytest.raises(ValueError):
+            synthesis.zipf_random(REGION, 10, rng, hot_fraction=0.0)
+
+    def test_zero_count(self, rng):
+        assert synthesis.zipf_random(REGION, 0, rng).size == 0
+
+
+class TestPointerChase:
+    def test_bounds_and_alignment(self, rng):
+        out = synthesis.pointer_chase(REGION, 500, rng, node_bytes=64)
+        assert_within(out, REGION)
+        assert np.all((out - REGION.start) % 64 == 0)
+
+    def test_visits_distinct_nodes_without_restart(self, rng):
+        out = synthesis.pointer_chase((0, 64 * 64), 64, rng, node_bytes=64)
+        # a cyclic permutation visits each node exactly once per cycle
+        assert np.unique(out).size == 64
+
+    def test_restart_changes_path(self, rng):
+        out = synthesis.pointer_chase(REGION, 200, rng, node_bytes=64,
+                                      restart_every=10)
+        assert out.size == 200
+
+
+class TestHotCold:
+    def test_mixture_ratio(self, rng):
+        hot = VMA("hot", 0, 1 << 16)
+        cold = VMA("cold", 1 << 30, 1 << 20)
+        out = synthesis.hot_cold(hot, cold, 10_000, rng, hot_probability=0.8)
+        hot_share = np.mean(out < (1 << 16))
+        assert 0.75 < hot_share < 0.85
+
+    def test_invalid_probability(self, rng):
+        with pytest.raises(ValueError):
+            synthesis.hot_cold(REGION, REGION, 10, rng, hot_probability=1.5)
+
+
+class TestDeterminism:
+    def test_same_seed_same_output(self):
+        a = synthesis.zipf_random(REGION, 100, np.random.default_rng(7))
+        b = synthesis.zipf_random(REGION, 100, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_output(self):
+        a = synthesis.uniform_random(REGION, 100, np.random.default_rng(1))
+        b = synthesis.uniform_random(REGION, 100, np.random.default_rng(2))
+        assert not np.array_equal(a, b)

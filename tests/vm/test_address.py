@@ -1,0 +1,124 @@
+"""Unit tests for virtual-address arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.vm import address as adr
+from repro.vm.address import PageSize
+
+
+class TestConstants:
+    def test_page_sizes(self):
+        assert adr.BASE_PAGE_SIZE == 4096
+        assert adr.HUGE_PAGE_SIZE == 2 * 1024 * 1024
+        assert adr.GIGA_PAGE_SIZE == 1024 * 1024 * 1024
+
+    def test_pages_per_huge_is_512(self):
+        assert adr.PAGES_PER_HUGE == 512
+        assert adr.HUGE_PER_GIGA == 512
+
+    def test_page_size_enum_bytes(self):
+        assert PageSize.BASE.bytes == 4096
+        assert PageSize.HUGE.bytes == 2 << 20
+        assert PageSize.GIGA.bytes == 1 << 30
+
+    def test_page_size_base_pages(self):
+        assert PageSize.BASE.base_pages == 1
+        assert PageSize.HUGE.base_pages == 512
+        assert PageSize.GIGA.base_pages == 512 * 512
+
+    def test_page_sizes_order_by_coverage(self):
+        assert PageSize.BASE < PageSize.HUGE < PageSize.GIGA
+
+
+class TestPrefixes:
+    def test_vpn(self):
+        assert adr.vpn(0) == 0
+        assert adr.vpn(4095) == 0
+        assert adr.vpn(4096) == 1
+        assert adr.vpn(0x1234_5678) == 0x1234_5678 >> 12
+
+    def test_huge_prefix(self):
+        assert adr.huge_prefix(0) == 0
+        assert adr.huge_prefix(adr.HUGE_PAGE_SIZE - 1) == 0
+        assert adr.huge_prefix(adr.HUGE_PAGE_SIZE) == 1
+
+    def test_giga_prefix(self):
+        assert adr.giga_prefix(adr.GIGA_PAGE_SIZE * 3 + 17) == 3
+
+    def test_region_prefix_matches_specialized(self):
+        vaddr = 0x7F12_3456_7ABC
+        assert adr.region_prefix(vaddr, PageSize.BASE) == adr.vpn(vaddr)
+        assert adr.region_prefix(vaddr, PageSize.HUGE) == adr.huge_prefix(vaddr)
+        assert adr.region_prefix(vaddr, PageSize.GIGA) == adr.giga_prefix(vaddr)
+
+    def test_page_base(self):
+        assert adr.page_base(0x1234_5678, PageSize.BASE) == 0x1234_5000
+        assert adr.page_base(adr.HUGE_PAGE_SIZE + 5, PageSize.HUGE) == (
+            adr.HUGE_PAGE_SIZE
+        )
+
+
+class TestAlignment:
+    def test_align_down(self):
+        assert adr.align_down(4097, PageSize.BASE) == 4096
+        assert adr.align_down(4096, PageSize.BASE) == 4096
+
+    def test_align_up(self):
+        assert adr.align_up(4097, PageSize.BASE) == 8192
+        assert adr.align_up(4096, PageSize.BASE) == 4096
+        assert adr.align_up(0, PageSize.HUGE) == 0
+
+    def test_align_with_raw_int(self):
+        assert adr.align_up(100, 64) == 128
+        assert adr.align_down(100, 64) == 64
+
+    def test_is_aligned(self):
+        assert adr.is_aligned(0, PageSize.GIGA)
+        assert adr.is_aligned(2 << 20, PageSize.HUGE)
+        assert not adr.is_aligned((2 << 20) + 1, PageSize.HUGE)
+
+
+class TestRanges:
+    def test_pages_in_huge(self):
+        pages = adr.pages_in_huge(2)
+        assert len(pages) == 512
+        assert pages[0] == 1024
+        assert pages[-1] == 1535
+
+    def test_pages_in_region_base(self):
+        assert list(adr.pages_in_region(7, PageSize.BASE)) == [7]
+
+    def test_huge_regions_of_spanning(self):
+        regions = adr.huge_regions_of(adr.HUGE_PAGE_SIZE - 1, 2)
+        assert list(regions) == [0, 1]
+
+    def test_huge_regions_of_empty(self):
+        assert len(adr.huge_regions_of(0, 0)) == 0
+
+    def test_huge_regions_single(self):
+        assert list(adr.huge_regions_of(100, 100)) == [0]
+
+
+class TestVectorized:
+    def test_vpns_of(self):
+        addresses = np.array([0, 4096, 8192 + 7], dtype=np.uint64)
+        assert adr.vpns_of(addresses).tolist() == [0, 1, 2]
+
+    def test_huge_prefixes_of(self):
+        addresses = np.array(
+            [0, adr.HUGE_PAGE_SIZE, 3 * adr.HUGE_PAGE_SIZE + 9], dtype=np.uint64
+        )
+        assert adr.huge_prefixes_of(addresses).tolist() == [0, 1, 3]
+
+
+class TestCanonical:
+    def test_accepts_valid(self):
+        adr.check_canonical(0)
+        adr.check_canonical(adr.VA_LIMIT - 1)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            adr.check_canonical(adr.VA_LIMIT)
+        with pytest.raises(ValueError):
+            adr.check_canonical(-1)

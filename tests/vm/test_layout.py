@@ -1,0 +1,114 @@
+"""Unit tests for the deterministic address-space layout."""
+
+import pytest
+
+from repro.vm.address import HUGE_PAGE_SIZE, PageSize
+from repro.vm.layout import DEFAULT_HEAP_BASE, AddressSpaceLayout, VMA
+
+
+class TestAllocation:
+    def test_first_allocation_at_heap_base(self, layout):
+        vma = layout.allocate("a", 4096)
+        assert vma.start == DEFAULT_HEAP_BASE
+
+    def test_allocations_do_not_overlap(self, layout):
+        vmas = [layout.allocate(f"v{i}", 123_456) for i in range(10)]
+        for left, right in zip(vmas, vmas[1:]):
+            assert left.end <= right.start
+
+    def test_allocations_are_2mb_aligned(self, layout):
+        for i in range(5):
+            vma = layout.allocate(f"v{i}", 1000 + i)
+            assert vma.start % HUGE_PAGE_SIZE == 0
+
+    def test_deterministic_across_instances(self):
+        first = AddressSpaceLayout()
+        second = AddressSpaceLayout()
+        for name, size in (("x", 5000), ("y", 70_000), ("z", 3 << 20)):
+            assert first.allocate(name, size) == second.allocate(name, size)
+
+    def test_guard_region_separates_vmas(self, layout):
+        a = layout.allocate("a", 100)
+        b = layout.allocate("b", 100)
+        # adjacent VMAs never share a 2MB region
+        assert set(a.huge_regions).isdisjoint(b.huge_regions)
+
+    def test_rejects_duplicate_name(self, layout):
+        layout.allocate("dup", 100)
+        with pytest.raises(ValueError, match="already in use"):
+            layout.allocate("dup", 100)
+
+    def test_rejects_nonpositive_length(self, layout):
+        with pytest.raises(ValueError):
+            layout.allocate("bad", 0)
+        with pytest.raises(ValueError):
+            layout.allocate("bad2", -5)
+
+    def test_custom_alignment(self, layout):
+        vma = layout.allocate("giga", 100, align=PageSize.GIGA)
+        assert vma.start % PageSize.GIGA.bytes == 0
+
+    def test_unaligned_heap_base_rejected(self):
+        with pytest.raises(ValueError, match="2MB-aligned"):
+            AddressSpaceLayout(heap_base=4096)
+
+    def test_exhaustion_raises_memory_error(self):
+        layout = AddressSpaceLayout()
+        with pytest.raises(MemoryError):
+            layout.allocate("huge", 1 << 48)
+
+
+class TestVMA:
+    def test_contains(self):
+        vma = VMA("v", 0x1000_0000, 4096)
+        assert vma.contains(0x1000_0000)
+        assert vma.contains(0x1000_0FFF)
+        assert not vma.contains(0x1000_1000)
+        assert not vma.contains(0x0FFF_FFFF)
+
+    def test_address_of(self):
+        vma = VMA("v", 0x1000_0000, 4096)
+        assert vma.address_of(0) == 0x1000_0000
+        assert vma.address_of(4095) == 0x1000_0FFF
+
+    def test_address_of_out_of_bounds(self):
+        vma = VMA("v", 0x1000_0000, 4096)
+        with pytest.raises(IndexError):
+            vma.address_of(4096)
+        with pytest.raises(IndexError):
+            vma.address_of(-1)
+
+    def test_huge_regions(self):
+        vma = VMA("v", 0, 3 * HUGE_PAGE_SIZE)
+        assert list(vma.huge_regions) == [0, 1, 2]
+
+
+class TestQueries:
+    def test_find(self, layout):
+        a = layout.allocate("a", 10_000)
+        b = layout.allocate("b", 10_000)
+        assert layout.find(a.start + 5) is a
+        assert layout.find(b.start) is b
+        assert layout.find(0) is None
+
+    def test_getitem_and_contains(self, layout):
+        vma = layout.allocate("data", 64)
+        assert layout["data"] is vma
+        assert "data" in layout
+        assert "missing" not in layout
+
+    def test_iteration_and_len(self, layout):
+        layout.allocate("a", 1)
+        layout.allocate("b", 1)
+        assert len(layout) == 2
+        assert [vma.name for vma in layout] == ["a", "b"]
+
+    def test_footprint_bytes(self, layout):
+        layout.allocate("a", 1000)
+        layout.allocate("b", 2000)
+        assert layout.footprint_bytes == 3000
+
+    def test_huge_region_count(self, layout):
+        layout.allocate("a", 5 << 20)  # 3 regions (2.5 rounded up)
+        count = layout.huge_region_count
+        assert count == 3

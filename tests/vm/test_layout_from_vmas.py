@@ -1,0 +1,41 @@
+"""Tests for layout reconstruction from recorded VMA metadata."""
+
+import pytest
+
+from repro.vm.layout import AddressSpaceLayout
+
+
+class TestFromVMAs:
+    def test_round_trip(self):
+        original = AddressSpaceLayout()
+        original.allocate("a", 5 << 20)
+        original.allocate("b", 1 << 20)
+        recorded = {vma.name: (vma.start, vma.length) for vma in original}
+        rebuilt = AddressSpaceLayout.from_vmas(recorded)
+        assert len(rebuilt) == 2
+        assert rebuilt["a"].start == original["a"].start
+        assert rebuilt.footprint_bytes == original.footprint_bytes
+        assert rebuilt.huge_region_count == original.huge_region_count
+
+    def test_find_works_after_rebuild(self):
+        rebuilt = AddressSpaceLayout.from_vmas(
+            {"data": (0x7000_0000_0000, 4096)}
+        )
+        assert rebuilt.find(0x7000_0000_0000 + 100).name == "data"
+        assert rebuilt.find(0) is None
+
+    def test_further_allocation_does_not_overlap(self):
+        rebuilt = AddressSpaceLayout.from_vmas(
+            {"data": (0x7000_0000_0000, 8 << 20)}
+        )
+        extra = rebuilt.allocate("extra", 4096)
+        assert extra.start >= rebuilt["data"].end
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpaceLayout.from_vmas({"bad": (0, 0)})
+
+    def test_empty_mapping(self):
+        rebuilt = AddressSpaceLayout.from_vmas({})
+        assert len(rebuilt) == 0
+        assert rebuilt.footprint_bytes == 0

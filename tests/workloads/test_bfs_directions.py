@@ -1,0 +1,61 @@
+"""Tests for direction-optimizing BFS."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.bfs import bfs_trace
+from repro.workloads.graph import kronecker
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(scale=10, degree=8, seed=3)
+
+
+class TestDirectionOptimizing:
+    def test_produces_valid_trace(self, graph):
+        trace, glayout = bfs_trace(graph, direction_optimizing=True)
+        assert len(trace) > 0
+        vmas = list(glayout.layout)
+        lo = min(v.start for v in vmas)
+        hi = max(v.end for v in vmas)
+        assert int(trace.addresses.min()) >= lo
+        assert int(trace.addresses.max()) < hi
+        assert trace.metadata["direction_optimizing"] is True
+
+    def test_deterministic(self, graph):
+        a, _ = bfs_trace(graph, direction_optimizing=True)
+        b, _ = bfs_trace(graph, direction_optimizing=True)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_differs_from_top_down(self, graph):
+        plain, _ = bfs_trace(graph)
+        optimized, _ = bfs_trace(graph, direction_optimizing=True)
+        assert not np.array_equal(plain.addresses, optimized.addresses)
+
+    def test_bottom_up_improves_page_locality(self, graph):
+        """The bottom-up sweep is sequential over the property array,
+        so the DO trace compresses better at page granularity."""
+        plain, _ = bfs_trace(graph)
+        optimized, _ = bfs_trace(graph, direction_optimizing=True)
+        assert (
+            optimized.compress().compression_ratio
+            > plain.compress().compression_ratio
+        )
+
+    def test_threshold_one_never_switches(self, graph):
+        """A threshold above any frontier share degenerates to top-down."""
+        plain, _ = bfs_trace(graph)
+        never, _ = bfs_trace(
+            graph, direction_optimizing=True, bottom_up_threshold=1.1
+        )
+        assert np.array_equal(plain.addresses, never.addresses)
+
+    def test_probe_cap_bounds_edge_reads(self, graph):
+        small, _ = bfs_trace(
+            graph, direction_optimizing=True, bottom_up_probe_cap=1
+        )
+        large, _ = bfs_trace(
+            graph, direction_optimizing=True, bottom_up_probe_cap=8
+        )
+        assert len(small) < len(large)

@@ -1,0 +1,168 @@
+"""Tests for the GAP-style graph workload traces."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import gapbase
+from repro.workloads.bfs import bfs_trace, bfs_workload
+from repro.workloads.graph import kronecker
+from repro.workloads.pagerank import pagerank_trace
+from repro.workloads.sssp import sssp_trace
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return kronecker(scale=9, degree=8, seed=3)
+
+
+def addresses_within_layout(trace, glayout) -> bool:
+    addresses = trace.addresses
+    vmas = list(glayout.layout)
+    lo = min(v.start for v in vmas)
+    hi = max(v.end for v in vmas)
+    return int(addresses.min()) >= lo and int(addresses.max()) < hi
+
+
+class TestPlacement:
+    def test_place_graph_vmas(self, graph):
+        glayout = gapbase.place_graph(graph, properties=("p1", "p2"))
+        names = {vma.name for vma in glayout.layout}
+        assert names == {"offsets", "neighbors", "prop.p1", "prop.p2"}
+
+    def test_address_helpers(self, graph):
+        glayout = gapbase.place_graph(graph, properties=("p",), prop_stride=64)
+        vertices = np.array([0, 1, 5])
+        offsets = glayout.offsets_addr(vertices)
+        assert offsets.tolist() == [
+            glayout.offsets_base,
+            glayout.offsets_base + 8,
+            glayout.offsets_base + 40,
+        ]
+        props = glayout.prop_addr("p", vertices)
+        assert (props[1] - props[0]) == 64
+
+    def test_extra_vmas(self, graph):
+        glayout = gapbase.place_graph(
+            graph, properties=(), extra={"weights": 1024}
+        )
+        assert "weights" in glayout.layout
+
+
+class TestExpandEdges:
+    def test_expands_frontier_edges(self, graph):
+        frontier = np.array([0, 1], dtype=np.int64)
+        edge_indices, targets = gapbase.expand_edges(graph, frontier)
+        expected = int(graph.degrees()[0] + graph.degrees()[1])
+        assert edge_indices.size == expected
+        assert np.array_equal(graph.neighbors[edge_indices], targets)
+
+    def test_empty_frontier(self, graph):
+        edge_indices, targets = gapbase.expand_edges(
+            graph, np.empty(0, dtype=np.int64)
+        )
+        assert edge_indices.size == 0
+        assert targets.size == 0
+
+
+class TestInterleave:
+    def test_alternates_elementwise(self):
+        a = np.array([1, 3], dtype=np.uint64)
+        b = np.array([2, 4], dtype=np.uint64)
+        assert gapbase.interleave_streams(a, b).tolist() == [1, 2, 3, 4]
+
+    def test_three_streams(self):
+        a = np.array([1], dtype=np.uint64)
+        b = np.array([2], dtype=np.uint64)
+        c = np.array([3], dtype=np.uint64)
+        assert gapbase.interleave_streams(a, b, c).tolist() == [1, 2, 3]
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            gapbase.interleave_streams(
+                np.array([1], dtype=np.uint64),
+                np.array([1, 2], dtype=np.uint64),
+            )
+
+    def test_empty(self):
+        assert gapbase.interleave_streams().size == 0
+
+
+class TestBFS:
+    def test_trace_confined_to_layout(self, graph):
+        trace, glayout = bfs_trace(graph)
+        assert len(trace) > graph.edges  # at least one access per edge
+        assert addresses_within_layout(trace, glayout)
+
+    def test_deterministic(self, graph):
+        a, _ = bfs_trace(graph)
+        b, _ = bfs_trace(graph)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_source_validation(self, graph):
+        with pytest.raises(ValueError):
+            bfs_trace(graph, source=graph.nodes)
+
+    def test_max_accesses_cap(self, graph):
+        trace, _ = bfs_trace(graph, max_accesses=100)
+        # cap is checked per level, so allow one level of overshoot
+        assert len(trace) < graph.edges * 2
+
+    def test_workload_wrapper(self, graph):
+        workload = bfs_workload(graph)
+        assert workload.total_accesses > 0
+        assert workload.footprint_huge_regions() >= 3
+
+    def test_metadata(self, graph):
+        trace, _ = bfs_trace(graph, source=3)
+        assert trace.metadata["source"] == 3
+        assert trace.metadata["nodes"] == graph.nodes
+
+
+class TestSSSP:
+    def test_trace_confined_and_larger_than_bfs(self, graph):
+        sssp, s_layout = sssp_trace(graph)
+        bfs, b_layout = bfs_trace(graph)
+        assert addresses_within_layout(sssp, s_layout)
+        # SSSP footprint ~2x BFS (weights array), as in Table 1
+        assert s_layout.layout.footprint_bytes > 1.5 * b_layout.layout.footprint_bytes
+
+    def test_deterministic(self, graph):
+        a, _ = sssp_trace(graph)
+        b, _ = sssp_trace(graph)
+        assert np.array_equal(a.addresses, b.addresses)
+
+    def test_rounds_bounded(self, graph):
+        short, _ = sssp_trace(graph, max_rounds=1)
+        longer, _ = sssp_trace(graph, max_rounds=8)
+        assert len(short) < len(longer)
+
+    def test_source_validation(self, graph):
+        with pytest.raises(ValueError):
+            sssp_trace(graph, source=-1)
+
+
+class TestPageRank:
+    def test_access_count_scales_with_iterations(self, graph):
+        one, _ = pagerank_trace(graph, iterations=1)
+        two, _ = pagerank_trace(graph, iterations=2)
+        assert abs(len(two) - 2 * len(one)) < len(one) * 0.01
+
+    def test_trace_confined(self, graph):
+        trace, glayout = pagerank_trace(graph, iterations=1)
+        assert addresses_within_layout(trace, glayout)
+
+    def test_invalid_iterations(self, graph):
+        with pytest.raises(ValueError):
+            pagerank_trace(graph, iterations=0)
+
+    def test_gathers_follow_degree_skew(self, graph):
+        """rank[v] is gathered once per in-edge: hot vertices' property
+        pages are the HUBs."""
+        trace, glayout = pagerank_trace(graph, iterations=1)
+        rank_vma = glayout.layout["prop.rank"]
+        in_rank = (trace.addresses >= rank_vma.start) & (
+            trace.addresses < rank_vma.end
+        )
+        gathered = trace.addresses[in_rank]
+        # number of rank reads ~ edges (+1 sweep of next_rank excluded)
+        assert gathered.size == graph.edges

@@ -1,0 +1,127 @@
+"""Tests for the multi-phase workload and aging-based demotion."""
+
+import copy
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.engine.simulation import Simulator
+from repro.experiments.common import memory_for
+from repro.os.kernel import HugePagePolicy, KernelParams
+from repro.workloads.phased import _proportional_merge, phased_workload
+
+
+class TestPhasedWorkload:
+    def test_structure(self):
+        workload = phased_workload(accesses_per_phase=10_000)
+        assert workload.total_accesses == 20_000
+        names = {vma.name for vma in workload.layout}
+        assert names == {"arena_a", "arena_b", "stream"}
+
+    def test_phase_separation(self):
+        """Arena A dominates the first half, arena B the second."""
+        workload = phased_workload(accesses_per_phase=10_000)
+        trace = workload.threads[0].trace
+        arena_a = workload.layout["arena_a"]
+        arena_b = workload.layout["arena_b"]
+        half = len(trace.vpns) // 2
+        first = trace.vpns[:half].astype(np.uint64) << np.uint64(12)
+        second = trace.vpns[half:].astype(np.uint64) << np.uint64(12)
+
+        def share(addresses, vma):
+            inside = (addresses >= vma.start) & (addresses < vma.end)
+            return inside.mean()
+
+        assert share(first, arena_a) > 0.5
+        assert share(first, arena_b) < 0.1
+        assert share(second, arena_b) > 0.5
+        assert share(second, arena_a) < 0.1
+
+    def test_phase_count_validation(self):
+        with pytest.raises(ValueError):
+            phased_workload(phases=0)
+
+    def test_deterministic(self):
+        a = phased_workload(accesses_per_phase=5_000)
+        b = phased_workload(accesses_per_phase=5_000)
+        assert np.array_equal(a.threads[0].trace.vpns, b.threads[0].trace.vpns)
+
+
+class TestProportionalMerge:
+    def test_preserves_all_elements(self):
+        hot = np.arange(10, dtype=np.uint64)
+        cold = np.arange(100, 103, dtype=np.uint64)
+        merged = _proportional_merge(hot, cold, ratio=3)
+        assert sorted(merged.tolist()) == sorted(hot.tolist() + cold.tolist())
+
+    def test_order_within_streams_preserved(self):
+        hot = np.arange(6, dtype=np.uint64)
+        cold = np.arange(100, 102, dtype=np.uint64)
+        merged = _proportional_merge(hot, cold, ratio=2).tolist()
+        assert [x for x in merged if x < 100] == hot.tolist()
+        assert [x for x in merged if x >= 100] == cold.tolist()
+
+
+class TestAgingDemotion:
+    """§3.3.3: demotion pays off when the hot set moves between phases."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = phased_workload(accesses_per_phase=40_000)
+        config = scaled_config(
+            memory_bytes=memory_for(workload),
+            promote_every_accesses=workload.total_accesses // 24,
+        )
+        return workload, config
+
+    def _run(self, workload, config, demote):
+        params = KernelParams(regions_to_promote=8, demotion_enabled=demote)
+        simulator = Simulator(
+            config,
+            policy=HugePagePolicy.PCC,
+            params=params,
+            fragmentation=0.85,
+        )
+        result = simulator.run([copy.deepcopy(workload)])
+        return result, simulator.kernel._engine.stats
+
+    def test_demotion_reclaims_cold_frames(self, setup):
+        workload, config = setup
+        without, stats_without = self._run(workload, config, demote=False)
+        with_demote, stats_with = self._run(workload, config, demote=True)
+        assert stats_without.demotions == 0
+        assert stats_with.demotions > 0
+        # reclaimed frames enable extra promotions for phase B...
+        assert stats_with.promotions > stats_without.promotions
+        # ...and the run gets faster
+        assert with_demote.total_cycles < without.total_cycles
+
+    def test_aging_never_demotes_steady_hot_data(self):
+        """Single-phase run: the continuously-hot arena keeps its huge
+        pages; only once-streamed (genuinely cold) regions may be
+        reclaimed by the aging probe."""
+        workload = phased_workload(accesses_per_phase=40_000, phases=1)
+        config = scaled_config(
+            memory_bytes=memory_for(workload),
+            promote_every_accesses=workload.total_accesses // 24,
+        )
+        params = KernelParams(regions_to_promote=8, demotion_enabled=True)
+        simulator = Simulator(
+            config,
+            policy=HugePagePolicy.PCC,
+            params=params,
+            fragmentation=0.85,
+        )
+        simulator.run([copy.deepcopy(workload)])
+        arena_regions = set(workload.layout["arena_a"].huge_regions)
+        table = simulator.kernel.processes[1].page_table
+        promoted = set(table.promoted_regions())
+        # the hot arena's promoted regions all survive to the end
+        assert arena_regions & promoted
+        demoted_arena = [
+            key
+            for key in simulator.kernel._engine._cold
+            if key[1] in arena_regions
+        ]
+        assert demoted_arena == []

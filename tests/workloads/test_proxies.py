@@ -1,0 +1,86 @@
+"""Tests for the PARSEC/SPEC workload proxies."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import parsec_spec as proxies
+
+
+ALL_PROXIES = ["canneal", "omnetpp", "xalancbmk", "dedup", "mcf"]
+
+
+class TestAllProxies:
+    @pytest.mark.parametrize("name", ALL_PROXIES)
+    def test_builds_with_requested_volume(self, name):
+        workload = proxies.proxy_workload(name, accesses=20_000)
+        assert workload.total_accesses >= 18_000
+        assert workload.footprint_bytes > 0
+
+    @pytest.mark.parametrize("name", ALL_PROXIES)
+    def test_addresses_confined_to_layout(self, name):
+        workload = proxies.proxy_workload(name, accesses=20_000)
+        trace = workload.threads[0].trace
+        vmas = list(workload.layout)
+        lo = min(v.start for v in vmas)
+        hi = max(v.end for v in vmas)
+        first = int(trace.vpns.min()) << 12
+        last = int(trace.vpns.max()) << 12
+        assert first >= lo
+        assert last < hi
+
+    @pytest.mark.parametrize("name", ALL_PROXIES)
+    def test_deterministic(self, name):
+        a = proxies.proxy_workload(name, accesses=5_000)
+        b = proxies.proxy_workload(name, accesses=5_000)
+        assert np.array_equal(a.threads[0].trace.vpns, b.threads[0].trace.vpns)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            proxies.proxy_workload("firefox")
+
+    def test_seed_changes_trace(self):
+        a = proxies.proxy_workload("canneal", accesses=5_000, seed=1)
+        b = proxies.proxy_workload("canneal", accesses=5_000, seed=2)
+        assert not np.array_equal(a.threads[0].trace.vpns, b.threads[0].trace.vpns)
+
+
+class TestLocalityContrast:
+    """The proxies' page-level locality must reproduce Fig. 1's bands:
+    streaming apps (dedup, mcf) far more TLB-friendly than irregular
+    ones (canneal)."""
+
+    @staticmethod
+    def page_locality(name) -> float:
+        workload = proxies.proxy_workload(name, accesses=50_000)
+        trace = workload.threads[0].trace
+        # compression ratio = consecutive same-page accesses per record
+        return trace.compression_ratio
+
+    def test_streaming_apps_compress_better(self):
+        assert self.page_locality("dedup") > 3 * self.page_locality("canneal")
+
+    def test_mcf_mostly_sequential(self):
+        assert self.page_locality("mcf") > 2.0
+
+    def test_footprints_ordered_like_table1(self):
+        """canneal/dedup have the largest footprints of the proxies."""
+        sizes = {
+            name: proxies.proxy_workload(name, accesses=1000).footprint_bytes
+            for name in ALL_PROXIES
+        }
+        assert sizes["canneal"] > sizes["omnetpp"]
+        assert sizes["dedup"] > sizes["xalancbmk"]
+
+
+class TestBlockInterleave:
+    def test_preserves_all_elements(self):
+        a = np.arange(10, dtype=np.uint64)
+        b = np.arange(100, 105, dtype=np.uint64)
+        merged = proxies._block_interleave(a, b, block=4)
+        assert sorted(merged.tolist()) == sorted(a.tolist() + b.tolist())
+
+    def test_handles_empty_streams(self):
+        a = np.arange(4, dtype=np.uint64)
+        empty = np.empty(0, dtype=np.uint64)
+        assert proxies._block_interleave(a, empty, 2).tolist() == a.tolist()
+        assert proxies._block_interleave(empty, a, 2).tolist() == a.tolist()

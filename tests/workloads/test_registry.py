@@ -1,0 +1,75 @@
+"""Tests for the workload registry."""
+
+import pytest
+
+from repro.workloads.registry import (
+    SPECS,
+    build_graph,
+    build_workload,
+    graph_workload_names,
+    workload_names,
+)
+
+
+class TestNames:
+    def test_eight_applications(self):
+        names = workload_names()
+        assert len(names) == 8
+        assert names[:3] == ["BFS", "SSSP", "PR"]
+
+    def test_graph_names(self):
+        assert graph_workload_names() == ["BFS", "SSSP", "PR"]
+
+    def test_specs_cover_all(self):
+        assert set(SPECS) == set(workload_names())
+
+    def test_sensitivity_labels(self):
+        assert SPECS["BFS"].tlb_sensitivity == "high"
+        assert SPECS["mcf"].tlb_sensitivity == "low"
+
+
+class TestBuildGraph:
+    def test_datasets(self):
+        for dataset in ("kronecker", "social", "web"):
+            graph = build_graph(dataset, scale=8)
+            graph.validate()
+
+    def test_dbg_variant(self):
+        plain = build_graph("kronecker", scale=8)
+        sorted_graph = build_graph("kronecker", scale=8, sorted_dbg=True)
+        assert sorted_graph.name.endswith("-dbg")
+        assert sorted_graph.edges == plain.edges
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            build_graph("facebook")
+
+
+class TestBuildWorkload:
+    @pytest.mark.parametrize("name", ["BFS", "SSSP", "PR"])
+    def test_graph_workloads(self, name):
+        workload = build_workload(name, scale=8)
+        assert workload.total_accesses > 0
+
+    def test_proxy_workload(self):
+        workload = build_workload("mcf", accesses=10_000)
+        assert workload.total_accesses >= 9_000
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            build_workload("redis")
+
+
+class TestExtendedWorkloads:
+    def test_phased_via_registry(self):
+        workload = build_workload("phased", accesses=10_000)
+        assert workload.total_accesses == 10_000
+        assert "arena_a" in workload.layout
+
+    def test_giant_span_via_registry(self):
+        workload = build_workload("giant-span", accesses=6_000)
+        assert workload.footprint_bytes >= 2 << 30
+
+    def test_unknown_error_lists_extended_names(self):
+        with pytest.raises(KeyError, match="phased"):
+            build_workload("redis")

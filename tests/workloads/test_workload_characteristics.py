@@ -1,0 +1,84 @@
+"""Cross-workload characterization tests.
+
+These encode Table 1 / Fig. 1's relationships between the eight
+applications: relative footprints, trace volumes, and page-level
+locality, so a regression in any workload model's calibration fails
+loudly rather than silently skewing every downstream figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import tracestats
+from repro.trace.events import Trace
+from repro.workloads.registry import build_workload, workload_names
+
+SCALE = 11
+ACCESSES = 40_000
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        name: build_workload(name, scale=SCALE, accesses=ACCESSES)
+        for name in workload_names()
+    }
+
+
+def raw_trace(workload) -> Trace:
+    compressed = workload.threads[0].trace
+    addresses = np.repeat(
+        compressed.vpns.astype(np.uint64) << np.uint64(12), compressed.counts
+    )
+    return Trace(workload.name, addresses, workload.footprint_bytes)
+
+
+class TestFootprints:
+    def test_sssp_about_twice_bfs(self, workloads):
+        ratio = (
+            workloads["SSSP"].footprint_bytes
+            / workloads["BFS"].footprint_bytes
+        )
+        assert 1.5 < ratio < 2.5  # Table 1: 19GB vs 10GB
+
+    def test_all_footprints_positive_and_region_backed(self, workloads):
+        for name, workload in workloads.items():
+            assert workload.footprint_bytes > 1 << 20, name
+            assert workload.footprint_huge_regions() >= 2, name
+
+
+class TestLocality:
+    def test_graph_apps_have_hot_region_concentration(self, workloads):
+        """Power-law gathers concentrate accesses in few regions."""
+        for name in ("BFS", "PR"):
+            stats = tracestats.analyze(raw_trace(workloads[name]))
+            assert stats.top_decile_region_share > 0.3, name
+
+    def test_streaming_apps_compress_far_better_than_graph(self, workloads):
+        dedup = tracestats.analyze(raw_trace(workloads["dedup"]))
+        bfs = tracestats.analyze(raw_trace(workloads["BFS"]))
+        assert dedup.compression_ratio > 5 * bfs.compression_ratio
+
+    def test_every_trace_stays_in_its_layout(self, workloads):
+        for name, workload in workloads.items():
+            trace = raw_trace(workload)
+            vmas = list(workload.layout)
+            lo = min(v.start for v in vmas)
+            hi = max(v.end for v in vmas)
+            assert int(trace.addresses.min()) >= lo, name
+            assert int(trace.addresses.max()) < hi, name
+
+
+class TestVolumes:
+    def test_proxies_hit_requested_volume(self, workloads):
+        for name in ("canneal", "omnetpp", "xalancbmk", "dedup", "mcf"):
+            total = workloads[name].total_accesses
+            assert total == pytest.approx(ACCESSES, rel=0.15), name
+
+    def test_pagerank_touches_each_edge_per_iteration(self, workloads):
+        from repro.workloads.registry import build_graph
+
+        graph = build_graph("kronecker", scale=SCALE)
+        pr = workloads["PR"]
+        # 2 iterations x (edges streamed + edges gathered) dominate
+        assert pr.total_accesses > 2 * 2 * graph.edges * 0.9
