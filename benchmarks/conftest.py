@@ -39,6 +39,23 @@ def apps():
     return None
 
 
+@pytest.fixture(scope="session", autouse=True)
+def session_metrics():
+    """Collect every run's metrics bus export for the whole session.
+
+    The aggregate lands next to the renderings so a benchmark sweep
+    leaves a machine-readable record of every counter, not just the
+    formatted tables.
+    """
+    from repro.metrics import collecting
+
+    with collecting() as collector:
+        yield collector
+    if collector.runs:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        collector.write_json(RESULTS_DIR / "metrics.json")
+
+
 @pytest.fixture
 def publish():
     """Print a rendering and archive it under benchmarks/results/."""

@@ -1,0 +1,124 @@
+"""Perf smoke gate: quick-scale BFS wall time vs a committed baseline.
+
+Runs the PCC-policy simulation of the quick-scale BFS workload (the
+same one the figures sweep) and compares wall time against
+``benchmarks/perf_baseline.json``. The gate fails when the measured
+time exceeds ``baseline * --max-ratio`` — a coarse tripwire for
+accidental hot-loop regressions, deliberately loose enough to tolerate
+CI machine jitter.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py              # gate
+    PYTHONPATH=src python scripts/perf_smoke.py --update     # re-baseline
+    PYTHONPATH=src python scripts/perf_smoke.py --compare-fast-path
+
+``--compare-fast-path`` additionally times the run with the translation
+fast path disabled and reports the speedup ratio (informational).
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO / "benchmarks" / "perf_baseline.json"
+
+
+def _timed_run(workload, config, fast_path: bool) -> float:
+    from repro.engine.simulation import Simulator
+    from repro.os.kernel import HugePagePolicy
+
+    simulator = Simulator(
+        config, policy=HugePagePolicy.PCC, fast_path=fast_path
+    )
+    run_workload = copy.deepcopy(workload)
+    start = time.perf_counter()
+    simulator.run([run_workload])
+    return time.perf_counter() - start
+
+
+def measure(rounds: int, fast_path: bool = True) -> float:
+    """Best-of-``rounds`` wall time of the quick BFS PCC simulation."""
+    from repro.experiments.common import QUICK, build_named_workload, config_for
+
+    workload = build_named_workload(
+        "BFS",
+        graph_scale=QUICK.graph_scale,
+        proxy_accesses=QUICK.proxy_accesses,
+    )
+    config = config_for(workload)
+    # One warmup run takes trace construction and imports out of the
+    # measurement; best-of-N suppresses scheduler noise.
+    _timed_run(workload, config, fast_path)
+    return min(_timed_run(workload, config, fast_path) for _ in range(rounds))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.5,
+        help="fail when measured/baseline exceeds this (default 1.5)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="timed rounds (best-of)"
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the committed baseline from this machine",
+    )
+    parser.add_argument(
+        "--compare-fast-path",
+        action="store_true",
+        help="also time the run with the fast path disabled",
+    )
+    args = parser.parse_args(argv)
+
+    seconds = measure(args.rounds)
+    print(f"quick BFS (PCC): {seconds:.3f}s best of {args.rounds}")
+
+    if args.compare_fast_path:
+        slow = measure(args.rounds, fast_path=False)
+        print(
+            f"fast path off:   {slow:.3f}s "
+            f"(speedup {slow / seconds:.2f}x with fast path)"
+        )
+
+    if args.update:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {
+                    "benchmark": "quick BFS, PCC policy, best-of-3",
+                    "seconds": round(seconds, 3),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"baseline updated -> {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update", file=sys.stderr)
+        return 2
+    baseline = json.loads(BASELINE_PATH.read_text())["seconds"]
+    ratio = seconds / baseline
+    print(f"baseline {baseline:.3f}s -> ratio {ratio:.2f} (max {args.max_ratio})")
+    if ratio > args.max_ratio:
+        print("perf smoke FAILED: hot path regressed", file=sys.stderr)
+        return 1
+    print("perf smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO / "src"))
+    sys.exit(main())

@@ -48,6 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="quick",
         help="experiment scale: quick (default) or full",
     )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write a repro.metrics/v1 JSON aggregate of every "
+        "simulation run performed by the command",
+    )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
     p_fig1 = sub.add_parser("fig1", help="motivation: page sizes vs Linux THP")
@@ -153,7 +159,26 @@ def _run_compare(args, scale: ExperimentScale) -> str:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     scale = _scale_of(args.scale)
+    if args.metrics_out:
+        from pathlib import Path
 
+        from repro.metrics import collecting
+
+        parent = Path(args.metrics_out).resolve().parent
+        if not parent.is_dir():
+            # fail before the runs, not after minutes of simulation
+            raise SystemExit(
+                f"--metrics-out: directory {parent} does not exist"
+            )
+        with collecting() as collector:
+            status = _dispatch(args, scale)
+        collector.write_json(args.metrics_out)
+        print(f"metrics: {len(collector.runs)} runs -> {args.metrics_out}")
+        return status
+    return _dispatch(args, scale)
+
+
+def _dispatch(args, scale: ExperimentScale) -> int:
     if args.experiment == "fig1":
         print(fig1.render(fig1.run(scale, apps=_split(args.apps))))
     elif args.experiment == "fig2":

@@ -1,6 +1,13 @@
 """Simulation engine: per-core pipeline, timing, online/offline loops."""
 
 from repro.engine.cpu import Core
+from repro.engine.machine import (
+    FaultPath,
+    Machine,
+    OsTickDriver,
+    ThreadScheduler,
+    TranslationPipeline,
+)
 from repro.engine.timing import CycleAccounting
 from repro.engine.simulation import SimulationResult, Simulator
 from repro.engine.system import ProcessWorkload, ThreadWorkload
@@ -8,8 +15,13 @@ from repro.engine.system import ProcessWorkload, ThreadWorkload
 __all__ = [
     "Core",
     "CycleAccounting",
+    "FaultPath",
+    "Machine",
+    "OsTickDriver",
     "Simulator",
     "SimulationResult",
+    "ThreadScheduler",
+    "TranslationPipeline",
     "ProcessWorkload",
     "ThreadWorkload",
 ]

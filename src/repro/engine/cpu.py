@@ -33,6 +33,16 @@ class CoreStats:
         """Fraction of accesses requiring a page table walk (PTW %)."""
         return self.walks / self.accesses if self.accesses else 0.0
 
+    def as_metrics(self, prefix: str) -> dict[str, int]:
+        """Counter readings for the metrics registry, under ``prefix``."""
+        return {
+            f"{prefix}.accesses": self.accesses,
+            f"{prefix}.l1_hits": self.l1_hits,
+            f"{prefix}.l2_hits": self.l2_hits,
+            f"{prefix}.walks": self.walks,
+            f"{prefix}.translation_cycles": self.translation_cycles,
+        }
+
 
 class Core:
     """TLBs, walker and PCCs for one hardware thread."""
@@ -65,13 +75,20 @@ class Core:
         self._l1_hit_cycles = config.timing.l1_tlb_hit_cycles
         self._l2_hit_cycles = config.timing.l2_tlb_hit_cycles
 
-    def access_page(self, vpn: int, page_table: PageTable, repeat: int = 1) -> int:
+    def translate(self, vpn: int, page_table: PageTable, repeat: int = 1):
         """Simulate ``repeat`` consecutive accesses to 4KB page ``vpn``.
 
         Only the first access can miss (the rest hit the just-filled L1
         entry); the translation cycles returned cover all ``repeat``
         accesses. Base (non-translation) cycles are the timing model's
         concern, not the core's.
+
+        Returns ``(cycles, level, page_size)``: the translation cycles,
+        the :class:`~repro.tlb.hierarchy.HitLevel` that answered, and
+        the effective :class:`~repro.vm.address.PageSize` of the
+        translation (on a miss, the size the walk resolved and filled).
+        The extra outputs let the translation pipeline maintain its
+        fast-path hints without re-probing any structure.
         """
         stats = self.stats
         stats.accesses += repeat
@@ -80,11 +97,15 @@ class Core:
         level = result.level
         if level is HitLevel.L1:
             stats.l1_hits += repeat
-            return self._l1_hit_cycles * repeat
+            return self._l1_hit_cycles * repeat, level, result.page_size
         if level is HitLevel.L2:
             stats.l2_hits += 1
             stats.l1_hits += extra_hits
-            return self._l2_hit_cycles + self._l1_hit_cycles * extra_hits
+            return (
+                self._l2_hit_cycles + self._l1_hit_cycles * extra_hits,
+                level,
+                result.page_size,
+            )
 
         # Full hierarchy miss: hardware walk + PCC admission (Fig. 3).
         vaddr = vpn << BASE_PAGE_SHIFT
@@ -102,7 +123,11 @@ class Core:
             )
         self.tlb.fill(vpn, walk.mapping.page_size)
         self.stats.translation_cycles += cycles
-        return cycles
+        return cycles, level, walk.mapping.page_size
+
+    def access_page(self, vpn: int, page_table: PageTable, repeat: int = 1) -> int:
+        """Cycles for ``repeat`` accesses to ``vpn`` (see :meth:`translate`)."""
+        return self.translate(vpn, page_table, repeat)[0]
 
     def shootdown(self, huge_region: int) -> None:
         """Invalidate a 2MB region everywhere on this core.

@@ -1,0 +1,777 @@
+"""The staged machine pipeline behind the online simulation.
+
+:class:`Machine` decomposes the former monolithic run loop into four
+explicit, composable stages:
+
+- :class:`ThreadScheduler` — round-robin over bound threads in fixed
+  access quanta (the concurrency model of §5.2);
+- :class:`TranslationPipeline` — the per-core TLB → walker → PCC path,
+  fronted by a memoized translation fast path for repeated hits;
+- :class:`FaultPath` — first-touch fault filtering into the kernel (so
+  greedy THP acts at the right moment);
+- :class:`OsTickDriver` — the periodic OS promotion interval, timeline
+  bookkeeping, and per-interval metrics sampling.
+
+:class:`~repro.engine.simulation.Simulator` remains the public facade;
+it wires a Machine and delegates, so every experiment, benchmark, and
+subclass (e.g. the offline replay's scheduled simulator) keeps working
+unchanged.
+
+The translation fast path
+-------------------------
+
+The hot loop's dominant cost is the Python object graph under
+``TLBHierarchy.lookup`` — method dispatch, per-structure statistics,
+and several frames of call overhead — paid even when an access
+trivially hits the L1 TLB again. The pipeline answers L1 hits in two
+tiers. Tier 1 is a memoized *MRU hint* per L1 set: the tag most
+recently made most-recently-used in that set. An access whose VPN (or
+2MB region tag) matches its set's hint is guaranteed to hit L1 **with
+zero state change** — re-running the full path would delete and
+reinsert the tag at the same MRU position — so the pipeline answers
+from the memo with no dict traffic at all. Tier 2 probes the live L1
+set dict directly, in the hierarchy's order (4K before 2M): on a hit
+the real path's *entire* state change is the del/reinsert LRU refresh,
+which the tier performs itself. Both tiers charge constant hit cycles
+and batch the statistics; everything else (L2 hits, 1GB hits, walks)
+takes the full path, which also refreshes the hints.
+
+Exactness: tier 2 operates on the live TLB dicts, so only the tier-1
+hints can go stale — and only through TLB mutation that bypasses the
+access path (shootdowns, promotions/demotions, full flushes), all of
+which happen inside the OS tick; the machine bumps the pipeline's
+epoch counter after every tick, wholesale-invalidating the hints.
+Evictions cannot invalidate a hint (victims are LRU, hints are MRU)
+and fills/refills update the affected set's hint in the same step, so
+the fast path is bit-identical to the slow path — the property tests
+assert equal walks, hits, cycles, and promotions with the memo on and
+off.
+"""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig
+from repro.core.dump import CandidateRecord, DumpRegion
+from repro.engine.cpu import Core
+from repro.engine.system import ProcessWorkload
+from repro.engine.timing import CycleAccounting, RuntimeBreakdown
+from repro.metrics import MetricsRegistry, publish_run
+from repro.os.kernel import HugePagePolicy, KernelParams, SimulatedKernel
+from repro.tlb.hierarchy import HitLevel
+from repro.vm.address import (
+    BASE_PAGE_SHIFT,
+    HUGE_PAGE_SHIFT,
+    PageSize,
+)
+
+#: VPN -> 2MB region tag shift.
+_HUGE_SHIFT = HUGE_PAGE_SHIFT - BASE_PAGE_SHIFT
+
+
+class _ThreadSlot:
+    """One schedulable thread: trace cursor plus pinned identities."""
+
+    __slots__ = ("vpns", "counts", "cursor", "length", "pid", "core_id",
+                 "seen", "fault", "live")
+
+    def __init__(self, vpns, counts, pid, core_id, seen, fault):
+        # Plain Python lists iterate several times faster than numpy
+        # scalar indexing in this (unavoidably sequential) hot loop.
+        self.vpns = vpns
+        self.counts = counts
+        self.cursor = 0
+        self.length = len(vpns)
+        self.pid = pid
+        self.core_id = core_id
+        self.seen = seen
+        self.fault = fault
+        self.live = True
+
+
+class ThreadScheduler:
+    """Round-robin scheduler slicing bound threads into access quanta.
+
+    Threads are interleaved in fixed quanta of trace records whose
+    access counts sum to roughly ``quantum``, modelling concurrent
+    execution on the pinned cores.
+    """
+
+    def __init__(self, quantum: int) -> None:
+        self.quantum = quantum
+        self.slots: list[_ThreadSlot] = []
+        self.remaining = 0
+
+    def add(self, vpns, counts, pid, core_id, seen, fault) -> _ThreadSlot:
+        """Register one thread's compressed trace for scheduling."""
+        slot = _ThreadSlot(vpns, counts, pid, core_id, seen, fault)
+        self.slots.append(slot)
+        self.remaining += slot.length
+        return slot
+
+    def next_round(self):
+        """Yield each still-live slot once, retiring exhausted ones."""
+        for slot in self.slots:
+            if not slot.live:
+                continue
+            if slot.cursor >= slot.length:
+                slot.live = False
+                continue
+            yield slot
+
+    def advance(self, slot: _ThreadSlot, new_cursor: int) -> None:
+        """Consume the records a quantum processed."""
+        self.remaining -= new_cursor - slot.cursor
+        slot.cursor = new_cursor
+
+
+class TranslationPipeline:
+    """Per-core translation stage: memo fast path over TLB→walker→PCC.
+
+    Owns the per-set MRU hints described in the module docstring, the
+    batched fast-hit counters (flushed into the canonical stats bags by
+    :meth:`sync`), and the epoch counter that wholesale-invalidates the
+    memo on shootdown/promotion/flush.
+    """
+
+    def __init__(self, core: Core, fast_path: bool = True) -> None:
+        self.core = core
+        self.fast_path = fast_path
+        #: bumped on every wholesale invalidation (OS tick shootdowns)
+        self.epoch = 0
+        l1_base = core.tlb.l1_base
+        l1_huge = core.tlb.l1_huge
+        self._base_sets = l1_base.sets
+        self._huge_sets = l1_huge.sets
+        self._nbase = l1_base.nsets
+        self._nhuge = l1_huge.nsets
+        #: per-set MRU hint tags; -1 is never a valid tag
+        self._base_mru = [-1] * self._nbase
+        self._huge_mru = [-1] * self._nhuge
+        self._l1_hit_cycles = core.config.timing.l1_tlb_hit_cycles
+        # Batched fast-hit counters, flushed by sync().
+        self._pending_base_records = 0
+        self._pending_huge_records = 0
+        self._pending_accesses = 0
+        # Cumulative fast-path metrics (records, not raw accesses).
+        self.fast_hits = 0
+        self.slow_records = 0
+        self.invalidations = 0
+
+    # ------------------------------------------------------------------
+
+    def run_quantum(self, slot: _ThreadSlot, budget: int, page_table) -> tuple:
+        """Run one scheduling quantum of ``slot`` against this core.
+
+        Returns ``(cursor, accesses, translation_cycles, walks)`` for
+        the ledger and per-process attribution. Faults are taken on
+        first touch, before the access translates.
+        """
+        if self.fast_path:
+            return self._run_quantum_fast(slot, budget, page_table)
+        return self._run_quantum_slow(slot, budget, page_table)
+
+    def _run_quantum_slow(self, slot: _ThreadSlot, budget: int, page_table):
+        """Reference loop: every record takes the full TLB object graph."""
+        vpns = slot.vpns
+        counts = slot.counts
+        i = slot.cursor
+        n = slot.length
+        seen = slot.seen
+        fault = slot.fault
+        is_mapped = page_table.is_mapped
+        translate = self.core.translate
+        miss_level = HitLevel.MISS
+        start_budget = budget
+        cycles = 0
+        walks = 0
+        while budget > 0 and i < n:
+            vpn = vpns[i]
+            repeat = counts[i]
+            # Once a VPN has faulted in it stays mapped (promotion
+            # preserves mapped-ness), so a per-process seen-set avoids
+            # a page-table probe per record.
+            if vpn not in seen:
+                seen.add(vpn)
+                vaddr = vpn << BASE_PAGE_SHIFT
+                if not is_mapped(vaddr):
+                    fault(vaddr)
+            step_cycles, level, _size = translate(vpn, page_table, repeat)
+            cycles += step_cycles
+            if level is miss_level:
+                walks += 1
+            budget -= repeat
+            i += 1
+        self.slow_records += i - slot.cursor
+        return i, start_budget - budget, cycles, walks
+
+    def _run_quantum_fast(self, slot: _ThreadSlot, budget: int, page_table):
+        """Memoized loop: L1 hits bypass the TLB object graph.
+
+        Two tiers in front of the full path. Tier 1 is the per-set MRU
+        memo: a hint match proves an L1 hit with zero state change, so
+        not even the set dict is touched (this is why the memo must be
+        epoch-invalidated when ticks mutate TLB state behind it — a
+        stale hint would claim a shot-down entry still hits). Tier 2
+        probes the live L1 set dict directly: on a hit the *entire*
+        state change of the real path is the del/reinsert LRU refresh,
+        which the tier performs itself, skipping the translate→lookup→
+        hit_fast call stack and batching the statistics.
+
+        Counter bookkeeping is hoisted out of the loop: accesses fall
+        out of the budget delta, and fast-hit cycles are one multiply
+        over the accumulated repeat counts.
+        """
+        vpns = slot.vpns
+        counts = slot.counts
+        i = slot.cursor
+        n = slot.length
+        seen = slot.seen
+        fault = slot.fault
+        is_mapped = page_table.is_mapped
+        translate = self.core.translate
+        base_mru = self._base_mru
+        huge_mru = self._huge_mru
+        base_sets = self._base_sets
+        huge_sets = self._huge_sets
+        nbase = self._nbase
+        nhuge = self._nhuge
+        miss_level = HitLevel.MISS
+        size_base = PageSize.BASE
+        size_huge = PageSize.HUGE
+        start_budget = budget
+        #: accesses answered by the fast tiers (repeat counts included)
+        fast_units = 0
+        cycles = 0
+        walks = 0
+        fast_base = 0
+        fast_huge = 0
+        slow = 0
+        while budget > 0 and i < n:
+            vpn = vpns[i]
+            repeat = counts[i]
+            base_set = vpn % nbase
+            if base_mru[base_set] == vpn:
+                # Tier 1: vpn is the MRU of its L1-4K set — guaranteed
+                # hit, zero state change. (The hint implies a prior
+                # access to vpn, so the seen-set already has it and the
+                # fault check would be a no-op.)
+                fast_base += 1
+                fast_units += repeat
+                budget -= repeat
+                i += 1
+                continue
+            entries = base_sets[base_set]
+            size = entries.get(vpn)
+            if size is not None:
+                # Tier 2: live L1-4K hit. The real path's only state
+                # change is this LRU refresh; a 4KB entry is filled by
+                # a prior access to this exact vpn, so the seen-set
+                # already has it.
+                del entries[vpn]
+                entries[vpn] = size
+                base_mru[base_set] = vpn
+                fast_base += 1
+                fast_units += repeat
+                budget -= repeat
+                i += 1
+                continue
+            # Once a VPN has faulted in it stays mapped (promotion
+            # preserves mapped-ness), so a per-process seen-set avoids
+            # a page-table probe per record.
+            if vpn not in seen:
+                seen.add(vpn)
+                vaddr = vpn << BASE_PAGE_SHIFT
+                if not is_mapped(vaddr):
+                    fault(vaddr)
+            # The L1-4K probe above missed silently (the hierarchy only
+            # counts a 4K miss after all L1 structures fail), matching
+            # the real probe order: 4K first, then 2M.
+            huge_tag = vpn >> _HUGE_SHIFT
+            huge_set = huge_tag % nhuge
+            if huge_mru[huge_set] == huge_tag:
+                # Tier 1, 2MB: the covering entry is MRU of its set.
+                fast_huge += 1
+                fast_units += repeat
+                budget -= repeat
+                i += 1
+                continue
+            hentries = huge_sets[huge_set]
+            hsize = hentries.get(huge_tag)
+            if hsize is not None:
+                # Tier 2, 2MB: live L1-2M hit with its LRU refresh.
+                del hentries[huge_tag]
+                hentries[huge_tag] = hsize
+                huge_mru[huge_set] = huge_tag
+                fast_huge += 1
+                fast_units += repeat
+                budget -= repeat
+                i += 1
+                continue
+            slow += 1
+            step_cycles, level, size = translate(vpn, page_table, repeat)
+            cycles += step_cycles
+            if level is miss_level:
+                walks += 1
+            # The access left its translation at the MRU position of
+            # the structure matching ``size`` (hit-refresh or fill).
+            if size is size_base:
+                base_mru[base_set] = vpn
+            elif size is size_huge:
+                huge_mru[huge_set] = huge_tag
+            budget -= repeat
+            i += 1
+        cycles += self._l1_hit_cycles * fast_units
+        self._pending_base_records += fast_base
+        self._pending_huge_records += fast_huge
+        self._pending_accesses += fast_units
+        self.fast_hits += fast_base + fast_huge
+        self.slow_records += slow
+        return i, start_budget - budget, cycles, walks
+
+    # ------------------------------------------------------------------
+
+    def sync(self) -> None:
+        """Flush batched fast-hit counters into the canonical stats.
+
+        Called before every OS tick and before result collection, so
+        ``CoreStats``/``TLBStats`` always read exactly as they would
+        with the fast path disabled.
+        """
+        base_records = self._pending_base_records
+        huge_records = self._pending_huge_records
+        accesses = self._pending_accesses
+        if not (base_records or huge_records):
+            return
+        tlb = self.core.tlb
+        tlb.accesses += base_records + huge_records
+        tlb.l1_base.stats.hits += base_records
+        tlb.l1_huge.stats.hits += huge_records
+        stats = self.core.stats
+        stats.accesses += accesses
+        stats.l1_hits += accesses
+        self._pending_base_records = 0
+        self._pending_huge_records = 0
+        self._pending_accesses = 0
+
+    def invalidate_hints(self) -> None:
+        """Wholesale memo invalidation (epoch bump).
+
+        The OS tick's shootdowns, promotions, demotions, and flushes
+        mutate TLB state behind the pipeline's back; dropping every
+        hint restores the guarantee that a hint match implies a
+        state-change-free L1 hit.
+        """
+        self.epoch += 1
+        self.invalidations += 1
+        self._base_mru = [-1] * self._nbase
+        self._huge_mru = [-1] * self._nhuge
+
+    def as_metrics(self, prefix: str) -> dict[str, int]:
+        """Fast-path counter readings for the metrics registry."""
+        return {
+            f"{prefix}.fast_hits": self.fast_hits,
+            f"{prefix}.slow_records": self.slow_records,
+            f"{prefix}.invalidations": self.invalidations,
+        }
+
+
+class FaultPath:
+    """First-touch fault stage: per-process seen-sets into the kernel."""
+
+    def __init__(self, kernel: SimulatedKernel) -> None:
+        self.kernel = kernel
+        self._seen: dict[int, set[int]] = {}
+
+    def seen_for(self, pid: int) -> set[int]:
+        """The VPNs process ``pid`` has already touched (shared across
+        its threads — one address space, one fault per page)."""
+        return self._seen.setdefault(pid, set())
+
+    def handler_for(self, pid: int):
+        """A ``fault(vaddr)`` callable bound to ``pid``."""
+        handle_fault = self.kernel.handle_fault
+
+        def fault(vaddr: int, _pid: int = pid) -> None:
+            handle_fault(_pid, vaddr)
+
+        return fault
+
+
+class OsTickDriver:
+    """The periodic OS promotion interval (the paper's 30s analogue).
+
+    Counts accesses toward the interval, fires the tick function at
+    round boundaries, accumulates promotion/demotion totals and the
+    per-interval timelines, and samples the metrics registry at every
+    tick so samples align 1:1 with ``promotion_timeline``.
+    """
+
+    def __init__(
+        self,
+        kernel: SimulatedKernel,
+        interval: int,
+        tick_fn,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.kernel = kernel
+        self.interval = interval
+        self._tick_fn = tick_fn
+        self.registry = registry
+        self.accesses_since_tick = 0
+        self.total_accesses = 0
+        self.promotions = 0
+        self.demotions = 0
+        self.promotion_timeline: list[tuple[int, int]] = []
+        self.huge_page_timeline: list[dict[int, int]] = []
+
+    def note(self, accesses: int) -> None:
+        """Account a quantum's accesses toward the interval."""
+        self.accesses_since_tick += accesses
+        self.total_accesses += accesses
+
+    @property
+    def due(self) -> bool:
+        """Whether the interval has elapsed since the last tick."""
+        return self.accesses_since_tick >= self.interval
+
+    def tick(self, cores, ledgers):
+        """Fire one promotion interval and record its outcome."""
+        self.accesses_since_tick = 0
+        outcome = self._tick_fn(cores, ledgers)
+        self.promotions += len(outcome.promoted)
+        self.demotions += len(outcome.demoted)
+        self._record(len(outcome.promoted))
+        return outcome
+
+    def final_tick(self, cores, ledgers):
+        """Trailing tick so short runs don't lose pending candidates."""
+        outcome = self._tick_fn(cores, ledgers)
+        self.promotions += len(outcome.promoted)
+        self.demotions += len(outcome.demoted)
+        if outcome.promoted or not self.huge_page_timeline:
+            self._record(len(outcome.promoted))
+        return outcome
+
+    def _record(self, promoted: int) -> None:
+        self.promotion_timeline.append((self.total_accesses, promoted))
+        self.huge_page_timeline.append(
+            {
+                pid: self.kernel.huge_pages_of(pid)
+                for pid in self.kernel.processes
+            }
+        )
+        if self.registry is not None:
+            self.registry.sample(self.total_accesses)
+
+
+class Machine:
+    """One simulated machine: scheduler, pipelines, fault path, ticks.
+
+    The composition root of the engine. The optional ``tick_fn`` lets a
+    facade (or subclass of it) intercept promotion ticks — the offline
+    replay pipeline substitutes recorded candidate schedules this way —
+    while :meth:`promotion_tick` remains the canonical implementation.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: HugePagePolicy = HugePagePolicy.PCC,
+        params: KernelParams | None = None,
+        fragmentation: float = 0.0,
+        thread_quantum: int = 2048,
+        serialization_cycles_per_access: float = 0.0,
+        fast_path: bool = True,
+        tick_fn=None,
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.kernel = SimulatedKernel(
+            config, policy=policy, params=params, fragmentation=fragmentation
+        )
+        self.thread_quantum = thread_quantum
+        self.serialization_cycles_per_access = serialization_cycles_per_access
+        self.fast_path = fast_path
+        self.dump_region = DumpRegion()
+        self._tick_fn = tick_fn or self.promotion_tick
+        self.cores: list[Core] = []
+        self.pipelines: list[TranslationPipeline] = []
+        self.ledgers: list[CycleAccounting] = []
+        self._core_pid_map: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def run(self, workloads: list[ProcessWorkload]):
+        """Simulate the workloads to completion and return the result."""
+        from repro.engine.simulation import SimulationResult
+
+        self._assign_ids(workloads)
+        shared_pcc = None
+        if self.config.pcc.shared:
+            if len(workloads) > 1:
+                raise ValueError(
+                    "the shared-PCC design (§3.2.2) cannot attribute "
+                    "candidates across processes; use per-core PCCs"
+                )
+            from repro.core.pcc import PromotionCandidateCache
+
+            shared_pcc = PromotionCandidateCache(self.config.pcc)
+        self.cores = [
+            Core(self.config, core_id=i, shared_pcc=shared_pcc)
+            for i in range(self.config.cores)
+        ]
+        self.pipelines = [
+            TranslationPipeline(core, fast_path=self.fast_path)
+            for core in self.cores
+        ]
+        self.ledgers = [CycleAccounting(self.config.timing) for _ in self.cores]
+
+        fault_path = FaultPath(self.kernel)
+        scheduler = self._bind_threads(workloads, fault_path)
+        registry = MetricsRegistry()
+        self._register_metrics(registry)
+        ticks = OsTickDriver(
+            self.kernel,
+            self.config.os.promote_every_accesses,
+            self._tick_fn,
+            registry=registry,
+        )
+
+        kernel = self.kernel
+        processes = kernel.processes
+        pipelines = self.pipelines
+        ledgers = self.ledgers
+        quantum = self.thread_quantum
+        drain_fault_work = kernel.drain_fault_work
+        walks_by_pid = {pid: 0 for pid in processes}
+
+        while scheduler.remaining > 0:
+            for slot in scheduler.next_round():
+                pipeline = pipelines[slot.core_id]
+                ledger = ledgers[slot.core_id]
+                table = processes[slot.pid].page_table
+                cursor, accesses, cycles, walks = pipeline.run_quantum(
+                    slot, quantum, table
+                )
+                scheduler.advance(slot, cursor)
+                ledger.charge_translation(cycles)
+                ledger.charge_accesses(accesses)
+                walks_by_pid[slot.pid] += walks
+                ticks.note(accesses)
+                huge_z, base_z, migrated = drain_fault_work()
+                ledger.charge_fault_work(huge_z, base_z, migrated)
+
+            if ticks.due:
+                self.sync_pipelines()
+                ticks.tick(self.cores, self.ledgers)
+                self.invalidate_fast_paths()
+
+        # Final tick so trailing candidates are not lost on short runs.
+        self.sync_pipelines()
+        ticks.final_tick(self.cores, self.ledgers)
+        self.invalidate_fast_paths()
+
+        result = self._collect(workloads, ticks, walks_by_pid)
+        result.metrics = registry.export(
+            meta={
+                "policy": self.policy.value,
+                "cores": len(self.cores),
+                "fast_path": self.fast_path,
+                "promote_every_accesses": self.config.os.promote_every_accesses,
+                "processes": sorted(processes),
+            }
+        )
+        publish_run(result.metrics)
+        return result
+
+    # ------------------------------------------------------------------
+    # stage helpers
+
+    def sync_pipelines(self) -> None:
+        """Flush every pipeline's batched counters into the stats bags."""
+        for pipeline in self.pipelines:
+            pipeline.sync()
+
+    def invalidate_fast_paths(self) -> None:
+        """Epoch-bump every pipeline after TLB state changed externally."""
+        for pipeline in self.pipelines:
+            pipeline.invalidate_hints()
+
+    def _assign_ids(self, workloads: list[ProcessWorkload]) -> None:
+        for process in workloads:
+            if process.pid < 0:
+                process.pid = len(self.kernel.processes) + 1
+            self.kernel.spawn(process.layout, pid=process.pid)
+
+    def _bind_threads(
+        self, workloads: list[ProcessWorkload], fault_path: FaultPath
+    ) -> ThreadScheduler:
+        """Pin threads to cores and build the round-robin scheduler."""
+        scheduler = ThreadScheduler(self.thread_quantum)
+        self._core_pid_map = {}
+        cores = len(self.cores)
+        next_core = 0
+        for process in workloads:
+            seen = fault_path.seen_for(process.pid)
+            fault = fault_path.handler_for(process.pid)
+            for thread in process.threads:
+                core = thread.core
+                if core < 0:
+                    core = next_core % cores
+                    next_core += 1
+                if core >= cores:
+                    raise ValueError(
+                        f"thread pinned to core {core} but system has "
+                        f"{cores} cores"
+                    )
+                thread.core = core
+                self._core_pid_map[core] = process.pid
+                scheduler.add(
+                    thread.trace.vpns.tolist(),
+                    thread.trace.counts.tolist(),
+                    process.pid,
+                    core,
+                    seen,
+                    fault,
+                )
+        return scheduler
+
+    def _pid_for_core(self, core_id: int) -> int | None:
+        """Process whose thread runs on ``core_id`` (static pinning)."""
+        return self._core_pid_map.get(core_id)
+
+    def _register_metrics(self, registry: MetricsRegistry) -> None:
+        """Register every stats bag of this machine into the registry."""
+        for i, (core, pipeline, ledger) in enumerate(
+            zip(self.cores, self.pipelines, self.ledgers)
+        ):
+            prefix = f"core{i}"
+
+            def provider(core=core, pipeline=pipeline, ledger=ledger,
+                         prefix=prefix) -> dict[str, int]:
+                values = core.stats.as_metrics(prefix)
+                tlb = core.tlb
+                for structure in (tlb.l1_base, tlb.l1_huge, tlb.l1_giga,
+                                  tlb.l2):
+                    values.update(
+                        structure.stats.as_metrics(
+                            f"{prefix}.tlb.{structure.name}"
+                        )
+                    )
+                values.update(ledger.as_metrics(f"{prefix}.cycles"))
+                values.update(pipeline.as_metrics(f"{prefix}.fastpath"))
+                return values
+
+            registry.register(provider)
+        registry.register(self.kernel.metrics)
+
+    # ------------------------------------------------------------------
+    # the promotion interval
+
+    def promotion_tick(self, cores, ledgers):
+        """Fig. 4: dump PCCs, let the kernel promote, apply shootdowns."""
+        records: list[CandidateRecord] = []
+        giga_records: list[CandidateRecord] = []
+        if self.policy is HugePagePolicy.PCC:
+            # §3.3 offers two read styles: the periodic dump-and-clear
+            # (Fig. 4) or an on-demand snapshot that leaves counters
+            # accumulating across intervals.
+            snapshot = self.kernel.params.pcc_dump_mode == "snapshot"
+            for core in cores:
+                pid = self._pid_for_core(core.core_id)
+                if pid is None:
+                    continue
+                entries = (
+                    core.pcc.ranked() if snapshot else core.pcc.flush()
+                )
+                self.dump_region.write(entries, pid=pid, core=core.core_id)
+                if core.pcc_1gb is not None:
+                    giga_entries = (
+                        core.pcc_1gb.ranked()
+                        if snapshot
+                        else core.pcc_1gb.flush()
+                    )
+                    self.dump_region.write(
+                        giga_entries,
+                        pid=pid,
+                        core=core.core_id,
+                        page_size=PageSize.GIGA,
+                    )
+            all_records = self.dump_region.read_all()
+            records = [r for r in all_records if r.page_size is PageSize.HUGE]
+            giga_records = [r for r in all_records if r.page_size is PageSize.GIGA]
+
+        def on_shootdown(pid: int, prefix: int) -> None:
+            for core in cores:
+                core.shootdown(prefix)
+
+        def on_giga_shootdown(pid: int, giga: int) -> None:
+            # a gigabyte of translations is invalidated: a full flush is
+            # the simple, conservative hardware response
+            for core in cores:
+                core.tlb.flush()
+                core.walker.flush_pwc()
+                if core.pcc_1gb is not None:
+                    core.pcc_1gb.invalidate(giga)
+
+        outcome = self.kernel.promotion_tick(
+            pcc_records=records,
+            giga_records=giga_records,
+            on_shootdown=on_shootdown,
+            on_giga_shootdown=on_giga_shootdown,
+        )
+        work = len(outcome.promoted) + len(outcome.demoted)
+        if work and ledgers:
+            # promotion runs on one kernel thread; shootdowns hit all cores
+            ledgers[0].charge_promotions(
+                promotions=len(outcome.promoted),
+                shootdown_broadcasts=outcome.shootdowns,
+                migrated_pages=outcome.pages_migrated,
+                cores=len(ledgers),
+            )
+        return outcome
+
+    # ------------------------------------------------------------------
+    # result collection
+
+    def _collect(self, workloads, ticks: OsTickDriver, walks_by_pid):
+        from repro.engine.simulation import ProcessResult, SimulationResult
+
+        cores = self.cores
+        per_core = [RuntimeBreakdown.of(ledger) for ledger in self.ledgers]
+        serialization = 0
+        if self.serialization_cycles_per_access > 0:
+            total_acc = sum(core.stats.accesses for core in cores)
+            serialization = int(total_acc * self.serialization_cycles_per_access)
+        wall = max((b.total for b in per_core), default=0) + serialization
+
+        processes = []
+        for workload in workloads:
+            table = self.kernel.processes[workload.pid].page_table
+            processes.append(
+                ProcessResult(
+                    pid=workload.pid,
+                    name=workload.name,
+                    accesses=workload.total_accesses,
+                    # Walks are attributed per-pid as quanta retire, so
+                    # processes sharing a core (or running unpinned) do
+                    # not inherit each other's walks.
+                    walks=walks_by_pid.get(workload.pid, 0),
+                    huge_pages=len(table.promoted_regions()),
+                    footprint_regions=workload.footprint_huge_regions(),
+                )
+            )
+        return SimulationResult(
+            policy=self.policy.value,
+            total_cycles=wall,
+            per_core=per_core,
+            processes=processes,
+            accesses=sum(core.stats.accesses for core in cores),
+            walks=sum(core.stats.walks for core in cores),
+            l1_hits=sum(core.stats.l1_hits for core in cores),
+            l2_hits=sum(core.stats.l2_hits for core in cores),
+            promotions=ticks.promotions,
+            demotions=ticks.demotions,
+            promotion_timeline=ticks.promotion_timeline,
+            huge_page_timeline=ticks.huge_page_timeline,
+        )

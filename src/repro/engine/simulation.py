@@ -1,17 +1,20 @@
-"""The online simulation loop.
+"""The online simulation facade.
 
-Drives one or more processes' compressed traces through per-core
-hardware (TLBs, walker, PCCs) against a simulated kernel, with the OS
-promotion tick firing every ``promote_every_accesses`` accesses —
-the simulation analogue of the paper's 30-second interval. Faults are
-taken on first touch (so greedy THP acts at the right moment), and
-promotions performed by the kernel broadcast shootdowns that flow back
-into the TLBs and PCCs, closing the co-design loop.
+Historically this module held the whole run loop; it is now a thin
+facade over :class:`repro.engine.machine.Machine`, which decomposes the
+engine into a thread scheduler, per-core translation pipelines, a fault
+path, and an OS tick driver. :class:`Simulator` keeps the public
+surface every experiment, benchmark, and subclass relies on —
+construction arguments, ``run()``, ``kernel``/``dump_region``
+attributes, and the overridable ``_promotion_tick`` hook — while the
+machine does the work.
 
 Threads are interleaved round-robin in fixed access quanta to model
 concurrent execution; per-core cycle ledgers are kept separately and
 the run's wall-clock proxy is the maximum per-core total plus the
-serialization charge (§5.2's atomics effect).
+serialization charge (§5.2's atomics effect). The OS promotion tick
+fires every ``promote_every_accesses`` accesses — the simulation
+analogue of the paper's 30-second interval.
 """
 
 from __future__ import annotations
@@ -19,12 +22,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config import SystemConfig
-from repro.core.dump import CandidateRecord, DumpRegion
-from repro.engine.cpu import Core
+from repro.engine.machine import Machine
 from repro.engine.system import ProcessWorkload
-from repro.engine.timing import CycleAccounting, RuntimeBreakdown
-from repro.os.kernel import HugePagePolicy, KernelParams, SimulatedKernel
-from repro.vm.address import BASE_PAGE_SHIFT, PageSize
+from repro.engine.timing import RuntimeBreakdown
+from repro.os.kernel import HugePagePolicy, KernelParams
 
 
 @dataclass
@@ -61,6 +62,8 @@ class SimulationResult:
     promotion_timeline: list[tuple[int, int]] = field(default_factory=list)
     #: (pid -> number of THPs) sampled at each interval, for Fig. 9
     huge_page_timeline: list[dict[int, int]] = field(default_factory=list)
+    #: ``repro.metrics/v1`` export of every counter the run registered
+    metrics: dict | None = None
 
     @property
     def walk_rate(self) -> float:
@@ -74,7 +77,14 @@ class SimulationResult:
 
 
 class Simulator:
-    """Online co-design simulation of one machine running workloads."""
+    """Online co-design simulation of one machine running workloads.
+
+    A facade over :class:`~repro.engine.machine.Machine`. The tick
+    indirection is deliberate: the machine calls back through
+    ``self._promotion_tick`` at each interval, so subclasses (the
+    offline replay's scheduled simulator) and monkeypatched ticks keep
+    working exactly as they did against the monolithic loop.
+    """
 
     def __init__(
         self,
@@ -84,269 +94,75 @@ class Simulator:
         fragmentation: float = 0.0,
         thread_quantum: int = 2048,
         serialization_cycles_per_access: float = 0.0,
+        fast_path: bool = True,
     ) -> None:
-        self.config = config
-        self.policy = policy
-        self.kernel = SimulatedKernel(
-            config, policy=policy, params=params, fragmentation=fragmentation
+        self.machine = Machine(
+            config,
+            policy=policy,
+            params=params,
+            fragmentation=fragmentation,
+            thread_quantum=thread_quantum,
+            serialization_cycles_per_access=serialization_cycles_per_access,
+            fast_path=fast_path,
+            # Late-bound so post-construction overrides of
+            # ``_promotion_tick`` (subclass or monkeypatch) take effect.
+            tick_fn=lambda cores, ledgers: self._promotion_tick(cores, ledgers),
         )
-        self.thread_quantum = thread_quantum
-        self.serialization_cycles_per_access = serialization_cycles_per_access
-        self.dump_region = DumpRegion()
+
+    # ------------------------------------------------------------------
+    # delegated surface
+
+    @property
+    def config(self) -> SystemConfig:
+        """The simulated system's configuration."""
+        return self.machine.config
+
+    @property
+    def policy(self) -> HugePagePolicy:
+        """The kernel's huge-page policy."""
+        return self.machine.policy
+
+    @property
+    def kernel(self):
+        """The simulated kernel (processes, page tables, policies)."""
+        return self.machine.kernel
+
+    @property
+    def dump_region(self):
+        """The PCC dump region the OS reads candidates from."""
+        return self.machine.dump_region
+
+    @property
+    def thread_quantum(self) -> int:
+        """Accesses per scheduling quantum."""
+        return self.machine.thread_quantum
+
+    @thread_quantum.setter
+    def thread_quantum(self, value: int) -> None:
+        self.machine.thread_quantum = value
+
+    @property
+    def serialization_cycles_per_access(self) -> float:
+        """Multithread serialization charge per access (§5.2)."""
+        return self.machine.serialization_cycles_per_access
+
+    @serialization_cycles_per_access.setter
+    def serialization_cycles_per_access(self, value: float) -> None:
+        self.machine.serialization_cycles_per_access = value
 
     # ------------------------------------------------------------------
 
     def run(self, workloads: list[ProcessWorkload]) -> SimulationResult:
         """Simulate the workloads to completion and return the result."""
-        self._seen_vpns: dict[int, set[int]] = {}
-        self._assign_ids(workloads)
-        shared_pcc = None
-        if self.config.pcc.shared:
-            if len(workloads) > 1:
-                raise ValueError(
-                    "the shared-PCC design (§3.2.2) cannot attribute "
-                    "candidates across processes; use per-core PCCs"
-                )
-            from repro.core.pcc import PromotionCandidateCache
-
-            shared_pcc = PromotionCandidateCache(self.config.pcc)
-        cores = [
-            Core(self.config, core_id=i, shared_pcc=shared_pcc)
-            for i in range(self.config.cores)
-        ]
-        ledgers = [CycleAccounting(self.config.timing) for _ in cores]
-        threads = self._bind_threads(workloads, cores)
-
-        interval = self.config.os.promote_every_accesses
-        accesses_since_tick = 0
-        promotions = 0
-        demotions = 0
-        promo_timeline: list[tuple[int, int]] = []
-        hp_timeline: list[dict[int, int]] = []
-        total_accesses_done = 0
-
-        # Round-robin over threads in quanta of trace records whose
-        # access counts sum to roughly the thread quantum.
-        cursors = [0] * len(threads)
-        live = [True] * len(threads)
-        # Plain Python lists iterate several times faster than numpy
-        # scalar indexing in this (unavoidably sequential) hot loop.
-        as_lists = [
-            (t.trace.vpns.tolist(), t.trace.counts.tolist()) for (t, _p, _c) in threads
-        ]
-        remaining = sum(len(t.trace.vpns) for (t, _pid, _core) in threads)
-        while remaining > 0:
-            for t_index, (thread, pid, core_id) in enumerate(threads):
-                if not live[t_index]:
-                    continue
-                vpns, counts = as_lists[t_index]
-                start = cursors[t_index]
-                if start >= len(vpns):
-                    live[t_index] = False
-                    continue
-                core = cores[core_id]
-                ledger = ledgers[core_id]
-                table = self.kernel.processes[pid].page_table
-                # Once a VPN has faulted in it stays mapped (promotion
-                # preserves mapped-ness), so a local seen-set avoids a
-                # page-table probe per record.
-                seen = self._seen_vpns.setdefault(pid, set())
-                access_page = core.access_page
-                handle_fault = self.kernel.handle_fault
-                budget = self.thread_quantum
-                i = start
-                n = len(vpns)
-                quantum_accesses = 0
-                quantum_cycles = 0
-                while budget > 0 and i < n:
-                    vpn = vpns[i]
-                    repeat = counts[i]
-                    if vpn not in seen:
-                        seen.add(vpn)
-                        vaddr = vpn << BASE_PAGE_SHIFT
-                        if not table.is_mapped(vaddr):
-                            handle_fault(pid, vaddr)
-                    quantum_cycles += access_page(vpn, table, repeat=repeat)
-                    budget -= repeat
-                    quantum_accesses += repeat
-                    i += 1
-                ledger.charge_translation(quantum_cycles)
-                ledger.charge_accesses(quantum_accesses)
-                accesses_since_tick += quantum_accesses
-                total_accesses_done += quantum_accesses
-                processed = i - start
-                cursors[t_index] = i
-                remaining -= processed
-                huge_z, base_z, migrated = self.kernel.drain_fault_work()
-                ledger.charge_fault_work(huge_z, base_z, migrated)
-
-            if accesses_since_tick >= interval:
-                accesses_since_tick = 0
-                done = self._promotion_tick(cores, ledgers)
-                promotions += len(done.promoted)
-                demotions += len(done.demoted)
-                promo_timeline.append((total_accesses_done, len(done.promoted)))
-                hp_timeline.append(
-                    {
-                        pid: self.kernel.huge_pages_of(pid)
-                        for pid in self.kernel.processes
-                    }
-                )
-
-        # Final tick so trailing candidates are not lost on short runs.
-        done = self._promotion_tick(cores, ledgers)
-        promotions += len(done.promoted)
-        demotions += len(done.demoted)
-        if done.promoted or not hp_timeline:
-            promo_timeline.append((total_accesses_done, len(done.promoted)))
-            hp_timeline.append(
-                {pid: self.kernel.huge_pages_of(pid) for pid in self.kernel.processes}
-            )
-
-        return self._collect(
-            workloads, cores, ledgers, promotions, demotions,
-            promo_timeline, hp_timeline,
-        )
-
-    # ------------------------------------------------------------------
-
-    def _assign_ids(self, workloads: list[ProcessWorkload]) -> None:
-        for process in workloads:
-            if process.pid < 0:
-                process.pid = len(self.kernel.processes) + 1
-            self.kernel.spawn(process.layout, pid=process.pid)
-
-    def _bind_threads(self, workloads, cores):
-        """Flatten workloads to (thread, pid, core) and pin cores."""
-        bound = []
-        self._core_pid_map: dict[int, int] = {}
-        next_core = 0
-        for process in workloads:
-            for thread in process.threads:
-                core = thread.core
-                if core < 0:
-                    core = next_core % len(cores)
-                    next_core += 1
-                if core >= len(cores):
-                    raise ValueError(
-                        f"thread pinned to core {core} but system has "
-                        f"{len(cores)} cores"
-                    )
-                thread.core = core
-                self._core_pid_map[core] = process.pid
-                bound.append((thread, process.pid, core))
-        return bound
+        return self.machine.run(workloads)
 
     def _promotion_tick(self, cores, ledgers):
-        """Fig. 4: dump PCCs, let the kernel promote, apply shootdowns."""
-        records: list[CandidateRecord] = []
-        giga_records: list[CandidateRecord] = []
-        if self.policy is HugePagePolicy.PCC:
-            # §3.3 offers two read styles: the periodic dump-and-clear
-            # (Fig. 4) or an on-demand snapshot that leaves counters
-            # accumulating across intervals.
-            snapshot = self.kernel.params.pcc_dump_mode == "snapshot"
-            for core in cores:
-                pid = self._pid_for_core(core.core_id)
-                if pid is None:
-                    continue
-                entries = (
-                    core.pcc.ranked() if snapshot else core.pcc.flush()
-                )
-                self.dump_region.write(entries, pid=pid, core=core.core_id)
-                if core.pcc_1gb is not None:
-                    giga_entries = (
-                        core.pcc_1gb.ranked()
-                        if snapshot
-                        else core.pcc_1gb.flush()
-                    )
-                    self.dump_region.write(
-                        giga_entries,
-                        pid=pid,
-                        core=core.core_id,
-                        page_size=PageSize.GIGA,
-                    )
-            all_records = self.dump_region.read_all()
-            records = [r for r in all_records if r.page_size is PageSize.HUGE]
-            giga_records = [r for r in all_records if r.page_size is PageSize.GIGA]
+        """Fig. 4: dump PCCs, let the kernel promote, apply shootdowns.
 
-        def on_shootdown(pid: int, prefix: int) -> None:
-            for core in cores:
-                core.shootdown(prefix)
-
-        def on_giga_shootdown(pid: int, giga: int) -> None:
-            # a gigabyte of translations is invalidated: a full flush is
-            # the simple, conservative hardware response
-            for core in cores:
-                core.tlb.flush()
-                core.walker.flush_pwc()
-                if core.pcc_1gb is not None:
-                    core.pcc_1gb.invalidate(giga)
-
-        outcome = self.kernel.promotion_tick(
-            pcc_records=records,
-            giga_records=giga_records,
-            on_shootdown=on_shootdown,
-            on_giga_shootdown=on_giga_shootdown,
-        )
-        work = len(outcome.promoted) + len(outcome.demoted)
-        if work and ledgers:
-            # promotion runs on one kernel thread; shootdowns hit all cores
-            ledgers[0].charge_promotions(
-                promotions=len(outcome.promoted),
-                shootdown_broadcasts=outcome.shootdowns,
-                migrated_pages=outcome.pages_migrated,
-                cores=len(ledgers),
-            )
-        return outcome
+        Overridable: the machine routes every OS tick through here.
+        """
+        return self.machine.promotion_tick(cores, ledgers)
 
     def _pid_for_core(self, core_id: int) -> int | None:
         """Process whose thread runs on ``core_id`` (static pinning)."""
-        return self._core_pid_map.get(core_id)
-
-    def _collect(
-        self, workloads, cores, ledgers, promotions, demotions,
-        promo_timeline, hp_timeline,
-    ) -> SimulationResult:
-        per_core = [RuntimeBreakdown.of(ledger) for ledger in ledgers]
-        serialization = 0
-        if self.serialization_cycles_per_access > 0:
-            total_acc = sum(core.stats.accesses for core in cores)
-            serialization = int(total_acc * self.serialization_cycles_per_access)
-        wall = max((b.total for b in per_core), default=0) + serialization
-
-        processes = []
-        for workload in workloads:
-            table = self.kernel.processes[workload.pid].page_table
-            thread_cores = {
-                t.core for t in workload.threads
-            }
-            walks = sum(
-                cores[c].stats.walks
-                for c in range(len(cores))
-                if c in thread_cores or not thread_cores
-            )
-            processes.append(
-                ProcessResult(
-                    pid=workload.pid,
-                    name=workload.name,
-                    accesses=workload.total_accesses,
-                    walks=walks,
-                    huge_pages=len(table.promoted_regions()),
-                    footprint_regions=workload.footprint_huge_regions(),
-                )
-            )
-        return SimulationResult(
-            policy=self.policy.value,
-            total_cycles=wall,
-            per_core=per_core,
-            processes=processes,
-            accesses=sum(core.stats.accesses for core in cores),
-            walks=sum(core.stats.walks for core in cores),
-            l1_hits=sum(core.stats.l1_hits for core in cores),
-            l2_hits=sum(core.stats.l2_hits for core in cores),
-            promotions=promotions,
-            demotions=demotions,
-            promotion_timeline=promo_timeline,
-            huge_page_timeline=hp_timeline,
-        )
+        return self.machine._pid_for_core(core_id)

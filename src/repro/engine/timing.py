@@ -71,6 +71,15 @@ class CycleAccounting:
             + self.serialization_cycles
         )
 
+    def as_metrics(self, prefix: str) -> dict[str, int]:
+        """Counter readings for the metrics registry, under ``prefix``."""
+        return {
+            f"{prefix}.base_cycles": self.base_cycles,
+            f"{prefix}.translation_cycles": self.translation_cycles,
+            f"{prefix}.kernel_cycles": self.kernel_cycles,
+            f"{prefix}.serialization_cycles": self.serialization_cycles,
+        }
+
     def merge(self, other: "CycleAccounting") -> None:
         """Fold another ledger into this one (aggregate reporting)."""
         self.base_cycles += other.base_cycles

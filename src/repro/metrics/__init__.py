@@ -1,0 +1,39 @@
+"""Unified metrics bus for the simulation engine.
+
+Every statistics bag in the system (per-TLB :class:`~repro.tlb.tlb.TLBStats`,
+per-core :class:`~repro.engine.cpu.CoreStats`, the cycle ledgers, kernel
+fault/promotion counters, and the translation fast path) registers into one
+:class:`MetricsRegistry` per run. The registry offers:
+
+- named monotone :class:`Counter` objects for ad-hoc instrumentation,
+- provider registration for existing counter bags (zero hot-path cost:
+  providers are only read at snapshot time),
+- ``snapshot()`` / ``delta()`` semantics for before/after comparisons,
+- per-interval ``sample()`` records aligned with the OS promotion ticks,
+- a stable-schema JSON export (``repro.metrics/v1``) surfaced as
+  ``SimulationResult.metrics`` and written by
+  ``python -m repro <experiment> --metrics-out FILE``.
+
+The CLI/benchmark side uses :func:`collecting` to gather the per-run
+exports of every simulation executed inside a ``with`` block.
+"""
+
+from repro.metrics.collector import (
+    MetricsCollector,
+    collecting,
+    publish_run,
+)
+from repro.metrics.registry import (
+    SCHEMA,
+    Counter,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "SCHEMA",
+    "Counter",
+    "MetricsRegistry",
+    "MetricsCollector",
+    "collecting",
+    "publish_run",
+]

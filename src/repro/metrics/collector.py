@@ -1,0 +1,58 @@
+"""Session-level collection of per-run metrics exports.
+
+A :class:`MetricsCollector` gathers the export of every simulation run
+executed while it is active (the engine calls :func:`publish_run` at
+the end of each run). The CLI's ``--metrics-out`` and the benchmark
+harness both wrap execution in :func:`collecting` and write the
+aggregate file afterwards.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.metrics.registry import SCHEMA
+
+#: Stack of active collectors (nested ``collecting()`` blocks all receive
+#: published runs; normally there is zero or one).
+_ACTIVE: list["MetricsCollector"] = []
+
+
+class MetricsCollector:
+    """Accumulates the per-run metrics exports of many simulations."""
+
+    def __init__(self) -> None:
+        self.runs: list[dict] = []
+
+    def publish(self, run_export: dict) -> None:
+        """Record one run's :meth:`MetricsRegistry.export` dict."""
+        self.runs.append(run_export)
+
+    def export(self) -> dict:
+        """Aggregate document: schema header plus all collected runs."""
+        return {"schema": SCHEMA, "runs": list(self.runs)}
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the aggregate export to ``path``; returns the path."""
+        path = Path(path)
+        path.write_text(json.dumps(self.export(), indent=2, sort_keys=True))
+        return path
+
+
+@contextmanager
+def collecting():
+    """Collect every simulation run's metrics inside the ``with`` block."""
+    collector = MetricsCollector()
+    _ACTIVE.append(collector)
+    try:
+        yield collector
+    finally:
+        _ACTIVE.remove(collector)
+
+
+def publish_run(run_export: dict) -> None:
+    """Hand one run's export to every active collector (no-op if none)."""
+    for collector in _ACTIVE:
+        collector.publish(run_export)

@@ -156,6 +156,10 @@ class SimulatedKernel:
         self._pending_huge_zeroes = 0
         self._pending_base_zeroes = 0
         self._pending_migrations = 0
+        #: cumulative fault-path counters (metrics registry feed)
+        self.faults_total = 0
+        self.faults_huge_backed = 0
+        self.faults_base_backed = 0
 
     # ------------------------------------------------------------------
     # process management
@@ -193,11 +197,14 @@ class SimulatedKernel:
             used_huge, migrated = self._greedy_thp.handle_fault(
                 process.page_table, vaddr, region_eligible=eligible
             )
+        self.faults_total += 1
         if used_huge:
             self._pending_huge_zeroes += 1
             self._pending_migrations += migrated
+            self.faults_huge_backed += 1
         else:
             self._pending_base_zeroes += 1
+            self.faults_base_backed += 1
 
     def drain_fault_work(self) -> tuple[int, int, int]:
         """(huge_zeroes, base_zeroes, migrated_pages) since last call."""
@@ -275,6 +282,58 @@ class SimulatedKernel:
 
     # ------------------------------------------------------------------
     # reporting
+
+    def metrics(self) -> dict[str, int]:
+        """Kernel counter readings for the metrics registry.
+
+        Includes the fault-path counters plus whichever promotion
+        machinery the active policy runs (so the key set is stable for
+        a fixed policy).
+        """
+        thp = self._greedy_thp.stats
+        out = {
+            "kernel.faults.total": self.faults_total,
+            "kernel.faults.huge_backed": self.faults_huge_backed,
+            "kernel.faults.base_backed": self.faults_base_backed,
+            "kernel.thp.fault_huge": thp.fault_huge,
+            "kernel.thp.fault_base": thp.fault_base,
+            "kernel.thp.fault_huge_failed": thp.fault_huge_failed,
+            "kernel.thp.bloat_pages": thp.bloat_pages,
+        }
+        if self._engine is not None:
+            stats = self._engine.stats
+            out.update(
+                {
+                    "kernel.promotion.intervals": stats.intervals,
+                    "kernel.promotion.candidates_seen": stats.candidates_seen,
+                    "kernel.promotion.promotions": stats.promotions,
+                    "kernel.promotion.failures": stats.promotion_failures,
+                    "kernel.promotion.demotions": stats.demotions,
+                    "kernel.promotion.giga_promotions": stats.giga_promotions,
+                    "kernel.promotion.pages_migrated": stats.pages_migrated,
+                    "kernel.promotion.shootdowns": stats.shootdowns,
+                    "kernel.promotion.bloat_pages": stats.bloat_pages,
+                }
+            )
+        if self._hawkeye is not None:
+            stats = self._hawkeye.stats
+            out.update(
+                {
+                    "kernel.hawkeye.intervals": stats.intervals,
+                    "kernel.hawkeye.pages_scanned": stats.pages_scanned,
+                    "kernel.hawkeye.promotions": stats.promotions,
+                    "kernel.hawkeye.failures": stats.promotion_failures,
+                }
+            )
+        if self._khugepaged is not None:
+            stats = self._khugepaged.stats
+            out.update(
+                {
+                    "kernel.khugepaged.pages_scanned": stats.khugepaged_pages_scanned,
+                    "kernel.khugepaged.promotions": stats.khugepaged_promotions,
+                }
+            )
+        return out
 
     def total_huge_pages(self) -> int:
         """Huge pages currently installed across all processes."""

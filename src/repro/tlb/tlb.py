@@ -38,6 +38,15 @@ class TLBStats:
         """Misses over counted probes."""
         return self.misses / self.accesses if self.accesses else 0.0
 
+    def as_metrics(self, prefix: str) -> dict[str, int]:
+        """Counter readings for the metrics registry, under ``prefix``."""
+        return {
+            f"{prefix}.hits": self.hits,
+            f"{prefix}.misses": self.misses,
+            f"{prefix}.evictions": self.evictions,
+            f"{prefix}.invalidations": self.invalidations,
+        }
+
 
 class TLB:
     """One set-associative translation structure."""
@@ -47,15 +56,24 @@ class TLB:
         self.name = name
         self.stats = TLBStats()
         # One ordered dict per set: tag -> page-size shift of the entry.
+        # Tags are non-negative, so ``tag % nsets`` equals the bit-mask
+        # index for power-of-two set counts — one indexing path serves
+        # both geometries.
         self._sets: list[dict[int, int]] = [dict() for _ in range(config.sets)]
         self._nsets = config.sets
         self._ways = config.ways
-        mask = config.sets - 1
-        self._mask = mask if (config.sets & mask) == 0 else -1
+
+    @property
+    def sets(self) -> list[dict[int, int]]:
+        """The per-set entry dicts (read-only use: fast-path probing)."""
+        return self._sets
+
+    @property
+    def nsets(self) -> int:
+        """Number of sets (the modulus of :meth:`_set_for`)."""
+        return self._nsets
 
     def _set_for(self, tag: int) -> dict[int, int]:
-        if self._mask >= 0:
-            return self._sets[tag & self._mask]
         return self._sets[tag % self._nsets]
 
     def lookup(self, tag: int) -> bool:
@@ -74,9 +92,7 @@ class TLB:
     def hit_fast(self, tag: int) -> bool:
         """Hot-path probe: refresh LRU and count a hit, but leave miss
         accounting to the caller (the hierarchy attributes misses)."""
-        entries = self._sets[tag & self._mask] if self._mask >= 0 else self._sets[
-            tag % self._nsets
-        ]
+        entries = self._set_for(tag)
         size = entries.get(tag)
         if size is None:
             return False

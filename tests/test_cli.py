@@ -42,6 +42,24 @@ class TestExecution:
         assert "4KB baseline" in out
         assert "PCC" in out
 
+    def test_metrics_out_writes_aggregate(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert cli.main(
+            ["--metrics-out", str(path), "compare", "--app", "BFS"]
+        ) == 0
+        assert "metrics: 5 runs" in capsys.readouterr().out
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro.metrics/v1"
+        # compare sweeps five policies -> five runs, one export each
+        assert len(doc["runs"]) == 5
+        policies = [run["meta"]["policy"] for run in doc["runs"]]
+        assert policies[0] == "none" and "pcc" in policies
+        for run in doc["runs"]:
+            assert run["schema"] == "repro.metrics/v1"
+            assert "core0.tlb.L1-4K.hits" in run["counters"]
+
     def test_fig1_subset(self, capsys):
         assert cli.main(["fig1", "--apps", "mcf"]) == 0
         assert "mcf" in capsys.readouterr().out

@@ -1,0 +1,155 @@
+"""The metrics bus: registry semantics and the stable export schema."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import tiny_config
+from repro.engine.simulation import Simulator
+from repro.metrics import (
+    SCHEMA,
+    Counter,
+    MetricsCollector,
+    MetricsRegistry,
+    collecting,
+    publish_run,
+)
+from repro.os.kernel import HugePagePolicy
+from tests.conftest import make_workload
+
+BASE = 0x5555_5540_0000
+
+
+def _addresses(pages):
+    return np.uint64(BASE) + np.array(pages, dtype=np.uint64) * np.uint64(4096)
+
+
+class TestCounter:
+    def test_monotone(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            Counter("x").add(-1)
+
+
+class TestRegistry:
+    def test_counter_is_idempotent_per_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_snapshot_merges_counters_and_providers_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z.late").add(2)
+        registry.register(lambda: {"a.early": 7})
+        snap = registry.snapshot()
+        assert snap == {"a.early": 7, "z.late": 2}
+        assert list(snap) == ["a.early", "z.late"]
+
+    def test_delta_against_prior_snapshot(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("hits")
+        before = registry.snapshot()
+        counter.add(3)
+        assert registry.delta(before) == {"hits": 3}
+
+    def test_sample_and_export_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("n").add(1)
+        registry.sample(at=10)
+        registry.counter("n").add(1)
+        doc = registry.export(meta={"policy": "pcc"})
+        assert doc["schema"] == SCHEMA
+        assert doc["meta"] == {"policy": "pcc"}
+        assert doc["counters"] == {"n": 2}
+        assert doc["samples"] == [{"at": 10, "counters": {"n": 1}}]
+
+    def test_write_json_round_trips(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").add(1)
+        path = registry.write_json(tmp_path / "m.json")
+        assert json.loads(path.read_text())["counters"] == {"n": 1}
+
+
+class TestCollector:
+    def test_collecting_captures_published_runs(self):
+        with collecting() as collector:
+            publish_run({"schema": SCHEMA, "counters": {"x": 1}})
+        assert len(collector.runs) == 1
+        assert collector.export()["schema"] == SCHEMA
+
+    def test_publish_without_collector_is_noop(self):
+        publish_run({"schema": SCHEMA})  # must not raise
+
+    def test_nested_collectors_both_receive(self):
+        with collecting() as outer, collecting() as inner:
+            publish_run({"run": 1})
+        assert outer.runs == inner.runs == [{"run": 1}]
+
+    def test_write_json(self, tmp_path):
+        collector = MetricsCollector()
+        collector.publish({"run": 1})
+        path = collector.write_json(tmp_path / "agg.json")
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == SCHEMA
+        assert doc["runs"] == [{"run": 1}]
+
+
+class TestSimulationExportSchema:
+    """Stable keys, monotone counters, samples aligned with timelines."""
+
+    def _run(self, pages=None, **kwargs):
+        if pages is None:
+            pages = list(range(150)) * 4
+        simulator = Simulator(
+            tiny_config(), policy=HugePagePolicy.PCC,
+            **kwargs,
+        )
+        simulator.thread_quantum = 64  # many rounds -> many ticks
+        return simulator.run([make_workload(_addresses(pages))])
+
+    def test_schema_header_and_meta(self):
+        metrics = self._run().metrics
+        assert metrics["schema"] == SCHEMA
+        assert metrics["meta"]["policy"] == "pcc"
+        assert metrics["meta"]["cores"] == 1
+        assert metrics["meta"]["processes"] == [1]
+
+    def test_key_set_is_stable_across_runs(self):
+        first = self._run().metrics
+        second = self._run().metrics
+        assert set(first["counters"]) == set(second["counters"])
+        # spot-check the documented families
+        names = set(first["counters"])
+        assert "core0.accesses" in names
+        assert "core0.tlb.L1-4K.hits" in names
+        assert "core0.cycles.translation_cycles" in names
+        assert "core0.fastpath.fast_hits" in names
+        assert "kernel.faults.total" in names
+        assert "kernel.promotion.promotions" in names
+
+    def test_counters_are_monotone_across_samples(self):
+        metrics = self._run().metrics
+        assert len(metrics["samples"]) >= 2
+        previous = {}
+        for sample in metrics["samples"] + [
+            {"at": None, "counters": metrics["counters"]}
+        ]:
+            for name, value in sample["counters"].items():
+                assert value >= previous.get(name, 0), name
+            previous = sample["counters"]
+
+    def test_samples_align_with_promotion_timeline(self):
+        result = self._run()
+        sample_ats = [s["at"] for s in result.metrics["samples"]]
+        assert sample_ats == [at for at, _ in result.promotion_timeline]
+
+    def test_every_sample_has_the_full_key_set(self):
+        metrics = self._run().metrics
+        names = set(metrics["counters"])
+        for sample in metrics["samples"]:
+            assert set(sample["counters"]) == names
