@@ -1,20 +1,31 @@
-"""Perf smoke gate: quick-scale BFS wall time vs a committed baseline.
+"""Perf smoke gate and trajectory artifact for the simulation engine.
 
 Runs the PCC-policy simulation of the quick-scale BFS workload (the
-same one the figures sweep) and compares wall time against
-``benchmarks/perf_baseline.json``. The gate fails when the measured
-time exceeds ``baseline * --max-ratio`` — a coarse tripwire for
-accidental hot-loop regressions, deliberately loose enough to tolerate
-CI machine jitter.
+same one the figures sweep) on the batched engine and compares wall
+time against ``benchmarks/perf_baseline.json``. The gate fails when
+the measured time exceeds ``baseline * --max-ratio`` — a coarse
+tripwire for accidental hot-loop regressions, deliberately loose
+enough to tolerate CI machine jitter.
+
+Beyond the gate, the script measures the full engine story:
+
+* ``--engines`` times all three translation tiers — scalar (the
+  per-access object path), fast (the MRU memo path), and batch (the
+  vectorized bulk-retire path) — and reports accesses/second for each.
+* ``--verify-equivalence`` asserts the three tiers produce bit-identical
+  simulation statistics (the property the batch path is built on).
+* ``--jobs N`` times the quick-scale fig7 fragmentation sweep serially
+  and with an ``N``-worker fan-out sharing the content-addressed trace
+  cache, reporting the speedup.
+* ``--bench-out FILE`` writes everything measured as a JSON trajectory
+  artifact (e.g. ``BENCH_2.json``) so perf history accumulates per PR.
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py              # gate
     PYTHONPATH=src python scripts/perf_smoke.py --update     # re-baseline
-    PYTHONPATH=src python scripts/perf_smoke.py --compare-fast-path
-
-``--compare-fast-path`` additionally times the run with the translation
-fast path disabled and reports the speedup ratio (informational).
+    PYTHONPATH=src python scripts/perf_smoke.py --engines --verify-equivalence
+    PYTHONPATH=src python scripts/perf_smoke.py --jobs 4 --bench-out BENCH_2.json
 """
 
 from __future__ import annotations
@@ -22,6 +33,8 @@ from __future__ import annotations
 import argparse
 import copy
 import json
+import os
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -29,22 +42,15 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO / "benchmarks" / "perf_baseline.json"
 
-
-def _timed_run(workload, config, fast_path: bool) -> float:
-    from repro.engine.simulation import Simulator
-    from repro.os.kernel import HugePagePolicy
-
-    simulator = Simulator(
-        config, policy=HugePagePolicy.PCC, fast_path=fast_path
-    )
-    run_workload = copy.deepcopy(workload)
-    start = time.perf_counter()
-    simulator.run([run_workload])
-    return time.perf_counter() - start
+#: engine tier -> Simulator(fast_path=, batch=) switches
+ENGINE_TIERS = {
+    "scalar": {"fast_path": False, "batch": False},
+    "fast": {"fast_path": True, "batch": False},
+    "batch": {"fast_path": True, "batch": True},
+}
 
 
-def measure(rounds: int, fast_path: bool = True) -> float:
-    """Best-of-``rounds`` wall time of the quick BFS PCC simulation."""
+def _quick_workload():
     from repro.experiments.common import QUICK, build_named_workload, config_for
 
     workload = build_named_workload(
@@ -52,11 +58,149 @@ def measure(rounds: int, fast_path: bool = True) -> float:
         graph_scale=QUICK.graph_scale,
         proxy_accesses=QUICK.proxy_accesses,
     )
-    config = config_for(workload)
+    return workload, config_for(workload)
+
+
+def _timed_run(workload, config, tier: str):
+    from repro.engine.simulation import Simulator
+    from repro.os.kernel import HugePagePolicy
+
+    simulator = Simulator(config, policy=HugePagePolicy.PCC, **ENGINE_TIERS[tier])
+    run_workload = copy.deepcopy(workload)
+    start = time.perf_counter()
+    result = simulator.run([run_workload])
+    return time.perf_counter() - start, result
+
+
+def measure(rounds: int, tier: str = "batch") -> dict:
+    """Best-of-``rounds`` timing of the quick BFS PCC simulation."""
+    workload, config = _quick_workload()
     # One warmup run takes trace construction and imports out of the
     # measurement; best-of-N suppresses scheduler noise.
-    _timed_run(workload, config, fast_path)
-    return min(_timed_run(workload, config, fast_path) for _ in range(rounds))
+    _, result = _timed_run(workload, config, tier)
+    seconds = min(_timed_run(workload, config, tier)[0] for _ in range(rounds))
+    return {
+        "seconds": round(seconds, 3),
+        "accesses": result.accesses,
+        "accesses_per_sec": round(result.accesses / seconds),
+    }
+
+
+def _fingerprint(result) -> tuple:
+    return (
+        result.policy,
+        result.total_cycles,
+        result.accesses,
+        result.walks,
+        result.l1_hits,
+        result.l2_hits,
+        result.promotions,
+        result.demotions,
+        result.promotion_timeline,
+        result.per_core,
+    )
+
+
+def verify_equivalence() -> bool:
+    """All three engine tiers must report bit-identical statistics."""
+    workload, config = _quick_workload()
+    prints = {
+        tier: _fingerprint(_timed_run(workload, config, tier)[1])
+        for tier in ENGINE_TIERS
+    }
+    ok = prints["scalar"] == prints["fast"] == prints["batch"]
+    status = "bit-identical" if ok else "DIVERGED"
+    print(f"equivalence (scalar vs fast vs batch): {status}")
+    if not ok:
+        for tier, fp in prints.items():
+            print(f"  {tier}: {fp}", file=sys.stderr)
+    return ok
+
+
+def measure_cache(rounds: int) -> dict:
+    """Trace-cache effectiveness: cold build vs cached memory-mapped load."""
+    import tempfile
+
+    from repro.experiments.common import QUICK, _cached_workload
+    from repro.trace.cache import CACHE_DIR_ENV
+
+    args = ("BFS", "kronecker", QUICK.graph_scale, QUICK.proxy_accesses, False, None)
+    with tempfile.TemporaryDirectory(prefix="repro-perf-cache-") as tmp:
+        previous = os.environ.get(CACHE_DIR_ENV)
+        os.environ[CACHE_DIR_ENV] = tmp
+        try:
+            _cached_workload.cache_clear()
+            start = time.perf_counter()
+            _cached_workload(*args)
+            cold = time.perf_counter() - start
+            warm = []
+            for _ in range(rounds):
+                _cached_workload.cache_clear()
+                start = time.perf_counter()
+                _cached_workload(*args)
+                warm.append(time.perf_counter() - start)
+            _cached_workload.cache_clear()
+        finally:
+            if previous is None:
+                del os.environ[CACHE_DIR_ENV]
+            else:
+                os.environ[CACHE_DIR_ENV] = previous
+    best_warm = min(warm)
+    lookups = 1 + rounds  # one miss, then all hits
+    return {
+        "cold_build_seconds": round(cold, 3),
+        "cached_load_seconds": round(best_warm, 3),
+        "load_speedup": round(cold / best_warm, 1) if best_warm else None,
+        "hit_rate": round(rounds / lookups, 4),
+    }
+
+
+def _timed_cli(args: list[str]) -> float:
+    """Wall time of one fresh-interpreter ``python -m repro`` run."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    start = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        check=True,
+        cwd=REPO,
+        env=env,
+        stdout=subprocess.DEVNULL,
+    )
+    return time.perf_counter() - start
+
+
+def measure_fan_out(jobs: int, cache_dir: str | None = None) -> dict:
+    """Quick fig7 fragmentation sweep: serial vs ``--jobs`` fan-out.
+
+    Both runs start a fresh interpreter (cold lru caches) and share one
+    trace-cache directory, so the comparison isolates the fan-out win
+    from trace-generation amortization.
+    """
+    import tempfile
+
+    from repro.trace.cache import CACHE_DIR_ENV
+
+    with tempfile.TemporaryDirectory(prefix="repro-perf-fig7-") as tmp:
+        previous = os.environ.get(CACHE_DIR_ENV)
+        os.environ[CACHE_DIR_ENV] = cache_dir or tmp
+        try:
+            serial = _timed_cli(["--scale", "quick", "fig7"])
+            parallel = _timed_cli(
+                ["--scale", "quick", "--jobs", str(jobs), "fig7"]
+            )
+        finally:
+            if previous is None:
+                del os.environ[CACHE_DIR_ENV]
+            else:
+                os.environ[CACHE_DIR_ENV] = previous
+    return {
+        "sweep": "fig7 quick, 3 apps x 5 configs",
+        "jobs": jobs,
+        "serial_seconds": round(serial, 3),
+        "parallel_seconds": round(parallel, 3),
+        "speedup": round(serial / parallel, 2),
+    }
 
 
 def main(argv=None) -> int:
@@ -76,47 +220,125 @@ def main(argv=None) -> int:
         help="rewrite the committed baseline from this machine",
     )
     parser.add_argument(
-        "--compare-fast-path",
+        "--engines",
         action="store_true",
-        help="also time the run with the fast path disabled",
+        help="also time the scalar and fast tiers (informational)",
+    )
+    parser.add_argument(
+        "--verify-equivalence",
+        action="store_true",
+        help="assert scalar/fast/batch statistics are bit-identical",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="also time the quick fig7 sweep serial vs an N-worker fan-out",
+    )
+    parser.add_argument(
+        "--bench-out",
+        metavar="FILE",
+        help="write a JSON trajectory artifact (e.g. BENCH_2.json)",
     )
     args = parser.parse_args(argv)
 
-    seconds = measure(args.rounds)
-    print(f"quick BFS (PCC): {seconds:.3f}s best of {args.rounds}")
+    artifact: dict = {
+        "benchmark": "perf smoke trajectory",
+        "workload": "quick BFS, PCC policy",
+        "rounds": args.rounds,
+        # Parallel speedups are bounded by the host: a fan-out cannot
+        # beat serial on a single-CPU machine, so readers need this to
+        # interpret the fig7 numbers.
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "schedulable_cpus": len(os.sched_getaffinity(0))
+            if hasattr(os, "sched_getaffinity")
+            else None,
+        },
+    }
 
-    if args.compare_fast_path:
-        slow = measure(args.rounds, fast_path=False)
+    tiers = {"batch": measure(args.rounds, "batch")}
+    if args.engines:
+        for tier in ("fast", "scalar"):
+            tiers[tier] = measure(args.rounds, tier)
+    artifact["engine_tiers"] = tiers
+    for tier, numbers in tiers.items():
         print(
-            f"fast path off:   {slow:.3f}s "
-            f"(speedup {slow / seconds:.2f}x with fast path)"
+            f"{tier:>6}: {numbers['seconds']:.3f}s best of {args.rounds} "
+            f"({numbers['accesses_per_sec']:,} accesses/s)"
         )
 
+    status = 0
+    if args.verify_equivalence:
+        ok = verify_equivalence()
+        artifact["equivalence"] = "bit-identical" if ok else "diverged"
+        if not ok:
+            status = 1
+
+    artifact["trace_cache"] = measure_cache(max(1, args.rounds - 1))
+    print(
+        "trace cache: cold build "
+        f"{artifact['trace_cache']['cold_build_seconds']:.3f}s, cached load "
+        f"{artifact['trace_cache']['cached_load_seconds']:.3f}s "
+        f"(hit rate {artifact['trace_cache']['hit_rate']:.0%})"
+    )
+
+    if args.jobs:
+        fan = measure_fan_out(args.jobs)
+        artifact["fig7_fan_out"] = fan
+        print(
+            f"fig7 quick: serial {fan['serial_seconds']:.1f}s vs "
+            f"--jobs {args.jobs} {fan['parallel_seconds']:.1f}s "
+            f"({fan['speedup']:.2f}x)"
+        )
+
+    seconds = tiers["batch"]["seconds"]
     if args.update:
-        BASELINE_PATH.write_text(
-            json.dumps(
-                {
-                    "benchmark": "quick BFS, PCC policy, best-of-3",
-                    "seconds": round(seconds, 3),
-                },
-                indent=2,
-            )
-            + "\n"
+        previous = {}
+        if BASELINE_PATH.exists():
+            previous = json.loads(BASELINE_PATH.read_text())
+        record = {
+            "benchmark": f"quick BFS, PCC policy, best-of-{args.rounds}, "
+            "batched engine",
+            "seconds": seconds,
+            "engine": "batch",
+        }
+        # keep the pre-batching scalar-era baseline for comparison
+        legacy = previous.get("scalar_baseline") or (
+            {"benchmark": previous["benchmark"], "seconds": previous["seconds"]}
+            if previous.get("engine") is None and "seconds" in previous
+            else None
         )
+        if legacy:
+            record["scalar_baseline"] = legacy
+        BASELINE_PATH.write_text(json.dumps(record, indent=2) + "\n")
         print(f"baseline updated -> {BASELINE_PATH}")
-        return 0
-
-    if not BASELINE_PATH.exists():
+    elif not BASELINE_PATH.exists():
         print(f"no baseline at {BASELINE_PATH}; run with --update", file=sys.stderr)
         return 2
-    baseline = json.loads(BASELINE_PATH.read_text())["seconds"]
-    ratio = seconds / baseline
-    print(f"baseline {baseline:.3f}s -> ratio {ratio:.2f} (max {args.max_ratio})")
-    if ratio > args.max_ratio:
-        print("perf smoke FAILED: hot path regressed", file=sys.stderr)
-        return 1
-    print("perf smoke OK")
-    return 0
+    else:
+        baseline = json.loads(BASELINE_PATH.read_text())["seconds"]
+        ratio = seconds / baseline
+        artifact["gate"] = {
+            "baseline_seconds": baseline,
+            "measured_seconds": seconds,
+            "ratio": round(ratio, 2),
+            "max_ratio": args.max_ratio,
+        }
+        print(f"baseline {baseline:.3f}s -> ratio {ratio:.2f} (max {args.max_ratio})")
+        if ratio > args.max_ratio:
+            print("perf smoke FAILED: hot path regressed", file=sys.stderr)
+            status = 1
+
+    if args.bench_out:
+        out = Path(args.bench_out)
+        out.write_text(json.dumps(artifact, indent=2) + "\n")
+        print(f"trajectory artifact -> {out}")
+
+    if status == 0:
+        print("perf smoke OK")
+    return status
 
 
 if __name__ == "__main__":

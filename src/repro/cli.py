@@ -3,8 +3,8 @@
 Runs one of the paper's experiments and prints the same rows/series the
 corresponding figure or table reports. Example::
 
-    python -m repro fig7 --scale quick --apps BFS,PR
-    python -m repro fig5 --budgets 0,4,100
+    python -m repro --scale quick fig7 --apps BFS,PR
+    python -m repro --jobs 4 fig5 --budgets 0,4,100
     python -m repro table1
     python -m repro compare --app BFS --fragmentation 0.5
 """
@@ -53,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="write a repro.metrics/v1 JSON aggregate of every "
         "simulation run performed by the command",
+    )
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run independent configurations across N worker processes "
+        "(0 = all cores; default: $REPRO_JOBS or serial). Workers share "
+        "traces through the on-disk cache ($REPRO_TRACE_CACHE or "
+        "~/.cache/repro-traces).",
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
@@ -179,34 +190,45 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 
 def _dispatch(args, scale: ExperimentScale) -> int:
+    jobs = getattr(args, "jobs", None)
     if args.experiment == "fig1":
-        print(fig1.render(fig1.run(scale, apps=_split(args.apps))))
+        print(fig1.render(fig1.run(scale, apps=_split(args.apps), jobs=jobs)))
     elif args.experiment == "fig2":
         print(fig2.render(fig2.run(scale)))
     elif args.experiment == "fig5":
         from repro.analysis.utility import BUDGET_PERCENTS
 
         budgets = _int_tuple(args.budgets, BUDGET_PERCENTS)
-        print(fig5.render(fig5.run(scale, apps=_split(args.apps), budgets=budgets)))
+        print(
+            fig5.render(
+                fig5.run(scale, apps=_split(args.apps), budgets=budgets, jobs=jobs)
+            )
+        )
     elif args.experiment == "fig6":
-        print(fig6.render(fig6.run(scale)))
+        print(fig6.render(fig6.run(scale, jobs=jobs)))
     elif args.experiment == "fig7":
         apps = tuple(_split(args.apps) or ("BFS", "SSSP", "PR"))
-        rows = fig7.run(scale, apps=apps, fragmentation=args.fragmentation)
+        rows = fig7.run(
+            scale, apps=apps, fragmentation=args.fragmentation, jobs=jobs
+        )
         print(fig7.render(rows, fragmentation=args.fragmentation))
     elif args.experiment == "fig8":
-        print(fig8.render(fig8.run(scale)))
+        print(fig8.render(fig8.run(scale, jobs=jobs)))
     elif args.experiment == "fig9":
         pair = _split(args.pair)
         if not pair or len(pair) != 2:
             raise SystemExit("--pair needs exactly two apps, e.g. PR,mcf")
-        print(fig9.render(fig9.run_case(pair[0], pair[1], scale)))
+        print(fig9.render(fig9.run_case(pair[0], pair[1], scale, jobs=jobs)))
     elif args.experiment == "table1":
         print(tables.render_table1(tables.run_table1(scale)))
         print()
         print(tables.render_table2())
     elif args.experiment == "ablations":
-        print(ablations.render_replacement(ablations.run_replacement(scale)))
+        print(
+            ablations.render_replacement(
+                ablations.run_replacement(scale, jobs=jobs)
+            )
+        )
         print()
         print(ablations.render_pwc(ablations.run_pwc(scale)))
     elif args.experiment == "compare":

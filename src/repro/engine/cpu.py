@@ -71,9 +71,18 @@ class Core:
             else None
         )
         self.stats = CoreStats()
-        # Hot-path constants hoisted out of the config dataclasses.
+        # Hot-path constants and bound methods hoisted out of the
+        # config dataclasses / object graph: translate() runs per TLB
+        # probe and each saved attribute chain is two dict lookups.
         self._l1_hit_cycles = config.timing.l1_tlb_hit_cycles
         self._l2_hit_cycles = config.timing.l2_tlb_hit_cycles
+        self._tlb_lookup = self.tlb.lookup
+        self._tlb_fill = self.tlb.fill
+        self._walker_walk = self.walker.walk
+        self._pcc_access = self.pcc.access
+        self._pcc_1gb_access = (
+            self.pcc_1gb.access if self.pcc_1gb is not None else None
+        )
 
     def translate(self, vpn: int, page_table: PageTable, repeat: int = 1):
         """Simulate ``repeat`` consecutive accesses to 4KB page ``vpn``.
@@ -92,7 +101,7 @@ class Core:
         """
         stats = self.stats
         stats.accesses += repeat
-        result = self.tlb.lookup(vpn)
+        result = self._tlb_lookup(vpn)
         extra_hits = repeat - 1
         level = result.level
         if level is HitLevel.L1:
@@ -109,21 +118,22 @@ class Core:
 
         # Full hierarchy miss: hardware walk + PCC admission (Fig. 3).
         vaddr = vpn << BASE_PAGE_SHIFT
-        walk = self.walker.walk(vaddr, page_table)
+        walk = self._walker_walk(vaddr, page_table)
         stats.walks += 1
         stats.l1_hits += extra_hits
         cycles = walk.cycles + self._l1_hit_cycles * extra_hits
         if walk.pcc_2mb_candidate is not None:
-            self.pcc.access(
+            self._pcc_access(
                 walk.pcc_2mb_candidate, promoted_leaf=walk.leaf_is_promoted
             )
-        if self.pcc_1gb is not None and walk.pcc_1gb_candidate is not None:
-            self.pcc_1gb.access(
+        if self._pcc_1gb_access is not None and walk.pcc_1gb_candidate is not None:
+            self._pcc_1gb_access(
                 walk.pcc_1gb_candidate, promoted_leaf=walk.leaf_is_promoted
             )
-        self.tlb.fill(vpn, walk.mapping.page_size)
-        self.stats.translation_cycles += cycles
-        return cycles, level, walk.mapping.page_size
+        page_size = walk.mapping.page_size
+        self._tlb_fill(vpn, page_size)
+        stats.translation_cycles += cycles
+        return cycles, level, page_size
 
     def access_page(self, vpn: int, page_table: PageTable, repeat: int = 1) -> int:
         """Cycles for ``repeat`` accesses to ``vpn`` (see :meth:`translate`)."""

@@ -46,9 +46,64 @@ and fills/refills update the affected set's hint in the same step, so
 the fast path is bit-identical to the slow path — the property tests
 assert equal walks, hits, cycles, and promotions with the memo on and
 off.
+
+The batched address stream
+--------------------------
+
+``batch=True`` (the default, requiring the fast path) lifts the tier-1
+memo check out of Python entirely. Each thread keeps NumPy views of its
+compressed trace — the uint64 VPN array, precomputed L1 set indices and
+2MB region tags, and a prefix-sum of the repeat counts — so a quantum's
+record window falls out of one ``searchsorted`` over the prefix sums
+(the record-r-runs-iff-cumulative-accesses-before-r-is-under-budget
+rule, vectorized). The pipeline then computes, **once per window**, a
+*retirement mask* marking every record that is guaranteed to be a
+tier-1 hint hit when the cursor reaches it; runs of marked records are
+*retired in bulk* — counters advance by the run's record and access
+totals, hit cycles are one multiply, and no per-record Python executes
+— while the gaps between runs go through the scalar tier-2/slow loop.
+
+The mask is assembled from three ingredients, none of which require
+per-window sorting. First, a trace-static *link array* per structure
+(computed once per thread when it binds to a core): for each record,
+the index of the most recent earlier record mapping to the same L1 set,
+kept only when that record carried the same tag. Second, a run-time
+*hint barrier* per thread: links pointing before the barrier are dead,
+because the hints were wholesale-invalidated (epoch bump after an OS
+tick) or another thread's quantum rewrote them (multi-thread cores)
+since the predecessor executed. Third, each 2MB region's *mapping
+state*, memoized per epoch in a dense array indexed by a precomputed
+region index: a 4K-backed region (base PTEs, not promoted) marks
+same-VPN repeats, a huge-backed region marks same-region-tag repeats,
+and anything else (untouched regions, 1GB-backed regions) is left to
+the scalar span.
+
+Exactness follows from two invariants. *(a)* Region state is stable
+within an epoch except for untouched regions being backed by a fault —
+promotions, demotions, collapses, and 1GB promotions happen only
+inside OS ticks, every tick bumps the epoch, and fault handlers refuse
+to huge-map a region that already holds base PTEs; the memo never
+marks a region it sampled as untouched, so mid-epoch fault transitions
+only ever cost retirement coverage, not correctness. *(b)* Every
+access to a page of a 4K-backed (resp. huge-backed) region leaves its
+VPN (resp. region tag) as its set's MRU hint — tier 1 by definition,
+tier 2 and the slow path explicitly. So when the cursor reaches a
+marked record, its live-linked predecessor has already installed
+exactly the hint the mark promises, whether that predecessor was
+itself bulk-retired or ran scalar. A marked record in a huge-backed
+region also safely skips the scalar loop's 4K-set probe and
+first-touch check: a huge-mapped region cannot hold 4K L1 entries
+(promotion shoots them down; ``PageTable.map_huge`` refuses a region
+with base PTEs) and every page in it is mapped, so no fault could
+fire. The batched path therefore produces bit-identical
+``SimulationResult`` stats — property-tested against both the scalar
+reference and the per-record fast path. ``batch=False`` is the escape
+hatch selecting the per-record loops.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.dump import CandidateRecord, DumpRegion
@@ -60,23 +115,94 @@ from repro.os.kernel import HugePagePolicy, KernelParams, SimulatedKernel
 from repro.tlb.hierarchy import HitLevel
 from repro.vm.address import (
     BASE_PAGE_SHIFT,
+    GIGA_PAGE_SHIFT,
     HUGE_PAGE_SHIFT,
     PageSize,
 )
 
 #: VPN -> 2MB region tag shift.
 _HUGE_SHIFT = HUGE_PAGE_SHIFT - BASE_PAGE_SHIFT
+#: 2MB region tag -> 1GB region tag shift.
+_GIGA_SHIFT = GIGA_PAGE_SHIFT - HUGE_PAGE_SHIFT
+
+# 2MB-region mapping states sampled at batch-window start. Only BASE
+# and HUGE regions participate in bulk retirement; EMPTY regions can
+# change state mid-quantum (a first-touch fault may huge-map them) and
+# OTHER (1GB-backed) regions are answered by a TLB structure the MRU
+# hints do not cover.
+_REGION_EMPTY = 0
+_REGION_BASE = 1
+_REGION_HUGE = 2
+_REGION_OTHER = 3
+
+
+def _region_mapping_state(page_table, tag: int) -> int:
+    """Classify 2MB region ``tag``'s mapping for the batch-window mask."""
+    if page_table.is_giga_promoted(tag >> _GIGA_SHIFT):
+        return _REGION_OTHER
+    if page_table.is_promoted(tag):
+        return _REGION_HUGE
+    if page_table.region_base_pages(tag):
+        return _REGION_BASE
+    return _REGION_EMPTY
+
+
+def _prev_same_tag_links(sets: np.ndarray, tags: np.ndarray) -> np.ndarray:
+    """Per record: index of the previous same-set record, if same tag.
+
+    ``links[r]`` is the index of the most recent earlier record mapping
+    to the same L1 set when that record carried the same tag, else
+    ``-1``. One stable argsort groups records by set index while
+    preserving program order within each set, so the link array falls
+    out of adjacent-in-sorted-order comparison. The relation is a
+    property of the trace alone; it is computed once per thread and
+    every batch window reuses it (a record is a guaranteed tier-1 hit
+    iff its link clears the run-time hint barrier and its region's
+    mapping state selects the structure — see ``_window_retire_mask``).
+    """
+    # Stable argsort on a narrow unsigned key selects numpy's radix
+    # sort — an order of magnitude faster than the comparison sort the
+    # native index dtype would get (set counts are small powers of two).
+    nsets = int(sets.max()) + 1 if sets.size else 1
+    if nsets <= 256:
+        sort_keys = sets.astype(np.uint8)
+    elif nsets <= 65536:
+        sort_keys = sets.astype(np.uint16)
+    else:  # pragma: no cover - no modelled TLB has 64K+ sets
+        sort_keys = sets
+    order = np.argsort(sort_keys, kind="stable")
+    grouped_sets = sets[order]
+    grouped_tags = tags[order]
+    same = np.empty(order.size, dtype=bool)
+    same[0] = False
+    np.logical_and(
+        grouped_sets[1:] == grouped_sets[:-1],
+        grouped_tags[1:] == grouped_tags[:-1],
+        out=same[1:],
+    )
+    links_sorted = np.full(order.size, -1, dtype=np.int64)
+    matched = same[1:]
+    links_sorted[1:][matched] = order[:-1][matched]
+    links = np.empty(order.size, dtype=np.int64)
+    links[order] = links_sorted
+    return links
 
 
 class _ThreadSlot:
     """One schedulable thread: trace cursor plus pinned identities."""
 
     __slots__ = ("vpns", "counts", "cursor", "length", "pid", "core_id",
-                 "seen", "fault", "live")
+                 "seen", "fault", "live", "np_vpns", "cum", "bsets",
+                 "htags", "hsets", "prev_base", "prev_huge", "region_ridx",
+                 "region_tags", "region_state_arr", "hint_barrier",
+                 "batch_epoch", "adapt_seen", "adapt_retired", "batch_off",
+                 "probe_countdown")
 
-    def __init__(self, vpns, counts, pid, core_id, seen, fault):
+    def __init__(self, vpns, counts, pid, core_id, seen, fault,
+                 np_vpns=None, np_counts=None):
         # Plain Python lists iterate several times faster than numpy
-        # scalar indexing in this (unavoidably sequential) hot loop.
+        # scalar indexing in this (unavoidably sequential) hot loop;
+        # the numpy views exist for the vectorized batch path.
         self.vpns = vpns
         self.counts = counts
         self.cursor = 0
@@ -86,6 +212,43 @@ class _ThreadSlot:
         self.seen = seen
         self.fault = fault
         self.live = True
+        if np_vpns is None:
+            self.np_vpns = None
+            self.cum = None
+        else:
+            self.np_vpns = np.ascontiguousarray(np_vpns, dtype=np.uint64)
+            # cum[r] = accesses before record r; record r runs in a
+            # quantum iff cum[r] - cum[cursor] < budget, so the window
+            # end is one searchsorted over this array.
+            cum = np.empty(self.length + 1, dtype=np.int64)
+            cum[0] = 0
+            np.cumsum(np_counts, out=cum[1:])
+            self.cum = cum
+        # Per-core set-index views and previous-same-set link arrays,
+        # attached by the owning pipeline on first batch use.
+        self.bsets = None
+        self.htags = None
+        self.hsets = None
+        self.prev_base = None
+        self.prev_huge = None
+        # Dense 2MB-region index per record plus the per-epoch mapping
+        # state memo it gathers from (region transitions happen only at
+        # OS ticks, which bump the epoch; see _window_retire_mask).
+        self.region_ridx = None
+        self.region_tags: list[int] = []
+        self.region_state_arr = None
+        # Records before the barrier cannot vouch for a hint: the memo
+        # was invalidated (epoch bump) or another thread ran on this
+        # core since they executed.
+        self.hint_barrier = 0
+        self.batch_epoch = -1
+        # Adaptive batch tier: recent-window retirement accounting (a
+        # decayed running ratio) plus the fall-back/probe state driven
+        # by TranslationPipeline.run_quantum.
+        self.adapt_seen = 0
+        self.adapt_retired = 0
+        self.batch_off = False
+        self.probe_countdown = 0
 
 
 class ThreadScheduler:
@@ -101,9 +264,15 @@ class ThreadScheduler:
         self.slots: list[_ThreadSlot] = []
         self.remaining = 0
 
-    def add(self, vpns, counts, pid, core_id, seen, fault) -> _ThreadSlot:
-        """Register one thread's compressed trace for scheduling."""
-        slot = _ThreadSlot(vpns, counts, pid, core_id, seen, fault)
+    def add(self, vpns, counts, pid, core_id, seen, fault,
+            np_vpns=None, np_counts=None) -> _ThreadSlot:
+        """Register one thread's compressed trace for scheduling.
+
+        ``np_vpns``/``np_counts`` (the compressed trace's arrays) enable
+        the vectorized batch path for this thread when provided.
+        """
+        slot = _ThreadSlot(vpns, counts, pid, core_id, seen, fault,
+                           np_vpns=np_vpns, np_counts=np_counts)
         self.slots.append(slot)
         self.remaining += slot.length
         return slot
@@ -133,9 +302,27 @@ class TranslationPipeline:
     memo on shootdown/promotion/flush.
     """
 
-    def __init__(self, core: Core, fast_path: bool = True) -> None:
+    #: below this window size the vector setup cost cannot pay off
+    MIN_BATCH_WINDOW = 32
+
+    #: adaptive tier thresholds: once a slot has ``ADAPT_MIN_SEEN``
+    #: recent records on the books and fewer than half retired in bulk,
+    #: the mask-building overhead is losing to the scalar fast loop —
+    #: batch turns off for that slot and is re-probed every
+    #: ``ADAPT_PROBE_WINDOWS`` quanta (workload phases change). Legal
+    #: because the batch and fast paths are bit-identical (property
+    #: tested); this trades only wall-clock, never statistics.
+    ADAPT_MIN_SEEN = 8192
+    ADAPT_PROBE_WINDOWS = 32
+
+    def __init__(self, core: Core, fast_path: bool = True,
+                 batch: bool = False) -> None:
         self.core = core
         self.fast_path = fast_path
+        # The batch path is a vectorization of the fast path's tier-1
+        # memo; without the memo there is nothing to vectorize, so
+        # fast_path=False wins and selects the reference loop.
+        self.batch = batch and fast_path
         #: bumped on every wholesale invalidation (OS tick shootdowns)
         self.epoch = 0
         l1_base = core.tlb.l1_base
@@ -156,6 +343,15 @@ class TranslationPipeline:
         self.fast_hits = 0
         self.slow_records = 0
         self.invalidations = 0
+        # Batch-path metrics: records retired by vectorized bulk runs
+        # and records handed to the scalar gap spans.
+        self.batch_retired = 0
+        self.batch_scalar_records = 0
+        # Times the adaptive tier switched a slot off batch (low
+        # retirement fraction made the mask overhead a net loss).
+        self.batch_fallbacks = 0
+        #: the slot whose quantum most recently ran on this core
+        self._active_slot = None
 
     # ------------------------------------------------------------------
 
@@ -166,6 +362,19 @@ class TranslationPipeline:
         the ledger and per-process attribution. Faults are taken on
         first touch, before the access translates.
         """
+        if self._active_slot is not slot:
+            # Another thread's quantum ran on this core: its records
+            # rewrote the MRU hints, so this slot's precomputed links
+            # to older records can no longer vouch for a live hint.
+            self._active_slot = slot
+            slot.hint_barrier = slot.cursor
+        if self.batch and slot.np_vpns is not None:
+            if slot.batch_off:
+                slot.probe_countdown -= 1
+                if slot.probe_countdown > 0:
+                    return self._run_quantum_fast(slot, budget, page_table)
+                slot.batch_off = False  # probe quantum: re-measure
+            return self._run_quantum_batch(slot, budget, page_table)
         if self.fast_path:
             return self._run_quantum_fast(slot, budget, page_table)
         return self._run_quantum_slow(slot, budget, page_table)
@@ -328,6 +537,240 @@ class TranslationPipeline:
         self.slow_records += slow
         return i, start_budget - budget, cycles, walks
 
+    def _attach_batch_views(self, slot: _ThreadSlot) -> None:
+        """Precompute this slot's trace-static batch arrays for this core.
+
+        Threads are statically pinned, so the L1 geometries are fixed
+        per slot; the modulo stays in uint64 (a mixed uint64/int64
+        operand would silently promote to float64) and the results are
+        cast to an indexable integer type once. The previous-same-set
+        link arrays and the dense region index are likewise properties
+        of the trace alone, paid once and reused by every window.
+        """
+        vpns = slot.np_vpns
+        slot.bsets = (vpns % np.uint64(self._nbase)).astype(np.intp)
+        htags = vpns >> np.uint64(_HUGE_SHIFT)
+        slot.htags = htags
+        slot.hsets = (htags % np.uint64(self._nhuge)).astype(np.intp)
+        slot.prev_base = _prev_same_tag_links(slot.bsets, vpns)
+        slot.prev_huge = _prev_same_tag_links(slot.hsets, htags)
+        unique_tags, inverse = np.unique(htags, return_inverse=True)
+        slot.region_ridx = inverse.astype(np.intp)
+        slot.region_tags = unique_tags.tolist()
+        slot.region_state_arr = np.full(unique_tags.size, -1, dtype=np.int8)
+
+    def _window_retire_mask(self, slot: _ThreadSlot, i: int, end: int,
+                            page_table):
+        """Per-window guaranteed-tier-1 mask (see module docstring).
+
+        Returns ``(retire, is_base)`` boolean arrays over ``[i, end)``:
+        ``retire`` marks records proven to be tier-1 hint hits when the
+        cursor reaches them, ``is_base`` splits the marked records by
+        which L1 structure answers (4K vs 2MB). A record is marked iff
+        its precomputed previous-same-set link clears the slot's hint
+        barrier (the predecessor ran after the last epoch bump and
+        after any other thread's quantum on this core, so the hint it
+        installed is still live) and its 2MB region's mapping state —
+        memoized per epoch, since regions only change state inside OS
+        ticks or, for untouched regions, via faults the memo
+        conservatively leaves unmarked — selects the matching
+        structure.
+        """
+        if slot.batch_epoch != self.epoch:
+            slot.batch_epoch = self.epoch
+            slot.hint_barrier = i
+            slot.region_state_arr[:] = -1
+        barrier = slot.hint_barrier
+        record_state = slot.region_state_arr[slot.region_ridx[i:end]]
+        unknown = record_state < 0
+        if unknown.any():
+            ridx = slot.region_ridx[i:end]
+            tags = slot.region_tags
+            states = slot.region_state_arr
+            for j in np.unique(ridx[unknown]).tolist():
+                state = _region_mapping_state(page_table, tags[j])
+                if state != _REGION_EMPTY:
+                    # Untouched regions stay unknown: a mid-epoch fault
+                    # may back them, so they are re-probed per window
+                    # rather than pinned unmarked for the whole epoch.
+                    states[j] = state
+            record_state = states[ridx]
+        prev_base = slot.prev_base[i:end] >= barrier
+        prev_huge = slot.prev_huge[i:end] >= barrier
+        is_base = (record_state == _REGION_BASE) & prev_base
+        retire = is_base | ((record_state == _REGION_HUGE) & prev_huge)
+        return retire, is_base
+
+    def _run_quantum_batch(self, slot: _ThreadSlot, budget: int, page_table):
+        """Vectorized loop: bulk-retire runs of proven tier-1 hits.
+
+        The quantum's record window comes from one ``searchsorted``
+        over the thread's access prefix sums (a record runs iff the
+        accesses before it are under budget — exactly the scalar
+        ``while budget > 0`` rule). One retirement mask is computed for
+        the whole window (:meth:`_window_retire_mask`); its marked runs
+        retire in bulk and the unmarked gaps run the scalar tier-2/slow
+        loop. The mask never needs recomputing mid-window: a marked
+        record's same-set predecessor installs the promised hint no
+        matter which side of the mask processed it.
+        """
+        if slot.bsets is None:
+            self._attach_batch_views(slot)
+        cum = slot.cum
+        start = slot.cursor
+        # First index whose prefix sum reaches the budget target is the
+        # first record *not* processed (budget may go negative on the
+        # final record, exactly like the scalar loop).
+        end = min(
+            int(np.searchsorted(cum, cum[start] + budget, side="left")),
+            slot.length,
+        )
+        if end <= start:
+            return start, 0, 0, 0
+        if end - start < self.MIN_BATCH_WINDOW:
+            return self._run_quantum_fast(slot, budget, page_table)
+        retire, is_base = self._window_retire_mask(slot, start, end, page_table)
+        length = end - start
+        retired = int(np.count_nonzero(retire))
+        # Bulk totals come straight off the mask — retired records never
+        # execute per-record code, not even segment arithmetic. Their
+        # access units are the window total minus what the scalar gaps
+        # consume (both are prefix-sum differences).
+        fast_base = int(np.count_nonzero(is_base))
+        fast_huge = retired - fast_base
+        window_units = int(cum[end] - cum[start])
+        if retired == length:
+            gap_starts: list[int] = []
+            gap_ends: list[int] = []
+            gap_units = 0
+        else:
+            flips = np.flatnonzero(retire[1:] != retire[:-1])
+            bounds = np.empty(flips.size + 2, dtype=np.int64)
+            bounds[0] = 0
+            bounds[1:-1] = flips
+            bounds[1:-1] += 1
+            bounds[-1] = length
+            # Segments alternate retire/scalar; pick the scalar ones.
+            offset = 1 if retire[0] else 0
+            starts = bounds[offset:bounds.size - 1:2]
+            ends = bounds[offset + 1::2]
+            gap_units = int((cum[start + ends] - cum[start + starts]).sum())
+            gap_starts = (start + starts).tolist()
+            gap_ends = (start + ends).tolist()
+        bulk_units = window_units - gap_units
+        cycles, walks, gap_base, gap_huge, gap_fast_units = (
+            self._scalar_spans(slot, gap_starts, gap_ends, page_table)
+        )
+        fast_base += gap_base
+        fast_huge += gap_huge
+        fast_units = bulk_units + gap_fast_units
+        cycles += self._l1_hit_cycles * fast_units
+        self._pending_base_records += fast_base
+        self._pending_huge_records += fast_huge
+        self._pending_accesses += fast_units
+        self.fast_hits += fast_base + fast_huge
+        self.batch_retired += retired
+        self.batch_scalar_records += length - retired
+        # Adaptive tier bookkeeping: decay-halving keeps the ratio
+        # tracking recent windows rather than the whole run.
+        slot.adapt_seen += length
+        slot.adapt_retired += retired
+        if slot.adapt_seen >= self.ADAPT_MIN_SEEN:
+            if slot.adapt_retired * 2 < slot.adapt_seen:
+                slot.batch_off = True
+                slot.probe_countdown = self.ADAPT_PROBE_WINDOWS
+                self.batch_fallbacks += 1
+            slot.adapt_seen >>= 1
+            slot.adapt_retired >>= 1
+        return end, window_units, cycles, walks
+
+    def _scalar_spans(self, slot: _ThreadSlot, starts: list[int],
+                      ends: list[int], page_table):
+        """Fast loop over record-index spans (the batch path's gaps).
+
+        Identical per-record behaviour to :meth:`_run_quantum_fast`
+        (the batch equivalence property tests pin the two together);
+        bounded by record indices instead of an access budget, and
+        fast-hit cycles are charged by the caller over the combined
+        units. Gaps are typically short and numerous, so one call
+        handles all of a window's spans with the locals bound once.
+        """
+        vpns = slot.vpns
+        counts = slot.counts
+        seen = slot.seen
+        fault = slot.fault
+        is_mapped = page_table.is_mapped
+        translate = self.core.translate
+        base_mru = self._base_mru
+        huge_mru = self._huge_mru
+        base_sets = self._base_sets
+        huge_sets = self._huge_sets
+        nbase = self._nbase
+        nhuge = self._nhuge
+        miss_level = HitLevel.MISS
+        size_base = PageSize.BASE
+        size_huge = PageSize.HUGE
+        fast_units = 0
+        cycles = 0
+        walks = 0
+        fast_base = 0
+        fast_huge = 0
+        slow = 0
+        for i, stop in zip(starts, ends):
+            while i < stop:
+                vpn = vpns[i]
+                repeat = counts[i]
+                base_set = vpn % nbase
+                if base_mru[base_set] == vpn:
+                    fast_base += 1
+                    fast_units += repeat
+                    i += 1
+                    continue
+                entries = base_sets[base_set]
+                size = entries.get(vpn)
+                if size is not None:
+                    del entries[vpn]
+                    entries[vpn] = size
+                    base_mru[base_set] = vpn
+                    fast_base += 1
+                    fast_units += repeat
+                    i += 1
+                    continue
+                if vpn not in seen:
+                    seen.add(vpn)
+                    vaddr = vpn << BASE_PAGE_SHIFT
+                    if not is_mapped(vaddr):
+                        fault(vaddr)
+                huge_tag = vpn >> _HUGE_SHIFT
+                huge_set = huge_tag % nhuge
+                if huge_mru[huge_set] == huge_tag:
+                    fast_huge += 1
+                    fast_units += repeat
+                    i += 1
+                    continue
+                hentries = huge_sets[huge_set]
+                hsize = hentries.get(huge_tag)
+                if hsize is not None:
+                    del hentries[huge_tag]
+                    hentries[huge_tag] = hsize
+                    huge_mru[huge_set] = huge_tag
+                    fast_huge += 1
+                    fast_units += repeat
+                    i += 1
+                    continue
+                slow += 1
+                step_cycles, level, size = translate(vpn, page_table, repeat)
+                cycles += step_cycles
+                if level is miss_level:
+                    walks += 1
+                if size is size_base:
+                    base_mru[base_set] = vpn
+                elif size is size_huge:
+                    huge_mru[huge_set] = huge_tag
+                i += 1
+        self.slow_records += slow
+        return cycles, walks, fast_base, fast_huge, fast_units
+
     # ------------------------------------------------------------------
 
     def sync(self) -> None:
@@ -372,6 +815,9 @@ class TranslationPipeline:
             f"{prefix}.fast_hits": self.fast_hits,
             f"{prefix}.slow_records": self.slow_records,
             f"{prefix}.invalidations": self.invalidations,
+            f"{prefix}.batch_retired": self.batch_retired,
+            f"{prefix}.batch_scalar_records": self.batch_scalar_records,
+            f"{prefix}.batch_fallbacks": self.batch_fallbacks,
         }
 
 
@@ -482,6 +928,7 @@ class Machine:
         thread_quantum: int = 2048,
         serialization_cycles_per_access: float = 0.0,
         fast_path: bool = True,
+        batch: bool = True,
         tick_fn=None,
     ) -> None:
         self.config = config
@@ -492,6 +939,7 @@ class Machine:
         self.thread_quantum = thread_quantum
         self.serialization_cycles_per_access = serialization_cycles_per_access
         self.fast_path = fast_path
+        self.batch = batch and fast_path
         self.dump_region = DumpRegion()
         self._tick_fn = tick_fn or self.promotion_tick
         self.cores: list[Core] = []
@@ -521,7 +969,8 @@ class Machine:
             for i in range(self.config.cores)
         ]
         self.pipelines = [
-            TranslationPipeline(core, fast_path=self.fast_path)
+            TranslationPipeline(core, fast_path=self.fast_path,
+                                batch=self.batch)
             for core in self.cores
         ]
         self.ledgers = [CycleAccounting(self.config.timing) for _ in self.cores]
@@ -563,8 +1012,10 @@ class Machine:
 
             if ticks.due:
                 self.sync_pipelines()
+                stamp = self._tlb_mutation_stamp()
                 ticks.tick(self.cores, self.ledgers)
-                self.invalidate_fast_paths()
+                if self._tlb_mutation_stamp() != stamp:
+                    self.invalidate_fast_paths()
 
         # Final tick so trailing candidates are not lost on short runs.
         self.sync_pipelines()
@@ -577,6 +1028,7 @@ class Machine:
                 "policy": self.policy.value,
                 "cores": len(self.cores),
                 "fast_path": self.fast_path,
+                "batch": self.batch,
                 "promote_every_accesses": self.config.os.promote_every_accesses,
                 "processes": sorted(processes),
             }
@@ -596,6 +1048,32 @@ class Machine:
         """Epoch-bump every pipeline after TLB state changed externally."""
         for pipeline in self.pipelines:
             pipeline.invalidate_hints()
+
+    def _tlb_mutation_stamp(self) -> int:
+        """Total TLB invalidations across every core and structure.
+
+        Every way an OS tick can mutate TLB state behind the pipelines'
+        backs — promotion/demotion shootdowns, giga shootdowns, full
+        flushes — removes entries through ``TLB.invalidate``/``flush``,
+        which count only entries actually present. An unchanged stamp
+        across a tick therefore proves no hint was invalidated: a hint
+        names a set's MRU entry, so the entry it vouches for is
+        resident, and removing a resident entry always bumps a counter.
+        Ticks that promote nothing (always for the NONE policy, often
+        for interval policies) then keep the memo — and the batch
+        path's cross-tick retirement — alive at zero risk to
+        bit-identity.
+        """
+        total = 0
+        for core in self.cores:
+            tlb = core.tlb
+            total += (
+                tlb.l1_base.stats.invalidations
+                + tlb.l1_huge.stats.invalidations
+                + tlb.l1_giga.stats.invalidations
+                + tlb.l2.stats.invalidations
+            )
+        return total
 
     def _assign_ids(self, workloads: list[ProcessWorkload]) -> None:
         for process in workloads:
@@ -633,6 +1111,8 @@ class Machine:
                     core,
                     seen,
                     fault,
+                    np_vpns=thread.trace.vpns if self.batch else None,
+                    np_counts=thread.trace.counts if self.batch else None,
                 )
         return scheduler
 

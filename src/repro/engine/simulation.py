@@ -95,6 +95,7 @@ class Simulator:
         thread_quantum: int = 2048,
         serialization_cycles_per_access: float = 0.0,
         fast_path: bool = True,
+        batch: bool = True,
     ) -> None:
         self.machine = Machine(
             config,
@@ -104,6 +105,7 @@ class Simulator:
             thread_quantum=thread_quantum,
             serialization_cycles_per_access=serialization_cycles_per_access,
             fast_path=fast_path,
+            batch=batch,
             # Late-bound so post-construction overrides of
             # ``_promotion_tick`` (subclass or monkeypatch) take effect.
             tick_fn=lambda cores, ledgers: self._promotion_tick(cores, ledgers),

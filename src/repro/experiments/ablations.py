@@ -21,7 +21,14 @@ from repro.analysis import report
 from repro.analysis.utility import budget_regions_for
 from repro.config import PCCConfig, WalkerConfig
 from repro.engine.system import ProcessWorkload
-from repro.experiments.common import ExperimentScale, QUICK, config_for, run_policy
+from repro.experiments.common import (
+    ExperimentScale,
+    QUICK,
+    build_named_workload,
+    config_for,
+    run_policy,
+)
+from repro.experiments.parallel import fan_out, resolve_jobs
 from repro.os.kernel import HugePagePolicy
 from repro.trace import synthesis
 from repro.trace.recorder import TraceRecorder
@@ -36,33 +43,60 @@ class ReplacementRow:
     speedup_lru: float
 
 
+def _replacement_task(task: tuple):
+    """One run of the replacement grid: (app, scale fields, size, policy).
+
+    ``size == 0`` is the app's 4KB baseline.
+    """
+    app, graph_scale, proxy_accesses, size, policy = task
+    workload = build_named_workload(
+        app, graph_scale=graph_scale, proxy_accesses=proxy_accesses
+    )
+    base_config = config_for(workload)
+    if size == 0:
+        return run_policy(workload, HugePagePolicy.NONE, base_config)
+    config = base_config.with_(pcc=PCCConfig(entries=size, replacement=policy))
+    budget = budget_regions_for(workload, 32)
+    return run_policy(workload, HugePagePolicy.PCC, config, budget_regions=budget)
+
+
 def run_replacement(
     scale: ExperimentScale = QUICK,
     apps: tuple[str, ...] = ("BFS", "PR"),
     sizes: tuple[int, ...] = (8, 32, 128),
+    jobs: int | None = None,
 ) -> list[ReplacementRow]:
-    rows = []
+    apps = tuple(apps)
+    tasks = []
     for app in apps:
-        workload = scale.workload(app)
-        base_config = config_for(workload)
-        budget = budget_regions_for(workload, 32)
-        baseline = run_policy(workload, HugePagePolicy.NONE, base_config)
+        tasks.append((app, scale.graph_scale, scale.proxy_accesses, 0, ""))
         for size in sizes:
-            speeds = {}
             for policy in ("lfu", "lru"):
-                config = base_config.with_(
-                    pcc=PCCConfig(entries=size, replacement=policy)
+                tasks.append(
+                    (app, scale.graph_scale, scale.proxy_accesses, size, policy)
                 )
-                result = run_policy(
-                    workload, HugePagePolicy.PCC, config, budget_regions=budget
-                )
-                speeds[policy] = baseline.total_cycles / result.total_cycles
+    if resolve_jobs(jobs) > 1:
+        from repro.experiments.common import parallel_cache_dir
+
+        results = fan_out(
+            _replacement_task, tasks, jobs=jobs, cache_dir=parallel_cache_dir()
+        )
+    else:
+        results = [_replacement_task(task) for task in tasks]
+
+    rows = []
+    stride = 1 + 2 * len(sizes)
+    for index, app in enumerate(apps):
+        block = results[stride * index : stride * (index + 1)]
+        baseline = block[0]
+        for offset, size in enumerate(sizes):
+            lfu, lru = block[1 + 2 * offset], block[2 + 2 * offset]
             rows.append(
                 ReplacementRow(
                     app=app,
                     pcc_entries=size,
-                    speedup_lfu=speeds["lfu"],
-                    speedup_lru=speeds["lru"],
+                    speedup_lfu=baseline.total_cycles / lfu.total_cycles,
+                    speedup_lru=baseline.total_cycles / lru.total_cycles,
                 )
             )
     return rows

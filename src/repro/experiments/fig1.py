@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis import report
-from repro.experiments.common import ExperimentScale, QUICK, config_for, run_policy
+from repro.experiments.common import ExperimentScale, QUICK, RunSpec, run_specs
 from repro.os.kernel import HugePagePolicy
 from repro.workloads.registry import workload_names
 
@@ -29,17 +29,26 @@ class Fig1Row:
     speedup_thp: float
 
 
-def run(scale: ExperimentScale = QUICK, apps: list[str] | None = None) -> list[Fig1Row]:
-    """Produce one row per application."""
-    rows = []
-    for app in apps or workload_names():
-        workload = scale.workload(app)
-        config = config_for(workload)
-        baseline = run_policy(workload, HugePagePolicy.NONE, config)
-        ideal = run_policy(workload, HugePagePolicy.IDEAL, config)
-        thp = run_policy(
-            workload, HugePagePolicy.LINUX_THP, config, fragmentation=0.5
+def run(
+    scale: ExperimentScale = QUICK,
+    apps: list[str] | None = None,
+    jobs: int | None = None,
+) -> list[Fig1Row]:
+    """Produce one row per application (``jobs > 1`` fans out)."""
+    apps = list(apps or workload_names())
+    specs = [
+        RunSpec.for_scale(scale, app, policy, fragmentation=frag)
+        for app in apps
+        for policy, frag in (
+            (HugePagePolicy.NONE, 0.0),
+            (HugePagePolicy.IDEAL, 0.0),
+            (HugePagePolicy.LINUX_THP, 0.5),
         )
+    ]
+    results = run_specs(specs, jobs)
+    rows = []
+    for index, app in enumerate(apps):
+        baseline, ideal, thp = results[3 * index : 3 * index + 3]
         rows.append(
             Fig1Row(
                 app=app,

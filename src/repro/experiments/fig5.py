@@ -12,8 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.analysis import report
-from repro.analysis.utility import BUDGET_PERCENTS, UtilityCurve, utility_curve
-from repro.experiments.common import ExperimentScale, QUICK, config_for, run_policy
+from repro.analysis.utility import (
+    BUDGET_PERCENTS,
+    UtilityCurve,
+    UtilityPoint,
+    budget_regions_for,
+)
+from repro.experiments.common import ExperimentScale, QUICK, RunSpec, run_specs
 from repro.os.kernel import HugePagePolicy
 from repro.workloads.registry import workload_names
 
@@ -38,27 +43,65 @@ class Fig5Result:
     apps: list[Fig5App] = field(default_factory=list)
 
 
+def _curve(app: str, workload, policy: HugePagePolicy,
+           budgets: tuple[int, ...], results) -> UtilityCurve:
+    """Reassemble a utility curve from one budget point per result."""
+    curve = UtilityCurve(workload=app, policy=policy.value)
+    baseline_cycles: int | None = None
+    for percent, result in zip(budgets, results):
+        if baseline_cycles is None:
+            baseline_cycles = result.total_cycles
+        curve.points.append(
+            UtilityPoint(
+                budget_percent=percent,
+                budget_regions=budget_regions_for(workload, percent),
+                cycles=result.total_cycles,
+                walk_rate=result.walk_rate,
+                promotions=result.promotions,
+                speedup=baseline_cycles / result.total_cycles,
+            )
+        )
+    return curve
+
+
 def run(
     scale: ExperimentScale = QUICK,
     apps: list[str] | None = None,
     budgets: tuple[int, ...] = BUDGET_PERCENTS,
+    jobs: int | None = None,
 ) -> Fig5Result:
+    """Every (app, policy, budget) point is an independent run, so the
+    whole figure fans out across ``jobs`` workers."""
+    apps = list(apps or workload_names())
+    specs = []
+    for app in apps:
+        for policy in (HugePagePolicy.PCC, HugePagePolicy.HAWKEYE):
+            for percent in budgets:
+                specs.append(
+                    RunSpec.for_scale(scale, app, policy, budget_percent=percent)
+                )
+        specs.append(RunSpec.for_scale(scale, app, HugePagePolicy.IDEAL))
+        specs.append(
+            RunSpec.for_scale(scale, app, HugePagePolicy.LINUX_THP,
+                              fragmentation=0.5)
+        )
+        specs.append(
+            RunSpec.for_scale(scale, app, HugePagePolicy.LINUX_THP,
+                              fragmentation=0.9)
+        )
+    results = run_specs(specs, jobs)
+
     result = Fig5Result()
-    for app in apps or workload_names():
+    stride = 2 * len(budgets) + 3
+    for index, app in enumerate(apps):
+        block = results[stride * index : stride * (index + 1)]
         workload = scale.workload(app)
-        config = config_for(workload)
-        pcc = utility_curve(workload, config, HugePagePolicy.PCC, budgets=budgets)
-        hawkeye = utility_curve(
-            workload, config, HugePagePolicy.HAWKEYE, budgets=budgets
-        )
+        pcc = _curve(app, workload, HugePagePolicy.PCC,
+                     budgets, block[: len(budgets)])
+        hawkeye = _curve(app, workload, HugePagePolicy.HAWKEYE,
+                         budgets, block[len(budgets) : 2 * len(budgets)])
+        ideal, linux_50, linux_90 = block[2 * len(budgets) :]
         baseline_cycles = pcc.points[0].cycles
-        ideal = run_policy(workload, HugePagePolicy.IDEAL, config)
-        linux_50 = run_policy(
-            workload, HugePagePolicy.LINUX_THP, config, fragmentation=0.5
-        )
-        linux_90 = run_policy(
-            workload, HugePagePolicy.LINUX_THP, config, fragmentation=0.9
-        )
         result.apps.append(
             Fig5App(
                 app=app,

@@ -15,7 +15,14 @@ from dataclasses import dataclass, field, replace
 from repro.analysis import report
 from repro.analysis.utility import budget_regions_for
 from repro.config import PCCConfig
-from repro.experiments.common import ExperimentScale, QUICK, config_for, run_policy
+from repro.experiments.common import (
+    ExperimentScale,
+    QUICK,
+    build_named_workload,
+    config_for,
+    run_policy,
+)
+from repro.experiments.parallel import fan_out, resolve_jobs
 from repro.os.kernel import HugePagePolicy
 
 DEFAULT_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
@@ -31,44 +38,87 @@ class Fig6App:
     ideal: float = 1.0
 
 
+def _base_config(workload):
+    # few promotion intervals, so the PCC's per-interval candidate
+    # bandwidth is the binding resource the sweep varies
+    return config_for(
+        workload,
+        promote_every_accesses=max(5_000, workload.total_accesses // 4),
+    )
+
+
+def _task(task: tuple):
+    """One cell of the sweep: (app, graph_scale, accesses, kind, size)."""
+    app, graph_scale, proxy_accesses, kind, size = task
+    workload = build_named_workload(
+        app, graph_scale=graph_scale, proxy_accesses=proxy_accesses
+    )
+    base_config = _base_config(workload)
+    if kind == "baseline":
+        return run_policy(workload, HugePagePolicy.NONE, base_config)
+    if kind == "ideal":
+        return run_policy(workload, HugePagePolicy.IDEAL, base_config)
+    # §3.3.1: the OS promotes C regions per interval where C is the
+    # PCC size — the sweep therefore varies both capacity and
+    # promotion bandwidth, as in the paper
+    config = base_config.with_(
+        pcc=PCCConfig(entries=size),
+        os=replace(base_config.os, regions_to_promote=size),
+    )
+    budget = budget_regions_for(workload, BUDGET_PERCENT)
+    return run_policy(workload, HugePagePolicy.PCC, config, budget_regions=budget)
+
+
 def run(
     scale: ExperimentScale = QUICK,
     apps: tuple[str, ...] = ("BFS", "SSSP", "PR"),
     sizes: tuple[int, ...] = DEFAULT_SIZES,
+    jobs: int | None = None,
 ) -> list[Fig6App]:
     # The knee's position scales with the HUB-set size: with a small
     # footprint the promotion budget binds before PCC capacity can.
     # Run this sweep two graph scales up so per-interval candidate
     # bandwidth is the limiting resource across the swept sizes.
     scale = replace(scale, graph_scale=scale.graph_scale + 2)
-    results = []
+    apps = tuple(apps)
+    tasks = []
     for app in apps:
-        workload = scale.workload(app)
-        # few promotion intervals, so the PCC's per-interval candidate
-        # bandwidth is the binding resource the sweep varies
-        base_config = config_for(
-            workload,
-            promote_every_accesses=max(5_000, workload.total_accesses // 4),
-        )
-        budget = budget_regions_for(workload, BUDGET_PERCENT)
-        baseline = run_policy(workload, HugePagePolicy.NONE, base_config)
-        entry = Fig6App(app=app, sizes=sizes)
+        tasks.append((app, scale.graph_scale, scale.proxy_accesses, "baseline", 0))
         for size in sizes:
-            # §3.3.1: the OS promotes C regions per interval where C is
-            # the PCC size — the sweep therefore varies both capacity
-            # and promotion bandwidth, as in the paper
-            config = base_config.with_(
-                pcc=PCCConfig(entries=size),
-                os=replace(base_config.os, regions_to_promote=size),
-            )
-            run = run_policy(
-                workload, HugePagePolicy.PCC, config, budget_regions=budget
-            )
-            entry.speedups.append(baseline.total_cycles / run.total_cycles)
-        ideal = run_policy(workload, HugePagePolicy.IDEAL, base_config)
+            tasks.append((app, scale.graph_scale, scale.proxy_accesses, "pcc", size))
+        tasks.append((app, scale.graph_scale, scale.proxy_accesses, "ideal", 0))
+    if resolve_jobs(jobs) > 1:
+        from repro.experiments.common import (
+            RunSpec,
+            parallel_cache_dir,
+            prewarm_trace_cache,
+        )
+
+        cache_dir = parallel_cache_dir()
+        prewarm_trace_cache(
+            [
+                RunSpec(app=app, policy=HugePagePolicy.NONE.value,
+                        graph_scale=scale.graph_scale,
+                        proxy_accesses=scale.proxy_accesses)
+                for app in apps
+            ],
+            cache_dir,
+        )
+        results = fan_out(_task, tasks, jobs=jobs, cache_dir=cache_dir)
+    else:
+        results = [_task(task) for task in tasks]
+
+    out = []
+    stride = len(sizes) + 2
+    for index, app in enumerate(apps):
+        block = results[stride * index : stride * (index + 1)]
+        baseline, ideal = block[0], block[-1]
+        entry = Fig6App(app=app, sizes=sizes)
+        for run_result in block[1:-1]:
+            entry.speedups.append(baseline.total_cycles / run_result.total_cycles)
         entry.ideal = baseline.total_cycles / ideal.total_cycles
-        results.append(entry)
-    return results
+        out.append(entry)
+    return out
 
 
 def render(apps: list[Fig6App]) -> str:

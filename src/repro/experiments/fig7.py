@@ -12,13 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis import report
-from repro.experiments.common import (
-    ExperimentScale,
-    QUICK,
-    config_for,
-    demotion_params,
-    run_policy,
-)
+from repro.experiments.common import ExperimentScale, QUICK, RunSpec, run_specs
 from repro.os.kernel import HugePagePolicy
 
 FRAGMENTATION = 0.9
@@ -37,32 +31,34 @@ def run(
     scale: ExperimentScale = QUICK,
     apps: tuple[str, ...] = ("BFS", "SSSP", "PR"),
     fragmentation: float = FRAGMENTATION,
+    jobs: int | None = None,
 ) -> list[Fig7Row]:
-    rows = []
+    """Five independent runs per app (``jobs > 1`` fans them out)."""
+    apps = tuple(apps)
+    specs = []
     for app in apps:
-        workload = scale.workload(app)
-        config = config_for(workload)
-        baseline = run_policy(workload, HugePagePolicy.NONE, config)
+        specs.append(RunSpec.for_scale(scale, app, HugePagePolicy.NONE))
+        for policy in (HugePagePolicy.HAWKEYE, HugePagePolicy.LINUX_THP,
+                       HugePagePolicy.PCC):
+            specs.append(
+                RunSpec.for_scale(scale, app, policy, fragmentation=fragmentation)
+            )
+        specs.append(
+            RunSpec.for_scale(
+                scale, app, HugePagePolicy.PCC,
+                fragmentation=fragmentation, demotion=True,
+            )
+        )
+    results = run_specs(specs, jobs)
+    rows = []
+    for index, app in enumerate(apps):
+        baseline, hawkeye, linux, pcc, pcc_demote = (
+            results[5 * index : 5 * index + 5]
+        )
 
-        def rel(result) -> float:
-            return baseline.total_cycles / result.total_cycles
+        def rel(result, base=baseline) -> float:
+            return base.total_cycles / result.total_cycles
 
-        hawkeye = run_policy(
-            workload, HugePagePolicy.HAWKEYE, config, fragmentation=fragmentation
-        )
-        linux = run_policy(
-            workload, HugePagePolicy.LINUX_THP, config, fragmentation=fragmentation
-        )
-        pcc = run_policy(
-            workload, HugePagePolicy.PCC, config, fragmentation=fragmentation
-        )
-        pcc_demote = run_policy(
-            workload,
-            HugePagePolicy.PCC,
-            config,
-            fragmentation=fragmentation,
-            params=demotion_params(config),
-        )
         rows.append(
             Fig7Row(
                 app=app,

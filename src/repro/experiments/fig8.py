@@ -9,15 +9,21 @@ gains because shootdowns and atomic serialization scale with threads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.analysis import report
 from repro.analysis.utility import budget_regions_for
 from repro.engine.simulation import Simulator
 from repro.engine.system import ProcessWorkload, partition_trace
-from repro.experiments.common import ExperimentScale, QUICK, config_for
+from repro.experiments.common import (
+    ExperimentScale,
+    QUICK,
+    cached_process_workload,
+    clone_workload,
+    config_for,
+)
+from repro.experiments.parallel import fan_out, resolve_jobs
 from repro.os.kernel import HugePagePolicy, KernelParams
-from repro.trace.events import Trace
 from repro.workloads.registry import build_graph
 from repro.workloads.bfs import bfs_trace
 from repro.workloads.pagerank import pagerank_trace
@@ -32,11 +38,22 @@ BUDGET_PERCENT = 4
 
 def _threaded_workload(app: str, scale: ExperimentScale, threads: int
                        ) -> ProcessWorkload:
-    graph = build_graph("kronecker", scale=scale.graph_scale)
-    trace_builders = {"BFS": bfs_trace, "SSSP": sssp_trace, "PR": pagerank_trace}
-    trace, glayout = trace_builders[app](graph)
-    parts = partition_trace(trace, threads, glayout.layout)
-    return ProcessWorkload.multi_thread(parts, glayout.layout, name=f"{app}x{threads}")
+    def build() -> ProcessWorkload:
+        graph = build_graph("kronecker", scale=scale.graph_scale)
+        trace_builders = {
+            "BFS": bfs_trace, "SSSP": sssp_trace, "PR": pagerank_trace,
+        }
+        trace, glayout = trace_builders[app](graph)
+        parts = partition_trace(trace, threads, glayout.layout)
+        return ProcessWorkload.multi_thread(
+            parts, glayout.layout, name=f"{app}x{threads}"
+        )
+
+    return cached_process_workload(
+        f"{app}x{threads}",
+        {"dataset": "kronecker", "scale": scale.graph_scale, "threads": threads},
+        build,
+    )
 
 
 @dataclass
@@ -50,53 +67,67 @@ class Fig8Cell:
     ideal: float
 
 
+def _cell_task(task: tuple) -> Fig8Cell:
+    """One (app, thread-count) cell: its four sims run in one worker."""
+    app, graph_scale, proxy_accesses, threads, budget_percent = task
+    scale = ExperimentScale(
+        name="fig8", graph_scale=graph_scale, proxy_accesses=proxy_accesses
+    )
+    workload = _threaded_workload(app, scale, threads)
+    config = config_for(workload).with_(cores=threads)
+    serialization = SERIALIZATION_PER_THREAD * (threads - 1)
+    budget = budget_regions_for(workload, budget_percent)
+
+    def simulate(policy, params=None, frag=0.0):
+        sim = Simulator(
+            config,
+            policy=policy,
+            params=params,
+            fragmentation=frag,
+            serialization_cycles_per_access=serialization,
+        )
+        return sim.run([clone_workload(workload)])
+
+    baseline = simulate(HugePagePolicy.NONE)
+    ideal = simulate(HugePagePolicy.IDEAL)
+    by_policy = {}
+    for policy_id in (1, 0):  # 1 = highest frequency, 0 = round robin
+        params = KernelParams(
+            regions_to_promote=config.os.regions_to_promote,
+            promotion_policy=policy_id,
+            promotion_budget_regions=budget,
+        )
+        result = simulate(HugePagePolicy.PCC, params=params)
+        by_policy[policy_id] = baseline.total_cycles / result.total_cycles
+    return Fig8Cell(
+        app=app,
+        threads=threads,
+        speedup_frequency=by_policy[1],
+        speedup_round_robin=by_policy[0],
+        ideal=baseline.total_cycles / ideal.total_cycles,
+    )
+
+
 def run(
     scale: ExperimentScale = QUICK,
     apps: tuple[str, ...] = ("BFS", "SSSP", "PR"),
     thread_counts: tuple[int, ...] = (2, 4, 8),
     budget_percent: int = BUDGET_PERCENT,
+    jobs: int | None = None,
 ) -> list[Fig8Cell]:
-    cells = []
-    for app in apps:
-        for threads in thread_counts:
-            workload = _threaded_workload(app, scale, threads)
-            config = config_for(workload).with_(cores=threads)
-            serialization = SERIALIZATION_PER_THREAD * (threads - 1)
-            budget = budget_regions_for(workload, budget_percent)
+    """One task per (app, thread-count) cell; cells fan out."""
+    tasks = [
+        (app, scale.graph_scale, scale.proxy_accesses, threads, budget_percent)
+        for app in apps
+        for threads in thread_counts
+    ]
+    if resolve_jobs(jobs) > 1 and len(tasks) > 1:
+        from repro.experiments.common import parallel_cache_dir
 
-            def simulate(policy, params=None, frag=0.0):
-                sim = Simulator(
-                    config,
-                    policy=policy,
-                    params=params,
-                    fragmentation=frag,
-                    serialization_cycles_per_access=serialization,
-                )
-                import copy
-
-                return sim.run([copy.deepcopy(workload)])
-
-            baseline = simulate(HugePagePolicy.NONE)
-            ideal = simulate(HugePagePolicy.IDEAL)
-            by_policy = {}
-            for policy_id in (1, 0):  # 1 = highest frequency, 0 = round robin
-                params = KernelParams(
-                    regions_to_promote=config.os.regions_to_promote,
-                    promotion_policy=policy_id,
-                    promotion_budget_regions=budget,
-                )
-                result = simulate(HugePagePolicy.PCC, params=params)
-                by_policy[policy_id] = baseline.total_cycles / result.total_cycles
-            cells.append(
-                Fig8Cell(
-                    app=app,
-                    threads=threads,
-                    speedup_frequency=by_policy[1],
-                    speedup_round_robin=by_policy[0],
-                    ideal=baseline.total_cycles / ideal.total_cycles,
-                )
-            )
-    return cells
+        return fan_out(
+            _cell_task, tasks, jobs=jobs, cache_dir=parallel_cache_dir()
+        )
+    return [_cell_task(task) for task in tasks]
 
 
 def render(cells: list[Fig8Cell]) -> str:

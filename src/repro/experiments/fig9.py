@@ -10,12 +10,18 @@ combined-footprint budget grows.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field
 
 from repro.analysis import report
 from repro.engine.simulation import Simulator
-from repro.experiments.common import ExperimentScale, QUICK, config_for
+from repro.experiments.common import (
+    ExperimentScale,
+    QUICK,
+    build_named_workload,
+    clone_workload,
+    config_for,
+)
+from repro.experiments.parallel import fan_out, resolve_jobs
 from repro.os.kernel import HugePagePolicy, KernelParams
 
 BUDGETS = (1, 2, 4, 8, 16, 32, 64, 100)
@@ -39,50 +45,98 @@ class Fig9Case:
     ideal: dict[str, float]
 
 
+def _case_task(task: tuple):
+    """One grid point: (apps, scale fields, kind, policy_id, percent).
+
+    Workers rebuild the workload pair through the trace cache, so the
+    pair's traces are generated once for the whole grid.
+    """
+    app_a, app_b, graph_scale, proxy_accesses, kind, policy_id, percent = task
+    workload_a = build_named_workload(
+        app_a, graph_scale=graph_scale, proxy_accesses=proxy_accesses
+    )
+    workload_b = build_named_workload(
+        app_b, graph_scale=graph_scale, proxy_accesses=proxy_accesses
+    )
+    workload_b.pid = 2
+    config = config_for(workload_a, workload_b).with_(cores=2)
+    if kind == "baseline":
+        policy, params = HugePagePolicy.NONE, None
+    elif kind == "ideal":
+        policy, params = HugePagePolicy.IDEAL, None
+    else:
+        total_regions = (
+            workload_a.footprint_huge_regions()
+            + workload_b.footprint_huge_regions()
+        )
+        budget = (
+            None
+            if percent >= 100
+            else max(1, int(round(total_regions * percent / 100.0)))
+        )
+        policy = HugePagePolicy.PCC
+        params = KernelParams(
+            regions_to_promote=config.os.regions_to_promote,
+            promotion_policy=policy_id,
+            promotion_budget_regions=budget,
+        )
+    sim = Simulator(config, policy=policy, params=params)
+    return sim.run([clone_workload(workload_a), clone_workload(workload_b)])
+
+
 def run_case(
     app_a: str,
     app_b: str,
     scale: ExperimentScale = QUICK,
     budgets: tuple[int, ...] = BUDGETS,
+    jobs: int | None = None,
 ) -> Fig9Case:
-    workload_a = scale.workload(app_a)
-    workload_b = scale.workload(app_b)
-    workload_b.pid = 2
-    config = config_for(workload_a, workload_b).with_(cores=2)
-    total_regions = (
-        workload_a.footprint_huge_regions() + workload_b.footprint_huge_regions()
-    )
+    """The (policy x budget) grid plus references, optionally fanned out."""
+    common = (app_a, app_b, scale.graph_scale, scale.proxy_accesses)
+    tasks = [common + ("baseline", 0, 0), common + ("ideal", 0, 0)]
+    for policy_id in (1, 0):  # 1 = highest frequency, 0 = round robin
+        for percent in budgets:
+            tasks.append(common + ("pcc", policy_id, percent))
+    if resolve_jobs(jobs) > 1:
+        from repro.experiments.common import (
+            RunSpec,
+            parallel_cache_dir,
+            prewarm_trace_cache,
+        )
 
-    def simulate(policy, params=None):
-        sim = Simulator(config, policy=policy, params=params)
-        return sim.run([copy.deepcopy(workload_a), copy.deepcopy(workload_b)])
+        cache_dir = parallel_cache_dir()
+        prewarm_trace_cache(
+            [
+                RunSpec(app=app, policy=HugePagePolicy.NONE.value,
+                        graph_scale=scale.graph_scale,
+                        proxy_accesses=scale.proxy_accesses)
+                for app in (app_a, app_b)
+            ],
+            cache_dir,
+        )
+        results = fan_out(_case_task, tasks, jobs=jobs, cache_dir=cache_dir)
+    else:
+        results = [_case_task(task) for task in tasks]
 
-    baseline = simulate(HugePagePolicy.NONE)
+    baseline, ideal = results[0], results[1]
     base_by_app = {
         p.name: _proc_cycles(baseline, p.pid) for p in baseline.processes
     }
-    ideal = simulate(HugePagePolicy.IDEAL)
     ideal_speedups = {
         p.name: base_by_app[p.name] / _proc_cycles(ideal, p.pid)
         for p in ideal.processes
     }
 
     series = {}
-    for policy_id, label in ((1, "highest-frequency"), (0, "round-robin")):
+    grid = results[2:]
+    for index, (policy_id, label) in enumerate(
+        ((1, "highest-frequency"), (0, "round-robin"))
+    ):
         entry = Fig9Series(policy=label, budgets=budgets)
-        for percent in budgets:
-            budget = (
-                None
-                if percent >= 100
-                else max(1, int(round(total_regions * percent / 100.0)))
+        for result in grid[index * len(budgets) : (index + 1) * len(budgets)]:
+            final_hp = (
+                result.huge_page_timeline[-1] if result.huge_page_timeline else {}
             )
-            params = KernelParams(
-                regions_to_promote=config.os.regions_to_promote,
-                promotion_policy=policy_id,
-                promotion_budget_regions=budget,
-            )
-            result = simulate(HugePagePolicy.PCC, params=params)
-            final_hp = result.huge_page_timeline[-1] if result.huge_page_timeline else {}
             for proc in result.processes:
                 entry.speedups.setdefault(proc.name, []).append(
                     base_by_app[proc.name] / _proc_cycles(result, proc.pid)
@@ -92,7 +146,7 @@ def run_case(
                 )
         series[policy_id] = entry
     return Fig9Case(
-        apps=(workload_a.name, workload_b.name),
+        apps=(baseline.processes[0].name, baseline.processes[1].name),
         frequency=series[1],
         round_robin=series[0],
         ideal=ideal_speedups,

@@ -1,0 +1,91 @@
+"""Process-pool fan-out for independent simulation runs.
+
+The figure sweeps run many (workload x policy x parameter)
+configurations that share nothing but the deterministic input traces.
+:func:`fan_out` executes such a task list across worker processes:
+
+* ``jobs <= 1`` (the default) runs serially in-process, bit-identical
+  to the historical behaviour;
+* ``jobs > 1`` spawns a pool, points every worker at the shared
+  content-addressed trace cache (:mod:`repro.trace.cache`) so no
+  worker regenerates a trace another configuration already produced,
+  and preserves task order in the returned list.
+
+Workers return plain :class:`~repro.engine.simulation.SimulationResult`
+objects. Because each worker has its own process, its metrics-bus
+publications never reach the parent's collectors; :func:`fan_out`
+therefore republishes each returned result's ``metrics`` export in the
+parent, keeping ``--metrics-out`` and the benchmark session aggregate
+complete regardless of ``jobs``.
+
+Task functions must be module-level (picklable) and take one argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.metrics import publish_run
+
+#: Environment default for the pool width (CLI ``--jobs`` overrides).
+JOBS_ENV = "REPRO_JOBS"
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Effective pool width: explicit value, $REPRO_JOBS, or 1."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        jobs = int(env) if env else 1
+    if jobs <= 0:  # 0 / negative = "use every core"
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _pool_context():
+    """Fork when available (fast, shares imported modules), else spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _worker_init(cache_dir: str | None) -> None:
+    """Point a worker at the shared trace cache directory."""
+    from repro.trace.cache import CACHE_DIR_ENV
+
+    if cache_dir is not None:
+        os.environ[CACHE_DIR_ENV] = cache_dir
+
+
+def _republish(results) -> None:
+    """Feed worker-side metrics exports to the parent's collectors."""
+    for result in results:
+        metrics = getattr(result, "metrics", None)
+        if metrics is not None:
+            publish_run(metrics)
+
+
+def fan_out(task_fn, tasks, jobs: int | None = None, cache_dir=None, republish: bool = True):
+    """Run ``task_fn`` over ``tasks``, optionally across processes.
+
+    Returns results in task order. ``cache_dir`` (a path) is exported
+    to every worker as the trace-cache directory; pass the directory
+    you pre-warmed so workers memory-map traces instead of rebuilding
+    them. With ``republish`` (default), results carrying a ``metrics``
+    export are re-published to the parent's metrics collectors.
+    """
+    tasks = list(tasks)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(tasks) <= 1:
+        return [task_fn(task) for task in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(
+        max_workers=workers,
+        mp_context=_pool_context(),
+        initializer=_worker_init,
+        initargs=(str(cache_dir) if cache_dir is not None else None,),
+    ) as pool:
+        results = list(pool.map(task_fn, tasks))
+    if republish:
+        _republish(results)
+    return results

@@ -17,15 +17,31 @@ simulator:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.analysis import report
 from repro.analysis.utility import budget_regions_for
 from repro.config import PCCConfig
-from repro.experiments.common import ExperimentScale, QUICK, config_for, run_policy
+from repro.experiments.common import (
+    ExperimentScale,
+    QUICK,
+    build_named_workload,
+    config_for,
+    run_policy,
+)
+from repro.experiments.parallel import fan_out, resolve_jobs
 from repro.os.kernel import HugePagePolicy
 
 BUDGET_PERCENT = 8
+
+
+def _run_tasks(task_fn, tasks, jobs):
+    """Serial or fanned-out execution of a sweep's task list."""
+    if resolve_jobs(jobs) > 1 and len(tasks) > 1:
+        from repro.experiments.common import parallel_cache_dir
+
+        return fan_out(task_fn, tasks, jobs=jobs, cache_dir=parallel_cache_dir())
+    return [task_fn(task) for task in tasks]
 
 
 @dataclass
@@ -38,57 +54,81 @@ class SweepResult:
     speedups: list[float] = field(default_factory=list)
 
 
+def _counter_bits_task(task: tuple):
+    """One width point: (app, scale fields, width); width 0 = baseline."""
+    app, graph_scale, proxy_accesses, width = task
+    workload = build_named_workload(
+        app, graph_scale=graph_scale, proxy_accesses=proxy_accesses
+    )
+    base_config = config_for(workload)
+    if width == 0:
+        return run_policy(workload, HugePagePolicy.NONE, base_config)
+    config = base_config.with_(
+        pcc=PCCConfig(entries=base_config.pcc.entries, counter_bits=width)
+    )
+    budget = budget_regions_for(workload, BUDGET_PERCENT)
+    return run_policy(workload, HugePagePolicy.PCC, config, budget_regions=budget)
+
+
 def counter_bits_sweep(
     scale: ExperimentScale = QUICK,
     app: str = "BFS",
     bits: tuple[int, ...] = (2, 4, 8, 12, 16),
+    jobs: int | None = None,
 ) -> SweepResult:
     """Speedup at a tight budget as counter width varies."""
-    workload = scale.workload(app)
-    base_config = config_for(workload)
-    budget = budget_regions_for(workload, BUDGET_PERCENT)
-    baseline = run_policy(workload, HugePagePolicy.NONE, base_config)
+    tasks = [(app, scale.graph_scale, scale.proxy_accesses, width)
+             for width in (0, *bits)]
+    results = _run_tasks(_counter_bits_task, tasks, jobs)
+    baseline = results[0]
     result = SweepResult(app=app, parameter="counter_bits")
-    for width in bits:
-        config = base_config.with_(
-            pcc=PCCConfig(
-                entries=base_config.pcc.entries, counter_bits=width
-            )
-        )
-        run = run_policy(
-            workload, HugePagePolicy.PCC, config, budget_regions=budget
-        )
+    for width, run in zip(bits, results[1:]):
         result.values.append(width)
         result.speedups.append(baseline.total_cycles / run.total_cycles)
     return result
+
+
+def _interval_task(task: tuple):
+    """One divisor point: (app, scale fields, divisor, policy value)."""
+    app, graph_scale, proxy_accesses, divisor, policy = task
+    workload = build_named_workload(
+        app, graph_scale=graph_scale, proxy_accesses=proxy_accesses
+    )
+    config = config_for(
+        workload,
+        promote_every_accesses=max(1_000, workload.total_accesses // divisor),
+    )
+    if policy == HugePagePolicy.NONE.value:
+        return run_policy(workload, HugePagePolicy.NONE, config)
+    return run_policy(
+        workload,
+        HugePagePolicy.PCC,
+        config,
+        budget_regions=budget_regions_for(workload, BUDGET_PERCENT),
+    )
 
 
 def interval_sweep(
     scale: ExperimentScale = QUICK,
     app: str = "BFS",
     divisors: tuple[int, ...] = (4, 12, 24, 48, 96),
+    jobs: int | None = None,
 ) -> SweepResult:
     """Speedup as the promotion interval shrinks (more frequent ticks).
 
     ``divisors`` express the interval as trace_length/divisor, so
     larger divisors mean more promotion opportunities per run.
     """
-    workload = scale.workload(app)
-    result = SweepResult(app=app, parameter="intervals_per_run")
+    tasks = []
     for divisor in divisors:
-        config = config_for(
-            workload,
-            promote_every_accesses=max(
-                1_000, workload.total_accesses // divisor
-            ),
-        )
-        baseline = run_policy(workload, HugePagePolicy.NONE, config)
-        run = run_policy(
-            workload,
-            HugePagePolicy.PCC,
-            config,
-            budget_regions=budget_regions_for(workload, BUDGET_PERCENT),
-        )
+        tasks.append((app, scale.graph_scale, scale.proxy_accesses, divisor,
+                      HugePagePolicy.NONE.value))
+        tasks.append((app, scale.graph_scale, scale.proxy_accesses, divisor,
+                      HugePagePolicy.PCC.value))
+    results = _run_tasks(_interval_task, tasks, jobs)
+    result = SweepResult(app=app, parameter="intervals_per_run")
+    for index, divisor in enumerate(divisors):
+        baseline, run = results[2 * index], results[2 * index + 1]
         result.values.append(divisor)
         result.speedups.append(baseline.total_cycles / run.total_cycles)
     return result
@@ -121,9 +161,7 @@ def admission_filter_study(
         if result.pcc_2mb_candidate is None and (
             result.mapping.page_size.name != "GIGA"
         ):
-            result = replace(
-                result, pcc_2mb_candidate=vaddr >> 21
-            )
+            result = result._replace(pcc_2mb_candidate=vaddr >> 21)
         return result
 
     walker_module.PageTableWalker.walk = unfiltered_walk

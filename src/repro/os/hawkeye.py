@@ -116,7 +116,7 @@ class HawkEye:
             if page_table.is_promoted(prefix):
                 self._coverage.pop((page_table.pid, prefix), None)
                 continue
-            if not page_table.mapped_pages_in_region(prefix):
+            if not page_table.region_base_pages(prefix):
                 continue
             try:
                 frame, _ = self.physmem.allocate_huge(

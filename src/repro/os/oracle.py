@@ -69,7 +69,7 @@ class StaticHugeAllocator:
         if (
             prefix in self.regions
             and not page_table.is_promoted(prefix)
-            and not page_table.mapped_pages_in_region(prefix)
+            and not page_table.region_base_pages(prefix)
         ):
             try:
                 frame, _ = self.physmem.allocate_huge(

@@ -163,7 +163,7 @@ class PromotionEngine:
                 continue  # already huge: demotion logic's concern
             if record.frequency < self.min_frequency:
                 continue  # too cold to spend contiguous memory on
-            if not table.mapped_pages_in_region(record.tag):
+            if not table.region_base_pages(record.tag):
                 continue  # nothing resident (stale candidate)
             frame = self._acquire_frame(records, page_tables, record, on_shootdown,
                                         outcome)

@@ -59,7 +59,7 @@ class GreedyTHP:
         """
         if self.enabled and region_eligible:
             prefix = huge_prefix(vaddr)
-            if not page_table.mapped_pages_in_region(prefix):
+            if not page_table.region_base_pages(prefix):
                 try:
                     frame, migrated = self.physmem.allocate_huge(
                         allow_compaction=self.allow_compaction
@@ -115,7 +115,7 @@ class Khugepaged:
             steps += 1
             if page_table.is_promoted(prefix):
                 continue
-            mapped = page_table.mapped_pages_in_region(prefix)
+            mapped = page_table.region_base_pages(prefix)
             scanned_pages += PAGES_PER_HUGE
             self.stats.khugepaged_pages_scanned += PAGES_PER_HUGE
             if not mapped:

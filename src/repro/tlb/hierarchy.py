@@ -76,12 +76,29 @@ class TLBHierarchy:
             PageSize.GIGA: self.l1_giga,
         }
         self._l2_serves_huge = PageSize.HUGE in config.l2.page_sizes
-        # Per page size: (vpn shift, L1 structure, whether L2 caches it).
+        # State hoisted for the hot lookup() path, which inlines the
+        # per-structure hit_fast probes: set lists, set counts, stats
+        # bags, and the two refill bound methods. Each saved attribute
+        # chain or call frame is paid ~10^6 times per quantum.
+        self._b_sets, self._b_n = self.l1_base.sets, self.l1_base.nsets
+        self._h_sets, self._h_n = self.l1_huge.sets, self.l1_huge.nsets
+        self._g_sets, self._g_n = self.l1_giga.sets, self.l1_giga.nsets
+        self._l2_sets, self._l2_n = self.l2.sets, self.l2.nsets
+        self._b_stats = self.l1_base.stats
+        self._h_stats = self.l1_huge.stats
+        self._g_stats = self.l1_giga.stats
+        self._l2_stats = self.l2.stats
+        self._l1_base_fill = self.l1_base.fill
+        self._l1_huge_fill = self.l1_huge.fill
+        # Per page size: (vpn shift, L1 structure, L2 or None, stored
+        # entry value as a plain int — filling with the IntEnum itself
+        # would re-run int() on the enum for every walk).
         self._fill_plan = {
             size: (
                 size.value - BASE_PAGE_SHIFT,
                 self._l1_by_size[size],
-                size in config.l2.page_sizes,
+                self.l2 if size in config.l2.page_sizes else None,
+                int(size.value),
             )
             for size in PageSize
         }
@@ -100,34 +117,65 @@ class TLBHierarchy:
         answers (or on the 4KB structure for a clean miss, since that is
         the probe every access performs).
         """
+        # Each probe below is TLB.hit_fast inlined: dict get, LRU
+        # refresh via delete+reinsert, hit count. The call-free chain
+        # matters more here than anywhere else in the simulator.
         self.accesses += 1
-        if self.l1_base.hit_fast(vpn):
+        entries = self._b_sets[vpn % self._b_n]
+        size = entries.get(vpn)
+        if size is not None:
+            del entries[vpn]
+            entries[vpn] = size
+            self._b_stats.hits += 1
             return _L1_BASE
         huge_tag = vpn >> _HUGE_SHIFT
-        if self.l1_huge.hit_fast(huge_tag):
+        entries = self._h_sets[huge_tag % self._h_n]
+        size = entries.get(huge_tag)
+        if size is not None:
+            del entries[huge_tag]
+            entries[huge_tag] = size
+            self._h_stats.hits += 1
             return _L1_HUGE
-        if self.l1_giga.hit_fast(vpn >> _GIGA_SHIFT):
+        giga_tag = vpn >> _GIGA_SHIFT
+        entries = self._g_sets[giga_tag % self._g_n]
+        size = entries.get(giga_tag)
+        if size is not None:
+            del entries[giga_tag]
+            entries[giga_tag] = size
+            self._g_stats.hits += 1
             return _L1_GIGA
-        self.l1_base.stats.misses += 1
+        self._b_stats.misses += 1
 
-        l2 = self.l2
-        if l2.hit_fast(vpn):
+        l2_sets = self._l2_sets
+        l2_n = self._l2_n
+        entries = l2_sets[vpn % l2_n]
+        size = entries.get(vpn)
+        if size is not None:
+            del entries[vpn]
+            entries[vpn] = size
+            self._l2_stats.hits += 1
             # On an L2 hit the entry is refilled into its L1.
-            self.l1_base.fill(vpn, BASE_PAGE_SHIFT)
+            self._l1_base_fill(vpn, BASE_PAGE_SHIFT)
             return _L2_BASE
-        if self._l2_serves_huge and l2.hit_fast(huge_tag):
-            self.l1_huge.fill(huge_tag, HUGE_PAGE_SHIFT)
-            return _L2_HUGE
-        l2.stats.misses += 1
+        if self._l2_serves_huge:
+            entries = l2_sets[huge_tag % l2_n]
+            size = entries.get(huge_tag)
+            if size is not None:
+                del entries[huge_tag]
+                entries[huge_tag] = size
+                self._l2_stats.hits += 1
+                self._l1_huge_fill(huge_tag, HUGE_PAGE_SHIFT)
+                return _L2_HUGE
+        self._l2_stats.misses += 1
         return _MISS
 
     def fill(self, vpn: int, page_size: PageSize) -> None:
         """Install the walked translation into L1 (and L2 if served)."""
-        shift, l1, in_l2 = self._fill_plan[page_size]
+        shift, l1, l2, entry = self._fill_plan[page_size]
         tag = vpn >> shift
-        l1.fill(tag, page_size)
-        if in_l2:
-            self.l2.fill(tag, page_size)
+        l1.fill(tag, entry)
+        if l2 is not None:
+            l2.fill(tag, entry)
 
     def shootdown_region(self, huge_region: int) -> None:
         """Invalidate every entry overlapping 2MB region ``huge_region``.

@@ -10,7 +10,8 @@ level minus partial walks served by the page-walk caches (PWC).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.config import WalkerConfig
 from repro.tlb.tlb import TLB
@@ -31,6 +32,10 @@ _LEVELS_BY_SIZE = {
 #: successor: PML4 entries cover 512GB, PUD 1GB, PMD 2MB.
 _PWC_LEVEL_SHIFTS = (39, 30, 21)
 
+#: Region shifts hoisted out of the per-walk enum attribute lookups.
+_GIGA_SHIFT = PageSize.GIGA.value
+_HUGE_SHIFT = PageSize.HUGE.value
+
 
 @dataclass
 class WalkerStats:
@@ -50,9 +55,12 @@ class WalkerStats:
         return self.memory_refs / self.walks if self.walks else 0.0
 
 
-@dataclass(frozen=True)
-class WalkResult:
-    """Outcome of one hardware walk."""
+class WalkResult(NamedTuple):
+    """Outcome of one hardware walk.
+
+    A ``NamedTuple``: one is built per TLB miss, and tuple construction
+    stays off the profile in a way frozen-dataclass ``__init__`` does not.
+    """
 
     mapping: Mapping
     cycles: int
@@ -83,15 +91,50 @@ class PageTableWalker:
         # long stretches (one PML4 entry covers 512GB), so most probes
         # re-hit the immediately preceding tag.
         self._last_tags = [-1] * len(self._pwcs)
+        # Hoisted config scalars: _walk_cost reads these per level.
+        self._pwc_hit_cycles = config.pwc_hit_cycles
+        self._memory_ref_cycles = config.memory_ref_cycles
 
     def walk(self, vaddr: int, page_table: PageTable) -> WalkResult:
-        """Perform one walk; update accessed bits and PWCs."""
+        """Perform one walk; update accessed bits and PWCs.
+
+        The cost model (:meth:`_walk_cost`) is inlined here: the walker
+        runs once per full TLB-hierarchy miss and the extra call frame
+        shows up in end-to-end profiles.
+        """
         mapping, pud_was_accessed, pmd_was_accessed = page_table.walk(vaddr)
         levels = _LEVELS_BY_SIZE[mapping.page_size]
-        cycles, refs = self._walk_cost(vaddr, levels)
-        self.stats.walks += 1
-        self.stats.walk_cycles += cycles
-        self.stats.memory_refs += refs
+        stats = self.stats
+        pwcs = self._pwcs
+        last_tags = self._last_tags
+        npwcs = len(pwcs)
+        pwc_hit_cycles = self._pwc_hit_cycles
+        memory_ref_cycles = self._memory_ref_cycles
+        cycles = 0
+        refs = 0
+        for level_index in range(levels - 1):
+            if level_index < npwcs:
+                tag = vaddr >> _PWC_LEVEL_SHIFTS[level_index]
+                if tag == last_tags[level_index]:
+                    stats.pwc_hits += 1
+                    cycles += pwc_hit_cycles
+                    continue
+                pwc = pwcs[level_index]
+                if pwc.lookup(tag):
+                    last_tags[level_index] = tag
+                    stats.pwc_hits += 1
+                    cycles += pwc_hit_cycles
+                    continue
+                stats.pwc_misses += 1
+                pwc.fill(tag, PageSize.BASE)
+                last_tags[level_index] = tag
+            cycles += memory_ref_cycles
+            refs += 1
+        cycles += memory_ref_cycles
+        refs += 1
+        stats.walks += 1
+        stats.walk_cycles += cycles
+        stats.memory_refs += refs
 
         # Fig. 3 admission protocol: a region enters a PCC only when its
         # level accessed bit was already set before this walk, filtering
@@ -99,10 +142,10 @@ class PageTableWalker:
         pcc_2mb = None
         pcc_1gb = None
         if pud_was_accessed:
-            pcc_1gb = vaddr >> PageSize.GIGA.value
+            pcc_1gb = vaddr >> _GIGA_SHIFT
             self.stats.pcc_candidates_1gb += 1
         if mapping.page_size is not PageSize.GIGA and pmd_was_accessed:
-            pcc_2mb = vaddr >> PageSize.HUGE.value
+            pcc_2mb = vaddr >> _HUGE_SHIFT
             self.stats.pcc_candidates_2mb += 1
 
         leaf_is_promoted = mapping.page_size is not PageSize.BASE
@@ -120,31 +163,37 @@ class PageTableWalker:
         The PWC for an upper level, when it hits, replaces that level's
         memory reference with a fast lookup; the leaf reference always
         goes to memory (any leaf PTE requires a single access, §5.4.1).
+        :meth:`walk` inlines this logic; the method remains the
+        authoritative statement of the cost model for tests and tools.
         """
-        config = self.config
         stats = self.stats
+        pwc_hit_cycles = self._pwc_hit_cycles
+        memory_ref_cycles = self._memory_ref_cycles
+        pwcs = self._pwcs
+        last_tags = self._last_tags
+        npwcs = len(pwcs)
         cycles = 0
         refs = 0
         upper_levels = levels - 1
         for level_index in range(upper_levels):
-            if level_index < len(self._pwcs):
+            if level_index < npwcs:
                 tag = vaddr >> _PWC_LEVEL_SHIFTS[level_index]
-                if tag == self._last_tags[level_index]:
+                if tag == last_tags[level_index]:
                     stats.pwc_hits += 1
-                    cycles += config.pwc_hit_cycles
+                    cycles += pwc_hit_cycles
                     continue
-                pwc = self._pwcs[level_index]
+                pwc = pwcs[level_index]
                 if pwc.lookup(tag):
-                    self._last_tags[level_index] = tag
+                    last_tags[level_index] = tag
                     stats.pwc_hits += 1
-                    cycles += config.pwc_hit_cycles
+                    cycles += pwc_hit_cycles
                     continue
                 stats.pwc_misses += 1
                 pwc.fill(tag, PageSize.BASE)
-                self._last_tags[level_index] = tag
-            cycles += config.memory_ref_cycles
+                last_tags[level_index] = tag
+            cycles += memory_ref_cycles
             refs += 1
-        cycles += config.memory_ref_cycles
+        cycles += memory_ref_cycles
         refs += 1
         return cycles, refs
 

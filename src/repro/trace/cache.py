@@ -1,13 +1,34 @@
-"""On-disk trace cache.
+"""Content-addressed on-disk trace cache.
 
 Workload trace generation is deterministic, so traces can be cached on
-disk keyed by their generation parameters. The benchmark harness and
-long examples use this to avoid regenerating multi-hundred-thousand-
-access traces on every invocation.
+disk keyed by their generation parameters. The experiment drivers, the
+parallel ``--jobs`` runner, and the benchmark harness use this to avoid
+regenerating multi-hundred-thousand-access traces: a trace is written
+once and every subsequent run — including concurrent worker processes —
+memory-maps the stored arrays instead of rebuilding or re-pickling
+them.
 
-The cache is content-addressed: the key hashes the workload name and
-its parameter dict, and the payload reuses the ``.npz`` trace format of
-:mod:`repro.trace.io`.
+Two entry formats live side by side in one cache directory:
+
+* **Array entries** (the primary format): one ``<key>.meta.json``
+  commit record plus one ``<key>.<array>.npy`` file per named array.
+  Plain ``.npy`` payloads are memory-mappable (``np.load(mmap_mode=
+  "r")``), which is what lets a pool of worker processes share one
+  on-disk trace without each holding a private copy.
+* **Legacy ``.npz`` entries** storing a raw :class:`Trace`, kept for
+  the original ``get``/``put`` API.
+
+Keys are content hashes over ``(name, params, generator version)``.
+The generator version is baked into every key, so bumping
+:data:`TRACE_GENERATOR_VERSION` after changing any trace generator
+invalidates the whole cache without touching the files.
+
+Writers are crash- and concurrency-safe: every file is written to a
+unique temporary name in the cache directory and published with an
+atomic ``os.replace``; the ``meta.json`` commit record is always
+renamed last, so a reader either sees a complete entry or no entry.
+Corrupt or torn entries are detected at read time, purged, and treated
+as misses — the caller regenerates.
 """
 
 from __future__ import annotations
@@ -15,13 +36,21 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+from dataclasses import dataclass, field
 from pathlib import Path
+
+import numpy as np
 
 from repro.trace.events import Trace
 from repro.trace.io import load_trace, save_trace
 
-#: Environment variable overriding the cache directory.
+#: Environment variable overriding the cache directory. The values
+#: ``0``, ``off``, and ``none`` disable the cache entirely.
 CACHE_DIR_ENV = "REPRO_TRACE_CACHE"
+
+#: Bump when any trace generator changes behaviour: every cache key
+#: embeds this, so old entries become unreachable (not merely stale).
+TRACE_GENERATOR_VERSION = 2
 
 
 def default_cache_dir() -> Path:
@@ -32,36 +61,224 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro-traces"
 
 
-def cache_key(name: str, params: dict) -> str:
+def cache_dir_from_env() -> Path | None:
+    """Cache directory per the environment, ``None`` when disabled.
+
+    Unset selects the default directory; ``0``/``off``/``none``
+    disable caching; anything else is the directory to use.
+    """
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override is not None and override.strip().lower() in ("", "0", "off", "none"):
+        return None
+    return default_cache_dir()
+
+
+def cache_key(
+    name: str,
+    params: dict,
+    generator_version: int = TRACE_GENERATOR_VERSION,
+) -> str:
     """Stable content key for one (generator, parameters) pair."""
-    body = json.dumps({"name": name, "params": params}, sort_keys=True)
+    body = json.dumps(
+        {"name": name, "params": params, "generator": generator_version},
+        sort_keys=True,
+    )
     return hashlib.sha256(body.encode()).hexdigest()[:24]
 
 
-class TraceCache:
-    """Directory-backed cache of generated traces."""
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`TraceCache` instance."""
 
-    def __init__(self, directory: Path | str | None = None) -> None:
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+    purged: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot (for benchmark/CI artifacts)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "purged": self.purged,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+@dataclass
+class CacheEntry:
+    """One decoded array entry: commit metadata plus named arrays."""
+
+    key: str
+    meta: dict
+    arrays: dict[str, np.ndarray] = field(default_factory=dict)
+
+
+class TraceCache:
+    """Directory-backed, content-addressed cache of generated traces."""
+
+    def __init__(
+        self,
+        directory: Path | str | None = None,
+        generator_version: int = TRACE_GENERATOR_VERSION,
+    ) -> None:
         self.directory = Path(directory) if directory else default_cache_dir()
+        self.generator_version = generator_version
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # keys and paths
+
+    def key(self, name: str, params: dict) -> str:
+        """Content key including this cache's generator version."""
+        return cache_key(name, params, self.generator_version)
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.npz"
 
-    def get(self, name: str, params: dict) -> Trace | None:
-        """Cached trace for the parameters, or None."""
-        path = self._path(cache_key(name, params))
-        if not path.exists():
+    def _meta_path(self, key: str) -> Path:
+        return self.directory / f"{key}.meta.json"
+
+    def _array_path(self, key: str, array: str) -> Path:
+        return self.directory / f"{key}.{array}.npy"
+
+    # ------------------------------------------------------------------
+    # atomic publication
+
+    def _publish(self, path: Path, write_fn) -> None:
+        """Write via ``write_fn(tmp_path)`` then atomically rename.
+
+        The temporary name embeds the pid so concurrent writers never
+        collide; ``os.replace`` is atomic within one directory, so a
+        racing reader sees either the old file, the new file, or no
+        file — never a torn write. Last writer wins, which is safe
+        because generation is deterministic: both writers produced
+        identical content.
+        """
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            write_fn(tmp)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # array entries (the mmap-friendly format)
+
+    def get_entry(self, name: str, params: dict, mmap: bool = True) -> CacheEntry | None:
+        """Load a committed array entry, or ``None`` on miss.
+
+        With ``mmap=True`` the arrays are memory-mapped read-only, so
+        several processes replaying the same trace share one set of
+        physical pages. Torn or corrupt entries are purged and count
+        as misses.
+        """
+        key = self.key(name, params)
+        meta_path = self._meta_path(key)
+        if not meta_path.exists():
+            self.stats.misses += 1
             return None
         try:
-            return load_trace(path)
+            meta = json.loads(meta_path.read_text())
+            arrays = {}
+            for array_name in meta["__arrays__"]:
+                arrays[array_name] = np.load(
+                    self._array_path(key, array_name),
+                    mmap_mode="r" if mmap else None,
+                    allow_pickle=False,
+                )
+        except (ValueError, OSError, KeyError, TypeError, EOFError):
+            # A torn or corrupt entry (e.g. a crashed writer published
+            # meta for a deleted array, or bytes were truncated) is
+            # purged and reported as a miss; the caller regenerates.
+            self._purge_entry(key)
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        user_meta = {k: v for k, v in meta.items() if k != "__arrays__"}
+        return CacheEntry(key=key, meta=user_meta, arrays=arrays)
+
+    def put_entry(
+        self, name: str, params: dict, arrays: dict[str, np.ndarray], meta: dict | None = None
+    ) -> str:
+        """Atomically store named arrays plus a JSON metadata record.
+
+        Array files are published first and the ``meta.json`` commit
+        record last, so a concurrent reader never observes a committed
+        entry with missing payloads.
+        """
+        key = self.key(name, params)
+        for array_name, array in arrays.items():
+            self._publish(
+                self._array_path(key, array_name),
+                lambda tmp, a=array: _save_npy(tmp, a),
+            )
+        record = dict(meta or {})
+        record["__arrays__"] = sorted(arrays)
+        self._publish(
+            self._meta_path(key),
+            lambda tmp: tmp.write_text(json.dumps(record, sort_keys=True)),
+        )
+        self.stats.writes += 1
+        return key
+
+    def get_or_build_entry(self, name: str, params: dict, builder, mmap: bool = True) -> CacheEntry:
+        """Cached entry, or build/store/reload one.
+
+        ``builder()`` returns ``(arrays, meta)``. The entry is re-read
+        after the store so the caller always gets the mmap-backed view.
+        """
+        cached = self.get_entry(name, params, mmap=mmap)
+        if cached is not None:
+            return cached
+        arrays, meta = builder()
+        self.put_entry(name, params, arrays, meta)
+        entry = self.get_entry(name, params, mmap=mmap)
+        if entry is None:  # pragma: no cover - disk raced/vanished
+            return CacheEntry(key=self.key(name, params), meta=dict(meta), arrays=dict(arrays))
+        return entry
+
+    def _purge_entry(self, key: str) -> None:
+        """Drop every file belonging to one array entry."""
+        self._meta_path(key).unlink(missing_ok=True)
+        for path in self.directory.glob(f"{key}.*.npy"):
+            path.unlink(missing_ok=True)
+        self.stats.purged += 1
+
+    # ------------------------------------------------------------------
+    # legacy whole-trace entries (.npz)
+
+    def get(self, name: str, params: dict) -> Trace | None:
+        """Cached raw trace for the parameters, or None."""
+        path = self._path(self.key(name, params))
+        if not path.exists():
+            self.stats.misses += 1
+            return None
+        try:
+            trace = load_trace(path)
         except (ValueError, OSError, KeyError):
             # a corrupt or stale entry is treated as a miss
             path.unlink(missing_ok=True)
+            self.stats.purged += 1
+            self.stats.misses += 1
             return None
+        self.stats.hits += 1
+        return trace
 
     def put(self, name: str, params: dict, trace: Trace) -> Path:
-        """Store a freshly generated trace."""
-        return save_trace(trace, self._path(cache_key(name, params)))
+        """Store a freshly generated raw trace (atomic publish)."""
+        path = self._path(self.key(name, params))
+        self._publish(path, lambda tmp: _save_npz_exact(trace, tmp))
+        self.stats.writes += 1
+        return path
 
     def get_or_build(self, name: str, params: dict, builder) -> Trace:
         """Return the cached trace or build, store, and return it."""
@@ -72,18 +289,43 @@ class TraceCache:
         self.put(name, params, trace)
         return trace
 
+    # ------------------------------------------------------------------
+    # maintenance
+
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number of files removed."""
         if not self.directory.exists():
             return 0
         removed = 0
-        for path in self.directory.glob("*.npz"):
-            path.unlink()
-            removed += 1
+        for pattern in ("*.npz", "*.npy", "*.meta.json"):
+            for path in self.directory.glob(pattern):
+                path.unlink()
+                removed += 1
         return removed
 
     def size_bytes(self) -> int:
         """Total bytes stored in the cache."""
         if not self.directory.exists():
             return 0
-        return sum(p.stat().st_size for p in self.directory.glob("*.npz"))
+        return sum(
+            p.stat().st_size
+            for pattern in ("*.npz", "*.npy", "*.meta.json")
+            for p in self.directory.glob(pattern)
+        )
+
+
+def _save_npy(path: Path, array: np.ndarray) -> None:
+    """``np.save`` keeping our exact tmp filename.
+
+    ``np.save`` appends ``.npy`` to bare paths; saving through an open
+    handle avoids that, so the atomic-rename bookkeeping stays simple.
+    """
+    with open(path, "wb") as handle:
+        np.save(handle, np.ascontiguousarray(array))
+
+
+def _save_npz_exact(trace: Trace, path: Path) -> None:
+    """``save_trace`` variant that never rewrites the target suffix."""
+    written = save_trace(trace, path)
+    if written != path:  # save_trace appended ".npz" to the tmp name
+        os.replace(written, path)

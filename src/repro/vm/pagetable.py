@@ -14,9 +14,13 @@ THP collapse/split.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.vm.address import (
+    BASE_PAGE_SHIFT,
+    GIGA_PAGE_SHIFT,
+    HUGE_PAGE_SHIFT,
     HUGE_PER_GIGA,
     PAGES_PER_HUGE,
     PageSize,
@@ -26,9 +30,13 @@ from repro.vm.address import (
 )
 
 
-@dataclass(frozen=True)
-class Mapping:
-    """Result of one translation: the leaf entry backing an address."""
+class Mapping(NamedTuple):
+    """Result of one translation: the leaf entry backing an address.
+
+    A ``NamedTuple`` rather than a dataclass: one is created per page
+    walk on the simulator's hottest path, and tuple construction is
+    several times cheaper than frozen-dataclass ``__init__``.
+    """
 
     page_size: PageSize
     #: region number at ``page_size`` granularity (the TLB tag)
@@ -77,6 +85,13 @@ class PageTable:
         self._giga: dict[int, int] = {}
         #: PUD-level accessed bits
         self._pud_accessed: set[int] = set()
+        #: live 4KB PTEs per 2MB region — lets fault/promotion paths
+        #: answer "does this region hold base pages?" without scanning
+        #: all 512 candidate VPNs
+        self._base_count: dict[int, int] = {}
+        #: distinct accessed PTEs per 2MB region since the last
+        #: :meth:`clear_accessed_bits` (HawkEye's coverage metric)
+        self._accessed_count: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # population
@@ -93,7 +108,8 @@ class PageTable:
     def map_base(self, vaddr: int, frame: int) -> None:
         """Install a 4KB PTE backing the page containing ``vaddr``."""
         page = vpn(vaddr)
-        region = self._huge.get(huge_prefix(vaddr))
+        prefix = huge_prefix(vaddr)
+        region = self._huge.get(prefix)
         if region is not None and region.promoted:
             raise PageTableError(
                 f"page {page:#x} already covered by promoted 2MB region"
@@ -101,6 +117,7 @@ class PageTable:
         if page in self._ptes:
             raise PageTableError(f"page {page:#x} already mapped")
         self._ptes[page] = frame
+        self._base_count[prefix] = self._base_count.get(prefix, 0) + 1
         self.stats.faults += 1
 
     def map_huge(self, vaddr: int, frame: int) -> None:
@@ -113,7 +130,7 @@ class PageTable:
         state = self._huge.setdefault(prefix, _HugeRegionState())
         if state.promoted:
             raise PageTableError(f"2MB region {prefix:#x} already promoted")
-        if any(page in self._ptes for page in self._region_pages(prefix)):
+        if self._base_count.get(prefix):
             raise PageTableError(
                 f"2MB region {prefix:#x} holds base pages; use promote()"
             )
@@ -146,22 +163,39 @@ class PageTable:
         the booleans report whether the respective level's accessed bit
         was *already set before this walk* — the signal the walker uses
         to admit regions into the 1GB / 2MB PCCs (cold-miss filter).
+
+        Translation is inlined rather than delegated to
+        :meth:`translate` so each walk computes the level prefixes only
+        once (as plain shifts, not the address-helper calls) — this
+        method sits on the simulator's hot TLB-miss path.
         """
-        mapping = self.translate(vaddr)
-        if mapping is None:
-            raise PageTableError(f"walk of unmapped address {vaddr:#x}")
-        giga = giga_prefix(vaddr)
+        giga = vaddr >> GIGA_PAGE_SHIFT
+        giga_frame = self._giga.get(giga)
+        if giga_frame is not None:
+            pud_was_accessed = giga in self._pud_accessed
+            self._pud_accessed.add(giga)
+            # the PUD entry is the leaf; there is no PMD level
+            return Mapping(PageSize.GIGA, giga, giga_frame), pud_was_accessed, False
+        prefix = vaddr >> HUGE_PAGE_SHIFT
+        state = self._huge.get(prefix)
+        page = -1
+        if state is not None and state.promoted:
+            mapping = Mapping(PageSize.HUGE, prefix, state.frame)
+        else:
+            page = vaddr >> BASE_PAGE_SHIFT
+            frame = self._ptes.get(page)
+            if frame is None:
+                raise PageTableError(f"walk of unmapped address {vaddr:#x}")
+            mapping = Mapping(PageSize.BASE, page, frame)
         pud_was_accessed = giga in self._pud_accessed
         self._pud_accessed.add(giga)
-        if mapping.page_size is PageSize.GIGA:
-            # the PUD entry is the leaf; there is no PMD level
-            return mapping, pud_was_accessed, False
-        prefix = huge_prefix(vaddr)
-        state = self._huge.setdefault(prefix, _HugeRegionState())
+        if state is None:
+            state = self._huge[prefix] = _HugeRegionState()
         pmd_was_accessed = state.accessed
         state.accessed = True
-        if mapping.page_size is PageSize.BASE:
-            self._pte_accessed.add(mapping.tag)
+        if page >= 0 and page not in self._pte_accessed:
+            self._pte_accessed.add(page)
+            self._accessed_count[prefix] = self._accessed_count.get(prefix, 0) + 1
         return mapping, pud_was_accessed, pmd_was_accessed
 
     # ------------------------------------------------------------------
@@ -169,7 +203,18 @@ class PageTable:
 
     def mapped_pages_in_region(self, prefix: int) -> list[int]:
         """VPNs of 4KB pages currently mapped inside 2MB region ``prefix``."""
+        if not self._base_count.get(prefix):
+            return []
         return [page for page in self._region_pages(prefix) if page in self._ptes]
+
+    def region_base_pages(self, prefix: int) -> int:
+        """Count of 4KB pages mapped inside 2MB region ``prefix`` (O(1)).
+
+        Prefer this over ``mapped_pages_in_region`` when only the count
+        (or emptiness) matters: it avoids scanning 512 candidate VPNs on
+        every fault and khugepaged pass.
+        """
+        return self._base_count.get(prefix, 0)
 
     def is_promoted(self, prefix: int) -> bool:
         """Whether 2MB region ``prefix`` is backed by a huge page."""
@@ -196,6 +241,7 @@ class PageTable:
             )
         for page in remapped:
             del self._ptes[page]
+        self._base_count[prefix] = 0
         state.promoted = True
         state.frame = frame
         self.stats.promotions += 1
@@ -216,6 +262,7 @@ class PageTable:
             )
         for page, frame in zip(pages, frames):
             self._ptes[page] = frame
+        self._base_count[prefix] = PAGES_PER_HUGE
         state.promoted = False
         state.frame = -1
         self.stats.demotions += 1
@@ -240,6 +287,7 @@ class PageTable:
             for page in self.mapped_pages_in_region(prefix):
                 del self._ptes[page]
                 absorbed += 1
+            self._base_count[prefix] = 0
         if absorbed == 0:
             raise PageTableError(f"1GB region {giga:#x} has nothing to promote")
         self._giga[giga] = frame
@@ -253,6 +301,7 @@ class PageTable:
         """Reset all accessed bits (HawkEye-style interval scanning)."""
         self._pte_accessed.clear()
         self._pud_accessed.clear()
+        self._accessed_count.clear()
         for state in self._huge.values():
             state.accessed = False
 
@@ -265,11 +314,13 @@ class PageTable:
     def accessed_pages_in_region(self, prefix: int) -> int:
         """Count of PTE accessed bits set inside 2MB region ``prefix``.
 
-        This is HawkEye's access-coverage metric (§2.2).
+        This is HawkEye's access-coverage metric (§2.2). Maintained as
+        a running per-region counter on the walk path, so the lookup is
+        O(1). Bits go stale exactly like the set they mirror: promotion
+        and demotion leave them untouched until the next
+        :meth:`clear_accessed_bits` sweep.
         """
-        return sum(
-            1 for page in self._region_pages(prefix) if page in self._pte_accessed
-        )
+        return self._accessed_count.get(prefix, 0)
 
     def region_accessed(self, prefix: int) -> bool:
         """PMD accessed bit of 2MB region ``prefix``."""
@@ -292,8 +343,13 @@ class PageTable:
         return len(self._ptes)
 
     def touched_huge_regions(self) -> list[int]:
-        """2MB regions holding any mapping (base or huge), sorted."""
-        regions = {huge_prefix(page << 12) for page in self._ptes}
+        """2MB regions holding any mapping (base or huge), sorted.
+
+        Derived from the per-region live-PTE counts rather than the PTE
+        dict itself: khugepaged calls this every scan interval, and the
+        region count dict is ~512x smaller than the page dict.
+        """
+        regions = {p for p, c in self._base_count.items() if c}
         regions.update(p for p, s in self._huge.items() if s.promoted)
         return sorted(regions)
 

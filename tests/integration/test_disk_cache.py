@@ -1,11 +1,16 @@
 """Tests for the opt-in on-disk workload trace cache."""
 
-import copy
-
 import pytest
 
-from repro.experiments.common import _cached_workload, config_for, run_policy
+from repro.experiments.common import (
+    _cached_workload,
+    clone_workload,
+    config_for,
+    ensure_workload_cached,
+    run_policy,
+)
 from repro.os.kernel import HugePagePolicy
+from repro.trace.cache import TRACE_GENERATOR_VERSION, cache_key
 
 
 @pytest.fixture
@@ -17,18 +22,26 @@ def disk_cache(tmp_path, monkeypatch):
 
 
 class TestDiskCache:
-    ARGS = ("BFS", "kronecker", 10, 20_000, False)
+    ARGS = ("BFS", "kronecker", 10, 20_000, False, None)
 
     def test_disabled_without_env(self, tmp_path, monkeypatch):
         monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
         _cached_workload.cache_clear()
         _cached_workload(*self.ARGS)
-        assert not list(tmp_path.rglob("*.npz"))
+        assert not list(tmp_path.rglob("*.npy"))
+        _cached_workload.cache_clear()
+
+    def test_disabled_when_env_off(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "off")
+        _cached_workload.cache_clear()
+        _cached_workload(*self.ARGS)
+        assert not list(tmp_path.rglob("*.npy"))
         _cached_workload.cache_clear()
 
     def test_populates_on_first_build(self, disk_cache):
         _cached_workload(*self.ARGS)
-        assert list(disk_cache.rglob("*.npz"))
+        assert list(disk_cache.glob("*.meta.json"))
+        assert list(disk_cache.glob("*.npy"))
 
     def test_reload_is_behaviourally_identical(self, disk_cache):
         first = _cached_workload(*self.ARGS)
@@ -37,13 +50,49 @@ class TestDiskCache:
         assert first.total_accesses == second.total_accesses
         assert first.footprint_huge_regions() == second.footprint_huge_regions()
         config = config_for(first)
-        a = run_policy(copy.deepcopy(first), HugePagePolicy.NONE, config)
-        b = run_policy(copy.deepcopy(second), HugePagePolicy.NONE, config)
+        a = run_policy(clone_workload(first), HugePagePolicy.NONE, config)
+        b = run_policy(clone_workload(second), HugePagePolicy.NONE, config)
         assert a.walks == b.walks
         assert a.total_cycles == b.total_cycles
 
-    def test_cache_is_version_scoped(self, disk_cache):
-        import repro
-
+    def test_cache_is_generator_version_scoped(self, disk_cache):
         _cached_workload(*self.ARGS)
-        assert (disk_cache / repro.__version__).exists()
+        keys = {p.name.split(".")[0] for p in disk_cache.glob("*.meta.json")}
+        # The generator version is baked into every key: the same
+        # parameters under a bumped generator hash to a fresh entry.
+        app, dataset, scale, accesses, sorted_dbg, seed = self.ARGS
+        params = {
+            "dataset": dataset,
+            "scale": scale,
+            "accesses": accesses,
+            "sorted_dbg": sorted_dbg,
+            "seed": seed,
+        }
+        current = cache_key(app, params, TRACE_GENERATOR_VERSION)
+        bumped = cache_key(app, params, TRACE_GENERATOR_VERSION + 1)
+        assert current in keys
+        assert bumped not in keys
+        assert current != bumped
+
+    def test_ensure_workload_cached_prewarms(self, disk_cache):
+        app, dataset, scale, accesses, sorted_dbg, seed = self.ARGS
+        ensure_workload_cached(
+            app,
+            dataset=dataset,
+            graph_scale=scale,
+            proxy_accesses=accesses,
+            sorted_dbg=sorted_dbg,
+            seed=seed,
+        )
+        assert list(disk_cache.glob("*.meta.json"))
+        # Idempotent: a second call does not duplicate entries.
+        before = sorted(p.name for p in disk_cache.iterdir())
+        ensure_workload_cached(
+            app,
+            dataset=dataset,
+            graph_scale=scale,
+            proxy_accesses=accesses,
+            sorted_dbg=sorted_dbg,
+            seed=seed,
+        )
+        assert sorted(p.name for p in disk_cache.iterdir()) == before

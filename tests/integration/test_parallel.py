@@ -1,0 +1,148 @@
+"""The process-pool fan-out must be observationally identical to serial.
+
+``--jobs N`` only changes *where* configurations run, never what they
+compute: every spec is deterministic given its parameters, workers
+rebuild workloads through the shared trace cache, and the parent
+republishes worker metrics. These tests pin all three properties.
+"""
+
+import os
+
+import pytest
+
+from repro.engine.simulation import SimulationResult
+from repro.experiments.common import (
+    ExperimentScale,
+    RunSpec,
+    build_named_workload,
+    config_for,
+    execute_spec,
+    run_policy,
+    run_specs,
+)
+from repro.experiments.parallel import JOBS_ENV, fan_out, resolve_jobs
+from repro.os.kernel import HugePagePolicy
+
+TINY = ExperimentScale(name="t", graph_scale=10, proxy_accesses=20_000)
+
+
+def _fingerprint(result: SimulationResult) -> tuple:
+    return (
+        result.policy,
+        result.total_cycles,
+        result.accesses,
+        result.walks,
+        result.l1_hits,
+        result.l2_hits,
+        result.promotions,
+        result.demotions,
+    )
+
+
+def _specs() -> list[RunSpec]:
+    return [
+        RunSpec.for_scale(TINY, app, policy, label=f"{app}/{policy.value}")
+        for app in ("BFS", "mcf")
+        for policy in (HugePagePolicy.NONE, HugePagePolicy.PCC)
+    ]
+
+
+class TestResolveJobs:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "7")
+        assert resolve_jobs(3) == 3
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "5")
+        assert resolve_jobs(None) == 5
+
+    def test_default_serial(self, monkeypatch):
+        monkeypatch.delenv(JOBS_ENV, raising=False)
+        assert resolve_jobs(None) == 1
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestFanOut:
+    def test_serial_path_for_jobs_one(self):
+        assert fan_out(_square, [1, 2, 3], jobs=1) == [1, 4, 9]
+
+    def test_parallel_preserves_task_order(self):
+        tasks = list(range(12))
+        assert fan_out(_square, tasks, jobs=3) == [x * x for x in tasks]
+
+    def test_single_task_never_pools(self):
+        assert fan_out(_square, [5], jobs=8) == [25]
+
+
+class TestParallelEquivalence:
+    def test_jobs_two_matches_serial(self, tmp_path, monkeypatch):
+        """The acceptance property: fan-out changes wall-clock, not stats."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        specs = _specs()
+        serial = run_specs(specs, jobs=1)
+        parallel = run_specs(specs, jobs=2)
+        assert [_fingerprint(r) for r in parallel] == [
+            _fingerprint(r) for r in serial
+        ]
+
+    def test_worker_metrics_republished_to_parent(self, tmp_path, monkeypatch):
+        """--metrics-out must see every run regardless of --jobs."""
+        from repro.metrics import collecting
+
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        specs = _specs()[:2]
+        with collecting() as collector:
+            run_specs(specs, jobs=2)
+        assert len(collector.runs) == len(specs)
+
+
+class TestDefensiveCopies:
+    def test_simulation_never_mutates_cached_workload(self):
+        """Each consumer gets a pristine clone even after a sim ran."""
+        from repro.engine.simulation import Simulator
+
+        first = build_named_workload("BFS", graph_scale=10,
+                                     proxy_accesses=20_000)
+        config = config_for(first)
+        Simulator(config, policy=HugePagePolicy.PCC).run([first])
+        assert first.pid != -1  # the run bound the workload shell...
+        second = build_named_workload("BFS", graph_scale=10,
+                                      proxy_accesses=20_000)
+        assert second.pid == -1  # ...but the cached instance is untouched
+
+    def test_clones_share_trace_arrays(self):
+        """Defensive copies must not duplicate multi-MB address arrays."""
+        first = build_named_workload("BFS", graph_scale=10,
+                                     proxy_accesses=20_000)
+        second = build_named_workload("BFS", graph_scale=10,
+                                      proxy_accesses=20_000)
+        assert first is not second
+        for a, b in zip(first.threads, second.threads):
+            assert a.trace.vpns is b.trace.vpns
+            assert a.trace.counts is b.trace.counts
+
+
+class TestExecuteSpec:
+    def test_spec_round_trip_matches_direct_run(self):
+        spec = RunSpec.for_scale(TINY, "BFS", HugePagePolicy.PCC)
+        via_spec = execute_spec(spec)
+        workload = build_named_workload(
+            "BFS", graph_scale=TINY.graph_scale,
+            proxy_accesses=TINY.proxy_accesses,
+        )
+        direct = run_policy(workload, HugePagePolicy.PCC, config_for(workload))
+        assert _fingerprint(via_spec) == _fingerprint(direct)
+
+    def test_zero_budget_runs_baseline(self):
+        spec = RunSpec.for_scale(
+            TINY, "mcf", HugePagePolicy.PCC, budget_percent=0
+        )
+        result = execute_spec(spec)
+        assert result.policy == HugePagePolicy.NONE.value
+        assert result.promotions == 0

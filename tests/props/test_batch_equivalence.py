@@ -1,0 +1,175 @@
+"""The vectorized batch path must be invisible in every statistic.
+
+The batch mode of :class:`~repro.engine.machine.TranslationPipeline`
+bulk-retires runs of records proven to be tier-1 memo hits from a
+once-per-window retirement mask (previous-same-set links, the hint
+barrier, and per-region mapping state). Its correctness claim is the
+same as the fast path's, one level up: *bit-identical behavior* to
+both the per-record fast path and the scalar reference — the same
+walks, per-structure hits, cycles, promotions, demotions, and
+timelines, on any trace, under any interleaving, across promotion
+ticks, demotions, fragmentation, and 1GB promotions.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import tiny_config
+from repro.engine.simulation import Simulator
+from repro.os.kernel import HugePagePolicy, KernelParams
+from tests.props.test_fastpath_equivalence import (
+    _non_fastpath_counters,
+    _result_fingerprint,
+    _workload,
+    thread_page_streams,
+)
+
+BASE = 0x5555_5540_0000
+
+POLICIES = [
+    HugePagePolicy.NONE,
+    HugePagePolicy.LINUX_THP,
+    HugePagePolicy.HAWKEYE,
+    HugePagePolicy.PCC,
+    HugePagePolicy.IDEAL,
+]
+
+
+@st.composite
+def bursty_page_streams(draw):
+    """1-2 threads alternating hot bursts with random strides.
+
+    Bursts over a handful of pages produce the long same-set repeat
+    runs the batch path retires in bulk; the random tail fragments the
+    mask so retire runs and scalar gaps interleave within one window.
+    """
+    threads = draw(st.integers(1, 2))
+    streams = []
+    for _ in range(threads):
+        pages: list[int] = []
+        for _ in range(draw(st.integers(1, 4))):
+            hot = draw(st.integers(0, 40))
+            burst = draw(st.integers(4, 60))
+            stride = draw(st.integers(0, 2))
+            pages.extend(hot + (k % 3) * stride for k in range(burst))
+            tail = draw(
+                st.lists(st.integers(0, 700), min_size=0, max_size=30)
+            )
+            pages.extend(tail)
+        streams.append(
+            np.uint64(BASE)
+            + np.array(pages, dtype=np.uint64) * np.uint64(4096)
+        )
+    return streams
+
+
+def _run(streams, policy, *, batch, fast_path=True, config=None,
+         params=None, fragmentation=0.0):
+    config = config or tiny_config(cores=2)
+    simulator = Simulator(
+        config,
+        policy=policy,
+        params=params,
+        fragmentation=fragmentation,
+        fast_path=fast_path,
+        batch=batch,
+    )
+    return simulator.run([_workload(streams)])
+
+
+@given(streams=thread_page_streams(), policy=st.sampled_from(POLICIES))
+@settings(max_examples=50, deadline=None)
+def test_batch_is_bit_identical_to_scalar(streams, policy):
+    baseline = _run(streams, policy, batch=False, fast_path=False)
+    batched = _run(streams, policy, batch=True)
+    assert _result_fingerprint(batched) == _result_fingerprint(baseline)
+
+
+@given(streams=bursty_page_streams(), policy=st.sampled_from(POLICIES))
+@settings(max_examples=50, deadline=None)
+def test_batch_is_bit_identical_on_bursty_streams(streams, policy):
+    """Retire-heavy traces: long bulk runs interleaved with gaps."""
+    fast = _run(streams, policy, batch=False)
+    batched = _run(streams, policy, batch=True)
+    assert _result_fingerprint(batched) == _result_fingerprint(fast)
+
+
+@given(streams=bursty_page_streams())
+@settings(max_examples=25, deadline=None)
+def test_batch_metrics_counters_match(streams):
+    """The metrics bus sees identical counters too (fastpath.* aside)."""
+    baseline = _run(streams, HugePagePolicy.PCC, batch=False,
+                    fast_path=False)
+    batched = _run(streams, HugePagePolicy.PCC, batch=True)
+    assert _non_fastpath_counters(batched) == _non_fastpath_counters(baseline)
+
+
+@given(streams=bursty_page_streams())
+@settings(max_examples=25, deadline=None)
+def test_batch_survives_tight_promotion_intervals(streams):
+    """Frequent ticks (interval 32) bump the epoch almost every window,
+    constantly resetting the hint barrier behind the link arrays."""
+    from dataclasses import replace
+
+    config = tiny_config(cores=2)
+    config = config.with_(os=replace(config.os, promote_every_accesses=32))
+    fast = _run(streams, HugePagePolicy.PCC, batch=False, config=config)
+    batched = _run(streams, HugePagePolicy.PCC, batch=True, config=config)
+    assert _result_fingerprint(batched) == _result_fingerprint(fast)
+
+
+@given(
+    streams=bursty_page_streams(),
+    fragmentation=st.sampled_from([0.5, 0.9]),
+)
+@settings(max_examples=25, deadline=None)
+def test_batch_survives_fragmentation_and_demotion(streams, fragmentation):
+    """Fragmented memory forces fault-time huge failures and demotion
+    churn — the region-state transitions the window mask must respect."""
+    config = tiny_config(cores=2)
+    params = KernelParams(
+        regions_to_promote=config.os.regions_to_promote,
+        demotion_enabled=True,
+    )
+    fast = _run(streams, HugePagePolicy.PCC, batch=False, params=params,
+                fragmentation=fragmentation)
+    batched = _run(streams, HugePagePolicy.PCC, batch=True, params=params,
+                   fragmentation=fragmentation)
+    assert _result_fingerprint(batched) == _result_fingerprint(fast)
+
+
+def test_batch_handles_giga_promoted_regions():
+    """1GB-backed regions are answered by a structure the MRU hints do
+    not cover; the mask must leave them to the scalar span."""
+    from repro.experiments.ablations import giant_span_workload
+    from repro.experiments.common import config_for
+
+    workload = giant_span_workload(giga_regions=2, accesses=20_000)
+    config = config_for(workload)
+    results = []
+    for batch in (False, True):
+        import copy
+
+        sim = Simulator(config, policy=HugePagePolicy.PCC, batch=batch)
+        results.append(sim.run([copy.deepcopy(workload)]))
+    assert _result_fingerprint(results[1]) == _result_fingerprint(results[0])
+
+
+def test_batch_escape_hatch_selects_per_record_loop():
+    """batch=False must leave the batch counters untouched."""
+    rng = np.random.default_rng(7)
+    pages = rng.integers(0, 64, size=4_000)
+    streams = [
+        np.uint64(BASE) + pages.astype(np.uint64) * np.uint64(4096)
+    ]
+    sim = Simulator(tiny_config(), policy=HugePagePolicy.PCC, batch=False)
+    sim.run([_workload(streams)])
+    pipeline = sim.machine.pipelines[0]
+    assert pipeline.batch_retired == 0
+    assert pipeline.batch_scalar_records == 0
+
+    sim = Simulator(tiny_config(), policy=HugePagePolicy.PCC, batch=True)
+    sim.run([_workload(streams)])
+    pipeline = sim.machine.pipelines[0]
+    assert pipeline.batch_retired > 0
