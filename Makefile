@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples scorecard clean
+.PHONY: install test chaos bench bench-full examples scorecard clean
 
 install:
 	$(PYTHON) -m pip install -e ".[test]" --no-build-isolation
@@ -12,6 +12,12 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# the fault matrix: crashes, hangs, cache corruption, kill+resume
+chaos:
+	$(PYTHON) -m pytest tests/resilience/ \
+		tests/integration/test_resilience_pipeline.py \
+		tests/trace/test_cache_resilience.py -q
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q

@@ -65,6 +65,13 @@ def build_parser() -> argparse.ArgumentParser:
         "traces through the on-disk cache ($REPRO_TRACE_CACHE or "
         "~/.cache/repro-traces).",
     )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted sweep: load finished configurations "
+        "from the run journal ($REPRO_JOURNAL or ~/.cache/repro-journal) "
+        "and only recompute the rest",
+    )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
     p_fig1 = sub.add_parser("fig1", help="motivation: page sizes vs Linux THP")
@@ -168,8 +175,15 @@ def _run_compare(args, scale: ExperimentScale) -> str:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    import os
+
+    from repro.resilience.journal import JOURNAL_ENV, default_journal_dir
+
     args = build_parser().parse_args(argv)
     scale = _scale_of(args.scale)
+    # journal by default so an interrupted sweep can be picked up with
+    # --resume; REPRO_JOURNAL=off opts out, an explicit path overrides
+    os.environ.setdefault(JOURNAL_ENV, str(default_journal_dir()))
     if args.metrics_out:
         from pathlib import Path
 
@@ -191,8 +205,13 @@ def main(argv: Sequence[str] | None = None) -> int:
 
 def _dispatch(args, scale: ExperimentScale) -> int:
     jobs = getattr(args, "jobs", None)
+    resume = getattr(args, "resume", False)
     if args.experiment == "fig1":
-        print(fig1.render(fig1.run(scale, apps=_split(args.apps), jobs=jobs)))
+        print(
+            fig1.render(
+                fig1.run(scale, apps=_split(args.apps), jobs=jobs, resume=resume)
+            )
+        )
     elif args.experiment == "fig2":
         print(fig2.render(fig2.run(scale)))
     elif args.experiment == "fig5":
@@ -201,24 +220,30 @@ def _dispatch(args, scale: ExperimentScale) -> int:
         budgets = _int_tuple(args.budgets, BUDGET_PERCENTS)
         print(
             fig5.render(
-                fig5.run(scale, apps=_split(args.apps), budgets=budgets, jobs=jobs)
+                fig5.run(scale, apps=_split(args.apps), budgets=budgets,
+                         jobs=jobs, resume=resume)
             )
         )
     elif args.experiment == "fig6":
-        print(fig6.render(fig6.run(scale, jobs=jobs)))
+        print(fig6.render(fig6.run(scale, jobs=jobs, resume=resume)))
     elif args.experiment == "fig7":
         apps = tuple(_split(args.apps) or ("BFS", "SSSP", "PR"))
         rows = fig7.run(
-            scale, apps=apps, fragmentation=args.fragmentation, jobs=jobs
+            scale, apps=apps, fragmentation=args.fragmentation, jobs=jobs,
+            resume=resume,
         )
         print(fig7.render(rows, fragmentation=args.fragmentation))
     elif args.experiment == "fig8":
-        print(fig8.render(fig8.run(scale, jobs=jobs)))
+        print(fig8.render(fig8.run(scale, jobs=jobs, resume=resume)))
     elif args.experiment == "fig9":
         pair = _split(args.pair)
         if not pair or len(pair) != 2:
             raise SystemExit("--pair needs exactly two apps, e.g. PR,mcf")
-        print(fig9.render(fig9.run_case(pair[0], pair[1], scale, jobs=jobs)))
+        print(
+            fig9.render(
+                fig9.run_case(pair[0], pair[1], scale, jobs=jobs, resume=resume)
+            )
+        )
     elif args.experiment == "table1":
         print(tables.render_table1(tables.run_table1(scale)))
         print()
@@ -226,7 +251,7 @@ def _dispatch(args, scale: ExperimentScale) -> int:
     elif args.experiment == "ablations":
         print(
             ablations.render_replacement(
-                ablations.run_replacement(scale, jobs=jobs)
+                ablations.run_replacement(scale, jobs=jobs, resume=resume)
             )
         )
         print()

@@ -65,7 +65,11 @@ def run_replacement(
     apps: tuple[str, ...] = ("BFS", "PR"),
     sizes: tuple[int, ...] = (8, 32, 128),
     jobs: int | None = None,
+    resume: bool = False,
 ) -> list[ReplacementRow]:
+    """Replacement-policy ablation grid (``jobs > 1`` fans out)."""
+    from repro.resilience.journal import journal_from_env
+
     apps = tuple(apps)
     tasks = []
     for app in apps:
@@ -79,10 +83,12 @@ def run_replacement(
         from repro.experiments.common import parallel_cache_dir
 
         results = fan_out(
-            _replacement_task, tasks, jobs=jobs, cache_dir=parallel_cache_dir()
+            _replacement_task, tasks, jobs=jobs, cache_dir=parallel_cache_dir(),
+            journal=journal_from_env(), resume=resume,
         )
     else:
-        results = [_replacement_task(task) for task in tasks]
+        results = fan_out(_replacement_task, tasks, jobs=1,
+                          journal=journal_from_env(), resume=resume)
 
     rows = []
     stride = 1 + 2 * len(sizes)

@@ -155,12 +155,15 @@ def _jsonable_meta(value):
 def _cached_workload(app: str, dataset: str, graph_scale: int, proxy_accesses: int,
                      sorted_dbg: bool, seed: int | None) -> ProcessWorkload:
     """Build (or load) one workload; callers must clone before use."""
+    from repro.resilience.faults import fault_point
+
     params = _cache_params(dataset, graph_scale, proxy_accesses, sorted_dbg, seed)
     disk = _disk_cache()
     if disk is not None:
         entry = disk.get_entry(app, params)
         if entry is not None:
             return workload_from_entry(entry)
+    fault_point("workload.build", detail=app)
     workload = build_workload(
         app,
         dataset=dataset,
@@ -429,10 +432,20 @@ def parallel_cache_dir():
 
 
 def prewarm_trace_cache(specs, cache_dir=None) -> None:
-    """Write every unique workload among ``specs`` to the disk cache."""
-    from repro.trace.cache import CACHE_DIR_ENV
+    """Write every unique workload among ``specs`` to the disk cache.
+
+    Before warming, tmp files orphaned by previously crashed writers
+    are swept (:meth:`~repro.trace.cache.TraceCache.recover_stale`).
+    Each warm-up is retried through a small bounded loop so a transient
+    builder failure (including an injected one) never kills the sweep
+    before it even fans out.
+    """
+    import time as _time
+
+    from repro.trace.cache import CACHE_DIR_ENV, TraceCache
 
     cache_dir = cache_dir or parallel_cache_dir()
+    TraceCache(cache_dir).recover_stale()
     previous = os.environ.get(CACHE_DIR_ENV)
     os.environ[CACHE_DIR_ENV] = str(cache_dir)
     try:
@@ -443,13 +456,20 @@ def prewarm_trace_cache(specs, cache_dir=None) -> None:
             if ident in seen:
                 continue
             seen.add(ident)
-            ensure_workload_cached(
-                spec.app,
-                dataset=spec.dataset,
-                graph_scale=spec.graph_scale,
-                proxy_accesses=spec.proxy_accesses,
-                seed=spec.seed,
-            )
+            for attempt in range(3):
+                try:
+                    ensure_workload_cached(
+                        spec.app,
+                        dataset=spec.dataset,
+                        graph_scale=spec.graph_scale,
+                        proxy_accesses=spec.proxy_accesses,
+                        seed=spec.seed,
+                    )
+                    break
+                except Exception:
+                    if attempt == 2:
+                        raise
+                    _time.sleep(0.05 * (attempt + 1))
     finally:
         if previous is None:
             del os.environ[CACHE_DIR_ENV]
@@ -457,7 +477,12 @@ def prewarm_trace_cache(specs, cache_dir=None) -> None:
             os.environ[CACHE_DIR_ENV] = previous
 
 
-def run_specs(specs, jobs: int | None = None) -> list[SimulationResult]:
+def run_specs(
+    specs,
+    jobs: int | None = None,
+    resume: bool = False,
+    journal=None,
+) -> list[SimulationResult]:
     """Run many independent specs, serially or across a process pool.
 
     With ``jobs > 1`` the trace cache is pre-warmed from the parent
@@ -465,12 +490,30 @@ def run_specs(specs, jobs: int | None = None) -> list[SimulationResult]:
     shared entries. Results come back in spec order and their metrics
     exports are republished to the parent's collectors, so serial and
     parallel runs are observationally identical.
+
+    Execution is resilient (see :func:`repro.experiments.parallel.fan_out`):
+    failed specs are retried with backoff, crashed or hung workers
+    recycle the pool, and — when a journal is active (``journal``
+    argument or ``$REPRO_JOURNAL``) — every completed spec's result is
+    checkpoint-committed so ``resume=True`` skips it after a kill.
     """
     from repro.experiments.parallel import fan_out, resolve_jobs
+    from repro.resilience.journal import journal_from_env
 
     specs = list(specs)
+    if journal is None:
+        journal = journal_from_env()
+    cache_dir = None
+    jobs_effective = 1
     if resolve_jobs(jobs) > 1 and len(specs) > 1:
         cache_dir = parallel_cache_dir()
         prewarm_trace_cache(specs, cache_dir)
-        return fan_out(execute_spec, specs, jobs=jobs, cache_dir=cache_dir)
-    return [execute_spec(spec) for spec in specs]
+        jobs_effective = jobs
+    return fan_out(
+        execute_spec,
+        specs,
+        jobs=jobs_effective,
+        cache_dir=cache_dir,
+        journal=journal,
+        resume=resume,
+    )

@@ -33,8 +33,10 @@ def run(
     scale: ExperimentScale = QUICK,
     apps: list[str] | None = None,
     jobs: int | None = None,
+    resume: bool = False,
 ) -> list[Fig1Row]:
-    """Produce one row per application (``jobs > 1`` fans out)."""
+    """Produce one row per application (``jobs > 1`` fans out;
+    ``resume`` skips journal-committed specs after a kill)."""
     apps = list(apps or workload_names())
     specs = [
         RunSpec.for_scale(scale, app, policy, fragmentation=frag)
@@ -45,7 +47,7 @@ def run(
             (HugePagePolicy.LINUX_THP, 0.5),
         )
     ]
-    results = run_specs(specs, jobs)
+    results = run_specs(specs, jobs, resume=resume)
     rows = []
     for index, app in enumerate(apps):
         baseline, ideal, thp = results[3 * index : 3 * index + 3]

@@ -69,9 +69,11 @@ def run(
     apps: list[str] | None = None,
     budgets: tuple[int, ...] = BUDGET_PERCENTS,
     jobs: int | None = None,
+    resume: bool = False,
 ) -> Fig5Result:
     """Every (app, policy, budget) point is an independent run, so the
-    whole figure fans out across ``jobs`` workers."""
+    whole figure fans out across ``jobs`` workers; ``resume`` skips
+    journal-committed specs after a kill."""
     apps = list(apps or workload_names())
     specs = []
     for app in apps:
@@ -89,7 +91,7 @@ def run(
             RunSpec.for_scale(scale, app, HugePagePolicy.LINUX_THP,
                               fragmentation=0.9)
         )
-    results = run_specs(specs, jobs)
+    results = run_specs(specs, jobs, resume=resume)
 
     result = Fig5Result()
     stride = 2 * len(budgets) + 3

@@ -23,6 +23,7 @@ from repro.experiments.common import (
     run_policy,
 )
 from repro.experiments.parallel import fan_out, resolve_jobs
+from repro.resilience.journal import journal_from_env
 from repro.os.kernel import HugePagePolicy
 
 DEFAULT_SIZES = (4, 8, 16, 32, 64, 128, 256, 512, 1024)
@@ -74,6 +75,7 @@ def run(
     apps: tuple[str, ...] = ("BFS", "SSSP", "PR"),
     sizes: tuple[int, ...] = DEFAULT_SIZES,
     jobs: int | None = None,
+    resume: bool = False,
 ) -> list[Fig6App]:
     # The knee's position scales with the HUB-set size: with a small
     # footprint the promotion budget binds before PCC capacity can.
@@ -104,9 +106,11 @@ def run(
             ],
             cache_dir,
         )
-        results = fan_out(_task, tasks, jobs=jobs, cache_dir=cache_dir)
+        results = fan_out(_task, tasks, jobs=jobs, cache_dir=cache_dir,
+                          journal=journal_from_env(), resume=resume)
     else:
-        results = [_task(task) for task in tasks]
+        results = fan_out(_task, tasks, jobs=1,
+                          journal=journal_from_env(), resume=resume)
 
     out = []
     stride = len(sizes) + 2

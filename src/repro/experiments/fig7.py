@@ -32,8 +32,10 @@ def run(
     apps: tuple[str, ...] = ("BFS", "SSSP", "PR"),
     fragmentation: float = FRAGMENTATION,
     jobs: int | None = None,
+    resume: bool = False,
 ) -> list[Fig7Row]:
-    """Five independent runs per app (``jobs > 1`` fans them out)."""
+    """Five independent runs per app (``jobs > 1`` fans them out;
+    ``resume`` skips journal-committed specs after a kill)."""
     apps = tuple(apps)
     specs = []
     for app in apps:
@@ -49,7 +51,7 @@ def run(
                 fragmentation=fragmentation, demotion=True,
             )
         )
-    results = run_specs(specs, jobs)
+    results = run_specs(specs, jobs, resume=resume)
     rows = []
     for index, app in enumerate(apps):
         baseline, hawkeye, linux, pcc, pcc_demote = (

@@ -114,8 +114,11 @@ def run(
     thread_counts: tuple[int, ...] = (2, 4, 8),
     budget_percent: int = BUDGET_PERCENT,
     jobs: int | None = None,
+    resume: bool = False,
 ) -> list[Fig8Cell]:
     """One task per (app, thread-count) cell; cells fan out."""
+    from repro.resilience.journal import journal_from_env
+
     tasks = [
         (app, scale.graph_scale, scale.proxy_accesses, threads, budget_percent)
         for app in apps
@@ -125,9 +128,11 @@ def run(
         from repro.experiments.common import parallel_cache_dir
 
         return fan_out(
-            _cell_task, tasks, jobs=jobs, cache_dir=parallel_cache_dir()
+            _cell_task, tasks, jobs=jobs, cache_dir=parallel_cache_dir(),
+            journal=journal_from_env(), resume=resume,
         )
-    return [_cell_task(task) for task in tasks]
+    return fan_out(_cell_task, tasks, jobs=1,
+                   journal=journal_from_env(), resume=resume)
 
 
 def render(cells: list[Fig8Cell]) -> str:

@@ -22,6 +22,7 @@ from repro.experiments.common import (
     config_for,
 )
 from repro.experiments.parallel import fan_out, resolve_jobs
+from repro.resilience.journal import journal_from_env
 from repro.os.kernel import HugePagePolicy, KernelParams
 
 BUDGETS = (1, 2, 4, 8, 16, 32, 64, 100)
@@ -90,6 +91,7 @@ def run_case(
     scale: ExperimentScale = QUICK,
     budgets: tuple[int, ...] = BUDGETS,
     jobs: int | None = None,
+    resume: bool = False,
 ) -> Fig9Case:
     """The (policy x budget) grid plus references, optionally fanned out."""
     common = (app_a, app_b, scale.graph_scale, scale.proxy_accesses)
@@ -114,9 +116,11 @@ def run_case(
             ],
             cache_dir,
         )
-        results = fan_out(_case_task, tasks, jobs=jobs, cache_dir=cache_dir)
+        results = fan_out(_case_task, tasks, jobs=jobs, cache_dir=cache_dir,
+                          journal=journal_from_env(), resume=resume)
     else:
-        results = [_case_task(task) for task in tasks]
+        results = fan_out(_case_task, tasks, jobs=1,
+                          journal=journal_from_env(), resume=resume)
 
     baseline, ideal = results[0], results[1]
     base_by_app = {

@@ -1,4 +1,4 @@
-"""Process-pool fan-out for independent simulation runs.
+"""Resilient process-pool fan-out for independent simulation runs.
 
 The figure sweeps run many (workload x policy x parameter)
 configurations that share nothing but the deterministic input traces.
@@ -11,36 +11,206 @@ configurations that share nothing but the deterministic input traces.
   worker regenerates a trace another configuration already produced,
   and preserves task order in the returned list.
 
+Execution is **resilient**: tasks are governed by a
+:class:`~repro.resilience.retry.RetryPolicy` giving each one a bounded
+number of attempts with deterministic exponential-backoff delays and
+an optional per-task timeout. A worker crash (``BrokenProcessPool``)
+or a timed-out task recycles the pool — hung workers are terminated,
+unfinished tasks are requeued, and the pool is rebuilt one worker
+smaller; after ``max_pool_rebuilds`` deaths the remaining tasks fall
+back to serial in-process execution. Tasks that keep failing are
+quarantined with their identity and error history in a structured
+:class:`FanOutReport`, and :func:`fan_out` raises :class:`FanOutError`
+carrying that report rather than a context-free pickled traceback:
+worker-side failures are wrapped in :class:`TaskError` naming the
+task's spec. Retry/timeout/quarantine/pool events are counted on the
+:mod:`repro.resilience.bus` and published to active metrics
+collectors.
+
+With a :class:`~repro.resilience.journal.RunJournal`, every completed
+result is atomically committed as a shard; ``resume=True`` loads
+committed shards instead of recomputing their tasks, which is what
+backs the CLI's ``--resume`` after a killed sweep.
+
 Workers return plain :class:`~repro.engine.simulation.SimulationResult`
 objects. Because each worker has its own process, its metrics-bus
 publications never reach the parent's collectors; :func:`fan_out`
-therefore republishes each returned result's ``metrics`` export in the
-parent, keeping ``--metrics-out`` and the benchmark session aggregate
-complete regardless of ``jobs``.
+therefore republishes each pool-computed (or journal-resumed) result's
+``metrics`` export in the parent, keeping ``--metrics-out`` and the
+benchmark session aggregate complete regardless of ``jobs``. Results
+produced in-process (serial path, serial fallback) already published
+at run time and are not republished.
 
 Task functions must be module-level (picklable) and take one argument.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+import warnings
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
 
 from repro.metrics import publish_run
+from repro.resilience import bus
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import RetryPolicy
 
 #: Environment default for the pool width (CLI ``--jobs`` overrides).
 JOBS_ENV = "REPRO_JOBS"
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Effective pool width: explicit value, $REPRO_JOBS, or 1."""
+    """Effective pool width: explicit value, $REPRO_JOBS, or 1.
+
+    A non-integer ``$REPRO_JOBS`` warns (naming the variable) and runs
+    serially rather than crashing the sweep.
+    """
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
-        jobs = int(env) if env else 1
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                warnings.warn(
+                    f"{JOBS_ENV}={env!r} is not an integer; running serially "
+                    f"(set {JOBS_ENV} to a worker count, 0 for all cores)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                jobs = 1
+        else:
+            jobs = 1
     if jobs <= 0:  # 0 / negative = "use every core"
         jobs = os.cpu_count() or 1
     return jobs
+
+
+def describe_task(task) -> str:
+    """Human-readable identity of one task for error reports.
+
+    Prefers an explicit ``label`` attribute (``RunSpec.label``), then a
+    dataclass rendering of the spec's fields, then ``repr``.
+    """
+    label = getattr(task, "label", None)
+    if isinstance(label, str) and label:
+        return label
+    if dataclasses.is_dataclass(task) and not isinstance(task, type):
+        fields = ", ".join(
+            f"{f.name}={getattr(task, f.name)!r}" for f in dataclasses.fields(task)
+        )
+        return f"{type(task).__name__}({fields})"[:300]
+    return repr(task)[:300]
+
+
+class TaskError(RuntimeError):
+    """A task failed in a worker, with the task's identity attached.
+
+    Raised worker-side around the real exception so the parent sees
+    *which* spec failed (workload/policy/params) plus the original
+    traceback text, instead of a context-free pickled traceback.
+    """
+
+    def __init__(self, task_desc: str, cause: str) -> None:
+        super().__init__(f"task {task_desc} failed: {cause}")
+        self.task_desc = task_desc
+        self.cause = cause
+
+    def __reduce__(self):
+        """Pickle by (identity, cause) so worker->parent transport is safe."""
+        return (type(self), (self.task_desc, self.cause))
+
+
+@dataclass
+class TaskFailure:
+    """One quarantined task: identity, attempts, and error history."""
+
+    index: int
+    task: str
+    attempts: int
+    errors: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-safe form for reports and metrics meta."""
+        return {
+            "index": self.index,
+            "task": self.task,
+            "attempts": self.attempts,
+            "errors": list(self.errors),
+        }
+
+
+@dataclass
+class FanOutReport:
+    """Structured account of one resilient :func:`fan_out` invocation."""
+
+    tasks: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    serial_fallback: bool = False
+    resumed: int = 0
+    quarantined: list[TaskFailure] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-safe form for reports and metrics meta."""
+        return {
+            "tasks": self.tasks,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_rebuilds": self.pool_rebuilds,
+            "serial_fallback": self.serial_fallback,
+            "resumed": self.resumed,
+            "quarantined": [failure.as_dict() for failure in self.quarantined],
+        }
+
+    @property
+    def eventful(self) -> bool:
+        """True when any resilience machinery actually engaged."""
+        return bool(
+            self.retries
+            or self.timeouts
+            or self.pool_rebuilds
+            or self.serial_fallback
+            or self.resumed
+            or self.quarantined
+        )
+
+
+class FanOutError(RuntimeError):
+    """Tasks remained failed after retries; carries the full report."""
+
+    def __init__(self, report: FanOutReport) -> None:
+        names = ", ".join(failure.task for failure in report.quarantined)
+        super().__init__(
+            f"{len(report.quarantined)} task(s) quarantined after retries: {names}"
+        )
+        self.report = report
+
+
+class _TaskRunner:
+    """Picklable task wrapper: fault hook plus identity-carrying errors."""
+
+    def __init__(self, task_fn) -> None:
+        self.task_fn = task_fn
+
+    def __call__(self, indexed_task):
+        index, task = indexed_task
+        desc = describe_task(task)
+        fault_point("worker.task", detail=desc)
+        try:
+            return self.task_fn(task)
+        except TaskError:
+            raise
+        except Exception as exc:
+            trace = "".join(traceback.format_exception(type(exc), exc, exc.__traceback__))
+            raise TaskError(desc, trace.strip()) from None
 
 
 def _pool_context():
@@ -65,27 +235,294 @@ def _republish(results) -> None:
             publish_run(metrics)
 
 
-def fan_out(task_fn, tasks, jobs: int | None = None, cache_dir=None, republish: bool = True):
+class _FanOut:
+    """One resilient execution of a task list (see :func:`fan_out`)."""
+
+    def __init__(self, task_fn, tasks, jobs, cache_dir, policy, journal, resume):
+        self.task_fn = task_fn
+        self.tasks = tasks
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.policy = policy
+        self.journal = journal
+        self.report = FanOutReport(tasks=len(tasks))
+        self.results: dict[int, object] = {}
+        #: indices whose results came from a pool worker or the journal
+        #: (their metrics were never published in this process)
+        self.foreign: set[int] = set()
+        self.attempts: dict[int, int] = {}
+        self.errors: dict[int, list[str]] = {}
+        self.not_before: dict[int, float] = {}
+        self.keys: dict[int, str] = {}
+        if journal is not None:
+            self.keys = {i: journal.key_for(task_fn, t) for i, t in enumerate(tasks)}
+        self.pending: list[int] = []
+        for index in range(len(tasks)):
+            if resume and journal is not None:
+                loaded = journal.load(self.keys[index])
+                if loaded is not None:
+                    self.results[index] = loaded
+                    self.foreign.add(index)
+                    self.report.resumed += 1
+                    continue
+            self.pending.append(index)
+            self.attempts[index] = 0
+            self.errors[index] = []
+            self.not_before[index] = 0.0
+
+    # ------------------------------------------------------------------
+    # shared bookkeeping
+
+    def _commit(self, index: int, result) -> None:
+        self.results[index] = result
+        if self.journal is not None:
+            self.journal.commit(self.keys[index], result)
+
+    def _fail(self, index: int, message: str, queue: deque, *, timed_out: bool = False) -> bool:
+        """Record one failed attempt; requeue or quarantine.
+
+        Returns True when the task was quarantined.
+        """
+        self.attempts[index] += 1
+        self.errors[index].append(message)
+        if timed_out:
+            self.report.timeouts += 1
+            bus.counter("tasks.timeouts").add()
+        if self.attempts[index] >= self.policy.max_attempts:
+            self.report.quarantined.append(
+                TaskFailure(
+                    index=index,
+                    task=describe_task(self.tasks[index]),
+                    attempts=self.attempts[index],
+                    errors=self.errors[index],
+                )
+            )
+            bus.counter("tasks.quarantined").add()
+            return True
+        self.report.retries += 1
+        bus.counter("tasks.retried").add()
+        self.not_before[index] = time.monotonic() + self.policy.delay(
+            str(index), self.attempts[index]
+        )
+        queue.append(index)
+        return False
+
+    # ------------------------------------------------------------------
+    # serial execution (jobs <= 1, and the fallback after pool deaths)
+
+    def run_serial(self, indices) -> None:
+        """Run tasks in-process with the same retry/quarantine rules."""
+        runner = _TaskRunner(self.task_fn)
+        queue = deque(indices)
+        while queue:
+            index = queue.popleft()
+            delay = self.not_before[index] - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            try:
+                result = runner((index, self.tasks[index]))
+            except Exception as exc:
+                self._fail(index, _message_of(exc), queue)
+                continue
+            self._commit(index, result)
+
+    # ------------------------------------------------------------------
+    # pooled execution
+
+    def run_pool(self) -> None:
+        """Run pending tasks across a self-healing process pool."""
+        runner = _TaskRunner(self.task_fn)
+        queue = deque(self.pending)
+        width = min(self.jobs, max(1, len(queue)))
+        rebuilds = 0
+        pool = self._make_pool(width)
+        outstanding: dict = {}
+        started: dict = {}
+        try:
+            while queue or outstanding:
+                broken = False
+                now = time.monotonic()
+                while len(outstanding) < width and not broken:
+                    index = self._pop_ready(queue, now)
+                    if index is None:
+                        break
+                    try:
+                        future = pool.submit(runner, (index, self.tasks[index]))
+                    except (BrokenProcessPool, RuntimeError):
+                        queue.appendleft(index)
+                        broken = True
+                        break
+                    outstanding[future] = index
+                    started[future] = time.monotonic()
+                if not outstanding and not broken:
+                    if not queue:
+                        break
+                    # everything left is backing off; sleep to the next
+                    wake = min(self.not_before[i] for i in queue)
+                    time.sleep(max(0.0, min(wake - time.monotonic(), 0.25)))
+                    continue
+                if outstanding:
+                    done, _ = wait(
+                        set(outstanding),
+                        timeout=self._wait_timeout(queue, started),
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        index = outstanding.pop(future)
+                        started.pop(future, None)
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            broken = True
+                            self._fail(index, "worker process died (pool broken)", queue)
+                        except CancelledError:
+                            queue.appendleft(index)
+                        except Exception as exc:
+                            self._fail(index, _message_of(exc), queue)
+                        else:
+                            self._commit(index, result)
+                            self.foreign.add(index)
+                    broken |= self._expire_overdue(outstanding, started, queue)
+                if broken:
+                    # requeue survivors without an attempt penalty: the
+                    # pool is being recycled under them
+                    for index in outstanding.values():
+                        queue.appendleft(index)
+                    outstanding.clear()
+                    started.clear()
+                    _terminate_pool(pool)
+                    rebuilds += 1
+                    self.report.pool_rebuilds += 1
+                    bus.counter("pool.rebuilds").add()
+                    if rebuilds > self.policy.max_pool_rebuilds:
+                        self.report.serial_fallback = True
+                        bus.counter("pool.serial_fallbacks").add()
+                        self.run_serial(list(queue))
+                        return
+                    width = max(1, width - 1)
+                    pool = self._make_pool(width)
+        finally:
+            _terminate_pool(pool)
+
+    def _make_pool(self, width: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=width,
+            mp_context=_pool_context(),
+            initializer=_worker_init,
+            initargs=(str(self.cache_dir) if self.cache_dir is not None else None,),
+        )
+
+    def _pop_ready(self, queue: deque, now: float):
+        """Next index whose backoff delay has elapsed, or ``None``."""
+        for _ in range(len(queue)):
+            index = queue.popleft()
+            if self.not_before[index] <= now:
+                return index
+            queue.append(index)
+        return None
+
+    def _wait_timeout(self, queue: deque, started: dict) -> float | None:
+        """How long to block in ``wait()`` before rechecking deadlines."""
+        candidates = []
+        now = time.monotonic()
+        if self.policy.timeout is not None and started:
+            candidates.append(min(started.values()) + self.policy.timeout - now)
+        if queue:
+            candidates.append(min(self.not_before[i] for i in queue) - now)
+        if not candidates:
+            return None
+        return max(0.02, min(candidates))
+
+    def _expire_overdue(self, outstanding: dict, started: dict, queue: deque) -> bool:
+        """Fail tasks past the per-task timeout; True if any expired."""
+        if self.policy.timeout is None:
+            return False
+        now = time.monotonic()
+        overdue = [
+            future
+            for future, begun in started.items()
+            if future in outstanding and now - begun >= self.policy.timeout
+        ]
+        for future in overdue:
+            index = outstanding.pop(future)
+            started.pop(future, None)
+            self._fail(
+                index,
+                f"task exceeded the {self.policy.timeout:g}s timeout",
+                queue,
+                timed_out=True,
+            )
+        return bool(overdue)
+
+
+def _message_of(exc: Exception) -> str:
+    if isinstance(exc, TaskError):
+        return str(exc)
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when its workers are hung or dead.
+
+    ``shutdown(wait=False)`` alone would leave a hung worker sleeping
+    for minutes; terminating the processes makes teardown prompt.
+    """
+    processes_by_pid = getattr(pool, "_processes", None)
+    processes = list(processes_by_pid.values()) if isinstance(processes_by_pid, dict) else []
+    pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            continue
+    for process in processes:
+        try:
+            process.join(timeout=2.0)
+        except Exception:
+            continue
+
+
+def fan_out(
+    task_fn,
+    tasks,
+    jobs: int | None = None,
+    cache_dir=None,
+    republish: bool = True,
+    policy: RetryPolicy | None = None,
+    journal=None,
+    resume: bool = False,
+):
     """Run ``task_fn`` over ``tasks``, optionally across processes.
 
     Returns results in task order. ``cache_dir`` (a path) is exported
     to every worker as the trace-cache directory; pass the directory
     you pre-warmed so workers memory-map traces instead of rebuilding
-    them. With ``republish`` (default), results carrying a ``metrics``
-    export are re-published to the parent's metrics collectors.
+    them. With ``republish`` (default), results computed in workers (or
+    loaded from the journal) have their ``metrics`` exports re-published
+    to the parent's metrics collectors.
+
+    ``policy`` governs retries/timeouts/pool rebuilds (default:
+    :meth:`RetryPolicy.from_env`). ``journal`` (a
+    :class:`~repro.resilience.journal.RunJournal`) checkpoint-commits
+    every completed result; with ``resume=True`` previously committed
+    results are loaded instead of recomputed. Raises
+    :class:`FanOutError` if any task exhausts its attempts.
     """
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
-    if jobs <= 1 or len(tasks) <= 1:
-        return [task_fn(task) for task in tasks]
-    workers = min(jobs, len(tasks))
-    with ProcessPoolExecutor(
-        max_workers=workers,
-        mp_context=_pool_context(),
-        initializer=_worker_init,
-        initargs=(str(cache_dir) if cache_dir is not None else None,),
-    ) as pool:
-        results = list(pool.map(task_fn, tasks))
+    policy = policy or RetryPolicy.from_env()
+    state = _FanOut(task_fn, tasks, jobs, cache_dir, policy, journal, resume)
+    if state.pending:
+        if jobs > 1 and len(state.pending) > 1:
+            state.run_pool()
+        else:
+            state.run_serial(state.pending)
+    report = state.report
+    if report.eventful:
+        bus.publish(meta={"report": report.as_dict()})
+    if report.quarantined:
+        raise FanOutError(report)
+    ordered = [state.results[index] for index in range(len(tasks))]
     if republish:
-        _republish(results)
-    return results
+        _republish(ordered[i] for i in sorted(state.foreign))
+    return ordered

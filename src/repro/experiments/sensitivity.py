@@ -35,13 +35,17 @@ from repro.os.kernel import HugePagePolicy
 BUDGET_PERCENT = 8
 
 
-def _run_tasks(task_fn, tasks, jobs):
+def _run_tasks(task_fn, tasks, jobs, resume=False):
     """Serial or fanned-out execution of a sweep's task list."""
+    from repro.resilience.journal import journal_from_env
+
     if resolve_jobs(jobs) > 1 and len(tasks) > 1:
         from repro.experiments.common import parallel_cache_dir
 
-        return fan_out(task_fn, tasks, jobs=jobs, cache_dir=parallel_cache_dir())
-    return [task_fn(task) for task in tasks]
+        return fan_out(task_fn, tasks, jobs=jobs, cache_dir=parallel_cache_dir(),
+                       journal=journal_from_env(), resume=resume)
+    return fan_out(task_fn, tasks, jobs=1,
+                   journal=journal_from_env(), resume=resume)
 
 
 @dataclass
@@ -75,11 +79,12 @@ def counter_bits_sweep(
     app: str = "BFS",
     bits: tuple[int, ...] = (2, 4, 8, 12, 16),
     jobs: int | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Speedup at a tight budget as counter width varies."""
     tasks = [(app, scale.graph_scale, scale.proxy_accesses, width)
              for width in (0, *bits)]
-    results = _run_tasks(_counter_bits_task, tasks, jobs)
+    results = _run_tasks(_counter_bits_task, tasks, jobs, resume=resume)
     baseline = results[0]
     result = SweepResult(app=app, parameter="counter_bits")
     for width, run in zip(bits, results[1:]):
@@ -113,6 +118,7 @@ def interval_sweep(
     app: str = "BFS",
     divisors: tuple[int, ...] = (4, 12, 24, 48, 96),
     jobs: int | None = None,
+    resume: bool = False,
 ) -> SweepResult:
     """Speedup as the promotion interval shrinks (more frequent ticks).
 
@@ -125,7 +131,7 @@ def interval_sweep(
                       HugePagePolicy.NONE.value))
         tasks.append((app, scale.graph_scale, scale.proxy_accesses, divisor,
                       HugePagePolicy.PCC.value))
-    results = _run_tasks(_interval_task, tasks, jobs)
+    results = _run_tasks(_interval_task, tasks, jobs, resume=resume)
     result = SweepResult(app=app, parameter="intervals_per_run")
     for index, divisor in enumerate(divisors):
         baseline, run = results[2 * index], results[2 * index + 1]

@@ -1,0 +1,63 @@
+"""Resilience layer: fault injection, retries, and checkpoint/resume.
+
+The experiment pipeline fans hundreds of deterministic simulation
+tasks across worker processes; this package is what lets that pipeline
+survive the failures long sweeps actually hit:
+
+- :mod:`repro.resilience.faults` — a deterministic, env-driven fault
+  injection harness (worker crashes, hangs, cache corruption,
+  transient builder exceptions) striking named points in the real code
+  paths, with cross-process exactly-once semantics.
+- :mod:`repro.resilience.retry` — the :class:`RetryPolicy` governing
+  per-task timeouts, bounded retries with deterministic
+  exponential-backoff jitter, and pool-rebuild limits.
+- :mod:`repro.resilience.journal` — the content-addressed
+  checkpoint/resume shard store behind ``--resume``.
+- :mod:`repro.resilience.bus` — process-global retry/quarantine/repair
+  counters published through the ``repro.metrics`` bus.
+
+The consumer is :func:`repro.experiments.parallel.fan_out`, which
+threads all four through every figure sweep.
+"""
+
+from repro.resilience import bus
+from repro.resilience.faults import (
+    FAULT_STATE_ENV,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    InjectedFault,
+    corrupt_file,
+    fault_point,
+    injecting,
+    parse_faults,
+)
+from repro.resilience.journal import (
+    JOURNAL_ENV,
+    JournalStats,
+    RunJournal,
+    default_journal_dir,
+    journal_from_env,
+)
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "bus",
+    "FAULTS_ENV",
+    "FAULT_STATE_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultSpecError",
+    "InjectedFault",
+    "corrupt_file",
+    "fault_point",
+    "injecting",
+    "parse_faults",
+    "JOURNAL_ENV",
+    "JournalStats",
+    "RunJournal",
+    "default_journal_dir",
+    "journal_from_env",
+    "RetryPolicy",
+]

@@ -1,0 +1,281 @@
+"""Deterministic fault injection for the experiment pipeline.
+
+The resilience machinery (retries, pool rebuilds, cache self-healing,
+checkpoint/resume) is only trustworthy if the *real* code paths are
+exercised under the failures they claim to survive. This module plants
+named instrumentation points — :func:`fault_point` calls — in the
+production pipeline and fires scripted faults at them, driven entirely
+by environment variables so CI chaos jobs and worker processes inherit
+the plan without code changes.
+
+A plan is a comma-separated list of fault specs::
+
+    REPRO_FAULTS="crash@worker.task, hang@worker.task:2=30, exc@workload.build~BFS"
+
+Each spec is ``kind@site[:nth][~match][=arg]``:
+
+* ``kind`` — what happens when the fault fires:
+  ``crash`` hard-kills the worker process (``os._exit``; in the main
+  process it degrades to a raised :class:`InjectedFault` so a serial
+  sweep is never killed), ``hang`` sleeps ``arg`` seconds (default 30),
+  ``exc`` raises a transient :class:`InjectedFault`, and ``corrupt``
+  overwrites the file a site offers with deterministic garbage.
+* ``site`` — the named :func:`fault_point` to strike (e.g.
+  ``worker.task``, ``workload.build``, ``trace.cache.read``,
+  ``cache.publish``).
+* ``:nth`` — fire on the nth matching occurrence *in one process*
+  (default: the first).
+* ``~match`` — only count occurrences whose detail string contains
+  this substring (e.g. a task label).
+* ``=arg`` — numeric argument (hang duration in seconds).
+
+Every fault fires **exactly once across all processes**: firing claims
+a marker file in the shared state directory (``REPRO_FAULT_STATE``)
+with an atomic ``O_CREAT|O_EXCL`` open, so the retry that follows a
+crash or hang runs clean instead of re-triggering the same fault. With
+no state directory the claim set is process-local, which is sufficient
+for serial runs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.resilience import bus
+
+#: Environment variable carrying the comma-separated fault plan.
+FAULTS_ENV = "REPRO_FAULTS"
+#: Environment variable naming the shared fired-marker directory.
+FAULT_STATE_ENV = "REPRO_FAULT_STATE"
+
+#: Recognised fault kinds.
+KINDS = ("crash", "hang", "exc", "corrupt")
+
+#: Exit code a ``crash`` fault kills the worker with (visible in
+#: pool-death diagnostics).
+CRASH_EXIT_CODE = 70
+
+#: Default ``hang`` duration when the spec carries no ``=arg``.
+DEFAULT_HANG_SECONDS = 30.0
+
+
+class InjectedFault(RuntimeError):
+    """A transient failure raised by the fault-injection harness."""
+
+
+class FaultSpecError(ValueError):
+    """A fault plan string could not be parsed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scripted fault: what to inject, where, and when."""
+
+    kind: str
+    site: str
+    nth: int = 1
+    match: str = ""
+    arg: float | None = None
+
+    @property
+    def ident(self) -> str:
+        """Stable identity used for the cross-process fired marker."""
+        return f"{self.kind}@{self.site}:{self.nth}~{self.match}"
+
+
+def parse_faults(text: str) -> tuple[FaultSpec, ...]:
+    """Parse a ``REPRO_FAULTS`` plan string into fault specs."""
+    specs = []
+    for chunk in text.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        if "@" not in chunk:
+            raise FaultSpecError(f"fault spec {chunk!r} lacks '@site'")
+        kind, rest = chunk.split("@", 1)
+        kind = kind.strip()
+        if kind not in KINDS:
+            raise FaultSpecError(f"unknown fault kind {kind!r} (choose from {KINDS})")
+        arg = None
+        if "=" in rest:
+            rest, raw = rest.rsplit("=", 1)
+            try:
+                arg = float(raw)
+            except ValueError as exc:
+                raise FaultSpecError(f"fault arg {raw!r} is not a number") from exc
+        match = ""
+        if "~" in rest:
+            rest, match = rest.split("~", 1)
+        nth = 1
+        if ":" in rest:
+            rest, raw = rest.split(":", 1)
+            try:
+                nth = int(raw)
+            except ValueError as exc:
+                raise FaultSpecError(f"fault occurrence {raw!r} is not an integer") from exc
+            if nth < 1:
+                raise FaultSpecError(f"fault occurrence must be >= 1, got {nth}")
+        site = rest.strip()
+        if not site:
+            raise FaultSpecError(f"fault spec {chunk!r} names no site")
+        specs.append(FaultSpec(kind=kind, site=site, nth=nth, match=match.strip(), arg=arg))
+    return tuple(specs)
+
+
+class FaultPlan:
+    """Active fault specs plus per-process occurrence counters."""
+
+    def __init__(self, specs: tuple[FaultSpec, ...], state_dir: Path | None) -> None:
+        self.specs = specs
+        self.state_dir = state_dir
+        self._counts: dict[FaultSpec, int] = dict.fromkeys(specs, 0)
+        self._local_claims: set[str] = set()
+
+    def due(self, site: str, detail: str) -> FaultSpec | None:
+        """Advance occurrence counters; return a spec that is now due."""
+        for spec in self.specs:
+            if spec.site != site:
+                continue
+            if spec.match and spec.match not in detail:
+                continue
+            self._counts[spec] += 1
+            if self._counts[spec] == spec.nth:
+                return spec
+        return None
+
+    def claim(self, spec: FaultSpec) -> bool:
+        """Atomically claim the one global firing of ``spec``.
+
+        Returns True exactly once per spec across every process sharing
+        the state directory; the losers (and any retry of the claimed
+        firing) proceed unfaulted.
+        """
+        if self.state_dir is None:
+            if spec.ident in self._local_claims:
+                return False
+            self._local_claims.add(spec.ident)
+            return True
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        marker = self.state_dir / _marker_name(spec.ident)
+        try:
+            fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        os.close(fd)
+        return True
+
+
+def _marker_name(ident: str) -> str:
+    safe = "".join(c if c.isalnum() or c in "@:~._-" else "_" for c in ident)
+    return f"{safe}.fired"
+
+
+# ----------------------------------------------------------------------
+# active plan (lazily rebuilt whenever the environment changes)
+
+_CACHED: tuple[tuple[str, str], FaultPlan | None] = (("", ""), None)
+
+
+def current_plan() -> FaultPlan | None:
+    """The plan described by the environment, or ``None`` when idle.
+
+    The parsed plan (and its occurrence counters) is cached per
+    process and rebuilt only when ``REPRO_FAULTS`` / ``REPRO_FAULT_STATE``
+    change, so an idle :func:`fault_point` costs two dict lookups.
+    """
+    global _CACHED
+    spec_text = os.environ.get(FAULTS_ENV, "")
+    state_text = os.environ.get(FAULT_STATE_ENV, "")
+    key = (spec_text, state_text)
+    cached_key, cached_plan = _CACHED
+    if key == cached_key:
+        return cached_plan
+    plan = None
+    if spec_text.strip():
+        state_dir = Path(state_text) if state_text.strip() else None
+        plan = FaultPlan(parse_faults(spec_text), state_dir)
+    _CACHED = (key, plan)
+    return plan
+
+
+def fault_point(site: str, detail: str = "", paths: list | None = None) -> None:
+    """Declare an injectable point in production code.
+
+    A no-op unless the environment carries a fault plan with a spec due
+    at this site. ``detail`` is matched against specs' ``~match``
+    filters; ``paths`` offers files a ``corrupt`` fault may damage.
+    """
+    plan = current_plan()
+    if plan is None:
+        return
+    spec = plan.due(site, detail)
+    if spec is None or not plan.claim(spec):
+        return
+    bus.counter("faults.injected").add()
+    _execute(spec, site, detail, paths or [])
+
+
+def _execute(spec: FaultSpec, site: str, detail: str, paths: list) -> None:
+    if spec.kind == "exc":
+        raise InjectedFault(f"injected transient fault at {site} ({detail})")
+    if spec.kind == "hang":
+        time.sleep(spec.arg if spec.arg is not None else DEFAULT_HANG_SECONDS)
+        return
+    if spec.kind == "crash":
+        import multiprocessing
+
+        if multiprocessing.parent_process() is None:
+            # killing the main process would take the whole sweep (and
+            # the test runner) down; degrade to a transient exception
+            raise InjectedFault(f"injected crash at {site} ({detail}) in main process")
+        os._exit(CRASH_EXIT_CODE)
+    if spec.kind == "corrupt":
+        for path in paths[:1]:
+            corrupt_file(Path(path))
+
+
+def corrupt_file(path: Path, seed: int = 0) -> None:
+    """Deterministically damage a file: truncate and garble its head.
+
+    Used by ``corrupt`` faults and directly by tests; the result is
+    both shorter than the original and wrong in its leading bytes, so
+    checksum verification and format parsing each catch it.
+    """
+    try:
+        data = path.read_bytes()
+    except OSError:
+        return
+    keep = len(data) // 2
+    garbled = bytes((b ^ (0xA5 + seed)) & 0xFF for b in data[: min(keep, 64)])
+    path.write_bytes(garbled + data[len(garbled) : keep])
+
+
+@contextmanager
+def injecting(spec: str, state_dir: Path | str | None = None):
+    """Activate a fault plan for the duration of a ``with`` block.
+
+    Sets ``REPRO_FAULTS`` (and ``REPRO_FAULT_STATE`` when a state
+    directory is given) so both this process and any worker process it
+    spawns see the plan; restores the previous environment on exit.
+    """
+    saved = {
+        FAULTS_ENV: os.environ.get(FAULTS_ENV),
+        FAULT_STATE_ENV: os.environ.get(FAULT_STATE_ENV),
+    }
+    os.environ[FAULTS_ENV] = spec
+    if state_dir is not None:
+        os.environ[FAULT_STATE_ENV] = str(state_dir)
+    else:
+        os.environ.pop(FAULT_STATE_ENV, None)
+    try:
+        yield
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value

@@ -1,0 +1,193 @@
+"""Checkpoint/resume journal for experiment sweeps.
+
+A :class:`RunJournal` is a directory of one **shard per completed
+task**: the pickled result of one ``(task function, task)`` pair,
+wrapped in a magic header and a SHA-256 digest and published with an
+atomic rename — a reader sees a complete, verified shard or nothing.
+Because shard keys are content hashes over the task function's
+qualified name plus the task's stable JSON form (the same idea as the
+trace cache's keys), the journal needs no per-sweep manifest: any
+sweep, killed at any point and re-run with ``--resume``, simply skips
+every task whose shard already exists and loads the stored result,
+yielding outputs bit-identical to an uninterrupted run.
+
+Corrupt or truncated shards self-heal: verification failure deletes
+the shard and reports a miss, so the task is recomputed and the shard
+rewritten.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.resilience import bus
+
+#: Environment variable selecting the journal directory. The values
+#: ``0``, ``off``, and ``none`` (or unset) disable journaling.
+JOURNAL_ENV = "REPRO_JOURNAL"
+
+#: Bump to orphan every existing shard (e.g. after a result-format change).
+JOURNAL_VERSION = 1
+
+#: Shard header: magic, then the SHA-256 of the pickled payload.
+_MAGIC = b"RPJ1"
+
+
+def default_journal_dir() -> Path:
+    """Default shard directory used when the CLI enables journaling."""
+    return Path.home() / ".cache" / "repro-journal"
+
+
+def journal_from_env() -> "RunJournal | None":
+    """Journal selected by ``REPRO_JOURNAL``, or ``None`` when disabled."""
+    value = os.environ.get(JOURNAL_ENV)
+    if not value or value.strip().lower() in ("0", "off", "none"):
+        return None
+    return RunJournal(value)
+
+
+@dataclass
+class JournalStats:
+    """Commit/resume accounting for one :class:`RunJournal` instance."""
+
+    commits: int = 0
+    resumed: int = 0
+    misses: int = 0
+    corrupt: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot (for reports and CI artifacts)."""
+        return {
+            "commits": self.commits,
+            "resumed": self.resumed,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+        }
+
+
+class RunJournal:
+    """Directory-backed, content-addressed store of completed results."""
+
+    def __init__(self, directory: Path | str) -> None:
+        self.directory = Path(directory)
+        self.stats = JournalStats()
+
+    # ------------------------------------------------------------------
+    # keys
+
+    def key_for(self, task_fn, task) -> str:
+        """Stable content key for one ``(task function, task)`` pair."""
+        ident = {
+            "fn": f"{getattr(task_fn, '__module__', '?')}.{getattr(task_fn, '__qualname__', repr(task_fn))}",
+            "task": stable_form(task),
+            "version": JOURNAL_VERSION,
+        }
+        body = json.dumps(ident, sort_keys=True)
+        return hashlib.sha256(body.encode()).hexdigest()[:24]
+
+    def shard_path(self, key: str) -> Path:
+        """On-disk location of one shard."""
+        return self.directory / f"{key}.shard"
+
+    # ------------------------------------------------------------------
+    # load / commit
+
+    def load(self, key: str):
+        """Verified result stored under ``key``, or ``None``.
+
+        A shard that is missing counts as a miss; one that fails the
+        magic/digest check or does not unpickle is deleted (the sweep
+        recomputes it) and counted as corrupt.
+        """
+        path = self.shard_path(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.stats.misses += 1
+            return None
+        payload = blob[len(_MAGIC) + 32 :]
+        if (
+            not blob.startswith(_MAGIC)
+            or hashlib.sha256(payload).digest() != blob[len(_MAGIC) : len(_MAGIC) + 32]
+        ):
+            self._discard_corrupt(path)
+            return None
+        try:
+            result = pickle.loads(payload)
+        except Exception:
+            self._discard_corrupt(path)
+            return None
+        self.stats.resumed += 1
+        bus.counter("tasks.resumed").add()
+        return result
+
+    def commit(self, key: str, result) -> Path:
+        """Atomically persist one completed result under ``key``."""
+        payload = pickle.dumps(result, protocol=4)
+        blob = _MAGIC + hashlib.sha256(payload).digest() + payload
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.shard_path(key)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        self.stats.commits += 1
+        bus.counter("journal.commits").add()
+        return path
+
+    def _discard_corrupt(self, path: Path) -> None:
+        path.unlink(missing_ok=True)
+        self.stats.corrupt += 1
+        self.stats.misses += 1
+        bus.counter("journal.corrupt").add()
+
+    # ------------------------------------------------------------------
+    # maintenance
+
+    def keys(self) -> list[str]:
+        """Keys of every shard currently committed."""
+        if not self.directory.exists():
+            return []
+        return sorted(path.name[: -len(".shard")] for path in self.directory.glob("*.shard"))
+
+    def __len__(self) -> int:
+        return len(self.keys())
+
+    def clear(self) -> int:
+        """Delete every shard; returns the number removed."""
+        removed = 0
+        for key in self.keys():
+            self.shard_path(key).unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+def stable_form(value):
+    """JSON-safe, deterministic form of a task for key derivation.
+
+    Dataclasses serialize by type name plus field dict, sequences and
+    mappings recurse, primitives pass through, and anything else falls
+    back to ``repr`` — sufficient for the pipeline's task shapes
+    (frozen ``RunSpec`` dataclasses and tuples of primitives).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            field.name: stable_form(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__name__, "fields": fields}
+    if isinstance(value, (list, tuple)):
+        return [stable_form(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): stable_form(item) for key, item in sorted(value.items())}
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

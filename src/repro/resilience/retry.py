@@ -1,0 +1,99 @@
+"""Retry policy for the resilient experiment fan-out.
+
+One frozen :class:`RetryPolicy` travels through
+:func:`repro.experiments.parallel.fan_out` and decides how failures are
+absorbed: how many attempts each task gets, how long a task may run
+before the pool is declared wedged, how the delay between attempts
+grows, and how many pool rebuilds are tolerated before the remaining
+work falls back to serial in-process execution.
+
+Backoff is exponential with deterministic jitter: the jitter factor is
+drawn from a :class:`random.Random` seeded by ``(seed, task key,
+attempt)``, so a re-run of the same sweep waits the same amount — no
+wall-clock or global RNG state leaks into the pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import warnings
+from dataclasses import dataclass
+
+#: Environment default for the per-task timeout in seconds.
+TIMEOUT_ENV = "REPRO_TASK_TIMEOUT"
+#: Environment default for the per-task attempt budget.
+RETRIES_ENV = "REPRO_TASK_RETRIES"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the fan-out absorbs worker failures."""
+
+    #: Total attempts per task (first try included) before quarantine.
+    max_attempts: int = 3
+    #: Seconds a running task may take before the pool is recycled;
+    #: ``None`` disables timeout enforcement.
+    timeout: float | None = None
+    #: First-retry delay in seconds.
+    backoff_base: float = 0.05
+    #: Multiplier applied per additional attempt.
+    backoff_factor: float = 2.0
+    #: Ceiling on any single delay.
+    backoff_max: float = 2.0
+    #: Fraction of the delay added as deterministic jitter.
+    jitter: float = 0.25
+    #: Seed for the deterministic jitter stream.
+    seed: int = 0
+    #: Pool deaths tolerated before falling back to serial execution.
+    max_pool_rebuilds: int = 2
+
+    @classmethod
+    def from_env(cls) -> "RetryPolicy":
+        """Policy with ``REPRO_TASK_TIMEOUT`` / ``REPRO_TASK_RETRIES`` applied.
+
+        Garbage values warn (naming the variable) and keep the default
+        rather than crashing the sweep.
+        """
+        timeout = _env_float(TIMEOUT_ENV, cls.timeout)
+        attempts = _env_int(RETRIES_ENV, cls.max_attempts)
+        return cls(max_attempts=max(1, attempts), timeout=timeout)
+
+    def delay(self, key: str, attempt: int) -> float:
+        """Seconds to wait before retry number ``attempt`` of ``key``."""
+        base = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** max(0, attempt - 1),
+        )
+        fraction = random.Random(f"{self.seed}:{key}:{attempt}").random()
+        return base * (1.0 + self.jitter * fraction)
+
+
+def _env_float(name: str, default: float | None) -> float | None:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        warnings.warn(
+            f"{name}={raw!r} is not a number; using default {default!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        warnings.warn(
+            f"{name}={raw!r} is not an integer; using default {default!r}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return default

@@ -13,6 +13,19 @@ from repro.vm.layout import AddressSpaceLayout
 from repro.workloads.graph import kronecker
 
 
+@pytest.fixture(autouse=True)
+def _no_stray_resilience_state(monkeypatch):
+    """Keep tests hermetic: no run journal in $HOME, no ambient faults.
+
+    Tests that exercise the journal or fault injection opt back in by
+    setting REPRO_JOURNAL / REPRO_FAULTS themselves (monkeypatch wins
+    over this fixture inside the test body).
+    """
+    monkeypatch.setenv("REPRO_JOURNAL", "off")
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.delenv("REPRO_FAULT_STATE", raising=False)
+
+
 @pytest.fixture
 def config():
     """Tiny system configuration for fast unit tests."""

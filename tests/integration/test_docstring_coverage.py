@@ -46,6 +46,11 @@ MODULES = [
     "repro.virt.tagged_pcc",
     "repro.virt.hypervisor",
     "repro.experiments.summary",
+    "repro.experiments.parallel",
+    "repro.resilience.bus",
+    "repro.resilience.faults",
+    "repro.resilience.journal",
+    "repro.resilience.retry",
 ]
 
 

@@ -1,0 +1,158 @@
+"""End-to-end resilience: the fault matrix and kill-then-resume.
+
+Acceptance properties of the resilience layer:
+
+* every fault in the injection matrix — transient exceptions, worker
+  crashes, hung workers, corrupted cache entries, torn publishes —
+  yields results **bit-identical** to an uninjected serial run;
+* a sweep killed mid-flight and re-run with ``resume=True`` loads every
+  committed shard (recomputing zero finished specs) and produces
+  identical outputs.
+"""
+
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine.simulation import SimulationResult
+from repro.experiments.common import ExperimentScale, RunSpec, run_specs
+from repro.os.kernel import HugePagePolicy
+from repro.resilience.faults import injecting
+from repro.resilience.journal import RunJournal
+from repro.resilience.retry import TIMEOUT_ENV
+from repro.trace.cache import CACHE_DIR_ENV
+
+TINY = ExperimentScale(name="t", graph_scale=10, proxy_accesses=20_000)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _fingerprint(result: SimulationResult) -> tuple:
+    return (
+        result.policy,
+        result.total_cycles,
+        result.accesses,
+        result.walks,
+        result.l1_hits,
+        result.l2_hits,
+        result.promotions,
+        result.demotions,
+    )
+
+
+def _specs() -> list[RunSpec]:
+    return [
+        RunSpec.for_scale(TINY, app, policy, label=f"{app}/{policy.value}")
+        for app in ("BFS", "mcf")
+        for policy in (HugePagePolicy.NONE, HugePagePolicy.PCC)
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """Fingerprints of the uninjected serial run (the ground truth)."""
+    cache = tmp_path_factory.mktemp("baseline-cache")
+    saved = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(cache)
+    try:
+        return [_fingerprint(r) for r in run_specs(_specs(), jobs=1)]
+    finally:
+        if saved is None:
+            os.environ.pop(CACHE_DIR_ENV, None)
+        else:
+            os.environ[CACHE_DIR_ENV] = saved
+
+
+class TestFaultMatrix:
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            "exc@worker.task",
+            "crash@worker.task",
+            "exc@workload.build",
+            "corrupt@trace.cache.read",
+            "corrupt@cache.publish",
+        ],
+    )
+    def test_injected_parallel_run_is_bit_identical(
+        self, fault, baseline, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        with injecting(fault, state_dir=tmp_path / "faults"):
+            results = run_specs(_specs(), jobs=2)
+        assert [_fingerprint(r) for r in results] == baseline
+
+    def test_hung_worker_is_bit_identical_under_timeout(
+        self, baseline, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        monkeypatch.setenv(TIMEOUT_ENV, "5")
+        with injecting("hang@worker.task=120", state_dir=tmp_path / "faults"):
+            results = run_specs(_specs(), jobs=2)
+        assert [_fingerprint(r) for r in results] == baseline
+
+    def test_serial_injected_run_is_bit_identical(
+        self, baseline, tmp_path, monkeypatch
+    ):
+        """The serial path heals through the same retry machinery."""
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        with injecting("exc@worker.task", state_dir=tmp_path / "faults"):
+            results = run_specs(_specs(), jobs=1)
+        assert [_fingerprint(r) for r in results] == baseline
+
+
+class TestResumeAfterKill:
+    def test_killed_sweep_resumes_without_recomputation(
+        self, baseline, tmp_path, monkeypatch
+    ):
+        journal_dir = tmp_path / "journal"
+        cache_dir = tmp_path / "cache"
+        script = textwrap.dedent(
+            """
+            from repro.experiments.common import ExperimentScale, RunSpec, run_specs
+            from repro.os.kernel import HugePagePolicy
+
+            TINY = ExperimentScale(name="t", graph_scale=10, proxy_accesses=20_000)
+            specs = [
+                RunSpec.for_scale(TINY, app, policy, label=f"{app}/{policy.value}")
+                for app in ("BFS", "mcf")
+                for policy in (HugePagePolicy.NONE, HugePagePolicy.PCC)
+            ]
+            run_specs(specs, jobs=1)
+            """
+        )
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(REPO_ROOT / "src"),
+            REPRO_JOURNAL=str(journal_dir),
+            REPRO_TRACE_CACHE=str(cache_dir),
+        )
+        victim = subprocess.Popen(
+            [sys.executable, "-c", script], env=env, cwd=REPO_ROOT
+        )
+        try:
+            deadline = time.monotonic() + 120
+            while time.monotonic() < deadline:
+                if list(journal_dir.glob("*.shard")) or victim.poll() is not None:
+                    break
+                time.sleep(0.05)
+        finally:
+            victim.kill()
+            victim.wait()
+
+        shards_at_restart = len(list(journal_dir.glob("*.shard")))
+        assert shards_at_restart >= 1, "no spec committed before the kill"
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(cache_dir))
+        journal = RunJournal(journal_dir)
+        results = run_specs(_specs(), jobs=1, resume=True, journal=journal)
+        # zero completed specs recomputed...
+        assert journal.stats.resumed == shards_at_restart
+        assert journal.stats.commits == len(_specs()) - shards_at_restart
+        # ...and outputs identical to an uninterrupted run
+        assert [_fingerprint(r) for r in results] == baseline

@@ -1,0 +1,207 @@
+"""Resilient fan-out: retries, quarantine, pool healing, resume."""
+
+import os
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.experiments.parallel import (
+    JOBS_ENV,
+    FanOutError,
+    FanOutReport,
+    TaskError,
+    describe_task,
+    fan_out,
+    resolve_jobs,
+)
+from repro.resilience import bus
+from repro.resilience.faults import injecting
+from repro.resilience.journal import RunJournal
+from repro.resilience.retry import RetryPolicy
+
+#: retries without wall-clock cost: zero backoff, no jitter
+FAST = RetryPolicy(max_attempts=3, backoff_base=0.0, jitter=0.0)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+def _boom(task) -> None:
+    raise ValueError(f"cannot process {task}")
+
+
+def _gated(x: int) -> int:
+    if os.environ.get("REPRO_TEST_GATE") != "open":
+        raise AssertionError("task recomputed instead of resumed")
+    return x * 10
+
+
+@dataclass(frozen=True)
+class _Spec:
+    app: str
+    budget: int
+
+
+class TestResolveJobsGarbageEnv:
+    def test_warns_naming_the_variable_and_runs_serially(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "two")
+        with pytest.warns(RuntimeWarning, match=JOBS_ENV):
+            assert resolve_jobs(None) == 1
+
+    def test_explicit_jobs_bypasses_garbage_env(self, monkeypatch):
+        monkeypatch.setenv(JOBS_ENV, "two")
+        assert resolve_jobs(3) == 3
+
+
+class TestTaskIdentity:
+    def test_describe_prefers_label(self):
+        class Labelled:
+            label = "BFS/pcc@8%"
+
+        assert describe_task(Labelled()) == "BFS/pcc@8%"
+
+    def test_describe_renders_dataclass_fields(self):
+        desc = describe_task(_Spec(app="BFS", budget=4))
+        assert "app='BFS'" in desc and "budget=4" in desc
+
+    def test_describe_falls_back_to_repr(self):
+        assert describe_task(("BFS", 4)) == "('BFS', 4)"
+
+    def test_task_error_survives_pickling(self):
+        err = TaskError("BFS/pcc", "ValueError: nope")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.task_desc == "BFS/pcc"
+        assert clone.cause == "ValueError: nope"
+        assert "BFS/pcc" in str(clone)
+
+
+class TestQuarantine:
+    def test_persistent_failure_raises_with_task_identity(self):
+        with pytest.raises(FanOutError) as excinfo:
+            fan_out(_boom, [_Spec(app="BFS", budget=4)], jobs=1, policy=FAST)
+        report = excinfo.value.report
+        (failure,) = report.quarantined
+        assert "BFS" in failure.task  # which spec failed, not just that one did
+        assert failure.attempts == FAST.max_attempts
+        assert any("ValueError" in error for error in failure.errors)
+        assert "BFS" in str(excinfo.value)
+
+    def test_report_shapes_are_json_safe(self):
+        with pytest.raises(FanOutError) as excinfo:
+            fan_out(_boom, [("x",)], jobs=1, policy=FAST)
+        as_dict = excinfo.value.report.as_dict()
+        assert as_dict["tasks"] == 1
+        assert as_dict["quarantined"][0]["attempts"] == FAST.max_attempts
+        assert FanOutReport().eventful is False
+        assert excinfo.value.report.eventful is True
+
+
+class TestRetry:
+    def test_transient_fault_is_retried_to_success(self, tmp_path):
+        retried_before = bus.snapshot()["resilience.tasks.retried"]
+        with injecting("exc@worker.task", state_dir=tmp_path):
+            assert fan_out(_square, [3, 4], jobs=1, policy=FAST) == [9, 16]
+        assert bus.snapshot()["resilience.tasks.retried"] == retried_before + 1
+
+    def test_eventful_report_published_to_collectors(self, tmp_path):
+        from repro.metrics import SCHEMA, collecting
+
+        with injecting("exc@worker.task", state_dir=tmp_path):
+            with collecting() as collector:
+                fan_out(_square, [3], jobs=1, policy=FAST)
+        (run,) = collector.runs
+        assert run["schema"] == SCHEMA
+        assert run["meta"]["component"] == "resilience"
+        assert run["meta"]["report"]["retries"] == 1
+
+    def test_quiet_run_publishes_nothing(self):
+        from repro.metrics import collecting
+
+        with collecting() as collector:
+            fan_out(_square, [1, 2], jobs=1, policy=FAST)
+        assert collector.runs == []
+
+
+class TestPoolHealing:
+    def test_worker_crash_rebuilds_pool_and_completes(self, tmp_path):
+        rebuilds_before = bus.snapshot()["resilience.pool.rebuilds"]
+        tasks = list(range(6))
+        with injecting("crash@worker.task", state_dir=tmp_path):
+            results = fan_out(_square, tasks, jobs=2, policy=FAST)
+        assert results == [x * x for x in tasks]
+        assert bus.snapshot()["resilience.pool.rebuilds"] > rebuilds_before
+
+    def test_hung_worker_times_out_and_recovers(self, tmp_path):
+        timeouts_before = bus.snapshot()["resilience.tasks.timeouts"]
+        policy = RetryPolicy(
+            max_attempts=3, timeout=1.0, backoff_base=0.0, jitter=0.0
+        )
+        tasks = list(range(4))
+        with injecting("hang@worker.task=30", state_dir=tmp_path):
+            results = fan_out(_square, tasks, jobs=2, policy=policy)
+        assert results == [x * x for x in tasks]
+        assert bus.snapshot()["resilience.tasks.timeouts"] > timeouts_before
+
+    def test_serial_fallback_after_pool_rebuild_budget(self, tmp_path):
+        fallbacks_before = bus.snapshot()["resilience.pool.serial_fallbacks"]
+        policy = RetryPolicy(
+            max_attempts=3, backoff_base=0.0, jitter=0.0, max_pool_rebuilds=0
+        )
+        tasks = list(range(5))
+        with injecting("crash@worker.task", state_dir=tmp_path):
+            results = fan_out(_square, tasks, jobs=2, policy=policy)
+        assert results == [x * x for x in tasks]
+        assert (
+            bus.snapshot()["resilience.pool.serial_fallbacks"]
+            > fallbacks_before
+        )
+
+
+class TestJournalIntegration:
+    def test_every_result_is_committed(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_GATE", "open")
+        journal = RunJournal(tmp_path)
+        assert fan_out(_gated, [1, 2, 3], jobs=1, journal=journal) == [
+            10,
+            20,
+            30,
+        ]
+        assert len(journal) == 3
+
+    def test_resume_skips_committed_tasks(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_GATE", "open")
+        fan_out(_gated, [1, 2, 3], jobs=1, journal=RunJournal(tmp_path))
+        # _gated now raises if executed: success proves nothing re-ran
+        monkeypatch.setenv("REPRO_TEST_GATE", "closed")
+        journal = RunJournal(tmp_path)
+        assert fan_out(
+            _gated, [1, 2, 3], jobs=1, journal=journal, resume=True
+        ) == [10, 20, 30]
+        assert journal.stats.resumed == 3
+        assert journal.stats.commits == 0
+
+    def test_resume_recomputes_only_corrupt_shards(self, tmp_path, monkeypatch):
+        from repro.resilience.faults import corrupt_file
+
+        monkeypatch.setenv("REPRO_TEST_GATE", "open")
+        first = RunJournal(tmp_path)
+        fan_out(_gated, [1, 2, 3], jobs=1, journal=first)
+        victim = first.key_for(_gated, 2)
+        corrupt_file(first.shard_path(victim))
+        journal = RunJournal(tmp_path)
+        assert fan_out(
+            _gated, [1, 2, 3], jobs=1, journal=journal, resume=True
+        ) == [10, 20, 30]
+        assert journal.stats.resumed == 2
+        assert journal.stats.corrupt == 1
+        assert journal.stats.commits == 1  # only the damaged task re-ran
+
+    def test_without_resume_everything_recomputes(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TEST_GATE", "open")
+        fan_out(_gated, [1], jobs=1, journal=RunJournal(tmp_path))
+        journal = RunJournal(tmp_path)
+        fan_out(_gated, [1], jobs=1, journal=journal)  # resume defaults off
+        assert journal.stats.resumed == 0
+        assert journal.stats.commits == 1

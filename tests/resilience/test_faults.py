@@ -1,0 +1,171 @@
+"""Fault-injection harness: spec grammar, exactly-once firing, kinds."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.resilience.faults import (
+    CRASH_EXIT_CODE,
+    FAULT_STATE_ENV,
+    FAULTS_ENV,
+    FaultPlan,
+    FaultSpec,
+    FaultSpecError,
+    InjectedFault,
+    corrupt_file,
+    current_plan,
+    fault_point,
+    injecting,
+    parse_faults,
+)
+
+
+class TestParseFaults:
+    def test_minimal_spec(self):
+        (spec,) = parse_faults("exc@worker.task")
+        assert spec == FaultSpec(kind="exc", site="worker.task")
+        assert spec.nth == 1 and spec.match == "" and spec.arg is None
+
+    def test_full_grammar(self):
+        (spec,) = parse_faults("hang@worker.task:2~BFS=30")
+        assert spec.kind == "hang"
+        assert spec.site == "worker.task"
+        assert spec.nth == 2
+        assert spec.match == "BFS"
+        assert spec.arg == 30.0
+
+    def test_multiple_specs_comma_separated(self):
+        specs = parse_faults("crash@worker.task, corrupt@trace.cache.read")
+        assert [s.kind for s in specs] == ["crash", "corrupt"]
+
+    def test_empty_chunks_skipped(self):
+        assert parse_faults(" , ,") == ()
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "exc",  # no @site
+            "boom@worker.task",  # unknown kind
+            "exc@",  # empty site
+            "exc@site:x",  # non-integer nth
+            "exc@site:0",  # nth below 1
+            "hang@site=soon",  # non-numeric arg
+        ],
+    )
+    def test_rejects_malformed_specs(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_faults(bad)
+
+
+class TestFaultPlan:
+    def test_due_counts_occurrences(self):
+        plan = FaultPlan(parse_faults("exc@site:2"), state_dir=None)
+        assert plan.due("site", "") is None  # first occurrence
+        assert plan.due("site", "") is not None  # second fires
+        assert plan.due("site", "") is None  # past nth
+
+    def test_due_filters_on_match(self):
+        plan = FaultPlan(parse_faults("exc@site~BFS"), state_dir=None)
+        assert plan.due("site", "mcf run") is None
+        assert plan.due("site", "BFS run") is not None
+
+    def test_due_ignores_other_sites(self):
+        plan = FaultPlan(parse_faults("exc@site.a"), state_dir=None)
+        assert plan.due("site.b", "") is None
+
+    def test_claim_local_is_once(self):
+        (spec,) = specs = parse_faults("exc@site")
+        plan = FaultPlan(specs, state_dir=None)
+        assert plan.claim(spec) is True
+        assert plan.claim(spec) is False
+
+    def test_claim_is_once_across_plans_with_state_dir(self, tmp_path):
+        """Two plans sharing a state dir model two worker processes."""
+        (spec,) = specs = parse_faults("exc@site")
+        first = FaultPlan(specs, state_dir=tmp_path)
+        second = FaultPlan(specs, state_dir=tmp_path)
+        assert first.claim(spec) is True
+        assert second.claim(spec) is False
+        assert first.claim(spec) is False
+
+
+class TestFaultPoint:
+    def test_noop_when_idle(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        fault_point("worker.task", detail="anything")  # must not raise
+
+    def test_exc_fires_once(self, tmp_path):
+        with injecting("exc@unit.site", state_dir=tmp_path):
+            with pytest.raises(InjectedFault):
+                fault_point("unit.site")
+            fault_point("unit.site")  # claimed: the retry runs clean
+
+    def test_crash_in_main_degrades_to_exception(self, tmp_path):
+        """The main process must never be hard-killed by a fault."""
+        with injecting("crash@unit.site", state_dir=tmp_path):
+            with pytest.raises(InjectedFault, match="main process"):
+                fault_point("unit.site")
+
+    def test_corrupt_damages_offered_file(self, tmp_path):
+        victim = tmp_path / "payload.bin"
+        victim.write_bytes(bytes(range(256)) * 8)
+        original = victim.read_bytes()
+        with injecting("corrupt@unit.site", state_dir=tmp_path):
+            fault_point("unit.site", paths=[victim])
+        assert victim.read_bytes() != original
+
+    def test_injected_faults_are_counted(self, tmp_path):
+        from repro.resilience import bus
+
+        before = bus.snapshot()["resilience.faults.injected"]
+        with injecting("exc@unit.site", state_dir=tmp_path):
+            with pytest.raises(InjectedFault):
+                fault_point("unit.site")
+        assert bus.snapshot()["resilience.faults.injected"] == before + 1
+
+    def test_crash_exit_code_documented(self):
+        assert CRASH_EXIT_CODE == 70
+
+
+class TestCurrentPlan:
+    def test_none_when_env_unset(self, monkeypatch):
+        monkeypatch.delenv(FAULTS_ENV, raising=False)
+        assert current_plan() is None
+
+    def test_rebuilds_when_env_changes(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "exc@a")
+        first = current_plan()
+        assert first is not None and first.specs[0].site == "a"
+        monkeypatch.setenv(FAULTS_ENV, "exc@b")
+        second = current_plan()
+        assert second is not first and second.specs[0].site == "b"
+
+    def test_cached_between_identical_reads(self, monkeypatch):
+        monkeypatch.setenv(FAULTS_ENV, "exc@a")
+        assert current_plan() is current_plan()
+
+
+class TestInjecting:
+    def test_restores_environment(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(FAULTS_ENV, "exc@before")
+        monkeypatch.delenv(FAULT_STATE_ENV, raising=False)
+        with injecting("crash@inside", state_dir=tmp_path):
+            assert os.environ[FAULTS_ENV] == "crash@inside"
+            assert os.environ[FAULT_STATE_ENV] == str(tmp_path)
+        assert os.environ[FAULTS_ENV] == "exc@before"
+        assert FAULT_STATE_ENV not in os.environ
+
+
+class TestCorruptFile:
+    def test_shortens_and_garbles(self, tmp_path):
+        path = tmp_path / "data"
+        payload = bytes(range(200))
+        path.write_bytes(payload)
+        corrupt_file(path)
+        damaged = path.read_bytes()
+        assert len(damaged) == len(payload) // 2
+        assert damaged[:16] != payload[:16]
+
+    def test_missing_file_is_ignored(self, tmp_path):
+        corrupt_file(Path(tmp_path / "absent"))  # must not raise

@@ -1,0 +1,138 @@
+"""Checkpoint journal: keys, atomic shards, self-healing, env wiring."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.resilience.faults import corrupt_file
+from repro.resilience.journal import (
+    JOURNAL_ENV,
+    RunJournal,
+    journal_from_env,
+    stable_form,
+)
+
+
+def _fn_a(task):
+    return task
+
+
+def _fn_b(task):
+    return task
+
+
+@dataclass(frozen=True)
+class _Spec:
+    app: str
+    budget: int
+
+
+class TestKeys:
+    def test_stable_across_instances(self, tmp_path):
+        first = RunJournal(tmp_path).key_for(_fn_a, ("BFS", 4))
+        second = RunJournal(tmp_path).key_for(_fn_a, ("BFS", 4))
+        assert first == second
+
+    def test_differs_by_task(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        assert journal.key_for(_fn_a, ("BFS", 4)) != journal.key_for(
+            _fn_a, ("BFS", 8)
+        )
+
+    def test_differs_by_task_function(self, tmp_path):
+        """Two figures with tuple-shaped tasks must never collide."""
+        journal = RunJournal(tmp_path)
+        assert journal.key_for(_fn_a, (1, 2)) != journal.key_for(_fn_b, (1, 2))
+
+    def test_dataclass_tasks_key_by_fields(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        assert journal.key_for(_fn_a, _Spec("BFS", 4)) == journal.key_for(
+            _fn_a, _Spec("BFS", 4)
+        )
+        assert journal.key_for(_fn_a, _Spec("BFS", 4)) != journal.key_for(
+            _fn_a, _Spec("BFS", 8)
+        )
+
+
+class TestStableForm:
+    def test_primitives_pass_through(self):
+        assert stable_form(("a", 1, 2.5, None, True)) == ["a", 1, 2.5, None, True]
+
+    def test_dataclass_renders_type_and_fields(self):
+        form = stable_form(_Spec("BFS", 4))
+        assert form == {
+            "__dataclass__": "_Spec",
+            "fields": {"app": "BFS", "budget": 4},
+        }
+
+    def test_dicts_sort_keys(self):
+        assert stable_form({"b": 1, "a": 2}) == {"a": 2, "b": 1}
+
+
+class TestRoundTrip:
+    def test_commit_then_load(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        key = journal.key_for(_fn_a, ("BFS", 4))
+        journal.commit(key, {"cycles": 123, "walks": 7})
+        assert journal.load(key) == {"cycles": 123, "walks": 7}
+        assert journal.stats.commits == 1
+        assert journal.stats.resumed == 1
+
+    def test_missing_shard_is_a_miss(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        assert journal.load("0" * 24) is None
+        assert journal.stats.misses == 1
+
+    def test_keys_and_len_and_clear(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        for task in (("a",), ("b",)):
+            journal.commit(journal.key_for(_fn_a, task), task)
+        assert len(journal) == 2
+        assert journal.keys() == sorted(journal.keys())
+        assert journal.clear() == 2
+        assert len(journal) == 0
+
+
+class TestSelfHealing:
+    def test_corrupt_shard_is_discarded(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        key = journal.key_for(_fn_a, ("BFS", 4))
+        journal.commit(key, list(range(1000)))
+        corrupt_file(journal.shard_path(key))
+        assert journal.load(key) is None
+        assert not journal.shard_path(key).exists()  # deleted, will rebuild
+        assert journal.stats.corrupt == 1
+
+    def test_wrong_magic_is_discarded(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        key = journal.key_for(_fn_a, ("x",))
+        journal.shard_path(key).parent.mkdir(parents=True, exist_ok=True)
+        journal.shard_path(key).write_bytes(b"not a shard at all")
+        assert journal.load(key) is None
+        assert journal.stats.corrupt == 1
+
+    def test_recommit_after_corruption_restores(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        key = journal.key_for(_fn_a, ("BFS", 4))
+        journal.commit(key, "result")
+        corrupt_file(journal.shard_path(key))
+        assert journal.load(key) is None
+        journal.commit(key, "result")
+        assert journal.load(key) == "result"
+
+
+class TestJournalFromEnv:
+    @pytest.mark.parametrize("value", ["off", "0", "none", "OFF", ""])
+    def test_disabled_values(self, monkeypatch, value):
+        monkeypatch.setenv(JOURNAL_ENV, value)
+        assert journal_from_env() is None
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv(JOURNAL_ENV, raising=False)
+        assert journal_from_env() is None
+
+    def test_path_selects_directory(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(JOURNAL_ENV, str(tmp_path / "j"))
+        journal = journal_from_env()
+        assert journal is not None
+        assert journal.directory == tmp_path / "j"

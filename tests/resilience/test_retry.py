@@ -1,0 +1,58 @@
+"""Retry policy: environment parsing and deterministic backoff."""
+
+import pytest
+
+from repro.resilience.retry import RETRIES_ENV, TIMEOUT_ENV, RetryPolicy
+
+
+class TestFromEnv:
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv(TIMEOUT_ENV, raising=False)
+        monkeypatch.delenv(RETRIES_ENV, raising=False)
+        policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 3
+        assert policy.timeout is None
+
+    def test_env_values_applied(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "12.5")
+        monkeypatch.setenv(RETRIES_ENV, "5")
+        policy = RetryPolicy.from_env()
+        assert policy.timeout == 12.5
+        assert policy.max_attempts == 5
+
+    def test_garbage_timeout_warns_naming_the_variable(self, monkeypatch):
+        monkeypatch.setenv(TIMEOUT_ENV, "soon")
+        with pytest.warns(RuntimeWarning, match=TIMEOUT_ENV):
+            policy = RetryPolicy.from_env()
+        assert policy.timeout is None
+
+    def test_garbage_retries_warns_naming_the_variable(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "many")
+        with pytest.warns(RuntimeWarning, match=RETRIES_ENV):
+            policy = RetryPolicy.from_env()
+        assert policy.max_attempts == 3
+
+    def test_retries_floor_is_one(self, monkeypatch):
+        monkeypatch.setenv(RETRIES_ENV, "-4")
+        assert RetryPolicy.from_env().max_attempts == 1
+
+
+class TestDelay:
+    def test_deterministic_for_same_inputs(self):
+        policy = RetryPolicy()
+        assert policy.delay("task-3", 1) == policy.delay("task-3", 1)
+
+    def test_differs_across_keys_and_attempts(self):
+        policy = RetryPolicy()
+        assert policy.delay("a", 1) != policy.delay("b", 1)
+        assert policy.delay("a", 1) < policy.delay("a", 4)
+
+    def test_bounded_by_backoff_max_plus_jitter(self):
+        policy = RetryPolicy(backoff_max=0.5, jitter=0.25)
+        for attempt in range(1, 12):
+            assert policy.delay("k", attempt) <= 0.5 * 1.25
+
+    def test_seed_changes_the_jitter_stream(self):
+        assert RetryPolicy(seed=0).delay("k", 1) != RetryPolicy(seed=1).delay(
+            "k", 1
+        )

@@ -25,6 +25,48 @@ class TestParser:
         assert cli._int_tuple("1,2", (9,)) == (1, 2)
         assert cli._int_tuple(None, (9,)) == (9,)
 
+    def test_resume_flag(self):
+        assert cli.build_parser().parse_args(["--resume", "fig6"]).resume
+        assert not cli.build_parser().parse_args(["fig6"]).resume
+
+
+class TestResumeWiring:
+    def test_main_defaults_the_journal_env(self, monkeypatch):
+        """A CLI run journals by default so --resume works after a kill."""
+        import os
+
+        from repro.resilience.journal import JOURNAL_ENV, default_journal_dir
+
+        monkeypatch.delenv(JOURNAL_ENV, raising=False)
+        monkeypatch.setattr(cli, "_dispatch", lambda args, scale: 0)
+        assert cli.main(["fig2"]) == 0
+        assert os.environ[JOURNAL_ENV] == str(default_journal_dir())
+
+    def test_explicit_journal_env_wins(self, monkeypatch):
+        import os
+
+        from repro.resilience.journal import JOURNAL_ENV
+
+        monkeypatch.setenv(JOURNAL_ENV, "off")
+        monkeypatch.setattr(cli, "_dispatch", lambda args, scale: 0)
+        assert cli.main(["fig2"]) == 0
+        assert os.environ[JOURNAL_ENV] == "off"
+
+    def test_resume_reaches_the_sweep(self, monkeypatch):
+        """--resume is threaded through dispatch into the figure runner."""
+        seen = {}
+
+        def fake_run(scale, jobs=None, resume=False):
+            seen["resume"] = resume
+            return []
+
+        from repro.experiments import fig6
+
+        monkeypatch.setattr(fig6, "run", fake_run)
+        monkeypatch.setattr(fig6, "render", lambda rows: "ok")
+        assert cli.main(["--resume", "fig6"]) == 0
+        assert seen["resume"] is True
+
 
 class TestExecution:
     """End-to-end CLI runs at miniature scale via monkeypatched QUICK."""

@@ -153,3 +153,37 @@ class TestSimulationExportSchema:
         names = set(metrics["counters"])
         for sample in metrics["samples"]:
             assert set(sample["counters"]) == names
+
+
+class TestResilienceExport:
+    """The resilience layer's counters ride the same v1 schema."""
+
+    def test_export_carries_schema_and_component(self):
+        from repro.resilience import bus
+
+        export = bus.publish()
+        assert export["schema"] == SCHEMA
+        assert export["meta"]["component"] == "resilience"
+
+    def test_every_documented_counter_is_pre_registered(self):
+        from repro.resilience import bus
+
+        export = bus.registry().export()
+        assert set(export["counters"]) >= set(bus.COUNTER_NAMES)
+        snapshot = bus.snapshot()
+        assert set(snapshot) >= set(bus.COUNTER_NAMES)
+
+    def test_publish_reaches_active_collectors(self):
+        from repro.resilience import bus
+
+        with collecting() as collector:
+            bus.publish(meta={"report": {"retries": 2}})
+        (run,) = collector.runs
+        assert run["meta"]["report"] == {"retries": 2}
+        assert set(run["counters"]) >= set(bus.COUNTER_NAMES)
+
+    def test_counter_helper_prefixes_resilience(self):
+        from repro.resilience import bus
+
+        counter = bus.counter("tasks.retried")
+        assert counter.name == "resilience.tasks.retried"

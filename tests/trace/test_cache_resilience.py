@@ -1,0 +1,167 @@
+"""Self-healing trace cache: checksums, quarantine, stale recovery.
+
+Satellite coverage for the resilience layer: corrupt entries must be
+detected at read time, moved aside (never deleted blind), and rebuilt —
+including when two workers race on the same damaged entry.
+"""
+
+import multiprocessing
+import os
+
+import numpy as np
+import pytest
+
+from repro.resilience.faults import corrupt_file
+from repro.trace.cache import (
+    CACHE_VERIFY_ENV,
+    QUARANTINE_DIR,
+    TraceCache,
+)
+
+NAME, PARAMS = "unit", {"scale": 3}
+
+
+def _arrays():
+    return {"vpns": np.arange(256, dtype=np.uint64)}
+
+
+def _builder():
+    return _arrays(), {"app": "unit"}
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return TraceCache(tmp_path / "cache", verify=True)
+
+
+def _npy_path(cache):
+    return cache._array_path(cache.key(NAME, PARAMS), "vpns")
+
+
+class TestChecksumVerification:
+    def test_round_trip_verifies_clean(self, cache):
+        cache.put_entry(NAME, PARAMS, _arrays(), {"app": "unit"})
+        entry = cache.get_entry(NAME, PARAMS)
+        assert entry is not None
+        assert entry.meta == {"app": "unit"}  # bookkeeping keys stripped
+        assert entry.arrays["vpns"].tolist() == list(range(256))
+
+    def test_silent_payload_damage_is_caught(self, cache):
+        """A flipped byte mid-payload parses fine; only the digest sees it."""
+        cache.put_entry(NAME, PARAMS, _arrays(), {})
+        path = _npy_path(cache)
+        blob = bytearray(path.read_bytes())
+        blob[-5] ^= 0xFF  # damage data, not the npy header
+        path.write_bytes(bytes(blob))
+        assert cache.get_entry(NAME, PARAMS) is None
+        assert cache.stats.corrupted == 1
+
+    def test_verify_off_skips_the_digest(self, tmp_path):
+        trusting = TraceCache(tmp_path / "cache", verify=False)
+        trusting.put_entry(NAME, PARAMS, _arrays(), {})
+        path = _npy_path(trusting)
+        blob = bytearray(path.read_bytes())
+        blob[-5] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert trusting.get_entry(NAME, PARAMS) is not None
+
+    def test_verify_env_opt_out(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_VERIFY_ENV, "off")
+        assert TraceCache(tmp_path).verify is False
+        monkeypatch.delenv(CACHE_VERIFY_ENV)
+        assert TraceCache(tmp_path).verify is True
+
+
+class TestQuarantine:
+    def test_corrupt_entry_is_moved_not_deleted(self, cache):
+        cache.put_entry(NAME, PARAMS, _arrays(), {})
+        corrupt_file(_npy_path(cache))
+        assert cache.get_entry(NAME, PARAMS) is None
+        quarantine = cache.directory / QUARANTINE_DIR
+        assert list(quarantine.iterdir())  # preserved for post-mortem
+        assert not _npy_path(cache).exists()
+        assert cache.stats.quarantined == 1
+
+    def test_rebuild_over_corruption_counts_as_repair(self, cache):
+        cache.put_entry(NAME, PARAMS, _arrays(), {})
+        corrupt_file(_npy_path(cache))
+        entry = cache.get_or_build_entry(NAME, PARAMS, _builder)
+        assert entry.arrays["vpns"].tolist() == list(range(256))
+        assert cache.stats.repaired == 1
+        # and the repaired entry reads clean afterwards
+        fresh = TraceCache(cache.directory, verify=True)
+        assert fresh.get_entry(NAME, PARAMS) is not None
+
+    def test_clear_and_size_cover_quarantine(self, cache):
+        cache.put_entry(NAME, PARAMS, _arrays(), {})
+        corrupt_file(_npy_path(cache))
+        cache.get_entry(NAME, PARAMS)
+        assert cache.size_bytes() > 0
+        assert cache.clear() > 0
+        assert cache.size_bytes() == 0
+
+
+class TestRecoverStale:
+    def test_dead_writer_tmp_removed(self, cache, tmp_path):
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        child = multiprocessing.get_context("fork").Process(target=lambda: None)
+        child.start()
+        child.join()
+        debris = cache.directory / f"k.vpns.npy.tmp.{child.pid}"
+        debris.write_bytes(b"partial write")
+        assert cache.recover_stale() == 1
+        assert not debris.exists()
+        assert cache.stats.stale_removed == 1
+
+    def test_live_writer_fresh_tmp_retained(self, cache):
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        mine = cache.directory / f"k.vpns.npy.tmp.{os.getpid()}"
+        mine.write_bytes(b"in flight")
+        assert cache.recover_stale() == 0
+        assert mine.exists()
+
+    def test_over_age_tmp_removed_even_if_writer_alive(self, cache):
+        cache.directory.mkdir(parents=True, exist_ok=True)
+        old = cache.directory / f"k.vpns.npy.tmp.{os.getpid()}"
+        old.write_bytes(b"forgotten")
+        ancient = 1_000_000
+        os.utime(old, (ancient, ancient))
+        assert cache.recover_stale(max_age_seconds=3600.0) == 1
+
+
+def _race_worker(directory, barrier, queue):
+    """One contender: recover the corrupted entry and report success."""
+    try:
+        barrier.wait(timeout=30)
+        cache = TraceCache(directory, verify=True)
+        entry = cache.get_or_build_entry(NAME, PARAMS, _builder)
+        ok = entry.arrays["vpns"].tolist() == list(range(256))
+        queue.put("ok" if ok else "bad-data")
+    except Exception as exc:  # pragma: no cover - the failure path
+        queue.put(f"{type(exc).__name__}: {exc}")
+
+
+class TestConcurrentRecovery:
+    def test_two_workers_race_on_one_corrupted_entry(self, tmp_path):
+        """Both recover; neither deadlocks nor double-deletes (satellite)."""
+        directory = tmp_path / "cache"
+        seed = TraceCache(directory, verify=True)
+        seed.put_entry(NAME, PARAMS, _arrays(), {})
+        corrupt_file(seed._array_path(seed.key(NAME, PARAMS), "vpns"))
+
+        context = multiprocessing.get_context("fork")
+        barrier = context.Barrier(2)
+        queue = context.Queue()
+        workers = [
+            context.Process(target=_race_worker, args=(directory, barrier, queue))
+            for _ in range(2)
+        ]
+        for worker in workers:
+            worker.start()
+        outcomes = [queue.get(timeout=60) for _ in workers]
+        for worker in workers:
+            worker.join(timeout=30)
+            assert worker.exitcode == 0
+        assert outcomes == ["ok", "ok"]
+        # the entry left behind is complete and verified
+        assert TraceCache(directory, verify=True).get_entry(NAME, PARAMS) is not None
