@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos bench bench-full examples scorecard clean
+.PHONY: install test chaos fuzz fuzz-selftest bench bench-full examples scorecard clean
+
+# first seed for `make fuzz`; CI passes its run id for fresh coverage
+FUZZ_SEED ?= 0
+FUZZ_CASES ?= 50
 
 install:
 	$(PYTHON) -m pip install -e ".[test]" --no-build-isolation
@@ -12,6 +16,21 @@ test:
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+# differential oracle: random cases through all engine tiers/policies,
+# then replay the regression corpus; failures shrink into tests/corpus/
+fuzz:
+	$(PYTHON) -m repro validate --fuzz $(FUZZ_CASES) --seed $(FUZZ_SEED)
+	$(PYTHON) -m repro validate --replay tests/corpus
+
+# prove the harness catches planted bugs (each must fail + shrink)
+fuzz-selftest:
+	@for defect in stale-hints pcc-no-decay region-count-drift; do \
+		echo "=== defect: $$defect ==="; \
+		$(PYTHON) -m repro validate --fuzz 40 \
+			--inject-defect $$defect \
+			--corpus-dir $${TMPDIR:-/tmp}/repro-fuzz-selftest || exit 1; \
+	done
 
 # the fault matrix: crashes, hangs, cache corruption, kill+resume
 chaos:

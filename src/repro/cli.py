@@ -128,6 +128,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="collate archived benchmark renderings into one report",
     )
     p_score.add_argument("--results", help="results directory override")
+
+    p_val = sub.add_parser(
+        "validate",
+        help="differential oracle: fuzz engine tiers and OS policies "
+        "against each other, or replay the regression corpus",
+    )
+    p_val.add_argument(
+        "--fuzz",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of random cases to generate and check (default 25)",
+    )
+    p_val.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="first case seed; CI passes a per-run value so every build "
+        "explores fresh cases (default 0, deterministic locally)",
+    )
+    p_val.add_argument(
+        "--replay",
+        metavar="DIR",
+        help="replay every corpus reproducer under DIR instead of "
+        "fuzzing; all must pass on a healthy engine",
+    )
+    p_val.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        default=None,
+        help="where failing cases are shrunk and persisted "
+        "(default tests/corpus)",
+    )
+    p_val.add_argument(
+        "--inject-defect",
+        metavar="NAME",
+        help="self-test: install a named deliberate defect first and "
+        "require the harness to catch it (see repro.validation.defects)",
+    )
+    p_val.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=400,
+        metavar="N",
+        help="predicate-call budget for minimizing a failing case",
+    )
     return parser
 
 
@@ -172,6 +219,91 @@ def _run_compare(args, scale: ExperimentScale) -> str:
             f"({scale.name} scale)"
         ),
     )
+
+
+def _run_validate(args) -> int:
+    import contextlib
+
+    from repro.validation import defects
+    from repro.validation.generators import generate_case
+    from repro.validation.oracle import ValidationFailure, check_case
+    from repro.validation.shrink import (
+        DEFAULT_CORPUS_DIR,
+        iter_corpus,
+        load_reproducer,
+        same_failure,
+        shrink_case,
+        write_reproducer,
+    )
+
+    corpus_dir = args.corpus_dir or DEFAULT_CORPUS_DIR
+    injection = (
+        defects.inject(args.inject_defect)
+        if args.inject_defect
+        else contextlib.nullcontext()
+    )
+
+    with injection:
+        if args.replay:
+            paths = list(iter_corpus(args.replay))
+            if not paths:
+                print(f"validate: no corpus files under {args.replay}")
+                return 0
+            failures = 0
+            for path in paths:
+                case, past = load_reproducer(path)
+                try:
+                    check_case(case)
+                except ValidationFailure as failure:
+                    failures += 1
+                    print(f"FAIL {path.name}: {failure}")
+                    print(f"     first seen as: [{past.get('domain')}] "
+                          f"{past.get('detail')}")
+                else:
+                    print(f"ok   {path.name} ({case.total_accesses} accesses, "
+                          f"{case.policy})")
+            print(f"validate: replayed {len(paths)} corpus cases, "
+                  f"{failures} failing")
+            return 1 if failures else 0
+
+        notes = 0
+        for seed in range(args.seed, args.seed + args.fuzz):
+            case = generate_case(seed)
+            try:
+                report = check_case(case)
+            except ValidationFailure as failure:
+                print(f"FAIL {case.describe()}")
+                print(f"     {failure}")
+                predicate = same_failure(check_case, failure.domain)
+                small = shrink_case(
+                    case, predicate, budget=args.shrink_budget
+                )
+                path = write_reproducer(small, failure, corpus_dir)
+                print(
+                    f"     shrunk {case.total_accesses} -> "
+                    f"{small.total_accesses} accesses, reproducer: {path}"
+                )
+                if args.inject_defect:
+                    # Self-test: catching the planted defect is success.
+                    print(
+                        f"validate: defect {args.inject_defect!r} caught "
+                        f"and shrunk"
+                    )
+                    return 0
+                return 1
+            notes += len(report.notes)
+        print(
+            f"validate: {args.fuzz} cases ok (seeds {args.seed}.."
+            f"{args.seed + args.fuzz - 1}), {notes} advisory notes"
+        )
+        if args.inject_defect:
+            # Self-test mode *expects* the defect to be caught; silence
+            # here means the harness has a blind spot.
+            print(
+                f"validate: defect {args.inject_defect!r} was NOT caught"
+            )
+            return 1
+        return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -317,6 +449,8 @@ def _dispatch(args, scale: ExperimentScale) -> int:
 
         scorecard = summary.build(args.results)
         print(scorecard.text)
+    elif args.experiment == "validate":
+        return _run_validate(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown experiment {args.experiment!r}")
     return 0

@@ -930,9 +930,15 @@ class Machine:
         fast_path: bool = True,
         batch: bool = True,
         tick_fn=None,
+        validate: bool = False,
     ) -> None:
         self.config = config
         self.policy = policy
+        # Runtime invariant checking (repro.validation.invariants). The
+        # monitor is built lazily in run(); when off, the only cost on
+        # the run loop is a few `is not None` tests per OS tick.
+        self.validate = validate
+        self.monitor = None
         self.kernel = SimulatedKernel(
             config, policy=policy, params=params, fragmentation=fragmentation
         )
@@ -975,6 +981,13 @@ class Machine:
         ]
         self.ledgers = [CycleAccounting(self.config.timing) for _ in self.cores]
 
+        monitor = None
+        if self.validate:
+            from repro.validation.invariants import InvariantMonitor
+
+            monitor = InvariantMonitor(self)
+        self.monitor = monitor
+
         fault_path = FaultPath(self.kernel)
         scheduler = self._bind_threads(workloads, fault_path)
         registry = MetricsRegistry()
@@ -985,6 +998,9 @@ class Machine:
             self._tick_fn,
             registry=registry,
         )
+        # Retained for post-run inspection (the validation harness
+        # audits final tick accounting against kernel state).
+        self.ticks = ticks
 
         kernel = self.kernel
         processes = kernel.processes
@@ -1012,15 +1028,23 @@ class Machine:
 
             if ticks.due:
                 self.sync_pipelines()
+                if monitor is not None:
+                    monitor.before_tick()
                 stamp = self._tlb_mutation_stamp()
                 ticks.tick(self.cores, self.ledgers)
                 if self._tlb_mutation_stamp() != stamp:
                     self.invalidate_fast_paths()
+                if monitor is not None:
+                    monitor.after_tick(ticks)
 
         # Final tick so trailing candidates are not lost on short runs.
         self.sync_pipelines()
+        if monitor is not None:
+            monitor.before_tick()
         ticks.final_tick(self.cores, self.ledgers)
         self.invalidate_fast_paths()
+        if monitor is not None:
+            monitor.after_run(ticks)
 
         result = self._collect(workloads, ticks, walks_by_pid)
         result.metrics = registry.export(

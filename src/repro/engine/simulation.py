@@ -96,6 +96,7 @@ class Simulator:
         serialization_cycles_per_access: float = 0.0,
         fast_path: bool = True,
         batch: bool = True,
+        validate: bool = False,
     ) -> None:
         self.machine = Machine(
             config,
@@ -106,6 +107,7 @@ class Simulator:
             serialization_cycles_per_access=serialization_cycles_per_access,
             fast_path=fast_path,
             batch=batch,
+            validate=validate,
             # Late-bound so post-construction overrides of
             # ``_promotion_tick`` (subclass or monkeypatch) take effect.
             tick_fn=lambda cores, ledgers: self._promotion_tick(cores, ledgers),

@@ -1,0 +1,94 @@
+"""Deliberately broken engine/OS variants — the harness's self-test.
+
+A validation subsystem that has never caught a bug proves nothing. Each
+defect here is a named, reversible monkeypatch that disables one
+correctness mechanism the oracle and invariants are supposed to defend:
+
+- ``stale-hints`` — the fast path's MRU-hint memo is never invalidated
+  after OS ticks mutate TLB state, so the fast/batch tiers serve
+  translations from entries that shootdowns have removed;
+- ``pcc-no-decay`` — the PCC's decay-on-saturation pass is disabled,
+  letting frequency counters climb past the architectural
+  ``counter_max``;
+- ``region-count-drift`` — the page table's per-region base-page
+  counter is double-incremented on fault, drifting away from the PTE
+  population it summarizes.
+
+The test suite (and ``repro validate --inject-defect``) asserts that
+each injection is *caught* — by tier divergence or an invariant — and
+that the failing case then shrinks to a small corpus reproducer. The
+patches are process-global while active: inject around whole
+validation runs, never concurrently.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+
+@contextlib.contextmanager
+def stale_hints() -> Iterator[None]:
+    """Disable fast-path hint invalidation after TLB mutations."""
+    from repro.engine.machine import TranslationPipeline
+
+    original = TranslationPipeline.invalidate_hints
+    TranslationPipeline.invalidate_hints = lambda self: None
+    try:
+        yield
+    finally:
+        TranslationPipeline.invalidate_hints = original
+
+
+@contextlib.contextmanager
+def pcc_no_decay() -> Iterator[None]:
+    """Disable the PCC's frequency decay on counter saturation."""
+    from repro.core.pcc import PromotionCandidateCache
+
+    original = PromotionCandidateCache._decay
+    PromotionCandidateCache._decay = lambda self: None
+    try:
+        yield
+    finally:
+        PromotionCandidateCache._decay = original
+
+
+@contextlib.contextmanager
+def region_count_drift() -> Iterator[None]:
+    """Make the page table's per-region base-page count drift high."""
+    from repro.vm.address import huge_prefix
+    from repro.vm.pagetable import PageTable
+
+    original = PageTable.map_base
+
+    def drifting_map_base(self, vaddr: int, frame: int) -> None:
+        original(self, vaddr, frame)
+        prefix = huge_prefix(vaddr)
+        self._base_count[prefix] = self._base_count.get(prefix, 0) + 1
+
+    PageTable.map_base = drifting_map_base
+    try:
+        yield
+    finally:
+        PageTable.map_base = original
+
+
+#: name -> context manager installing the defect for the duration
+DEFECTS: dict[str, Callable[[], contextlib.AbstractContextManager]] = {
+    "stale-hints": stale_hints,
+    "pcc-no-decay": pcc_no_decay,
+    "region-count-drift": region_count_drift,
+}
+
+
+@contextlib.contextmanager
+def inject(name: str) -> Iterator[None]:
+    """Install defect ``name`` for the duration of the block."""
+    try:
+        defect = DEFECTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown defect {name!r}; available: {sorted(DEFECTS)}"
+        ) from None
+    with defect():
+        yield

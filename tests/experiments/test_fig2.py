@@ -1,0 +1,83 @@
+"""Direct unit tests for the Figure 2 reuse-distance experiment.
+
+The integration suite only smoke-runs ``fig2.run`` inside the full
+sweep; these tests pin down the experiment's own contract — the
+classification bookkeeping, the HUB/property-array attribution, the
+threshold semantics, and the rendering.
+"""
+
+import pytest
+
+from repro.analysis.reuse import AccessClass
+from repro.experiments import fig2
+from repro.experiments.common import ExperimentScale
+
+TINY = ExperimentScale(name="tiny", graph_scale=9, proxy_accesses=20_000)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig2.run(TINY)
+
+
+def test_counts_cover_every_profiled_page(result):
+    assert sum(result.counts.values()) == len(result.profile.pages)
+    assert set(result.counts) <= set(AccessClass)
+    assert all(count >= 0 for count in result.counts.values())
+
+
+def test_hub_bookkeeping_is_consistent(result):
+    assert result.hub_region_count == len(result.profile.hub_regions())
+    assert 0.0 <= result.hub_in_properties <= 1.0
+    if result.hub_region_count == 0:
+        assert result.hub_in_properties == 0.0
+
+
+def test_hub_phenomenon_present_in_bfs(result):
+    """The paper's central observation: BFS has a HUB population."""
+    assert result.counts.get(AccessClass.HUB, 0) > 0
+    assert result.hub_region_count > 0
+    # HUB pages concentrate in the per-vertex property arrays
+    assert result.hub_in_properties > 0.0
+
+
+def test_run_is_deterministic():
+    a, b = fig2.run(TINY), fig2.run(TINY)
+    assert a.counts == b.counts
+    assert a.hub_region_count == b.hub_region_count
+    assert a.hub_in_properties == b.hub_in_properties
+
+
+def test_infinite_threshold_makes_every_reused_page_tlb_friendly():
+    """threshold semantics: finite distance < threshold => TLB-friendly.
+
+    Pages touched exactly once report an ``inf`` reuse distance, so no
+    threshold can make them TLB-friendly; everything else must be.
+    """
+    import math
+
+    result = fig2.run(TINY, threshold=1 << 60)
+    total = sum(result.counts.values())
+    touched_once = sum(
+        1 for distance in result.profile.pages.values()
+        if math.isinf(distance)
+    )
+    assert result.counts[AccessClass.TLB_FRIENDLY] == total - touched_once
+
+
+def test_tighter_threshold_moves_pages_out_of_tlb_friendly(result):
+    tight = fig2.run(TINY, threshold=64)
+    assert (
+        tight.counts[AccessClass.TLB_FRIENDLY]
+        <= result.counts[AccessClass.TLB_FRIENDLY]
+    )
+
+
+def test_render_reports_every_class_and_the_hub_line(result):
+    text = fig2.render(result)
+    assert "Fig. 2" in text
+    for cls in result.counts:
+        assert cls.value in text
+    assert "HUB regions" in text
+    assert str(result.hub_region_count) in text
+    assert "%" in text

@@ -1,0 +1,76 @@
+"""Direct unit tests for the Table 1 / Table 2 experiment module.
+
+The integration sweep only asserts the tables render; these tests pin
+the row inventory, the per-row field contracts, and that Table 2
+faithfully reflects the configuration it is given.
+"""
+
+import pytest
+
+from repro.config import tiny_config
+from repro.experiments import tables
+from repro.experiments.common import ExperimentScale
+from repro.workloads.registry import (
+    GRAPH_WORKLOADS,
+    PROXY_WORKLOADS,
+    workload_names,
+)
+
+TINY = ExperimentScale(name="tiny", graph_scale=9, proxy_accesses=20_000)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return tables.run_table1(TINY)
+
+
+def test_table1_inventory_matches_the_registry(rows):
+    expected = len(GRAPH_WORKLOADS) * 3 + len(PROXY_WORKLOADS)
+    assert len(rows) == expected
+    assert {r.app for r in rows} == set(workload_names())
+
+
+def test_table1_graph_rows_carry_graph_statistics(rows):
+    for row in rows:
+        if row.app in GRAPH_WORKLOADS:
+            assert row.dataset in ("kronecker", "social", "web")
+            assert row.nodes > 0
+            assert row.edges > 0
+        else:
+            assert row.dataset == "native"
+            assert row.nodes == 0
+            assert row.edges == 0
+
+
+def test_table1_every_workload_has_a_footprint_and_accesses(rows):
+    for row in rows:
+        assert row.footprint_bytes > 0, row.app
+        assert row.accesses > 0, row.app
+
+
+def test_table1_render_lists_every_app(rows):
+    text = tables.render_table1(rows)
+    assert "Table 1" in text
+    for app in workload_names():
+        assert app in text
+    # proxy rows render graph stats as placeholders, not zeros
+    assert " - " in text or "-" in text
+
+
+def test_table2_reflects_the_given_configuration():
+    config = tiny_config()
+    text = tables.render_table2(config)
+    assert "Table 2" in text
+    tlb = config.tlb
+    assert f"{tlb.l1_base.entries} entries, {tlb.l1_base.ways}-way" in text
+    assert f"{tlb.l2.entries} entries, {tlb.l2.ways}-way" in text
+    assert f"{config.pcc.entries} entries, fully associative" in text
+    assert f"{config.pcc.counter_bits}-bit saturating" in text
+    assert f"{config.os.promote_every_accesses} accesses" in text
+    assert str(config.cores) in text
+
+
+def test_table2_defaults_to_the_paper_machine():
+    from repro.config import paper_config
+
+    assert tables.render_table2() == tables.render_table2(paper_config())

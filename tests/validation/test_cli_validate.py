@@ -1,0 +1,91 @@
+"""The `repro validate` subcommand: fuzz, replay, and defect self-test."""
+
+import pytest
+
+from repro import cli
+from repro.validation.generators import generate_case
+from repro.validation.shrink import iter_corpus, write_reproducer
+
+
+class TestFuzz:
+    def test_small_fuzz_run_passes(self, capsys):
+        assert cli.main(["validate", "--fuzz", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 cases ok" in out
+        assert "seeds 0..2" in out
+
+    def test_seed_offsets_the_explored_range(self, capsys):
+        assert cli.main(["validate", "--fuzz", "2", "--seed", "40"]) == 0
+        assert "seeds 40..41" in capsys.readouterr().out
+
+
+class TestReplay:
+    def test_replay_of_passing_corpus_returns_zero(self, capsys, tmp_path):
+        for seed in (0, 1):
+            write_reproducer(generate_case(seed), None, tmp_path)
+        assert cli.main(["validate", "--replay", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "replayed 2 corpus cases, 0 failing" in out
+
+    def test_replay_of_empty_directory_is_a_no_op(self, capsys, tmp_path):
+        assert cli.main(["validate", "--replay", str(tmp_path)]) == 0
+        assert "no corpus files" in capsys.readouterr().out
+
+    def test_replay_failure_is_nonzero_and_names_the_case(
+        self, capsys, tmp_path
+    ):
+        from repro.validation import defects
+
+        write_reproducer(generate_case(0), None, tmp_path)
+        with defects.inject("region-count-drift"):
+            assert cli.main(["validate", "--replay", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL case-" in out
+        assert "1 failing" in out
+
+
+class TestDefectSelfTest:
+    @pytest.mark.parametrize(
+        "defect", ["stale-hints", "pcc-no-decay", "region-count-drift"]
+    )
+    def test_planted_defect_is_caught_and_shrunk(
+        self, capsys, tmp_path, defect
+    ):
+        assert (
+            cli.main(
+                [
+                    "validate",
+                    "--fuzz", "10",
+                    "--inject-defect", defect,
+                    "--corpus-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert f"defect {defect!r} caught and shrunk" in out
+        reproducers = list(iter_corpus(tmp_path))
+        assert reproducers, "no reproducer written for the caught defect"
+        from repro.validation.shrink import load_reproducer
+
+        case, failure = load_reproducer(reproducers[0])
+        assert case.total_accesses <= 200
+        assert failure["domain"]
+
+    def test_uncaught_defect_fails_the_self_test(self, capsys, monkeypatch):
+        """A defect injection that is a no-op must flunk the self-test."""
+        import contextlib
+
+        from repro.validation import defects
+
+        monkeypatch.setitem(
+            defects.DEFECTS, "noop", contextlib.nullcontext
+        )
+        assert cli.main(["validate", "--fuzz", "2",
+                         "--inject-defect", "noop"]) == 1
+        assert "NOT caught" in capsys.readouterr().out
+
+    def test_unknown_defect_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown defect"):
+            cli.main(["validate", "--fuzz", "1",
+                      "--inject-defect", "not-a-defect"])

@@ -1,0 +1,42 @@
+"""Replay every shrunk reproducer in tests/corpus as a regression test.
+
+Each corpus file is a minimal case that once exposed a real (or
+deliberately planted) bug; a healthy engine must pass all of them, so
+any regression that resurrects an old failure mode is caught here, in
+tier 1, without waiting for the fuzzer to rediscover it.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.validation.oracle import check_case
+from repro.validation.shrink import iter_corpus, load_reproducer
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
+
+CASES = list(iter_corpus(CORPUS_DIR))
+
+
+def test_the_corpus_is_not_empty():
+    """The harness self-test seeds the corpus; losing it is a bug."""
+    assert CASES, f"no corpus reproducers under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_corpus_case_passes_on_a_healthy_engine(path):
+    case, past_failure = load_reproducer(path)
+    report = check_case(case)  # raises ValidationFailure on regression
+    assert report.accesses == case.total_accesses
+    # the record must say what this reproducer once caught
+    assert past_failure.get("domain"), f"{path.name} lacks a failure domain"
+
+
+def test_corpus_cases_are_minimal_enough_to_debug():
+    """Shrinking exists so reproducers stay human-sized."""
+    for path in CASES:
+        case, _ = load_reproducer(path)
+        assert case.total_accesses <= 200, (
+            f"{path.name} holds {case.total_accesses} accesses; "
+            "re-shrink before committing corpus entries"
+        )

@@ -1,0 +1,89 @@
+"""Fuzz-case generation: determinism, bounds, serialization."""
+
+import json
+
+from repro.config import SystemConfig
+from repro.os.kernel import HugePagePolicy
+from repro.validation.generators import (
+    PAGES_PER_REGION,
+    WINDOW_BASE,
+    FuzzCase,
+    generate_case,
+)
+
+SEEDS = range(20)
+
+
+def test_generation_is_deterministic():
+    for seed in SEEDS:
+        a, b = generate_case(seed), generate_case(seed)
+        assert a.to_dict() == b.to_dict()
+        assert a.case_id == b.case_id
+
+
+def test_distinct_seeds_differ():
+    ids = {generate_case(seed).case_id for seed in SEEDS}
+    assert len(ids) == len(SEEDS)
+
+
+def test_streams_stay_inside_the_window():
+    for seed in SEEDS:
+        case = generate_case(seed)
+        assert case.threads, "a case with no threads runs nothing"
+        for thread in case.threads:
+            assert thread, "empty thread streams are useless"
+            assert all(0 <= page < case.window_pages for page in thread)
+
+
+def test_static_regions_fit_the_window():
+    for seed in SEEDS:
+        case = generate_case(seed)
+        nregions = max(1, case.window_pages // PAGES_PER_REGION)
+        assert all(0 <= r < nregions for r in case.static_regions)
+
+
+def test_json_round_trip_preserves_everything():
+    for seed in SEEDS:
+        case = generate_case(seed)
+        wire = json.dumps(case.to_dict())
+        again = FuzzCase.from_dict(json.loads(wire))
+        assert again.to_dict() == case.to_dict()
+        assert again.case_id == case.case_id
+
+
+def test_case_realizes_into_runnable_pieces():
+    case = generate_case(1)
+    config = case.build_config()
+    assert isinstance(config, SystemConfig)
+    assert config.pcc.entries == case.pcc_entries
+    assert config.os.promote_every_accesses == case.promote_every
+
+    params = case.build_params()
+    assert params.regions_to_promote == case.regions_to_promote
+    assert isinstance(case.huge_policy(), HugePagePolicy)
+
+    workload = case.build_workload()
+    assert workload.total_accesses == case.total_accesses
+    assert len(workload.threads) == len(case.threads)
+    # every generated address must fall inside the synthesized VMA
+    vma = workload.layout["fuzz"]
+    assert vma.start == WINDOW_BASE
+    for thread, pages in zip(workload.threads, case.threads):
+        assert thread.trace.total_accesses == len(pages)
+
+
+def test_workloads_are_fresh_objects_per_call():
+    case = generate_case(2)
+    first, second = case.build_workload(), case.build_workload()
+    assert first is not second
+    assert first.threads[0] is not second.threads[0]
+
+
+def test_oracle_cases_carry_static_regions_somewhere():
+    """Across a seed range, ORACLE-relevant knobs actually vary."""
+    cases = [generate_case(seed) for seed in range(60)]
+    assert any(c.static_regions for c in cases)
+    assert any(c.policy == "ORACLE" for c in cases)
+    assert any(len(c.threads) > 1 for c in cases)
+    assert any(c.demotion for c in cases)
+    assert any(c.fragmentation > 0 for c in cases)
