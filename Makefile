@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos fuzz fuzz-selftest bench bench-full examples scorecard clean
+.PHONY: install test chaos fuzz fuzz-selftest bench bench-full examples scorecard clean trace-smoke
 
 # first seed for `make fuzz`; CI passes its run id for fresh coverage
 FUZZ_SEED ?= 0
@@ -55,6 +55,15 @@ examples:
 
 scorecard:
 	$(PYTHON) -m repro scorecard
+
+# traced end-to-end slice: artifacts must pass their own validators,
+# and disabled observability must stay free (what CI runs)
+trace-smoke:
+	$(PYTHON) -m repro --scale quick --jobs 2 fig7 --apps BFS \
+		--trace-out trace.json --metrics-out metrics.json
+	$(PYTHON) -m repro inspect trace.json --check
+	$(PYTHON) -m repro inspect metrics.json --check
+	$(PYTHON) scripts/perf_smoke.py --max-ratio 99 --obs-overhead
 
 clean:
 	rm -rf .pytest_cache benchmarks/results/*.txt

@@ -155,6 +155,50 @@ def measure_cache(rounds: int) -> dict:
     }
 
 
+def measure_obs_overhead(rounds: int) -> dict:
+    """Cost of the observability layer on the quick BFS PCC run.
+
+    The gate compares ``observe=None`` (the default: auto-detection
+    finds no tracer and no ``REPRO_OBS``, so every hook short-circuits)
+    against ``observe=False`` (hard-off, the pre-observability code
+    shape). Default-off must stay within 5% of hard-off — tracing that
+    nobody asked for must be free. The fully *enabled* cost is also
+    measured, informationally (it pays for span bookkeeping and
+    per-walk histogram recording, and is allowed to).
+    """
+    import tempfile
+
+    from repro.engine.simulation import Simulator
+    from repro.obs import tracer as tracer_module
+    from repro.os.kernel import HugePagePolicy
+
+    workload, config = _quick_workload()
+
+    def timed(observe):
+        simulator = Simulator(config, policy=HugePagePolicy.PCC, observe=observe)
+        run_workload = copy.deepcopy(workload)
+        start = time.perf_counter()
+        simulator.run([run_workload])
+        return time.perf_counter() - start
+
+    timed(False)  # warmup
+    hard_off = min(timed(False) for _ in range(rounds))
+    auto_off = min(timed(None) for _ in range(rounds))
+    with tempfile.TemporaryDirectory(prefix="repro-obs-spool-") as spool:
+        tracer_module.enable(spool_dir=spool)
+        try:
+            enabled = min(timed(None) for _ in range(rounds))
+        finally:
+            tracer_module.disable()
+    return {
+        "hard_off_seconds": round(hard_off, 3),
+        "auto_off_seconds": round(auto_off, 3),
+        "enabled_seconds": round(enabled, 3),
+        "disabled_ratio": round(auto_off / hard_off, 3),
+        "enabled_ratio": round(enabled / hard_off, 3),
+    }
+
+
 def _timed_cli(args: list[str]) -> float:
     """Wall time of one fresh-interpreter ``python -m repro`` run."""
     env = dict(os.environ)
@@ -237,6 +281,18 @@ def main(argv=None) -> int:
         help="also time the quick fig7 sweep serial vs an N-worker fan-out",
     )
     parser.add_argument(
+        "--obs-overhead",
+        action="store_true",
+        help="gate: tracing disabled-by-default must cost <=5%% vs "
+        "observe=False hard-off (enabled cost reported informationally)",
+    )
+    parser.add_argument(
+        "--obs-max-ratio",
+        type=float,
+        default=1.05,
+        help="disabled-observability overhead gate threshold (default 1.05)",
+    )
+    parser.add_argument(
         "--bench-out",
         metavar="FILE",
         help="write a JSON trajectory artifact (e.g. BENCH_2.json)",
@@ -283,6 +339,23 @@ def main(argv=None) -> int:
         f"{artifact['trace_cache']['cached_load_seconds']:.3f}s "
         f"(hit rate {artifact['trace_cache']['hit_rate']:.0%})"
     )
+
+    if args.obs_overhead:
+        obs = measure_obs_overhead(args.rounds)
+        artifact["obs_overhead"] = obs
+        print(
+            f"obs overhead: hard-off {obs['hard_off_seconds']:.3f}s, "
+            f"default-off {obs['auto_off_seconds']:.3f}s "
+            f"(ratio {obs['disabled_ratio']:.3f}, max {args.obs_max_ratio}), "
+            f"enabled {obs['enabled_seconds']:.3f}s "
+            f"(ratio {obs['enabled_ratio']:.3f}, informational)"
+        )
+        if obs["disabled_ratio"] > args.obs_max_ratio:
+            print(
+                "perf smoke FAILED: disabled observability is not free",
+                file=sys.stderr,
+            )
+            status = 1
 
     if args.jobs:
         fan = measure_fan_out(args.jobs)

@@ -7,6 +7,13 @@ corresponding figure or table reports. Example::
     python -m repro --jobs 4 fig5 --budgets 0,4,100
     python -m repro table1
     python -m repro compare --app BFS --fragmentation 0.5
+
+Observability: every experiment accepts ``--metrics-out`` (aggregate
+``repro.metrics/v1`` JSON) and ``--trace-out`` (Perfetto-loadable
+Chrome trace-event JSON). ``repro trace <experiment> ...`` is shorthand
+that picks a default trace path, and ``repro inspect <file>`` reports
+slowest spans, hottest regions, and latency percentiles from either
+artifact.
 """
 
 from __future__ import annotations
@@ -38,6 +45,35 @@ def _int_tuple(value: str | None, default: tuple[int, ...]) -> tuple[int, ...]:
     return tuple(int(item) for item in value.split(","))
 
 
+def _add_output_options(
+    parser: argparse.ArgumentParser, subcommand: bool = False
+) -> None:
+    """The uniform artifact options every experiment accepts.
+
+    Added to the root parser *and* to each experiment subparser so both
+    ``repro --metrics-out m.json fig7`` and ``repro fig7 --metrics-out
+    m.json`` work. A subparser parses into a fresh namespace and copies
+    every attribute back over the root's, so the subcommand copies use
+    ``SUPPRESS`` defaults — absent there, a value parsed before the
+    subcommand survives; present, the later value wins.
+    """
+    default = argparse.SUPPRESS if subcommand else None
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        default=default,
+        help="write a repro.metrics/v1 JSON aggregate of every "
+        "simulation run performed by the command",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="FILE",
+        default=default,
+        help="enable span tracing and write a Perfetto-loadable Chrome "
+        "trace-event JSON file (fan-out worker spans included)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -48,12 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="quick",
         help="experiment scale: quick (default) or full",
     )
-    parser.add_argument(
-        "--metrics-out",
-        metavar="FILE",
-        help="write a repro.metrics/v1 JSON aggregate of every "
-        "simulation run performed by the command",
-    )
+    _add_output_options(parser)
     parser.add_argument(
         "--jobs",
         "-j",
@@ -73,41 +104,60 @@ def build_parser() -> argparse.ArgumentParser:
         "and only recompute the rest",
     )
     sub = parser.add_subparsers(dest="experiment", required=True)
+    experiment_parsers: list[argparse.ArgumentParser] = []
 
-    p_fig1 = sub.add_parser("fig1", help="motivation: page sizes vs Linux THP")
+    def experiment(name: str, help: str) -> argparse.ArgumentParser:
+        p = sub.add_parser(name, help=help)
+        experiment_parsers.append(p)
+        return p
+
+    p_fig1 = experiment("fig1", help="motivation: page sizes vs Linux THP")
     p_fig1.add_argument("--apps", help="comma-separated app subset")
 
-    sub.add_parser("fig2", help="reuse-distance characterization")
+    experiment("fig2", help="reuse-distance characterization")
 
-    p_fig5 = sub.add_parser("fig5", help="utility curves PCC vs HawkEye")
+    p_fig5 = experiment("fig5", help="utility curves PCC vs HawkEye")
     p_fig5.add_argument("--apps", help="comma-separated app subset")
     p_fig5.add_argument("--budgets", help="comma-separated budget percents")
 
-    sub.add_parser("fig6", help="PCC size sensitivity")
+    experiment("fig6", help="PCC size sensitivity")
 
-    p_fig7 = sub.add_parser("fig7", help="90%-fragmented comparison")
+    p_fig7 = experiment("fig7", help="90%-fragmented comparison")
     p_fig7.add_argument("--apps", help="comma-separated graph-app subset")
     p_fig7.add_argument(
         "--fragmentation", type=float, default=0.9, help="fraction fragmented"
     )
 
-    sub.add_parser("fig8", help="multithread policies")
+    experiment("fig8", help="multithread policies")
 
-    p_fig9 = sub.add_parser("fig9", help="multiprocess case study")
+    p_fig9 = experiment("fig9", help="multiprocess case study")
     p_fig9.add_argument("--pair", default="PR,mcf", help="two apps, comma-separated")
 
-    sub.add_parser("table1", help="workload inventory + system parameters")
-    sub.add_parser("ablations", help="replacement-policy and PWC ablations")
+    experiment("table1", help="workload inventory + system parameters")
+    experiment("ablations", help="replacement-policy and PWC ablations")
 
-    p_cmp = sub.add_parser("compare", help="one workload under all policies")
+    p_sens = experiment(
+        "sensitivity",
+        help="sweeps of design constants the paper fixes: counter width, "
+        "promotion interval, admission filter",
+    )
+    p_sens.add_argument("--app", default="BFS")
+    p_sens.add_argument(
+        "--study",
+        default="all",
+        choices=("counter-bits", "interval", "filter", "all"),
+        help="which sensitivity study to run (default all)",
+    )
+
+    p_cmp = experiment("compare", help="one workload under all policies")
     p_cmp.add_argument("--app", default="BFS")
     p_cmp.add_argument("--fragmentation", type=float, default=0.0)
 
-    p_stats = sub.add_parser("stats", help="trace statistics of one workload")
+    p_stats = experiment("stats", help="trace statistics of one workload")
     p_stats.add_argument("--app", default="BFS")
     p_stats.add_argument("--dataset", default="kronecker")
 
-    p_record = sub.add_parser(
+    p_record = experiment(
         "record",
         help="step 1 of the paper's methodology: offline PCC simulation "
         "writing a promotion-candidate schedule",
@@ -115,7 +165,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_record.add_argument("--app", default="BFS")
     p_record.add_argument("--out", required=True, help="schedule file path")
 
-    p_replay = sub.add_parser(
+    p_replay = experiment(
         "replay",
         help="step 2: re-run the workload applying a recorded schedule",
     )
@@ -123,13 +173,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_replay.add_argument("--schedule", required=True)
     p_replay.add_argument("--fragmentation", type=float, default=0.0)
 
-    p_score = sub.add_parser(
+    p_score = experiment(
         "scorecard",
         help="collate archived benchmark renderings into one report",
     )
     p_score.add_argument("--results", help="results directory override")
 
-    p_val = sub.add_parser(
+    p_val = experiment(
         "validate",
         help="differential oracle: fuzz engine tiers and OS policies "
         "against each other, or replay the regression corpus",
@@ -174,6 +224,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=400,
         metavar="N",
         help="predicate-call budget for minimizing a failing case",
+    )
+
+    for experiment_parser in experiment_parsers:
+        _add_output_options(experiment_parser, subcommand=True)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run any repro command with span tracing on, e.g. "
+        "'repro trace fig7' (default output trace-<run_id>.json)",
+    )
+    p_trace.add_argument(
+        "command",
+        nargs=argparse.REMAINDER,
+        help="the repro command line to trace",
+    )
+
+    p_inspect = sub.add_parser(
+        "inspect",
+        help="summarize a metrics or trace artifact: slowest spans, "
+        "hottest regions, latency percentiles",
+    )
+    p_inspect.add_argument("file", help="metrics JSON or trace JSON path")
+    p_inspect.add_argument(
+        "--check",
+        action="store_true",
+        help="validate the document against its schema; exit 1 on any "
+        "violation",
+    )
+    p_inspect.add_argument(
+        "--top", type=int, default=10, help="rows per ranking (default 10)"
     )
     return parser
 
@@ -306,12 +386,49 @@ def _run_validate(args) -> int:
         return 0
 
 
+def _run_inspect(args) -> int:
+    from repro.obs import inspect as inspect_module
+
+    try:
+        doc = inspect_module.load_document(args.file)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"inspect: {exc}") from exc
+    if args.check:
+        errors = inspect_module.validate_document(doc)
+        if errors:
+            for error in errors:
+                print(f"inspect: {error}", file=sys.stderr)
+            print(
+                f"inspect: {args.file}: {len(errors)} schema violation(s)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"inspect: {args.file}: schema OK")
+    print(inspect_module.render(inspect_module.inspect_document(doc, top=args.top)))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     import os
 
+    from repro.obs.log import configure as configure_logging
+    from repro.obs.runid import set_run_id
     from repro.resilience.journal import JOURNAL_ENV, default_journal_dir
 
     args = build_parser().parse_args(argv)
+    if args.experiment == "inspect":
+        return _run_inspect(args)
+    run_id = set_run_id()
+    configure_logging(force=True)
+    if args.experiment == "trace":
+        inner = [token for token in (args.command or []) if token != "--"]
+        if not inner:
+            raise SystemExit("trace: give a command to run, e.g. repro trace fig7")
+        args = build_parser().parse_args(inner)
+        if args.experiment in ("trace", "inspect"):
+            raise SystemExit(f"trace: cannot wrap {args.experiment!r}")
+        if not args.trace_out:
+            args.trace_out = f"trace-{run_id}.json"
     scale = _scale_of(args.scale)
     # journal by default so an interrupted sweep can be picked up with
     # --resume; REPRO_JOURNAL=off opts out, an explicit path overrides
@@ -319,20 +436,54 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.metrics_out:
         from pathlib import Path
 
-        from repro.metrics import collecting
-
         parent = Path(args.metrics_out).resolve().parent
         if not parent.is_dir():
             # fail before the runs, not after minutes of simulation
             raise SystemExit(
                 f"--metrics-out: directory {parent} does not exist"
             )
-        with collecting() as collector:
+    if args.trace_out:
+        from pathlib import Path
+
+        parent = Path(args.trace_out).resolve().parent
+        if not parent.is_dir():
+            raise SystemExit(
+                f"--trace-out: directory {parent} does not exist"
+            )
+    return _run_with_artifacts(args, scale, run_id)
+
+
+def _run_with_artifacts(args, scale: ExperimentScale, run_id: str) -> int:
+    """Dispatch the experiment inside the requested artifact scopes."""
+    import shutil
+    import tempfile
+
+    from repro.metrics import collecting
+    from repro.obs import tracer as tracer_module
+
+    tracer = None
+    spool = None
+    if args.trace_out:
+        spool = tempfile.mkdtemp(prefix="repro-trace-spool-")
+        tracer = tracer_module.enable(run_id, spool_dir=spool)
+    try:
+        if args.metrics_out:
+            with collecting() as collector:
+                status = _dispatch(args, scale)
+            collector.write_json(args.metrics_out)
+            print(f"metrics: {len(collector.runs)} runs -> {args.metrics_out}")
+        else:
             status = _dispatch(args, scale)
-        collector.write_json(args.metrics_out)
-        print(f"metrics: {len(collector.runs)} runs -> {args.metrics_out}")
-        return status
-    return _dispatch(args, scale)
+    finally:
+        if tracer is not None:
+            doc = tracer.finalize(args.trace_out)
+            tracer_module.disable()
+            shutil.rmtree(spool, ignore_errors=True)
+            print(
+                f"trace: {len(doc['traceEvents'])} events (run {run_id}) "
+                f"-> {args.trace_out}"
+            )
+    return status
 
 
 def _dispatch(args, scale: ExperimentScale) -> int:
@@ -388,6 +539,34 @@ def _dispatch(args, scale: ExperimentScale) -> int:
         )
         print()
         print(ablations.render_pwc(ablations.run_pwc(scale)))
+    elif args.experiment == "sensitivity":
+        from repro.experiments import sensitivity
+
+        blocks = []
+        if args.study in ("counter-bits", "all"):
+            blocks.append(
+                sensitivity.render_sweep(
+                    sensitivity.counter_bits_sweep(
+                        scale, app=args.app, jobs=jobs, resume=resume
+                    )
+                )
+            )
+        if args.study in ("interval", "all"):
+            blocks.append(
+                sensitivity.render_sweep(
+                    sensitivity.interval_sweep(
+                        scale, app=args.app, jobs=jobs, resume=resume
+                    )
+                )
+            )
+        if args.study in ("filter", "all"):
+            speedups = sensitivity.admission_filter_study(scale, app=args.app)
+            blocks.append(
+                f"Admission filter ({args.app}): "
+                f"with filter {speedups['with_filter']:.3f}x, "
+                f"without {speedups['without_filter']:.3f}x"
+            )
+        print("\n\n".join(blocks))
     elif args.experiment == "compare":
         print(_run_compare(args, scale))
     elif args.experiment == "stats":

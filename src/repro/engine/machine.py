@@ -103,6 +103,9 @@ hatch selecting the per-record loops.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
+
 import numpy as np
 
 from repro.config import SystemConfig
@@ -111,6 +114,10 @@ from repro.engine.cpu import Core
 from repro.engine.system import ProcessWorkload
 from repro.engine.timing import CycleAccounting, RuntimeBreakdown
 from repro.metrics import MetricsRegistry, publish_run
+from repro.obs.observer import RunObserver
+from repro.obs.runid import current_run_id
+from repro.obs.tracer import CORE_TID_BASE
+from repro.obs.tracer import span as trace_span
 from repro.os.kernel import HugePagePolicy, KernelParams, SimulatedKernel
 from repro.tlb.hierarchy import HitLevel
 from repro.vm.address import (
@@ -335,6 +342,11 @@ class TranslationPipeline:
         self._base_mru = [-1] * self._nbase
         self._huge_mru = [-1] * self._nhuge
         self._l1_hit_cycles = core.config.timing.l1_tlb_hit_cycles
+        # Translate indirection for observability: normally the bound
+        # method itself (identical cost to the old direct binding); an
+        # observed run swaps in a recording wrapper, so non-observed
+        # runs pay nothing per record.
+        self._translate = core.translate
         # Batched fast-hit counters, flushed by sync().
         self._pending_base_records = 0
         self._pending_huge_records = 0
@@ -388,7 +400,7 @@ class TranslationPipeline:
         seen = slot.seen
         fault = slot.fault
         is_mapped = page_table.is_mapped
-        translate = self.core.translate
+        translate = self._translate
         miss_level = HitLevel.MISS
         start_budget = budget
         cycles = 0
@@ -437,7 +449,7 @@ class TranslationPipeline:
         seen = slot.seen
         fault = slot.fault
         is_mapped = page_table.is_mapped
-        translate = self.core.translate
+        translate = self._translate
         base_mru = self._base_mru
         huge_mru = self._huge_mru
         base_sets = self._base_sets
@@ -700,7 +712,7 @@ class TranslationPipeline:
         seen = slot.seen
         fault = slot.fault
         is_mapped = page_table.is_mapped
-        translate = self.core.translate
+        translate = self._translate
         base_mru = self._base_mru
         huge_mru = self._huge_mru
         base_sets = self._base_sets
@@ -931,6 +943,7 @@ class Machine:
         batch: bool = True,
         tick_fn=None,
         validate: bool = False,
+        observe: bool | None = None,
     ) -> None:
         self.config = config
         self.policy = policy
@@ -939,6 +952,11 @@ class Machine:
         # the run loop is a few `is not None` tests per OS tick.
         self.validate = validate
         self.monitor = None
+        # Observability (repro.obs). None = auto: observe iff a tracer
+        # is active or REPRO_OBS requests it. False is the hard-off used
+        # by perf A/B runs; True forces histograms even without either.
+        self.observe = observe
+        self.obs: RunObserver | None = None
         self.kernel = SimulatedKernel(
             config, policy=policy, params=params, fragmentation=fragmentation
         )
@@ -989,7 +1007,8 @@ class Machine:
         self.monitor = monitor
 
         fault_path = FaultPath(self.kernel)
-        scheduler = self._bind_threads(workloads, fault_path)
+        with trace_span("machine.bind_threads", cat="engine"):
+            scheduler = self._bind_threads(workloads, fault_path)
         registry = MetricsRegistry()
         self._register_metrics(registry)
         ticks = OsTickDriver(
@@ -1002,6 +1021,16 @@ class Machine:
         # audits final tick accounting against kernel state).
         self.ticks = ticks
 
+        # One observability decision per run; every hook site below
+        # guards on `obs`/`tracer` being non-None, so a non-observed
+        # run pays a couple of branches per quantum/tick and nothing
+        # per record (see _attach_walk_observers for the per-walk hook).
+        obs = RunObserver.for_run(self.observe, registry)
+        self.obs = obs
+        tracer = obs.tracer if obs is not None else None
+        if obs is not None:
+            self._attach_walk_observers(obs, ticks)
+
         kernel = self.kernel
         processes = kernel.processes
         pipelines = self.pipelines
@@ -1010,55 +1039,166 @@ class Machine:
         drain_fault_work = kernel.drain_fault_work
         walks_by_pid = {pid: 0 for pid in processes}
 
-        while scheduler.remaining > 0:
-            for slot in scheduler.next_round():
-                pipeline = pipelines[slot.core_id]
-                ledger = ledgers[slot.core_id]
-                table = processes[slot.pid].page_table
-                cursor, accesses, cycles, walks = pipeline.run_quantum(
-                    slot, quantum, table
-                )
-                scheduler.advance(slot, cursor)
-                ledger.charge_translation(cycles)
-                ledger.charge_accesses(accesses)
-                walks_by_pid[slot.pid] += walks
-                ticks.note(accesses)
-                huge_z, base_z, migrated = drain_fault_work()
-                ledger.charge_fault_work(huge_z, base_z, migrated)
+        with trace_span("machine.sim_loop", cat="engine",
+                        policy=self.policy.value, cores=len(self.cores)):
+            while scheduler.remaining > 0:
+                for slot in scheduler.next_round():
+                    pipeline = pipelines[slot.core_id]
+                    ledger = ledgers[slot.core_id]
+                    table = processes[slot.pid].page_table
+                    if tracer is None:
+                        cursor, accesses, cycles, walks = pipeline.run_quantum(
+                            slot, quantum, table
+                        )
+                    else:
+                        with tracer.span(
+                            "quantum",
+                            cat="engine",
+                            tid=CORE_TID_BASE + slot.core_id,
+                            process=slot.pid,
+                        ):
+                            cursor, accesses, cycles, walks = (
+                                pipeline.run_quantum(slot, quantum, table)
+                            )
+                    scheduler.advance(slot, cursor)
+                    ledger.charge_translation(cycles)
+                    ledger.charge_accesses(accesses)
+                    walks_by_pid[slot.pid] += walks
+                    ticks.note(accesses)
+                    huge_z, base_z, migrated = drain_fault_work()
+                    ledger.charge_fault_work(huge_z, base_z, migrated)
 
-            if ticks.due:
-                self.sync_pipelines()
-                if monitor is not None:
-                    monitor.before_tick()
-                stamp = self._tlb_mutation_stamp()
-                ticks.tick(self.cores, self.ledgers)
-                if self._tlb_mutation_stamp() != stamp:
-                    self.invalidate_fast_paths()
-                if monitor is not None:
-                    monitor.after_tick(ticks)
+                if ticks.due:
+                    self._run_tick(ticks, monitor, obs)
+                    if monitor is not None:
+                        monitor.after_tick(ticks)
 
         # Final tick so trailing candidates are not lost on short runs.
-        self.sync_pipelines()
-        if monitor is not None:
-            monitor.before_tick()
-        ticks.final_tick(self.cores, self.ledgers)
-        self.invalidate_fast_paths()
+        self._run_tick(ticks, monitor, obs, final=True)
         if monitor is not None:
             monitor.after_run(ticks)
 
-        result = self._collect(workloads, ticks, walks_by_pid)
-        result.metrics = registry.export(
-            meta={
-                "policy": self.policy.value,
-                "cores": len(self.cores),
-                "fast_path": self.fast_path,
-                "batch": self.batch,
-                "promote_every_accesses": self.config.os.promote_every_accesses,
-                "processes": sorted(processes),
-            }
-        )
-        publish_run(result.metrics)
+        with trace_span("machine.collect", cat="engine"):
+            result = self._collect(workloads, ticks, walks_by_pid)
+            result.metrics = registry.export(
+                meta={
+                    "policy": self.policy.value,
+                    "cores": len(self.cores),
+                    "fast_path": self.fast_path,
+                    "batch": self.batch,
+                    "promote_every_accesses": self.config.os.promote_every_accesses,
+                    "processes": sorted(processes),
+                    "run_id": current_run_id(),
+                }
+            )
+            publish_run(result.metrics)
         return result
+
+    # ------------------------------------------------------------------
+    # observability hooks
+
+    def _run_tick(self, ticks: OsTickDriver, monitor, obs,
+                  final: bool = False):
+        """One promotion interval, observed or not (due and final paths).
+
+        Replicates the former inline sequence exactly — sync, invariant
+        pre-sweep, tick, conditional (unconditional when final) memo
+        invalidation — adding, only on observed runs, a pre-tick PCC/TLB
+        snapshot, an ``os_tick`` span, the tick-duration histogram
+        sample, and promotion-lag samples from the tick's outcome.
+        """
+        start_ns = time.perf_counter_ns() if obs is not None else 0
+        self.sync_pipelines()
+        if monitor is not None:
+            monitor.before_tick()
+        if obs is None:
+            return self._tick_and_invalidate(ticks, final)
+        self._snapshot_state(obs, ticks)
+        with obs.span("os_tick", cat="os", final=final,
+                      accesses=ticks.total_accesses):
+            outcome = self._tick_and_invalidate(ticks, final)
+        obs.note_promotions(outcome.promoted, ticks.total_accesses)
+        obs.note_tick((time.perf_counter_ns() - start_ns) / 1000.0)
+        return outcome
+
+    def _tick_and_invalidate(self, ticks: OsTickDriver, final: bool):
+        obs = self.obs
+        stamp = self._tlb_mutation_stamp()
+        if final:
+            outcome = ticks.final_tick(self.cores, self.ledgers)
+        else:
+            outcome = ticks.tick(self.cores, self.ledgers)
+        if final or self._tlb_mutation_stamp() != stamp:
+            with obs.span("tick.flush", cat="os") if obs is not None \
+                    else nullcontext():
+                self.invalidate_fast_paths()
+        return outcome
+
+    def _attach_walk_observers(self, obs: RunObserver, ticks: OsTickDriver) -> None:
+        """Swap each pipeline's translate binding for a recording wrapper.
+
+        The wrapper delegates to the real ``Core.translate`` unchanged
+        (bit-identity by construction) and, when the access missed the
+        TLBs, records the walk's latency — the returned cycles net of
+        the repeat-hit cycles folded into the same return — plus the
+        region's first-walk stamp for promotion-lag accounting. The
+        process id comes from the pipeline's active slot (set by
+        ``run_quantum``), and "now" is the tick driver's retired-access
+        clock at quantum granularity.
+        """
+        miss_level = HitLevel.MISS
+        note_walk = obs.note_walk
+        for pipeline in self.pipelines:
+            def observed_translate(
+                vpn,
+                page_table,
+                repeat,
+                _translate=pipeline.core.translate,
+                _pipeline=pipeline,
+                _l1_hit=pipeline.core.config.timing.l1_tlb_hit_cycles,
+            ):
+                result = _translate(vpn, page_table, repeat)
+                if result[1] is miss_level:
+                    slot = _pipeline._active_slot
+                    note_walk(
+                        slot.pid if slot is not None else -1,
+                        vpn >> _HUGE_SHIFT,
+                        result[0] - _l1_hit * (repeat - 1),
+                        ticks.total_accesses,
+                    )
+                return result
+
+            pipeline._translate = observed_translate
+
+    def _snapshot_state(self, obs: RunObserver, ticks: OsTickDriver) -> None:
+        """Pre-tick top-K PCC region counts + TLB occupancy (read-only).
+
+        Taken before the tick dumps (and, in dump-and-clear mode,
+        empties) the PCCs, via the non-mutating ``ranked()`` view.
+        Emitted as trace instants only, so histogram-only observers
+        skip the gathering entirely.
+        """
+        if obs.tracer is None:
+            return
+        regions: list[tuple[int, int, int]] = []
+        occupancy: dict[str, int] = {}
+        for core in self.cores:
+            pid = self._pid_for_core(core.core_id)
+            if pid is not None:
+                for entry in core.pcc.ranked():
+                    regions.append((pid, entry.tag, entry.frequency))
+            tlb = core.tlb
+            for structure in (tlb.l1_base, tlb.l1_huge, tlb.l1_giga, tlb.l2):
+                occupancy[structure.name] = occupancy.get(structure.name, 0) + sum(
+                    len(entries) for entries in structure.sets
+                )
+        regions.sort(key=lambda item: (-item[2], item[0], item[1]))
+        obs.snapshot(
+            ticks.total_accesses,
+            len(ticks.promotion_timeline),
+            regions,
+            occupancy,
+        )
 
     # ------------------------------------------------------------------
     # stage helpers
@@ -1174,6 +1314,11 @@ class Machine:
 
     def promotion_tick(self, cores, ledgers):
         """Fig. 4: dump PCCs, let the kernel promote, apply shootdowns."""
+        obs = self.obs
+
+        def stage(name: str):
+            return obs.span(name, cat="os") if obs is not None else nullcontext()
+
         records: list[CandidateRecord] = []
         giga_records: list[CandidateRecord] = []
         if self.policy is HugePagePolicy.PCC:
@@ -1181,29 +1326,35 @@ class Machine:
             # (Fig. 4) or an on-demand snapshot that leaves counters
             # accumulating across intervals.
             snapshot = self.kernel.params.pcc_dump_mode == "snapshot"
-            for core in cores:
-                pid = self._pid_for_core(core.core_id)
-                if pid is None:
-                    continue
-                entries = (
-                    core.pcc.ranked() if snapshot else core.pcc.flush()
-                )
-                self.dump_region.write(entries, pid=pid, core=core.core_id)
-                if core.pcc_1gb is not None:
-                    giga_entries = (
-                        core.pcc_1gb.ranked()
-                        if snapshot
-                        else core.pcc_1gb.flush()
+            with stage("tick.scan"):
+                for core in cores:
+                    pid = self._pid_for_core(core.core_id)
+                    if pid is None:
+                        continue
+                    entries = (
+                        core.pcc.ranked() if snapshot else core.pcc.flush()
                     )
-                    self.dump_region.write(
-                        giga_entries,
-                        pid=pid,
-                        core=core.core_id,
-                        page_size=PageSize.GIGA,
-                    )
-            all_records = self.dump_region.read_all()
-            records = [r for r in all_records if r.page_size is PageSize.HUGE]
-            giga_records = [r for r in all_records if r.page_size is PageSize.GIGA]
+                    self.dump_region.write(entries, pid=pid, core=core.core_id)
+                    if core.pcc_1gb is not None:
+                        giga_entries = (
+                            core.pcc_1gb.ranked()
+                            if snapshot
+                            else core.pcc_1gb.flush()
+                        )
+                        self.dump_region.write(
+                            giga_entries,
+                            pid=pid,
+                            core=core.core_id,
+                            page_size=PageSize.GIGA,
+                        )
+            with stage("tick.rank"):
+                all_records = self.dump_region.read_all()
+                records = [
+                    r for r in all_records if r.page_size is PageSize.HUGE
+                ]
+                giga_records = [
+                    r for r in all_records if r.page_size is PageSize.GIGA
+                ]
 
         def on_shootdown(pid: int, prefix: int) -> None:
             for core in cores:
@@ -1218,12 +1369,13 @@ class Machine:
                 if core.pcc_1gb is not None:
                     core.pcc_1gb.invalidate(giga)
 
-        outcome = self.kernel.promotion_tick(
-            pcc_records=records,
-            giga_records=giga_records,
-            on_shootdown=on_shootdown,
-            on_giga_shootdown=on_giga_shootdown,
-        )
+        with stage("tick.promote"):
+            outcome = self.kernel.promotion_tick(
+                pcc_records=records,
+                giga_records=giga_records,
+                on_shootdown=on_shootdown,
+                on_giga_shootdown=on_giga_shootdown,
+            )
         work = len(outcome.promoted) + len(outcome.demoted)
         if work and ledgers:
             # promotion runs on one kernel thread; shootdowns hit all cores

@@ -97,6 +97,7 @@ class Simulator:
         fast_path: bool = True,
         batch: bool = True,
         validate: bool = False,
+        observe: bool | None = None,
     ) -> None:
         self.machine = Machine(
             config,
@@ -108,6 +109,7 @@ class Simulator:
             fast_path=fast_path,
             batch=batch,
             validate=validate,
+            observe=observe,
             # Late-bound so post-construction overrides of
             # ``_promotion_tick`` (subclass or monkeypatch) take effect.
             tick_fn=lambda cores, ledgers: self._promotion_tick(cores, ledgers),

@@ -30,6 +30,7 @@ import numpy as np
 from repro.config import SystemConfig, scaled_config
 from repro.engine.simulation import SimulationResult, Simulator
 from repro.engine.system import ProcessWorkload, ThreadWorkload
+from repro.obs.tracer import span
 from repro.os.kernel import HugePagePolicy, KernelParams
 from repro.trace.events import CompressedTrace
 from repro.workloads.registry import build_workload
@@ -164,14 +165,16 @@ def _cached_workload(app: str, dataset: str, graph_scale: int, proxy_accesses: i
         if entry is not None:
             return workload_from_entry(entry)
     fault_point("workload.build", detail=app)
-    workload = build_workload(
-        app,
-        dataset=dataset,
-        scale=graph_scale,
-        sorted_dbg=sorted_dbg,
-        accesses=proxy_accesses,
-        seed=seed,
-    )
+    with span("workload.build", cat="workload", app=app, dataset=dataset,
+              scale=graph_scale, accesses=proxy_accesses):
+        workload = build_workload(
+            app,
+            dataset=dataset,
+            scale=graph_scale,
+            sorted_dbg=sorted_dbg,
+            accesses=proxy_accesses,
+            seed=seed,
+        )
     if disk is not None:
         arrays, meta = workload_to_entry(workload)
         disk.put_entry(app, params, arrays, meta)
@@ -244,7 +247,8 @@ def cached_process_workload(name: str, params: dict, builder) -> ProcessWorkload
         entry = disk.get_entry(name, params)
         if entry is not None:
             return workload_from_entry(entry)
-    workload = builder()
+    with span("workload.build", cat="workload", app=name):
+        workload = builder()
     if disk is not None:
         arrays, meta = workload_to_entry(workload)
         disk.put_entry(name, params, arrays, meta)

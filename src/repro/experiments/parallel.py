@@ -47,17 +47,20 @@ Task functions must be module-level (picklable) and take one argument.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import multiprocessing
 import os
 import time
 import traceback
-import warnings
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, CancelledError, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 
 from repro.metrics import publish_run
+from repro.obs.log import get_logger, log_event
+from repro.obs.observer import observation_requested
+from repro.obs.tracer import OWNER_ENV, active_tracer, span, worker_setup
 from repro.resilience import bus
 from repro.resilience.faults import fault_point
 from repro.resilience.retry import RetryPolicy
@@ -65,12 +68,14 @@ from repro.resilience.retry import RetryPolicy
 #: Environment default for the pool width (CLI ``--jobs`` overrides).
 JOBS_ENV = "REPRO_JOBS"
 
+_LOG = get_logger("experiments.parallel")
+
 
 def resolve_jobs(jobs: int | None) -> int:
     """Effective pool width: explicit value, $REPRO_JOBS, or 1.
 
-    A non-integer ``$REPRO_JOBS`` warns (naming the variable) and runs
-    serially rather than crashing the sweep.
+    A non-integer ``$REPRO_JOBS`` logs a warning (naming the variable)
+    and runs serially rather than crashing the sweep.
     """
     if jobs is None:
         env = os.environ.get(JOBS_ENV, "").strip()
@@ -78,11 +83,12 @@ def resolve_jobs(jobs: int | None) -> int:
             try:
                 jobs = int(env)
             except ValueError:
-                warnings.warn(
+                log_event(
+                    _LOG,
                     f"{JOBS_ENV}={env!r} is not an integer; running serially "
                     f"(set {JOBS_ENV} to a worker count, 0 for all cores)",
-                    RuntimeWarning,
-                    stacklevel=2,
+                    level=logging.WARNING,
+                    env_value=env,
                 )
                 jobs = 1
         else:
@@ -195,15 +201,42 @@ class FanOutError(RuntimeError):
 
 
 class _TaskRunner:
-    """Picklable task wrapper: fault hook plus identity-carrying errors."""
+    """Picklable task wrapper: fault hook plus identity-carrying errors.
 
-    def __init__(self, task_fn) -> None:
+    ``trace_parent`` is the parent process's ``fanout`` span id; it is
+    pickled with the runner so a worker's task span links back across
+    the process boundary (plus a flow-event arrow). Workers ship their
+    span shard after every task — including failed ones — so a
+    quarantined task's span still reaches the merged trace.
+    """
+
+    def __init__(self, task_fn, trace_parent: str | None = None) -> None:
         self.task_fn = task_fn
+        self.trace_parent = trace_parent
 
     def __call__(self, indexed_task):
         index, task = indexed_task
         desc = describe_task(task)
         fault_point("worker.task", detail=desc)
+        tracer = active_tracer()
+        if tracer is None:
+            return self._run(task, desc)
+        try:
+            with tracer.span(
+                "fanout.task",
+                cat="fanout",
+                parent=self.trace_parent,
+                task=desc,
+                index=index,
+            ):
+                if self.trace_parent is not None:
+                    tracer.flow_end(f"{self.trace_parent}:{index}")
+                return self._run(task, desc)
+        finally:
+            if os.environ.get(OWNER_ENV) != str(os.getpid()):
+                tracer.ship_shard()
+
+    def _run(self, task, desc):
         try:
             return self.task_fn(task)
         except TaskError:
@@ -220,11 +253,20 @@ def _pool_context():
 
 
 def _worker_init(cache_dir: str | None) -> None:
-    """Point a worker at the shared trace cache directory."""
+    """Point a worker at the shared trace cache and set up tracing.
+
+    ``worker_setup`` gives the worker its own tracer on the shared
+    epoch when the parent advertised a span spool — and, crucially,
+    defuses a parent tracer object inherited through ``fork`` so a
+    worker can never re-report the parent's events.
+    """
+    from repro.obs.log import configure as configure_logging
     from repro.trace.cache import CACHE_DIR_ENV
 
     if cache_dir is not None:
         os.environ[CACHE_DIR_ENV] = cache_dir
+    worker_setup()
+    configure_logging(force=True)
 
 
 def _republish(results) -> None:
@@ -238,13 +280,26 @@ def _republish(results) -> None:
 class _FanOut:
     """One resilient execution of a task list (see :func:`fan_out`)."""
 
-    def __init__(self, task_fn, tasks, jobs, cache_dir, policy, journal, resume):
+    def __init__(self, task_fn, tasks, jobs, cache_dir, policy, journal, resume,
+                 trace_parent: str | None = None):
         self.task_fn = task_fn
         self.tasks = tasks
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.policy = policy
         self.journal = journal
+        self.trace_parent = trace_parent
+        # Task wall-time distribution (submission to completion, parent
+        # vantage) — recorded only on observed invocations so the
+        # default path stays allocation-free.
+        self.wall_hist = (
+            bus.histogram("fanout.task_wall_us", unit="us")
+            if observation_requested()
+            else None
+        )
+        #: walls recorded by THIS invocation (the bus histogram is
+        #: process-global and accumulates across fan_out calls)
+        self.walls_recorded = 0
         self.report = FanOutReport(tasks=len(tasks))
         self.results: dict[int, object] = {}
         #: indices whose results came from a pool worker or the journal
@@ -298,9 +353,24 @@ class _FanOut:
                 )
             )
             bus.counter("tasks.quarantined").add()
+            log_event(
+                _LOG,
+                "task quarantined after retries",
+                level=logging.WARNING,
+                task=describe_task(self.tasks[index]),
+                attempts=self.attempts[index],
+            )
             return True
         self.report.retries += 1
         bus.counter("tasks.retried").add()
+        log_event(
+            _LOG,
+            "task failed; retrying",
+            level=logging.WARNING,
+            task=describe_task(self.tasks[index]),
+            attempt=self.attempts[index],
+            timed_out=timed_out,
+        )
         self.not_before[index] = time.monotonic() + self.policy.delay(
             str(index), self.attempts[index]
         )
@@ -312,26 +382,34 @@ class _FanOut:
 
     def run_serial(self, indices) -> None:
         """Run tasks in-process with the same retry/quarantine rules."""
-        runner = _TaskRunner(self.task_fn)
+        runner = _TaskRunner(self.task_fn, trace_parent=self.trace_parent)
         queue = deque(indices)
         while queue:
             index = queue.popleft()
             delay = self.not_before[index] - time.monotonic()
             if delay > 0:
                 time.sleep(delay)
+            begun = time.monotonic()
             try:
                 result = runner((index, self.tasks[index]))
             except Exception as exc:
                 self._fail(index, _message_of(exc), queue)
                 continue
+            self._note_wall(time.monotonic() - begun)
             self._commit(index, result)
+
+    def _note_wall(self, seconds: float) -> None:
+        if self.wall_hist is not None:
+            self.wall_hist.record(seconds * 1e6)
+            self.walls_recorded += 1
 
     # ------------------------------------------------------------------
     # pooled execution
 
     def run_pool(self) -> None:
         """Run pending tasks across a self-healing process pool."""
-        runner = _TaskRunner(self.task_fn)
+        runner = _TaskRunner(self.task_fn, trace_parent=self.trace_parent)
+        tracer = active_tracer()
         queue = deque(self.pending)
         width = min(self.jobs, max(1, len(queue)))
         rebuilds = 0
@@ -352,6 +430,8 @@ class _FanOut:
                         queue.appendleft(index)
                         broken = True
                         break
+                    if tracer is not None and self.trace_parent is not None:
+                        tracer.flow_start(f"{self.trace_parent}:{index}")
                     outstanding[future] = index
                     started[future] = time.monotonic()
                 if not outstanding and not broken:
@@ -369,7 +449,7 @@ class _FanOut:
                     )
                     for future in done:
                         index = outstanding.pop(future)
-                        started.pop(future, None)
+                        begun = started.pop(future, None)
                         try:
                             result = future.result()
                         except BrokenProcessPool:
@@ -380,6 +460,8 @@ class _FanOut:
                         except Exception as exc:
                             self._fail(index, _message_of(exc), queue)
                         else:
+                            if begun is not None:
+                                self._note_wall(time.monotonic() - begun)
                             self._commit(index, result)
                             self.foreign.add(index)
                     broken |= self._expire_overdue(outstanding, started, queue)
@@ -511,18 +593,28 @@ def fan_out(
     tasks = list(tasks)
     jobs = resolve_jobs(jobs)
     policy = policy or RetryPolicy.from_env()
-    state = _FanOut(task_fn, tasks, jobs, cache_dir, policy, journal, resume)
-    if state.pending:
-        if jobs > 1 and len(state.pending) > 1:
-            state.run_pool()
-        else:
-            state.run_serial(state.pending)
-    report = state.report
-    if report.eventful:
-        bus.publish(meta={"report": report.as_dict()})
-    if report.quarantined:
-        raise FanOutError(report)
-    ordered = [state.results[index] for index in range(len(tasks))]
-    if republish:
-        _republish(ordered[i] for i in sorted(state.foreign))
-    return ordered
+    with span("fanout", cat="fanout", tasks=len(tasks), jobs=jobs) as fanout_span:
+        state = _FanOut(task_fn, tasks, jobs, cache_dir, policy, journal,
+                        resume, trace_parent=fanout_span)
+        if state.pending:
+            log_event(
+                _LOG,
+                "fan_out starting",
+                tasks=len(tasks),
+                pending=len(state.pending),
+                resumed=state.report.resumed,
+                jobs=jobs,
+            )
+            if jobs > 1 and len(state.pending) > 1:
+                state.run_pool()
+            else:
+                state.run_serial(state.pending)
+        report = state.report
+        if report.eventful or state.walls_recorded:
+            bus.publish(meta={"report": report.as_dict()})
+        if report.quarantined:
+            raise FanOutError(report)
+        ordered = [state.results[index] for index in range(len(tasks))]
+        if republish:
+            _republish(ordered[i] for i in sorted(state.foreign))
+        return ordered

@@ -14,6 +14,7 @@ from contextlib import contextmanager
 from pathlib import Path
 
 from repro.metrics.registry import SCHEMA
+from repro.obs.runid import current_run_id
 
 #: Stack of active collectors (nested ``collecting()`` blocks all receive
 #: published runs; normally there is zero or one).
@@ -31,8 +32,13 @@ class MetricsCollector:
         self.runs.append(run_export)
 
     def export(self) -> dict:
-        """Aggregate document: schema header plus all collected runs."""
-        return {"schema": SCHEMA, "runs": list(self.runs)}
+        """Aggregate document: schema header, run id, all collected runs.
+
+        The top-level ``run_id`` names the *invocation* (one CLI call);
+        it matches the ``run_id`` each per-run export carries in its
+        meta, plus journal shards, trace files, and structured logs.
+        """
+        return {"schema": SCHEMA, "run_id": current_run_id(), "runs": list(self.runs)}
 
     def write_json(self, path: str | Path) -> Path:
         """Write the aggregate export to ``path``; returns the path."""

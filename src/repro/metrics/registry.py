@@ -12,6 +12,8 @@ import json
 from pathlib import Path
 from typing import Callable
 
+from repro.obs.histo import Histogram
+
 #: Versioned schema identifier written into every export.
 SCHEMA = "repro.metrics/v1"
 
@@ -47,6 +49,7 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._providers: list[Callable[[], dict[str, int]]] = []
         self._samples: list[dict] = []
+        self._histograms: dict[str, Histogram] = {}
 
     # ------------------------------------------------------------------
     # registration
@@ -61,6 +64,18 @@ class MetricsRegistry:
     def register(self, provider: Callable[[], dict[str, int]]) -> None:
         """Register a provider of ``{name: value}`` counter readings."""
         self._providers.append(provider)
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        """Get or create the named distribution.
+
+        Histograms land in the export's ``distributions`` section; the
+        section is always present (``{}`` when nothing recorded) so the
+        v1 schema stays uniform whether or not a run was observed.
+        """
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name, unit=unit)
+        return histogram
 
     # ------------------------------------------------------------------
     # reading
@@ -100,12 +115,20 @@ class MetricsRegistry:
     # export
 
     def export(self, meta: dict | None = None) -> dict:
-        """Stable-schema dict: final counters plus interval samples."""
+        """Stable-schema dict: counters, interval samples, distributions.
+
+        ``distributions`` is ``{}`` for a non-observed run (no
+        histograms were created), keeping the key set uniform.
+        """
         return {
             "schema": SCHEMA,
             "meta": dict(meta or {}),
             "counters": self.snapshot(),
             "samples": list(self._samples),
+            "distributions": {
+                name: histogram.as_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
         }
 
     def write_json(self, path: str | Path, meta: dict | None = None) -> Path:

@@ -1,0 +1,45 @@
+"""Deep observability for the reproduction pipeline (``repro.obs``).
+
+Four cooperating pieces, all **off by default** and free when disabled:
+
+- :mod:`repro.obs.tracer` — a low-overhead hierarchical span tracer
+  (context-manager + decorator API over a monotonic clock) whose output
+  is Chrome trace-event JSON, loadable in Perfetto or ``chrome://
+  tracing``. Worker processes spool span shards to disk and the parent
+  merges them by run id, so one ``--jobs N`` sweep yields one timeline.
+- :mod:`repro.obs.histo` — fixed-boundary log-bucketed histograms
+  (walk latency, tick duration, promotion lag, fan-out task wall time)
+  exported under the ``distributions`` section of the
+  ``repro.metrics/v1`` schema.
+- :mod:`repro.obs.observer` — the engine-side hook bundle: when a run
+  is observed, :class:`~repro.engine.machine.Machine` emits spans for
+  run phases, scheduling quanta, and OS-tick stages, records the
+  histograms above, and samples PCC/TLB state snapshots per dump
+  interval. When not observed, the only engine cost is a handful of
+  ``is None`` checks per quantum/tick.
+- :mod:`repro.obs.log` — structured run logging: ``REPRO_LOG=json``
+  switches every pipeline log record to JSON lines tagged with the run
+  id and the currently open span.
+
+One stable **run id** (:mod:`repro.obs.runid`) threads through metrics
+exports, journal shards, resilience-bus publications, structured logs,
+and trace files, so ``repro inspect`` can correlate every artifact of a
+single invocation.
+"""
+
+from repro.obs.histo import Histogram
+from repro.obs.runid import RUN_ID_ENV, current_run_id, new_run_id, set_run_id
+from repro.obs.tracer import SpanTracer, active_tracer, span, traced, tracing_enabled
+
+__all__ = [
+    "Histogram",
+    "RUN_ID_ENV",
+    "SpanTracer",
+    "active_tracer",
+    "current_run_id",
+    "new_run_id",
+    "set_run_id",
+    "span",
+    "traced",
+    "tracing_enabled",
+]

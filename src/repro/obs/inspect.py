@@ -1,0 +1,325 @@
+"""Run inspector: summarize and validate observability artifacts.
+
+``repro inspect <file>`` accepts either artifact the pipeline writes —
+
+* a **metrics** file (``repro.metrics/v1``): one registry export or the
+  collector aggregate ``--metrics-out`` produces, and
+* a **trace** file (``repro.trace/v1``): the Chrome trace-event JSON
+  ``--trace-out`` produces —
+
+and prints a terminal report: slowest spans, hottest PCC regions (from
+the sampled ``pcc_state`` snapshots), and p50/p95/p99 for every
+recorded distribution. ``--check`` additionally validates the document
+against its schema and fails on any violation, which is what CI runs
+over freshly produced artifacts.
+
+All summaries are plain dicts (JSON-safe) so tests can golden-pin the
+rendered text without touching live simulations.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.histo import Histogram
+from repro.obs.tracer import TRACE_SCHEMA, thread_lane_name
+
+#: Metrics schema accepted by the inspector (see repro.metrics.registry).
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: Event phases the trace validator accepts (the subset the tracer emits).
+_KNOWN_PHASES = {"X", "i", "M", "s", "f"}
+
+
+# ----------------------------------------------------------------------
+# validation
+
+
+def validate_trace(doc) -> list[str]:
+    """Schema violations in a trace document (empty list = valid)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+    other = doc.get("otherData")
+    if not isinstance(other, dict) or other.get("schema") != TRACE_SCHEMA:
+        errors.append(f"otherData.schema is not {TRACE_SCHEMA!r}")
+    elif not other.get("run_id"):
+        errors.append("otherData.run_id is missing")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + ["traceEvents is not a list"]
+    for index, event in enumerate(events):
+        if len(errors) >= 20:
+            errors.append("... further errors suppressed")
+            break
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in _KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: missing name")
+        if not isinstance(event.get("pid"), int):
+            errors.append(f"{where}: missing pid")
+        if ph != "M":
+            if not isinstance(event.get("ts"), (int, float)):
+                errors.append(f"{where}: missing ts")
+        if ph == "X":
+            if not isinstance(event.get("dur"), (int, float)):
+                errors.append(f"{where}: X event missing dur")
+            args = event.get("args")
+            if not isinstance(args, dict) or "span" not in args:
+                errors.append(f"{where}: X event missing args.span")
+        if ph == "i" and event.get("s") not in ("t", "p", "g"):
+            errors.append(f"{where}: instant event missing scope")
+        if ph in ("s", "f") and "id" not in event:
+            errors.append(f"{where}: flow event missing id")
+    return errors
+
+
+def _validate_one_run(doc, where: str, errors: list[str]) -> None:
+    if not isinstance(doc, dict):
+        errors.append(f"{where}: not an object")
+        return
+    if doc.get("schema") != METRICS_SCHEMA:
+        errors.append(f"{where}: schema is not {METRICS_SCHEMA!r}")
+    counters = doc.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{where}: counters is not an object")
+    elif any(not isinstance(v, int) for v in counters.values()):
+        errors.append(f"{where}: non-integer counter value")
+    if not isinstance(doc.get("samples"), list):
+        errors.append(f"{where}: samples is not a list")
+    distributions = doc.get("distributions")
+    if not isinstance(distributions, dict):
+        errors.append(f"{where}: distributions is not an object")
+        return
+    for name, dist in distributions.items():
+        if not isinstance(dist, dict):
+            errors.append(f"{where}: distribution {name!r} is not an object")
+            continue
+        for key in ("count", "sum", "percentiles", "buckets"):
+            if key not in dist:
+                errors.append(f"{where}: distribution {name!r} missing {key!r}")
+
+
+def validate_metrics(doc) -> list[str]:
+    """Schema violations in a metrics document (single run or aggregate)."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["metrics document is not a JSON object"]
+    if "runs" in doc:
+        if doc.get("schema") != METRICS_SCHEMA:
+            errors.append(f"schema is not {METRICS_SCHEMA!r}")
+        if not doc.get("run_id"):
+            errors.append("run_id is missing")
+        runs = doc.get("runs")
+        if not isinstance(runs, list):
+            return errors + ["runs is not a list"]
+        for index, run in enumerate(runs):
+            _validate_one_run(run, f"runs[{index}]", errors)
+    else:
+        _validate_one_run(doc, "document", errors)
+    return errors
+
+
+# ----------------------------------------------------------------------
+# summaries
+
+
+def summarize_trace(doc: dict, top: int = 10) -> dict:
+    """Digest of one trace file: span census, slowest spans, hot regions."""
+    events = [e for e in doc.get("traceEvents", []) if isinstance(e, dict)]
+    spans = [e for e in events if e.get("ph") == "X"]
+    by_name: dict[str, dict] = {}
+    for event in spans:
+        entry = by_name.setdefault(
+            event.get("name", "?"), {"count": 0, "total_us": 0.0, "max_us": 0.0}
+        )
+        dur = float(event.get("dur", 0.0))
+        entry["count"] += 1
+        entry["total_us"] = round(entry["total_us"] + dur, 3)
+        entry["max_us"] = max(entry["max_us"], dur)
+    slowest = sorted(
+        spans,
+        key=lambda e: (-float(e.get("dur", 0.0)), e.get("ts", 0.0), e.get("name", "")),
+    )[:top]
+    # Hottest regions: peak PCC frequency per (pid, region) across every
+    # sampled pcc_state snapshot.
+    peak: dict[tuple[int, int], int] = {}
+    for event in events:
+        if event.get("ph") != "i" or event.get("name") != "pcc_state":
+            continue
+        for pid, region, freq in (event.get("args") or {}).get("top_regions", []):
+            key = (int(pid), int(region))
+            peak[key] = max(peak.get(key, 0), int(freq))
+    hot_regions = sorted(
+        ([pid, region, freq] for (pid, region), freq in peak.items()),
+        key=lambda row: (-row[2], row[0], row[1]),
+    )[:top]
+    return {
+        "kind": "trace",
+        "run_id": (doc.get("otherData") or {}).get("run_id"),
+        "events": len(events),
+        "spans": len(spans),
+        "processes": sorted({e.get("pid") for e in spans}),
+        "by_name": dict(sorted(by_name.items())),
+        "slowest": [
+            {
+                "name": e.get("name"),
+                "dur_us": float(e.get("dur", 0.0)),
+                "ts_us": float(e.get("ts", 0.0)),
+                "pid": e.get("pid"),
+                "lane": thread_lane_name(int(e.get("tid", 0))),
+                "span": (e.get("args") or {}).get("span"),
+            }
+            for e in slowest
+        ],
+        "hot_regions": hot_regions,
+    }
+
+
+def _merged_distributions(runs: list[dict]) -> dict[str, Histogram]:
+    merged: dict[str, Histogram] = {}
+    for run in runs:
+        for name, dist in (run.get("distributions") or {}).items():
+            histogram = Histogram.from_dict(name, dist)
+            if name in merged:
+                merged[name].merge(histogram)
+            else:
+                merged[name] = histogram
+    return dict(sorted(merged.items()))
+
+
+def summarize_metrics(doc: dict) -> dict:
+    """Digest of one metrics file; distributions merged across runs."""
+    runs = doc["runs"] if "runs" in doc else [doc]
+    merged = _merged_distributions(runs)
+    distributions = {}
+    for name, histogram in merged.items():
+        distributions[name] = {
+            "unit": histogram.unit,
+            "count": histogram.count,
+            "mean": round(histogram.mean, 6),
+            "min": histogram.min if histogram.min is not None else 0.0,
+            "max": histogram.max if histogram.max is not None else 0.0,
+            **histogram.percentiles(),
+        }
+    totals: dict[str, int] = {}
+    for run in runs:
+        for key in ("accesses", "walks", "promotions", "demotions"):
+            value = (run.get("meta") or {}).get(key)
+            if isinstance(value, int):
+                totals[key] = totals.get(key, 0) + value
+    return {
+        "kind": "metrics",
+        "run_id": doc.get("run_id")
+        or (runs[0].get("meta") or {}).get("run_id")
+        or (runs[0].get("run_id") if runs else None),
+        "runs": len(runs),
+        "totals": totals,
+        "distributions": distributions,
+    }
+
+
+# ----------------------------------------------------------------------
+# file entry point + rendering
+
+
+def load_document(path: str | Path) -> dict:
+    """Parse one artifact file; raises ``ValueError`` on non-JSON input."""
+    text = Path(path).read_text()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{path}: not JSON ({exc})") from exc
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    return doc
+
+
+def kind_of(doc: dict) -> str:
+    """``"trace"`` or ``"metrics"``, by document shape."""
+    return "trace" if "traceEvents" in doc else "metrics"
+
+
+def inspect_document(doc: dict, top: int = 10) -> dict:
+    """Dispatching summary of one loaded artifact document."""
+    if kind_of(doc) == "trace":
+        return summarize_trace(doc, top=top)
+    return summarize_metrics(doc)
+
+
+def inspect_file(path: str | Path, top: int = 10) -> dict:
+    """Load + summarize one artifact file."""
+    return inspect_document(load_document(path), top=top)
+
+
+def validate_document(doc: dict) -> list[str]:
+    """Dispatching validation of one loaded artifact document."""
+    if kind_of(doc) == "trace":
+        return validate_trace(doc)
+    return validate_metrics(doc)
+
+
+def _fmt_us(us: float) -> str:
+    if us >= 1_000_000:
+        return f"{us / 1e6:.2f}s"
+    if us >= 1_000:
+        return f"{us / 1e3:.2f}ms"
+    return f"{us:.1f}us"
+
+
+def render(summary: dict) -> str:
+    """Terminal report for one summary dict (deterministic)."""
+    lines: list[str] = []
+    if summary["kind"] == "trace":
+        lines.append(
+            f"trace  run {summary['run_id'] or '?'}  "
+            f"{summary['events']} events, {summary['spans']} spans, "
+            f"{len(summary['processes'])} process(es)"
+        )
+        if summary["by_name"]:
+            lines.append("span census (count, total, max):")
+            for name, entry in summary["by_name"].items():
+                lines.append(
+                    f"  {name:<24} x{entry['count']:<6} "
+                    f"total {_fmt_us(entry['total_us']):>10}  "
+                    f"max {_fmt_us(entry['max_us']):>10}"
+                )
+        if summary["slowest"]:
+            lines.append("slowest spans:")
+            for rank, row in enumerate(summary["slowest"], start=1):
+                lines.append(
+                    f"  {rank:>2}. {row['name']:<24} {_fmt_us(row['dur_us']):>10}  "
+                    f"at {_fmt_us(row['ts_us'])} (pid {row['pid']}, {row['lane']})"
+                )
+        if summary["hot_regions"]:
+            lines.append("hottest regions (peak PCC frequency):")
+            for pid, region, freq in summary["hot_regions"]:
+                lines.append(f"  pid {pid} region {region:#x}  freq {freq}")
+    else:
+        lines.append(
+            f"metrics  run {summary['run_id'] or '?'}  "
+            f"{summary['runs']} run(s)"
+        )
+        if summary["totals"]:
+            parts = ", ".join(f"{k}={v}" for k, v in sorted(summary["totals"].items()))
+            lines.append(f"totals: {parts}")
+        if summary["distributions"]:
+            lines.append("distributions:")
+            for name, dist in summary["distributions"].items():
+                unit = f" {dist['unit']}" if dist["unit"] else ""
+                lines.append(
+                    f"  {name}: n={dist['count']} mean={dist['mean']:.1f} "
+                    f"p50={dist['p50']:.1f} p95={dist['p95']:.1f} "
+                    f"p99={dist['p99']:.1f}"
+                    f" (min {dist['min']:.1f}, max {dist['max']:.1f}{unit})"
+                )
+        else:
+            lines.append("distributions: none recorded (run was not observed)")
+    return "\n".join(lines)

@@ -1,0 +1,121 @@
+"""Structured run logging for the pipeline (``REPRO_LOG=json``).
+
+Pipeline modules log through ``get_logger(...)`` /
+``log_event(...)`` instead of ad-hoc ``print`` / ``warnings.warn``.
+Every record carries the invocation's run id and the innermost open
+trace span id, so a log line can be correlated with the metrics file,
+journal shards, and trace spans of the same run.
+
+Output format is selected by the ``REPRO_LOG`` environment variable:
+
+- unset (default): terse text on stderr, warnings and above only —
+  normal runs stay as quiet as before;
+- ``REPRO_LOG=json``: one JSON object per line with ``ts``, ``level``,
+  ``logger``, ``event``, ``run_id``, ``span``, and any structured
+  fields passed via :func:`log_event`; info level and above.
+
+``REPRO_LOG_LEVEL`` overrides the level in either mode. Handlers are
+installed on the ``repro`` logger namespace only; propagation is left
+on so test harnesses (caplog) still see the records.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+
+from repro.obs.runid import current_run_id
+from repro.obs.tracer import current_span_id
+
+#: Selects the output format; ``json`` switches to JSON lines.
+LOG_ENV = "REPRO_LOG"
+#: Optional level override (e.g. ``DEBUG``); beats the mode default.
+LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_CONFIGURED = False
+
+
+def json_mode() -> bool:
+    """Whether ``REPRO_LOG=json`` structured output is requested."""
+    return os.environ.get(LOG_ENV, "").strip().lower() == "json"
+
+
+class _ContextFilter(logging.Filter):
+    """Stamp each record with the current run id and open span id."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.run_id = current_run_id()
+        record.span = current_span_id()
+        return True
+
+
+class JsonLineFormatter(logging.Formatter):
+    """One JSON object per record; structured fields are merged in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+            "run_id": getattr(record, "run_id", None),
+            "span": getattr(record, "span", None),
+        }
+        doc.update(getattr(record, "fields", None) or {})
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Terse human form: ``repro[run_id] level logger: event k=v ...``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        fields = getattr(record, "fields", None) or {}
+        suffix = "".join(f" {key}={value}" for key, value in fields.items())
+        run_id = getattr(record, "run_id", "-")
+        return (
+            f"repro[{run_id}] {record.levelname.lower()} "
+            f"{record.name}: {record.getMessage()}{suffix}"
+        )
+
+
+def configure(force: bool = False) -> None:
+    """Install the namespace handler once (idempotent; ``force`` redoes it).
+
+    Re-running with ``force=True`` picks up a changed ``REPRO_LOG`` /
+    ``REPRO_LOG_LEVEL`` — the CLI does this at startup so the env of the
+    invocation, not of the first import, decides the format.
+    """
+    global _CONFIGURED
+    if _CONFIGURED and not force:
+        return
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        if getattr(handler, "_repro_obs", False):
+            root.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler._repro_obs = True
+    handler.setFormatter(JsonLineFormatter() if json_mode() else TextFormatter())
+    handler.addFilter(_ContextFilter())
+    root.addHandler(handler)
+    level = os.environ.get(LEVEL_ENV, "").strip().upper()
+    if level:
+        root.setLevel(level)
+    else:
+        root.setLevel(logging.INFO if json_mode() else logging.WARNING)
+    _CONFIGURED = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace, handlers configured."""
+    configure()
+    return logging.getLogger(f"repro.{name}")
+
+
+def log_event(logger: logging.Logger, event: str, *,
+              level: int = logging.INFO, **fields) -> None:
+    """Log ``event`` with structured ``fields`` riding the record."""
+    logger.log(level, event, extra={"fields": fields})

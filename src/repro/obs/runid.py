@@ -1,0 +1,57 @@
+"""One stable run id per pipeline invocation.
+
+A run id names *one CLI invocation (or API session)* — not one
+simulation — so every artifact that invocation produces (metrics
+aggregate, per-run exports, journal shards, resilience publications,
+structured logs, trace files and their worker shards) carries the same
+identifier and ``repro inspect`` can correlate them.
+
+The id propagates to worker processes through ``REPRO_RUN_ID``: the
+parent exports it before fanning out, forked and spawned workers alike
+read it back, so shards written by any process of the invocation agree.
+"""
+
+from __future__ import annotations
+
+import binascii
+import os
+
+#: Environment variable carrying the invocation's run id to workers.
+RUN_ID_ENV = "REPRO_RUN_ID"
+
+#: Lazily generated process-local fallback (no env, no explicit set).
+_GENERATED: str | None = None
+
+
+def new_run_id() -> str:
+    """A fresh 12-hex-digit run id (48 random bits)."""
+    return binascii.hexlify(os.urandom(6)).decode()
+
+
+def current_run_id() -> str:
+    """The invocation's run id.
+
+    Resolution order: ``$REPRO_RUN_ID`` (set by the CLI or an enclosing
+    parent process), then a process-local id generated on first use.
+    The generated fallback is *not* exported to the environment — only
+    :func:`set_run_id` publishes an id to child processes.
+    """
+    env = os.environ.get(RUN_ID_ENV)
+    if env:
+        return env
+    global _GENERATED
+    if _GENERATED is None:
+        _GENERATED = new_run_id()
+    return _GENERATED
+
+
+def set_run_id(run_id: str | None = None) -> str:
+    """Pin the invocation's run id and export it to child processes.
+
+    ``None`` keeps an id already present in the environment, else mints
+    a fresh one. Returns the effective id.
+    """
+    if run_id is None:
+        run_id = os.environ.get(RUN_ID_ENV) or new_run_id()
+    os.environ[RUN_ID_ENV] = run_id
+    return run_id

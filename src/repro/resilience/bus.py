@@ -16,6 +16,8 @@ export's key set is stable whether or not an event ever fired.
 from __future__ import annotations
 
 from repro.metrics import Counter, MetricsRegistry, publish_run
+from repro.obs.histo import Histogram
+from repro.obs.runid import current_run_id
 
 #: Every counter the resilience layer maintains. Pre-registered so the
 #: ``repro.metrics/v1`` export always carries the full, stable key set.
@@ -49,6 +51,16 @@ def counter(name: str) -> Counter:
     return _REGISTRY.counter(f"resilience.{name}")
 
 
+def histogram(name: str, unit: str = "") -> Histogram:
+    """A pipeline-level distribution on the resilience registry.
+
+    Used for observations that happen *between* simulation runs (e.g.
+    ``fan_out`` task wall time); exported in the same ``component:
+    resilience`` publication as the counters.
+    """
+    return _REGISTRY.histogram(name, unit=unit)
+
+
 def snapshot() -> dict[str, int]:
     """Current value of every resilience counter."""
     return _REGISTRY.snapshot()
@@ -56,6 +68,12 @@ def snapshot() -> dict[str, int]:
 
 def publish(meta: dict | None = None) -> dict:
     """Publish the counters to active collectors; returns the export."""
-    export = _REGISTRY.export(meta={"component": "resilience", **(meta or {})})
+    export = _REGISTRY.export(
+        meta={
+            "component": "resilience",
+            "run_id": current_run_id(),
+            **(meta or {}),
+        }
+    )
     publish_run(export)
     return export

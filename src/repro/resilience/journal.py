@@ -26,6 +26,7 @@ import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.runid import current_run_id
 from repro.resilience import bus
 
 #: Environment variable selecting the journal directory. The values
@@ -33,7 +34,12 @@ from repro.resilience import bus
 JOURNAL_ENV = "REPRO_JOURNAL"
 
 #: Bump to orphan every existing shard (e.g. after a result-format change).
-JOURNAL_VERSION = 1
+#: v2 wraps each shard's payload in an envelope recording the run id of
+#: the invocation that committed it.
+JOURNAL_VERSION = 2
+
+#: Envelope marker key (see :meth:`RunJournal.commit`).
+_ENVELOPE_KEY = "__rpj__"
 
 #: Shard header: magic, then the SHA-256 of the pickled payload.
 _MAGIC = b"RPJ1"
@@ -123,13 +129,42 @@ class RunJournal:
         except Exception:
             self._discard_corrupt(path)
             return None
+        if isinstance(result, dict) and _ENVELOPE_KEY in result:
+            result = result.get("result")
         self.stats.resumed += 1
         bus.counter("tasks.resumed").add()
         return result
 
+    def run_id_of(self, key: str) -> str | None:
+        """Run id recorded in ``key``'s shard envelope, if readable.
+
+        Pure inspection: touches no stats counters, so correlating a
+        journal with ``repro inspect`` never perturbs resume accounting.
+        """
+        path = self.shard_path(key)
+        try:
+            blob = path.read_bytes()
+            payload = blob[len(_MAGIC) + 32 :]
+            envelope = pickle.loads(payload)
+        except Exception:
+            return None
+        if isinstance(envelope, dict) and _ENVELOPE_KEY in envelope:
+            return envelope.get("run_id")
+        return None
+
     def commit(self, key: str, result) -> Path:
-        """Atomically persist one completed result under ``key``."""
-        payload = pickle.dumps(result, protocol=4)
+        """Atomically persist one completed result under ``key``.
+
+        The pickled payload is an envelope ``{__rpj__, run_id, result}``
+        so every shard names the invocation that wrote it; ``load``
+        unwraps transparently (and tolerates bare legacy payloads).
+        """
+        envelope = {
+            _ENVELOPE_KEY: JOURNAL_VERSION,
+            "run_id": current_run_id(),
+            "result": result,
+        }
+        payload = pickle.dumps(envelope, protocol=4)
         blob = _MAGIC + hashlib.sha256(payload).digest() + payload
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.shard_path(key)

@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -52,10 +53,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs.log import get_logger, log_event
+from repro.obs.tracer import span
 from repro.resilience import bus
 from repro.resilience.faults import fault_point
 from repro.trace.events import Trace
 from repro.trace.io import load_trace, save_trace
+
+_LOG = get_logger("trace.cache")
 
 #: Environment variable overriding the cache directory. The values
 #: ``0``, ``off``, and ``none`` disable the cache entirely.
@@ -226,34 +231,44 @@ class TraceCache:
             self.stats.misses += 1
             return None
         try:
-            meta = json.loads(meta_path.read_text())
-            array_names = meta["__arrays__"]
-            paths = [self._array_path(key, array_name) for array_name in array_names]
-            fault_point("trace.cache.read", detail=f"{name}:{key}", paths=paths)
-            if self.verify:
-                checksums = meta.get("__checksums__") or {}
+            with span("cache.read", cat="cache", entry=name, key=key):
+                meta = json.loads(meta_path.read_text())
+                array_names = meta["__arrays__"]
+                paths = [self._array_path(key, array_name) for array_name in array_names]
+                fault_point("trace.cache.read", detail=f"{name}:{key}", paths=paths)
+                if self.verify:
+                    checksums = meta.get("__checksums__") or {}
+                    for array_name, path in zip(array_names, paths):
+                        expected = checksums.get(array_name)
+                        if expected is not None and _file_digest(path) != expected:
+                            raise CorruptEntryError(
+                                f"checksum mismatch for {path.name}"
+                            )
+                arrays = {}
                 for array_name, path in zip(array_names, paths):
-                    expected = checksums.get(array_name)
-                    if expected is not None and _file_digest(path) != expected:
-                        raise CorruptEntryError(
-                            f"checksum mismatch for {path.name}"
-                        )
-            arrays = {}
-            for array_name, path in zip(array_names, paths):
-                arrays[array_name] = np.load(
-                    path,
-                    mmap_mode="r" if mmap else None,
-                    allow_pickle=False,
-                )
-        except (ValueError, OSError, KeyError, TypeError, EOFError):
+                    arrays[array_name] = np.load(
+                        path,
+                        mmap_mode="r" if mmap else None,
+                        allow_pickle=False,
+                    )
+        except (ValueError, OSError, KeyError, TypeError, EOFError) as exc:
             # A torn or corrupt entry (e.g. a crashed writer published
             # meta for a deleted array, truncated bytes, or a failed
             # checksum) is quarantined and reported as a miss; the
             # caller regenerates. CorruptEntryError is a ValueError.
-            self._quarantine_entry(key)
+            moved = self._quarantine_entry(key)
             self.stats.corrupted += 1
             self.stats.misses += 1
             bus.counter("cache.corrupted").add()
+            log_event(
+                _LOG,
+                "corrupt cache entry quarantined",
+                level=logging.WARNING,
+                entry=name,
+                key=key,
+                error=f"{type(exc).__name__}: {exc}",
+                files_moved=moved,
+            )
             return None
         self.stats.hits += 1
         user_meta = {
@@ -272,19 +287,20 @@ class TraceCache:
         payload's SHA-256 so reads can verify content integrity.
         """
         key = self.key(name, params)
-        checksums = {}
-        for array_name, array in arrays.items():
-            checksums[array_name] = self._publish(
-                self._array_path(key, array_name),
-                lambda tmp, a=array: _save_npy(tmp, a),
+        with span("cache.publish", cat="cache", entry=name, key=key, arrays=len(arrays)):
+            checksums = {}
+            for array_name, array in arrays.items():
+                checksums[array_name] = self._publish(
+                    self._array_path(key, array_name),
+                    lambda tmp, a=array: _save_npy(tmp, a),
+                )
+            record = dict(meta or {})
+            record["__arrays__"] = sorted(arrays)
+            record["__checksums__"] = checksums
+            self._publish(
+                self._meta_path(key),
+                lambda tmp: tmp.write_text(json.dumps(record, sort_keys=True)),
             )
-        record = dict(meta or {})
-        record["__arrays__"] = sorted(arrays)
-        record["__checksums__"] = checksums
-        self._publish(
-            self._meta_path(key),
-            lambda tmp: tmp.write_text(json.dumps(record, sort_keys=True)),
-        )
         self.stats.writes += 1
         return key
 
@@ -355,13 +371,21 @@ class TraceCache:
             return None
         try:
             trace = load_trace(path)
-        except (ValueError, OSError, KeyError):
+        except (ValueError, OSError, KeyError) as exc:
             # a corrupt or stale entry is treated as a miss
             path.unlink(missing_ok=True)
             self.stats.purged += 1
             self.stats.corrupted += 1
             self.stats.misses += 1
             bus.counter("cache.corrupted").add()
+            log_event(
+                _LOG,
+                "corrupt legacy cache entry purged",
+                level=logging.WARNING,
+                entry=name,
+                file=path.name,
+                error=f"{type(exc).__name__}: {exc}",
+            )
             return None
         self.stats.hits += 1
         return trace
@@ -437,6 +461,13 @@ class TraceCache:
         if removed:
             self.stats.stale_removed += removed
             bus.counter("cache.stale_tmp_removed").add(removed)
+            log_event(
+                _LOG,
+                "stale tmp files from dead writers removed",
+                level=logging.WARNING,
+                removed=removed,
+                directory=str(self.directory),
+            )
         return removed
 
 

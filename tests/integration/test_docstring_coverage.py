@@ -47,6 +47,12 @@ MODULES = [
     "repro.virt.hypervisor",
     "repro.experiments.summary",
     "repro.experiments.parallel",
+    "repro.obs.tracer",
+    "repro.obs.histo",
+    "repro.obs.observer",
+    "repro.obs.runid",
+    "repro.obs.log",
+    "repro.obs.inspect",
     "repro.resilience.bus",
     "repro.resilience.faults",
     "repro.resilience.journal",

@@ -1,0 +1,105 @@
+"""Structured logging: run id / span stamping, JSON lines, run ids."""
+
+import json
+import logging
+
+from repro.obs import log as log_module
+from repro.obs.runid import RUN_ID_ENV, current_run_id, new_run_id, set_run_id
+from repro.obs.log import (
+    JsonLineFormatter,
+    TextFormatter,
+    _ContextFilter,
+    get_logger,
+    log_event,
+)
+
+
+def _record(event: str = "cache corrupted", **fields) -> logging.LogRecord:
+    record = logging.LogRecord(
+        name="repro.trace.cache",
+        level=logging.WARNING,
+        pathname=__file__,
+        lineno=1,
+        msg=event,
+        args=(),
+        exc_info=None,
+    )
+    record.fields = fields
+    _ContextFilter().filter(record)
+    return record
+
+
+class TestRunId:
+    def test_new_ids_are_12_hex_and_unique(self):
+        ids = {new_run_id() for _ in range(50)}
+        assert len(ids) == 50
+        assert all(len(i) == 12 and int(i, 16) >= 0 for i in ids)
+
+    def test_env_pins_the_id(self, monkeypatch):
+        monkeypatch.setenv(RUN_ID_ENV, "feed00000001")
+        assert current_run_id() == "feed00000001"
+
+    def test_set_run_id_exports_to_children(self, monkeypatch):
+        monkeypatch.delenv(RUN_ID_ENV, raising=False)
+        import os
+
+        effective = set_run_id("beef00000002")
+        assert effective == "beef00000002"
+        assert os.environ[RUN_ID_ENV] == "beef00000002"
+
+    def test_set_run_id_keeps_existing_env(self, monkeypatch):
+        monkeypatch.setenv(RUN_ID_ENV, "aaaa00000003")
+        assert set_run_id() == "aaaa00000003"
+
+
+class TestFormatters:
+    def test_json_line_carries_context_and_fields(self, monkeypatch):
+        monkeypatch.setenv(RUN_ID_ENV, "cafe00000004")
+        doc = json.loads(JsonLineFormatter().format(_record(entry="BFS", key="k1")))
+        assert doc["event"] == "cache corrupted"
+        assert doc["level"] == "warning"
+        assert doc["logger"] == "repro.trace.cache"
+        assert doc["run_id"] == "cafe00000004"
+        assert doc["entry"] == "BFS" and doc["key"] == "k1"
+        assert "span" in doc  # None outside any span, but always present
+
+    def test_json_line_records_open_span_id(self, monkeypatch):
+        from repro.obs import tracer as tracer_module
+
+        monkeypatch.setenv(RUN_ID_ENV, "cafe00000005")
+        tracer = tracer_module.enable()
+        try:
+            with tracer.span("outer") as span_id:
+                doc = json.loads(JsonLineFormatter().format(_record()))
+            assert doc["span"] == span_id
+        finally:
+            tracer_module.disable()
+
+    def test_text_form_is_terse_and_tagged(self, monkeypatch):
+        monkeypatch.setenv(RUN_ID_ENV, "cafe00000006")
+        line = TextFormatter().format(_record(entry="BFS"))
+        assert line.startswith("repro[cafe00000006] warning repro.trace.cache:")
+        assert "entry=BFS" in line
+
+
+class TestLogEvent:
+    def test_log_event_reaches_caplog_with_fields(self, caplog):
+        logger = get_logger("experiments.parallel")
+        with caplog.at_level(logging.INFO, logger="repro"):
+            log_event(logger, "fan_out starting", tasks=4, jobs=2)
+        (record,) = [r for r in caplog.records if r.message == "fan_out starting"]
+        assert record.fields == {"tasks": 4, "jobs": 2}
+
+    def test_pipeline_warnings_use_repro_namespace(self, caplog, tmp_path):
+        """The trace cache logs corruption through the repro namespace."""
+        from repro.trace.cache import TraceCache
+
+        cache = TraceCache(tmp_path)
+        key = cache.key("BFS", {"scale": 1})
+        cache._meta_path(key).write_text("{torn")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert cache.get_entry("BFS", {"scale": 1}) is None
+        assert any(
+            "quarantined" in record.message and record.name == "repro.trace.cache"
+            for record in caplog.records
+        )

@@ -1,0 +1,214 @@
+"""Span tracer: nesting, exception safety, cross-process shard merge."""
+
+import json
+import os
+
+import pytest
+
+from repro.obs import tracer as tracer_module
+from repro.obs.tracer import (
+    EPOCH_ENV,
+    OWNER_ENV,
+    SPOOL_ENV,
+    TRACE_SCHEMA,
+    SpanTracer,
+    span,
+    traced,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracer_state(monkeypatch):
+    """Every test starts with tracing off and no tracer env exported."""
+    from repro.obs.runid import RUN_ID_ENV
+
+    for env in (SPOOL_ENV, EPOCH_ENV, OWNER_ENV, RUN_ID_ENV):
+        monkeypatch.delenv(env, raising=False)
+    tracer_module.disable()
+    yield
+    tracer_module.disable()
+
+
+def _spans(tracer):
+    return [e for e in tracer.events if e["ph"] == "X"]
+
+
+class TestSpanNesting:
+    def test_child_records_parent_span_id(self):
+        tracer = SpanTracer(run_id="t" * 12)
+        with tracer.span("outer") as outer_id:
+            with tracer.span("inner") as inner_id:
+                assert tracer.current_span_id() == inner_id
+        inner, outer = _spans(tracer)
+        assert inner["name"] == "inner"  # children close first
+        assert inner["args"]["parent"] == outer_id
+        assert outer["args"]["span"] == outer_id
+        assert "parent" not in outer["args"]
+
+    def test_span_ids_are_pid_qualified_and_unique(self):
+        tracer = SpanTracer()
+        ids = {tracer.next_id() for _ in range(100)}
+        assert len(ids) == 100
+        assert all(i.startswith(f"{os.getpid()}:") for i in ids)
+
+    def test_explicit_parent_links_only_at_stack_top(self):
+        tracer = SpanTracer()
+        with tracer.span("task", parent="999:1"):
+            with tracer.span("nested", parent="999:2"):
+                pass
+        nested, task = _spans(tracer)
+        assert task["args"]["parent"] == "999:1"
+        # the local enclosing span beats the explicit cross-process hint
+        assert nested["args"]["parent"] == task["args"]["span"]
+
+    def test_span_args_and_timing_recorded(self):
+        tracer = SpanTracer()
+        with tracer.span("quantum", cat="engine", tid=12, core=2):
+            pass
+        (event,) = _spans(tracer)
+        assert event["cat"] == "engine"
+        assert event["tid"] == 12
+        assert event["args"]["core"] == 2
+        assert event["dur"] >= 0.0
+
+
+class TestExceptionSafety:
+    def test_exception_propagates_and_span_closes_tagged(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.span("failing"):
+                raise ValueError("boom")
+        (event,) = _spans(tracer)
+        assert event["args"]["error"] == "ValueError"
+        assert tracer.current_span_id() is None
+
+    def test_stack_unwinds_past_nested_failure(self):
+        tracer = SpanTracer()
+        with tracer.span("outer"):
+            with pytest.raises(RuntimeError):
+                with tracer.span("inner"):
+                    raise RuntimeError("x")
+            assert tracer.current_span_id() is not None
+        assert tracer.current_span_id() is None
+        assert len(_spans(tracer)) == 2
+
+
+class TestModuleSwitch:
+    def test_span_is_noop_when_disabled(self):
+        assert not tracer_module.tracing_enabled()
+        with span("anything") as span_id:
+            assert span_id is None
+
+    def test_enable_exports_env_and_disable_retracts(self, tmp_path):
+        tracer = tracer_module.enable(run_id="e" * 12, spool_dir=tmp_path / "spool")
+        assert tracer_module.tracing_enabled()
+        assert os.environ[SPOOL_ENV] == str(tmp_path / "spool")
+        assert os.environ[OWNER_ENV] == str(os.getpid())
+        assert int(os.environ[EPOCH_ENV]) == tracer.epoch_ns
+        tracer_module.disable()
+        assert not tracer_module.tracing_enabled()
+        assert SPOOL_ENV not in os.environ and OWNER_ENV not in os.environ
+
+    def test_traced_decorator_bare_and_named(self):
+        @traced
+        def bare():
+            return 1
+
+        @traced("custom.name", cat="test")
+        def named():
+            return 2
+
+        # disabled: plain passthrough
+        assert bare() == 1 and named() == 2
+        tracer = tracer_module.enable()
+        try:
+            assert bare() == 1 and named() == 2
+            names = {e["name"] for e in _spans(tracer)}
+            assert "custom.name" in names
+            assert any(name.endswith("bare") for name in names)
+        finally:
+            tracer_module.disable()
+
+    def test_worker_setup_defuses_foreign_pid_tracer(self, monkeypatch):
+        foreign = SpanTracer()
+        foreign.pid = foreign.pid + 1  # simulate a fork-inherited tracer
+        tracer_module._ACTIVE = foreign
+        assert tracer_module.worker_setup() is None
+        assert not tracer_module.tracing_enabled()
+
+    def test_worker_setup_builds_tracer_on_shared_epoch(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(SPOOL_ENV, str(tmp_path))
+        monkeypatch.setenv(EPOCH_ENV, "123456789")
+        monkeypatch.setenv(OWNER_ENV, str(os.getpid() + 1))
+        worker = tracer_module.worker_setup()
+        assert worker is not None
+        assert worker.epoch_ns == 123456789
+        assert worker.spool_dir == tmp_path
+
+
+class TestCrossProcessMerge:
+    def _worker(self, parent: SpanTracer, pid: int) -> SpanTracer:
+        worker = SpanTracer(
+            run_id=parent.run_id, epoch_ns=parent.epoch_ns, spool_dir=parent.spool_dir
+        )
+        worker.pid = pid
+        return worker
+
+    def test_shards_merge_sorted_and_deterministic(self, tmp_path):
+        parent = SpanTracer(run_id="m" * 12, spool_dir=tmp_path)
+        with parent.span("fanout"):
+            pass
+        for pid in (70002, 70001):
+            worker = self._worker(parent, pid)
+            with worker.span("fanout.task", parent="1:1", task=f"t{pid}"):
+                pass
+            assert worker.ship_shard() is not None
+            assert worker.events == []  # buffer cleared after shipping
+        first = parent.export()
+        second = parent.export()
+        assert first == second
+        events = [e for e in first["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in events} == {parent.pid, 70001, 70002}
+        keys = [(e["ts"], e["pid"], e["tid"], e["name"]) for e in events]
+        assert keys == sorted(keys)
+
+    def test_export_names_processes_and_lanes(self, tmp_path):
+        parent = SpanTracer(run_id="n" * 12, spool_dir=tmp_path)
+        with parent.span("work"):
+            pass
+        worker = self._worker(parent, 70009)
+        with worker.span("fanout.task"):
+            pass
+        worker.ship_shard()
+        doc = parent.export()
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        names = {
+            (e["pid"], e["args"]["name"])
+            for e in meta
+            if e["name"] == "process_name"
+        }
+        assert (parent.pid, "repro") in names
+        assert (70009, "worker-70009") in names
+        assert doc["otherData"] == {"schema": TRACE_SCHEMA, "run_id": "n" * 12}
+
+    def test_shards_of_other_runs_are_ignored(self, tmp_path):
+        parent = SpanTracer(run_id="p" * 12, spool_dir=tmp_path)
+        stranger = SpanTracer(run_id="q" * 12, spool_dir=tmp_path)
+        with stranger.span("other-run"):
+            pass
+        stranger.ship_shard()
+        assert parent.collect_shards() == []
+
+    def test_unreadable_shard_is_skipped(self, tmp_path):
+        parent = SpanTracer(run_id="r" * 12, spool_dir=tmp_path)
+        bad = tmp_path / f"shard-{parent.run_id}-123-0001.json"
+        bad.write_text("{not json")
+        assert parent.collect_shards() == []
+
+    def test_finalize_writes_loadable_json(self, tmp_path):
+        parent = SpanTracer(run_id="s" * 12, spool_dir=tmp_path)
+        with parent.span("work"):
+            pass
+        out = tmp_path / "out" / "trace.json"
+        doc = parent.finalize(out)
+        assert json.loads(out.read_text()) == doc
