@@ -9,23 +9,37 @@ enough to tolerate CI machine jitter.
 
 Beyond the gate, the script measures the full engine story:
 
-* ``--engines`` times all three translation tiers — scalar (the
-  per-access object path), fast (the MRU memo path), and batch (the
-  vectorized bulk-retire path) — and reports accesses/second for each.
-* ``--verify-equivalence`` asserts the three tiers produce bit-identical
-  simulation statistics (the property the batch path is built on).
+* ``--engines`` times all four translation tiers — scalar (the
+  per-access object path), fast (the MRU memo path), batch (the
+  per-quantum bulk-retire path), and columnar (the whole-epoch
+  vectorized path) — and reports accesses/second for each. Tier
+  timings are *interleaved* (round-robin across tiers within one
+  process) so a noisy shared host cannot systematically favor
+  whichever tier happened to run during a calm stretch.
+* The columnar tier must not be slower than the fast tier (within a
+  noise tolerance, ``--tier-gate-tolerance``); the gate fails
+  otherwise.
+* ``--verify-equivalence`` asserts all tiers produce bit-identical
+  simulation statistics (the property the batch/columnar paths are
+  built on).
+* ``--steady-state`` also times fast/batch/columnar on a 4x-longer
+  trace over the same footprint, where faults amortize and the
+  vectorized ceiling shows.
 * ``--jobs N`` times the quick-scale fig7 fragmentation sweep serially
   and with an ``N``-worker fan-out sharing the content-addressed trace
-  cache, reporting the speedup.
+  cache, reporting the speedup. On a single-CPU host the
+  parallel-vs-serial comparison is meaningless (a fan-out cannot beat
+  serial), so it is skipped and annotated rather than reported as a
+  regression.
 * ``--bench-out FILE`` writes everything measured as a JSON trajectory
-  artifact (e.g. ``BENCH_2.json``) so perf history accumulates per PR.
+  artifact (e.g. ``BENCH_3.json``) so perf history accumulates per PR.
 
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py              # gate
     PYTHONPATH=src python scripts/perf_smoke.py --update     # re-baseline
     PYTHONPATH=src python scripts/perf_smoke.py --engines --verify-equivalence
-    PYTHONPATH=src python scripts/perf_smoke.py --jobs 4 --bench-out BENCH_2.json
+    PYTHONPATH=src python scripts/perf_smoke.py --jobs 4 --bench-out BENCH_3.json
 """
 
 from __future__ import annotations
@@ -42,11 +56,14 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 BASELINE_PATH = REPO / "benchmarks" / "perf_baseline.json"
 
-#: engine tier -> Simulator(fast_path=, batch=) switches
+#: engine tier -> Simulator(fast_path=, batch=, columnar=) switches.
+#: ``columnar`` is pinned in every entry because the Simulator defaults
+#: it on — "batch" here must mean the plain per-quantum tier.
 ENGINE_TIERS = {
-    "scalar": {"fast_path": False, "batch": False},
-    "fast": {"fast_path": True, "batch": False},
-    "batch": {"fast_path": True, "batch": True},
+    "scalar": {"fast_path": False, "batch": False, "columnar": False},
+    "fast": {"fast_path": True, "batch": False, "columnar": False},
+    "batch": {"fast_path": True, "batch": True, "columnar": False},
+    "columnar": {"fast_path": True, "batch": True, "columnar": True},
 }
 
 
@@ -72,17 +89,57 @@ def _timed_run(workload, config, tier: str):
     return time.perf_counter() - start, result
 
 
-def measure(rounds: int, tier: str = "batch") -> dict:
-    """Best-of-``rounds`` timing of the quick BFS PCC simulation."""
-    workload, config = _quick_workload()
-    # One warmup run takes trace construction and imports out of the
-    # measurement; best-of-N suppresses scheduler noise.
-    _, result = _timed_run(workload, config, tier)
-    seconds = min(_timed_run(workload, config, tier)[0] for _ in range(rounds))
+def measure_tiers(rounds: int, tiers: list[str],
+                  access_factor: int = 1) -> dict[str, dict]:
+    """Best-of-``rounds`` timing of the quick BFS PCC simulation.
+
+    All requested tiers are timed in *interleaved* rounds (tier A, B,
+    C, then A, B, C again ...) within this one process. On shared
+    hosts, wall-clock throughput swings severalfold between script
+    invocations; interleaving keeps cross-tier comparisons honest by
+    exposing every tier to the same noise profile. ``access_factor``
+    tiles each thread's compressed trace that many times over the same
+    footprint (the steady-state measurement, where fault costs
+    amortize and the vectorized ceiling shows).
+    """
+    from dataclasses import replace
+
+    import numpy as np
+
+    from repro.experiments.common import QUICK, build_named_workload, config_for
+
+    workload = build_named_workload(
+        "BFS",
+        graph_scale=QUICK.graph_scale,
+        proxy_accesses=QUICK.proxy_accesses,
+    )
+    if access_factor > 1:
+        for thread in workload.threads:
+            trace = thread.trace
+            thread.trace = replace(
+                trace,
+                vpns=np.tile(trace.vpns, access_factor),
+                counts=np.tile(trace.counts, access_factor),
+                total_accesses=trace.total_accesses * access_factor,
+            )
+            thread._stream = None
+    config = config_for(workload)
+    best: dict[str, float] = {tier: float("inf") for tier in tiers}
+    accesses = 0
+    for tier in tiers:  # warmup lap: traces built, code paths hot
+        _, result = _timed_run(workload, config, tier)
+        accesses = result.accesses
+    for _ in range(rounds):
+        for tier in tiers:
+            seconds, _ = _timed_run(workload, config, tier)
+            best[tier] = min(best[tier], seconds)
     return {
-        "seconds": round(seconds, 3),
-        "accesses": result.accesses,
-        "accesses_per_sec": round(result.accesses / seconds),
+        tier: {
+            "seconds": round(best[tier], 3),
+            "accesses": accesses,
+            "accesses_per_sec": round(accesses / best[tier]),
+        }
+        for tier in tiers
     }
 
 
@@ -102,15 +159,16 @@ def _fingerprint(result) -> tuple:
 
 
 def verify_equivalence() -> bool:
-    """All three engine tiers must report bit-identical statistics."""
+    """All four engine tiers must report bit-identical statistics."""
     workload, config = _quick_workload()
     prints = {
         tier: _fingerprint(_timed_run(workload, config, tier)[1])
         for tier in ENGINE_TIERS
     }
-    ok = prints["scalar"] == prints["fast"] == prints["batch"]
+    reference = prints["scalar"]
+    ok = all(fp == reference for fp in prints.values())
     status = "bit-identical" if ok else "DIVERGED"
-    print(f"equivalence (scalar vs fast vs batch): {status}")
+    print(f"equivalence (scalar vs fast vs batch vs columnar): {status}")
     if not ok:
         for tier, fp in prints.items():
             print(f"  {tier}: {fp}", file=sys.stderr)
@@ -214,37 +272,63 @@ def _timed_cli(args: list[str]) -> float:
     return time.perf_counter() - start
 
 
+def _schedulable_cpus() -> int | None:
+    """CPUs this process may actually run on (affinity-aware)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count()
+
+
 def measure_fan_out(jobs: int, cache_dir: str | None = None) -> dict:
     """Quick fig7 fragmentation sweep: serial vs ``--jobs`` fan-out.
 
     Both runs start a fresh interpreter (cold lru caches) and share one
     trace-cache directory, so the comparison isolates the fan-out win
     from trace-generation amortization.
+
+    On a single-schedulable-CPU host the workers time-slice one core,
+    so "parallel slower than serial" is physics, not a regression: the
+    comparison is skipped (serial is still timed) and the record says
+    why, so trajectory artifacts from cramped CI hosts don't read as
+    fan-out regressions.
     """
     import tempfile
 
     from repro.trace.cache import CACHE_DIR_ENV
 
+    cpus = _schedulable_cpus()
+    single_cpu = cpus is not None and cpus == 1
     with tempfile.TemporaryDirectory(prefix="repro-perf-fig7-") as tmp:
         previous = os.environ.get(CACHE_DIR_ENV)
         os.environ[CACHE_DIR_ENV] = cache_dir or tmp
         try:
             serial = _timed_cli(["--scale", "quick", "fig7"])
-            parallel = _timed_cli(
-                ["--scale", "quick", "--jobs", str(jobs), "fig7"]
+            parallel = (
+                None
+                if single_cpu
+                else _timed_cli(["--scale", "quick", "--jobs", str(jobs), "fig7"])
             )
         finally:
             if previous is None:
                 del os.environ[CACHE_DIR_ENV]
             else:
                 os.environ[CACHE_DIR_ENV] = previous
-    return {
+    record = {
         "sweep": "fig7 quick, 3 apps x 5 configs",
         "jobs": jobs,
         "serial_seconds": round(serial, 3),
-        "parallel_seconds": round(parallel, 3),
-        "speedup": round(serial / parallel, 2),
     }
+    if single_cpu:
+        record["parallel_seconds"] = None
+        record["speedup"] = None
+        record["skipped"] = (
+            f"single schedulable CPU (affinity={cpus}): parallel-vs-serial "
+            "comparison is not meaningful on this host"
+        )
+    else:
+        record["parallel_seconds"] = round(parallel, 3)
+        record["speedup"] = round(serial / parallel, 2)
+    return record
 
 
 def main(argv=None) -> int:
@@ -266,12 +350,25 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--engines",
         action="store_true",
-        help="also time the scalar and fast tiers (informational)",
+        help="also time the scalar tier (informational)",
     )
     parser.add_argument(
         "--verify-equivalence",
         action="store_true",
-        help="assert scalar/fast/batch statistics are bit-identical",
+        help="assert scalar/fast/batch/columnar statistics are bit-identical",
+    )
+    parser.add_argument(
+        "--tier-gate-tolerance",
+        type=float,
+        default=0.10,
+        help="columnar may trail fast by at most this fraction before the "
+        "tier gate fails (default 0.10, absorbs shared-host jitter)",
+    )
+    parser.add_argument(
+        "--steady-state",
+        action="store_true",
+        help="also time fast/batch/columnar on a 4x-longer trace over the "
+        "same footprint (fault costs amortized)",
     )
     parser.add_argument(
         "--jobs",
@@ -305,27 +402,63 @@ def main(argv=None) -> int:
         "rounds": args.rounds,
         # Parallel speedups are bounded by the host: a fan-out cannot
         # beat serial on a single-CPU machine, so readers need this to
-        # interpret the fig7 numbers.
+        # interpret the fig7 numbers. Tier throughputs on a 1-CPU
+        # shared host also carry large jitter; tiers are interleaved
+        # within this process to keep their *relative* order honest.
         "host": {
             "cpu_count": os.cpu_count(),
-            "schedulable_cpus": len(os.sched_getaffinity(0))
-            if hasattr(os, "sched_getaffinity")
-            else None,
+            "schedulable_cpus": _schedulable_cpus(),
         },
     }
 
-    tiers = {"batch": measure(args.rounds, "batch")}
+    tier_names = ["fast", "batch", "columnar"]
     if args.engines:
-        for tier in ("fast", "scalar"):
-            tiers[tier] = measure(args.rounds, tier)
+        tier_names.insert(0, "scalar")
+    tiers = measure_tiers(args.rounds, tier_names)
     artifact["engine_tiers"] = tiers
     for tier, numbers in tiers.items():
         print(
-            f"{tier:>6}: {numbers['seconds']:.3f}s best of {args.rounds} "
+            f"{tier:>8}: {numbers['seconds']:.3f}s best of {args.rounds} "
             f"({numbers['accesses_per_sec']:,} accesses/s)"
         )
 
     status = 0
+    # The columnar tier must earn its keep: at least fast-tier
+    # throughput (minus jitter tolerance) on the same interleaved runs.
+    fast_rate = tiers["fast"]["accesses_per_sec"]
+    col_rate = tiers["columnar"]["accesses_per_sec"]
+    floor = fast_rate * (1.0 - args.tier_gate_tolerance)
+    artifact["tier_gate"] = {
+        "columnar_accesses_per_sec": col_rate,
+        "fast_accesses_per_sec": fast_rate,
+        "ratio": round(col_rate / fast_rate, 3),
+        "tolerance": args.tier_gate_tolerance,
+        "passed": col_rate >= floor,
+    }
+    print(
+        f"tier gate: columnar/fast = {col_rate / fast_rate:.3f} "
+        f"(floor {1.0 - args.tier_gate_tolerance:.2f})"
+    )
+    if col_rate < floor:
+        print(
+            "perf smoke FAILED: columnar tier slower than fast tier",
+            file=sys.stderr,
+        )
+        status = 1
+
+    if args.steady_state:
+        steady = measure_tiers(args.rounds, ["fast", "batch", "columnar"],
+                               access_factor=4)
+        artifact["steady_state"] = {
+            "workload": "quick BFS x4 accesses, same footprint",
+            "tiers": steady,
+        }
+        for tier, numbers in steady.items():
+            print(
+                f"steady {tier:>8}: {numbers['seconds']:.3f}s "
+                f"({numbers['accesses_per_sec']:,} accesses/s)"
+            )
+
     if args.verify_equivalence:
         ok = verify_equivalence()
         artifact["equivalence"] = "bit-identical" if ok else "diverged"
@@ -360,11 +493,17 @@ def main(argv=None) -> int:
     if args.jobs:
         fan = measure_fan_out(args.jobs)
         artifact["fig7_fan_out"] = fan
-        print(
-            f"fig7 quick: serial {fan['serial_seconds']:.1f}s vs "
-            f"--jobs {args.jobs} {fan['parallel_seconds']:.1f}s "
-            f"({fan['speedup']:.2f}x)"
-        )
+        if fan.get("skipped"):
+            print(
+                f"fig7 quick: serial {fan['serial_seconds']:.1f}s; "
+                f"parallel comparison skipped ({fan['skipped']})"
+            )
+        else:
+            print(
+                f"fig7 quick: serial {fan['serial_seconds']:.1f}s vs "
+                f"--jobs {args.jobs} {fan['parallel_seconds']:.1f}s "
+                f"({fan['speedup']:.2f}x)"
+            )
 
     seconds = tiers["batch"]["seconds"]
     if args.update:

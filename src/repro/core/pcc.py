@@ -120,6 +120,50 @@ class PromotionCandidateCache:
         self.stats.insertions += 1
         return entry
 
+    def access_many(self, events: list[tuple[int, bool]]) -> None:
+        """Record a batch of admitted walks in order.
+
+        Semantically ``for tag, promoted in events: self.access(tag,
+        promoted)`` with the per-call overhead hoisted. The columnar
+        engine tier defers a whole epoch's PCC events into one call per
+        structure (the 2MB and 1GB PCCs are independent, so per-
+        structure order is the only order that matters); the deferral
+        is exact because nothing between an epoch's walks reads the PCC
+        — the OS only consumes it at tick boundaries, which the epoch
+        never spans.
+        """
+        entries = self._entries
+        stats = self.stats
+        counter_max = self._counter_max
+        tick = self._tick
+        n_hits = 0
+        for tag, promoted_leaf in events:
+            tick += 1
+            entry = entries.get(tag)
+            if entry is not None:
+                n_hits += 1
+                entry.last_use = tick
+                entry.promoted_leaf = entry.promoted_leaf or promoted_leaf
+                if entry.frequency >= counter_max:
+                    self._decay()
+                entry.frequency += 1
+                continue
+            set_index = tag % self._sets
+            if self._set_fill.get(set_index, 0) >= self._ways:
+                victim = self._select_victim(set_index)
+                del entries[victim.tag]
+                self._set_fill[set_index] -= 1
+                stats.evictions += 1
+            entries[tag] = PCCEntry(
+                tag=tag, frequency=0, last_use=tick,
+                promoted_leaf=promoted_leaf,
+            )
+            self._set_fill[set_index] = self._set_fill.get(set_index, 0) + 1
+            stats.insertions += 1
+        self._tick = tick
+        stats.accesses += len(events)
+        stats.hits += n_hits
+
     def _decay(self) -> None:
         """Halve every counter, maintaining relative order (§3.2.1)."""
         for entry in self._entries.values():

@@ -1,0 +1,114 @@
+"""Optional numba acceleration for the columnar classification kernel.
+
+Activation requires **both** of:
+
+1. ``REPRO_JIT=1`` (or ``true``/``on``/``yes``) in the environment, and
+2. numba importable in the current interpreter.
+
+When either is missing the engine silently uses the pure-numpy chase in
+:mod:`repro.engine.columnar` — same inputs, bit-identical outputs, so
+runs are reproducible across hosts with and without numba. The JIT'd
+kernel is a direct sequential simulation of each set's true-LRU stack
+over the grouped touch stream (sets are independent, so grouped order —
+by set, program order within a set — is equivalent to program order),
+which trades the chase's fixed vector-op overhead for compiled
+per-touch work; it wins on epochs with many short runs and on hosts
+where numpy dispatch dominates.
+
+The first ``REPRO_JIT=1`` run pays one-time compilation (~1s, cached
+on disk by numba thereafter). See docs/jit.md for when this matters.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+_TRUTHY = {"1", "true", "on", "yes"}
+
+#: module-level cache: None = not yet resolved, False = unavailable.
+_kernel_cache = None
+
+
+def requested() -> bool:
+    """Whether the environment asks for the JIT path."""
+    return os.environ.get("REPRO_JIT", "").strip().lower() in _TRUTHY
+
+
+def available() -> bool:
+    """Whether numba can be imported (without compiling anything)."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+def enabled() -> bool:
+    """Whether classification should try the compiled kernel."""
+    return requested() and available()
+
+
+def classify_kernel():
+    """The compiled per-set LRU kernel, or None when unavailable.
+
+    Signature: ``kernel(g_set: int64[:], g_tag: uint64[:], ways: int)
+    -> bool_[:]`` over set-grouped touches (program order within each
+    set); returns the per-touch hit mask in grouped coordinates.
+    """
+    global _kernel_cache
+    if _kernel_cache is not None:
+        return _kernel_cache or None
+    try:
+        from numba import njit
+    except Exception:
+        _kernel_cache = False
+        return None
+
+    @njit(cache=True)
+    def _kernel(g_set, g_tag, ways):  # pragma: no cover - compiled
+        n = g_set.shape[0]
+        hits = np.zeros(n, dtype=np.bool_)
+        stack = np.empty(ways, dtype=np.uint64)
+        i = 0
+        while i < n:
+            j = i
+            s = g_set[i]
+            while j < n and g_set[j] == s:
+                j += 1
+            depth = 0
+            for p in range(i, j):
+                tag = g_tag[p]
+                found = -1
+                for w in range(depth):
+                    if stack[w] == tag:
+                        found = w
+                        break
+                if found >= 0:
+                    hits[p] = True
+                    for w in range(found, depth - 1):
+                        stack[w] = stack[w + 1]
+                    stack[depth - 1] = tag
+                else:
+                    if depth < ways:
+                        stack[depth] = tag
+                        depth += 1
+                    else:
+                        for w in range(ways - 1):
+                            stack[w] = stack[w + 1]
+                        stack[ways - 1] = tag
+            i = j
+        return hits
+
+    try:
+        # Force compilation now so a broken numba install degrades to
+        # the numpy path instead of failing mid-run.
+        _kernel(
+            np.zeros(1, dtype=np.int64), np.zeros(1, dtype=np.uint64), 1
+        )
+    except Exception:
+        _kernel_cache = False
+        return None
+    _kernel_cache = _kernel
+    return _kernel

@@ -99,6 +99,59 @@ fire. The batched path therefore produces bit-identical
 ``SimulationResult`` stats — property-tested against both the scalar
 reference and the per-record fast path. ``batch=False`` is the escape
 hatch selecting the per-record loops.
+
+The columnar epoch tier
+-----------------------
+
+``columnar=True`` (the default, requiring the batch tier) goes one
+step further: between TLB-mutating events there is no reason to stop
+at quantum boundaries at all. When a single thread is live (and the
+run is unobserved — walk observers wrap the per-record translate
+binding the epoch pass bypasses), the machine retires the **entire
+remaining OS-tick interval** as one epoch:
+
+1. *Window*: the epoch end comes from iterating the per-quantum
+   ``searchsorted`` rule until the accumulated accesses cover the
+   remaining promotion interval — exactly the records the scalar loop
+   would run before its next due-check fires.
+2. *Fault pre-pass*: every first-touch fault in the window fires
+   up-front, in first-occurrence order. This is exact because fault
+   handling never touches TLBs and never sets accessed bits
+   (``map_base``/``map_huge`` only install mappings), and it removes
+   the one source of mid-epoch region-state change: after the
+   pre-pass, every region in the window is stably 4K-backed,
+   huge-backed, or 1GB-backed for the whole epoch.
+3. *Classification*: each record is routed to the L1 structure its
+   region's mapping state selects, and the structure's whole epoch
+   touch stream is classified hit/miss in one exact vectorized LRU
+   pass (:mod:`repro.engine.columnar`; ``REPRO_JIT=1`` swaps in the
+   numba kernel). Classified hits retire in bulk — counters and hit
+   cycles are array reductions, no per-record Python.
+4. *Residue*: classified misses and 1GB-region records run a
+   per-record loop that keeps the L2, the 1GB L1, the walker, the
+   page table, and the fault path **live** (program order preserved),
+   inlining exactly the probe sequence ``TLBHierarchy.lookup`` would
+   perform; only the two classified L1 structures are virtual — their
+   fills and refreshes are suppressed (the classification already
+   accounted them) and probes that could only hit through a violated
+   shootdown invariant raise instead of silently diverging. PCC
+   events are deferred per structure and applied in one bulk call at
+   epoch end (the OS only reads the PCC at ticks, which an epoch
+   never spans).
+5. *Reconstruction*: the suppressed L1 structures' set dicts are
+   rebuilt to their exact end-of-epoch contents (the W most recently
+   touched distinct tags per set, LRU→MRU), evictions are counted
+   from per-set fill counts against start-of-epoch occupancy, and the
+   MRU hints are re-pointed at the rebuilt MRU entries — so every
+   later tier, tick, and invariant check observes precisely the state
+   record-at-a-time simulation would have left.
+
+Epoch statistics land in the same pending counters the fast tiers
+use, so ``sync()`` remains the single flush point. The adaptive
+guard mirrors the batch tier's: a slot whose epochs retire under a
+quarter of their records falls back to the quantum tiers and is
+re-probed periodically. ``columnar=False`` selects the quantum tiers
+unconditionally.
 """
 
 from __future__ import annotations
@@ -110,6 +163,10 @@ import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.dump import CandidateRecord, DumpRegion
+from repro.engine.columnar import (
+    classify_lru_hits,
+    epoch_evictions,
+)
 from repro.engine.cpu import Core
 from repro.engine.system import ProcessWorkload
 from repro.engine.timing import CycleAccounting, RuntimeBreakdown
@@ -131,6 +188,8 @@ from repro.vm.address import (
 _HUGE_SHIFT = HUGE_PAGE_SHIFT - BASE_PAGE_SHIFT
 #: 2MB region tag -> 1GB region tag shift.
 _GIGA_SHIFT = GIGA_PAGE_SHIFT - HUGE_PAGE_SHIFT
+#: VPN -> 1GB region tag shift.
+_GIGA_SHIFT_FULL = GIGA_PAGE_SHIFT - BASE_PAGE_SHIFT
 
 # 2MB-region mapping states sampled at batch-window start. Only BASE
 # and HUGE regions participate in bulk retirement; EMPTY regions can
@@ -195,6 +254,26 @@ def _prev_same_tag_links(sets: np.ndarray, tags: np.ndarray) -> np.ndarray:
     return links
 
 
+def _initial_stack_arrays(initial: list[list[int]]):
+    """Flatten per-set LRU stacks into (set, tag) arrays, LRU→MRU.
+
+    The epoch classifier prepends these as synthetic older touches:
+    within a set the stable group-sort keeps them in order before the
+    epoch's real touches, which reproduces the structure's exact
+    recency state at epoch start.
+    """
+    sets_out: list[int] = []
+    tags_out: list[int] = []
+    for set_index, content in enumerate(initial):
+        if content:
+            sets_out.extend([set_index] * len(content))
+            tags_out.extend(content)
+    return (
+        np.asarray(sets_out, dtype=np.intp),
+        np.asarray(tags_out, dtype=np.uint64),
+    )
+
+
 class _ThreadSlot:
     """One schedulable thread: trace cursor plus pinned identities."""
 
@@ -203,10 +282,11 @@ class _ThreadSlot:
                  "htags", "hsets", "prev_base", "prev_huge", "region_ridx",
                  "region_tags", "region_state_arr", "hint_barrier",
                  "batch_epoch", "adapt_seen", "adapt_retired", "batch_off",
-                 "probe_countdown")
+                 "probe_countdown", "stream", "page_ridx", "page_tags",
+                 "seen_np", "columnar_off", "columnar_probe")
 
     def __init__(self, vpns, counts, pid, core_id, seen, fault,
-                 np_vpns=None, np_counts=None):
+                 np_vpns=None, np_counts=None, stream=None):
         # Plain Python lists iterate several times faster than numpy
         # scalar indexing in this (unavoidably sequential) hot loop;
         # the numpy views exist for the vectorized batch path.
@@ -219,9 +299,20 @@ class _ThreadSlot:
         self.seen = seen
         self.fault = fault
         self.live = True
-        if np_vpns is None:
+        # Whole-stream columnar encoding (repro.engine.columnar). When
+        # present it supplies the batch path's arrays too, so the two
+        # vectorized tiers share one encoding pass.
+        self.stream = stream
+        if stream is not None:
+            self.np_vpns = stream.vpns
+            self.cum = stream.cum
+            self.page_ridx = stream.page_ridx
+            self.page_tags = stream.page_tags
+        elif np_vpns is None:
             self.np_vpns = None
             self.cum = None
+            self.page_ridx = None
+            self.page_tags = None
         else:
             self.np_vpns = np.ascontiguousarray(np_vpns, dtype=np.uint64)
             # cum[r] = accesses before record r; record r runs in a
@@ -231,6 +322,16 @@ class _ThreadSlot:
             cum[0] = 0
             np.cumsum(np_counts, out=cum[1:])
             self.cum = cum
+            self.page_ridx = None
+            self.page_tags = None
+        # Conservative positive cache over the unique-page index: True
+        # proves the page is in the process seen-set, False means "ask
+        # the set" (threads of one process share the set, so another
+        # slot may have seen the page first). Allocated on first epoch.
+        self.seen_np = None
+        # Adaptive columnar tier state (mirrors batch_off below).
+        self.columnar_off = False
+        self.columnar_probe = 0
         # Per-core set-index views and previous-same-set link arrays,
         # attached by the owning pipeline on first batch use.
         self.bsets = None
@@ -272,14 +373,17 @@ class ThreadScheduler:
         self.remaining = 0
 
     def add(self, vpns, counts, pid, core_id, seen, fault,
-            np_vpns=None, np_counts=None) -> _ThreadSlot:
+            np_vpns=None, np_counts=None, stream=None) -> _ThreadSlot:
         """Register one thread's compressed trace for scheduling.
 
         ``np_vpns``/``np_counts`` (the compressed trace's arrays) enable
-        the vectorized batch path for this thread when provided.
+        the vectorized batch path for this thread when provided; a
+        :class:`~repro.engine.columnar.ColumnarStream` supplies those
+        plus the whole-stream columns the epoch tier gathers from.
         """
         slot = _ThreadSlot(vpns, counts, pid, core_id, seen, fault,
-                           np_vpns=np_vpns, np_counts=np_counts)
+                           np_vpns=np_vpns, np_counts=np_counts,
+                           stream=stream)
         self.slots.append(slot)
         self.remaining += slot.length
         return slot
@@ -322,14 +426,25 @@ class TranslationPipeline:
     ADAPT_MIN_SEEN = 8192
     ADAPT_PROBE_WINDOWS = 32
 
+    #: below this epoch window (records) the whole-epoch pass cannot
+    #: amortize its setup; delegate the quantum to the batch/fast tiers
+    MIN_EPOCH_RECORDS = 64
+    #: epochs retiring under 1/4 of their records switch the slot back
+    #: to the quantum tiers for this many epochs before re-probing
+    COLUMNAR_PROBE_EPOCHS = 16
+
     def __init__(self, core: Core, fast_path: bool = True,
-                 batch: bool = False) -> None:
+                 batch: bool = False, columnar: bool = False) -> None:
         self.core = core
         self.fast_path = fast_path
         # The batch path is a vectorization of the fast path's tier-1
         # memo; without the memo there is nothing to vectorize, so
         # fast_path=False wins and selects the reference loop.
         self.batch = batch and fast_path
+        # The columnar epoch tier classifies against the same live set
+        # dicts the batch tier's scalar gaps mutate; it requires the
+        # batch encoding and falls back to it between epochs.
+        self.columnar = columnar and self.batch
         #: bumped on every wholesale invalidation (OS tick shootdowns)
         self.epoch = 0
         l1_base = core.tlb.l1_base
@@ -362,6 +477,16 @@ class TranslationPipeline:
         # Times the adaptive tier switched a slot off batch (low
         # retirement fraction made the mask overhead a net loss).
         self.batch_fallbacks = 0
+        # Columnar epoch tier counters: epochs run, records retired by
+        # classification, records run through the live-residue loop,
+        # adaptive fall-backs to the quantum tiers, and a power-of-two
+        # histogram of epoch lengths in records (bucket k counts epochs
+        # of 2^(k-1) < length <= 2^k - 1 ... i.e. bit_length() == k).
+        self.columnar_epochs = 0
+        self.columnar_retired = 0
+        self.columnar_residue_records = 0
+        self.columnar_fallbacks = 0
+        self.columnar_epoch_buckets = [0] * 32
         #: the slot whose quantum most recently ran on this core
         self._active_slot = None
 
@@ -561,15 +686,25 @@ class TranslationPipeline:
         """
         vpns = slot.np_vpns
         slot.bsets = (vpns % np.uint64(self._nbase)).astype(np.intp)
-        htags = vpns >> np.uint64(_HUGE_SHIFT)
-        slot.htags = htags
+        if slot.stream is not None:
+            # The whole-stream encoding already holds the region tags
+            # and the dense unique-region index; share them.
+            htags = slot.stream.htags
+            slot.htags = htags
+            slot.region_ridx = slot.stream.region_ridx
+            slot.region_tags = slot.stream.region_tags.tolist()
+        else:
+            htags = vpns >> np.uint64(_HUGE_SHIFT)
+            slot.htags = htags
+            unique_tags, inverse = np.unique(htags, return_inverse=True)
+            slot.region_ridx = inverse.astype(np.intp)
+            slot.region_tags = unique_tags.tolist()
         slot.hsets = (htags % np.uint64(self._nhuge)).astype(np.intp)
         slot.prev_base = _prev_same_tag_links(slot.bsets, vpns)
         slot.prev_huge = _prev_same_tag_links(slot.hsets, htags)
-        unique_tags, inverse = np.unique(htags, return_inverse=True)
-        slot.region_ridx = inverse.astype(np.intp)
-        slot.region_tags = unique_tags.tolist()
-        slot.region_state_arr = np.full(unique_tags.size, -1, dtype=np.int8)
+        slot.region_state_arr = np.full(
+            len(slot.region_tags), -1, dtype=np.int8
+        )
 
     def _window_retire_mask(self, slot: _ThreadSlot, i: int, end: int,
                             page_table):
@@ -784,6 +919,416 @@ class TranslationPipeline:
         return cycles, walks, fast_base, fast_huge, fast_units
 
     # ------------------------------------------------------------------
+    # the columnar epoch tier
+
+    def run_epoch(self, slot: _ThreadSlot, budget: int, page_table,
+                  interval_remaining: int) -> tuple:
+        """Retire up to one whole OS-tick interval of ``slot`` at once.
+
+        The caller (the machine's run loop, single-live-slot case only)
+        passes the accesses remaining until the next promotion tick;
+        the epoch window covers exactly the quanta the round loop would
+        run before its due-check fires — iterating the per-quantum
+        ``searchsorted`` rule, since the scalar loop checks ``due``
+        after every quantum and the final quantum may overshoot the
+        interval just like it may overshoot its budget. Returns the
+        same ``(cursor, accesses, translation_cycles, walks)`` tuple as
+        :meth:`run_quantum`; small or adaptively-disabled windows
+        delegate one quantum to the batch/fast tiers.
+        """
+        if self._active_slot is not slot:
+            self._active_slot = slot
+            slot.hint_barrier = slot.cursor
+        if not self.columnar or slot.stream is None:
+            return self.run_quantum(slot, budget, page_table)
+        if slot.columnar_off:
+            slot.columnar_probe -= 1
+            if slot.columnar_probe > 0:
+                return self.run_quantum(slot, budget, page_table)
+            slot.columnar_off = False  # probe epoch: re-measure
+        cum = slot.cum
+        start = slot.cursor
+        n = slot.length
+        end = start
+        acc = 0
+        while acc < interval_remaining and end < n:
+            nxt = int(np.searchsorted(cum, cum[end] + budget, side="left"))
+            if nxt > n:
+                nxt = n
+            if nxt <= end:  # pragma: no cover - counts are >= 1
+                nxt = end + 1
+            end = nxt
+            acc = int(cum[end] - cum[start])
+        if end - start < self.MIN_EPOCH_RECORDS:
+            return self.run_quantum(slot, budget, page_table)
+        if slot.bsets is None:
+            self._attach_batch_views(slot)
+        return self._run_epoch_columnar(slot, start, end, page_table)
+
+    def _run_epoch_columnar(self, slot: _ThreadSlot, start: int, end: int,
+                            page_table) -> tuple:
+        """One vectorized epoch pass over ``[start, end)``.
+
+        Five phases (module docstring): fault pre-pass, region-state
+        snapshot, whole-epoch LRU classification of the two suppressed
+        L1 structures, the live-residue loop over classified misses and
+        1GB-region records, and end-of-epoch reconstruction. Exactness
+        arguments live with each phase; every "impossible" probe
+        outcome raises rather than silently diverging — each is
+        guarded by a shootdown invariant (promotion shoots the 512
+        VPNs out of L1-4K and L2, demotion shoots the region tag out,
+        1GB promotion flushes everything, and ``map_huge`` refuses a
+        region holding base PTEs).
+        """
+        # ---- phase A: first-touch faults, in first-occurrence order.
+        # Exact because fault handling never touches TLBs or accessed
+        # bits; afterwards every region in the window has a stable
+        # mapping state for the whole epoch.
+        if slot.seen_np is None:
+            slot.seen_np = np.zeros(slot.page_tags.size, dtype=bool)
+        seen_np = slot.seen_np
+        pr_w = slot.page_ridx[start:end]
+        uq_pages, first_pos = np.unique(pr_w, return_index=True)
+        unseen = ~seen_np[uq_pages]
+        if unseen.any():
+            cand = uq_pages[unseen]
+            order = np.argsort(first_pos[unseen], kind="stable")
+            seen = slot.seen
+            fault = slot.fault
+            is_mapped = page_table.is_mapped
+            page_tags = slot.page_tags
+            for k in order.tolist():
+                vpn = int(page_tags[cand[k]])
+                if vpn not in seen:
+                    seen.add(vpn)
+                    vaddr = vpn << BASE_PAGE_SHIFT
+                    if not is_mapped(vaddr):
+                        fault(vaddr)
+            seen_np[cand] = True
+
+        # ---- phase B: post-fault region states for the window.
+        rr_w = slot.region_ridx[start:end]
+        uqr = np.unique(rr_w)
+        region_tags = slot.region_tags
+        st = np.empty(uqr.size, dtype=np.int8)
+        for k, ridx in enumerate(uqr.tolist()):
+            st[k] = _region_mapping_state(page_table, region_tags[ridx])
+        rec_state = st[np.searchsorted(uqr, rr_w)]
+
+        # ---- phase C: exact LRU classification per suppressed L1.
+        core = self.core
+        tlbH = core.tlb
+        cum = slot.cum
+        vpns_w = slot.np_vpns[start:end]
+        counts_w = cum[start + 1:end + 1] - cum[start:end]
+        length = end - start
+        base_sets_d = self._base_sets
+        huge_sets_d = self._huge_sets
+        nbase = self._nbase
+        nhuge = self._nhuge
+        ways_b = tlbH.l1_base.config.ways
+        ways_h = tlbH.l1_huge.config.ways
+        base_idx = np.flatnonzero(rec_state == _REGION_BASE)
+        huge_idx = np.flatnonzero(rec_state == _REGION_HUGE)
+        hit_mask = np.zeros(length, dtype=bool)
+        n_bhit = n_hhit = 0
+        b_setw = b_tags = b_hits = None
+        h_setw = h_tags = h_hits = None
+        init_b = [list(entries) for entries in base_sets_d]
+        init_h = [list(entries) for entries in huge_sets_d]
+        b_final = h_final = None
+        if base_idx.size:
+            b_tags = vpns_w[base_idx]
+            b_setw = slot.bsets[start:end][base_idx]
+            ib_sets, ib_tags = _initial_stack_arrays(init_b)
+            b_hits, _, b_final = classify_lru_hits(
+                b_setw, b_tags, ways_b, ib_sets, ib_tags, nsets=nbase
+            )
+            hit_mask[base_idx[b_hits]] = True
+            n_bhit = int(np.count_nonzero(b_hits))
+        if huge_idx.size:
+            h_tags = slot.htags[start:end][huge_idx]
+            h_setw = slot.hsets[start:end][huge_idx]
+            ih_sets, ih_tags = _initial_stack_arrays(init_h)
+            h_hits, _, h_final = classify_lru_hits(
+                h_setw, h_tags, ways_h, ih_sets, ih_tags, nsets=nhuge
+            )
+            hit_mask[huge_idx[h_hits]] = True
+            n_hhit = int(np.count_nonzero(h_hits))
+        window_units = int(cum[end] - cum[start])
+        hit_units = int(counts_w[hit_mask].sum())
+        res_units = window_units - hit_units
+        res_idx = np.flatnonzero(~hit_mask)
+
+        # ---- phase D: live residue, program order. L2 / 1GB L1 /
+        # walker / page table / fault path are the real objects; only
+        # the classified structures' fills and refreshes are withheld
+        # (phase E reconstructs their end state exactly).
+        vpns_l = slot.vpns
+        counts_l = slot.counts
+        l2_sets_d = tlbH._l2_sets
+        l2_n = tlbH._l2_n
+        g_sets_d = tlbH._g_sets
+        g_n = tlbH._g_n
+        b_stats = tlbH._b_stats
+        g_stats = tlbH._g_stats
+        l2_stats = tlbH._l2_stats
+        plan = tlbH._fill_plan
+        size_base = PageSize.BASE
+        size_huge = PageSize.HUGE
+        size_giga = PageSize.GIGA
+        l2_for_base = plan[size_base][2]
+        l2_for_huge = plan[size_huge][2]
+        entry_base = plan[size_base][3]
+        entry_huge = plan[size_huge][3]
+        l1_cyc = core._l1_hit_cycles
+        l2_cyc = core._l2_hit_cycles
+        walker_walk = core._walker_walk
+        tlb_fill = core._tlb_fill
+        pcc1_on = core._pcc_1gb_access is not None
+        pcc2_events: list[tuple[int, bool]] = []
+        pcc1_events: list[tuple[int, bool]] = []
+        pcc2_append = pcc2_events.append
+        pcc1_append = pcc1_events.append
+        state_base = _REGION_BASE
+        state_huge = _REGION_HUGE
+        cycles = 0
+        walks_d = 0
+        l1h_d = 0
+        l2h_d = 0
+        tcyc_d = 0
+        bmiss_d = 0
+        l2hit_d = 0
+        l2miss_d = 0
+        ghit_d = 0
+        res_abs = (res_idx + start).tolist()
+        res_states = rec_state[res_idx].tolist()
+        for j, state in zip(res_abs, res_states):
+            vpn = vpns_l[j]
+            repeat = counts_l[j]
+            if state == state_base:
+                # Classified L1-4K miss in a 4K-backed region. The
+                # L1-2M and L1-1G probes miss silently (the region is
+                # not promoted, so neither tag was ever filled).
+                bmiss_d += 1
+                entries = l2_sets_d[vpn % l2_n]
+                size = entries.get(vpn)
+                if size is not None:
+                    del entries[vpn]
+                    entries[vpn] = size
+                    l2hit_d += 1
+                    l2h_d += 1
+                    l1h_d += repeat - 1
+                    cycles += l2_cyc + l1_cyc * (repeat - 1)
+                    # L2 hit refills L1-4K: withheld (classification
+                    # treats this record as a fill of its set).
+                    continue
+                huge_tag = vpn >> _HUGE_SHIFT
+                if l2_for_huge is not None and \
+                        huge_tag in l2_sets_d[huge_tag % l2_n]:
+                    raise RuntimeError(
+                        "columnar invariant violated: 2MB tag resident "
+                        "in L2 for a 4K-backed region"
+                    )
+                l2miss_d += 1
+                walk = walker_walk(vpn << BASE_PAGE_SHIFT, page_table)
+                walks_d += 1
+                l1h_d += repeat - 1
+                wcycles = walk.cycles + l1_cyc * (repeat - 1)
+                cycles += wcycles
+                tcyc_d += wcycles
+                candidate = walk.pcc_2mb_candidate
+                if candidate is not None:
+                    pcc2_append((candidate, walk.leaf_is_promoted))
+                if pcc1_on:
+                    candidate = walk.pcc_1gb_candidate
+                    if candidate is not None:
+                        pcc1_append((candidate, walk.leaf_is_promoted))
+                if walk.mapping.page_size is not size_base:
+                    raise RuntimeError(
+                        "columnar invariant violated: walk in a "
+                        "4K-backed region resolved "
+                        f"{walk.mapping.page_size}"
+                    )
+                if l2_for_base is not None:
+                    l2_for_base.fill(vpn, entry_base)
+                # L1-4K fill withheld (reconstructed in phase E).
+            elif state == state_huge:
+                # Classified L1-2M miss in a huge-backed region; the
+                # L1-4K probe missed silently (promotion shot every
+                # VPN of the region out and nothing refills them).
+                bmiss_d += 1
+                if vpn in l2_sets_d[vpn % l2_n]:
+                    raise RuntimeError(
+                        "columnar invariant violated: 4K VPN resident "
+                        "in L2 for a huge-backed region"
+                    )
+                huge_tag = vpn >> _HUGE_SHIFT
+                if l2_for_huge is not None:
+                    entries = l2_sets_d[huge_tag % l2_n]
+                    size = entries.get(huge_tag)
+                    if size is not None:
+                        del entries[huge_tag]
+                        entries[huge_tag] = size
+                        l2hit_d += 1
+                        l2h_d += 1
+                        l1h_d += repeat - 1
+                        cycles += l2_cyc + l1_cyc * (repeat - 1)
+                        # L2 hit refills L1-2M: withheld.
+                        continue
+                l2miss_d += 1
+                walk = walker_walk(vpn << BASE_PAGE_SHIFT, page_table)
+                walks_d += 1
+                l1h_d += repeat - 1
+                wcycles = walk.cycles + l1_cyc * (repeat - 1)
+                cycles += wcycles
+                tcyc_d += wcycles
+                candidate = walk.pcc_2mb_candidate
+                if candidate is not None:
+                    pcc2_append((candidate, walk.leaf_is_promoted))
+                if pcc1_on:
+                    candidate = walk.pcc_1gb_candidate
+                    if candidate is not None:
+                        pcc1_append((candidate, walk.leaf_is_promoted))
+                if walk.mapping.page_size is not size_huge:
+                    raise RuntimeError(
+                        "columnar invariant violated: walk in a "
+                        "huge-backed region resolved "
+                        f"{walk.mapping.page_size}"
+                    )
+                if l2_for_huge is not None:
+                    l2_for_huge.fill(huge_tag, entry_huge)
+                # L1-2M fill withheld (reconstructed in phase E).
+            else:
+                # 1GB-backed region (or an unmapped hole, which walks
+                # to the same PageTableError the scalar path raises).
+                # The whole structure stays live: every record of such
+                # a region lands in the residue, so L1-1G state
+                # needs no reconstruction. The L1-4K/L1-2M probes the
+                # real lookup performs first miss silently — a 1GB
+                # promotion full-flushed them and later walks fill
+                # only L1-1G.
+                giga_tag = vpn >> _GIGA_SHIFT_FULL
+                entries = g_sets_d[giga_tag % g_n]
+                size = entries.get(giga_tag)
+                if size is not None:
+                    del entries[giga_tag]
+                    entries[giga_tag] = size
+                    ghit_d += 1
+                    l1h_d += repeat
+                    cycles += l1_cyc * repeat
+                    continue
+                bmiss_d += 1
+                if vpn in l2_sets_d[vpn % l2_n]:
+                    raise RuntimeError(
+                        "columnar invariant violated: 4K VPN resident "
+                        "in L2 for a 1GB-backed region"
+                    )
+                huge_tag = vpn >> _HUGE_SHIFT
+                if l2_for_huge is not None and \
+                        huge_tag in l2_sets_d[huge_tag % l2_n]:
+                    raise RuntimeError(
+                        "columnar invariant violated: 2MB tag resident "
+                        "in L2 for a 1GB-backed region"
+                    )
+                l2miss_d += 1
+                walk = walker_walk(vpn << BASE_PAGE_SHIFT, page_table)
+                walks_d += 1
+                l1h_d += repeat - 1
+                wcycles = walk.cycles + l1_cyc * (repeat - 1)
+                cycles += wcycles
+                tcyc_d += wcycles
+                candidate = walk.pcc_2mb_candidate
+                if candidate is not None:
+                    pcc2_append((candidate, walk.leaf_is_promoted))
+                if pcc1_on:
+                    candidate = walk.pcc_1gb_candidate
+                    if candidate is not None:
+                        pcc1_append((candidate, walk.leaf_is_promoted))
+                if walk.mapping.page_size is not size_giga:
+                    raise RuntimeError(
+                        "columnar invariant violated: walk in a "
+                        "1GB-backed region resolved "
+                        f"{walk.mapping.page_size}"
+                    )
+                tlb_fill(vpn, size_giga)
+
+        # Deferred PCC events, one bulk apply per structure. Exact: the
+        # 2MB and 1GB PCCs are independent structures, per-structure
+        # order is preserved, and nothing reads the PCC mid-epoch.
+        if pcc2_events:
+            core.pcc.access_many(pcc2_events)
+        if pcc1_events:
+            core.pcc_1gb.access_many(pcc1_events)
+
+        # ---- phase E: reconstruct the suppressed structures. The
+        # residue loop never touched their dicts, so occupancy still
+        # reads as of epoch start; every classified miss fills exactly
+        # one entry, and the final content of a W-way LRU set is the
+        # last W distinct tags by last touch.
+        if base_idx.size:
+            occ0 = np.fromiter(
+                (len(entries) for entries in base_sets_d), np.int64, nbase
+            )
+            tlbH.l1_base.stats.evictions += epoch_evictions(
+                b_setw[~b_hits], nbase, ways_b, occ0
+            )
+            base_mru = self._base_mru
+            for s, content in enumerate(b_final):
+                entries = base_sets_d[s]
+                entries.clear()
+                for tag in content:
+                    entries[tag] = entry_base
+                base_mru[s] = content[-1] if content else -1
+        if huge_idx.size:
+            occ0 = np.fromiter(
+                (len(entries) for entries in huge_sets_d), np.int64, nhuge
+            )
+            tlbH.l1_huge.stats.evictions += epoch_evictions(
+                h_setw[~h_hits], nhuge, ways_h, occ0
+            )
+            huge_mru = self._huge_mru
+            for s, content in enumerate(h_final):
+                entries = huge_sets_d[s]
+                entries.clear()
+                for tag in content:
+                    entries[tag] = entry_huge
+                huge_mru[s] = content[-1] if content else -1
+
+        # ---- statistics flush. Classified hits ride the pending
+        # counters (sync() stays the single flush point); residue
+        # counters land directly, exactly as the live calls would have.
+        n_res = len(res_abs)
+        cycles += l1_cyc * hit_units
+        self._pending_base_records += n_bhit
+        self._pending_huge_records += n_hhit
+        self._pending_accesses += hit_units
+        tlbH.accesses += n_res
+        b_stats.misses += bmiss_d
+        g_stats.hits += ghit_d
+        l2_stats.hits += l2hit_d
+        l2_stats.misses += l2miss_d
+        stats = core.stats
+        stats.accesses += res_units
+        stats.l1_hits += l1h_d
+        stats.l2_hits += l2h_d
+        stats.walks += walks_d
+        stats.translation_cycles += tcyc_d
+        self.columnar_epochs += 1
+        retired = n_bhit + n_hhit
+        self.columnar_retired += retired
+        self.columnar_residue_records += n_res
+        self.columnar_epoch_buckets[min(length.bit_length(), 31)] += 1
+        # Adaptive guard: epochs dominated by residue records pay the
+        # vector setup for little bulk retirement; hand the slot back
+        # to the quantum tiers for a while (bit-identical either way).
+        if retired * 4 < length:
+            slot.columnar_off = True
+            slot.columnar_probe = self.COLUMNAR_PROBE_EPOCHS
+            self.columnar_fallbacks += 1
+        return end, window_units, cycles, walks_d
+
+    # ------------------------------------------------------------------
 
     def sync(self) -> None:
         """Flush batched fast-hit counters into the canonical stats.
@@ -823,14 +1368,25 @@ class TranslationPipeline:
 
     def as_metrics(self, prefix: str) -> dict[str, int]:
         """Fast-path counter readings for the metrics registry."""
-        return {
+        values = {
             f"{prefix}.fast_hits": self.fast_hits,
             f"{prefix}.slow_records": self.slow_records,
             f"{prefix}.invalidations": self.invalidations,
             f"{prefix}.batch_retired": self.batch_retired,
             f"{prefix}.batch_scalar_records": self.batch_scalar_records,
             f"{prefix}.batch_fallbacks": self.batch_fallbacks,
+            f"{prefix}.columnar_epochs": self.columnar_epochs,
+            f"{prefix}.columnar_retired": self.columnar_retired,
+            f"{prefix}.columnar_residue_records":
+                self.columnar_residue_records,
+            f"{prefix}.columnar_fallbacks": self.columnar_fallbacks,
         }
+        # Epoch-length histogram: power-of-two buckets, emitted sparsely
+        # (bucket k holds epochs whose record count has bit_length k).
+        for k, count in enumerate(self.columnar_epoch_buckets):
+            if count:
+                values[f"{prefix}.columnar_epoch_p2_{k:02d}"] = count
+        return values
 
 
 class FaultPath:
@@ -941,6 +1497,7 @@ class Machine:
         serialization_cycles_per_access: float = 0.0,
         fast_path: bool = True,
         batch: bool = True,
+        columnar: bool = True,
         tick_fn=None,
         validate: bool = False,
         observe: bool | None = None,
@@ -964,6 +1521,7 @@ class Machine:
         self.serialization_cycles_per_access = serialization_cycles_per_access
         self.fast_path = fast_path
         self.batch = batch and fast_path
+        self.columnar = columnar and self.batch
         self.dump_region = DumpRegion()
         self._tick_fn = tick_fn or self.promotion_tick
         self.cores: list[Core] = []
@@ -994,7 +1552,7 @@ class Machine:
         ]
         self.pipelines = [
             TranslationPipeline(core, fast_path=self.fast_path,
-                                batch=self.batch)
+                                batch=self.batch, columnar=self.columnar)
             for core in self.cores
         ]
         self.ledgers = [CycleAccounting(self.config.timing) for _ in self.cores]
@@ -1039,9 +1597,51 @@ class Machine:
         drain_fault_work = kernel.drain_fault_work
         walks_by_pid = {pid: 0 for pid in processes}
 
+        # The columnar epoch tier needs the translate binding untouched:
+        # observed runs wrap it per record (walk histograms, promotion
+        # lag), which the epoch pass legitimately bypasses, so an
+        # observed run keeps the quantum tiers.
+        use_columnar = self.columnar and obs is None
+
         with trace_span("machine.sim_loop", cat="engine",
                         policy=self.policy.value, cores=len(self.cores)):
             while scheduler.remaining > 0:
+                if use_columnar:
+                    live = [
+                        slot for slot in scheduler.slots
+                        if slot.live and slot.cursor < slot.length
+                    ]
+                    if len(live) == 1:
+                        # Single runnable thread: between here and the
+                        # next TLB-mutating event (the tick below) no
+                        # quantum switch can interleave, so the whole
+                        # remaining interval retires as one epoch.
+                        slot = live[0]
+                        pipeline = pipelines[slot.core_id]
+                        if pipeline.columnar and slot.stream is not None:
+                            ledger = ledgers[slot.core_id]
+                            table = processes[slot.pid].page_table
+                            cursor, accesses, cycles, walks = (
+                                pipeline.run_epoch(
+                                    slot,
+                                    quantum,
+                                    table,
+                                    ticks.interval
+                                    - ticks.accesses_since_tick,
+                                )
+                            )
+                            scheduler.advance(slot, cursor)
+                            ledger.charge_translation(cycles)
+                            ledger.charge_accesses(accesses)
+                            walks_by_pid[slot.pid] += walks
+                            ticks.note(accesses)
+                            huge_z, base_z, migrated = drain_fault_work()
+                            ledger.charge_fault_work(huge_z, base_z, migrated)
+                            if ticks.due:
+                                self._run_tick(ticks, monitor, obs)
+                                if monitor is not None:
+                                    monitor.after_tick(ticks)
+                            continue
                 for slot in scheduler.next_round():
                     pipeline = pipelines[slot.core_id]
                     ledger = ledgers[slot.core_id]
@@ -1086,6 +1686,7 @@ class Machine:
                     "cores": len(self.cores),
                     "fast_path": self.fast_path,
                     "batch": self.batch,
+                    "columnar": self.columnar,
                     "promote_every_accesses": self.config.os.promote_every_accesses,
                     "processes": sorted(processes),
                     "run_id": current_run_id(),
@@ -1253,6 +1854,7 @@ class Machine:
         self._core_pid_map = {}
         cores = len(self.cores)
         next_core = 0
+        stream_cache = self._stream_cache() if self.batch else None
         for process in workloads:
             seen = fault_path.seen_for(process.pid)
             fault = fault_path.handler_for(process.pid)
@@ -1268,6 +1870,11 @@ class Machine:
                     )
                 thread.core = core
                 self._core_pid_map[core] = process.pid
+                stream = None
+                if self.batch:
+                    stream = thread.columnar_stream(
+                        cache=stream_cache, slot=len(scheduler.slots)
+                    )
                 scheduler.add(
                     thread.trace.vpns.tolist(),
                     thread.trace.counts.tolist(),
@@ -1275,10 +1882,34 @@ class Machine:
                     core,
                     seen,
                     fault,
-                    np_vpns=thread.trace.vpns if self.batch else None,
-                    np_counts=thread.trace.counts if self.batch else None,
+                    stream=stream,
                 )
         return scheduler
+
+    def _stream_cache(self):
+        """Trace cache for columnar encodings, or None.
+
+        Cached content-addressed only when the environment explicitly
+        points ``REPRO_TRACE_CACHE`` at a directory — an unset variable
+        must not make plain simulation runs write to the default cache
+        location behind the user's back.
+        """
+        if not self.columnar:
+            return None
+        import os
+
+        from repro.trace.cache import (
+            CACHE_DIR_ENV,
+            TraceCache,
+            cache_dir_from_env,
+        )
+
+        if not os.environ.get(CACHE_DIR_ENV, "").strip():
+            return None
+        directory = cache_dir_from_env()
+        if directory is None:
+            return None
+        return TraceCache(directory)
 
     def _pid_for_core(self, core_id: int) -> int | None:
         """Process whose thread runs on ``core_id`` (static pinning)."""

@@ -96,6 +96,7 @@ class Simulator:
         serialization_cycles_per_access: float = 0.0,
         fast_path: bool = True,
         batch: bool = True,
+        columnar: bool = True,
         validate: bool = False,
         observe: bool | None = None,
     ) -> None:
@@ -108,6 +109,7 @@ class Simulator:
             serialization_cycles_per_access=serialization_cycles_per_access,
             fast_path=fast_path,
             batch=batch,
+            columnar=columnar,
             validate=validate,
             observe=observe,
             # Late-bound so post-construction overrides of

@@ -24,11 +24,32 @@ class ThreadWorkload:
 
     trace: CompressedTrace
     core: int = -1  # assigned by the simulator if negative
+    #: memoized columnar encoding (one per thread, engine-built)
+    _stream: object = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_trace(cls, trace: Trace, core: int = -1) -> "ThreadWorkload":
         """Compress a raw trace into a core-bindable thread."""
         return cls(trace=trace.compress(), core=core)
+
+    def columnar_stream(self, cache=None, slot: int = -1):
+        """This thread's whole-stream columnar encoding.
+
+        The stream-emission half of the columnar engine tier: encodes
+        the compressed trace once (optionally persisted content-
+        addressed through a :class:`~repro.trace.cache.TraceCache`) and
+        memoizes it, so a workload re-run across tiers or machines pays
+        the encoding a single time.
+        """
+        from repro.engine.columnar import ColumnarStream
+
+        if self._stream is None:
+            self._stream = ColumnarStream.from_trace(
+                self.trace, cache=cache, slot=slot
+            )
+        else:
+            self._stream.slot = slot
+        return self._stream
 
 
 @dataclass

@@ -195,6 +195,25 @@ def _merged_distributions(runs: list[dict]) -> dict[str, Histogram]:
     return dict(sorted(merged.items()))
 
 
+def _engine_tier_counters(runs: list[dict]) -> dict[str, int]:
+    """Adaptive-tier retirement counters, summed across cores and runs.
+
+    The pipeline exports its tier instrumentation per core as
+    ``core<N>.fastpath.<counter>``; the inspector folds those into one
+    machine-wide view (fast_hits, batch_retired, columnar_retired,
+    fallbacks, ...) plus the power-of-two epoch-length histogram
+    (``columnar_epoch_p2_<k>`` buckets).
+    """
+    totals: dict[str, int] = {}
+    for run in runs:
+        for name, value in (run.get("counters") or {}).items():
+            if ".fastpath." not in name or not isinstance(value, int):
+                continue
+            counter = name.split(".fastpath.", 1)[1]
+            totals[counter] = totals.get(counter, 0) + value
+    return dict(sorted(totals.items()))
+
+
 def summarize_metrics(doc: dict) -> dict:
     """Digest of one metrics file; distributions merged across runs."""
     runs = doc["runs"] if "runs" in doc else [doc]
@@ -222,6 +241,7 @@ def summarize_metrics(doc: dict) -> dict:
         or (runs[0].get("run_id") if runs else None),
         "runs": len(runs),
         "totals": totals,
+        "engine_tiers": _engine_tier_counters(runs),
         "distributions": distributions,
     }
 
@@ -310,6 +330,23 @@ def render(summary: dict) -> str:
         if summary["totals"]:
             parts = ", ".join(f"{k}={v}" for k, v in sorted(summary["totals"].items()))
             lines.append(f"totals: {parts}")
+        tiers = summary.get("engine_tiers") or {}
+        plain = {k: v for k, v in tiers.items()
+                 if not k.startswith("columnar_epoch_p2_")}
+        if plain:
+            lines.append("engine tier counters (all cores, all runs):")
+            for counter, value in plain.items():
+                lines.append(f"  {counter:<24} {value:>12,}")
+            buckets = {
+                int(k.rsplit("_", 1)[1]): v
+                for k, v in tiers.items()
+                if k.startswith("columnar_epoch_p2_")
+            }
+            if buckets:
+                census = " ".join(
+                    f"2^{k}:{buckets[k]}" for k in sorted(buckets)
+                )
+                lines.append(f"  epoch-length histogram   {census}")
         if summary["distributions"]:
             lines.append("distributions:")
             for name, dist in summary["distributions"].items():

@@ -104,6 +104,11 @@ class TLBHierarchy:
         }
         self.accesses = 0
 
+    @property
+    def l2_serves_huge(self) -> bool:
+        """Whether the unified L2 caches 2MB entries (Table 2: yes)."""
+        return self._l2_serves_huge
+
     @staticmethod
     def _tag(vpn: int, size: PageSize) -> int:
         """Region tag at ``size`` granularity for a 4KB VPN."""

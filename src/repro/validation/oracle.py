@@ -44,10 +44,13 @@ from repro.validation.generators import FuzzCase
 from repro.validation.invariants import InvariantViolation
 
 #: Engine tiers under test, in trust order: scalar is the reference.
+#: ``columnar`` is pinned explicitly in every entry because Simulator
+#: defaults it on — the "batch" tier must stay plain per-quantum batch.
 TIERS: dict[str, dict[str, bool]] = {
-    "scalar": {"fast_path": False, "batch": False},
-    "fast": {"fast_path": True, "batch": False},
-    "batch": {"fast_path": True, "batch": True},
+    "scalar": {"fast_path": False, "batch": False, "columnar": False},
+    "fast": {"fast_path": True, "batch": False, "columnar": False},
+    "batch": {"fast_path": True, "batch": True, "columnar": False},
+    "columnar": {"fast_path": True, "batch": True, "columnar": True},
 }
 
 
@@ -167,11 +170,11 @@ def _first_diff(a: dict, b: dict) -> str:
 def check_tiers(
     case: FuzzCase, report: CaseReport
 ) -> tuple[Simulator, SimulationResult]:
-    """All three engine tiers must be bit-identical on this case."""
+    """All four engine tiers must be bit-identical on this case."""
     simulator, reference = run_case(case, tier="scalar")
     ref_fp = fingerprint(reference)
     ref_counters = _counters(reference)
-    for tier in ("fast", "batch"):
+    for tier in ("fast", "batch", "columnar"):
         _, candidate = run_case(case, tier=tier)
         fp = fingerprint(candidate)
         if fp != ref_fp:
