@@ -2,7 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos fuzz fuzz-selftest bench bench-full examples scorecard clean trace-smoke
+.PHONY: install test chaos fuzz fuzz-selftest bench bench-tests bench-full examples scorecard clean trace-smoke
+
+# artifact `make bench` writes; bump per PR so perf history accumulates
+BENCH_OUT ?= BENCH_4.json
 
 # first seed for `make fuzz`; CI passes its run id for fresh coverage
 FUZZ_SEED ?= 0
@@ -38,7 +41,15 @@ chaos:
 		tests/integration/test_resilience_pipeline.py \
 		tests/trace/test_cache_resilience.py -q
 
+# one-step perf trajectory: all four tiers timed interleaved, tier
+# equivalence verified, steady-state + residue breakdown measured, and
+# the $(BENCH_OUT) artifact written with the previous PR's numbers
+# embedded as the before/after record
 bench:
+	$(PYTHON) scripts/perf_smoke.py --engines --verify-equivalence \
+		--steady-state --bench-out $(BENCH_OUT)
+
+bench-tests:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -q
 
 bench-output:

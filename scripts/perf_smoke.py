@@ -24,7 +24,11 @@ Beyond the gate, the script measures the full engine story:
   built on).
 * ``--steady-state`` also times fast/batch/columnar on a 4x-longer
   trace over the same footprint, where faults amortize and the
-  vectorized ceiling shows.
+  vectorized ceiling shows. The columnar timing carries a *residue
+  breakdown* read off the engine's pipeline counters: how much of the
+  L1-miss residue retired as vectorized L2 array ops versus walking a
+  live page table, and how many faults took the array-batched pre-pass
+  versus the scalar handler.
 * ``--jobs N`` times the quick-scale fig7 fragmentation sweep serially
   and with an ``N``-worker fan-out sharing the content-addressed trace
   cache, reporting the speedup. On a single-CPU host the
@@ -32,7 +36,10 @@ Beyond the gate, the script measures the full engine story:
   serial), so it is skipped and annotated rather than reported as a
   regression.
 * ``--bench-out FILE`` writes everything measured as a JSON trajectory
-  artifact (e.g. ``BENCH_3.json``) so perf history accumulates per PR.
+  artifact (e.g. ``BENCH_4.json``) so perf history accumulates per PR.
+  The artifact embeds the tier numbers of the highest-numbered earlier
+  ``BENCH_N.json`` at the repo root as ``previous``, so every artifact
+  is a self-contained before/after record.
 
 Usage::
 
@@ -89,6 +96,31 @@ def _timed_run(workload, config, tier: str):
     return time.perf_counter() - start, result
 
 
+def _residue_breakdown(result) -> dict:
+    """Residue-pipeline counters from one columnar run's metrics.
+
+    ``retired_fraction`` is the share of the L1-miss residue the
+    vectorized L2 pass retired without walking a live page table —
+    the number PR 7's tentpole exists to raise.
+    """
+    counters = (result.metrics or {}).get("counters", {})
+
+    def total(name: str) -> int:
+        return sum(v for k, v in counters.items() if k.endswith(name))
+
+    retired = total("columnar_l2_retired")
+    walked = total("columnar_live_walked")
+    residue = retired + walked
+    return {
+        "l2_retired": retired,
+        "live_walked": walked,
+        "retired_fraction": round(retired / residue, 4) if residue else None,
+        "faults_batched": total("columnar_faults_batched"),
+        "faults_scalar": total("columnar_faults_scalar"),
+        "mt_epochs": total("columnar_mt_epochs"),
+    }
+
+
 def measure_tiers(rounds: int, tiers: list[str],
                   access_factor: int = 1) -> dict[str, dict]:
     """Best-of-``rounds`` timing of the quick BFS PCC simulation.
@@ -126,14 +158,17 @@ def measure_tiers(rounds: int, tiers: list[str],
     config = config_for(workload)
     best: dict[str, float] = {tier: float("inf") for tier in tiers}
     accesses = 0
+    residue = None
     for tier in tiers:  # warmup lap: traces built, code paths hot
         _, result = _timed_run(workload, config, tier)
         accesses = result.accesses
+        if tier == "columnar":
+            residue = _residue_breakdown(result)
     for _ in range(rounds):
         for tier in tiers:
             seconds, _ = _timed_run(workload, config, tier)
             best[tier] = min(best[tier], seconds)
-    return {
+    out = {
         tier: {
             "seconds": round(best[tier], 3),
             "accesses": accesses,
@@ -141,6 +176,9 @@ def measure_tiers(rounds: int, tiers: list[str],
         }
         for tier in tiers
     }
+    if residue is not None and "columnar" in out:
+        out["columnar"]["residue"] = residue
+    return out
 
 
 def _fingerprint(result) -> tuple:
@@ -331,6 +369,30 @@ def measure_fan_out(jobs: int, cache_dir: str | None = None) -> dict:
     return record
 
 
+def _previous_artifact(out: Path) -> dict | None:
+    """Tier numbers of the newest earlier ``BENCH_N.json``, if any."""
+    import re
+
+    best: tuple[int, Path] | None = None
+    for path in REPO.glob("BENCH_*.json"):
+        if path.resolve() == out.resolve():
+            continue
+        match = re.fullmatch(r"BENCH_(\d+)\.json", path.name)
+        if match and (best is None or int(match.group(1)) > best[0]):
+            best = (int(match.group(1)), path)
+    if best is None:
+        return None
+    try:
+        data = json.loads(best[1].read_text())
+    except (OSError, ValueError):
+        return None
+    keep: dict = {"artifact": best[1].name}
+    for key in ("engine_tiers", "tier_gate", "steady_state"):
+        if key in data:
+            keep[key] = data[key]
+    return keep
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -458,6 +520,15 @@ def main(argv=None) -> int:
                 f"steady {tier:>8}: {numbers['seconds']:.3f}s "
                 f"({numbers['accesses_per_sec']:,} accesses/s)"
             )
+        res = steady["columnar"].get("residue")
+        if res and res["retired_fraction"] is not None:
+            print(
+                f"steady residue: {res['l2_retired']:,} L2-retired vs "
+                f"{res['live_walked']:,} live-walked "
+                f"({res['retired_fraction']:.1%} retired as array ops); "
+                f"faults {res['faults_batched']:,} batched / "
+                f"{res['faults_scalar']:,} scalar"
+            )
 
     if args.verify_equivalence:
         ok = verify_equivalence()
@@ -545,6 +616,9 @@ def main(argv=None) -> int:
 
     if args.bench_out:
         out = Path(args.bench_out)
+        previous = _previous_artifact(out)
+        if previous is not None:
+            artifact["previous"] = previous
         out.write_text(json.dumps(artifact, indent=2) + "\n")
         print(f"trajectory artifact -> {out}")
 

@@ -200,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
         "explores fresh cases (default 0, deterministic locally)",
     )
     p_val.add_argument(
+        "--min-threads",
+        type=int,
+        default=1,
+        metavar="T",
+        help="raise every generated case's thread-count floor (2+ pins "
+        "the multi-thread columnar epoch path; default 1)",
+    )
+    p_val.add_argument(
         "--replay",
         metavar="DIR",
         help="replay every corpus reproducer under DIR instead of "
@@ -348,7 +356,7 @@ def _run_validate(args) -> int:
 
         notes = 0
         for seed in range(args.seed, args.seed + args.fuzz):
-            case = generate_case(seed)
+            case = generate_case(seed, min_threads=args.min_threads)
             try:
                 report = check_case(case)
             except ValidationFailure as failure:

@@ -1,4 +1,4 @@
-"""Optional numba acceleration for the columnar classification kernel.
+"""Optional numba acceleration for the columnar engine kernels.
 
 Activation requires **both** of:
 
@@ -27,8 +27,9 @@ import numpy as np
 
 _TRUTHY = {"1", "true", "on", "yes"}
 
-#: module-level cache: None = not yet resolved, False = unavailable.
+#: module-level caches: None = not yet resolved, False = unavailable.
 _kernel_cache = None
+_walk_kernel_cache = None
 
 
 def requested() -> bool:
@@ -111,4 +112,89 @@ def classify_kernel():
         _kernel_cache = False
         return None
     _kernel_cache = _kernel
+    return _kernel
+
+
+def walk_kernel():
+    """The compiled PWC-level walk kernel, or None when unavailable.
+
+    Runs one page-walk-cache level's epoch stream — the walker's
+    last-tag memo in front of a set-associative true-LRU — and returns
+    both the per-walk outcomes and the structure's end state, so the
+    caller reconstructs instead of replaying. Signature::
+
+        kernel(tags: int64[:], last_tag: int64,
+               stack_tags: int64[:], stack_offsets: int64[:],
+               nsets: int, ways: int)
+            -> (outcomes: int8[:], stacks: int64[nsets, ways],
+                depth: int64[nsets], evictions: int64, last: int64)
+
+    ``stack_tags``/``stack_offsets`` flatten the initial per-set LRU
+    stacks (LRU→MRU; set s occupies ``[offsets[s], offsets[s+1])``).
+    Outcome codes: 0 memo hit, 1 LRU hit, 2 miss. Bit-identical to the
+    pure-numpy path in :func:`repro.engine.residue.pwc_level_outcomes`.
+    """
+    global _walk_kernel_cache
+    if _walk_kernel_cache is not None:
+        return _walk_kernel_cache or None
+    try:
+        from numba import njit
+    except Exception:
+        _walk_kernel_cache = False
+        return None
+
+    @njit(cache=True)
+    def _kernel(tags, last_tag, stack_tags, stack_offsets, nsets,
+                ways):  # pragma: no cover - compiled
+        n = tags.shape[0]
+        outcomes = np.empty(n, dtype=np.int8)
+        stacks = np.zeros((nsets, ways), dtype=np.int64)
+        depth = np.zeros(nsets, dtype=np.int64)
+        for s in range(nsets):
+            lo = stack_offsets[s]
+            d = stack_offsets[s + 1] - lo
+            for k in range(d):
+                stacks[s, k] = stack_tags[lo + k]
+            depth[s] = d
+        evictions = 0
+        last = last_tag
+        for i in range(n):
+            tag = tags[i]
+            if tag == last:
+                outcomes[i] = 0
+                continue
+            last = tag
+            s = tag % nsets
+            d = depth[s]
+            found = -1
+            for w in range(d):
+                if stacks[s, w] == tag:
+                    found = w
+                    break
+            if found >= 0:
+                outcomes[i] = 1
+                for w in range(found, d - 1):
+                    stacks[s, w] = stacks[s, w + 1]
+                stacks[s, d - 1] = tag
+            elif d < ways:
+                outcomes[i] = 2
+                stacks[s, d] = tag
+                depth[s] = d + 1
+            else:
+                outcomes[i] = 2
+                evictions += 1
+                for w in range(ways - 1):
+                    stacks[s, w] = stacks[s, w + 1]
+                stacks[s, ways - 1] = tag
+        return outcomes, stacks, depth, evictions, last
+
+    try:
+        _kernel(
+            np.zeros(1, dtype=np.int64), -1,
+            np.zeros(0, dtype=np.int64), np.zeros(2, dtype=np.int64), 1, 1,
+        )
+    except Exception:
+        _walk_kernel_cache = False
+        return None
+    _walk_kernel_cache = _kernel
     return _kernel

@@ -105,50 +105,62 @@ The columnar epoch tier
 
 ``columnar=True`` (the default, requiring the batch tier) goes one
 step further: between TLB-mutating events there is no reason to stop
-at quantum boundaries at all. When a single thread is live (and the
-run is unobserved — walk observers wrap the per-record translate
-binding the epoch pass bypasses), the machine retires the **entire
-remaining OS-tick interval** as one epoch:
+at quantum boundaries at all. In an unobserved run (walk observers
+wrap the per-record translate binding the epoch pass bypasses), the
+machine retires the **entire remaining OS-tick interval** as one
+epoch per live thread:
 
 1. *Window*: the epoch end comes from iterating the per-quantum
    ``searchsorted`` rule until the accumulated accesses cover the
    remaining promotion interval — exactly the records the scalar loop
-   would run before its next due-check fires.
+   would run before its next due-check fires. With several live
+   threads the same rule plans a full round-robin schedule
+   (``Machine._multithread_epoch``): every round covers every live
+   slot in scheduler order, and per-core epochs span the whole plan —
+   sound because distinct cores' TLBs, walkers and PCCs never observe
+   each other's records, faults replay in exact (round, slot) order,
+   and the one cross-core coupling (page-table accessed bits) gets a
+   merged per-process pass in scalar walk order.
 2. *Fault pre-pass*: every first-touch fault in the window fires
    up-front, in first-occurrence order. This is exact because fault
    handling never touches TLBs and never sets accessed bits
    (``map_base``/``map_huge`` only install mappings), and it removes
    the one source of mid-epoch region-state change: after the
    pre-pass, every region in the window is stably 4K-backed,
-   huge-backed, or 1GB-backed for the whole epoch.
+   huge-backed, or 1GB-backed for the whole epoch. Base-backed
+   kernels take the array-batched fault path (one allocator sweep +
+   one bulk PTE install for the window's first-touch set).
 3. *Classification*: each record is routed to the L1 structure its
    region's mapping state selects, and the structure's whole epoch
    touch stream is classified hit/miss in one exact vectorized LRU
    pass (:mod:`repro.engine.columnar`; ``REPRO_JIT=1`` swaps in the
    numba kernel). Classified hits retire in bulk — counters and hit
    cycles are array reductions, no per-record Python.
-4. *Residue*: classified misses and 1GB-region records run a
-   per-record loop that keeps the L2, the 1GB L1, the walker, the
-   page table, and the fault path **live** (program order preserved),
-   inlining exactly the probe sequence ``TLBHierarchy.lookup`` would
-   perform; only the two classified L1 structures are virtual — their
-   fills and refreshes are suppressed (the classification already
-   accounted them) and probes that could only hit through a violated
-   shootdown invariant raise instead of silently diverging. PCC
-   events are deferred per structure and applied in one bulk call at
-   epoch end (the OS only reads the PCC at ticks, which an epoch
-   never spans).
-5. *Reconstruction*: the suppressed L1 structures' set dicts are
-   rebuilt to their exact end-of-epoch contents (the W most recently
-   touched distinct tags per set, LRU→MRU), evictions are counted
-   from per-set fill counts against start-of-epoch occupancy, and the
-   MRU hints are re-pointed at the rebuilt MRU entries — so every
-   later tier, tick, and invariant check observes precisely the state
-   record-at-a-time simulation would have left.
+4. *Residue*: the L1-miss stream is itself classified, not replayed
+   (:mod:`repro.engine.residue`). The unified L2 and the 1GB L1 are
+   two more whole-epoch LRU streams (4K records at their VPN,
+   huge-backed ones at their region tag, 1GB-backed ones at their
+   giga tag); the scalar lookup's silent probes are licensed as
+   LRU-inert by a conservative alias pre-check, and windows the model
+   cannot cover (aliasing, odd fill shapes, unmapped holes) replay
+   through the quantum tiers bit-identically. Only classified L2/1GB
+   misses walk: the walker's cost model and its page-walk caches are
+   vectorized too (memo + per-level LRU classification), page-table
+   accessed bits land in one compute-then-apply pass, and PCC
+   admissions apply in one bulk call per structure at epoch end (the
+   OS only reads the PCC at ticks, which an epoch never spans).
+5. *Reconstruction*: every classified structure's set dicts — both
+   L1s, the L2, the 1GB L1, and the PWCs — are rebuilt to their exact
+   end-of-epoch contents (the W most recently touched distinct tags
+   per set, LRU→MRU), evictions are counted from per-set fill counts
+   against start-of-epoch occupancy, and the MRU hints are re-pointed
+   at the rebuilt MRU entries — so every later tier, tick, and
+   invariant check observes precisely the state record-at-a-time
+   simulation would have left.
 
 Epoch statistics land in the same pending counters the fast tiers
 use, so ``sync()`` remains the single flush point. The adaptive
-guard mirrors the batch tier's: a slot whose epochs retire under a
+guard mirrors the batch tier's: a slot whose epochs classify under a
 quarter of their records falls back to the quantum tiers and is
 re-probed periodically. ``columnar=False`` selects the quantum tiers
 unconditionally.
@@ -163,6 +175,7 @@ import numpy as np
 
 from repro.config import SystemConfig
 from repro.core.dump import CandidateRecord, DumpRegion
+from repro.engine import residue
 from repro.engine.columnar import (
     classify_lru_hits,
     epoch_evictions,
@@ -274,19 +287,40 @@ def _initial_stack_arrays(initial: list[list[int]]):
     )
 
 
+class _EpochContext:
+    """Classification results for one epoch window, pre-commit.
+
+    Produced read-only by ``TranslationPipeline._epoch_classify`` and
+    consumed by ``_epoch_finish``; splitting the two lets multi-thread
+    epochs interleave the page-table pass across cores between them.
+    """
+
+    __slots__ = (
+        "start", "end", "length", "window_units", "hit_units",
+        "res_units", "base_idx", "b_setw", "b_hits", "b_final", "n_bhit",
+        "huge_idx", "h_setw", "h_hits", "h_final", "n_hhit",
+        "res_counts", "l2_part_idx", "l2_kind_huge", "l2_tags",
+        "l2_setw", "l2_hits", "l2_final", "other_idx", "g_setw",
+        "g_hits", "g_final", "walk_vpns", "walk_sizes", "walk_repeats",
+        "walk_ridx", "walk_plan", "walk_pud", "walk_pmd",
+    )
+
+
 class _ThreadSlot:
     """One schedulable thread: trace cursor plus pinned identities."""
 
     __slots__ = ("vpns", "counts", "cursor", "length", "pid", "core_id",
-                 "seen", "fault", "live", "np_vpns", "cum", "bsets",
-                 "htags", "hsets", "prev_base", "prev_huge", "region_ridx",
-                 "region_tags", "region_state_arr", "hint_barrier",
-                 "batch_epoch", "adapt_seen", "adapt_retired", "batch_off",
-                 "probe_countdown", "stream", "page_ridx", "page_tags",
-                 "seen_np", "columnar_off", "columnar_probe")
+                 "seen", "fault", "bulk_fault", "live", "np_vpns", "cum",
+                 "bsets", "htags", "hsets", "prev_base", "prev_huge",
+                 "region_ridx", "region_tags", "region_state_arr",
+                 "hint_barrier", "batch_epoch", "adapt_seen",
+                 "adapt_retired", "batch_off", "probe_countdown", "stream",
+                 "page_ridx", "page_tags", "seen_np", "columnar_off",
+                 "columnar_probe")
 
     def __init__(self, vpns, counts, pid, core_id, seen, fault,
-                 np_vpns=None, np_counts=None, stream=None):
+                 np_vpns=None, np_counts=None, stream=None,
+                 bulk_fault=None):
         # Plain Python lists iterate several times faster than numpy
         # scalar indexing in this (unavoidably sequential) hot loop;
         # the numpy views exist for the vectorized batch path.
@@ -298,6 +332,9 @@ class _ThreadSlot:
         self.core_id = core_id
         self.seen = seen
         self.fault = fault
+        # Array-batched fault handler (base-backed policies only); the
+        # epoch fault pre-pass prefers it over per-fault calls.
+        self.bulk_fault = bulk_fault
         self.live = True
         # Whole-stream columnar encoding (repro.engine.columnar). When
         # present it supplies the batch path's arrays too, so the two
@@ -373,17 +410,20 @@ class ThreadScheduler:
         self.remaining = 0
 
     def add(self, vpns, counts, pid, core_id, seen, fault,
-            np_vpns=None, np_counts=None, stream=None) -> _ThreadSlot:
+            np_vpns=None, np_counts=None, stream=None,
+            bulk_fault=None) -> _ThreadSlot:
         """Register one thread's compressed trace for scheduling.
 
         ``np_vpns``/``np_counts`` (the compressed trace's arrays) enable
         the vectorized batch path for this thread when provided; a
         :class:`~repro.engine.columnar.ColumnarStream` supplies those
         plus the whole-stream columns the epoch tier gathers from.
+        ``bulk_fault`` (optional) is the kernel's array-batched fault
+        entry point for this thread's process.
         """
         slot = _ThreadSlot(vpns, counts, pid, core_id, seen, fault,
                            np_vpns=np_vpns, np_counts=np_counts,
-                           stream=stream)
+                           stream=stream, bulk_fault=bulk_fault)
         self.slots.append(slot)
         self.remaining += slot.length
         return slot
@@ -487,6 +527,15 @@ class TranslationPipeline:
         self.columnar_residue_records = 0
         self.columnar_fallbacks = 0
         self.columnar_epoch_buckets = [0] * 32
+        # Residue breakdown: residue records retired by the vectorized
+        # L2/1GB-L1 classification vs records that walked the live page
+        # table, epochs retired as part of a multi-thread round plan,
+        # and the fault pre-pass split (array-batched vs per-fault).
+        self.columnar_l2_retired = 0
+        self.columnar_live_walked = 0
+        self.columnar_mt_epochs = 0
+        self.columnar_faults_batched = 0
+        self.columnar_faults_scalar = 0
         #: the slot whose quantum most recently ran on this core
         self._active_slot = None
 
@@ -963,40 +1012,100 @@ class TranslationPipeline:
             return self.run_quantum(slot, budget, page_table)
         if slot.bsets is None:
             self._attach_batch_views(slot)
-        return self._run_epoch_columnar(slot, start, end, page_table)
+        return self._run_epoch_columnar(slot, start, end, budget, page_table)
 
     def _run_epoch_columnar(self, slot: _ThreadSlot, start: int, end: int,
-                            page_table) -> tuple:
+                            budget: int, page_table) -> tuple:
         """One vectorized epoch pass over ``[start, end)``.
 
-        Five phases (module docstring): fault pre-pass, region-state
-        snapshot, whole-epoch LRU classification of the two suppressed
-        L1 structures, the live-residue loop over classified misses and
-        1GB-region records, and end-of-epoch reconstruction. Exactness
-        arguments live with each phase; every "impossible" probe
-        outcome raises rather than silently diverging — each is
-        guarded by a shootdown invariant (promotion shoots the 512
-        VPNs out of L1-4K and L2, demotion shoots the region tag out,
-        1GB promotion flushes everything, and ``map_huge`` refuses a
-        region holding base PTEs).
+        Composes the phases the module docstring describes: the fault
+        pre-pass (:meth:`_epoch_faults`), read-only classification of
+        the window against every LRU structure in the machine
+        (:meth:`_epoch_classify`), the page-table accessed-bit pass,
+        and the commit (:meth:`_epoch_finish`). A window the classifier
+        declines — L2 aliasing the model cannot license, a fill shape
+        it does not cover, or an unmapped hole whose walk must raise
+        the scalar path's error — replays through the quantum tiers
+        instead (:meth:`_replay_window`), bit-identically either way.
         """
-        # ---- phase A: first-touch faults, in first-occurrence order.
-        # Exact because fault handling never touches TLBs or accessed
-        # bits; afterwards every region in the window has a stable
-        # mapping state for the whole epoch.
+        self._epoch_faults(slot, start, end, page_table)
+        ctx = self._epoch_classify(slot, start, end, page_table)
+        if ctx is None:
+            self.columnar_fallbacks += 1
+            return self._replay_window(slot, start, end, budget, page_table)
+        ctx.walk_pud, ctx.walk_pmd = residue.page_table_pass(
+            page_table, ctx.walk_vpns, ctx.walk_sizes
+        )
+        return self._epoch_finish(slot, ctx)
+
+    def _replay_window(self, slot: _ThreadSlot, start: int, end: int,
+                       budget: int, page_table) -> tuple:
+        """Replay a planned epoch window through the quantum tiers.
+
+        ``run_quantum``'s searchsorted rule reproduces the epoch
+        planner's quantum boundaries exactly, so iterating it retires
+        precisely ``[start, end)`` in the steps the scalar round loop
+        would have taken (the planner stopped at the first quantum
+        covering the remaining interval, so no tick fires inside the
+        window). The cursor is restored before returning: the caller's
+        single ``scheduler.advance`` call keeps the remaining-record
+        accounting intact, exactly as after a classified epoch.
+        """
+        accesses = 0
+        cycles = 0
+        walks = 0
+        cursor = start
+        while cursor < end:
+            slot.cursor = cursor
+            cursor, acc, cyc, wlk = self.run_quantum(slot, budget,
+                                                     page_table)
+            accesses += acc
+            cycles += cyc
+            walks += wlk
+        slot.cursor = start
+        return cursor, accesses, cycles, walks
+
+    def _epoch_faults(self, slot: _ThreadSlot, start: int, end: int,
+                      page_table) -> None:
+        """Phase A: the window's first-touch faults, up front.
+
+        Exact because fault handling never touches TLBs or accessed
+        bits; afterwards every region in the window has a stable
+        mapping state for the whole epoch. Base-backed kernels take the
+        array-batched path — one allocator sweep plus one bulk PTE
+        install for the whole first-touch set — while huge-mapping
+        policies keep per-fault calls (a fault there may promote a
+        region, which interacts with allocator state order-sensitively).
+        """
         if slot.seen_np is None:
             slot.seen_np = np.zeros(slot.page_tags.size, dtype=bool)
         seen_np = slot.seen_np
         pr_w = slot.page_ridx[start:end]
         uq_pages, first_pos = np.unique(pr_w, return_index=True)
         unseen = ~seen_np[uq_pages]
-        if unseen.any():
-            cand = uq_pages[unseen]
-            order = np.argsort(first_pos[unseen], kind="stable")
-            seen = slot.seen
+        if not unseen.any():
+            return
+        cand = uq_pages[unseen]
+        order = np.argsort(first_pos[unseen], kind="stable")
+        seen = slot.seen
+        is_mapped = page_table.is_mapped
+        page_tags = slot.page_tags
+        bulk = slot.bulk_fault
+        if bulk is not None:
+            vaddrs: list[int] = []
+            append = vaddrs.append
+            for k in order.tolist():
+                vpn = int(page_tags[cand[k]])
+                if vpn not in seen:
+                    seen.add(vpn)
+                    vaddr = vpn << BASE_PAGE_SHIFT
+                    if not is_mapped(vaddr):
+                        append(vaddr)
+            if vaddrs:
+                bulk(vaddrs)
+                self.columnar_faults_batched += len(vaddrs)
+        else:
             fault = slot.fault
-            is_mapped = page_table.is_mapped
-            page_tags = slot.page_tags
             for k in order.tolist():
                 vpn = int(page_tags[cand[k]])
                 if vpn not in seen:
@@ -1004,8 +1113,30 @@ class TranslationPipeline:
                     vaddr = vpn << BASE_PAGE_SHIFT
                     if not is_mapped(vaddr):
                         fault(vaddr)
-            seen_np[cand] = True
+                        self.columnar_faults_scalar += 1
+        seen_np[cand] = True
 
+    def _epoch_classify(self, slot: _ThreadSlot, start: int, end: int,
+                        page_table):
+        """Phases B–C plus residue planning, all read-only.
+
+        Region states, L1-4K/L1-2M classification, then the residue
+        pipeline: the unified L2 and the 1GB L1 as two more classified
+        LRU streams, the live-walk subset, and the vectorized walker
+        cost plan. Mutates nothing; returns an :class:`_EpochContext`,
+        or None when the window must replay through the quantum tiers.
+
+        The residue identities mirror the scalar probe sequence
+        (``TLBHierarchy.lookup`` → walker → fill): a 4K-backed record
+        probes/fills the L2 at its VPN; a huge-backed record at its
+        region tag when the L2 serves 2MB entries (else it walks); a
+        1GB-backed record probes the 1GB L1 (hit refresh or post-walk
+        fill — outcome-independent, so one classification pass is
+        exact). The silent L2 probes the scalar lookup also performs
+        (a 4K VPN for a huge/1GB-backed record, a 2MB tag for a
+        4K/1GB-backed one) are guaranteed misses — LRU-inert — exactly
+        when :func:`residue.l2_alias_conflict` clears the window.
+        """
         # ---- phase B: post-fault region states for the window.
         rr_w = slot.region_ridx[start:end]
         uqr = np.unique(rr_w)
@@ -1013,6 +1144,10 @@ class TranslationPipeline:
         st = np.empty(uqr.size, dtype=np.int8)
         for k, ridx in enumerate(uqr.tolist()):
             st[k] = _region_mapping_state(page_table, region_tags[ridx])
+        if (st == _REGION_EMPTY).any():
+            # An unmapped hole: its walk must raise the scalar path's
+            # PageTableError at the exact access, so replay the window.
+            return None
         rec_state = st[np.searchsorted(uqr, rr_w)]
 
         # ---- phase C: exact LRU classification per suppressed L1.
@@ -1032,8 +1167,8 @@ class TranslationPipeline:
         huge_idx = np.flatnonzero(rec_state == _REGION_HUGE)
         hit_mask = np.zeros(length, dtype=bool)
         n_bhit = n_hhit = 0
-        b_setw = b_tags = b_hits = None
-        h_setw = h_tags = h_hits = None
+        b_setw = b_hits = None
+        h_setw = h_hits = None
         init_b = [list(entries) for entries in base_sets_d]
         init_h = [list(entries) for entries in huge_sets_d]
         b_final = h_final = None
@@ -1057,276 +1192,309 @@ class TranslationPipeline:
             n_hhit = int(np.count_nonzero(h_hits))
         window_units = int(cum[end] - cum[start])
         hit_units = int(counts_w[hit_mask].sum())
-        res_units = window_units - hit_units
         res_idx = np.flatnonzero(~hit_mask)
 
-        # ---- phase D: live residue, program order. L2 / 1GB L1 /
-        # walker / page table / fault path are the real objects; only
-        # the classified structures' fills and refreshes are withheld
-        # (phase E reconstructs their end state exactly).
-        vpns_l = slot.vpns
-        counts_l = slot.counts
-        l2_sets_d = tlbH._l2_sets
-        l2_n = tlbH._l2_n
-        g_sets_d = tlbH._g_sets
-        g_n = tlbH._g_n
-        b_stats = tlbH._b_stats
-        g_stats = tlbH._g_stats
-        l2_stats = tlbH._l2_stats
+        # ---- the residue as three more classified streams.
+        res_vpns = vpns_w[res_idx]
+        res_counts = counts_w[res_idx]
+        res_states = rec_state[res_idx]
+        is_base = res_states == _REGION_BASE
+        is_huge = res_states == _REGION_HUGE
+        is_other = ~(is_base | is_huge)
         plan = tlbH._fill_plan
-        size_base = PageSize.BASE
-        size_huge = PageSize.HUGE
-        size_giga = PageSize.GIGA
-        l2_for_base = plan[size_base][2]
-        l2_for_huge = plan[size_huge][2]
-        entry_base = plan[size_base][3]
-        entry_huge = plan[size_huge][3]
+        serves_huge = plan[PageSize.HUGE][2] is not None
+        if is_base.any() and plan[PageSize.BASE][2] is None:
+            # 4K-backed residue would probe the L2 without ever filling
+            # it; the classifier models every miss as a fill.
+            return None
+        if is_other.any() and plan[PageSize.GIGA][2] is not None:
+            # 1GB walks would fill the L2 conditionally on the 1GB-L1
+            # outcome, a shape the one-pass model does not cover.
+            return None
+        resident = np.fromiter(
+            (tag for entries in tlbH._l2_sets for tag in entries),
+            np.uint64,
+        )
+        base_vpns = res_vpns[is_base]
+        huge_vpns = res_vpns[is_huge]
+        other_vpns = res_vpns[is_other]
+        if residue.l2_alias_conflict(resident, base_vpns, huge_vpns,
+                                     other_vpns, serves_huge):
+            return None
+
+        # Unified L2 stream: 4K records at their VPN, huge-backed ones
+        # (when served) at their region tag, merged in program order.
+        l2_part_idx = (np.flatnonzero(is_base | is_huge) if serves_huge
+                       else np.flatnonzero(is_base))
+        l2_kind_huge = l2_tags = l2_setw = l2_hits = l2_final = None
+        if l2_part_idx.size:
+            l2_kind_huge = is_huge[l2_part_idx]
+            sel = res_vpns[l2_part_idx]
+            l2_tags = np.where(
+                l2_kind_huge, sel >> np.uint64(_HUGE_SHIFT), sel
+            )
+            l2_n = tlbH._l2_n
+            l2_setw = (l2_tags % np.uint64(l2_n)).astype(np.intp)
+            init_l2 = [list(entries) for entries in tlbH._l2_sets]
+            il_sets, il_tags = _initial_stack_arrays(init_l2)
+            l2_hits, _, l2_final = classify_lru_hits(
+                l2_setw, l2_tags, tlbH.l2.config.ways, il_sets, il_tags,
+                nsets=l2_n,
+            )
+
+        # 1GB L1 stream: every 1GB-backed record touches it.
+        other_idx = np.flatnonzero(is_other)
+        g_setw = g_hits = g_final = None
+        if other_idx.size:
+            g_tags = other_vpns >> np.uint64(_GIGA_SHIFT_FULL)
+            g_n = tlbH._g_n
+            g_setw = (g_tags % np.uint64(g_n)).astype(np.intp)
+            init_g = [list(entries) for entries in tlbH._g_sets]
+            ig_sets, ig_tags = _initial_stack_arrays(init_g)
+            g_hits, _, g_final = classify_lru_hits(
+                g_setw, g_tags, tlbH.l1_giga.config.ways, ig_sets,
+                ig_tags, nsets=g_n,
+            )
+
+        # Live-walk subset, program order: classified L2 misses,
+        # huge-backed records the L2 cannot serve, 1GB-L1 misses.
+        walk_mask = np.zeros(res_idx.size, dtype=bool)
+        if l2_part_idx.size:
+            walk_mask[l2_part_idx[~l2_hits]] = True
+        if not serves_huge:
+            walk_mask[is_huge] = True
+        if other_idx.size:
+            walk_mask[other_idx[~g_hits]] = True
+        walk_idx = np.flatnonzero(walk_mask)
+
+        ctx = _EpochContext()
+        ctx.start = start
+        ctx.end = end
+        ctx.length = length
+        ctx.window_units = window_units
+        ctx.hit_units = hit_units
+        ctx.res_units = window_units - hit_units
+        ctx.base_idx = base_idx
+        ctx.b_setw = b_setw
+        ctx.b_hits = b_hits
+        ctx.b_final = b_final
+        ctx.n_bhit = n_bhit
+        ctx.huge_idx = huge_idx
+        ctx.h_setw = h_setw
+        ctx.h_hits = h_hits
+        ctx.h_final = h_final
+        ctx.n_hhit = n_hhit
+        ctx.res_counts = res_counts
+        ctx.l2_part_idx = l2_part_idx
+        ctx.l2_kind_huge = l2_kind_huge
+        ctx.l2_tags = l2_tags
+        ctx.l2_setw = l2_setw
+        ctx.l2_hits = l2_hits
+        ctx.l2_final = l2_final
+        ctx.other_idx = other_idx
+        ctx.g_setw = g_setw
+        ctx.g_hits = g_hits
+        ctx.g_final = g_final
+        ctx.walk_vpns = res_vpns[walk_idx]
+        ctx.walk_sizes = (res_states[walk_idx] - 1).astype(np.int8)
+        ctx.walk_repeats = res_counts[walk_idx]
+        ctx.walk_ridx = res_idx[walk_idx] + start
+        ctx.walk_plan = residue.plan_walks(
+            core.walker, ctx.walk_vpns, ctx.walk_sizes
+        )
+        ctx.walk_pud = None
+        ctx.walk_pmd = None
+        return ctx
+
+    def _epoch_finish(self, slot: _ThreadSlot, ctx: _EpochContext) -> tuple:
+        """Commit a classified epoch: stats, PCCs, reconstructions.
+
+        Everything the old live-residue loop mutated record-at-a-time
+        lands here as array reductions and end-state rebuilds. Counting
+        identities, from the scalar probe sequence: every residue
+        record is exactly one of an L2 hit, a 1GB-L1 hit, or a live
+        walk; only 1GB-L1 hits are L1 hits (and skip the L2 counters);
+        repeats after a record's first access always hit L1 (the first
+        access left its translation at MRU).
+        """
+        core = self.core
+        tlbH = core.tlb
+        plan = tlbH._fill_plan
+        entry_base = plan[PageSize.BASE][3]
+        entry_huge = plan[PageSize.HUGE][3]
+        entry_giga = plan[PageSize.GIGA][3]
         l1_cyc = core._l1_hit_cycles
         l2_cyc = core._l2_hit_cycles
-        walker_walk = core._walker_walk
-        tlb_fill = core._tlb_fill
-        pcc1_on = core._pcc_1gb_access is not None
-        pcc2_events: list[tuple[int, bool]] = []
-        pcc1_events: list[tuple[int, bool]] = []
-        pcc2_append = pcc2_events.append
-        pcc1_append = pcc1_events.append
-        state_base = _REGION_BASE
-        state_huge = _REGION_HUGE
-        cycles = 0
-        walks_d = 0
-        l1h_d = 0
-        l2h_d = 0
-        tcyc_d = 0
-        bmiss_d = 0
-        l2hit_d = 0
-        l2miss_d = 0
-        ghit_d = 0
-        res_abs = (res_idx + start).tolist()
-        res_states = rec_state[res_idx].tolist()
-        for j, state in zip(res_abs, res_states):
-            vpn = vpns_l[j]
-            repeat = counts_l[j]
-            if state == state_base:
-                # Classified L1-4K miss in a 4K-backed region. The
-                # L1-2M and L1-1G probes miss silently (the region is
-                # not promoted, so neither tag was ever filled).
-                bmiss_d += 1
-                entries = l2_sets_d[vpn % l2_n]
-                size = entries.get(vpn)
-                if size is not None:
-                    del entries[vpn]
-                    entries[vpn] = size
-                    l2hit_d += 1
-                    l2h_d += 1
-                    l1h_d += repeat - 1
-                    cycles += l2_cyc + l1_cyc * (repeat - 1)
-                    # L2 hit refills L1-4K: withheld (classification
-                    # treats this record as a fill of its set).
-                    continue
-                huge_tag = vpn >> _HUGE_SHIFT
-                if l2_for_huge is not None and \
-                        huge_tag in l2_sets_d[huge_tag % l2_n]:
-                    raise RuntimeError(
-                        "columnar invariant violated: 2MB tag resident "
-                        "in L2 for a 4K-backed region"
-                    )
-                l2miss_d += 1
-                walk = walker_walk(vpn << BASE_PAGE_SHIFT, page_table)
-                walks_d += 1
-                l1h_d += repeat - 1
-                wcycles = walk.cycles + l1_cyc * (repeat - 1)
-                cycles += wcycles
-                tcyc_d += wcycles
-                candidate = walk.pcc_2mb_candidate
-                if candidate is not None:
-                    pcc2_append((candidate, walk.leaf_is_promoted))
-                if pcc1_on:
-                    candidate = walk.pcc_1gb_candidate
-                    if candidate is not None:
-                        pcc1_append((candidate, walk.leaf_is_promoted))
-                if walk.mapping.page_size is not size_base:
-                    raise RuntimeError(
-                        "columnar invariant violated: walk in a "
-                        "4K-backed region resolved "
-                        f"{walk.mapping.page_size}"
-                    )
-                if l2_for_base is not None:
-                    l2_for_base.fill(vpn, entry_base)
-                # L1-4K fill withheld (reconstructed in phase E).
-            elif state == state_huge:
-                # Classified L1-2M miss in a huge-backed region; the
-                # L1-4K probe missed silently (promotion shot every
-                # VPN of the region out and nothing refills them).
-                bmiss_d += 1
-                if vpn in l2_sets_d[vpn % l2_n]:
-                    raise RuntimeError(
-                        "columnar invariant violated: 4K VPN resident "
-                        "in L2 for a huge-backed region"
-                    )
-                huge_tag = vpn >> _HUGE_SHIFT
-                if l2_for_huge is not None:
-                    entries = l2_sets_d[huge_tag % l2_n]
-                    size = entries.get(huge_tag)
-                    if size is not None:
-                        del entries[huge_tag]
-                        entries[huge_tag] = size
-                        l2hit_d += 1
-                        l2h_d += 1
-                        l1h_d += repeat - 1
-                        cycles += l2_cyc + l1_cyc * (repeat - 1)
-                        # L2 hit refills L1-2M: withheld.
-                        continue
-                l2miss_d += 1
-                walk = walker_walk(vpn << BASE_PAGE_SHIFT, page_table)
-                walks_d += 1
-                l1h_d += repeat - 1
-                wcycles = walk.cycles + l1_cyc * (repeat - 1)
-                cycles += wcycles
-                tcyc_d += wcycles
-                candidate = walk.pcc_2mb_candidate
-                if candidate is not None:
-                    pcc2_append((candidate, walk.leaf_is_promoted))
-                if pcc1_on:
-                    candidate = walk.pcc_1gb_candidate
-                    if candidate is not None:
-                        pcc1_append((candidate, walk.leaf_is_promoted))
-                if walk.mapping.page_size is not size_huge:
-                    raise RuntimeError(
-                        "columnar invariant violated: walk in a "
-                        "huge-backed region resolved "
-                        f"{walk.mapping.page_size}"
-                    )
-                if l2_for_huge is not None:
-                    l2_for_huge.fill(huge_tag, entry_huge)
-                # L1-2M fill withheld (reconstructed in phase E).
-            else:
-                # 1GB-backed region (or an unmapped hole, which walks
-                # to the same PageTableError the scalar path raises).
-                # The whole structure stays live: every record of such
-                # a region lands in the residue, so L1-1G state
-                # needs no reconstruction. The L1-4K/L1-2M probes the
-                # real lookup performs first miss silently — a 1GB
-                # promotion full-flushed them and later walks fill
-                # only L1-1G.
-                giga_tag = vpn >> _GIGA_SHIFT_FULL
-                entries = g_sets_d[giga_tag % g_n]
-                size = entries.get(giga_tag)
-                if size is not None:
-                    del entries[giga_tag]
-                    entries[giga_tag] = size
-                    ghit_d += 1
-                    l1h_d += repeat
-                    cycles += l1_cyc * repeat
-                    continue
-                bmiss_d += 1
-                if vpn in l2_sets_d[vpn % l2_n]:
-                    raise RuntimeError(
-                        "columnar invariant violated: 4K VPN resident "
-                        "in L2 for a 1GB-backed region"
-                    )
-                huge_tag = vpn >> _HUGE_SHIFT
-                if l2_for_huge is not None and \
-                        huge_tag in l2_sets_d[huge_tag % l2_n]:
-                    raise RuntimeError(
-                        "columnar invariant violated: 2MB tag resident "
-                        "in L2 for a 1GB-backed region"
-                    )
-                l2miss_d += 1
-                walk = walker_walk(vpn << BASE_PAGE_SHIFT, page_table)
-                walks_d += 1
-                l1h_d += repeat - 1
-                wcycles = walk.cycles + l1_cyc * (repeat - 1)
-                cycles += wcycles
-                tcyc_d += wcycles
-                candidate = walk.pcc_2mb_candidate
-                if candidate is not None:
-                    pcc2_append((candidate, walk.leaf_is_promoted))
-                if pcc1_on:
-                    candidate = walk.pcc_1gb_candidate
-                    if candidate is not None:
-                        pcc1_append((candidate, walk.leaf_is_promoted))
-                if walk.mapping.page_size is not size_giga:
-                    raise RuntimeError(
-                        "columnar invariant violated: walk in a "
-                        "1GB-backed region resolved "
-                        f"{walk.mapping.page_size}"
-                    )
-                tlb_fill(vpn, size_giga)
+        res_counts = ctx.res_counts
+        n_res = int(res_counts.size)
 
-        # Deferred PCC events, one bulk apply per structure. Exact: the
-        # 2MB and 1GB PCCs are independent structures, per-structure
-        # order is preserved, and nothing reads the PCC mid-epoch.
-        if pcc2_events:
-            core.pcc.access_many(pcc2_events)
-        if pcc1_events:
-            core.pcc_1gb.access_many(pcc1_events)
+        n_l2hit = l2hit_units = 0
+        if ctx.l2_part_idx.size:
+            hit_rows = ctx.l2_part_idx[ctx.l2_hits]
+            n_l2hit = int(hit_rows.size)
+            l2hit_units = int(res_counts[hit_rows].sum())
+        n_ghit = ghit_units = 0
+        if ctx.other_idx.size:
+            g_rows = ctx.other_idx[ctx.g_hits]
+            n_ghit = int(g_rows.size)
+            ghit_units = int(res_counts[g_rows].sum())
+        walk_repeats = ctx.walk_repeats
+        n_walks = int(walk_repeats.size)
+        if n_walks:
+            walk_units = int(walk_repeats.sum())
+            tcyc_d = int(
+                (ctx.walk_plan.cycles + l1_cyc * (walk_repeats - 1)).sum()
+            )
+        else:
+            walk_units = 0
+            tcyc_d = 0
+        cycles = (
+            l1_cyc * ctx.hit_units
+            + n_l2hit * l2_cyc
+            + l1_cyc * (l2hit_units - n_l2hit)
+            + l1_cyc * ghit_units
+            + tcyc_d
+        )
+        l1h_d = (l2hit_units - n_l2hit) + ghit_units + (walk_units - n_walks)
 
-        # ---- phase E: reconstruct the suppressed structures. The
-        # residue loop never touched their dicts, so occupancy still
-        # reads as of epoch start; every classified miss fills exactly
-        # one entry, and the final content of a W-way LRU set is the
-        # last W distinct tags by last touch.
-        if base_idx.size:
+        # Deferred PCC admissions, in walk order, one bulk apply per
+        # structure (nothing reads a PCC mid-epoch; the 2MB and 1GB
+        # PCCs are independent and per-structure order is preserved).
+        if n_walks:
+            walk_pud = ctx.walk_pud
+            walk_sizes = ctx.walk_sizes
+            promoted = walk_sizes != residue.SIZE_BASE
+            pmd_rows = ctx.walk_pmd & (walk_sizes != residue.SIZE_GIGA)
+            n_pmd = int(np.count_nonzero(pmd_rows))
+            if n_pmd:
+                core.pcc.access_many(list(zip(
+                    (ctx.walk_vpns[pmd_rows]
+                     >> np.uint64(_HUGE_SHIFT)).tolist(),
+                    promoted[pmd_rows].tolist(),
+                )))
+            n_pud = int(np.count_nonzero(walk_pud))
+            if n_pud and core._pcc_1gb_access is not None:
+                core.pcc_1gb.access_many(list(zip(
+                    (ctx.walk_vpns[walk_pud]
+                     >> np.uint64(_GIGA_SHIFT_FULL)).tolist(),
+                    promoted[walk_pud].tolist(),
+                )))
+            residue.apply_walk_plan(core.walker, ctx.walk_plan,
+                                    pud_candidates=n_pud,
+                                    pmd_candidates=n_pmd)
+
+        # ---- phase E: reconstruct every classified structure. No live
+        # code touched their dicts, so occupancy still reads as of
+        # epoch start; every classified miss fills exactly one entry,
+        # and the final content of a W-way LRU set is the last W
+        # distinct tags by last touch.
+        if ctx.base_idx.size:
+            base_sets_d = self._base_sets
+            nbase = self._nbase
             occ0 = np.fromiter(
                 (len(entries) for entries in base_sets_d), np.int64, nbase
             )
             tlbH.l1_base.stats.evictions += epoch_evictions(
-                b_setw[~b_hits], nbase, ways_b, occ0
+                ctx.b_setw[~ctx.b_hits], nbase,
+                tlbH.l1_base.config.ways, occ0
             )
             base_mru = self._base_mru
-            for s, content in enumerate(b_final):
+            for s, content in enumerate(ctx.b_final):
                 entries = base_sets_d[s]
                 entries.clear()
                 for tag in content:
                     entries[tag] = entry_base
                 base_mru[s] = content[-1] if content else -1
-        if huge_idx.size:
+        if ctx.huge_idx.size:
+            huge_sets_d = self._huge_sets
+            nhuge = self._nhuge
             occ0 = np.fromiter(
                 (len(entries) for entries in huge_sets_d), np.int64, nhuge
             )
             tlbH.l1_huge.stats.evictions += epoch_evictions(
-                h_setw[~h_hits], nhuge, ways_h, occ0
+                ctx.h_setw[~ctx.h_hits], nhuge,
+                tlbH.l1_huge.config.ways, occ0
             )
             huge_mru = self._huge_mru
-            for s, content in enumerate(h_final):
+            for s, content in enumerate(ctx.h_final):
                 entries = huge_sets_d[s]
                 entries.clear()
                 for tag in content:
                     entries[tag] = entry_huge
                 huge_mru[s] = content[-1] if content else -1
+        if ctx.l2_part_idx.size:
+            l2_sets_d = tlbH._l2_sets
+            l2_n = tlbH._l2_n
+            occ0 = np.fromiter(
+                (len(entries) for entries in l2_sets_d), np.int64, l2_n
+            )
+            tlbH.l2.stats.evictions += epoch_evictions(
+                ctx.l2_setw[~ctx.l2_hits], l2_n, tlbH.l2.config.ways, occ0
+            )
+            # Entry values: a hit keeps the stored value, a fill stores
+            # the filling size's entry — replay the fill history over
+            # the initial values, then rebuild from the final contents.
+            value_of = {}
+            for entries in l2_sets_d:
+                value_of.update(entries)
+            miss = ~ctx.l2_hits
+            for tag, kind in zip(ctx.l2_tags[miss].tolist(),
+                                 ctx.l2_kind_huge[miss].tolist()):
+                value_of[tag] = entry_huge if kind else entry_base
+            for s, content in enumerate(ctx.l2_final):
+                entries = l2_sets_d[s]
+                entries.clear()
+                for tag in content:
+                    entries[tag] = value_of[tag]
+        if ctx.other_idx.size:
+            g_sets_d = tlbH._g_sets
+            g_n = tlbH._g_n
+            occ0 = np.fromiter(
+                (len(entries) for entries in g_sets_d), np.int64, g_n
+            )
+            tlbH.l1_giga.stats.evictions += epoch_evictions(
+                ctx.g_setw[~ctx.g_hits], g_n, tlbH.l1_giga.config.ways,
+                occ0
+            )
+            for s, content in enumerate(ctx.g_final):
+                entries = g_sets_d[s]
+                entries.clear()
+                for tag in content:
+                    entries[tag] = entry_giga
 
-        # ---- statistics flush. Classified hits ride the pending
+        # ---- statistics flush. Classified L1 hits ride the pending
         # counters (sync() stays the single flush point); residue
         # counters land directly, exactly as the live calls would have.
-        n_res = len(res_abs)
-        cycles += l1_cyc * hit_units
-        self._pending_base_records += n_bhit
-        self._pending_huge_records += n_hhit
-        self._pending_accesses += hit_units
+        self._pending_base_records += ctx.n_bhit
+        self._pending_huge_records += ctx.n_hhit
+        self._pending_accesses += ctx.hit_units
         tlbH.accesses += n_res
-        b_stats.misses += bmiss_d
-        g_stats.hits += ghit_d
-        l2_stats.hits += l2hit_d
-        l2_stats.misses += l2miss_d
+        tlbH._b_stats.misses += n_res - n_ghit
+        tlbH._g_stats.hits += n_ghit
+        tlbH._l2_stats.hits += n_l2hit
+        tlbH._l2_stats.misses += n_walks
         stats = core.stats
-        stats.accesses += res_units
+        stats.accesses += ctx.res_units
         stats.l1_hits += l1h_d
-        stats.l2_hits += l2h_d
-        stats.walks += walks_d
+        stats.l2_hits += n_l2hit
+        stats.walks += n_walks
         stats.translation_cycles += tcyc_d
         self.columnar_epochs += 1
-        retired = n_bhit + n_hhit
+        retired = ctx.n_bhit + ctx.n_hhit
         self.columnar_retired += retired
         self.columnar_residue_records += n_res
-        self.columnar_epoch_buckets[min(length.bit_length(), 31)] += 1
-        # Adaptive guard: epochs dominated by residue records pay the
-        # vector setup for little bulk retirement; hand the slot back
-        # to the quantum tiers for a while (bit-identical either way).
-        if retired * 4 < length:
+        self.columnar_l2_retired += n_l2hit + n_ghit
+        self.columnar_live_walked += n_walks
+        self.columnar_epoch_buckets[min(ctx.length.bit_length(), 31)] += 1
+        # Adaptive guard: an epoch that classifies almost nothing pays
+        # several vector passes for little retirement; hand the slot
+        # back to the quantum tiers for a while (bit-identical either
+        # way). Vectorized L2/1GB retirements count as classified work.
+        if (retired + n_l2hit + n_ghit) * 4 < ctx.length:
             slot.columnar_off = True
             slot.columnar_probe = self.COLUMNAR_PROBE_EPOCHS
             self.columnar_fallbacks += 1
-        return end, window_units, cycles, walks_d
+        return ctx.end, ctx.window_units, cycles, n_walks
 
     # ------------------------------------------------------------------
 
@@ -1380,6 +1548,13 @@ class TranslationPipeline:
             f"{prefix}.columnar_residue_records":
                 self.columnar_residue_records,
             f"{prefix}.columnar_fallbacks": self.columnar_fallbacks,
+            f"{prefix}.columnar_l2_retired": self.columnar_l2_retired,
+            f"{prefix}.columnar_live_walked": self.columnar_live_walked,
+            f"{prefix}.columnar_mt_epochs": self.columnar_mt_epochs,
+            f"{prefix}.columnar_faults_batched":
+                self.columnar_faults_batched,
+            f"{prefix}.columnar_faults_scalar":
+                self.columnar_faults_scalar,
         }
         # Epoch-length histogram: power-of-two buckets, emitted sparsely
         # (bucket k holds epochs whose record count has bit_length k).
@@ -1409,6 +1584,23 @@ class FaultPath:
             handle_fault(_pid, vaddr)
 
         return fault
+
+    def bulk_handler_for(self, pid: int):
+        """A ``bulk_fault(vaddrs)`` callable bound to ``pid``, or None.
+
+        Only offered when the kernel's fault path is base-backed
+        regardless of VMA state (:attr:`SimulatedKernel.
+        supports_bulk_faults`), which is what makes one array pass
+        equivalent to per-fault calls.
+        """
+        if not self.kernel.supports_bulk_faults:
+            return None
+        handle_bulk = self.kernel.handle_faults_bulk
+
+        def bulk_fault(vaddrs: list, _pid: int = pid) -> None:
+            handle_bulk(_pid, vaddrs)
+
+        return bulk_fault
 
 
 class OsTickDriver:
@@ -1642,6 +1834,11 @@ class Machine:
                                 if monitor is not None:
                                     monitor.after_tick(ticks)
                             continue
+                    elif len(live) > 1 and self._multithread_epoch(
+                        live, scheduler, ticks, walks_by_pid,
+                        monitor, obs
+                    ):
+                        continue
                 for slot in scheduler.next_round():
                     pipeline = pipelines[slot.core_id]
                     ledger = ledgers[slot.core_id]
@@ -1694,6 +1891,227 @@ class Machine:
             )
             publish_run(result.metrics)
         return result
+
+    # ------------------------------------------------------------------
+    # multi-thread columnar epochs
+
+    def _multithread_epoch(self, live, scheduler, ticks, walks_by_pid,
+                           monitor, obs) -> bool:
+        """Retire one scalar round-robin span as per-core epochs.
+
+        The scalar loop interleaves fixed quanta round-robin and checks
+        the tick only at round boundaries, so between two TLB-mutating
+        events every core's record stream is a deterministic function
+        of the plan alone: per-core TLBs, walkers and PCCs see only
+        their own slot's accesses (distinct cores required), page
+        faults are globally ordered by (round, slot) — replayed exactly
+        by per-window fault pre-passes — and page-table accessed bits,
+        the only cross-core coupling, get one merged per-process pass
+        in scalar walk order. Returns False (nothing retired) when a
+        gate fails; True when the span retired as epochs or replayed
+        bit-identically after a classifier decline.
+        """
+        if self.config.pcc.shared:
+            # One PCC consumes walk admissions from every core in
+            # round-interleaved order; per-slot bulk applies would
+            # reorder them.
+            return False
+        pipelines = self.pipelines
+        seen_cores = set()
+        for slot in live:
+            pipeline = pipelines[slot.core_id]
+            if not pipeline.columnar or slot.stream is None:
+                return False
+            if slot.core_id in seen_cores:
+                # Two slots on one core share its TLBs; their probe
+                # streams interleave mid-span and cannot be classified
+                # independently.
+                return False
+            seen_cores.add(slot.core_id)
+        ok = True
+        for slot in live:
+            if slot.columnar_off:
+                slot.columnar_probe -= 1
+                if slot.columnar_probe > 0:
+                    ok = False
+                else:
+                    slot.columnar_off = False
+        if not ok:
+            return False
+
+        # ---- plan the rounds the scalar loop would run before its
+        # due-check fires: every round covers every live slot, in
+        # round-robin order, under ``run_quantum``'s window rule.
+        # Planning stops once the interval is covered or a slot
+        # exhausts (the next scalar round would recompute the live
+        # set; the outer loop re-enters and re-plans).
+        quantum = self.thread_quantum
+        interval_remaining = ticks.interval - ticks.accesses_since_tick
+        cur = [slot.cursor for slot in live]
+        ends: list[list[int]] = [[] for _ in live]
+        rounds: list[list[tuple[int, int, int]]] = []
+        total = 0
+        while True:
+            this_round = []
+            for i, slot in enumerate(live):
+                c = cur[i]
+                cum = slot.cum
+                nxt = int(np.searchsorted(cum, cum[c] + quantum,
+                                          side="left"))
+                if nxt > slot.length:
+                    nxt = slot.length
+                if nxt <= c:  # pragma: no cover - counts are >= 1
+                    nxt = c + 1
+                this_round.append((i, c, nxt))
+                total += int(cum[nxt] - cum[c])
+                cur[i] = nxt
+            rounds.append(this_round)
+            for i in range(len(live)):
+                ends[i].append(cur[i])
+            if total >= interval_remaining or any(
+                cur[i] >= s.length for i, s in enumerate(live)
+            ):
+                break
+        min_records = TranslationPipeline.MIN_EPOCH_RECORDS
+        if any(cur[i] - s.cursor < min_records
+               for i, s in enumerate(live)):
+            return False
+
+        processes = self.kernel.processes
+        ledgers = self.ledgers
+        drain = self.kernel.drain_fault_work
+        tables = {slot.pid: processes[slot.pid].page_table
+                  for slot in live}
+
+        # ---- faults in exact scalar order: per (round, slot) window,
+        # drained and charged to the running core like a quantum.
+        for this_round in rounds:
+            for i, s0, s1 in this_round:
+                slot = live[i]
+                pipelines[slot.core_id]._epoch_faults(
+                    slot, s0, s1, tables[slot.pid]
+                )
+                huge_z, base_z, migrated = drain()
+                ledgers[slot.core_id].charge_fault_work(
+                    huge_z, base_z, migrated
+                )
+
+        # ---- classify each slot's whole span against its own core
+        # (read-only; a decline replays the plan through the quantum
+        # tiers instead, with identical results).
+        ctxs = []
+        for i, slot in enumerate(live):
+            pipeline = pipelines[slot.core_id]
+            if pipeline._active_slot is not slot:
+                pipeline._active_slot = slot
+                slot.hint_barrier = slot.cursor
+            if slot.bsets is None:
+                pipeline._attach_batch_views(slot)
+            ctx = pipeline._epoch_classify(
+                slot, slot.cursor, ends[i][-1], tables[slot.pid]
+            )
+            if ctx is None:
+                pipeline.columnar_fallbacks += 1
+                self._replay_rounds(live, rounds, scheduler, ticks,
+                                    walks_by_pid, tables)
+                self._after_span(ticks, monitor, obs)
+                return True
+            ctxs.append(ctx)
+
+        # ---- page-table accessed bits: one merged pass per process,
+        # in scalar walk order (round, then round-robin position, then
+        # program order within the slot).
+        by_pid: dict[int, list[int]] = {}
+        for i, slot in enumerate(live):
+            by_pid.setdefault(slot.pid, []).append(i)
+        for pid, idxs in by_pid.items():
+            table = tables[pid]
+            if len(idxs) == 1:
+                ctx = ctxs[idxs[0]]
+                ctx.walk_pud, ctx.walk_pmd = residue.page_table_pass(
+                    table, ctx.walk_vpns, ctx.walk_sizes
+                )
+                continue
+            vpn_parts = []
+            size_parts = []
+            round_keys = []
+            order_keys = []
+            for pos, i in enumerate(idxs):
+                ctx = ctxs[i]
+                round_ends = np.asarray(ends[i], dtype=np.int64)
+                round_keys.append(np.searchsorted(
+                    round_ends, ctx.walk_ridx, side="right"
+                ))
+                order_keys.append(np.full(
+                    ctx.walk_ridx.size, pos, dtype=np.int64
+                ))
+                vpn_parts.append(ctx.walk_vpns)
+                size_parts.append(ctx.walk_sizes)
+            vpns = np.concatenate(vpn_parts)
+            sizes = np.concatenate(size_parts)
+            order = np.lexsort((
+                np.concatenate(order_keys), np.concatenate(round_keys)
+            ))
+            pud = np.empty(vpns.size, dtype=bool)
+            pmd = np.empty(vpns.size, dtype=bool)
+            pud[order], pmd[order] = residue.page_table_pass(
+                table, vpns[order], sizes[order]
+            )
+            pos0 = 0
+            for i in idxs:
+                ctx = ctxs[i]
+                nw = int(ctx.walk_vpns.size)
+                ctx.walk_pud = pud[pos0:pos0 + nw]
+                ctx.walk_pmd = pmd[pos0:pos0 + nw]
+                pos0 += nw
+
+        # ---- commit per slot, with the scalar loop's bookkeeping.
+        for i, slot in enumerate(live):
+            pipeline = pipelines[slot.core_id]
+            ledger = ledgers[slot.core_id]
+            cursor, accesses, cycles, walks = pipeline._epoch_finish(
+                slot, ctxs[i]
+            )
+            scheduler.advance(slot, cursor)
+            ledger.charge_translation(cycles)
+            ledger.charge_accesses(accesses)
+            walks_by_pid[slot.pid] += walks
+            ticks.note(accesses)
+            pipeline.columnar_mt_epochs += 1
+        self._after_span(ticks, monitor, obs)
+        return True
+
+    def _replay_rounds(self, live, rounds, scheduler, ticks,
+                       walks_by_pid, tables) -> None:
+        """Replay a planned multi-thread span through the quantum
+        tiers: the scalar round loop, minus the per-round due check
+        (the plan already stops where the scalar loop's would fire)."""
+        quantum = self.thread_quantum
+        pipelines = self.pipelines
+        ledgers = self.ledgers
+        drain = self.kernel.drain_fault_work
+        for this_round in rounds:
+            for i, _s0, _s1 in this_round:
+                slot = live[i]
+                pipeline = pipelines[slot.core_id]
+                ledger = ledgers[slot.core_id]
+                cursor, accesses, cycles, walks = pipeline.run_quantum(
+                    slot, quantum, tables[slot.pid]
+                )
+                scheduler.advance(slot, cursor)
+                ledger.charge_translation(cycles)
+                ledger.charge_accesses(accesses)
+                walks_by_pid[slot.pid] += walks
+                ticks.note(accesses)
+                huge_z, base_z, migrated = drain()
+                ledger.charge_fault_work(huge_z, base_z, migrated)
+
+    def _after_span(self, ticks, monitor, obs) -> None:
+        """The scalar loop's post-round due check."""
+        if ticks.due:
+            self._run_tick(ticks, monitor, obs)
+            if monitor is not None:
+                monitor.after_tick(ticks)
 
     # ------------------------------------------------------------------
     # observability hooks
@@ -1858,6 +2276,10 @@ class Machine:
         for process in workloads:
             seen = fault_path.seen_for(process.pid)
             fault = fault_path.handler_for(process.pid)
+            bulk_fault = (
+                fault_path.bulk_handler_for(process.pid)
+                if self.columnar else None
+            )
             for thread in process.threads:
                 core = thread.core
                 if core < 0:
@@ -1883,6 +2305,7 @@ class Machine:
                     seen,
                     fault,
                     stream=stream,
+                    bulk_fault=bulk_fault,
                 )
         return scheduler
 

@@ -14,7 +14,10 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.config import SystemConfig
+from repro.vm.address import BASE_PAGE_SHIFT
 from repro.os.hawkeye import HawkEye
 from repro.os.physmem import PhysicalMemory
 from repro.os.oracle import StaticHugeAllocator
@@ -205,6 +208,43 @@ class SimulatedKernel:
         else:
             self._pending_base_zeroes += 1
             self.faults_base_backed += 1
+
+    @property
+    def supports_bulk_faults(self) -> bool:
+        """Whether every fault is base-backed regardless of VMA state.
+
+        True for the tick-driven policies (NONE, PCC, HAWKEYE): greedy
+        fault-time THP is off and no static allocator runs, so
+        :meth:`handle_fault` unconditionally carves a 4KB page — which
+        is what lets the columnar engine pre-execute a whole epoch's
+        first-touch set as one array pass.
+        """
+        return not self._greedy_thp.enabled and self._static is None
+
+    def handle_faults_bulk(self, pid: int, vaddrs) -> None:
+        """Array-batched first-touch faults (base-backed policies only).
+
+        ``vaddrs`` holds distinct unmapped addresses in fault order.
+        Exactly equivalent to ``handle_fault(pid, v)`` per address when
+        :attr:`supports_bulk_faults` holds: the bump allocator visits
+        the same frames, PTE frame tokens replicate the scalar path's
+        post-allocation ``stats.base_allocations`` values, and every
+        counter advances by the batch size.
+        """
+        n = len(vaddrs)
+        if n == 0:
+            return
+        process = self.processes[pid]
+        physmem = self.physmem
+        start = physmem.stats.base_allocations
+        physmem.allocate_base_bulk(n)
+        pages = np.asarray(vaddrs, dtype=np.int64) >> BASE_PAGE_SHIFT
+        frames = np.arange(start + 1, start + n + 1, dtype=np.int64)
+        process.page_table.map_base_bulk(pages, frames)
+        self._greedy_thp.stats.fault_base += n
+        self.faults_total += n
+        self.faults_base_backed += n
+        self._pending_base_zeroes += n
 
     def drain_fault_work(self) -> tuple[int, int, int]:
         """(huge_zeroes, base_zeroes, migrated_pages) since last call."""

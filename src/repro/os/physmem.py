@@ -159,6 +159,27 @@ class PhysicalMemory:
             token = frame_index * PAGES_PER_HUGE + frame.used_base_pages - 1
         return token
 
+    def allocate_base_bulk(self, count: int) -> None:
+        """Carve ``count`` 4KB pages in one pass over the frame list.
+
+        Equivalent to ``count`` calls of :meth:`allocate_base` — the
+        bump cursor visits the same frames in the same order and the
+        counters advance identically (including on a mid-bulk
+        :class:`OutOfMemoryError`, where pages carved so far stay
+        counted) — but takes whole frame remainders at a time instead
+        of one page per scan.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        remaining = count
+        while remaining:
+            frame = self._frames[self._frame_for_base()]
+            frame.state = FrameState.PARTIAL
+            take = min(PAGES_PER_HUGE - frame.used_base_pages, remaining)
+            frame.used_base_pages += take
+            self.stats.base_allocations += take
+            remaining -= take
+
     def _frame_for_base(self) -> int:
         start = self._fill_cursor
         for offset in range(self.total_frames):

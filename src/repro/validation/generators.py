@@ -259,13 +259,18 @@ def _thread_stream(
     return [int(p) % window_pages for p in stream]
 
 
-def generate_case(seed: int) -> FuzzCase:
-    """Deterministically derive one fuzz case from ``seed``."""
+def generate_case(seed: int, min_threads: int = 1) -> FuzzCase:
+    """Deterministically derive one fuzz case from ``seed``.
+
+    ``min_threads`` raises the thread count floor (the multi-thread
+    epoch sweeps pin it to 2+); it is applied after the draw so the
+    default keeps every historical seed's case byte-identical.
+    """
     rng = random.Random(seed)
     np_rng = np.random.default_rng(seed)
 
     window_pages = rng.choice((256, 512, 1024, 2048, 4096))
-    nthreads = rng.choice((1, 1, 2))
+    nthreads = max(rng.choice((1, 1, 2)), min_threads)
     shared: list[int] = []
     if nthreads > 1:
         shared = _segment_pages(rng, np_rng, window_pages)
