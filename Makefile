@@ -2,10 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos fuzz fuzz-selftest bench bench-tests bench-full examples scorecard clean trace-smoke
+.PHONY: install test chaos fuzz fuzz-selftest bench bench-tests bench-full examples scorecard clean trace-smoke serve-smoke serve-bench
 
 # artifact `make bench` writes; bump per PR so perf history accumulates
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 
 # first seed for `make fuzz`; CI passes its run id for fresh coverage
 FUZZ_SEED ?= 0
@@ -66,6 +66,20 @@ examples:
 
 scorecard:
 	$(PYTHON) -m repro scorecard
+
+# chaos-under-load proof for the simulation service: drive a small job
+# stream, kill -9 the server at ~30% completion, restart it with
+# tracing on, and require zero lost/duplicated jobs plus a trace that
+# passes `repro inspect --check` (what CI's serve-smoke job runs)
+serve-smoke:
+	$(PYTHON) scripts/serve_load.py --chaos --requests 60 \
+		--concurrency 16 --distinct 24 --executors 2
+
+# service throughput/latency trajectory: 1000 small jobs at fixed
+# concurrency, merged into $(BENCH_OUT) as the `serve` section
+serve-bench:
+	$(PYTHON) scripts/serve_load.py --requests 1000 --concurrency 128 \
+		--bench-out $(BENCH_OUT)
 
 # traced end-to-end slice: artifacts must pass their own validators,
 # and disabled observability must stay free (what CI runs)

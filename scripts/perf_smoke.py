@@ -619,6 +619,16 @@ def main(argv=None) -> int:
         previous = _previous_artifact(out)
         if previous is not None:
             artifact["previous"] = previous
+        else:
+            # a fresh clone has no perf history; record that as data
+            # (self-describing artifact) instead of failing the run
+            artifact["previous"] = {
+                "note": "no earlier BENCH_N.json found at the repo root; "
+                "first trajectory point (fresh clone or pruned history)",
+                "artifact": None,
+            }
+            print("bench-out: no previous BENCH artifact; recording "
+                  "first trajectory point")
         out.write_text(json.dumps(artifact, indent=2) + "\n")
         print(f"trajectory artifact -> {out}")
 

@@ -234,6 +234,39 @@ def build_parser() -> argparse.ArgumentParser:
         help="predicate-call budget for minimizing a failing case",
     )
 
+    p_serve = experiment(
+        "serve",
+        help="run the crash-safe simulation service (HTTP/JSON on the "
+        "resilient fan-out; jobs survive kill -9 via the run journal)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8023,
+                         help="bind port; 0 picks a free port (default 8023)")
+    p_serve.add_argument(
+        "--state-dir",
+        metavar="DIR",
+        default=None,
+        help="service state root (job + results journals; default "
+        "$REPRO_SERVE_STATE or ~/.cache/repro-serve)",
+    )
+    p_serve.add_argument("--queue-limit", type=int, default=256,
+                         help="total queued-job ceiling (default 256)")
+    p_serve.add_argument("--tenant-quota", type=int, default=64,
+                         help="queued-job ceiling per tenant (default 64)")
+    p_serve.add_argument("--executors", type=int, default=2,
+                         help="concurrent job executor slots (default 2)")
+    p_serve.add_argument("--max-width", type=int, default=2,
+                         help="cap on a job's requested fan-out width "
+                         "(default 2)")
+    p_serve.add_argument("--breaker-trip-after", type=int, default=3,
+                         help="consecutive damaged fan-outs before the "
+                         "circuit breaker forces serial execution "
+                         "(default 3)")
+    p_serve.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         help="seconds the tripped breaker stays open "
+                         "before probing the pool again (default 30)")
+
     for experiment_parser in experiment_parsers:
         _add_output_options(experiment_parser, subcommand=True)
 
@@ -309,6 +342,24 @@ def _run_compare(args, scale: ExperimentScale) -> str:
     )
 
 
+def _run_serve(args) -> int:
+    from repro.serve.server import ServeConfig
+    from repro.serve.server import run as run_server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        state_dir=args.state_dir,
+        queue_limit=args.queue_limit,
+        tenant_quota=args.tenant_quota,
+        executors=args.executors,
+        max_width=args.max_width,
+        breaker_trip_after=args.breaker_trip_after,
+        breaker_cooldown_s=args.breaker_cooldown,
+    )
+    return run_server(config)
+
+
 def _run_validate(args) -> int:
     import contextlib
 
@@ -338,8 +389,17 @@ def _run_validate(args) -> int:
                 print(f"validate: no corpus files under {args.replay}")
                 return 0
             failures = 0
+            corrupt = 0
             for path in paths:
-                case, past = load_reproducer(path)
+                try:
+                    case, past = load_reproducer(path)
+                except (OSError, ValueError) as error:
+                    # a corrupt reproducer must not kill the replay of
+                    # every other case; report it and keep going
+                    corrupt += 1
+                    print(f"BAD  {path.name}: unreadable reproducer "
+                          f"({error})")
+                    continue
                 try:
                     check_case(case)
                 except ValidationFailure as failure:
@@ -351,8 +411,8 @@ def _run_validate(args) -> int:
                     print(f"ok   {path.name} ({case.total_accesses} accesses, "
                           f"{case.policy})")
             print(f"validate: replayed {len(paths)} corpus cases, "
-                  f"{failures} failing")
-            return 1 if failures else 0
+                  f"{failures} failing, {corrupt} unreadable")
+            return 1 if failures or corrupt else 0
 
         notes = 0
         for seed in range(args.seed, args.seed + args.fuzz):
@@ -636,6 +696,8 @@ def _dispatch(args, scale: ExperimentScale) -> int:
 
         scorecard = summary.build(args.results)
         print(scorecard.text)
+    elif args.experiment == "serve":
+        return _run_serve(args)
     elif args.experiment == "validate":
         return _run_validate(args)
     else:  # pragma: no cover - argparse enforces the choices

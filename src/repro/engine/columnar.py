@@ -121,6 +121,9 @@ class ColumnarStream:
     def encode(cls, vpns: np.ndarray, counts: np.ndarray,
                slot: int = -1) -> "ColumnarStream":
         """Encode a compressed record stream into column arrays."""
+        from repro.resilience.faults import fault_point
+
+        fault_point("engine.columnar.encode", detail=f"slot={slot}")
         vpns = np.ascontiguousarray(vpns, dtype=np.uint64)
         counts = np.ascontiguousarray(counts, dtype=np.int64)
         if vpns.shape != counts.shape:

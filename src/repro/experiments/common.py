@@ -314,6 +314,31 @@ def config_for(*workloads: ProcessWorkload, **overrides) -> SystemConfig:
     return scaled_config(memory_bytes=memory_for(*workloads), **overrides)
 
 
+#: Named engine tiers mapped onto :class:`Simulator` switches. ``None``
+#: (or ``columnar``) is the engine default; the ladder the serving
+#: layer degrades along is columnar -> fast -> scalar, all of which are
+#: bit-identical by the differential oracle's invariant.
+ENGINE_TIER_SWITCHES: dict[str, dict[str, bool]] = {
+    "scalar": {"fast_path": False, "batch": False, "columnar": False},
+    "fast": {"fast_path": True, "batch": False, "columnar": False},
+    "batch": {"fast_path": True, "batch": True, "columnar": False},
+    "columnar": {"fast_path": True, "batch": True, "columnar": True},
+}
+
+
+def engine_tier_switches(tier: str | None) -> dict[str, bool]:
+    """Simulator keyword switches for a named engine tier."""
+    if tier is None:
+        return {}
+    try:
+        return dict(ENGINE_TIER_SWITCHES[tier])
+    except KeyError:
+        raise ValueError(
+            f"unknown engine tier {tier!r}; "
+            f"choose from {sorted(ENGINE_TIER_SWITCHES)}"
+        ) from None
+
+
 def run_policy(
     workload: ProcessWorkload,
     policy: HugePagePolicy,
@@ -321,6 +346,7 @@ def run_policy(
     fragmentation: float = 0.0,
     budget_regions: int | None = None,
     params: KernelParams | None = None,
+    engine_tier: str | None = None,
 ) -> SimulationResult:
     """One simulation run of one workload under one policy."""
     config = config or config_for(workload)
@@ -332,7 +358,11 @@ def run_policy(
             promotion_budget_regions=budget_regions,
         )
     simulator = Simulator(
-        config, policy=policy, params=params, fragmentation=fragmentation
+        config,
+        policy=policy,
+        params=params,
+        fragmentation=fragmentation,
+        **engine_tier_switches(engine_tier),
     )
     return simulator.run([clone_workload(workload)])
 
@@ -375,6 +405,11 @@ class RunSpec:
     seed: int | None = None
     #: caller-side tag for reassembling sweep results
     label: str = ""
+    #: engine tier override (``scalar``/``fast``/``batch``/``columnar``);
+    #: ``None`` runs the engine default. Part of the spec so journal
+    #: keys distinguish tiers — a degraded re-run never aliases a
+    #: full-tier checkpoint.
+    engine_tier: str | None = None
 
     @classmethod
     def for_scale(cls, scale: ExperimentScale, app: str, policy: HugePagePolicy,
@@ -420,6 +455,7 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
         fragmentation=spec.fragmentation,
         budget_regions=budget,
         params=params,
+        engine_tier=spec.engine_tier,
     )
 
 
@@ -486,6 +522,7 @@ def run_specs(
     jobs: int | None = None,
     resume: bool = False,
     journal=None,
+    policy=None,
 ) -> list[SimulationResult]:
     """Run many independent specs, serially or across a process pool.
 
@@ -518,6 +555,7 @@ def run_specs(
         specs,
         jobs=jobs_effective,
         cache_dir=cache_dir,
+        policy=policy,
         journal=journal,
         resume=resume,
     )

@@ -34,6 +34,16 @@ COUNTER_NAMES = (
     "resilience.cache.stale_tmp_removed",
     "resilience.journal.commits",
     "resilience.journal.corrupt",
+    "resilience.journal.quarantined",
+    "resilience.serve.accepted",
+    "resilience.serve.rejected",
+    "resilience.serve.completed",
+    "resilience.serve.failed",
+    "resilience.serve.expired",
+    "resilience.serve.requeued",
+    "resilience.serve.recovered",
+    "resilience.serve.degraded",
+    "resilience.breaker.trips",
 )
 
 _REGISTRY = MetricsRegistry()

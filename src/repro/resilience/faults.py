@@ -22,7 +22,9 @@ Each spec is ``kind@site[:nth][~match][=arg]``:
   overwrites the file a site offers with deterministic garbage.
 * ``site`` — the named :func:`fault_point` to strike (e.g.
   ``worker.task``, ``workload.build``, ``trace.cache.read``,
-  ``cache.publish``).
+  ``cache.publish``, ``engine.columnar.encode``, and the serving
+  path's ``serve.accept``, ``serve.dispatch``,
+  ``serve.result.publish``).
 * ``:nth`` — fire on the nth matching occurrence *in one process*
   (default: the first).
 * ``~match`` — only count occurrences whose detail string contains

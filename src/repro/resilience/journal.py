@@ -11,9 +11,13 @@ sweep, killed at any point and re-run with ``--resume``, simply skips
 every task whose shard already exists and loads the stored result,
 yielding outputs bit-identical to an uninterrupted run.
 
-Corrupt or truncated shards self-heal: verification failure deletes
-the shard and reports a miss, so the task is recomputed and the shard
-rewritten.
+Corrupt or truncated shards self-heal: a shard failing verification is
+**quarantined** — moved aside into the journal's ``quarantine/``
+subdirectory with a structured warning naming the run that hit it —
+and reported as a miss, so the sweep recomputes the task and rewrites
+the shard while the damaged bytes stay available for post-mortems.
+Resume then proceeds from the last intact checkpoint instead of
+aborting (or silently destroying evidence).
 """
 
 from __future__ import annotations
@@ -21,13 +25,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.obs.log import get_logger, log_event
 from repro.obs.runid import current_run_id
 from repro.resilience import bus
+
+_LOG = get_logger("resilience.journal")
 
 #: Environment variable selecting the journal directory. The values
 #: ``0``, ``off``, and ``none`` (or unset) disable journaling.
@@ -84,6 +92,11 @@ class RunJournal:
         self.directory = Path(directory)
         self.stats = JournalStats()
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where shards that fail verification are moved for post-mortem."""
+        return self.directory / "quarantine"
+
     # ------------------------------------------------------------------
     # keys
 
@@ -108,8 +121,8 @@ class RunJournal:
         """Verified result stored under ``key``, or ``None``.
 
         A shard that is missing counts as a miss; one that fails the
-        magic/digest check or does not unpickle is deleted (the sweep
-        recomputes it) and counted as corrupt.
+        magic/digest check or does not unpickle is quarantined (the
+        sweep recomputes it) and counted as corrupt.
         """
         path = self.shard_path(key)
         try:
@@ -179,10 +192,37 @@ class RunJournal:
         return path
 
     def _discard_corrupt(self, path: Path) -> None:
-        path.unlink(missing_ok=True)
+        """Quarantine a shard that failed verification.
+
+        The shard is moved (atomic rename) into ``quarantine/`` rather
+        than deleted: the damaged bytes stay inspectable, the key reads
+        as a miss so the task is recomputed, and a structured warning
+        names the shard, destination, and run id. If even the rename
+        fails (e.g. the file vanished underneath us) the shard is
+        unlinked as a last resort — a corrupt shard must never satisfy
+        a resume either way.
+        """
+        destination = self.quarantine_dir / path.name
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+            quarantined_to: str | None = str(destination)
+            bus.counter("journal.quarantined").add()
+        except OSError:
+            path.unlink(missing_ok=True)
+            quarantined_to = None
         self.stats.corrupt += 1
         self.stats.misses += 1
         bus.counter("journal.corrupt").add()
+        log_event(
+            _LOG,
+            "journal shard failed verification; resuming from intact "
+            "checkpoints",
+            level=logging.WARNING,
+            shard=path.name,
+            quarantined_to=quarantined_to,
+            run_id=current_run_id(),
+        )
 
     # ------------------------------------------------------------------
     # maintenance

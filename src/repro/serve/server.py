@@ -1,0 +1,562 @@
+"""The ``repro serve`` asyncio HTTP/JSON front end.
+
+Stdlib-only: one :func:`asyncio.start_server` loop parses a minimal
+HTTP/1.1 subset (request line, headers, ``Content-Length`` bodies,
+keep-alive) and routes to JSON handlers. All admission, breaker, and
+job-registry state is confined to the event loop; only the simulation
+itself runs off-loop, in ``asyncio.to_thread`` executor slots.
+
+Endpoints::
+
+    POST /v1/jobs        submit a job (202, 200 if duplicate id,
+                         400 invalid, 429 saturated + Retry-After,
+                         503 draining/fault)
+    GET  /v1/jobs/<id>   response envelope for one job
+    GET  /v1/jobs        registry summary (states, queue, tenants)
+    GET  /healthz        liveness (always 200 while the loop runs)
+    GET  /readyz         readiness (503 while draining)
+    GET  /v1/metrics     resilience-bus counters + breaker + queue
+    POST /v1/drain       stop accepting; exit once the queue drains
+
+Crash safety: a job is journaled (``JobStore.save``) *before* its 202
+is written, and re-journaled at every transition. ``kill -9`` the
+server at any point; on restart :meth:`SimulationServer.recover`
+requeues every non-terminal job, and the content-addressed results
+journal makes the re-execution skip all finished work — zero lost,
+zero duplicated.
+
+Chaos hooks: the ``serve.accept``, ``serve.dispatch``, and
+``serve.result.publish`` fault sites extend the ``REPRO_FAULTS``
+grammar into the serving path. A fault at accept surfaces as a
+structured 503; a fault at dispatch or publish requeues the job
+through the same at-least-once machinery a crash exercises.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.log import get_logger, log_event
+from repro.obs.runid import current_run_id
+from repro.obs.tracer import span
+from repro.resilience import bus
+from repro.resilience.faults import InjectedFault, fault_point
+from repro.resilience.journal import RunJournal
+from repro.serve import lifecycle
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import SERIAL_TAG, CircuitBreaker
+from repro.serve.lifecycle import (
+    MAX_JOB_ATTEMPTS,
+    Job,
+    JobDeadlineExceeded,
+    JobExecutionError,
+    JobStore,
+    execute_job,
+    now_ms,
+)
+from repro.serve.protocol import SERVE_SCHEMA, JobRequest, RequestError, envelope
+
+_LOG = get_logger("serve.server")
+
+#: Environment default for the service state directory.
+STATE_DIR_ENV = "REPRO_SERVE_STATE"
+
+#: Seconds an idle keep-alive connection may sit before we close it.
+_IDLE_TIMEOUT = 30.0
+
+#: Largest request body we will read (a full sweep spec is ~KBs).
+_MAX_BODY = 1 << 20
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+def default_state_dir() -> Path:
+    """Service state location: ``$REPRO_SERVE_STATE`` or the user cache."""
+    import os
+
+    env = os.environ.get(STATE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-serve"
+
+
+@dataclass
+class ServeConfig:
+    """Everything ``repro serve`` lets an operator turn."""
+
+    host: str = "127.0.0.1"
+    port: int = 8023
+    state_dir: Path | str | None = None
+    queue_limit: int = 256
+    tenant_quota: int = 64
+    #: concurrent executor slots (jobs running simulations at once)
+    executors: int = 2
+    #: ceiling on a request's ``jobs`` fan-out width
+    max_width: int = 2
+    breaker_trip_after: int = 3
+    breaker_cooldown_s: float = 30.0
+
+    def resolved_state_dir(self) -> Path:
+        return Path(self.state_dir) if self.state_dir else default_state_dir()
+
+
+class SimulationServer:
+    """One serving instance: registry, queue, breaker, executors."""
+
+    def __init__(self, config: ServeConfig) -> None:
+        self.config = config
+        state = config.resolved_state_dir()
+        self.store = JobStore(state / "jobs")
+        self.results_journal = RunJournal(state / "results")
+        self.admission = AdmissionController(
+            queue_limit=config.queue_limit,
+            tenant_quota=config.tenant_quota,
+        )
+        self.breaker = CircuitBreaker(
+            trip_after=config.breaker_trip_after,
+            cooldown_s=config.breaker_cooldown_s,
+        )
+        self.jobs: dict[str, Job] = {}
+        self.running: set[str] = set()
+        self.accepting = True
+        self.port: int | None = None
+        self.started_ms = now_ms()
+        self._wake: asyncio.Event | None = None
+        self._closed: asyncio.Event | None = None
+        self._connections: set = set()
+        self._request_wall = bus.histogram("serve.request_wall_us", unit="us")
+        self._job_wall = bus.histogram("serve.job_wall_us", unit="us")
+        self._queue_wait = bus.histogram("serve.queue_wait_us", unit="us")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    def recover(self) -> int:
+        """Reload journaled jobs; requeue the unfinished ones."""
+        unfinished, finished = self.store.recover()
+        for job in finished:
+            self.jobs[job.id] = job
+        for job in reversed(unfinished):
+            # reversed + requeue-at-front preserves submission order
+            self.jobs[job.id] = job
+            job.state = lifecycle.QUEUED
+            self.admission.requeue(job)
+            bus.counter("serve.recovered").add()
+        if unfinished:
+            log_event(
+                _LOG,
+                "recovered unfinished jobs from the journal",
+                recovered=len(unfinished),
+                finished=len(finished),
+            )
+        return len(unfinished)
+
+    async def serve_forever(self) -> None:
+        """Bind, recover, run executors, and serve until drained."""
+        self._wake = asyncio.Event()
+        self._closed = asyncio.Event()
+        recovered = self.recover()
+        if recovered:
+            self._wake.set()
+        server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        print(
+            f"repro-serve: listening on {self.config.host}:{self.port} "
+            f"(run {current_run_id()}, {recovered} jobs recovered)",
+            flush=True,
+        )
+        executors = [
+            asyncio.ensure_future(self._executor_loop(slot))
+            for slot in range(max(1, self.config.executors))
+        ]
+        try:
+            await self._closed.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in (*executors, *self._connections):
+                task.cancel()
+            await asyncio.gather(
+                *executors, *self._connections, return_exceptions=True
+            )
+
+    def request_drain(self) -> None:
+        """Stop accepting; the server exits once the backlog is done."""
+        self.accepting = False
+        self._maybe_close()
+        if self._wake is not None:
+            self._wake.set()
+
+    def _maybe_close(self) -> None:
+        if (
+            not self.accepting
+            and self.admission.depth == 0
+            and not self.running
+            and self._closed is not None
+        ):
+            self._closed.set()
+
+    # ------------------------------------------------------------------
+    # executors
+
+    async def _executor_loop(self, slot: int) -> None:
+        while True:
+            # belt and braces with the cancellation in serve_forever:
+            # a wait_for whose wake coincides with cancel can swallow
+            # the CancelledError (bpo-42130), so check the close event
+            if self._closed is not None and self._closed.is_set():
+                return
+            job = self.admission.next_job()
+            if job is None:
+                self._maybe_close()
+                self._wake.clear()
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=0.25)
+                except asyncio.TimeoutError:
+                    pass
+                continue
+            await self._run_job(job, slot)
+
+    async def _run_job(self, job: Job, slot: int) -> None:
+        job.attempts += 1
+        try:
+            fault_point("serve.dispatch", detail=f"{job.id} {job.tenant}")
+        except InjectedFault as fault:
+            self._requeue_or_fail(job, f"dispatch fault: {fault}")
+            return
+        remaining = job.deadline_remaining()
+        if remaining is not None and remaining <= 0:
+            self._finish_expired(job, "deadline passed while queued")
+            return
+        try:
+            request = job.request()
+        except RequestError as error:
+            self._finish_failed(job, {"type": "RequestError", "message": str(error)})
+            return
+        width = min(request.jobs, self.config.max_width)
+        if width > 1 and not self.breaker.allow_pooled():
+            width = 1
+            if SERIAL_TAG not in job.degraded:
+                job.degraded.append(SERIAL_TAG)
+            bus.counter("serve.degraded").add()
+        job.state = lifecycle.RUNNING
+        self.store.save(job)
+        self.running.add(job.id)
+        self._queue_wait.record((now_ms() - job.submitted_ms) * 1000.0)
+        begun = time.monotonic()
+        try:
+            with span("serve.job", cat="serve", job=job.id, tenant=job.tenant,
+                      slot=slot, attempt=job.attempts):
+                work = asyncio.to_thread(
+                    execute_job,
+                    job,
+                    self.results_journal,
+                    jobs=width,
+                )
+                if remaining is not None:
+                    summaries, degraded, report = await asyncio.wait_for(
+                        work, timeout=remaining
+                    )
+                else:
+                    summaries, degraded, report = await work
+        except (JobDeadlineExceeded, asyncio.TimeoutError):
+            self._finish_expired(job, "deadline exceeded while running")
+            return
+        except JobExecutionError as error:
+            self.breaker.record_failure()
+            job.degraded.extend(
+                tag for tag in error.degraded if tag not in job.degraded
+            )
+            self._finish_failed(
+                job,
+                {
+                    "type": "JobExecutionError",
+                    "message": str(error),
+                    "report": error.report,
+                },
+            )
+            return
+        except Exception as error:  # server bug — keep the job, not a 500
+            log_event(
+                _LOG,
+                "unexpected executor failure",
+                level=logging.ERROR,
+                job=job.id,
+                error=f"{type(error).__name__}: {error}",
+            )
+            self._requeue_or_fail(job, f"{type(error).__name__}: {error}")
+            return
+        finally:
+            self.running.discard(job.id)
+        if report is not None:
+            self.breaker.record_report(report)
+        else:
+            self.breaker.record_success()
+        job.degraded.extend(tag for tag in degraded if tag not in job.degraded)
+        try:
+            fault_point("serve.result.publish", detail=f"{job.id} {job.tenant}")
+        except InjectedFault as fault:
+            # the work is in the results journal; re-running the job is
+            # a cheap journal replay, so requeue rather than lose state
+            self._requeue_or_fail(job, f"publish fault: {fault}")
+            return
+        job.state = lifecycle.DONE
+        job.results = summaries
+        job.finished_ms = now_ms()
+        self.store.save(job)
+        self._job_wall.record((time.monotonic() - begun) * 1e6)
+        bus.counter("serve.completed").add()
+        self._maybe_close()
+
+    def _requeue_or_fail(self, job: Job, cause: str) -> None:
+        self.running.discard(job.id)
+        if job.attempts >= MAX_JOB_ATTEMPTS:
+            self._finish_failed(
+                job,
+                {"type": "RetriesExhausted", "message": cause,
+                 "attempts": job.attempts},
+            )
+            return
+        job.state = lifecycle.QUEUED
+        self.store.save(job)
+        self.admission.requeue(job)
+        bus.counter("serve.requeued").add()
+        if self._wake is not None:
+            self._wake.set()
+
+    def _finish_expired(self, job: Job, message: str) -> None:
+        self.running.discard(job.id)
+        job.state = lifecycle.EXPIRED
+        job.error = {"type": "DeadlineExceeded", "message": message}
+        job.finished_ms = now_ms()
+        self.store.save(job)
+        bus.counter("serve.expired").add()
+        self._maybe_close()
+
+    def _finish_failed(self, job: Job, error: dict) -> None:
+        self.running.discard(job.id)
+        job.state = lifecycle.FAILED
+        job.error = error
+        job.finished_ms = now_ms()
+        self.store.save(job)
+        bus.counter("serve.failed").add()
+        self._maybe_close()
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    head = await asyncio.wait_for(
+                        reader.readuntil(b"\r\n\r\n"), timeout=_IDLE_TIMEOUT
+                    )
+                except (
+                    asyncio.IncompleteReadError,
+                    asyncio.TimeoutError,
+                    ConnectionResetError,
+                    asyncio.LimitOverrunError,
+                ):
+                    return
+                method, path, headers = _parse_head(head)
+                length = int(headers.get("content-length", "0") or "0")
+                if length > _MAX_BODY:
+                    await _respond(writer, 413, {"error": "body too large"})
+                    return
+                body = await reader.readexactly(length) if length else b""
+                keep_alive = headers.get("connection", "").lower() != "close"
+                begun = time.monotonic()
+                with span("serve.request", cat="serve", method=method, path=path):
+                    status, doc, extra = self._route(method, path, body)
+                self._request_wall.record((time.monotonic() - begun) * 1e6)
+                await _respond(writer, status, doc, extra, keep_alive=keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, ValueError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _route(self, method: str, path: str, body: bytes):
+        """Dispatch one request; returns (status, json_doc, extra_headers)."""
+        if path == "/v1/jobs" and method == "POST":
+            return self._submit(body)
+        if path.startswith("/v1/jobs/") and method == "GET":
+            return self._get_job(path[len("/v1/jobs/"):])
+        if path == "/v1/jobs" and method == "GET":
+            return 200, self._registry_summary(), {}
+        if path == "/healthz" and method == "GET":
+            return 200, {"ok": True, "run_id": current_run_id(),
+                         "uptime_ms": now_ms() - self.started_ms}, {}
+        if path == "/readyz" and method == "GET":
+            doc = {
+                "ready": self.accepting,
+                "draining": not self.accepting,
+                "queue_depth": self.admission.depth,
+                "running": len(self.running),
+                "breaker": self.breaker.snapshot(),
+            }
+            return (200 if self.accepting else 503), doc, {}
+        if path == "/v1/metrics" and method == "GET":
+            return 200, self._metrics_doc(), {}
+        if path == "/v1/drain" and method == "POST":
+            self.request_drain()
+            return 200, {"draining": True,
+                         "queued": self.admission.depth,
+                         "running": len(self.running)}, {}
+        if path in ("/v1/jobs", "/v1/drain", "/healthz", "/readyz",
+                    "/v1/metrics") or path.startswith("/v1/jobs/"):
+            return 405, {"error": f"{method} not allowed on {path}"}, {}
+        return 404, {"error": f"no route for {path}"}, {}
+
+    # ------------------------------------------------------------------
+    # handlers
+
+    def _submit(self, body: bytes):
+        try:
+            fault_point("serve.accept", detail="submit")
+        except InjectedFault as fault:
+            bus.counter("serve.rejected").add()
+            return 503, {
+                "schema": SERVE_SCHEMA,
+                "error": {"type": "InjectedFault", "message": str(fault)},
+                "retryable": True,
+            }, {"Retry-After": "1"}
+        try:
+            payload = json.loads(body.decode("utf-8") or "null")
+            request = JobRequest.from_payload(payload)
+        except RequestError as error:
+            return 400, {"schema": SERVE_SCHEMA,
+                         "error": {"type": "RequestError",
+                                   "message": str(error)}}, {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"schema": SERVE_SCHEMA,
+                         "error": {"type": "RequestError",
+                                   "message": f"invalid JSON body: {error}"}}, {}
+        existing = self.jobs.get(request.id)
+        if existing is not None:
+            # idempotent resubmission: report, never double-run
+            return 200, envelope(existing), {}
+        if not self.accepting:
+            bus.counter("serve.rejected").add()
+            return 503, {
+                "schema": SERVE_SCHEMA,
+                "error": {"type": "Draining",
+                          "message": "server is draining; resubmit elsewhere"},
+                "retryable": True,
+            }, {"Retry-After": "5"}
+        job = Job.from_request(request)
+        decision = self.admission.try_admit(job)
+        if not decision.admitted:
+            bus.counter("serve.rejected").add()
+            return 429, {
+                "schema": SERVE_SCHEMA,
+                "error": {"type": "Saturated", "message": decision.reason},
+                "retryable": True,
+                "retry_after_s": decision.retry_after,
+            }, {"Retry-After": str(decision.retry_after)}
+        # journal BEFORE acknowledging: the 202 is a durability promise
+        self.store.save(job)
+        self.jobs[job.id] = job
+        bus.counter("serve.accepted").add()
+        if self._wake is not None:
+            self._wake.set()
+        return 202, envelope(job), {}
+
+    def _get_job(self, job_id: str):
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"schema": SERVE_SCHEMA,
+                         "error": {"type": "UnknownJob",
+                                   "message": f"no job {job_id!r}"}}, {}
+        return 200, envelope(job), {}
+
+    def _registry_summary(self) -> dict:
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "schema": SERVE_SCHEMA,
+            "jobs": len(self.jobs),
+            "states": states,
+            "queue_depth": self.admission.depth,
+            "tenants": self.admission.tenants(),
+        }
+
+    def _metrics_doc(self) -> dict:
+        return {
+            "schema": SERVE_SCHEMA,
+            "run_id": current_run_id(),
+            "counters": bus.snapshot(),
+            "breaker": self.breaker.snapshot(),
+            "queue_depth": self.admission.depth,
+            "running": len(self.running),
+            "journal": self.results_journal.stats.as_dict(),
+        }
+
+
+# ----------------------------------------------------------------------
+# HTTP helpers
+
+
+def _parse_head(head: bytes):
+    """Parse request line + headers from one ``\\r\\n\\r\\n`` block."""
+    text = head.decode("latin-1")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ValueError(f"malformed request line: {lines[0]!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    path = target.split("?", 1)[0]
+    return method.upper(), path, headers
+
+
+async def _respond(writer, status: int, doc, extra: dict | None = None,
+                   keep_alive: bool = True) -> None:
+    body = json.dumps(doc).encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra or {}).items():
+        headers.append(f"{name}: {value}")
+    writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
+
+
+def run(config: ServeConfig) -> int:
+    """Synchronous entrypoint: serve until drained or interrupted."""
+    server = SimulationServer(config)
+    try:
+        asyncio.run(server.serve_forever())
+    except KeyboardInterrupt:
+        print("repro-serve: interrupted; journaled jobs will resume on restart")
+    return 0

@@ -105,6 +105,38 @@ class TestFaultMatrix:
             results = run_specs(_specs(), jobs=1)
         assert [_fingerprint(r) for r in results] == baseline
 
+    def test_retry_after_timeout_is_accounted_and_bit_identical(
+        self, baseline, tmp_path, monkeypatch
+    ):
+        """Retry x timeout interaction, end to end.
+
+        ``REPRO_TASK_TIMEOUT`` expires attempt 1 (a worker hung by an
+        injected fault); the retry runs clean (faults fire exactly
+        once) and must succeed. The published ``FanOutReport`` has to
+        show the whole story — a timeout, a retry, and *no*
+        quarantined tasks — and the healed results must stay
+        bit-identical to the uninjected baseline.
+        """
+        from repro.metrics import collecting
+
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        monkeypatch.setenv(TIMEOUT_ENV, "5")
+        with injecting("hang@worker.task=120", state_dir=tmp_path / "faults"):
+            with collecting() as collector:
+                results = run_specs(_specs(), jobs=2)
+        assert [_fingerprint(r) for r in results] == baseline
+        reports = [
+            run["meta"]["report"]
+            for run in collector.runs
+            if run.get("meta", {}).get("component") == "resilience"
+            and run.get("meta", {}).get("report")
+        ]
+        assert reports, "fan_out published no resilience report"
+        report = reports[-1]
+        assert report["timeouts"] >= 1
+        assert report["retries"] >= 1
+        assert report["quarantined"] == []
+
 
 class TestResumeAfterKill:
     def test_killed_sweep_resumes_without_recomputation(

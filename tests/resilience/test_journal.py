@@ -94,14 +94,30 @@ class TestRoundTrip:
 
 
 class TestSelfHealing:
-    def test_corrupt_shard_is_discarded(self, tmp_path):
+    def test_corrupt_shard_is_quarantined(self, tmp_path):
         journal = RunJournal(tmp_path)
         key = journal.key_for(_fn_a, ("BFS", 4))
         journal.commit(key, list(range(1000)))
         corrupt_file(journal.shard_path(key))
         assert journal.load(key) is None
-        assert not journal.shard_path(key).exists()  # deleted, will rebuild
+        # moved aside, not destroyed: the key reads as a miss but the
+        # damaged bytes stay inspectable under quarantine/
+        assert not journal.shard_path(key).exists()
+        quarantined = journal.quarantine_dir / journal.shard_path(key).name
+        assert quarantined.exists()
         assert journal.stats.corrupt == 1
+
+    def test_quarantined_shards_drop_out_of_keys(self, tmp_path):
+        journal = RunJournal(tmp_path)
+        bad = journal.key_for(_fn_a, ("BFS", 4))
+        good = journal.key_for(_fn_a, ("PR", 8))
+        journal.commit(bad, "doomed")
+        journal.commit(good, "intact")
+        corrupt_file(journal.shard_path(bad))
+        assert journal.load(bad) is None
+        # resume continues from the intact checkpoint
+        assert journal.keys() == [good]
+        assert journal.load(good) == "intact"
 
     def test_wrong_magic_is_discarded(self, tmp_path):
         journal = RunJournal(tmp_path)

@@ -1,0 +1,92 @@
+"""Admission control: bounded queue, tenant quotas, fair dispatch."""
+
+from dataclasses import dataclass
+
+from repro.serve.admission import AdmissionController
+
+
+@dataclass
+class FakeJob:
+    id: str
+    tenant: str
+
+
+def _job(index: int, tenant: str = "t") -> FakeJob:
+    return FakeJob(id=f"j{index}", tenant=tenant)
+
+
+class TestQueueLimit:
+    def test_admits_until_the_global_limit(self):
+        admission = AdmissionController(queue_limit=3, tenant_quota=10)
+        for index in range(3):
+            assert admission.try_admit(_job(index)).admitted
+        decision = admission.try_admit(_job(99))
+        assert not decision.admitted
+        assert "queue full" in decision.reason
+        assert decision.retry_after >= 1
+
+    def test_draining_a_job_frees_capacity(self):
+        admission = AdmissionController(queue_limit=1, tenant_quota=10)
+        assert admission.try_admit(_job(0)).admitted
+        assert not admission.try_admit(_job(1)).admitted
+        assert admission.next_job().id == "j0"
+        assert admission.try_admit(_job(1)).admitted
+
+    def test_retry_after_scales_with_backlog(self):
+        admission = AdmissionController(
+            queue_limit=4, tenant_quota=10, expected_job_seconds=1.0
+        )
+        for index in range(4):
+            admission.try_admit(_job(index))
+        assert admission.try_admit(_job(9)).retry_after >= 4
+
+
+class TestTenantQuota:
+    def test_one_tenant_cannot_fill_the_queue(self):
+        admission = AdmissionController(queue_limit=100, tenant_quota=2)
+        assert admission.try_admit(_job(0, "noisy")).admitted
+        assert admission.try_admit(_job(1, "noisy")).admitted
+        decision = admission.try_admit(_job(2, "noisy"))
+        assert not decision.admitted
+        assert "quota" in decision.reason
+        # other tenants are unaffected
+        assert admission.try_admit(_job(3, "polite")).admitted
+
+    def test_requeue_bypasses_the_quota(self):
+        """Recovered jobs were already admitted once; never drop them."""
+        admission = AdmissionController(queue_limit=100, tenant_quota=1)
+        assert admission.try_admit(_job(0, "t")).admitted
+        recovered = _job(1, "t")
+        admission.requeue(recovered)  # over quota, still enters
+        assert admission.depth == 2
+        # requeued jobs go to the front of their tenant's backlog
+        assert admission.next_job().id == "j1"
+
+
+class TestFairDispatch:
+    def test_round_robin_across_tenants(self):
+        admission = AdmissionController()
+        for index in range(3):
+            admission.try_admit(_job(index, "a"))
+        admission.try_admit(_job(10, "b"))
+        admission.try_admit(_job(20, "c"))
+        order = [admission.next_job().tenant for _ in range(5)]
+        # a's deep backlog cannot starve b and c
+        assert order[:3] in (["a", "b", "c"], ["b", "c", "a"],
+                             ["c", "a", "b"])
+        assert order.count("a") == 3
+
+    def test_empty_queue_returns_none(self):
+        admission = AdmissionController()
+        assert admission.next_job() is None
+        admission.try_admit(_job(0))
+        assert admission.next_job().id == "j0"
+        assert admission.next_job() is None
+        assert admission.depth == 0
+
+    def test_tenants_snapshot(self):
+        admission = AdmissionController()
+        admission.try_admit(_job(0, "a"))
+        admission.try_admit(_job(1, "a"))
+        admission.try_admit(_job(2, "b"))
+        assert admission.tenants() == {"a": 2, "b": 1}

@@ -1,0 +1,99 @@
+"""Circuit breaker: trip on repeated damage, cooldown, half-open probe."""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _breaker(trip_after=3, cooldown_s=30.0):
+    clock = FakeClock()
+    return CircuitBreaker(trip_after=trip_after, cooldown_s=cooldown_s,
+                          clock=clock), clock
+
+
+class TestTripping:
+    def test_stays_closed_below_threshold(self):
+        breaker, _ = _breaker(trip_after=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow_pooled()
+
+    def test_trips_at_threshold(self):
+        breaker, _ = _breaker(trip_after=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow_pooled()
+        assert breaker.trips == 1
+
+    def test_success_resets_the_count(self):
+        breaker, _ = _breaker(trip_after=2)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_quarantine_report_counts_as_damage(self):
+        breaker, _ = _breaker(trip_after=1)
+        breaker.record_report({"quarantined": [{"task": "x"}],
+                               "pool_rebuilds": 0})
+        assert breaker.state == OPEN
+
+    def test_clean_report_counts_as_success(self):
+        breaker, _ = _breaker(trip_after=2)
+        breaker.record_failure()
+        breaker.record_report({"quarantined": [], "pool_rebuilds": 0})
+        assert breaker.consecutive_failures == 0
+
+
+class TestRecovery:
+    def test_cooldown_gates_the_half_open_probe(self):
+        breaker, clock = _breaker(trip_after=1, cooldown_s=30.0)
+        breaker.record_failure()
+        assert not breaker.allow_pooled()
+        clock.advance(29.0)
+        assert not breaker.allow_pooled()
+        clock.advance(2.0)
+        # first caller after cooldown becomes the probe...
+        assert breaker.allow_pooled()
+        assert breaker.state == HALF_OPEN
+        # ...and concurrent jobs stay serial until its outcome lands
+        assert not breaker.allow_pooled()
+
+    def test_probe_success_closes(self):
+        breaker, clock = _breaker(trip_after=1, cooldown_s=1.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow_pooled()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow_pooled()
+
+    def test_probe_failure_reopens(self):
+        breaker, clock = _breaker(trip_after=1, cooldown_s=1.0)
+        breaker.record_failure()
+        clock.advance(2.0)
+        assert breaker.allow_pooled()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow_pooled()
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        breaker, _ = _breaker()
+        breaker.record_failure()
+        doc = breaker.snapshot()
+        assert json.loads(json.dumps(doc)) == doc
+        assert doc["state"] == CLOSED

@@ -1,0 +1,166 @@
+"""Job lifecycle: durable records, recovery split, tier-ladder execution."""
+
+import pytest
+
+from repro.resilience.journal import RunJournal
+from repro.resilience.retry import RetryPolicy
+from repro.serve.lifecycle import (
+    DONE,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobDeadlineExceeded,
+    JobExecutionError,
+    JobStore,
+    deadline_policy,
+    execute_job,
+    now_ms,
+)
+from repro.serve.protocol import JobRequest
+
+#: No backoff, no waiting — unit tests should not sleep.
+FAST = RetryPolicy(max_attempts=1, backoff_base=0.0, jitter=0.0)
+
+
+def _request(job_id="j1", **run_overrides) -> JobRequest:
+    run = {"app": "BFS", "policy": "pcc", "graph_scale": 8,
+           "proxy_accesses": 2000}
+    run.update(run_overrides)
+    return JobRequest.from_payload(
+        {"id": job_id, "tenant": "t", "runs": [run]}
+    )
+
+
+class TestJobStore:
+    def test_round_trip(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = Job.from_request(_request())
+        store.save(job)
+        loaded = store.load("j1")
+        assert loaded.id == "j1"
+        assert loaded.state == QUEUED
+        assert loaded.payload == job.payload
+
+    def test_transitions_rewrite_the_same_shard(self, tmp_path):
+        store = JobStore(tmp_path)
+        job = Job.from_request(_request())
+        store.save(job)
+        job.state = RUNNING
+        store.save(job)
+        assert store.load("j1").state == RUNNING
+        assert len(store.journal) == 1
+
+    def test_recover_splits_on_terminal_state(self, tmp_path):
+        store = JobStore(tmp_path)
+        open_job = Job.from_request(_request("open"))
+        done_job = Job.from_request(_request("closed"))
+        done_job.state = DONE
+        store.save(open_job)
+        store.save(done_job)
+        unfinished, finished = store.recover()
+        assert [job.id for job in unfinished] == ["open"]
+        assert [job.id for job in finished] == ["closed"]
+
+    def test_recover_orders_by_submission_time(self, tmp_path):
+        store = JobStore(tmp_path)
+        late = Job.from_request(_request("late"))
+        late.submitted_ms = now_ms() + 1000
+        early = Job.from_request(_request("early"))
+        store.save(late)
+        store.save(early)
+        unfinished, _ = store.recover()
+        assert [job.id for job in unfinished] == ["early", "late"]
+
+    def test_recover_skips_foreign_journal_keys(self, tmp_path):
+        store = JobStore(tmp_path)
+        store.journal.commit("not-a-job-key", {"some": "result"})
+        store.save(Job.from_request(_request()))
+        unfinished, finished = store.recover()
+        assert len(unfinished) == 1 and not finished
+
+
+class TestDeadlinePolicy:
+    def test_no_deadline_keeps_the_base(self):
+        assert deadline_policy(FAST, None) is FAST
+
+    def test_deadline_becomes_the_timeout_ceiling(self):
+        policy = deadline_policy(FAST, 2.5)
+        assert policy.timeout == 2.5
+
+    def test_shorter_existing_timeout_wins(self):
+        base = RetryPolicy(max_attempts=1, timeout=1.0)
+        assert deadline_policy(base, 30.0).timeout == 1.0
+
+    def test_floor_guards_against_negative_remnants(self):
+        assert deadline_policy(FAST, 0.001).timeout == pytest.approx(0.1)
+
+
+class TestExecuteJob:
+    def test_clean_execution_returns_summaries(self, tmp_path):
+        job = Job.from_request(_request())
+        summaries, degraded, report = execute_job(
+            job, RunJournal(tmp_path / "results"), retry_policy=FAST
+        )
+        assert degraded == [] and report is None
+        assert summaries[0]["policy"] == "pcc"
+        assert summaries[0]["total_cycles"] > 0
+
+    def test_results_dedupe_through_the_journal(self, tmp_path):
+        journal = RunJournal(tmp_path / "results")
+        first, _, _ = execute_job(
+            Job.from_request(_request("a")), journal, retry_policy=FAST
+        )
+        commits = journal.stats.commits
+        # a different job asking the same question replays the shard
+        second, _, _ = execute_job(
+            Job.from_request(_request("b")), journal, retry_policy=FAST
+        )
+        assert second == first
+        assert journal.stats.commits == commits
+        assert journal.stats.resumed >= 1
+
+    def test_engine_failure_degrades_down_the_ladder(self, tmp_path):
+        """A columnar-tier blowup yields a degraded answer, not a 500."""
+        from repro.resilience.faults import injecting
+
+        job = Job.from_request(_request())
+        with injecting("exc@engine.columnar.encode",
+                       state_dir=tmp_path / "faults"):
+            summaries, degraded, report = execute_job(
+                job, RunJournal(tmp_path / "results"), retry_policy=FAST
+            )
+        assert degraded == ["tier:fast"]
+        assert summaries[0]["total_cycles"] > 0
+
+    def test_degraded_results_stay_bit_identical(self, tmp_path):
+        """The tier ladder's whole premise: slower answer, same answer."""
+        from repro.resilience.faults import injecting
+
+        clean, _, _ = execute_job(
+            Job.from_request(_request("clean")),
+            RunJournal(tmp_path / "r1"), retry_policy=FAST,
+        )
+        with injecting("exc@engine.columnar.encode",
+                       state_dir=tmp_path / "faults"):
+            degraded_result, degraded, _ = execute_job(
+                Job.from_request(_request("hurt")),
+                RunJournal(tmp_path / "r2"), retry_policy=FAST,
+            )
+        assert degraded == ["tier:fast"]
+        assert degraded_result == clean
+
+    def test_failure_on_every_rung_raises(self, tmp_path):
+        job = Job.from_request(_request(app="no-such-app"))
+        with pytest.raises(JobExecutionError) as excinfo:
+            execute_job(job, RunJournal(tmp_path / "results"),
+                        retry_policy=FAST)
+        # every fallback the ladder tried is recorded on the error
+        assert excinfo.value.degraded == ["tier:fast", "tier:scalar"]
+
+    def test_expired_deadline_raises_deadline_error(self, tmp_path):
+        job = Job.from_request(_request())
+        job.payload["deadline_s"] = 0.001
+        job.submitted_ms = now_ms() - 10_000
+        with pytest.raises(JobDeadlineExceeded):
+            execute_job(job, RunJournal(tmp_path / "results"),
+                        retry_policy=FAST)

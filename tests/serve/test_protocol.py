@@ -1,0 +1,110 @@
+"""Wire-format validation: strict 400s in, structured envelopes out."""
+
+import pytest
+
+from repro.serve.protocol import (
+    MAX_GRAPH_SCALE,
+    MAX_RUNS_PER_JOB,
+    SERVE_SCHEMA,
+    JobRequest,
+    RequestError,
+    envelope,
+)
+
+
+def _payload(**overrides) -> dict:
+    payload = {
+        "id": "job-1",
+        "tenant": "acme",
+        "runs": [{"app": "BFS", "policy": "pcc"}],
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestValidation:
+    def test_minimal_payload_validates(self):
+        request = JobRequest.from_payload(_payload())
+        assert request.id == "job-1"
+        assert request.tenant == "acme"
+        assert request.runs[0]["app"] == "BFS"
+        # defaults keep service jobs small
+        assert request.runs[0]["graph_scale"] == 10
+        assert request.runs[0]["proxy_accesses"] == 20_000
+
+    def test_id_is_generated_when_absent(self):
+        payload = _payload()
+        del payload["id"]
+        request = JobRequest.from_payload(payload)
+        assert request.id.startswith("job-")
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"id": "has spaces"},
+            {"id": "-leading-dash"},
+            {"tenant": "x" * 40},
+            {"deadline_s": -1},
+            {"deadline_s": "soon"},
+            {"jobs": 0},
+            {"runs": []},
+            {"runs": "BFS"},
+            {"runs": [{"policy": "pcc"}]},  # no app
+            {"runs": [{"app": "BFS", "policy": "made-up"}]},
+            {"runs": [{"app": "BFS", "warp_speed": True}]},
+            {"runs": [{"app": "BFS", "graph_scale": MAX_GRAPH_SCALE + 1}]},
+            {"runs": [{"app": "BFS", "fragmentation": 1.5}]},
+        ],
+    )
+    def test_bad_payloads_raise(self, mutation):
+        with pytest.raises(RequestError):
+            JobRequest.from_payload(_payload(**mutation))
+
+    def test_non_object_body_raises(self):
+        with pytest.raises(RequestError):
+            JobRequest.from_payload([1, 2, 3])
+
+    def test_runs_cap_is_enforced(self):
+        runs = [{"app": "BFS"}] * (MAX_RUNS_PER_JOB + 1)
+        with pytest.raises(RequestError, match="capped"):
+            JobRequest.from_payload(_payload(runs=runs))
+
+
+class TestSpecs:
+    def test_runs_become_runspecs_with_tier(self):
+        request = JobRequest.from_payload(_payload())
+        specs = request.to_specs(engine_tier="scalar")
+        assert specs[0].app == "BFS"
+        assert specs[0].policy == "pcc"
+        assert specs[0].engine_tier == "scalar"
+        # default tier is the engine default
+        assert request.to_specs()[0].engine_tier is None
+
+    def test_distinct_tiers_have_distinct_journal_keys(self):
+        """A degraded rerun must never alias a full-tier checkpoint."""
+        from repro.experiments.common import execute_spec
+        from repro.resilience.journal import RunJournal
+
+        request = JobRequest.from_payload(_payload())
+        journal = RunJournal("/tmp/unused")
+        keys = {
+            journal.key_for(execute_spec, spec)
+            for tier in (None, "fast", "scalar")
+            for spec in request.to_specs(engine_tier=tier)
+        }
+        assert len(keys) == 3
+
+
+class TestEnvelope:
+    def test_envelope_shape(self):
+        from repro.serve.lifecycle import Job
+
+        request = JobRequest.from_payload(_payload())
+        job = Job.from_request(request)
+        doc = envelope(job)
+        assert doc["schema"] == SERVE_SCHEMA
+        assert doc["job"]["id"] == "job-1"
+        assert doc["job"]["state"] == "queued"
+        assert doc["degraded"] == []
+        assert doc["result"] is None
+        assert doc["error"] is None

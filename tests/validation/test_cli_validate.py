@@ -43,6 +43,33 @@ class TestReplay:
         assert "FAIL case-" in out
         assert "1 failing" in out
 
+    def test_corrupt_corpus_file_is_reported_and_skipped(
+        self, capsys, tmp_path
+    ):
+        """A bad reproducer must not abort the replay of the others."""
+        write_reproducer(generate_case(0), None, tmp_path)
+        write_reproducer(generate_case(1), None, tmp_path)
+        paths = list(iter_corpus(tmp_path))
+        paths[0].write_text("{this is not json")
+        assert cli.main(["validate", "--replay", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert f"BAD  {paths[0].name}" in out
+        # the intact case was still replayed
+        assert "ok   " in out
+        assert "1 unreadable" in out
+
+    def test_truncated_corpus_file_is_reported_and_skipped(
+        self, capsys, tmp_path
+    ):
+        """Valid JSON missing the case schema is unreadable, not fatal."""
+        write_reproducer(generate_case(0), None, tmp_path)
+        bad = tmp_path / "case-truncated.json"
+        bad.write_text('{"schema": "repro.case/v1"}')
+        assert cli.main(["validate", "--replay", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "BAD  case-truncated.json" in out
+        assert "1 unreadable" in out
+
 
 class TestDefectSelfTest:
     @pytest.mark.parametrize(
