@@ -26,7 +26,10 @@ fuzz:
 	$(PYTHON) -m repro validate --fuzz $(FUZZ_CASES) --seed $(FUZZ_SEED)
 	$(PYTHON) -m repro validate --replay tests/corpus
 
-# prove the harness catches planted bugs (each must fail + shrink)
+# prove the harness catches planted bugs (each must fail + shrink).
+# tlb-plru-drift goes through `crosscheck`, not `validate`: every
+# engine tier shares the drifted policy, so only the independent
+# reference model can see it.
 fuzz-selftest:
 	@for defect in stale-hints pcc-no-decay region-count-drift; do \
 		echo "=== defect: $$defect ==="; \
@@ -34,6 +37,10 @@ fuzz-selftest:
 			--inject-defect $$defect \
 			--corpus-dir $${TMPDIR:-/tmp}/repro-fuzz-selftest || exit 1; \
 	done
+	@echo "=== defect: tlb-plru-drift (reference cross-check) ==="
+	@$(PYTHON) -m repro crosscheck --cases 8 --tlb-replacement plru \
+		--inject-defect tlb-plru-drift \
+		--corpus-dir $${TMPDIR:-/tmp}/repro-fuzz-selftest
 
 # the fault matrix: crashes, hangs, cache corruption, kill+resume
 chaos:

@@ -127,6 +127,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig7.add_argument(
         "--fragmentation", type=float, default=0.9, help="fraction fragmented"
     )
+    p_fig7.add_argument(
+        "--tlb-replacement",
+        default="lru",
+        choices=("lru", "plru"),
+        help="TLB victim policy ablation axis: true LRU (default, the "
+        "model's historical behaviour) or tree-PLRU (what real "
+        "translation hardware implements)",
+    )
 
     experiment("fig8", help="multithread policies")
 
@@ -227,6 +235,61 @@ def build_parser() -> argparse.ArgumentParser:
         "require the harness to catch it (see repro.validation.defects)",
     )
     p_val.add_argument(
+        "--shrink-budget",
+        type=int,
+        default=400,
+        metavar="N",
+        help="predicate-call budget for minimizing a failing case",
+    )
+    p_val.add_argument(
+        "--tlb-replacement",
+        default="lru",
+        choices=("lru", "plru"),
+        help="TLB victim policy every generated case runs under "
+        "(default lru)",
+    )
+
+    p_cc = experiment(
+        "crosscheck",
+        help="reference oracle: drive the engine's TLB/PTW stack and an "
+        "independent Ariane-semantics model with identical address "
+        "streams and compare hit levels, victims, and walk traffic",
+    )
+    p_cc.add_argument(
+        "--cases",
+        type=int,
+        default=25,
+        metavar="N",
+        help="number of fuzz cases per replacement policy (default 25)",
+    )
+    p_cc.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="first case seed; CI passes a per-run value so every build "
+        "explores fresh cases (default 0, deterministic locally)",
+    )
+    p_cc.add_argument(
+        "--tlb-replacement",
+        default="both",
+        choices=("both", "lru", "plru"),
+        help="which victim policies to cross-check (default both)",
+    )
+    p_cc.add_argument(
+        "--inject-defect",
+        metavar="NAME",
+        help="self-test: install a named deliberate defect first and "
+        "require the cross-check to catch it",
+    )
+    p_cc.add_argument(
+        "--corpus-dir",
+        metavar="DIR",
+        default=None,
+        help="where failing cases are shrunk and persisted "
+        "(default tests/corpus)",
+    )
+    p_cc.add_argument(
         "--shrink-budget",
         type=int,
         default=400,
@@ -366,6 +429,7 @@ def _run_validate(args) -> int:
     from repro.validation import defects
     from repro.validation.generators import generate_case
     from repro.validation.oracle import ValidationFailure, check_case
+    from repro.validation.reference import check_case_or_crosscheck
     from repro.validation.shrink import (
         DEFAULT_CORPUS_DIR,
         iter_corpus,
@@ -401,7 +465,10 @@ def _run_validate(args) -> int:
                           f"({error})")
                     continue
                 try:
-                    check_case(case)
+                    # reference.* reproducers re-run through the
+                    # cross-check harness that found them; everything
+                    # else goes back through the tier oracle
+                    check_case_or_crosscheck(case, past.get("domain"))
                 except ValidationFailure as failure:
                     failures += 1
                     print(f"FAIL {path.name}: {failure}")
@@ -416,7 +483,15 @@ def _run_validate(args) -> int:
 
         notes = 0
         for seed in range(args.seed, args.seed + args.fuzz):
-            case = generate_case(seed, min_threads=args.min_threads)
+            case = generate_case(
+                seed,
+                min_threads=args.min_threads,
+                tlb_replacement=(
+                    args.tlb_replacement
+                    if args.tlb_replacement != "lru"
+                    else None
+                ),
+            )
             try:
                 report = check_case(case)
             except ValidationFailure as failure:
@@ -449,6 +524,98 @@ def _run_validate(args) -> int:
             # here means the harness has a blind spot.
             print(
                 f"validate: defect {args.inject_defect!r} was NOT caught"
+            )
+            return 1
+        return 0
+
+
+#: Geometry overrides the cross-check rotates through, chosen to leave
+#: the degenerate-equivalence regime: the tiny default config is all
+#: 2-way (where tree-PLRU and true LRU coincide), so the sweep mixes in
+#: wider and non-power-of-two set shapes where the policies genuinely
+#: diverge. ``None`` keeps the case's default geometry.
+CROSSCHECK_GEOMETRIES: tuple[dict | None, ...] = (
+    None,
+    {"l1_base": [6, 3], "l2": [12, 3]},
+    {"l1_base": [8, 4], "l2": [16, 8]},
+    {"l1_base": [8, 8], "l1_huge": [4, 4]},
+)
+
+
+def _run_crosscheck(args) -> int:
+    import contextlib
+
+    from repro.validation import defects
+    from repro.validation.generators import generate_case
+    from repro.validation.oracle import ValidationFailure
+    from repro.validation.reference import check_crosscheck
+    from repro.validation.shrink import (
+        DEFAULT_CORPUS_DIR,
+        same_failure,
+        shrink_case,
+        write_reproducer,
+    )
+
+    corpus_dir = args.corpus_dir or DEFAULT_CORPUS_DIR
+    replacements = (
+        ("lru", "plru")
+        if args.tlb_replacement == "both"
+        else (args.tlb_replacement,)
+    )
+    injection = (
+        defects.inject(args.inject_defect)
+        if args.inject_defect
+        else contextlib.nullcontext()
+    )
+
+    with injection:
+        checked = 0
+        for seed in range(args.seed, args.seed + args.cases):
+            geometry = CROSSCHECK_GEOMETRIES[
+                seed % len(CROSSCHECK_GEOMETRIES)
+            ]
+            for replacement in replacements:
+                case = generate_case(
+                    seed,
+                    tlb_replacement=(
+                        replacement if replacement != "lru" else None
+                    ),
+                    tlb_geometry=geometry,
+                )
+                try:
+                    check_crosscheck(case)
+                    checked += 1
+                except ValidationFailure as failure:
+                    print(f"FAIL {case.describe()}")
+                    print(f"     {failure}")
+                    predicate = same_failure(
+                        check_crosscheck, failure.domain
+                    )
+                    small = shrink_case(
+                        case, predicate, budget=args.shrink_budget
+                    )
+                    path = write_reproducer(small, failure, corpus_dir)
+                    print(
+                        f"     shrunk {case.total_accesses} -> "
+                        f"{small.total_accesses} accesses, "
+                        f"reproducer: {path}"
+                    )
+                    if args.inject_defect:
+                        print(
+                            f"crosscheck: defect "
+                            f"{args.inject_defect!r} caught and shrunk"
+                        )
+                        return 0
+                    return 1
+        print(
+            f"crosscheck: {checked} machine-vs-reference runs agree "
+            f"(seeds {args.seed}..{args.seed + args.cases - 1}, "
+            f"policies {'/'.join(replacements)})"
+        )
+        if args.inject_defect:
+            print(
+                f"crosscheck: defect {args.inject_defect!r} was NOT "
+                f"caught"
             )
             return 1
         return 0
@@ -581,9 +748,10 @@ def _dispatch(args, scale: ExperimentScale) -> int:
         apps = tuple(_split(args.apps) or ("BFS", "SSSP", "PR"))
         rows = fig7.run(
             scale, apps=apps, fragmentation=args.fragmentation, jobs=jobs,
-            resume=resume,
+            resume=resume, tlb_replacement=args.tlb_replacement,
         )
-        print(fig7.render(rows, fragmentation=args.fragmentation))
+        print(fig7.render(rows, fragmentation=args.fragmentation,
+                          tlb_replacement=args.tlb_replacement))
     elif args.experiment == "fig8":
         print(fig8.render(fig8.run(scale, jobs=jobs, resume=resume)))
     elif args.experiment == "fig9":
@@ -700,6 +868,8 @@ def _dispatch(args, scale: ExperimentScale) -> int:
         return _run_serve(args)
     elif args.experiment == "validate":
         return _run_validate(args)
+    elif args.experiment == "crosscheck":
+        return _run_crosscheck(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown experiment {args.experiment!r}")
     return 0

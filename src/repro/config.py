@@ -21,11 +21,17 @@ class TLBConfig:
 
     ``associativity=0`` denotes full associativity (one set spanning
     every entry), matching the paper's notation for the L1 2MB I-TLB.
+
+    ``replacement`` selects the per-set victim policy: ``"lru"`` (true
+    LRU, the model's historical default) or ``"plru"`` (tree
+    pseudo-LRU, the policy real translation hardware such as Ariane's
+    TLBs implements — see ``repro.tlb.plru``).
     """
 
     entries: int
     associativity: int
     page_sizes: tuple[PageSize, ...]
+    replacement: str = "lru"
 
     def __post_init__(self) -> None:
         if self.entries <= 0:
@@ -39,6 +45,10 @@ class TLBConfig:
             )
         if not self.page_sizes:
             raise ValueError("a TLB must serve at least one page size")
+        if self.replacement not in ("lru", "plru"):
+            raise ValueError(
+                f"unknown TLB replacement policy: {self.replacement!r}"
+            )
 
     @property
     def ways(self) -> int:
@@ -63,6 +73,22 @@ class TLBHierarchyConfig:
     def coverage_bytes(self) -> int:
         """Upper-bound bytes the hierarchy can map with 4KB entries only."""
         return (self.l1_base.entries + self.l2.entries) * PageSize.BASE.bytes
+
+    def with_replacement(self, replacement: str) -> "TLBHierarchyConfig":
+        """Copy with every structure's replacement policy swapped.
+
+        The hierarchy enforces one policy across all four structures —
+        mixed-policy stacks are not a hardware design point we model.
+        The page-walk caches are *not* governed by this knob: they stay
+        LRU regardless (see ``repro.tlb.walker``).
+        """
+        return replace(
+            self,
+            l1_base=replace(self.l1_base, replacement=replacement),
+            l1_huge=replace(self.l1_huge, replacement=replacement),
+            l1_giga=replace(self.l1_giga, replacement=replacement),
+            l2=replace(self.l2, replacement=replacement),
+        )
 
 
 @dataclass(frozen=True)
@@ -194,6 +220,10 @@ class SystemConfig:
     def with_(self, **overrides) -> "SystemConfig":
         """Return a copy with top-level fields replaced."""
         return replace(self, **overrides)
+
+    def with_tlb_replacement(self, replacement: str) -> "SystemConfig":
+        """Copy with the TLB hierarchy's replacement policy swapped."""
+        return replace(self, tlb=self.tlb.with_replacement(replacement))
 
 
 def paper_config() -> SystemConfig:

@@ -536,6 +536,23 @@ class TranslationPipeline:
         self.columnar_mt_epochs = 0
         self.columnar_faults_batched = 0
         self.columnar_faults_scalar = 0
+        # Epoch windows declined because the TLBs replace by tree-PLRU:
+        # the whole-epoch classifier is exact-LRU-specific, so PLRU
+        # epochs take the quantum tiers instead (counted, bit-identical).
+        self.columnar_plru_fallbacks = 0
+        # Under PLRU the dict-order tier-2 probe is unsound (insertion
+        # order no longer tracks recency) but tier 1 stays exact: a
+        # hint match means the set's most recent probe touched this
+        # very tag, so the tree bits already point away from its way
+        # and skipping the re-touch is a no-op (PLRU touch is
+        # idempotent). The same argument keeps the batch retirement
+        # mask exact — its links only mark records whose immediately
+        # preceding same-set record carried the same tag. The loops
+        # below are swapped for variants without the tier-2 blocks.
+        self._plru = core.config.tlb.l1_base.replacement == "plru"
+        if self._plru:
+            self._run_quantum_fast = self._run_quantum_fast_plru
+            self._scalar_spans = self._scalar_spans_plru
         #: the slot whose quantum most recently ran on this core
         self._active_slot = None
 
@@ -709,6 +726,88 @@ class TranslationPipeline:
                 walks += 1
             # The access left its translation at the MRU position of
             # the structure matching ``size`` (hit-refresh or fill).
+            if size is size_base:
+                base_mru[base_set] = vpn
+            elif size is size_huge:
+                huge_mru[huge_set] = huge_tag
+            budget -= repeat
+            i += 1
+        cycles += self._l1_hit_cycles * fast_units
+        self._pending_base_records += fast_base
+        self._pending_huge_records += fast_huge
+        self._pending_accesses += fast_units
+        self.fast_hits += fast_base + fast_huge
+        self.slow_records += slow
+        return i, start_budget - budget, cycles, walks
+
+    def _run_quantum_fast_plru(self, slot: _ThreadSlot, budget: int,
+                               page_table):
+        """PLRU-mode fast loop: tier 1 only, tier 2 routes to translate.
+
+        Tier 1 survives the policy swap unchanged — a hint match means
+        the set's most recent probe touched this very tag, so the PLRU
+        tree already points away from its way and the skipped re-touch
+        is a no-op (touch idempotence). Tier 2's dict del/reinsert *is*
+        the LRU recency update, so it has no PLRU analogue; live-hit
+        records fall through to the full translate path, whose
+        hierarchy lookup performs the tree touch and counts the hit.
+        The extra fall-throughs change only speed, never state: a
+        live-L1-hit record's vpn is provably in the seen-set (the entry
+        was filled by a prior access to it) so the fault check is a
+        no-op, and a vpn resident in L1-4K excludes a covering L1-2M
+        entry (one backing per region between shootdowns), so the 2MB
+        hint cannot answer for it.
+        """
+        vpns = slot.vpns
+        counts = slot.counts
+        i = slot.cursor
+        n = slot.length
+        seen = slot.seen
+        fault = slot.fault
+        is_mapped = page_table.is_mapped
+        translate = self._translate
+        base_mru = self._base_mru
+        huge_mru = self._huge_mru
+        nbase = self._nbase
+        nhuge = self._nhuge
+        miss_level = HitLevel.MISS
+        size_base = PageSize.BASE
+        size_huge = PageSize.HUGE
+        start_budget = budget
+        fast_units = 0
+        cycles = 0
+        walks = 0
+        fast_base = 0
+        fast_huge = 0
+        slow = 0
+        while budget > 0 and i < n:
+            vpn = vpns[i]
+            repeat = counts[i]
+            base_set = vpn % nbase
+            if base_mru[base_set] == vpn:
+                fast_base += 1
+                fast_units += repeat
+                budget -= repeat
+                i += 1
+                continue
+            if vpn not in seen:
+                seen.add(vpn)
+                vaddr = vpn << BASE_PAGE_SHIFT
+                if not is_mapped(vaddr):
+                    fault(vaddr)
+            huge_tag = vpn >> _HUGE_SHIFT
+            huge_set = huge_tag % nhuge
+            if huge_mru[huge_set] == huge_tag:
+                fast_huge += 1
+                fast_units += repeat
+                budget -= repeat
+                i += 1
+                continue
+            slow += 1
+            step_cycles, level, size = translate(vpn, page_table, repeat)
+            cycles += step_cycles
+            if level is miss_level:
+                walks += 1
             if size is size_base:
                 base_mru[base_set] = vpn
             elif size is size_huge:
@@ -967,6 +1066,71 @@ class TranslationPipeline:
         self.slow_records += slow
         return cycles, walks, fast_base, fast_huge, fast_units
 
+    def _scalar_spans_plru(self, slot: _ThreadSlot, starts: list[int],
+                           ends: list[int], page_table):
+        """PLRU-mode gap loop: :meth:`_run_quantum_fast_plru` over
+        record-index spans, mirroring :meth:`_scalar_spans` for LRU.
+
+        The batch tier itself needs no PLRU variant: the retirement
+        mask only marks records whose immediately preceding same-set
+        record carried the same tag, so every bulk-retired touch is an
+        idempotent re-touch under the tree exactly as a tier-1 hint
+        hit is.
+        """
+        vpns = slot.vpns
+        counts = slot.counts
+        seen = slot.seen
+        fault = slot.fault
+        is_mapped = page_table.is_mapped
+        translate = self._translate
+        base_mru = self._base_mru
+        huge_mru = self._huge_mru
+        nbase = self._nbase
+        nhuge = self._nhuge
+        miss_level = HitLevel.MISS
+        size_base = PageSize.BASE
+        size_huge = PageSize.HUGE
+        fast_units = 0
+        cycles = 0
+        walks = 0
+        fast_base = 0
+        fast_huge = 0
+        slow = 0
+        for i, stop in zip(starts, ends):
+            while i < stop:
+                vpn = vpns[i]
+                repeat = counts[i]
+                base_set = vpn % nbase
+                if base_mru[base_set] == vpn:
+                    fast_base += 1
+                    fast_units += repeat
+                    i += 1
+                    continue
+                if vpn not in seen:
+                    seen.add(vpn)
+                    vaddr = vpn << BASE_PAGE_SHIFT
+                    if not is_mapped(vaddr):
+                        fault(vaddr)
+                huge_tag = vpn >> _HUGE_SHIFT
+                huge_set = huge_tag % nhuge
+                if huge_mru[huge_set] == huge_tag:
+                    fast_huge += 1
+                    fast_units += repeat
+                    i += 1
+                    continue
+                slow += 1
+                step_cycles, level, size = translate(vpn, page_table, repeat)
+                cycles += step_cycles
+                if level is miss_level:
+                    walks += 1
+                if size is size_base:
+                    base_mru[base_set] = vpn
+                elif size is size_huge:
+                    huge_mru[huge_set] = huge_tag
+                i += 1
+        self.slow_records += slow
+        return cycles, walks, fast_base, fast_huge, fast_units
+
     # ------------------------------------------------------------------
     # the columnar epoch tier
 
@@ -989,6 +1153,12 @@ class TranslationPipeline:
             self._active_slot = slot
             slot.hint_barrier = slot.cursor
         if not self.columnar or slot.stream is None:
+            return self.run_quantum(slot, budget, page_table)
+        if self._plru:
+            # The whole-epoch classifier proves hits against exact-LRU
+            # stack depths; no such closed form exists for tree-PLRU,
+            # so PLRU epochs take the quantum tiers (still bit-exact).
+            self.columnar_plru_fallbacks += 1
             return self.run_quantum(slot, budget, page_table)
         if slot.columnar_off:
             slot.columnar_probe -= 1
@@ -1555,6 +1725,8 @@ class TranslationPipeline:
                 self.columnar_faults_batched,
             f"{prefix}.columnar_faults_scalar":
                 self.columnar_faults_scalar,
+            f"{prefix}.columnar_plru_fallbacks":
+                self.columnar_plru_fallbacks,
         }
         # Epoch-length histogram: power-of-two buckets, emitted sparsely
         # (bucket k holds epochs whose record count has bit_length k).
@@ -1915,6 +2087,12 @@ class Machine:
             # One PCC consumes walk admissions from every core in
             # round-interleaved order; per-slot bulk applies would
             # reorder them.
+            return False
+        first = self.pipelines[live[0].core_id]
+        if first._plru:
+            # The epoch classifier is exact-LRU-specific (see
+            # run_epoch); count the decline once per span.
+            first.columnar_plru_fallbacks += 1
             return False
         pipelines = self.pipelines
         seen_cores = set()

@@ -410,6 +410,10 @@ class RunSpec:
     #: keys distinguish tiers — a degraded re-run never aliases a
     #: full-tier checkpoint.
     engine_tier: str | None = None
+    #: TLB victim policy ablation axis (``lru``/``plru``). Part of the
+    #: spec for the same journal-keying reason as ``engine_tier``: a
+    #: plru sweep must never resume from an lru checkpoint.
+    tlb_replacement: str = "lru"
 
     @classmethod
     def for_scale(cls, scale: ExperimentScale, app: str, policy: HugePagePolicy,
@@ -438,6 +442,8 @@ def execute_spec(spec: RunSpec) -> SimulationResult:
     if spec.promote_every_accesses is not None:
         overrides["promote_every_accesses"] = spec.promote_every_accesses
     config = config_for(workload, **overrides)
+    if spec.tlb_replacement != "lru":
+        config = config.with_tlb_replacement(spec.tlb_replacement)
     policy = HugePagePolicy(spec.policy)
     budget = None
     if spec.budget_percent is not None:

@@ -33,22 +33,38 @@ def run(
     fragmentation: float = FRAGMENTATION,
     jobs: int | None = None,
     resume: bool = False,
+    tlb_replacement: str = "lru",
 ) -> list[Fig7Row]:
     """Five independent runs per app (``jobs > 1`` fans them out;
-    ``resume`` skips journal-committed specs after a kill)."""
+    ``resume`` skips journal-committed specs after a kill).
+
+    ``tlb_replacement`` is the hardware-faithfulness ablation axis:
+    ``"plru"`` reruns every bar with tree-PLRU TLB victim selection
+    (what Ariane-class hardware implements) instead of true LRU, so the
+    figure can be compared across replacement policies.
+    """
     apps = tuple(apps)
     specs = []
     for app in apps:
-        specs.append(RunSpec.for_scale(scale, app, HugePagePolicy.NONE))
+        specs.append(
+            RunSpec.for_scale(
+                scale, app, HugePagePolicy.NONE,
+                tlb_replacement=tlb_replacement,
+            )
+        )
         for policy in (HugePagePolicy.HAWKEYE, HugePagePolicy.LINUX_THP,
                        HugePagePolicy.PCC):
             specs.append(
-                RunSpec.for_scale(scale, app, policy, fragmentation=fragmentation)
+                RunSpec.for_scale(
+                    scale, app, policy, fragmentation=fragmentation,
+                    tlb_replacement=tlb_replacement,
+                )
             )
         specs.append(
             RunSpec.for_scale(
                 scale, app, HugePagePolicy.PCC,
                 fragmentation=fragmentation, demotion=True,
+                tlb_replacement=tlb_replacement,
             )
         )
     results = run_specs(specs, jobs, resume=resume)
@@ -88,7 +104,14 @@ def geomeans(rows: list[Fig7Row]) -> dict[str, float]:
     }
 
 
-def render(rows: list[Fig7Row], fragmentation: float = FRAGMENTATION) -> str:
+def render(
+    rows: list[Fig7Row],
+    fragmentation: float = FRAGMENTATION,
+    tlb_replacement: str = "lru",
+) -> str:
+    policy_note = "" if tlb_replacement == "lru" else (
+        f", {tlb_replacement.upper()} TLBs"
+    )
     table = report.format_table(
         ["App", "HawkEye", "Linux THP", "PCC", "PCC+Demote"],
         [
@@ -98,7 +121,7 @@ def render(rows: list[Fig7Row], fragmentation: float = FRAGMENTATION) -> str:
         ],
         title=(
             f"Fig. 7 — speedup over 4KB baseline with "
-            f"{fragmentation:.0%} fragmented memory"
+            f"{fragmentation:.0%} fragmented memory{policy_note}"
         ),
     )
     means = geomeans(rows)

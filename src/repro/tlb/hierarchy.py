@@ -90,6 +90,29 @@ class TLBHierarchy:
         self._l2_stats = self.l2.stats
         self._l1_base_fill = self.l1_base.fill
         self._l1_huge_fill = self.l1_huge.fill
+        replacements = {
+            config.l1_base.replacement,
+            config.l1_huge.replacement,
+            config.l1_giga.replacement,
+            config.l2.replacement,
+        }
+        if len(replacements) > 1:
+            raise ValueError(
+                "mixed TLB replacement policies in one hierarchy: "
+                f"{sorted(replacements)}"
+            )
+        self._plru = config.l1_base.replacement == "plru"
+        if self._plru:
+            # The inlined lookup() below is LRU-specific (dict
+            # delete+reinsert is the recency update); under PLRU the
+            # structures rebound their own methods, so the hierarchy
+            # rebinds lookup to the method-call variant and hoists the
+            # per-structure probes. LRU runs pay nothing for the knob.
+            self._b_hit = self.l1_base.hit_fast
+            self._h_hit = self.l1_huge.hit_fast
+            self._g_hit = self.l1_giga.hit_fast
+            self._l2_hit = self.l2.hit_fast
+            self.lookup = self._lookup_plru
         # Per page size: (vpn shift, L1 structure, L2 or None, stored
         # entry value as a plain int — filling with the IntEnum itself
         # would re-run int() on the enum for every walk).
@@ -174,13 +197,40 @@ class TLBHierarchy:
         self._l2_stats.misses += 1
         return _MISS
 
-    def fill(self, vpn: int, page_size: PageSize) -> None:
-        """Install the walked translation into L1 (and L2 if served)."""
+    def _lookup_plru(self, vpn: int) -> AccessResult:
+        """PLRU-mode lookup: same probe order and attribution as the
+        inlined LRU path, recency updates delegated to the structures."""
+        self.accesses += 1
+        if self._b_hit(vpn):
+            return _L1_BASE
+        huge_tag = vpn >> _HUGE_SHIFT
+        if self._h_hit(huge_tag):
+            return _L1_HUGE
+        giga_tag = vpn >> _GIGA_SHIFT
+        if self._g_hit(giga_tag):
+            return _L1_GIGA
+        self._b_stats.misses += 1
+        if self._l2_hit(vpn):
+            self._l1_base_fill(vpn, BASE_PAGE_SHIFT)
+            return _L2_BASE
+        if self._l2_serves_huge and self._l2_hit(huge_tag):
+            self._l1_huge_fill(huge_tag, HUGE_PAGE_SHIFT)
+            return _L2_HUGE
+        self._l2_stats.misses += 1
+        return _MISS
+
+    def fill(self, vpn: int, page_size: PageSize) -> tuple[int | None, int | None]:
+        """Install the walked translation into L1 (and L2 if served).
+
+        Returns ``(l1_victim, l2_victim)`` region tags (``None`` where
+        nothing was evicted) so differential harnesses can cross-check
+        victim selection; the engine ignores the return value.
+        """
         shift, l1, l2, entry = self._fill_plan[page_size]
         tag = vpn >> shift
-        l1.fill(tag, entry)
-        if l2 is not None:
-            l2.fill(tag, entry)
+        l1_victim = l1.fill(tag, entry)
+        l2_victim = l2.fill(tag, entry) if l2 is not None else None
+        return l1_victim, l2_victim
 
     def shootdown_region(self, huge_region: int) -> None:
         """Invalidate every entry overlapping 2MB region ``huge_region``.

@@ -1,4 +1,4 @@
-"""Set-associative TLB with true-LRU replacement.
+"""Set-associative TLB with true-LRU or tree-PLRU replacement.
 
 One :class:`TLB` instance models one hardware structure (e.g. the L1
 4KB D-TLB). Tags are region numbers at the structure's page
@@ -6,9 +6,22 @@ granularity; each set is an insertion-ordered dict, so true LRU falls
 out of Python's dict ordering: a hit deletes and reinserts the tag,
 moving it to the most-recently-used position.
 
+With ``TLBConfig.replacement == "plru"`` the structure instead keeps
+one tree-PLRU bitmask per set (:mod:`repro.tlb.plru`) plus explicit
+way<->tag maps, the organization real hardware TLBs use. The entry
+dicts are still maintained (membership only — their order is
+meaningless under PLRU) so presence probes, occupancy accounting, and
+the invariant monitor work identically for both policies. Observable
+PLRU semantics: hits and fills touch the tree; ``probe`` does not;
+a fill prefers the lowest-index empty way before consulting the tree;
+``invalidate`` frees the way but leaves the direction bits (hardware
+does not rewind them); ``flush`` resets both.
+
 This sits on the simulator's hottest path, so the implementation
 favors plain ints and direct dict operations; the page size stored per
 entry is the :class:`~repro.vm.address.PageSize` *value* (the shift).
+The PLRU variants are installed as instance attributes at construction
+so the LRU hot path pays nothing for the knob.
 """
 
 from __future__ import annotations
@@ -16,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.config import TLBConfig
+from repro.tlb import plru
 from repro.vm.address import PageSize
 
 
@@ -62,6 +76,21 @@ class TLB:
         self._sets: list[dict[int, int]] = [dict() for _ in range(config.sets)]
         self._nsets = config.sets
         self._ways = config.ways
+        self._plru = config.replacement == "plru"
+        if self._plru:
+            #: per-set tree-PLRU direction bitmask (repro.tlb.plru)
+            self._bits = [0] * config.sets
+            #: per-set way -> resident tag (-1 = empty way)
+            self._way_tags = [[-1] * config.ways for _ in range(config.sets)]
+            #: per-set tag -> way (the O(1) probe under PLRU)
+            self._way_of: list[dict[int, int]] = [
+                dict() for _ in range(config.sets)
+            ]
+            self.lookup = self._lookup_plru
+            self.hit_fast = self._hit_fast_plru
+            self.fill = self._fill_plru
+            self.invalidate = self._invalidate_plru
+            self.flush = self._flush_plru
 
     @property
     def sets(self) -> list[dict[int, int]]:
@@ -139,6 +168,84 @@ class TLB:
         for entries in self._sets:
             self.stats.invalidations += len(entries)
             entries.clear()
+
+    # ------------------------------------------------------------------
+    # tree-PLRU variants (bound over the defaults in __init__ when
+    # config.replacement == "plru"; repro.tlb.plru is always called
+    # through the module attribute so defect injection can intercept it)
+
+    def _lookup_plru(self, tag: int) -> bool:
+        si = tag % self._nsets
+        way = self._way_of[si].get(tag)
+        if way is None:
+            self.stats.misses += 1
+            return False
+        self._bits[si] = plru.touch(self._bits[si], self._ways, way)
+        self.stats.hits += 1
+        return True
+
+    def _hit_fast_plru(self, tag: int) -> bool:
+        si = tag % self._nsets
+        way = self._way_of[si].get(tag)
+        if way is None:
+            return False
+        self._bits[si] = plru.touch(self._bits[si], self._ways, way)
+        self.stats.hits += 1
+        return True
+
+    def _fill_plru(self, tag: int, page_size: PageSize | int) -> int | None:
+        size = page_size if type(page_size) is int else int(page_size)
+        si = tag % self._nsets
+        entries = self._sets[si]
+        way_of = self._way_of[si]
+        way = way_of.get(tag)
+        if way is not None:
+            entries[tag] = size
+            self._bits[si] = plru.touch(self._bits[si], self._ways, way)
+            return None
+        tags = self._way_tags[si]
+        victim = None
+        if len(way_of) >= self._ways:
+            way = plru.victim(self._bits[si], self._ways)
+            victim = tags[way]
+            del entries[victim]
+            del way_of[victim]
+            self.stats.evictions += 1
+        else:
+            way = tags.index(-1)
+        tags[way] = tag
+        way_of[tag] = way
+        entries[tag] = size
+        self._bits[si] = plru.touch(self._bits[si], self._ways, way)
+        return victim
+
+    def _invalidate_plru(self, tag: int) -> bool:
+        si = tag % self._nsets
+        way = self._way_of[si].pop(tag, None)
+        if way is None:
+            return False
+        del self._sets[si][tag]
+        self._way_tags[si][way] = -1
+        self.stats.invalidations += 1
+        return True
+
+    def _flush_plru(self) -> None:
+        for si, entries in enumerate(self._sets):
+            self.stats.invalidations += len(entries)
+            entries.clear()
+            self._way_of[si].clear()
+            tags = self._way_tags[si]
+            for way in range(self._ways):
+                tags[way] = -1
+            self._bits[si] = 0
+
+    def plru_state(self, index: int) -> tuple[int, list[int]]:
+        """(direction bits, way->tag list) of set ``index`` (PLRU only).
+
+        Introspection for the invariant monitor and tests; raises
+        ``AttributeError`` under LRU, where no tree state exists.
+        """
+        return self._bits[index], list(self._way_tags[index])
 
     def occupancy(self) -> int:
         """Entries currently resident."""

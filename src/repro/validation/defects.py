@@ -12,7 +12,12 @@ correctness mechanism the oracle and invariants are supposed to defend:
   ``counter_max``;
 - ``region-count-drift`` — the page table's per-region base-page
   counter is double-incremented on fault, drifting away from the PTE
-  population it summarizes.
+  population it summarizes;
+- ``tlb-plru-drift`` — tree-PLRU victim selection descends the wrong
+  root subtree, evicting a recently-used way. Every engine tier shares
+  the drifted policy, so tier-vs-tier comparison stays green; only the
+  independent reference oracle (``repro.validation.reference``) can
+  catch it, which is exactly what it exists to prove.
 
 The test suite (and ``repro validate --inject-defect``) asserts that
 each injection is *caught* — by tier divergence or an invariant — and
@@ -73,11 +78,40 @@ def region_count_drift() -> Iterator[None]:
         PageTable.map_base = original
 
 
+@contextlib.contextmanager
+def tlb_plru_drift() -> Iterator[None]:
+    """Make tree-PLRU victim selection descend the wrong root subtree.
+
+    Flips the root direction bit before consulting the tree, so a full
+    set evicts from the recently-used half. The production ``TLB``
+    calls ``plru.victim`` through the module attribute precisely so
+    this patch intercepts every structure at once; with all four tiers
+    drifting together, the tier oracle is blind and only the reference
+    cross-check's victim comparison trips. Inert under LRU (the tree is
+    never consulted) and at 1-way sets (no subtree to get wrong).
+    """
+    from repro.tlb import plru
+
+    original = plru.victim
+
+    def drifted_victim(bits: int, ways: int) -> int:
+        if ways > 1:
+            bits ^= 1 << 1  # invert the root's left/right decision
+        return original(bits, ways)
+
+    plru.victim = drifted_victim
+    try:
+        yield
+    finally:
+        plru.victim = original
+
+
 #: name -> context manager installing the defect for the duration
 DEFECTS: dict[str, Callable[[], contextlib.AbstractContextManager]] = {
     "stale-hints": stale_hints,
     "pcc-no-decay": pcc_no_decay,
     "region-count-drift": region_count_drift,
+    "tlb-plru-drift": tlb_plru_drift,
 }
 
 

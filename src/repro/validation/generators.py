@@ -25,7 +25,7 @@ from __future__ import annotations
 import hashlib
 import json
 import random
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -71,6 +71,14 @@ class FuzzCase:
     pcc_replacement: str = "lfu"
     pcc_dump_mode: str = "flush"
     demotion: bool = False
+    #: TLB replacement policy for every hierarchy structure
+    #: ("lru" or "plru"); omitted from the JSON form at the default so
+    #: every historical case keeps its content hash
+    tlb_replacement: str = "lru"
+    #: TLB geometry overrides: structure name ("l1_base", "l1_huge",
+    #: "l1_giga", "l2") -> [entries, associativity]; empty means the
+    #: tiny-config default grid (and is omitted from the JSON form)
+    tlb_geometry: dict = field(default_factory=dict)
     #: pages in the single VMA window (multiple 2MB regions)
     window_pages: int = 1024
     #: window-relative 2MB region indexes preselected for ORACLE runs
@@ -94,8 +102,18 @@ class FuzzCase:
         return hashlib.sha256(payload.encode()).hexdigest()[:12]
 
     def to_dict(self) -> dict:
-        """Plain-data form for JSON round-tripping."""
-        return asdict(self)
+        """Plain-data form for JSON round-tripping.
+
+        The TLB knobs are dropped at their defaults so every case
+        minted before they existed serializes — and hashes — exactly
+        as it always did (``case_id`` is a content hash).
+        """
+        data = asdict(self)
+        if data["tlb_replacement"] == "lru":
+            del data["tlb_replacement"]
+        if not data["tlb_geometry"]:
+            del data["tlb_geometry"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "FuzzCase":
@@ -103,6 +121,10 @@ class FuzzCase:
         case = cls(**data)
         case.threads = [[int(p) for p in t] for t in case.threads]
         case.static_regions = [int(r) for r in case.static_regions]
+        case.tlb_geometry = {
+            name: [int(v) for v in geometry]
+            for name, geometry in case.tlb_geometry.items()
+        }
         return case
 
     def describe(self) -> str:
@@ -123,7 +145,22 @@ class FuzzCase:
     def build_config(self) -> SystemConfig:
         """Tiny-geometry system configuration with this case's knobs."""
         base = tiny_config()
+        tlb = base.tlb
+        if self.tlb_geometry:
+            structure_overrides = {}
+            for name in ("l1_base", "l1_huge", "l1_giga", "l2"):
+                if name in self.tlb_geometry:
+                    entries, associativity = self.tlb_geometry[name]
+                    structure_overrides[name] = replace(
+                        getattr(tlb, name),
+                        entries=int(entries),
+                        associativity=int(associativity),
+                    )
+            tlb = replace(tlb, **structure_overrides)
+        if self.tlb_replacement != "lru":
+            tlb = tlb.with_replacement(self.tlb_replacement)
         return base.with_(
+            tlb=tlb,
             pcc=PCCConfig(
                 entries=self.pcc_entries,
                 counter_bits=self.pcc_counter_bits,
@@ -259,12 +296,23 @@ def _thread_stream(
     return [int(p) % window_pages for p in stream]
 
 
-def generate_case(seed: int, min_threads: int = 1) -> FuzzCase:
+def generate_case(
+    seed: int,
+    min_threads: int = 1,
+    *,
+    tlb_replacement: str | None = None,
+    tlb_geometry: dict | None = None,
+) -> FuzzCase:
     """Deterministically derive one fuzz case from ``seed``.
 
     ``min_threads`` raises the thread count floor (the multi-thread
-    epoch sweeps pin it to 2+); it is applied after the draw so the
-    default keeps every historical seed's case byte-identical.
+    epoch sweeps pin it to 2+). ``tlb_replacement`` and
+    ``tlb_geometry`` let harnesses (the replacement-policy sweeps and
+    the reference-oracle cross-check) pin the TLB knobs the case runs
+    under; earlier versions silently ignored geometry overrides, so
+    way/set counts only ever came from the default grid. All overrides
+    are applied after every random draw, so the defaults keep every
+    historical seed's case byte-identical.
     """
     rng = random.Random(seed)
     np_rng = np.random.default_rng(seed)
@@ -301,4 +349,11 @@ def generate_case(seed: int, min_threads: int = 1) -> FuzzCase:
     # meaningful.
     picks = rng.randrange(0, nregions + 1)
     case.static_regions = sorted(rng.sample(range(nregions), picks))
+    if tlb_replacement is not None:
+        case.tlb_replacement = tlb_replacement
+    if tlb_geometry is not None:
+        case.tlb_geometry = {
+            name: [int(v) for v in geometry]
+            for name, geometry in tlb_geometry.items()
+        }
     return case

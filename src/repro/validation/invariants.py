@@ -163,14 +163,24 @@ class InvariantMonitor:
         the hint without touching the set, which is only legal while
         the hint is the tag most recently made MRU in that set. Epoch
         invalidation resets hints to -1; anything else must keep them
-        exact, so at a tick boundary each hint is either -1 or the last
-        key of its (insertion-ordered) set dict.
+        exact. Under LRU "most recently made MRU" is the last key of
+        the insertion-ordered set dict; under tree-PLRU the dict order
+        is meaningless, so the check becomes touch idempotence — the
+        hint's way must already be marked most-recently-used, i.e.
+        re-touching it must leave the direction bits unchanged (the
+        exact property tier 1 relies on to skip the re-touch).
         """
+        from repro.tlb import plru
+
         core_id = pipeline.core.core_id
-        for label, hints, sets in (
-            ("L1-4K", pipeline._base_mru, pipeline._base_sets),
-            ("L1-2M", pipeline._huge_mru, pipeline._huge_sets),
+        tlb = pipeline.core.tlb
+        for label, hints, structure in (
+            ("L1-4K", pipeline._base_mru, tlb.l1_base),
+            ("L1-2M", pipeline._huge_mru, tlb.l1_huge),
         ):
+            sets = structure.sets
+            is_plru = structure.config.replacement == "plru"
+            ways = structure.config.ways
             for index, hint in enumerate(hints):
                 if hint == -1:
                     continue
@@ -182,6 +192,17 @@ class InvariantMonitor:
                         f"{hint:#x} names an entry not resident (stale "
                         f"hint survived a shootdown?)",
                     )
+                if is_plru:
+                    bits, way_tags = structure.plru_state(index)
+                    way = way_tags.index(hint)
+                    if plru.touch(bits, ways, way) != bits:
+                        _fail(
+                            "fastpath.hint",
+                            f"core {core_id} {label} set {index} hint "
+                            f"{hint:#x} (way {way}) is not the tree's "
+                            f"most-recently-touched way (bits {bits:#x})",
+                        )
+                    continue
                 mru = next(reversed(entries))
                 if mru != hint:
                     _fail(

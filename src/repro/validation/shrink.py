@@ -63,6 +63,10 @@ def _clone(case: FuzzCase, **changes) -> FuzzCase:
         case,
         threads=[list(t) for t in case.threads],
         static_regions=list(case.static_regions),
+        tlb_geometry={
+            name: list(geometry)
+            for name, geometry in case.tlb_geometry.items()
+        },
     )
     for name, value in changes.items():
         setattr(fresh, name, value)
@@ -147,6 +151,8 @@ def _simplify_knobs(
         {"fragmentation": 0.0},
         {"pcc_dump_mode": "flush"},
         {"pcc_replacement": "lfu"},
+        {"tlb_replacement": "lru"},
+        {"tlb_geometry": {}},
         {"static_regions": []},
         {"pcc_counter_bits": 8},
         {"pcc_entries": 4},

@@ -1,0 +1,91 @@
+"""Engine tiers under the tree-PLRU knob.
+
+The adaptive engine's upper tiers encode LRU-specific shortcuts (dict
+reinsert as recency, the columnar epoch classifier's exact-LRU
+algebra). Under ``tlb_replacement="plru"`` each tier either runs a
+policy-correct variant (scalar/fast/batch) or transparently falls back
+a tier (columnar -> quantum), and the observable simulation must stay
+bit-identical across all four — the same guarantee the differential
+oracle enforces for LRU. The fallback is counted so operators can see
+a plru run quietly degrading columnar epochs in ``repro inspect``.
+"""
+
+from repro.obs import inspect as inspect_module
+from repro.validation.generators import generate_case
+from repro.validation.oracle import TIERS, fingerprint, run_case
+
+#: wide geometry: off the all-2-way tiny default where PLRU == LRU
+WIDE = {"l1_base": [8, 4], "l2": [16, 8]}
+
+
+def _case(replacement):
+    return generate_case(
+        5,
+        min_threads=2,
+        tlb_replacement=replacement if replacement != "lru" else None,
+        tlb_geometry=WIDE,
+    )
+
+
+def test_all_four_tiers_are_bit_identical_under_plru():
+    case = _case("plru")
+    prints = {}
+    for tier in TIERS:
+        _, result = run_case(case, tier=tier)
+        prints[tier] = fingerprint(result)
+    assert prints["fast"] == prints["scalar"]
+    assert prints["batch"] == prints["scalar"]
+    assert prints["columnar"] == prints["scalar"]
+
+
+def test_plru_and_lru_actually_diverge_on_wide_sets():
+    """The knob must be live: identical runs under the two policies may
+    not produce identical translation behaviour on 4/8-way sets (if
+    they did, the ablation axis would be measuring nothing)."""
+    _, lru = run_case(_case("lru"), tier="scalar")
+    _, plru = run_case(_case("plru"), tier="scalar")
+    assert fingerprint(lru) != fingerprint(plru)
+
+
+def test_columnar_fallback_is_counted_under_plru():
+    simulator, _ = run_case(_case("plru"), tier="columnar")
+    metrics = {}
+    for index, pipeline in enumerate(simulator.machine.pipelines):
+        metrics.update(pipeline.as_metrics(f"core{index}.fastpath"))
+    fallbacks = sum(
+        value
+        for name, value in metrics.items()
+        if name.endswith(".columnar_plru_fallbacks")
+    )
+    assert fallbacks > 0
+
+
+def test_columnar_fallback_stays_zero_under_lru():
+    simulator, _ = run_case(_case("lru"), tier="columnar")
+    for pipeline in simulator.machine.pipelines:
+        assert pipeline.columnar_plru_fallbacks == 0
+
+
+def test_inspect_renders_the_fallback_counter():
+    """The counter rides the generic ``core<N>.fastpath.*`` export, so
+    ``repro inspect`` must fold and print it with the other tier
+    instrumentation."""
+    doc = {
+        "schema": "repro.metrics/v1",
+        "run_id": "t",
+        "runs": [
+            {
+                "meta": {},
+                "counters": {
+                    "core0.fastpath.columnar_plru_fallbacks": 3,
+                    "core1.fastpath.columnar_plru_fallbacks": 2,
+                },
+            }
+        ],
+    }
+    summary = inspect_module.summarize_metrics(doc)
+    assert summary["engine_tiers"]["columnar_plru_fallbacks"] == 5
+    rendered = inspect_module.render(
+        inspect_module.inspect_document(doc, top=5)
+    )
+    assert "columnar_plru_fallbacks" in rendered

@@ -1,0 +1,72 @@
+"""Fig. 7's TLB-replacement ablation axis: spec threading + rendering.
+
+The full sweep is exercised by the benchmark CI job; here we pin the
+plumbing — ``tlb_replacement`` must survive from the CLI through
+``RunSpec`` into the built machine config, distinguish journal keys,
+and label the rendered table — without paying for a simulation run.
+"""
+
+from repro.experiments import fig7
+from repro.experiments.common import QUICK, RunSpec, execute_spec
+from repro.os.kernel import HugePagePolicy
+
+
+def test_runspec_carries_and_applies_the_replacement_policy():
+    spec = RunSpec.for_scale(
+        QUICK, "BFS", HugePagePolicy.NONE, tlb_replacement="plru"
+    )
+    assert spec.tlb_replacement == "plru"
+    # the spec is frozen and hashable — journal keys must distinguish
+    # an lru run from a plru run of the same configuration
+    lru_spec = RunSpec.for_scale(QUICK, "BFS", HugePagePolicy.NONE)
+    assert lru_spec.tlb_replacement == "lru"
+    assert spec != lru_spec
+
+
+def test_fig7_builds_one_spec_set_per_replacement(monkeypatch):
+    captured = {}
+
+    def fake_run_specs(specs, jobs, resume=False):
+        captured["specs"] = specs
+
+        class _Result:
+            total_cycles = 100
+
+        return [_Result() for _ in specs]
+
+    monkeypatch.setattr(fig7, "run_specs", fake_run_specs)
+    fig7.run(QUICK, apps=("BFS",), tlb_replacement="plru")
+    specs = captured["specs"]
+    assert len(specs) == 5
+    assert all(spec.tlb_replacement == "plru" for spec in specs)
+    fig7.run(QUICK, apps=("BFS",))
+    assert all(
+        spec.tlb_replacement == "lru" for spec in captured["specs"]
+    )
+
+
+def test_execute_spec_applies_the_policy_to_the_machine(monkeypatch):
+    import repro.experiments.common as common
+
+    seen = {}
+
+    def fake_run_policy(workload, policy, config, **kwargs):
+        seen["replacement"] = config.tlb.l1_base.replacement
+        return "result"
+
+    monkeypatch.setattr(common, "run_policy", fake_run_policy)
+    spec = RunSpec(
+        app="BFS",
+        policy=HugePagePolicy.NONE.value,
+        graph_scale=10,
+        proxy_accesses=20_000,
+        tlb_replacement="plru",
+    )
+    assert execute_spec(spec) == "result"
+    assert seen["replacement"] == "plru"
+
+
+def test_render_labels_the_plru_axis():
+    rows = [fig7.Fig7Row("BFS", 1.1, 1.0, 1.2, 1.2)]
+    assert "PLRU TLBs" in fig7.render(rows, tlb_replacement="plru")
+    assert "PLRU" not in fig7.render(rows)

@@ -10,7 +10,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.validation.oracle import check_case
+from repro.validation.reference import check_case_or_crosscheck
 from repro.validation.shrink import iter_corpus, load_reproducer
 
 CORPUS_DIR = Path(__file__).resolve().parents[1] / "corpus"
@@ -26,7 +26,10 @@ def test_the_corpus_is_not_empty():
 @pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
 def test_corpus_case_passes_on_a_healthy_engine(path):
     case, past_failure = load_reproducer(path)
-    report = check_case(case)  # raises ValidationFailure on regression
+    # reference.* reproducers replay through the machine-vs-reference
+    # cross-check that found them; all others through the tier oracle.
+    # either raises ValidationFailure on regression
+    report = check_case_or_crosscheck(case, past_failure.get("domain"))
     assert report.accesses == case.total_accesses
     # the record must say what this reproducer once caught
     assert past_failure.get("domain"), f"{path.name} lacks a failure domain"
@@ -40,3 +43,56 @@ def test_corpus_cases_are_minimal_enough_to_debug():
             f"{path.name} holds {case.total_accesses} accesses; "
             "re-shrink before committing corpus entries"
         )
+
+
+# ----------------------------------------------------------------------
+# the reference oracle's golden sweep record
+
+
+GOLDEN = CORPUS_DIR / "reference-golden.json"
+
+
+def test_golden_record_exists_and_is_clean():
+    """The reference oracle's corpus entry: no machine-vs-model
+    divergence has ever been observed on a healthy engine. The record
+    pins the sweep that established that claim."""
+    import json
+
+    record = json.loads(GOLDEN.read_text())
+    assert record["schema"] == "repro.validation/reference-golden-v1"
+    assert record["sweep"]["divergences"] == 0
+    assert record["sweep"]["replacements"] == ["lru", "plru"]
+    assert record["sweep"]["seed_range"] == [0, 99]
+
+
+def test_golden_sweep_sample_replays_clean():
+    """Re-run a sample of the recorded sweep fresh: the same seeds,
+    geometry rotation, and both replacement policies must still agree
+    with the reference model on this build."""
+    import json
+
+    from repro.cli import CROSSCHECK_GEOMETRIES
+    from repro.validation.generators import generate_case
+    from repro.validation.reference import check_crosscheck
+
+    record = json.loads(GOLDEN.read_text())
+    recorded = [
+        tuple(g.items()) if isinstance(g, dict) else g
+        for g in record["sweep"]["geometries"]
+    ]
+    live = [
+        tuple({k: list(v) for k, v in g.items()}.items())
+        if isinstance(g, dict) else g
+        for g in CROSSCHECK_GEOMETRIES
+    ]
+    assert recorded == live, (
+        "crosscheck geometry grid changed; re-run the full sweep and "
+        "refresh tests/corpus/reference-golden.json"
+    )
+    for seed in record["replay_sample_seeds"]:
+        geometry = CROSSCHECK_GEOMETRIES[seed % len(CROSSCHECK_GEOMETRIES)]
+        for replacement in (None, "plru"):
+            case = generate_case(
+                seed, tlb_replacement=replacement, tlb_geometry=geometry
+            )
+            check_crosscheck(case)  # raises on divergence

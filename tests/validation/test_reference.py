@@ -1,0 +1,180 @@
+"""The reference oracle: machine-vs-model cross-checks and the PLRU
+ablation axis.
+
+Three layers of assurance land here:
+
+1. the healthy engine agrees with the independent Ariane-semantics
+   model (``repro.validation.reference``) on hit levels, victims, walk
+   memory traffic, and end-of-run state, under both replacement
+   policies and non-default geometries;
+2. the planted ``tlb-plru-drift`` defect — invisible to the tier
+   oracle because every tier shares the drifted policy — is caught by
+   the cross-check and shrinks to a debuggable reproducer;
+3. the ``tlb_replacement``/``tlb_geometry`` case knobs actually reach
+   the built config (the generator used to ignore geometry overrides).
+"""
+
+import ast
+
+import pytest
+
+from repro.validation import defects
+from repro.validation.generators import FuzzCase, generate_case
+from repro.validation.oracle import ValidationFailure, check_case
+from repro.validation.reference import (
+    RefTLB,
+    check_case_or_crosscheck,
+    check_crosscheck,
+)
+from repro.validation.shrink import same_failure, shrink_case
+
+#: deliberately off the all-2-way tiny default, where PLRU == LRU
+WIDE = {"l1_base": [8, 4], "l2": [16, 8]}
+ODD = {"l1_base": [6, 3], "l2": [12, 3]}
+
+
+def test_reference_imports_nothing_from_the_production_tlb():
+    """The model is only a witness if it cannot inherit engine bugs:
+    no ``repro.tlb``/``repro.engine`` import may appear at module scope
+    (the harness-only names live inside ``check_crosscheck``)."""
+    from pathlib import Path
+
+    import repro.validation.reference as reference
+
+    tree = ast.parse(Path(reference.__file__).read_text())
+    for node in tree.body:
+        names = []
+        if isinstance(node, ast.Import):
+            names = [alias.name for alias in node.names]
+        elif isinstance(node, ast.ImportFrom):
+            names = [node.module or ""]
+        for name in names:
+            assert not name.startswith(("repro.tlb", "repro.engine")), (
+                f"reference model must stay independent, imports {name}"
+            )
+
+
+@pytest.mark.parametrize("replacement", ["lru", "plru"])
+@pytest.mark.parametrize("geometry", [None, WIDE, ODD],
+                         ids=["default", "wide", "3way"])
+def test_machine_agrees_with_the_reference_model(replacement, geometry):
+    for seed in (0, 3):
+        case = generate_case(
+            seed,
+            tlb_replacement=replacement if replacement != "lru" else None,
+            tlb_geometry=geometry,
+        )
+        report = check_crosscheck(case)  # raises on any divergence
+        assert report.accesses == sum(len(t) for t in case.threads)
+        assert report.replacement == replacement
+        assert "victims" in report.checks
+
+
+def test_crosscheck_exercises_flushes_and_shootdowns():
+    """The event schedule must actually fire, or invalidate semantics
+    go untested."""
+    case = generate_case(3, tlb_replacement="plru")
+    report = check_crosscheck(case)
+    assert report.flushes + report.shootdowns > 0
+    assert report.walks > 0
+
+
+def test_plru_drift_is_invisible_to_the_tier_oracle():
+    """Every engine tier shares the drifted policy, so tier-vs-tier
+    comparison stays green — the blind spot the reference exists for."""
+    with defects.inject("tlb-plru-drift"):
+        check_case(generate_case(0, tlb_replacement="plru",
+                                 tlb_geometry=WIDE))
+
+
+def test_plru_drift_is_caught_and_shrinks_to_a_small_reproducer():
+    with defects.inject("tlb-plru-drift"):
+        case = generate_case(0, tlb_replacement="plru", tlb_geometry=WIDE)
+        with pytest.raises(ValidationFailure) as excinfo:
+            check_crosscheck(case)
+        failure = excinfo.value
+        assert failure.domain == "reference.victim"
+        small = shrink_case(
+            case,
+            same_failure(check_crosscheck, failure.domain),
+            budget=250,
+        )
+    assert small.total_accesses <= 200
+    assert small.total_accesses < case.total_accesses
+    # and the shrunk case still reproduces under the defect...
+    with defects.inject("tlb-plru-drift"):
+        with pytest.raises(ValidationFailure):
+            check_crosscheck(small)
+    # ...while a healthy engine passes it
+    check_crosscheck(small)
+
+
+def test_plru_drift_is_inert_under_lru():
+    """LRU never consults the tree, so the defect must not fire there —
+    it is a PLRU defect, not generic breakage."""
+    with defects.inject("tlb-plru-drift"):
+        check_crosscheck(generate_case(0, tlb_geometry=WIDE))
+
+
+def test_replay_dispatch_routes_reference_domains_to_the_crosscheck():
+    case = generate_case(0, tlb_replacement="plru", tlb_geometry=WIDE)
+    # a reference-domain record replays through check_crosscheck: under
+    # the defect it must fail, where the tier oracle would stay green
+    with defects.inject("tlb-plru-drift"):
+        with pytest.raises(ValidationFailure):
+            check_case_or_crosscheck(case, "reference.victim")
+        check_case_or_crosscheck(case, "oracle.tier")  # tier path: green
+
+
+def test_generate_case_respects_geometry_overrides():
+    """Regression: overrides were once drawn *before* the rng consumed
+    its stream, then silently dropped on the rebuild."""
+    plain = generate_case(7)
+    overridden = generate_case(7, tlb_replacement="plru",
+                               tlb_geometry=WIDE)
+    # same underlying random draws...
+    assert overridden.threads == plain.threads
+    assert overridden.window_pages == plain.window_pages
+    # ...but the knobs must land in the built config
+    config = overridden.build_config()
+    assert config.tlb.l1_base.replacement == "plru"
+    assert config.tlb.l1_base.entries == 8
+    assert config.tlb.l1_base.associativity == 4
+    assert config.tlb.l2.entries == 16
+    assert config.tlb.l2.associativity == 8
+    # and the case identity must reflect them
+    assert overridden.case_id != plain.case_id
+
+
+def test_default_knobs_keep_historical_case_ids_stable():
+    """``tlb_replacement``/``tlb_geometry`` at their defaults must not
+    leak into the serialized form, or every pre-existing corpus id
+    breaks."""
+    case = generate_case(7)
+    payload = case.to_dict()
+    assert "tlb_replacement" not in payload
+    assert "tlb_geometry" not in payload
+    rebuilt = FuzzCase.from_dict(payload)
+    assert rebuilt.case_id == case.case_id
+    assert rebuilt.tlb_replacement == "lru"
+    assert rebuilt.tlb_geometry == {}
+
+
+def test_ref_tlb_rejects_nothing_the_real_one_accepts():
+    """Spot-check the model's own semantics on a tiny scripted case:
+    fill priority goes lowest empty way first, invalidate frees the way
+    without rewinding the tree."""
+    ref = RefTLB(4, 4, "plru", "unit")
+    assert ref.fill(10, 12) is None
+    assert ref.fill(11, 12) is None
+    assert ref.fill(12, 12) is None
+    assert ref.fill(13, 12) is None
+    assert ref.lookup(10)
+    ref.invalidate(12)
+    # refill lands in the freed way, not on a victim
+    assert ref.fill(14, 12) is None
+    assert ref.resident_tags() == {10, 11, 13, 14}
+    # a full set now evicts a tree victim, never the just-touched way
+    assert ref.lookup(14)
+    victim = ref.fill(15, 12)
+    assert victim in {10, 11, 13}
