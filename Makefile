@@ -2,10 +2,10 @@
 
 PYTHON ?= python
 
-.PHONY: install test chaos fuzz fuzz-selftest bench bench-tests bench-full examples scorecard clean trace-smoke serve-smoke serve-bench
+.PHONY: install test chaos fuzz fuzz-selftest bench bench-tests bench-full examples scorecard clean trace-smoke serve-smoke serve-telemetry serve-bench
 
 # artifact `make bench` writes; bump per PR so perf history accumulates
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
 
 # first seed for `make fuzz`; CI passes its run id for fresh coverage
 FUZZ_SEED ?= 0
@@ -82,11 +82,19 @@ serve-smoke:
 	$(PYTHON) scripts/serve_load.py --chaos --requests 60 \
 		--concurrency 16 --distinct 24 --executors 2
 
+# telemetry proof: an SSE stream opened during a live job must carry
+# >=1 mid-run progress event before its terminal state, and /metrics
+# must parse as Prometheus text exposition with native buckets
+serve-telemetry:
+	$(PYTHON) scripts/serve_load.py --requests 40 --concurrency 8 \
+		--telemetry
+
 # service throughput/latency trajectory: 1000 small jobs at fixed
-# concurrency, merged into $(BENCH_OUT) as the `serve` section
+# concurrency, merged into $(BENCH_OUT) as the `serve` and
+# `telemetry` sections
 serve-bench:
 	$(PYTHON) scripts/serve_load.py --requests 1000 --concurrency 128 \
-		--bench-out $(BENCH_OUT)
+		--telemetry --bench-out $(BENCH_OUT)
 
 # traced end-to-end slice: artifacts must pass their own validators,
 # and disabled observability must stay free (what CI runs)

@@ -261,10 +261,18 @@ def measure_obs_overhead(rounds: int) -> dict:
     nobody asked for must be free. The fully *enabled* cost is also
     measured, informationally (it pays for span bookkeeping and
     per-walk histogram recording, and is allowed to).
+
+    The live-progress path gets the stronger check: a run with a
+    progress sink installed (snapshots at every feed point) must
+    produce *bit-identical* simulation statistics to the plain run —
+    progress reporting rides the scheduler loop boundary and never
+    touches per-record execution, so it must not perturb the engine
+    tier choice or any result the paper's figures are built from.
     """
     import tempfile
 
     from repro.engine.simulation import Simulator
+    from repro.obs import progress as progress_module
     from repro.obs import tracer as tracer_module
     from repro.os.kernel import HugePagePolicy
 
@@ -274,24 +282,52 @@ def measure_obs_overhead(rounds: int) -> dict:
         simulator = Simulator(config, policy=HugePagePolicy.PCC, observe=observe)
         run_workload = copy.deepcopy(workload)
         start = time.perf_counter()
-        simulator.run([run_workload])
-        return time.perf_counter() - start
+        result = simulator.run([run_workload])
+        return time.perf_counter() - start, result
+
+    def fingerprint(result) -> tuple:
+        return (
+            result.total_cycles, result.accesses, result.walks,
+            result.l1_hits, result.l2_hits, result.promotions,
+            result.demotions, tuple(result.promotion_timeline),
+        )
 
     timed(False)  # warmup
-    hard_off = min(timed(False) for _ in range(rounds))
-    auto_off = min(timed(None) for _ in range(rounds))
+    hard_off = min(timed(False)[0] for _ in range(rounds))
+    auto_off, baseline = timed(None)
+    for _ in range(rounds - 1):
+        auto_off = min(auto_off, timed(None)[0])
     with tempfile.TemporaryDirectory(prefix="repro-obs-spool-") as spool:
         tracer_module.enable(spool_dir=spool)
         try:
-            enabled = min(timed(None) for _ in range(rounds))
+            enabled = min(timed(None)[0] for _ in range(rounds))
         finally:
             tracer_module.disable()
+
+    # bit-identity under live progress, at the most aggressive cadence
+    snapshots: list[dict] = []
+    sink = progress_module.add_sink(snapshots.append)
+    previous_cadence = os.environ.get(progress_module.CADENCE_ENV)
+    os.environ[progress_module.CADENCE_ENV] = "0"
+    try:
+        progress_on, progressed = timed(None)
+    finally:
+        progress_module.remove_sink(sink)
+        if previous_cadence is None:
+            os.environ.pop(progress_module.CADENCE_ENV, None)
+        else:
+            os.environ[progress_module.CADENCE_ENV] = previous_cadence
+    progress_identical = fingerprint(progressed) == fingerprint(baseline)
+
     return {
         "hard_off_seconds": round(hard_off, 3),
         "auto_off_seconds": round(auto_off, 3),
         "enabled_seconds": round(enabled, 3),
         "disabled_ratio": round(auto_off / hard_off, 3),
         "enabled_ratio": round(enabled / hard_off, 3),
+        "progress_seconds": round(progress_on, 3),
+        "progress_snapshots": len(snapshots),
+        "progress_stats_identical": progress_identical,
     }
 
 
@@ -554,9 +590,21 @@ def main(argv=None) -> int:
             f"enabled {obs['enabled_seconds']:.3f}s "
             f"(ratio {obs['enabled_ratio']:.3f}, informational)"
         )
+        print(
+            f"  live progress: {obs['progress_snapshots']} snapshots in "
+            f"{obs['progress_seconds']:.3f}s, stats identical: "
+            f"{obs['progress_stats_identical']}"
+        )
         if obs["disabled_ratio"] > args.obs_max_ratio:
             print(
                 "perf smoke FAILED: disabled observability is not free",
+                file=sys.stderr,
+            )
+            status = 1
+        if not obs["progress_stats_identical"]:
+            print(
+                "perf smoke FAILED: live progress perturbed the "
+                "simulation statistics",
                 file=sys.stderr,
             )
             status = 1

@@ -19,6 +19,17 @@ Two modes over the same asyncio client:
   cleanly, and the trace the restarted instance wrote passes ``repro
   inspect --check``.
 
+* **Telemetry** (``--telemetry``, composes with load): after the load,
+  submit one deliberately long job, tail its ``/v1/jobs/<id>/events``
+  SSE stream live, and measure first-event latency plus the cadence of
+  mid-run progress snapshots. The probe asserts the streaming contract
+  — at least one ``progress`` event and the terminal ``state`` event
+  arrive on the stream *before* the envelope is fetched — validates the
+  captured events against the ``repro.progress/v1`` schema, and scrapes
+  ``/metrics`` through the strict Prometheus parser (native ``_bucket``
+  histogram series included). Numbers land in a ``telemetry`` section
+  of the BENCH artifact.
+
 Jobs reuse a small pool of distinct run specs (``--distinct``), so the
 content-addressed results journal turns most executions into replays —
 which is exactly the deployment story: many clients asking overlapping
@@ -104,7 +115,8 @@ def free_port() -> int:
 
 
 def spawn_server(port: int, state_dir: str, executors: int,
-                 queue_limit: int, trace_out: str | None = None):
+                 queue_limit: int, trace_out: str | None = None,
+                 progress_every_ms: int | None = None):
     """Start ``repro serve`` and wait for its listening line."""
     argv = [
         sys.executable, "-m", "repro", "serve",
@@ -117,6 +129,8 @@ def spawn_server(port: int, state_dir: str, executors: int,
         argv += ["--trace-out", trace_out]
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO / "src")
+    if progress_every_ms is not None:
+        env["REPRO_PROGRESS_EVERY_MS"] = str(progress_every_ms)
     proc = subprocess.Popen(argv, env=env, stdout=subprocess.PIPE,
                             stderr=subprocess.STDOUT, text=True)
     deadline = time.time() + 60
@@ -288,7 +302,7 @@ async def chaos_controller(args, host, port_ref, stats, server_box,
     await asyncio.sleep(0.5)
     server_box[0] = spawn_server(
         port_ref[0], state_dir, args.executors, args.queue_limit,
-        trace_out=trace_out,
+        trace_out=trace_out, progress_every_ms=args.progress_every_ms,
     )
     print("chaos: server restarted (tracing on)", flush=True)
 
@@ -314,10 +328,202 @@ async def assert_no_duplicates(args, host, port_ref, sample: int = 0):
 
 
 # ----------------------------------------------------------------------
+# telemetry probe (SSE streaming + Prometheus exposition)
+
+
+def telemetry_probe(args, host: str, port: int) -> tuple[dict, int]:
+    """Tail one live job's SSE stream and scrape ``/metrics``.
+
+    Returns ``(section, status)`` — the BENCH ``telemetry`` section and
+    a non-zero status if any streaming-contract assertion failed.
+    """
+    import http.client
+    import threading
+
+    sys.path.insert(0, str(REPO / "src"))
+    from repro.metrics.prometheus import parse_exposition
+    from repro.obs import inspect as inspect_module
+    from repro.serve.events import TERMINAL_STATES, read_events
+
+    status = 0
+    job_id = "telem-0"
+    payload = {
+        "id": job_id,
+        "tenant": "telemetry",
+        "runs": [{
+            "app": "BFS",
+            "policy": "pcc",
+            "graph_scale": 8,
+            # long enough to cross several progress cadences, and a
+            # spec the load phase never submits, so the results journal
+            # cannot short-circuit it into a no-progress replay
+            "proxy_accesses": 200_000,
+            "seed": int(time.time()) % 100_000,
+        }],
+    }
+
+    events: list[tuple[float, dict]] = []
+    stream_error: list[str] = []
+
+    def tail() -> None:
+        conn = http.client.HTTPConnection(host, port, timeout=180)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                stream_error.append(f"SSE stream: HTTP {response.status}")
+                return
+            for event in read_events(response):
+                events.append((time.monotonic(), event))
+                data = event.get("data", {})
+                if (event.get("event") == "state"
+                        and data.get("state") in TERMINAL_STATES):
+                    return
+            stream_error.append("SSE stream closed before a terminal state")
+        except OSError as error:
+            stream_error.append(f"SSE stream: {error}")
+        finally:
+            conn.close()
+
+    async def submit() -> float:
+        while True:
+            code, doc = await http_json(host, port, "POST", "/v1/jobs",
+                                        payload)
+            if code == 202:
+                return time.monotonic()
+            if code in (429, 503):
+                await asyncio.sleep(0.3)
+                continue
+            raise SystemExit(f"telemetry submit: HTTP {code}: {doc}")
+
+    submitted = asyncio.run(submit())
+    tailer = threading.Thread(target=tail, daemon=True)
+    tailer.start()
+    tailer.join(timeout=180)
+
+    # the stream delivered everything (or died) before this envelope
+    # fetch — the ordering the acceptance criterion pins
+    code, envelope = asyncio.run(
+        http_json(host, port, "GET", f"/v1/jobs/{job_id}"))
+
+    progress_times = [t for t, e in events if e.get("event") == "progress"]
+    terminal = next(
+        (e.get("data", {}).get("state") for _, e in events
+         if e.get("event") == "state"
+         and e.get("data", {}).get("state") in TERMINAL_STATES),
+        None,
+    )
+    for problem in stream_error:
+        print(f"telemetry FAILED: {problem}", file=sys.stderr)
+        status = 1
+    if not events:
+        print("telemetry FAILED: no SSE events at all", file=sys.stderr)
+        status = 1
+    if not progress_times:
+        print("telemetry FAILED: no mid-run progress events on the stream",
+              file=sys.stderr)
+        status = 1
+    if terminal is None:
+        print("telemetry FAILED: no terminal state event on the stream",
+              file=sys.stderr)
+        status = 1
+    elif terminal != envelope.get("job", {}).get("state"):
+        print(f"telemetry FAILED: stream said {terminal!r} but the envelope "
+              f"says {envelope.get('job', {}).get('state')!r}",
+              file=sys.stderr)
+        status = 1
+
+    schema_errors = inspect_module.validate_events(
+        {"events": [e for _, e in events]})
+    if schema_errors:
+        for problem in schema_errors[:5]:
+            print(f"telemetry FAILED: event schema: {problem}",
+                  file=sys.stderr)
+        status = 1
+
+    gaps = [
+        round((b - a) * 1e3, 1)
+        for a, b in zip(progress_times, progress_times[1:])
+    ]
+    first_event_ms = (
+        round((events[0][0] - submitted) * 1e3, 1) if events else None)
+    first_progress_ms = (
+        round((progress_times[0] - submitted) * 1e3, 1)
+        if progress_times else None)
+
+    # scrape the native exposition through the strict parser
+    families = {}
+    try:
+        code, text = asyncio.run(_http_text(host, port, "/metrics"))
+        if code != 200:
+            raise ValueError(f"HTTP {code}")
+        families = parse_exposition(text)
+    except (ServerGone, ValueError) as error:
+        print(f"telemetry FAILED: /metrics scrape: {error}", file=sys.stderr)
+        status = 1
+    histogram_families = [
+        name for name, family in families.items()
+        if family.get("type") == "histogram"
+    ]
+    if families and not histogram_families:
+        print("telemetry FAILED: /metrics has no histogram (_bucket) family",
+              file=sys.stderr)
+        status = 1
+
+    section = {
+        "benchmark": "SSE stream of one 200k-access job + /metrics scrape",
+        "sse_events": len(events),
+        "progress_events": len(progress_times),
+        "terminal_state": terminal,
+        "first_event_ms": first_event_ms,
+        "first_progress_ms": first_progress_ms,
+        "progress_cadence_ms": {
+            "p50": percentile(gaps, 0.50), "max": max(gaps, default=0.0),
+        },
+        "metrics_families": len(families),
+        "metrics_histograms": len(histogram_families),
+        "event_schema_errors": len(schema_errors),
+    }
+    print(
+        f"telemetry: {len(events)} events ({len(progress_times)} progress), "
+        f"first event {first_event_ms}ms, first progress "
+        f"{first_progress_ms}ms, terminal {terminal}; /metrics: "
+        f"{len(families)} families, {len(histogram_families)} histograms"
+    )
+    return section, status
+
+
+async def _http_text(host: str, port: int, path: str,
+                     timeout: float = 30.0) -> tuple[int, str]:
+    """One GET returning the raw body as text (for ``/metrics``)."""
+    try:
+        reader, writer = await asyncio.open_connection(host, port)
+    except OSError as error:
+        raise ServerGone(f"connect {host}:{port}: {error}") from None
+    try:
+        writer.write(
+            f"GET {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Connection: close\r\n\r\n".encode()
+        )
+        await writer.drain()
+        raw = await asyncio.wait_for(reader.read(), timeout)
+    except OSError as error:
+        raise ServerGone(f"GET {path}: {error}") from None
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except Exception:
+            pass
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), body.decode("utf-8", "replace")
+
+
+# ----------------------------------------------------------------------
 # artifact
 
 
-def write_bench(args, section: dict) -> None:
+def write_bench(args, sections: dict) -> None:
     out = Path(args.bench_out)
     artifact = {}
     if out.exists():
@@ -325,9 +531,9 @@ def write_bench(args, section: dict) -> None:
             artifact = json.loads(out.read_text())
         except ValueError:
             artifact = {"note": "previous artifact was unreadable"}
-    artifact["serve"] = section
+    artifact.update(sections)
     out.write_text(json.dumps(artifact, indent=2) + "\n")
-    print(f"serve bench section -> {out}")
+    print(f"serve bench section(s) {sorted(sections)} -> {out}")
 
 
 def main() -> int:
@@ -358,10 +564,20 @@ def main() -> int:
                         help="kill -9 the server at ~30%% completion, "
                         "restart it, and verify zero lost/duplicated jobs "
                         "plus a clean inspected trace")
+    parser.add_argument("--telemetry", action="store_true",
+                        help="after the load, tail one live job's SSE "
+                        "stream (first-event latency, progress cadence) "
+                        "and scrape /metrics through the strict parser")
+    parser.add_argument("--progress-every-ms", type=int, default=None,
+                        help="progress snapshot cadence for the spawned "
+                        "server (default: 100 with --telemetry, else the "
+                        "server default)")
     parser.add_argument("--bench-out", metavar="FILE", default=None,
-                        help="merge a 'serve' section into this BENCH "
-                        "artifact (e.g. BENCH_5.json)")
+                        help="merge 'serve' (and 'telemetry') sections "
+                        "into this BENCH artifact (e.g. BENCH_6.json)")
     args = parser.parse_args()
+    if args.progress_every_ms is None and args.telemetry:
+        args.progress_every_ms = 100
 
     stats = {
         "submit_ms": [], "job_wall_ms": [], "states": {},
@@ -380,6 +596,7 @@ def main() -> int:
         # instance traces, and its trace is what inspect --check gates
         server_box[0] = spawn_server(
             port, state_dir, args.executors, args.queue_limit,
+            progress_every_ms=args.progress_every_ms,
         )
 
     async def drive():
@@ -402,14 +619,26 @@ def main() -> int:
                                          "/v1/metrics")
         except ServerGone:
             pass
-        if not external:
+        return duplicated, metrics
+
+    duplicated, metrics = asyncio.run(drive())
+
+    # the telemetry probe needs the server still up (it runs its own
+    # event loops + a blocking SSE tail thread), so it goes between the
+    # load and the drain
+    telemetry_section = None
+    telemetry_status = 0
+    if args.telemetry:
+        telemetry_section, telemetry_status = telemetry_probe(
+            args, host, port_ref[0])
+
+    if not external:
+        async def drain():
             try:
                 await http_json(host, port_ref[0], "POST", "/v1/drain")
             except ServerGone:
                 pass
-        return duplicated, metrics
-
-    duplicated, metrics = asyncio.run(drive())
+        asyncio.run(drain())
 
     if server_box[0] is not None:
         try:
@@ -433,7 +662,7 @@ def main() -> int:
           f"{stats['rejected_503']}x 503, "
           f"{stats['resubmitted']} post-crash resubmits")
 
-    status = 0
+    status = telemetry_status
     if lost:
         print(f"serve load FAILED: {lost} jobs lost", file=sys.stderr)
         status = 1
@@ -466,6 +695,7 @@ def main() -> int:
             status = 1
 
     if args.bench_out:
+        sections = {}
         section = {
             "benchmark": f"{args.requests} small jobs "
             f"(BFS scale 8, {args.distinct} distinct specs) at "
@@ -484,7 +714,10 @@ def main() -> int:
             "duplicated": duplicated,
             "server_counters": (metrics or {}).get("counters"),
         }
-        write_bench(args, section)
+        sections["serve"] = section
+        if telemetry_section is not None:
+            sections["telemetry"] = telemetry_section
+        write_bench(args, sections)
 
     if status == 0:
         print("serve load OK")

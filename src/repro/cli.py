@@ -359,6 +359,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect.add_argument(
         "--top", type=int, default=10, help="rows per ranking (default 10)"
     )
+
+    p_top = sub.add_parser(
+        "top",
+        help="live ANSI dashboard over a running serve daemon: per-job "
+        "progress bars, tier occupancy, queue depth, breaker state",
+    )
+    p_top.add_argument(
+        "url", nargs="?", default="127.0.0.1:8023",
+        help="server address, host:port or http://host:port "
+        "(default 127.0.0.1:8023)",
+    )
+    p_top.add_argument("--interval", type=float, default=1.0, metavar="S",
+                       help="repaint interval in seconds (default 1.0)")
+    p_top.add_argument("--once", action="store_true",
+                       help="render one plain-text frame and exit "
+                       "(no ANSI; for scripts and tests)")
+
+    p_progress = sub.add_parser(
+        "progress",
+        help="tail one job's live SSE progress stream until it reaches "
+        "a terminal state",
+    )
+    p_progress.add_argument("job_id", help="job id to follow")
+    p_progress.add_argument(
+        "--server", default="127.0.0.1:8023", metavar="URL",
+        help="server address (default 127.0.0.1:8023)",
+    )
+    p_progress.add_argument(
+        "--timeout", type=float, default=600.0, metavar="S",
+        help="give up after this many seconds (default 600)",
+    )
     return parser
 
 
@@ -651,8 +682,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.resilience.journal import JOURNAL_ENV, default_journal_dir
 
     args = build_parser().parse_args(argv)
+    # client-side commands: no run id, journal, or logging setup
     if args.experiment == "inspect":
         return _run_inspect(args)
+    if args.experiment == "top":
+        from repro.serve.top import run_top
+
+        try:
+            return run_top(args.url, interval_s=args.interval, once=args.once)
+        except KeyboardInterrupt:
+            return 0
+    if args.experiment == "progress":
+        from repro.serve.top import run_progress
+
+        try:
+            return run_progress(
+                args.job_id, args.server, timeout_s=args.timeout
+            )
+        except KeyboardInterrupt:
+            return 0
     run_id = set_run_id()
     configure_logging(force=True)
     if args.experiment == "trace":
@@ -660,7 +708,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not inner:
             raise SystemExit("trace: give a command to run, e.g. repro trace fig7")
         args = build_parser().parse_args(inner)
-        if args.experiment in ("trace", "inspect"):
+        if args.experiment in ("trace", "inspect", "top", "progress"):
             raise SystemExit(f"trace: cannot wrap {args.experiment!r}")
         if not args.trace_out:
             args.trace_out = f"trace-{run_id}.json"

@@ -185,6 +185,7 @@ from repro.engine.system import ProcessWorkload
 from repro.engine.timing import CycleAccounting, RuntimeBreakdown
 from repro.metrics import MetricsRegistry, publish_run
 from repro.obs.observer import RunObserver
+from repro.obs.progress import progress_for_run
 from repro.obs.runid import current_run_id
 from repro.obs.tracer import CORE_TID_BASE
 from repro.obs.tracer import span as trace_span
@@ -1967,9 +1968,37 @@ class Machine:
         # observed run keeps the quantum tiers.
         use_columnar = self.columnar and obs is None
 
+        # One progress decision per run, independent of the observer:
+        # riding the observe path would demote the run off the columnar
+        # tier, and progress only *reads* counters, so reported runs
+        # stay bit-identical to silent ones. When enabled the loop pays
+        # one clock check per scheduler round; when disabled, one
+        # ``is None`` branch.
+        prog = progress_for_run(total=scheduler.remaining)
+        prog_total = scheduler.remaining
+        prog_tier = (
+            "columnar" if use_columnar
+            else "batch" if self.batch
+            else "fast" if self.fast_path
+            else "scalar"
+        )
+
+        def report_progress(final: bool = False) -> None:
+            prog.emit(
+                done=prog_total - scheduler.remaining,
+                accesses=ticks.total_accesses,
+                ticks=len(ticks.promotion_timeline),
+                promotions=ticks.promotions,
+                epochs=sum(p.columnar_epochs for p in pipelines),
+                tier=prog_tier,
+                final=final,
+            )
+
         with trace_span("machine.sim_loop", cat="engine",
                         policy=self.policy.value, cores=len(self.cores)):
             while scheduler.remaining > 0:
+                if prog is not None and prog.due():
+                    report_progress()
                 if use_columnar:
                     live = [
                         slot for slot in scheduler.slots
@@ -2046,6 +2075,8 @@ class Machine:
         self._run_tick(ticks, monitor, obs, final=True)
         if monitor is not None:
             monitor.after_run(ticks)
+        if prog is not None:
+            report_progress(final=True)
 
         with trace_span("machine.collect", cat="engine"):
             result = self._collect(workloads, ticks, walks_by_pid)

@@ -529,6 +529,7 @@ def run_specs(
     resume: bool = False,
     journal=None,
     policy=None,
+    progress_label: str | None = None,
 ) -> list[SimulationResult]:
     """Run many independent specs, serially or across a process pool.
 
@@ -564,4 +565,5 @@ def run_specs(
         policy=policy,
         journal=journal,
         resume=resume,
+        progress_label=progress_label,
     )

@@ -60,6 +60,7 @@ from dataclasses import dataclass, field
 from repro.metrics import publish_run
 from repro.obs.log import get_logger, log_event
 from repro.obs.observer import observation_requested
+from repro.obs.progress import progress_scope, set_worker_label
 from repro.obs.tracer import OWNER_ENV, active_tracer, span, worker_setup
 from repro.resilience import bus
 from repro.resilience.faults import fault_point
@@ -252,19 +253,26 @@ def _pool_context():
     return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _worker_init(cache_dir: str | None) -> None:
+def _worker_init(cache_dir: str | None, progress_label: str | None = None) -> None:
     """Point a worker at the shared trace cache and set up tracing.
 
     ``worker_setup`` gives the worker its own tracer on the shared
     epoch when the parent advertised a span spool — and, crucially,
     defuses a parent tracer object inherited through ``fork`` so a
     worker can never re-report the parent's events.
+
+    ``progress_label`` attributes this pool's progress snapshots (e.g.
+    to a serve job id). It rides the per-pool initargs rather than the
+    environment because two pools can exist concurrently in one parent
+    (the serving daemon's executor threads) and env vars are process
+    globals — initargs are the only per-pool channel.
     """
     from repro.obs.log import configure as configure_logging
     from repro.trace.cache import CACHE_DIR_ENV
 
     if cache_dir is not None:
         os.environ[CACHE_DIR_ENV] = cache_dir
+    set_worker_label(progress_label)
     worker_setup()
     configure_logging(force=True)
 
@@ -281,7 +289,8 @@ class _FanOut:
     """One resilient execution of a task list (see :func:`fan_out`)."""
 
     def __init__(self, task_fn, tasks, jobs, cache_dir, policy, journal, resume,
-                 trace_parent: str | None = None):
+                 trace_parent: str | None = None,
+                 progress_label: str | None = None):
         self.task_fn = task_fn
         self.tasks = tasks
         self.jobs = jobs
@@ -289,6 +298,7 @@ class _FanOut:
         self.policy = policy
         self.journal = journal
         self.trace_parent = trace_parent
+        self.progress_label = progress_label
         # Task wall-time distribution (submission to completion, parent
         # vantage) — recorded only on observed invocations so the
         # default path stays allocation-free.
@@ -491,7 +501,10 @@ class _FanOut:
             max_workers=width,
             mp_context=_pool_context(),
             initializer=_worker_init,
-            initargs=(str(self.cache_dir) if self.cache_dir is not None else None,),
+            initargs=(
+                str(self.cache_dir) if self.cache_dir is not None else None,
+                self.progress_label,
+            ),
         )
 
     def _pop_ready(self, queue: deque, now: float):
@@ -573,6 +586,7 @@ def fan_out(
     policy: RetryPolicy | None = None,
     journal=None,
     resume: bool = False,
+    progress_label: str | None = None,
 ):
     """Run ``task_fn`` over ``tasks``, optionally across processes.
 
@@ -595,7 +609,8 @@ def fan_out(
     policy = policy or RetryPolicy.from_env()
     with span("fanout", cat="fanout", tasks=len(tasks), jobs=jobs) as fanout_span:
         state = _FanOut(task_fn, tasks, jobs, cache_dir, policy, journal,
-                        resume, trace_parent=fanout_span)
+                        resume, trace_parent=fanout_span,
+                        progress_label=progress_label)
         if state.pending:
             log_event(
                 _LOG,
@@ -606,7 +621,13 @@ def fan_out(
                 jobs=jobs,
             )
             if jobs > 1 and len(state.pending) > 1:
+                # pool workers get the label via initargs (_worker_init)
                 state.run_pool()
+            elif progress_label is not None:
+                # serial path runs in this thread; scope the label so
+                # in-process engine runs attribute their snapshots too
+                with progress_scope(progress_label):
+                    state.run_serial(state.pending)
             else:
                 state.run_serial(state.pending)
         report = state.report

@@ -77,6 +77,15 @@ class MetricsRegistry:
             histogram = self._histograms[name] = Histogram(name, unit=unit)
         return histogram
 
+    def histograms(self) -> dict[str, Histogram]:
+        """Live view of every registered distribution, by name.
+
+        Read-only by convention: the windowed aggregator and the
+        Prometheus renderer walk the live objects rather than paying
+        an ``as_dict`` round trip per scrape.
+        """
+        return self._histograms
+
     # ------------------------------------------------------------------
     # reading
 

@@ -20,6 +20,13 @@ Four cooperating pieces, all **off by default** and free when disabled:
 - :mod:`repro.obs.log` — structured run logging: ``REPRO_LOG=json``
   switches every pipeline log record to JSON lines tagged with the run
   id and the currently open span.
+- :mod:`repro.obs.progress` — live ``repro.progress/v1`` snapshots
+  (records done, tier, throughput EWMA, ETA) emitted at a bounded
+  cadence from the engine's scheduler loop and delivered via scoped
+  sinks or the cross-process spool; the feed behind the serving
+  daemon's SSE streams and ``repro top``.
+- :mod:`repro.obs.window` — sliding-window (10s/1m/5m) rates and
+  percentiles over the resilience bus, feeding ``/metrics``.
 
 One stable **run id** (:mod:`repro.obs.runid`) threads through metrics
 exports, journal shards, resilience-bus publications, structured logs,
@@ -28,16 +35,32 @@ single invocation.
 """
 
 from repro.obs.histo import Histogram
+from repro.obs.progress import (
+    PROGRESS_SCHEMA,
+    ProgressReporter,
+    add_sink,
+    progress_enabled,
+    progress_for_run,
+    progress_scope,
+    remove_sink,
+)
 from repro.obs.runid import RUN_ID_ENV, current_run_id, new_run_id, set_run_id
 from repro.obs.tracer import SpanTracer, active_tracer, span, traced, tracing_enabled
 
 __all__ = [
     "Histogram",
+    "PROGRESS_SCHEMA",
+    "ProgressReporter",
     "RUN_ID_ENV",
     "SpanTracer",
     "active_tracer",
+    "add_sink",
     "current_run_id",
     "new_run_id",
+    "progress_enabled",
+    "progress_for_run",
+    "progress_scope",
+    "remove_sink",
     "set_run_id",
     "span",
     "traced",

@@ -7,6 +7,14 @@
 * a **trace** file (``repro.trace/v1``): the Chrome trace-event JSON
   ``--trace-out`` produces —
 
+plus the two live-telemetry artifacts the streaming plane produces —
+
+* a **progress** spool or snapshot (``repro.progress/v1``): the JSONL
+  files ``REPRO_PROGRESS_SPOOL`` collects, or one snapshot object, and
+* an **events** capture: SSE events recorded off a
+  ``/v1/jobs/<id>/events`` stream (as the serve load harness writes
+  them), ``{"events": [{"id", "event", "data"}, ...]}`` —
+
 and prints a terminal report: slowest spans, hottest PCC regions (from
 the sampled ``pcc_state`` snapshots), and p50/p95/p99 for every
 recorded distribution. ``--check`` additionally validates the document
@@ -23,6 +31,7 @@ import json
 from pathlib import Path
 
 from repro.obs.histo import Histogram
+from repro.obs.progress import PROGRESS_SCHEMA
 from repro.obs.tracer import TRACE_SCHEMA, thread_lane_name
 
 #: Metrics schema accepted by the inspector (see repro.metrics.registry).
@@ -30,6 +39,15 @@ METRICS_SCHEMA = "repro.metrics/v1"
 
 #: Event phases the trace validator accepts (the subset the tracer emits).
 _KNOWN_PHASES = {"X", "i", "M", "s", "f"}
+
+#: Engine tiers a progress snapshot may name (see Machine.run).
+_KNOWN_TIERS = {"scalar", "fast", "batch", "columnar"}
+
+#: SSE event names the serving daemon publishes.
+_KNOWN_EVENTS = {"progress", "state", "degraded", "breaker", "message"}
+
+#: ``state`` event payload values (see repro.serve.lifecycle).
+_KNOWN_STATES = {"queued", "running", "done", "failed", "expired"}
 
 
 # ----------------------------------------------------------------------
@@ -124,6 +142,144 @@ def validate_metrics(doc) -> list[str]:
             _validate_one_run(run, f"runs[{index}]", errors)
     else:
         _validate_one_run(doc, "document", errors)
+    return errors
+
+
+def _validate_snapshot(snapshot, where: str, errors: list[str]) -> None:
+    """One ``repro.progress/v1`` snapshot's field contract."""
+    if not isinstance(snapshot, dict):
+        errors.append(f"{where}: not an object")
+        return
+    if snapshot.get("schema") != PROGRESS_SCHEMA:
+        errors.append(f"{where}: schema is not {PROGRESS_SCHEMA!r}")
+    if not snapshot.get("run_id"):
+        errors.append(f"{where}: run_id is missing")
+    for field, kind in (
+        ("pid", int), ("seq", int), ("ts_ms", int),
+        ("records_done", int), ("accesses", int), ("ticks", int),
+        ("promotions", int), ("epochs", int),
+    ):
+        value = snapshot.get(field)
+        if not isinstance(value, kind) or isinstance(value, bool) or value < 0:
+            errors.append(f"{where}: {field} is not a non-negative integer")
+    if not isinstance(snapshot.get("seq"), bool) and snapshot.get("seq") == 0:
+        errors.append(f"{where}: seq must start at 1")
+    total = snapshot.get("records_total")
+    if total is not None:
+        if not isinstance(total, int) or isinstance(total, bool) or total < 0:
+            errors.append(f"{where}: records_total is not an integer")
+        elif (isinstance(snapshot.get("records_done"), int)
+              and snapshot["records_done"] > total):
+            errors.append(f"{where}: records_done exceeds records_total")
+    if snapshot.get("tier") not in _KNOWN_TIERS:
+        errors.append(f"{where}: unknown tier {snapshot.get('tier')!r}")
+    rate = snapshot.get("rate_rps")
+    if not isinstance(rate, (int, float)) or isinstance(rate, bool) or rate < 0:
+        errors.append(f"{where}: rate_rps is not a non-negative number")
+    eta = snapshot.get("eta_s")
+    if eta is not None and (
+        not isinstance(eta, (int, float)) or isinstance(eta, bool) or eta < 0
+    ):
+        errors.append(f"{where}: eta_s is neither null nor a non-negative number")
+    if not isinstance(snapshot.get("final"), bool):
+        errors.append(f"{where}: final is not a boolean")
+    job = snapshot.get("job")
+    if job is not None and not isinstance(job, str):
+        errors.append(f"{where}: job is neither null nor a string")
+
+
+def validate_progress(doc) -> list[str]:
+    """Schema violations in a progress artifact (snapshot or spool).
+
+    Beyond per-snapshot field checks, a multi-snapshot document gets the
+    stream invariants: within one emitter (``run_id``, ``pid``), ``seq``
+    strictly increases and nothing follows a ``final`` snapshot.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["progress document is not a JSON object"]
+    snapshots = doc.get("snapshots")
+    if snapshots is None:
+        _validate_snapshot(doc, "snapshot", errors)
+        return errors
+    if not isinstance(snapshots, list):
+        return ["snapshots is not a list"]
+    last_seq: dict[tuple, int] = {}
+    finished: set = set()
+    for index, snapshot in enumerate(snapshots):
+        if len(errors) >= 20:
+            errors.append("... further errors suppressed")
+            break
+        where = f"snapshots[{index}]"
+        _validate_snapshot(snapshot, where, errors)
+        if not isinstance(snapshot, dict):
+            continue
+        emitter = (snapshot.get("run_id"), snapshot.get("pid"),
+                   snapshot.get("job"))
+        seq = snapshot.get("seq")
+        if isinstance(seq, int):
+            if emitter in finished:
+                errors.append(f"{where}: snapshot after a final snapshot")
+            if seq <= last_seq.get(emitter, 0):
+                errors.append(
+                    f"{where}: seq {seq} does not increase "
+                    f"(previous {last_seq.get(emitter, 0)})"
+                )
+            last_seq[emitter] = seq
+        if snapshot.get("final") is True:
+            finished.add(emitter)
+    return errors
+
+
+def validate_events(doc) -> list[str]:
+    """Schema violations in a captured SSE event stream."""
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["events document is not a JSON object"]
+    events = doc.get("events")
+    if not isinstance(events, list):
+        return ["events is not a list"]
+    last_id = 0
+    for index, event in enumerate(events):
+        if len(errors) >= 20:
+            errors.append("... further errors suppressed")
+            break
+        where = f"events[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        name = event.get("event")
+        if name not in _KNOWN_EVENTS:
+            errors.append(f"{where}: unknown event {name!r}")
+            continue
+        event_id = event.get("id")
+        if event_id is not None:
+            if not isinstance(event_id, int) or event_id < 1:
+                errors.append(f"{where}: id is not a positive integer")
+            elif event_id <= last_id:
+                errors.append(
+                    f"{where}: id {event_id} does not increase "
+                    f"(previous {last_id})"
+                )
+            else:
+                last_id = event_id
+        data = event.get("data")
+        if not isinstance(data, dict):
+            errors.append(f"{where}: data is not an object")
+            continue
+        if name == "progress":
+            _validate_snapshot(data, where, errors)
+        elif name == "state":
+            if data.get("state") not in _KNOWN_STATES:
+                errors.append(f"{where}: unknown state {data.get('state')!r}")
+            if not data.get("job"):
+                errors.append(f"{where}: state event missing job")
+        elif name == "degraded":
+            if not isinstance(data.get("tags"), list):
+                errors.append(f"{where}: degraded event missing tags")
+        elif name == "breaker":
+            if not data.get("state"):
+                errors.append(f"{where}: breaker event missing state")
     return errors
 
 
@@ -246,31 +402,120 @@ def summarize_metrics(doc: dict) -> dict:
     }
 
 
+def summarize_progress(doc: dict) -> dict:
+    """Digest of a progress artifact: per-job completion and throughput."""
+    snapshots = doc.get("snapshots")
+    if snapshots is None:
+        snapshots = [doc]
+    snapshots = [s for s in snapshots if isinstance(s, dict)]
+    jobs: dict[str, dict] = {}
+    for snapshot in snapshots:
+        label = snapshot.get("job") or "(unlabeled)"
+        entry = jobs.setdefault(label, {
+            "snapshots": 0, "emitters": set(), "final": False,
+            "records_done": 0, "records_total": None,
+            "accesses": 0, "promotions": 0, "epochs": 0,
+            "tier": None, "peak_rate_rps": 0.0,
+        })
+        entry["snapshots"] += 1
+        entry["emitters"].add(
+            (snapshot.get("run_id"), snapshot.get("pid"))
+        )
+        entry["final"] = entry["final"] or bool(snapshot.get("final"))
+        for field in ("records_done", "accesses", "promotions", "epochs"):
+            value = snapshot.get(field)
+            if isinstance(value, int):
+                entry[field] = max(entry[field], value)
+        total = snapshot.get("records_total")
+        if isinstance(total, int):
+            entry["records_total"] = total
+        entry["tier"] = snapshot.get("tier") or entry["tier"]
+        rate = snapshot.get("rate_rps")
+        if isinstance(rate, (int, float)):
+            entry["peak_rate_rps"] = max(entry["peak_rate_rps"], float(rate))
+    for entry in jobs.values():
+        entry["emitters"] = len(entry["emitters"])
+    return {
+        "kind": "progress",
+        "snapshots": len(snapshots),
+        "jobs": dict(sorted(jobs.items())),
+    }
+
+
+def summarize_events(doc: dict) -> dict:
+    """Digest of a captured SSE stream: census plus the state story."""
+    events = [e for e in doc.get("events", []) if isinstance(e, dict)]
+    census: dict[str, int] = {}
+    states: list[str] = []
+    progress = 0
+    for event in events:
+        name = event.get("event") or "?"
+        census[name] = census.get(name, 0) + 1
+        data = event.get("data") or {}
+        if name == "state" and data.get("state"):
+            states.append(data["state"])
+        if name == "progress":
+            progress += 1
+    return {
+        "kind": "events",
+        "events": len(events),
+        "census": dict(sorted(census.items())),
+        "states": states,
+        "progress_events": progress,
+        "terminal": states[-1] if states and states[-1] in
+        ("done", "failed", "expired") else None,
+    }
+
+
 # ----------------------------------------------------------------------
 # file entry point + rendering
 
 
 def load_document(path: str | Path) -> dict:
-    """Parse one artifact file; raises ``ValueError`` on non-JSON input."""
+    """Parse one artifact file; raises ``ValueError`` on non-JSON input.
+
+    A progress spool file is JSON *Lines*, not one JSON value, so when
+    whole-file parsing fails the loader retries line-by-line and wraps
+    the snapshots as ``{"schema": ..., "snapshots": [...]}`` — the
+    shape the progress validator and summarizer accept directly.
+    """
     text = Path(path).read_text()
     try:
         doc = json.loads(text)
     except json.JSONDecodeError as exc:
-        raise ValueError(f"{path}: not JSON ({exc})") from exc
+        lines = [line for line in text.splitlines() if line.strip()]
+        try:
+            snapshots = [json.loads(line) for line in lines]
+        except json.JSONDecodeError:
+            raise ValueError(f"{path}: not JSON ({exc})") from exc
+        if not snapshots or not all(isinstance(s, dict) for s in snapshots):
+            raise ValueError(f"{path}: not JSON ({exc})") from exc
+        return {"schema": PROGRESS_SCHEMA, "snapshots": snapshots}
     if not isinstance(doc, dict):
         raise ValueError(f"{path}: expected a JSON object")
     return doc
 
 
 def kind_of(doc: dict) -> str:
-    """``"trace"`` or ``"metrics"``, by document shape."""
-    return "trace" if "traceEvents" in doc else "metrics"
+    """One of ``trace``/``progress``/``events``/``metrics``, by shape."""
+    if "traceEvents" in doc:
+        return "trace"
+    if doc.get("schema") == PROGRESS_SCHEMA or "snapshots" in doc:
+        return "progress"
+    if "events" in doc and "counters" not in doc and "runs" not in doc:
+        return "events"
+    return "metrics"
 
 
 def inspect_document(doc: dict, top: int = 10) -> dict:
     """Dispatching summary of one loaded artifact document."""
-    if kind_of(doc) == "trace":
+    kind = kind_of(doc)
+    if kind == "trace":
         return summarize_trace(doc, top=top)
+    if kind == "progress":
+        return summarize_progress(doc)
+    if kind == "events":
+        return summarize_events(doc)
     return summarize_metrics(doc)
 
 
@@ -281,8 +526,13 @@ def inspect_file(path: str | Path, top: int = 10) -> dict:
 
 def validate_document(doc: dict) -> list[str]:
     """Dispatching validation of one loaded artifact document."""
-    if kind_of(doc) == "trace":
+    kind = kind_of(doc)
+    if kind == "trace":
         return validate_trace(doc)
+    if kind == "progress":
+        return validate_progress(doc)
+    if kind == "events":
+        return validate_events(doc)
     return validate_metrics(doc)
 
 
@@ -322,6 +572,34 @@ def render(summary: dict) -> str:
             lines.append("hottest regions (peak PCC frequency):")
             for pid, region, freq in summary["hot_regions"]:
                 lines.append(f"  pid {pid} region {region:#x}  freq {freq}")
+    elif summary["kind"] == "progress":
+        lines.append(
+            f"progress  {summary['snapshots']} snapshot(s), "
+            f"{len(summary['jobs'])} job(s)"
+        )
+        for label, entry in summary["jobs"].items():
+            total = entry["records_total"]
+            done = entry["records_done"]
+            pct = f"{100.0 * done / total:.1f}%" if total else "?"
+            state = "final" if entry["final"] else "in flight"
+            lines.append(
+                f"  {label}: {done}/{total or '?'} records ({pct}), "
+                f"tier {entry['tier'] or '?'}, "
+                f"peak {entry['peak_rate_rps']:,.0f} rec/s, "
+                f"{entry['snapshots']} snapshot(s) from "
+                f"{entry['emitters']} emitter(s), {state}"
+            )
+    elif summary["kind"] == "events":
+        census = ", ".join(
+            f"{name}:{count}" for name, count in summary["census"].items()
+        )
+        lines.append(f"events  {summary['events']} event(s)  [{census}]")
+        if summary["states"]:
+            lines.append(f"state story: {' -> '.join(summary['states'])}")
+        lines.append(
+            f"progress events: {summary['progress_events']}, "
+            f"terminal state: {summary['terminal'] or 'none'}"
+        )
     else:
         lines.append(
             f"metrics  run {summary['run_id'] or '?'}  "

@@ -37,6 +37,7 @@ import time
 from dataclasses import dataclass, field, replace
 
 from repro.obs.log import get_logger, log_event
+from repro.obs.progress import progress_scope
 from repro.obs.runid import current_run_id
 from repro.resilience import bus
 from repro.resilience.journal import RunJournal
@@ -182,6 +183,35 @@ class JobStore:
         return unfinished, finished
 
 
+#: Per-run counter infix whose per-core readings are folded onto the
+#: process-global bus as ``engine.<name>`` (tier activity: fast hits,
+#: batch retirements, columnar epochs, fallbacks).
+_TIER_COUNTER_MARKER = ".fastpath."
+
+
+def accumulate_engine_counters(results) -> None:
+    """Fold per-run engine-tier counters onto the resilience bus.
+
+    The per-run registries are ephemeral (they live on the result
+    object); the serving daemon's ``/metrics`` and ``/v1/metrics``
+    surfaces need cumulative tier activity across every job, so the
+    tier counters are re-published here under ``engine.*`` — an
+    un-prefixed name, hence ``bus.registry()`` rather than
+    ``bus.counter`` (which would stamp ``resilience.``).
+    """
+    registry = bus.registry()
+    for result in results:
+        metrics = getattr(result, "metrics", None)
+        if not isinstance(metrics, dict):
+            continue
+        for name, value in metrics.get("counters", {}).items():
+            position = name.find(_TIER_COUNTER_MARKER)
+            if position < 0 or not isinstance(value, int) or value <= 0:
+                continue
+            short = name[position + len(_TIER_COUNTER_MARKER):]
+            registry.counter(f"engine.{short}").add(value)
+
+
 class JobExecutionError(RuntimeError):
     """A job failed on every rung of the tier ladder."""
 
@@ -248,19 +278,29 @@ def execute_job(
             raise JobDeadlineExceeded(f"job {job.id} deadline expired")
         specs = request.to_specs(engine_tier=tier)
         try:
-            results = run_specs(
-                specs,
-                jobs=jobs,
-                resume=True,
-                journal=results_journal,
-                policy=policy,
-            )
+            # the scope labels in-process runs with the job id (the
+            # pooled path gets the same label via progress_label ->
+            # worker initargs), so live progress snapshots attribute
+            # to this job whichever execution path runs the specs
+            with progress_scope(job.id):
+                results = run_specs(
+                    specs,
+                    jobs=jobs,
+                    resume=True,
+                    journal=results_journal,
+                    policy=policy,
+                    progress_label=job.id,
+                )
         except FanOutError as error:
             report = error.report.as_dict()
             last_error = error
         except Exception as error:  # engine/encoding/compile failures
             last_error = error
         else:
+            accumulate_engine_counters(results)
+            bus.registry().counter(
+                f"engine.tier.{tier or 'columnar'}.jobs"
+            ).add()
             return [result_summary(result) for result in results], degraded, report
         if rung + 1 < len(ladder):
             tag = f"tier:{ladder[rung + 1]}"

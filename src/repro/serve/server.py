@@ -8,15 +8,33 @@ itself runs off-loop, in ``asyncio.to_thread`` executor slots.
 
 Endpoints::
 
-    POST /v1/jobs        submit a job (202, 200 if duplicate id,
-                         400 invalid, 429 saturated + Retry-After,
-                         503 draining/fault)
-    GET  /v1/jobs/<id>   response envelope for one job
-    GET  /v1/jobs        registry summary (states, queue, tenants)
-    GET  /healthz        liveness (always 200 while the loop runs)
-    GET  /readyz         readiness (503 while draining)
-    GET  /v1/metrics     resilience-bus counters + breaker + queue
-    POST /v1/drain       stop accepting; exit once the queue drains
+    POST /v1/jobs             submit a job (202, 200 if duplicate id,
+                              400 invalid, 429 saturated + Retry-After,
+                              503 draining/fault)
+    GET  /v1/jobs/<id>        response envelope for one job
+    GET  /v1/jobs/<id>/events live SSE stream: state transitions,
+                              progress snapshots, degradation, breaker
+                              (Last-Event-ID resumes after reconnect)
+    GET  /v1/jobs/<id>/spans  the job's merged span slice from the
+                              active tracer (empty + note when off)
+    GET  /v1/events           broadcast SSE stream over every job
+    GET  /v1/jobs             registry summary (states, queue, tenants)
+    GET  /healthz             liveness (always 200 while the loop runs)
+    GET  /readyz              readiness (503 while draining)
+    GET  /metrics             Prometheus text exposition v0.0.4
+    GET  /v1/metrics          JSON counters (deprecated alias; prefer
+                              /metrics)
+    POST /v1/drain            stop accepting; exit once queue drains
+
+Live telemetry: the daemon advertises a progress spool
+(``REPRO_PROGRESS_SPOOL`` under the state directory) so every engine
+run — in-process executor threads and fan-out worker processes alike —
+appends ``repro.progress/v1`` snapshots there; a loop task tails the
+spool and republishes each snapshot as an SSE ``progress`` event on
+its job's channel. A second task samples the resilience bus into a
+:class:`~repro.obs.window.WindowedAggregator` so ``/metrics`` and
+``/v1/metrics`` report trailing 10s/1m/5m rates, not just monotone
+totals.
 
 Crash safety: a job is journaled (``JobStore.save``) *before* its 202
 is written, and re-journaled at every transition. ``kill -9`` the
@@ -41,15 +59,24 @@ import time
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.metrics.prometheus import render as render_prometheus
 from repro.obs.log import get_logger, log_event
+from repro.obs.progress import SpoolTailer, disable_spool, enable_spool
 from repro.obs.runid import current_run_id
-from repro.obs.tracer import span
+from repro.obs.tracer import active_tracer, span
+from repro.obs.window import WindowedAggregator
 from repro.resilience import bus
 from repro.resilience.faults import InjectedFault, fault_point
 from repro.resilience.journal import RunJournal
 from repro.serve import lifecycle
 from repro.serve.admission import AdmissionController
-from repro.serve.breaker import SERIAL_TAG, CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, SERIAL_TAG, CircuitBreaker
+from repro.serve.events import (
+    BROADCAST,
+    EventBroker,
+    format_comment,
+    format_event,
+)
 from repro.serve.lifecycle import (
     MAX_JOB_ATTEMPTS,
     Job,
@@ -71,6 +98,12 @@ _IDLE_TIMEOUT = 30.0
 
 #: Largest request body we will read (a full sweep spec is ~KBs).
 _MAX_BODY = 1 << 20
+
+#: Seconds between SSE keep-alive comment frames on an idle stream.
+_SSE_HEARTBEAT_S = 10.0
+
+#: Seconds between progress-spool polls (snapshot-to-SSE latency cap).
+_PROGRESS_POLL_S = 0.2
 
 _STATUS_TEXT = {
     200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
@@ -137,6 +170,14 @@ class SimulationServer:
         self._request_wall = bus.histogram("serve.request_wall_us", unit="us")
         self._job_wall = bus.histogram("serve.job_wall_us", unit="us")
         self._queue_wait = bus.histogram("serve.queue_wait_us", unit="us")
+        # live telemetry plane: SSE broker, progress spool tailer, and
+        # the sliding-window aggregator behind /metrics rates
+        self.broker = EventBroker()
+        self.window = WindowedAggregator()
+        self.progress_spool = state / "progress"
+        self.latest_progress: dict[str, dict] = {}
+        self._tailer = SpoolTailer(self.progress_spool)
+        self._telemetry_tasks: list = []
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -165,6 +206,8 @@ class SimulationServer:
         """Bind, recover, run executors, and serve until drained."""
         self._wake = asyncio.Event()
         self._closed = asyncio.Event()
+        self.broker.bind(asyncio.get_running_loop())
+        enable_spool(self.progress_spool)
         recovered = self.recover()
         if recovered:
             self._wake.set()
@@ -181,15 +224,21 @@ class SimulationServer:
             asyncio.ensure_future(self._executor_loop(slot))
             for slot in range(max(1, self.config.executors))
         ]
+        self._telemetry_tasks = [
+            asyncio.ensure_future(self._window_loop()),
+            asyncio.ensure_future(self._progress_loop()),
+        ]
         try:
             await self._closed.wait()
         finally:
+            disable_spool()
             server.close()
             await server.wait_closed()
-            for task in (*executors, *self._connections):
+            for task in (*executors, *self._telemetry_tasks, *self._connections):
                 task.cancel()
             await asyncio.gather(
-                *executors, *self._connections, return_exceptions=True
+                *executors, *self._telemetry_tasks, *self._connections,
+                return_exceptions=True,
             )
 
     def request_drain(self) -> None:
@@ -207,6 +256,67 @@ class SimulationServer:
             and self._closed is not None
         ):
             self._closed.set()
+
+    # ------------------------------------------------------------------
+    # telemetry plane
+
+    async def _window_loop(self) -> None:
+        """Sample the bus into the sliding-window aggregator."""
+        while True:
+            self.window.tick()
+            await asyncio.sleep(self.window.resolution_s)
+
+    async def _progress_loop(self) -> None:
+        """Tail the progress spool; republish snapshots as SSE events."""
+        while True:
+            self._pump_progress()
+            await asyncio.sleep(_PROGRESS_POLL_S)
+
+    def _pump_progress(self) -> int:
+        """One spool poll; returns how many snapshots were published.
+
+        Snapshots from fan-out workers carry the job id via the pool's
+        ``progress_label`` initarg; in-process runs via the executor
+        thread's ``progress_scope``. An unlabeled snapshot (a run
+        started outside any scope) is attributed to the only running
+        job when exactly one is running, else dropped.
+        """
+        published = 0
+        for snapshot in self._tailer.poll():
+            job_id = snapshot.get("job")
+            if job_id is None and len(self.running) == 1:
+                job_id = next(iter(self.running))
+            if job_id is None or job_id not in self.jobs:
+                continue
+            self.latest_progress[job_id] = snapshot
+            self.broker.publish(job_id, "progress", snapshot)
+            published += 1
+        return published
+
+    def _transition(self, job: Job, **extra) -> None:
+        """Journal the job's current state and publish it as SSE."""
+        self.store.save(job)
+        data = {
+            "job": job.id,
+            "state": job.state,
+            "tenant": job.tenant,
+            "attempts": job.attempts,
+            "degraded": list(job.degraded),
+            "ts_ms": now_ms(),
+        }
+        data.update(extra)
+        self.broker.publish(job.id, "state", data)
+
+    def _note_breaker(self, before: str, job: Job | None = None) -> None:
+        """Publish a breaker event if its state changed since ``before``."""
+        after = self.breaker.snapshot()
+        if after["state"] == before:
+            return
+        data = {"from": before, **after, "ts_ms": now_ms()}
+        if job is not None:
+            data["job"] = job.id
+        self.broker.publish(job.id if job is not None else BROADCAST,
+                            "breaker", data)
 
     # ------------------------------------------------------------------
     # executors
@@ -251,8 +361,13 @@ class SimulationServer:
             if SERIAL_TAG not in job.degraded:
                 job.degraded.append(SERIAL_TAG)
             bus.counter("serve.degraded").add()
+            self.broker.publish(job.id, "degraded", {
+                "job": job.id, "tags": [SERIAL_TAG],
+                "reason": "breaker denied pooled execution",
+                "ts_ms": now_ms(),
+            })
         job.state = lifecycle.RUNNING
-        self.store.save(job)
+        self._transition(job, slot=slot)
         self.running.add(job.id)
         self._queue_wait.record((now_ms() - job.submitted_ms) * 1000.0)
         begun = time.monotonic()
@@ -275,7 +390,9 @@ class SimulationServer:
             self._finish_expired(job, "deadline exceeded while running")
             return
         except JobExecutionError as error:
+            breaker_before = self.breaker.snapshot()["state"]
             self.breaker.record_failure()
+            self._note_breaker(breaker_before, job)
             job.degraded.extend(
                 tag for tag in error.degraded if tag not in job.degraded
             )
@@ -300,11 +417,23 @@ class SimulationServer:
             return
         finally:
             self.running.discard(job.id)
+        # flush spooled snapshots now so every progress event precedes
+        # the terminal state event on the job's SSE stream (the poll
+        # task alone could publish them after the stream closed)
+        self._pump_progress()
+        breaker_before = self.breaker.snapshot()["state"]
         if report is not None:
             self.breaker.record_report(report)
         else:
             self.breaker.record_success()
-        job.degraded.extend(tag for tag in degraded if tag not in job.degraded)
+        self._note_breaker(breaker_before, job)
+        fresh_tags = [tag for tag in degraded if tag not in job.degraded]
+        job.degraded.extend(fresh_tags)
+        if fresh_tags:
+            self.broker.publish(job.id, "degraded", {
+                "job": job.id, "tags": fresh_tags,
+                "reason": "engine tier ladder", "ts_ms": now_ms(),
+            })
         try:
             fault_point("serve.result.publish", detail=f"{job.id} {job.tenant}")
         except InjectedFault as fault:
@@ -315,7 +444,7 @@ class SimulationServer:
         job.state = lifecycle.DONE
         job.results = summaries
         job.finished_ms = now_ms()
-        self.store.save(job)
+        self._transition(job, results=len(summaries))
         self._job_wall.record((time.monotonic() - begun) * 1e6)
         bus.counter("serve.completed").add()
         self._maybe_close()
@@ -330,27 +459,29 @@ class SimulationServer:
             )
             return
         job.state = lifecycle.QUEUED
-        self.store.save(job)
+        self._transition(job, requeued=True, cause=cause)
         self.admission.requeue(job)
         bus.counter("serve.requeued").add()
         if self._wake is not None:
             self._wake.set()
 
     def _finish_expired(self, job: Job, message: str) -> None:
+        self._pump_progress()
         self.running.discard(job.id)
         job.state = lifecycle.EXPIRED
         job.error = {"type": "DeadlineExceeded", "message": message}
         job.finished_ms = now_ms()
-        self.store.save(job)
+        self._transition(job, error="DeadlineExceeded")
         bus.counter("serve.expired").add()
         self._maybe_close()
 
     def _finish_failed(self, job: Job, error: dict) -> None:
+        self._pump_progress()
         self.running.discard(job.id)
         job.state = lifecycle.FAILED
         job.error = error
         job.finished_ms = now_ms()
-        self.store.save(job)
+        self._transition(job, error=error.get("type", "Error"))
         bus.counter("serve.failed").add()
         self._maybe_close()
 
@@ -381,6 +512,30 @@ class SimulationServer:
                 body = await reader.readexactly(length) if length else b""
                 keep_alive = headers.get("connection", "").lower() != "close"
                 begun = time.monotonic()
+                if method == "GET" and path == "/metrics":
+                    with span("serve.request", cat="serve", method=method,
+                              path=path):
+                        text = self._render_prometheus()
+                    self._request_wall.record((time.monotonic() - begun) * 1e6)
+                    await _respond_text(
+                        writer, 200, text,
+                        content_type=(
+                            "text/plain; version=0.0.4; charset=utf-8"
+                        ),
+                        keep_alive=keep_alive,
+                    )
+                    if not keep_alive:
+                        return
+                    continue
+                if method == "GET" and (
+                    path == "/v1/events"
+                    or (path.startswith("/v1/jobs/")
+                        and path.endswith("/events"))
+                ):
+                    # SSE: the response has no Content-Length and holds
+                    # the connection; always closes when the stream ends
+                    await self._stream_events(writer, path, headers)
+                    return
                 with span("serve.request", cat="serve", method=method, path=path):
                     status, doc, extra = self._route(method, path, body)
                 self._request_wall.record((time.monotonic() - begun) * 1e6)
@@ -401,6 +556,9 @@ class SimulationServer:
         """Dispatch one request; returns (status, json_doc, extra_headers)."""
         if path == "/v1/jobs" and method == "POST":
             return self._submit(body)
+        if (path.startswith("/v1/jobs/") and path.endswith("/spans")
+                and method == "GET"):
+            return self._get_spans(path[len("/v1/jobs/"):-len("/spans")])
         if path.startswith("/v1/jobs/") and method == "GET":
             return self._get_job(path[len("/v1/jobs/"):])
         if path == "/v1/jobs" and method == "GET":
@@ -425,7 +583,8 @@ class SimulationServer:
                          "queued": self.admission.depth,
                          "running": len(self.running)}, {}
         if path in ("/v1/jobs", "/v1/drain", "/healthz", "/readyz",
-                    "/v1/metrics") or path.startswith("/v1/jobs/"):
+                    "/v1/metrics", "/metrics", "/v1/events") or \
+                path.startswith("/v1/jobs/"):
             return 405, {"error": f"{method} not allowed on {path}"}, {}
         return 404, {"error": f"no route for {path}"}, {}
 
@@ -476,7 +635,7 @@ class SimulationServer:
                 "retry_after_s": decision.retry_after,
             }, {"Retry-After": str(decision.retry_after)}
         # journal BEFORE acknowledging: the 202 is a durability promise
-        self.store.save(job)
+        self._transition(job)
         self.jobs[job.id] = job
         bus.counter("serve.accepted").add()
         if self._wake is not None:
@@ -491,6 +650,21 @@ class SimulationServer:
                                    "message": f"no job {job_id!r}"}}, {}
         return 200, envelope(job), {}
 
+    def _progress_digest(self, job_id: str) -> dict | None:
+        """Compact progress view of one job for registry summaries."""
+        snapshot = self.latest_progress.get(job_id)
+        if snapshot is None:
+            return None
+        total = snapshot.get("records_total") or 0
+        done = snapshot.get("records_done") or 0
+        return {
+            "pct": round(100.0 * done / total, 1) if total else None,
+            "tier": snapshot.get("tier"),
+            "rate_rps": snapshot.get("rate_rps"),
+            "eta_s": snapshot.get("eta_s"),
+            "seq": snapshot.get("seq"),
+        }
+
     def _registry_summary(self) -> dict:
         states: dict[str, int] = {}
         for job in self.jobs.values():
@@ -501,18 +675,217 @@ class SimulationServer:
             "states": states,
             "queue_depth": self.admission.depth,
             "tenants": self.admission.tenants(),
+            "running_detail": [
+                {
+                    "id": job_id,
+                    "tenant": self.jobs[job_id].tenant,
+                    "attempts": self.jobs[job_id].attempts,
+                    "progress": self._progress_digest(job_id),
+                }
+                for job_id in sorted(self.running)
+                if job_id in self.jobs
+            ],
+        }
+
+    def _engine_tier_counters(self) -> dict[str, int]:
+        """The ``engine.*`` tier counters accumulated on the bus."""
+        return {
+            name: value
+            for name, value in bus.snapshot().items()
+            if name.startswith("engine.")
         }
 
     def _metrics_doc(self) -> dict:
+        """The deprecated JSON alias of ``/metrics`` (kept stable)."""
         return {
             "schema": SERVE_SCHEMA,
             "run_id": current_run_id(),
             "counters": bus.snapshot(),
+            "engine_tiers": self._engine_tier_counters(),
             "breaker": self.breaker.snapshot(),
             "queue_depth": self.admission.depth,
             "running": len(self.running),
             "journal": self.results_journal.stats.as_dict(),
+            "rates": {
+                window: {
+                    name: value
+                    for name, value in self.window.rates(window).items()
+                    if value > 0
+                }
+                for window in ("10s", "1m", "5m")
+            },
+            "deprecated": "prefer GET /metrics (Prometheus text exposition)",
         }
+
+    def _render_prometheus(self) -> str:
+        """The ``/metrics`` scrape body (text exposition v0.0.4)."""
+        counters = bus.snapshot()
+        states: dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        breaker_state = self.breaker.snapshot()["state"]
+        gauges = {
+            "serve.queue_depth": self.admission.depth,
+            "serve.running": len(self.running),
+            "serve.jobs_known": len(self.jobs),
+            "serve.accepting": 1 if self.accepting else 0,
+            "serve.uptime_seconds": (now_ms() - self.started_ms) / 1000.0,
+            "serve.breaker_state": [
+                ({"state": state}, 1 if state == breaker_state else 0)
+                for state in (CLOSED, OPEN, HALF_OPEN)
+            ],
+            "serve.job_states": [
+                ({"state": state}, count)
+                for state, count in sorted(states.items())
+            ],
+            "serve.tenant_queue_depth": [
+                ({"tenant": tenant}, depth)
+                for tenant, depth in sorted(self.admission.tenants().items())
+            ],
+        }
+        rates = {
+            window: {
+                name: value
+                for name, value in self.window.rates(window).items()
+                if value > 0
+            }
+            for window in ("10s", "1m", "5m")
+        }
+        return render_prometheus(
+            counters=counters,
+            gauges=gauges,
+            histograms=dict(bus.registry().histograms()),
+            rates=rates,
+            info={"run_id": current_run_id()},
+        )
+
+    def _get_spans(self, job_id: str):
+        """The job's merged span slice from the active tracer."""
+        job = self.jobs.get(job_id)
+        if job is None:
+            return 404, {"schema": SERVE_SCHEMA,
+                         "error": {"type": "UnknownJob",
+                                   "message": f"no job {job_id!r}"}}, {}
+        tracer = active_tracer()
+        if tracer is None:
+            return 200, {
+                "schema": SERVE_SCHEMA,
+                "job": job_id,
+                "spans": [],
+                "note": "tracing disabled; start the server with "
+                        "tracing enabled to record spans",
+            }, {}
+        events = list(tracer.events) + tracer.collect_shards()
+        # seed: spans tagged with this job id; then close over parent
+        # links so the slice includes the job's whole subtree
+        keep: set[str] = set()
+        for event in events:
+            args = event.get("args") or {}
+            if args.get("job") == job_id and args.get("span"):
+                keep.add(args["span"])
+        grew = True
+        while grew:
+            grew = False
+            for event in events:
+                args = event.get("args") or {}
+                span_id = args.get("span")
+                if span_id and span_id not in keep and args.get("parent") in keep:
+                    keep.add(span_id)
+                    grew = True
+        spans = [
+            event for event in events
+            if (event.get("args") or {}).get("span") in keep
+        ]
+        spans.sort(key=lambda e: (e.get("ts", 0.0), e.get("pid", 0)))
+        return 200, {
+            "schema": SERVE_SCHEMA,
+            "job": job_id,
+            "run_id": tracer.run_id,
+            "spans": spans,
+        }, {}
+
+    # ------------------------------------------------------------------
+    # SSE streaming
+
+    async def _stream_events(self, writer, path: str, headers: dict) -> None:
+        """Serve one ``text/event-stream`` response until terminal/EOF.
+
+        Replays ring history (honouring ``Last-Event-ID``), then
+        forwards live events; heartbeats as comment frames keep the
+        connection alive through idle stretches. The stream ends after
+        a terminal ``state`` event, when the client disconnects, or
+        when the server shuts down (the connection task is cancelled).
+        """
+        if path == "/v1/events":
+            channel = BROADCAST
+        else:
+            channel = path[len("/v1/jobs/"):-len("/events")]
+            if channel not in self.jobs:
+                await _respond(
+                    writer, 404,
+                    {"schema": SERVE_SCHEMA,
+                     "error": {"type": "UnknownJob",
+                               "message": f"no job {channel!r}"}},
+                    keep_alive=False,
+                )
+                return
+        last_event_id: int | None = None
+        raw_last = headers.get("last-event-id", "")
+        if raw_last.isdigit():
+            last_event_id = int(raw_last)
+        queue, replay = self.broker.subscribe(channel, last_event_id)
+        bus.counter("serve.sse.streams").add()
+        try:
+            writer.write((
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-cache\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            ).encode("latin-1"))
+            terminal = False
+            for event_id, event, data in replay:
+                writer.write(format_event(event_id, event, data))
+                terminal = terminal or self._is_terminal_event(channel, event, data)
+            # a job already terminal whose transition rolled out of the
+            # ring still must end the stream with a state event
+            job = self.jobs.get(channel)
+            if (not terminal and job is not None
+                    and job.state in lifecycle.TERMINAL_STATES):
+                writer.write(format_event(
+                    self.broker.last_id(channel), "state",
+                    {"job": job.id, "state": job.state,
+                     "tenant": job.tenant, "attempts": job.attempts,
+                     "degraded": list(job.degraded), "ts_ms": now_ms()},
+                ))
+                terminal = True
+            await writer.drain()
+            while not terminal:
+                try:
+                    event_id, event, data = await asyncio.wait_for(
+                        queue.get(), timeout=_SSE_HEARTBEAT_S
+                    )
+                except asyncio.TimeoutError:
+                    if self._closed is not None and self._closed.is_set():
+                        return
+                    writer.write(format_comment())
+                    await writer.drain()
+                    continue
+                writer.write(format_event(event_id, event, data))
+                await writer.drain()
+                terminal = self._is_terminal_event(channel, event, data)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.broker.unsubscribe(channel, queue)
+
+    def _is_terminal_event(self, channel: str, event: str, data: dict) -> bool:
+        """Whether this event ends a per-job stream (broadcast never ends)."""
+        return (
+            channel != BROADCAST
+            and event == "state"
+            and data.get("state") in lifecycle.TERMINAL_STATES
+        )
 
 
 # ----------------------------------------------------------------------
@@ -535,6 +908,21 @@ def _parse_head(head: bytes):
         headers[name.strip().lower()] = value.strip()
     path = target.split("?", 1)[0]
     return method.upper(), path, headers
+
+
+async def _respond_text(writer, status: int, text: str,
+                        content_type: str = "text/plain; charset=utf-8",
+                        keep_alive: bool = True) -> None:
+    """Write a plain-text response (the Prometheus scrape body)."""
+    body = text.encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+    await writer.drain()
 
 
 async def _respond(writer, status: int, doc, extra: dict | None = None,

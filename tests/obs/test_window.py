@@ -1,0 +1,173 @@
+"""Windowed aggregation: rate differencing, windowed histograms, and
+the edge cases the satellite pins (empty window, single-bucket window,
+rollover mid-merge)."""
+
+import pytest
+
+from repro.metrics.registry import MetricsRegistry
+from repro.obs.window import WINDOWS, DEFAULT_RESOLUTION_S, WindowedAggregator
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def rig():
+    registry = MetricsRegistry()
+    clock = FakeClock()
+    aggregator = WindowedAggregator(registry=registry, clock=clock)
+    return registry, clock, aggregator
+
+
+class TestRates:
+    def test_empty_window_has_no_rates(self, rig):
+        _, _, aggregator = rig
+        assert aggregator.rates("10s") == {}
+
+    def test_single_sample_is_not_a_rate(self, rig):
+        registry, _, aggregator = rig
+        registry.counter("serve.requests").add(5)
+        aggregator.tick()
+        assert aggregator.rates("10s") == {}
+
+    def test_rate_is_delta_over_dt(self, rig):
+        registry, clock, aggregator = rig
+        aggregator.tick()
+        registry.counter("serve.requests").add(30)
+        clock.advance(10.0)
+        aggregator.tick()
+        assert aggregator.rates("10s")["serve.requests"] == pytest.approx(3.0)
+
+    def test_windows_see_different_edges(self, rig):
+        registry, clock, aggregator = rig
+        aggregator.tick()
+        for _ in range(30):  # 60s of 2/s
+            registry.counter("x").add(4)
+            clock.advance(2.0)
+            aggregator.tick()
+        registry.counter("x").add(100)  # burst in the last 2s
+        clock.advance(2.0)
+        aggregator.tick()
+        assert aggregator.rates("10s")["x"] > aggregator.rates("1m")["x"]
+
+    def test_counter_reset_clamps_to_zero(self, rig):
+        registry, clock, aggregator = rig
+        registry.counter("y").add(50)
+        aggregator.tick()
+        # a replaced registry snapshot going backwards must not yield a
+        # negative rate
+        aggregator._samples.append(
+            (clock() + 10.0, {"y": 10}, {})
+        )
+        assert aggregator.rates("10s")["y"] == 0.0
+
+    def test_unknown_window_raises(self, rig):
+        _, _, aggregator = rig
+        with pytest.raises(KeyError, match="unknown window"):
+            aggregator.rates("3h")
+
+
+class TestWindowedHistograms:
+    def test_empty_window_yields_none(self, rig):
+        registry, _, aggregator = rig
+        registry.histogram("lat", unit="ms").record(5.0)
+        assert aggregator.windowed_histogram("lat", "10s") is None
+        assert aggregator.percentiles("lat", "10s") == {}
+
+    def test_absent_histogram_yields_none(self, rig):
+        _, clock, aggregator = rig
+        aggregator.tick()
+        clock.advance(2.0)
+        aggregator.tick()
+        assert aggregator.windowed_histogram("nope", "10s") is None
+
+    def test_single_bucket_window(self, rig):
+        registry, clock, aggregator = rig
+        histogram = registry.histogram("lat", unit="ms")
+        aggregator.tick()
+        for _ in range(7):
+            histogram.record(100.0)  # identical values: one bucket
+        clock.advance(5.0)
+        aggregator.tick()
+        delta = aggregator.windowed_histogram("lat", "10s")
+        assert delta.count == 7
+        assert len(delta.counts) == 1
+        assert delta.min <= 100.0 <= delta.max
+        p = aggregator.percentiles("lat", "10s")
+        # every percentile lands inside the one occupied bucket
+        assert delta.min <= p["p50"] <= delta.max
+        assert delta.min <= p["p99"] <= delta.max
+
+    def test_window_excludes_older_samples(self, rig):
+        registry, clock, aggregator = rig
+        histogram = registry.histogram("lat", unit="ms")
+        aggregator.tick()  # empty baseline
+        histogram.record_many([1.0] * 50)  # old, outside the 10s window
+        clock.advance(55.0)
+        aggregator.tick()
+        histogram.record_many([1000.0] * 5)  # inside the last 10s
+        clock.advance(5.0)
+        aggregator.tick()
+        recent = aggregator.windowed_histogram("lat", "10s")
+        assert recent.count == 5
+        assert recent.min > 500.0
+        full = aggregator.windowed_histogram("lat", "1m")
+        assert full.count == 55
+
+    def test_rollover_mid_merge(self, rig):
+        """Samples recorded across several ticks merge exactly, and
+        samples evicted past the 5m horizon drop out of every window."""
+        registry, clock, aggregator = rig
+        histogram = registry.histogram("lat", unit="ms")
+        aggregator.tick()
+        # batch 1 lands, then the window rolls while batch 2 lands
+        histogram.record_many([10.0] * 4)
+        clock.advance(4.0)
+        aggregator.tick()
+        histogram.record_many([20.0] * 6)
+        clock.advance(4.0)
+        aggregator.tick()
+        merged = aggregator.windowed_histogram("lat", "10s")
+        assert merged.count == 10  # both batches, counted once each
+        assert merged.total == pytest.approx(4 * 10.0 + 6 * 20.0)
+        # now roll far past the longest window: every old sample must
+        # be evicted and the ring must not grow without bound
+        for _ in range(200):
+            clock.advance(5.0)
+            aggregator.tick()
+        span = max(WINDOWS.values()) + DEFAULT_RESOLUTION_S
+        assert len(aggregator) <= span / 5.0 + 2
+        late = aggregator.windowed_histogram("lat", "5m")
+        assert late is None or late.count == 0
+
+
+class TestSummary:
+    def test_summary_shape(self, rig):
+        registry, clock, aggregator = rig
+        histogram = registry.histogram("lat", unit="ms")
+        aggregator.tick()
+        registry.counter("serve.requests").add(20)
+        registry.counter("idle").add(0)
+        histogram.record_many([5.0, 6.0, 7.0])
+        clock.advance(10.0)
+        aggregator.tick()
+        doc = aggregator.summary(("10s", "1m"))
+        assert set(doc) == {"10s", "1m"}
+        assert doc["10s"]["rates"] == {"serve.requests": pytest.approx(2.0)}
+        assert "idle" not in doc["10s"]["rates"]  # zero rates elided
+        digest = doc["10s"]["histograms"]["lat"]
+        assert digest["count"] == 3
+        assert set(digest) >= {"count", "mean", "p50", "p95", "p99"}
+
+    def test_summary_before_any_ticks(self, rig):
+        _, _, aggregator = rig
+        doc = aggregator.summary(("10s",))
+        assert doc == {"10s": {"rates": {}, "histograms": {}}}

@@ -1,0 +1,228 @@
+"""SSE plane: broker semantics, wire codecs, and the live streaming
+protocol (Last-Event-ID reconnect, client disconnect mid-stream, drain
+during an open stream)."""
+
+import http.client
+import io
+import threading
+import time
+
+from repro.serve.events import (
+    BROADCAST,
+    EventBroker,
+    format_comment,
+    format_event,
+    read_events,
+)
+
+from .conftest import small_job
+
+
+class TestWireCodecs:
+    def test_frame_round_trip(self):
+        frames = (
+            format_event(1, "state", {"state": "queued"})
+            + format_comment()
+            + format_event(2, "progress", {"records_done": 5})
+        )
+        events = list(read_events(io.BytesIO(frames)))
+        assert [(e["id"], e["event"]) for e in events] == [
+            (1, "state"), (2, "progress"),
+        ]
+        assert events[0]["data"] == {"state": "queued"}
+
+    def test_reader_tolerates_crlf_and_unparseable_data(self):
+        raw = b"id: 3\r\nevent: state\r\ndata: not-json\r\n\r\n"
+        events = list(read_events(io.BytesIO(raw)))
+        assert events[0]["id"] == 3
+        assert events[0]["data"] == {"raw": "not-json"}
+
+
+class TestBroker:
+    def test_ids_are_per_channel_from_one(self):
+        broker = EventBroker()
+        broker.publish("a", "state", {"n": 1}, broadcast=False)
+        broker.publish("b", "state", {"n": 1}, broadcast=False)
+        broker.publish("a", "state", {"n": 2}, broadcast=False)
+        assert [i for i, _, _ in broker.events("a")] == [1, 2]
+        assert broker.last_id("b") == 1
+
+    def test_broadcast_mirror_carries_channel(self):
+        broker = EventBroker()
+        broker.publish("job-1", "state", {"state": "queued"})
+        mirrored = broker.events(BROADCAST)
+        assert mirrored[0][2]["channel"] == "job-1"
+        assert broker.last_id(BROADCAST) == 1
+
+    def test_replay_honours_last_event_id(self):
+        broker = EventBroker()
+        for n in range(5):
+            broker.publish("c", "progress", {"n": n}, broadcast=False)
+        _, replay = broker.subscribe("c", last_event_id=3)
+        assert [i for i, _, _ in replay] == [4, 5]
+        _, full = broker.subscribe("c", last_event_id=None)
+        assert len(full) == 5
+
+    def test_ring_is_bounded(self):
+        broker = EventBroker(history=4)
+        for n in range(10):
+            broker.publish("c", "progress", {"n": n}, broadcast=False)
+        ring = broker.events("c")
+        assert len(ring) == 4
+        assert ring[0][0] == 7  # ids keep counting past evictions
+
+    def test_unsubscribe_is_idempotent(self):
+        broker = EventBroker()
+        queue, _ = broker.subscribe("c")
+        broker.unsubscribe("c", queue)
+        broker.unsubscribe("c", queue)
+
+
+def open_stream(port: int, path: str, last_event_id=None, timeout=30):
+    """Open one SSE stream; returns (connection, response)."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    headers = {}
+    if last_event_id is not None:
+        headers["Last-Event-ID"] = str(last_event_id)
+    conn.request("GET", path, headers=headers)
+    response = conn.getresponse()
+    return conn, response
+
+
+def collect_stream(port: int, path: str, out: list, last_event_id=None):
+    """Thread body: append every event until the stream closes."""
+    conn, response = open_stream(port, path, last_event_id)
+    try:
+        if response.status != 200:
+            out.append({"event": "_http_error", "data": {
+                "status": response.status}})
+            return
+        for event in read_events(response):
+            out.append(event)
+    except (OSError, http.client.HTTPException):
+        pass
+    finally:
+        conn.close()
+
+
+class TestLiveStreaming:
+    def test_stream_carries_progress_then_terminal_state(self, serve_factory):
+        handle = serve_factory()
+        status, _, _ = handle.request(
+            "POST", "/v1/jobs", small_job("sse-1"))
+        assert status == 202
+        events = []
+        tailer = threading.Thread(
+            target=collect_stream, args=(handle.port, "/v1/jobs/sse-1/events",
+                                         events),
+            daemon=True)
+        tailer.start()
+        tailer.join(timeout=60)
+        assert not tailer.is_alive(), "stream never reached a terminal state"
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "state" and events[0]["data"]["state"] == "queued"
+        assert "progress" in kinds
+        assert events[-1]["event"] == "state"
+        assert events[-1]["data"]["state"] == "done"
+        # progress precedes the terminal event on the wire
+        assert kinds.index("progress") < len(kinds) - 1
+        ids = [e["id"] for e in events]
+        assert ids == sorted(ids)
+
+    def test_unknown_job_stream_is_404(self, serve_factory):
+        handle = serve_factory()
+        conn, response = open_stream(handle.port, "/v1/jobs/nope/events")
+        try:
+            assert response.status == 404
+        finally:
+            conn.close()
+
+    def test_last_event_id_reconnect_resumes_after_gap(self, serve_factory):
+        handle = serve_factory()
+        handle.request("POST", "/v1/jobs", small_job("sse-2"))
+        handle.wait_for_state("sse-2")
+        first = []
+        collect_stream(handle.port, "/v1/jobs/sse-2/events", first)
+        assert len(first) >= 3  # queued, >=1 progress, done
+        cut = first[1]["id"]
+        resumed = []
+        collect_stream(handle.port, "/v1/jobs/sse-2/events", resumed,
+                       last_event_id=cut)
+        assert [e["id"] for e in resumed] == [
+            e["id"] for e in first if e["id"] > cut]
+        assert resumed[-1]["data"]["state"] == "done"
+
+    def test_reconnect_past_everything_still_gets_terminal_state(
+            self, serve_factory):
+        handle = serve_factory()
+        handle.request("POST", "/v1/jobs", small_job("sse-3"))
+        handle.wait_for_state("sse-3")
+        full = []
+        collect_stream(handle.port, "/v1/jobs/sse-3/events", full)
+        last = full[-1]["id"]
+        tail = []
+        collect_stream(handle.port, "/v1/jobs/sse-3/events", tail,
+                       last_event_id=last)
+        # nothing new to replay, but the stream must still close with
+        # the job's terminal state rather than hanging
+        assert tail == [] or tail[-1]["data"]["state"] == "done"
+
+    def test_client_disconnect_mid_stream_does_not_hurt_the_job(
+            self, serve_factory):
+        handle = serve_factory()
+        handle.request("POST", "/v1/jobs", small_job("sse-4"))
+        conn, response = open_stream(handle.port, "/v1/jobs/sse-4/events")
+        # read one frame, then hang up mid-stream
+        assert response.status == 200
+        line = response.readline()
+        assert line
+        response.close()
+        conn.close()
+        doc = handle.wait_for_state("sse-4")
+        assert doc["job"]["state"] == "done"
+        # the server stays healthy for new streams after the rude close
+        final = []
+        collect_stream(handle.port, "/v1/jobs/sse-4/events", final)
+        assert final[-1]["data"]["state"] == "done"
+
+    def test_drain_during_open_stream_closes_it(self, serve_factory):
+        handle = serve_factory()
+        handle.request("POST", "/v1/jobs", small_job("sse-5"))
+        handle.wait_for_state("sse-5")
+        events = []
+        # broadcast streams have no terminal event, so only drain (or
+        # disconnect) can end them — the drain path under test
+        tailer = threading.Thread(
+            target=collect_stream, args=(handle.port, "/v1/events", events),
+            daemon=True)
+        tailer.start()
+        deadline = time.time() + 30
+        while not events and time.time() < deadline:
+            time.sleep(0.05)  # replayed ring proves the stream is open
+        assert events, "broadcast stream never delivered the ring"
+        handle.drain_and_join()
+        tailer.join(timeout=15)
+        assert not tailer.is_alive(), "drain left the SSE stream open"
+
+    def test_broadcast_stream_multiplexes_jobs(self, serve_factory):
+        handle = serve_factory()
+        events = []
+        tailer = threading.Thread(
+            target=collect_stream, args=(handle.port, "/v1/events", events),
+            daemon=True)
+        tailer.start()
+        time.sleep(0.2)
+        handle.request("POST", "/v1/jobs", small_job("mux-a"))
+        handle.request("POST", "/v1/jobs", small_job("mux-b", seed=1))
+        handle.wait_for_state("mux-a")
+        handle.wait_for_state("mux-b")
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            done = {e["data"].get("channel") for e in list(events)
+                    if e["event"] == "state"
+                    and e["data"].get("state") == "done"}
+            if {"mux-a", "mux-b"} <= done:
+                break
+            time.sleep(0.05)
+        channels = {e["data"].get("channel") for e in list(events)}
+        assert {"mux-a", "mux-b"} <= channels
